@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one table or figure of the paper with
+``pytest-benchmark`` timing the full experiment, and prints the rows /
+series the paper reports (run with ``-s`` to see them inline; a summary
+always goes through the ``record_property`` hook).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(result) -> None:
+    """Print an experiment's table so the bench log shows the series."""
+    print()
+    print(result.to_text())
+
+
+@pytest.fixture
+def show():
+    return emit

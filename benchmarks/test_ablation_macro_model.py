@@ -1,0 +1,64 @@
+"""Ablation: physical electromechanical NEMFET vs the paper's Figure
+6(b) RLC macro-model, compared at the device level.
+
+The paper ran its circuits on the macro-model of ref [23] (polynomial
+f(Vg), no position feedback).  This ablation quantifies the fidelity
+gap on the two behaviours the circuits depend on: the ON current the
+pull-down network sees, and the hysteresis that pins the hybrid gate's
+noise margin (which the macro-model loses entirely).
+"""
+
+import numpy as np
+
+from repro import Circuit, dc_sweep, operating_point
+from repro.devices.nemfet import Nemfet, nemfet_90nm
+from repro.devices.spice_equivalent import MacroNemfet, fit_force_polynomial
+from repro.experiments.result import ExperimentResult
+
+VDD = 1.2
+
+
+def _transfer(element_factory):
+    c = Circuit("ablation")
+    c.vsource("VG", "g", "0", 0.0)
+    c.vsource("VD", "d", "0", VDD)
+    c.add(element_factory(c))
+    vg = np.linspace(0.0, VDD, 49)
+    up = dc_sweep(c, "VG", vg)
+    down = dc_sweep(c, "VG", vg[::-1], x0=up.points[-1].x)
+    i_on = float(np.abs(up.branch_current("VD"))[-1])
+    u_up = up.state("M1", "position")
+    u_dn = down.state("M1", "position")[::-1]
+    hysteresis = float(np.max(np.abs(u_dn - u_up)))
+    return i_on, hysteresis
+
+
+def run():
+    params = nemfet_90nm()
+    poly = fit_force_polynomial(params)
+    i_phys, h_phys = _transfer(
+        lambda c: Nemfet("M1", "d", "g", "0", params, 1e-6))
+    i_macro, h_macro = _transfer(
+        lambda c: MacroNemfet("M1", "d", "g", "0", params, 1e-6,
+                              force_poly=poly))
+    rows = [
+        ("physical", i_phys * 1e6, h_phys),
+        ("macro (Fig 6b)", i_macro * 1e6, h_macro),
+    ]
+    return ExperimentResult(
+        experiment_id="Ablation-Macro",
+        title="Physical vs macro NEMFET model",
+        columns=["model", "I_on [uA/um]", "hysteresis [frac travel]"],
+        rows=rows,
+        notes="The macro-model tracks the ON current but has no "
+              "pull-in fold, so the bistable window vanishes.")
+
+
+def test_ablation_macro_model(benchmark, show):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+    phys = result.filtered(model="physical")[0]
+    macro = result.filtered(model="macro (Fig 6b)")[0]
+    assert macro[1] == phys[1] or abs(macro[1] - phys[1]) / phys[1] < 0.2
+    assert phys[2] > 0.5          # physical model is bistable
+    assert macro[2] < 0.2         # macro-model is not

@@ -1,0 +1,56 @@
+"""Ablation: the keeper noise-margin target is the strongest free
+variable in the Figure 10/11 comparisons.
+
+Sweeps the sizing target and reports where the paper's two claims —
+"minor delay penalty" and "60-80% lower switching power" — each hold,
+demonstrating the trade-off DESIGN.md and EXPERIMENTS.md discuss: at
+low targets the CMOS gate is fast but the hybrid power win shrinks; at
+high targets the power win reaches the paper's band but the CMOS gate
+is already slower than the hybrid at fan-in 8.
+"""
+
+from repro.experiments.common import leaky_corner_shift
+from repro.experiments.result import ExperimentResult
+from repro.library import gate_metrics
+from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+
+
+def run(nm_targets=(0.18, 0.24, 0.30), fan_in=8, fan_out=3.0):
+    hybrid = build_dynamic_or(DynamicOrSpec(fan_in=fan_in,
+                                            fan_out=fan_out,
+                                            style="hybrid"))
+    d_h = gate_metrics.measure_worst_case_delay(hybrid)
+    p_h, _ = gate_metrics.measure_switching_power(hybrid)
+
+    rows = []
+    for target in nm_targets:
+        spec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out,
+                             style="cmos")
+        gate = build_dynamic_or(spec)
+        width = gate_metrics.size_keeper_for_noise_margin(
+            gate, target, pd_shift=leaky_corner_shift(spec))
+        gate.set_keeper_width(width)
+        d_c = gate_metrics.measure_worst_case_delay(gate)
+        p_c, _ = gate_metrics.measure_switching_power(gate)
+        rows.append((target, width * 1e6, d_h / d_c,
+                     (1 - p_h / p_c) * 100))
+    return ExperimentResult(
+        experiment_id="Ablation-NM",
+        title="Keeper sizing target vs the paper's two claims",
+        columns=["NM target [V]", "keeper [um]", "hybrid/CMOS delay",
+                 "power saving [%]"],
+        rows=rows,
+        notes="Larger targets buy power savings at the cost of CMOS "
+              "delay; the paper's simultaneous (1.1-1.2x, 60-80%) "
+              "point is not on this curve with our device parameters.")
+
+
+def test_ablation_nm_target(benchmark, show):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+    savings = result.column("power saving [%]")
+    delay_ratios = result.column("hybrid/CMOS delay")
+    # The trade-off is monotone: more margin -> more saving, and the
+    # hybrid looks relatively faster.
+    assert savings == sorted(savings)
+    assert delay_ratios == sorted(delay_ratios, reverse=True)

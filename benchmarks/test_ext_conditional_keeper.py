@@ -1,0 +1,13 @@
+"""Bench (extension): conditional keeper at iso noise margin."""
+
+from repro.experiments import ext_conditional_keeper
+
+
+def test_ext_conditional_keeper(benchmark, show):
+    result = benchmark.pedantic(ext_conditional_keeper.run, rounds=1,
+                                iterations=1)
+    show(result)
+    delay = {r[0]: r[3] for r in result.rows}
+    nm = {r[0]: r[2] for r in result.rows}
+    assert abs(nm["conditional keeper"] - nm["standard keeper"]) < 0.01
+    assert delay["conditional keeper"] < 0.9 * delay["standard keeper"]

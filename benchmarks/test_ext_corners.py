@@ -1,0 +1,15 @@
+"""Bench (extension): global corners — hybrid NM is corner-invariant."""
+
+from repro.experiments import ext_corners
+
+
+def test_ext_corners(benchmark, show):
+    result = benchmark.pedantic(
+        ext_corners.run, kwargs={"corners": ("TT", "SS", "FF")},
+        rounds=1, iterations=1)
+    show(result)
+    cmos_nm = [r[2] for r in result.rows if r[1] == "cmos"]
+    hybrid_nm = [r[2] for r in result.rows if r[1] == "hybrid"]
+    # The hybrid margin barely moves; the CMOS margin swings.
+    assert max(hybrid_nm) - min(hybrid_nm) \
+        < 0.3 * (max(cmos_nm) - min(cmos_nm))

@@ -1,0 +1,19 @@
+"""Bench (extension): domino pipeline latency vs depth."""
+
+from repro.experiments import ext_domino
+
+
+def test_ext_domino(benchmark, show):
+    result = benchmark.pedantic(
+        ext_domino.run, kwargs={"stage_counts": (1, 2, 3)},
+        rounds=1, iterations=1)
+    show(result)
+    for style in ("cmos", "hybrid"):
+        lats = [r[2] for r in result.rows if r[0] == style]
+        assert lats == sorted(lats)
+    # Each hybrid stage adds its mechanical closing to the chain.
+    hybrid = [r[2] for r in result.rows if r[0] == "hybrid"]
+    cmos = [r[2] for r in result.rows if r[0] == "cmos"]
+    hybrid_inc = hybrid[-1] - hybrid[0]
+    cmos_inc = cmos[-1] - cmos[0]
+    assert hybrid_inc > cmos_inc + 2 * 200.0  # ps: 2 stages x mech

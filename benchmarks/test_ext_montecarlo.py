@@ -1,0 +1,16 @@
+"""Bench (extension): Monte-Carlo validation of the Figure 9 corners."""
+
+from repro.experiments import ext_fig09_montecarlo
+
+
+def test_ext_fig09_montecarlo(benchmark, show):
+    result = benchmark.pedantic(
+        ext_fig09_montecarlo.run,
+        kwargs={"samples": 30, "seed": 7},
+        rounds=1, iterations=1)
+    show(result)
+    delay = result.filtered(metric="delay [ps]")[0]
+    margin = result.filtered(metric="noise margin [V]")[0]
+    # 3-sigma corners bracket the sampled population.
+    assert delay[4] >= delay[3]
+    assert margin[4] <= margin[3]

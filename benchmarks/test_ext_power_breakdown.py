@@ -1,0 +1,17 @@
+"""Bench (extension): itemised switching-energy breakdown."""
+
+from repro.experiments import ext_power_breakdown
+
+
+def test_ext_power_breakdown(benchmark, show):
+    result = benchmark.pedantic(ext_power_breakdown.run, rounds=1,
+                                iterations=1)
+    show(result)
+    breakdown = result.extras["breakdown"]
+    # The keeper term is the gap: large for CMOS, negligible hybrid.
+    assert breakdown["cmos"]["keeper"] \
+        > 20 * breakdown["hybrid"]["keeper"]
+    # Both styles pay comparable precharge/inverter energy.
+    assert abs(breakdown["cmos"]["precharge"]
+               - breakdown["hybrid"]["precharge"]) \
+        < 0.5 * breakdown["cmos"]["precharge"]

@@ -1,0 +1,15 @@
+"""Bench (extension): RSG-MOSFET resonator, paper ref [22]."""
+
+from repro.experiments import ext_resonator
+
+
+def test_ext_resonator(benchmark, show):
+    result = benchmark.pedantic(
+        ext_resonator.run,
+        kwargs={"biases": (0.15, 0.30, 0.40, 0.43), "points": 121},
+        rounds=1, iterations=1)
+    show(result)
+    peaks = result.column("f_peak [MHz]")
+    # Monotone spring-softening tuning toward pull-in.
+    assert peaks == sorted(peaks, reverse=True)
+    assert all(g > 1.3 for g in result.column("peak gain"))

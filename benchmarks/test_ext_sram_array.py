@@ -1,0 +1,18 @@
+"""Bench (extension): array-level reads + the NEMS-access ablation."""
+
+from repro.experiments import ext_sram_array
+
+
+def test_ext_sram_array(benchmark, show):
+    result = benchmark.pedantic(
+        ext_sram_array.run,
+        kwargs={"row_counts": (32, 128, 256),
+                "include_nems_access": True},
+        rounds=1, iterations=1)
+    show(result)
+    for cell in ("conventional", "hybrid"):
+        lats = [r[2] for r in result.filtered(cell=cell)]
+        assert lats == sorted(lats)      # taller columns read slower
+    rejected = result.filtered(cell="nems-access (rejected)")[0][2]
+    conv = result.filtered(cell="conventional")[0][2]
+    assert rejected > 4 * conv

@@ -1,0 +1,17 @@
+"""Bench (extension): static vs dynamic vs hybrid OR gates."""
+
+from repro.experiments import ext_static_comparison
+
+
+def test_ext_static_comparison(benchmark, show):
+    result = benchmark.pedantic(
+        ext_static_comparison.run, kwargs={"fan_ins": (4, 8, 12)},
+        rounds=1, iterations=1)
+    show(result)
+    static = {r[1]: r[2] for r in result.rows if r[0] == "static"}
+    dynamic = {r[1]: r[2] for r in result.rows if r[0] == "dynamic"}
+    # The stack makes wide static OR slow (Section 4.1's premise)...
+    assert static[12] > 3 * static[4]
+    assert static[12] > dynamic[12]
+    # ...while at small fan-in static is competitive.
+    assert static[4] < 2 * dynamic[4]

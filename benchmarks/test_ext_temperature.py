@@ -1,0 +1,12 @@
+"""Bench (extension): leakage advantage vs temperature."""
+
+from repro.experiments import ext_temperature
+
+
+def test_ext_temperature(benchmark, show):
+    result = benchmark.pedantic(ext_temperature.run, rounds=1,
+                                iterations=1)
+    show(result)
+    cmos = result.column("CMOS I_off [nA/um]")
+    assert cmos == sorted(cmos)          # thermal leakage growth
+    assert all(a > 300 for a in result.column("advantage"))

@@ -1,0 +1,17 @@
+"""Bench (extension): leakage-temperature feedback and runaway."""
+
+from repro.experiments import ext_thermal_runaway
+
+
+def test_ext_thermal_runaway(benchmark, show):
+    result = benchmark.pedantic(ext_thermal_runaway.run, rounds=1,
+                                iterations=1)
+    show(result)
+    cmos = {r[1]: r[4] for r in result.rows if r[0] == "cmos"}
+    hybrid = {r[1]: r[4] for r in result.rows if r[0] == "hybrid"}
+    # The all-CMOS block runs away at the worst package; hybrid never.
+    assert cmos[600.0] == "RUNAWAY"
+    assert all(status == "ok" for status in hybrid.values())
+    # Where both converge, hybrid runs cooler.
+    temps = {(r[0], r[1]): r[2] for r in result.rows if r[4] == "ok"}
+    assert temps[("hybrid", 100.0)] < temps[("cmos", 100.0)]

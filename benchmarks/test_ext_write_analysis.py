@@ -1,0 +1,14 @@
+"""Bench (extension): SRAM write margin and latency."""
+
+from repro.experiments import ext_write_analysis
+
+
+def test_ext_write_analysis(benchmark, show):
+    result = benchmark.pedantic(ext_write_analysis.run, rounds=1,
+                                iterations=1)
+    show(result)
+    margin = {r[0]: r[1] for r in result.rows}
+    latency = {r[0]: r[2] for r in result.rows}
+    # Hybrid: statically easy to flip, dynamically slow to settle.
+    assert margin["hybrid"] > 1.2 * margin["conventional"]
+    assert latency["hybrid"] > 2 * latency["conventional"]

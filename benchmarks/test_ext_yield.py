@@ -1,0 +1,14 @@
+"""Bench (extension): Monte-Carlo read-stability yield."""
+
+from repro.experiments import ext_yield
+
+
+def test_ext_yield(benchmark, show):
+    result = benchmark.pedantic(
+        ext_yield.run,
+        kwargs={"variants": ("conventional", "hybrid"), "samples": 6},
+        rounds=1, iterations=1)
+    show(result)
+    sigma = {r[0]: r[2] for r in result.rows}
+    # The NEMS devices carry no Vth variation: tighter SNM spread.
+    assert sigma["hybrid"] < 0.7 * sigma["conventional"]

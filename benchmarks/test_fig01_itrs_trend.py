@@ -1,0 +1,10 @@
+"""Bench: Figure 1 — ITRS scaling vs subthreshold leakage."""
+
+from repro.experiments import fig01_itrs_trend
+
+
+def test_fig01_itrs_trend(benchmark, show):
+    result = benchmark(fig01_itrs_trend.run)
+    show(result)
+    rel = result.column("vs 250nm")
+    assert rel[-1] > 1e3  # the leakage explosion motivating the paper

@@ -1,0 +1,11 @@
+"""Bench: Figure 2 — subthreshold swing survey + measured model swings."""
+
+from repro.experiments import fig02_swing_survey
+
+
+def test_fig02_swing_survey(benchmark, show):
+    result = benchmark(fig02_swing_survey.run)
+    show(result)
+    measured = {r[0]: r[1] for r in result.rows if r[3] == "measured"}
+    assert measured["repro bulk CMOS model"] > 60.0
+    assert measured["repro NEMFET model"] <= 2.0

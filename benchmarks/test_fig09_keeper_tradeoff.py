@@ -1,0 +1,17 @@
+"""Bench: Figure 9 — keeper delay / noise-margin trade-off."""
+
+from repro.experiments import fig09_keeper_tradeoff
+
+
+def test_fig09_keeper_tradeoff(benchmark, show):
+    result = benchmark.pedantic(
+        fig09_keeper_tradeoff.run,
+        kwargs={"fan_in": 8, "sigma_levels": (0.05, 0.10, 0.15),
+                "keeper_widths": (0.8e-6, 1.6e-6, 3.2e-6, 5e-6)},
+        rounds=1, iterations=1)
+    show(result)
+    # Per variation level: delay and NM both rise with keeper size.
+    for sigma in (5.0, 10.0, 15.0):
+        rows = result.filtered(**{"sigma/mu [%]": sigma})
+        assert [r[2] for r in rows] == sorted(r[2] for r in rows)
+        assert [r[3] for r in rows] == sorted(r[3] for r in rows)

@@ -1,0 +1,19 @@
+"""Bench: Figure 10 — 8-input OR power & delay vs fan-out."""
+
+from repro.experiments import fig10_fanout_sweep
+
+
+def test_fig10_fanout_sweep(benchmark, show):
+    result = benchmark.pedantic(
+        fig10_fanout_sweep.run,
+        kwargs={"fan_in": 8, "fan_outs": (1, 2, 3, 4, 5)},
+        rounds=1, iterations=1)
+    show(result)
+    for fo in (1, 3, 5):
+        d_c = result.filtered(style="cmos", fan_out=fo)[0][2]
+        d_h = result.filtered(style="hybrid", fan_out=fo)[0][2]
+        p_c = result.filtered(style="cmos", fan_out=fo)[0][4]
+        p_h = result.filtered(style="hybrid", fan_out=fo)[0][4]
+        # Paper shape: minor delay penalty, large power saving.
+        assert d_c < d_h < 1.6 * d_c
+        assert p_h < 0.7 * p_c

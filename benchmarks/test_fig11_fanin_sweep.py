@@ -1,0 +1,21 @@
+"""Bench: Figure 11 — OR power & delay vs fan-in (the crossover)."""
+
+from repro.experiments import fig11_fanin_sweep
+
+
+def test_fig11_fanin_sweep(benchmark, show):
+    result = benchmark.pedantic(
+        fig11_fanin_sweep.run,
+        kwargs={"fan_ins": (4, 8, 12, 16), "fan_out": 3.0},
+        rounds=1, iterations=1)
+    show(result)
+    # CMOS faster at small fan-in ...
+    assert result.filtered(style="cmos", fan_in=4)[0][2] \
+        < result.filtered(style="hybrid", fan_in=4)[0][2]
+    # ... hybrid wins BOTH delay and power from fan-in 12 (the paper's
+    # headline crossover).
+    for fi in (12, 16):
+        assert result.filtered(style="hybrid", fan_in=fi)[0][2] \
+            < result.filtered(style="cmos", fan_in=fi)[0][2]
+        assert result.filtered(style="hybrid", fan_in=fi)[0][4] \
+            < result.filtered(style="cmos", fan_in=fi)[0][4]

@@ -1,0 +1,23 @@
+"""Bench: Figure 12 — power-delay product vs activity factor."""
+
+import numpy as np
+
+from repro.experiments import fig12_pdp
+
+
+def test_fig12_pdp(benchmark, show):
+    result = benchmark.pedantic(
+        fig12_pdp.run,
+        kwargs={"fan_in": 8, "loads": (1.0, 3.0),
+                "activities": tuple(np.linspace(0, 1, 11))},
+        rounds=1, iterations=1)
+    show(result)
+    # Hybrid PDP below CMOS for every load and activity (the paper's
+    # 'strongly surpasses' claim).
+    for load in (1.0, 3.0):
+        for a in np.linspace(0, 1, 11):
+            pdp_c = result.filtered(style="cmos", **{"C_L [FO]": load,
+                                                     "activity": a})
+            pdp_h = result.filtered(style="hybrid", **{"C_L [FO]": load,
+                                                       "activity": a})
+            assert pdp_h[0][3] < pdp_c[0][3]

@@ -1,0 +1,14 @@
+"""Bench: Figure 14 — SRAM butterfly curves and SNM."""
+
+from repro.experiments import fig14_butterfly
+
+
+def test_fig14_butterfly(benchmark, show):
+    result = benchmark.pedantic(fig14_butterfly.run, rounds=1,
+                                iterations=1)
+    show(result)
+    ratios = {r[0]: r[2] for r in result.rows}
+    # Hybrid SNM below conventional (paper: ~14% lower) but usable.
+    assert 0.75 < ratios["hybrid"] < 1.0
+    for variant, snm in {r[0]: r[1] for r in result.rows}.items():
+        assert snm > 50.0, variant

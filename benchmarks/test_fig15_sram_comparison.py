@@ -1,0 +1,16 @@
+"""Bench: Figure 15 — SRAM read latency & standby leakage."""
+
+from repro.experiments import fig15_sram_comparison
+
+
+def test_fig15_sram_comparison(benchmark, show):
+    result = benchmark.pedantic(fig15_sram_comparison.run, rounds=1,
+                                iterations=1)
+    show(result)
+    hybrid = result.filtered(variant="hybrid")[0]
+    # Paper: ~7.7x lower standby leakage at ~23% read-latency cost.
+    assert 5.0 < hybrid[5] < 12.0     # leakage reduction
+    assert 1.1 < hybrid[2] < 1.6      # normalised latency
+    # Every low-leakage cell beats conventional on leakage.
+    for variant in ("dual_vt", "asymmetric", "hybrid"):
+        assert result.filtered(variant=variant)[0][4] < 1.0

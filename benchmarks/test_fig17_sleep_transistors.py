@@ -1,0 +1,22 @@
+"""Bench: Figure 17 — sleep-transistor Ron & Ioff vs area."""
+
+from repro.experiments import fig17_sleep_transistors
+
+
+def test_fig17_sleep_transistors(benchmark, show):
+    result = benchmark.pedantic(
+        fig17_sleep_transistors.run,
+        kwargs={"area_units": (1, 2, 4, 8, 16, 32, 64),
+                "delay_budget": 0.05},
+        rounds=1, iterations=1)
+    show(result)
+    # NEMS OFF current ~3 orders below CMOS at equal area.
+    assert all(r > 500 for r in result.column("Ioff ratio"))
+    # Absolute Ron gap shrinks as devices are sized up.
+    gaps = result.column("dRon [ohm]")
+    assert gaps == sorted(gaps, reverse=True)
+    # Block-level: a sized-up NEMS switch meets the delay budget while
+    # keeping a large leakage win over its CMOS equivalent.
+    sizing = result.extras["sizing"]
+    assert sizing["cmos_sleep_leakage_w"] \
+        > 10 * sizing["nems_sleep_leakage_w"]

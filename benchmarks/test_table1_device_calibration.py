@@ -1,0 +1,14 @@
+"""Bench: Table 1 — device I_ON/I_OFF calibration."""
+
+from repro.experiments import table1_devices
+
+
+def test_table1_device_calibration(benchmark, show):
+    result = benchmark(table1_devices.run)
+    show(result)
+    assert len(result.rows) == 4
+    # Paper anchors hold within calibration tolerance.
+    nmos = result.filtered(device="CMOS NMOS")[0]
+    nems = result.filtered(device="NEMS (n)")[0]
+    assert abs(nmos[1] - 1110.0) / 1110.0 < 0.02
+    assert abs(nems[1] - 330.0) / 330.0 < 0.03

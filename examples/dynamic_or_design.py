@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Design-space exploration of hybrid NEMS-CMOS dynamic OR gates.
+
+Walks the paper's Section 4 story on live circuits:
+
+* size the CMOS keeper for a noise-margin target at the 3-sigma leaky
+  process corner (the methodology of ref [24]);
+* compare CMOS vs hybrid delay / switching power / leakage across
+  fan-in, reproducing the crossover beyond which the hybrid gate wins
+  both metrics;
+* evaluate the paper's Equation 1 power-delay product at a typical
+  activity factor.
+
+Run:  python examples/dynamic_or_design.py  (takes ~1-2 minutes)
+"""
+
+from repro.experiments.common import NM_TARGET, build_sized_gate
+from repro.library import gate_metrics
+from repro.library.metrics import power_delay_product
+
+FAN_INS = (4, 8, 12)
+FAN_OUT = 3.0
+ACTIVITY = 0.2
+
+
+def characterise(style: str, fan_in: int):
+    gate = build_sized_gate(fan_in, FAN_OUT, style)
+    delay = gate_metrics.measure_worst_case_delay(gate)
+    p_sw, _ = gate_metrics.measure_switching_power(gate)
+    p_leak = gate_metrics.measure_leakage_power(gate)
+    nm = gate_metrics.noise_margin_static(gate)
+    return gate, delay, p_sw, p_leak, nm
+
+
+def main():
+    print(f"Keeper sizing: noise-margin target {NM_TARGET} V at the "
+          f"3-sigma leaky corner\n")
+    header = (f"{'fan-in':>6} {'style':>7} {'keeper':>9} {'NM':>6} "
+              f"{'delay':>9} {'P_sw':>9} {'P_leak':>10} {'PDP':>10}")
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for fan_in in FAN_INS:
+        for style in ("cmos", "hybrid"):
+            gate, delay, p_sw, p_leak, nm = characterise(style, fan_in)
+            pdp = power_delay_product(p_leak, p_sw, delay, ACTIVITY)
+            results[(style, fan_in)] = (delay, p_sw)
+            print(f"{fan_in:>6} {style:>7} "
+                  f"{gate.keeper_width * 1e6:>7.2f}um "
+                  f"{nm:>6.3f} {delay * 1e12:>7.1f}ps "
+                  f"{p_sw * 1e6:>7.2f}uW {p_leak * 1e9:>8.2f}nW "
+                  f"{pdp * 1e18:>8.1f}aJ")
+
+    print("\nHead-to-head (hybrid vs CMOS):")
+    for fan_in in FAN_INS:
+        d_c, p_c = results[("cmos", fan_in)]
+        d_h, p_h = results[("hybrid", fan_in)]
+        verdict = ("hybrid wins BOTH" if d_h < d_c and p_h < p_c
+                   else "CMOS faster, hybrid cheaper")
+        print(f"  fan-in {fan_in:>2}: delay {d_h / d_c:5.2f}x, "
+              f"power {p_h / p_c:5.2f}x  ->  {verdict}")
+    print("\nThe CMOS keeper must grow with fan-in to hold its noise "
+          "margin,\nso beyond the crossover the hybrid gate is faster "
+          "AND lower power\n(the paper's Figure 11 claim).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Render key figures of the paper as terminal charts.
+
+No plotting library is required: `repro.report.ascii_chart` draws the
+series directly in the terminal.  Rendered here:
+
+* the NEMFET transfer characteristic with its hysteresis loop
+  (the physics behind Figure 4's ON/OFF states);
+* SRAM butterfly curves for the conventional and hybrid cells
+  (Figure 14);
+* the sleep-transistor Ron/Ioff area sweep on log-log axes
+  (Figure 17).
+
+Run:  python examples/figure_gallery.py  (takes ~1 minute)
+"""
+
+import numpy as np
+
+from repro import Circuit, dc_sweep
+from repro.devices.nemfet import Nemfet, nemfet_90nm
+from repro.experiments import fig17_sleep_transistors
+from repro.library.sram import SramSpec
+from repro.library.sram_metrics import butterfly
+from repro.report import ascii_chart
+
+
+def nemfet_hysteresis_chart() -> str:
+    params = nemfet_90nm()
+    circuit = Circuit("loop")
+    circuit.vsource("VG", "g", "0", 0.0)
+    circuit.vsource("VD", "d", "0", 1.2)
+    circuit.add(Nemfet("M1", "d", "g", "0", params, 1e-6))
+    vg = np.linspace(0.0, 0.8, 49)
+    up = dc_sweep(circuit, "VG", vg)
+    down = dc_sweep(circuit, "VG", vg[::-1], x0=up.points[-1].x)
+    i_up = np.maximum(np.abs(up.branch_current("VD")), 1e-14)
+    i_dn = np.maximum(np.abs(down.branch_current("VD"))[::-1], 1e-14)
+    return ascii_chart(
+        vg, {"sweep up": i_up, "sweep down": i_dn}, logy=True,
+        title="NEMFET transfer: pull-in/pull-out hysteresis "
+              "(I_D [A] vs V_G [V])",
+        x_label="V_G [V]", y_label="I_D")
+
+
+def butterfly_chart(variant: str) -> str:
+    curves = butterfly(SramSpec(variant=variant), points=61)
+    return ascii_chart(
+        curves.v_in,
+        {"QR = f(QL)": curves.v_right, "QL = f(QR)": curves.v_left},
+        title=f"Figure 14 butterfly ({variant}): both inverter VTCs",
+        x_label="input [V]", y_label="out [V]")
+
+
+def sleep_chart() -> str:
+    result = fig17_sleep_transistors.run(
+        area_units=(1, 2, 4, 8, 16, 32, 64), delay_budget=None)
+    area = result.column("area [units]")
+    return ascii_chart(
+        area,
+        {"Ron CMOS": result.column("Ron CMOS [ohm]"),
+         "Ron NEMS": result.column("Ron NEMS [ohm]"),
+         "Ioff CMOS [nA]": result.column("Ioff CMOS [nA]"),
+         "Ioff NEMS [nA]": result.column("Ioff NEMS [nA]")},
+        logx=True, logy=True,
+        title="Figure 17: sleep switches vs area (log-log)",
+        x_label="area [W/L=5 units]")
+
+
+def main():
+    print(nemfet_hysteresis_chart())
+    print()
+    print(butterfly_chart("conventional"))
+    print()
+    print(butterfly_chart("hybrid"))
+    print()
+    print(sleep_chart())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Design your own NEMS switch: geometry -> electromechanics -> circuit.
+
+Shows the device-physics layer of the library as a design tool:
+
+* compute stiffness / mass / pull-in analytically from beam geometry
+  and material (the paper's Figure 6a lumped model);
+* check the design against the hybrid process flow of Section 3;
+* compare the physical electromechanical model against the paper's
+  Figure 6(b) all-electrical macro-model (ref [23]) — including what
+  the macro-model loses (hysteresis);
+* try the alternative cantilever relay implementation (Figure 5).
+
+Run:  python examples/nems_device_playground.py
+"""
+
+import numpy as np
+
+from repro import Circuit, dc_sweep
+from repro.devices import mechanics
+from repro.devices.nemfet import Nemfet, NemfetParams, nemfet_90nm
+from repro.devices.relay import NanoRelay, nano_relay_default
+from repro.devices.spice_equivalent import MacroNemfet, fit_force_polynomial
+from repro.process.flow import check_gap_feasibility
+from repro.units import EPS_SIO2, format_si
+
+
+def design_custom_beam():
+    """A stiffer, faster suspended gate than the library default."""
+    geometry = mechanics.BeamGeometry(length=400e-9, width=200e-9,
+                                      thickness=35e-9,
+                                      anchor="fixed-fixed")
+    material = mechanics.ALSI
+    k = mechanics.beam_stiffness(geometry, material)
+    m = mechanics.beam_modal_mass(geometry, material)
+    gap = 1.4e-9
+    t_diel = 2e-9 / EPS_SIO2
+    area = geometry.length * geometry.width
+    print("== Custom beam design ==")
+    print(f"  stiffness : {k:.1f} N/m")
+    print(f"  f0        : {format_si(mechanics.resonant_frequency(k, m), 'Hz')}")
+    v_pi = mechanics.pull_in_voltage(k, gap, t_diel, area)
+    print(f"  pull-in   : {v_pi:.3f} V")
+    params = nemfet_90nm(stiffness=k, mass=m, gap=gap, area=area)
+    check_gap_feasibility(params)
+    print("  process   : gap within the Figure 7 sacrificial window")
+    return params
+
+
+def compare_physical_vs_macro(params: NemfetParams):
+    """Hysteresis: the physical model has it, the macro-model doesn't."""
+    print("\n== Physical model vs Figure 6(b) macro-model ==")
+    vg = np.linspace(0.0, 1.2, 49)
+
+    def loop(element_factory, label):
+        c = Circuit(label)
+        c.vsource("VG", "g", "0", 0.0)
+        c.vsource("VD", "d", "0", 1.2)
+        c.add(element_factory(c))
+        up = dc_sweep(c, "VG", vg)
+        down = dc_sweep(c, "VG", vg[::-1], x0=up.points[-1].x)
+        u_up = up.state("M1", "position")
+        u_dn = down.state("M1", "position")[::-1]
+        width = float(np.max(np.abs(u_dn - u_up)))
+        print(f"  {label:<10}: max branch separation {width:.2f} "
+              f"(of full travel)")
+        return width
+
+    w_phys = loop(lambda c: Nemfet("M1", "d", "g", "0", params, 1e-6),
+                  "physical")
+    poly = fit_force_polynomial(params)
+    w_macro = loop(lambda c: MacroNemfet("M1", "d", "g", "0", params,
+                                         1e-6, force_poly=poly),
+                   "macro")
+    print("  The polynomial f(Vg) drops the position feedback, so the "
+          "macro-model\n  loses the pull-in fold and with it the "
+          f"hysteresis ({w_macro:.2f} vs {w_phys:.2f}).")
+
+
+def try_the_relay():
+    print("\n== Cantilever relay (Figure 5 alternative) ==")
+    params = nano_relay_default(r_on=5e3)
+    print(f"  pull-in  : {params.pull_in_voltage:.3f} V")
+    print(f"  pull-out : {params.pull_out_voltage:.3f} V")
+    c = Circuit("relay")
+    c.vsource("VG", "g", "0", 0.0)
+    c.vsource("VD", "d", "0", 0.1)
+    c.add(NanoRelay("S1", "d", "g", "0", params))
+    sweep = dc_sweep(c, "VG", np.linspace(0, 1.2, 25))
+    i = -sweep.branch_current("VD")
+    print(f"  I(open)  : {format_si(float(i[0]), 'A')}")
+    print(f"  I(closed): {format_si(float(i[-1]), 'A')} "
+          f"(R_on target 5 kΩ at 100 mV)")
+
+
+def main():
+    params = design_custom_beam()
+    compare_physical_vs_macro(params)
+    try_the_relay()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Size NEMS and CMOS sleep transistors for a power-gated logic block.
+
+Reproduces the paper's Section 6 design flow on a live circuit:
+
+1. device-level Figure 17 sweep — ON resistance and OFF current vs area
+   (normalised to a W/L = 5 CMOS switch at 90 nm);
+2. block-level sizing — find the smallest sleep switch of each
+   technology that keeps the gated inverter chain within a 5% delay
+   budget, then compare sleep-mode leakage;
+3. fine- vs coarse-grain and header vs footer placement comparison
+   (Figure 16 styles).
+
+Run:  python examples/sleep_transistor_sizing.py  (takes ~2 minutes)
+"""
+
+from repro.library import sleep
+from repro.units import format_si
+
+DELAY_BUDGET = 0.05  # 5% allowed block-delay degradation
+
+
+def main():
+    print("== Device level (Figure 17) ==")
+    print(f"{'area':>5} {'Ron cmos':>10} {'Ron nems':>10} "
+          f"{'Ioff cmos':>10} {'Ioff nems':>10}")
+    for a, rc, ic, rn, i_n in sleep.sweep_sleep_devices([1, 4, 16, 64]):
+        print(f"{a:>5.0f} {rc:>8.0f} Ω {rn:>8.0f} Ω "
+              f"{format_si(ic, 'A'):>10} {format_si(i_n, 'A'):>10}")
+    print("The OFF-current gap is ~3 orders of magnitude at every "
+          "size;\nthe absolute Ron gap shrinks as 1/area.\n")
+
+    print(f"== Block level: sizing for <= {DELAY_BUDGET * 100:.0f}% "
+          f"delay degradation ==")
+    base = sleep.GatedBlockSpec()
+    d_ungated = sleep.block_delay(
+        sleep.replace_spec(base, kind="none", area_units=1.0))
+    print(f"ungated chain delay: {d_ungated * 1e12:.1f} ps")
+    sized = {}
+    for kind in ("cmos", "nems"):
+        area = sleep.size_for_delay_budget(kind, DELAY_BUDGET)
+        spec = sleep.replace_spec(base, kind=kind, area_units=area)
+        delay = sleep.block_delay(spec)
+        leak = sleep.block_sleep_leakage(spec)
+        sized[kind] = (area, delay, leak)
+        print(f"  {kind:>4}: area {area:6.1f} units, delay "
+              f"{delay * 1e12:6.1f} ps "
+              f"(+{(delay / d_ungated - 1) * 100:.1f}%), sleep leakage "
+              f"{format_si(leak, 'W')}")
+    ratio = sized["cmos"][2] / sized["nems"][2]
+    area_cost = sized["nems"][0] / sized["cmos"][0]
+    print(f"\nAt matched performance the NEMS switch leaks {ratio:.0f}x "
+          f"less,\ncosting {area_cost:.0f}x the area — the paper's "
+          f"'negligible performance\ndegradation' trade (Section 6).\n")
+
+    print("== Granularity and placement (Figure 16) ==")
+    budget = sized["nems"][0]
+    for grain in ("coarse", "fine"):
+        for header in (False, True):
+            spec = sleep.replace_spec(base, kind="nems",
+                                      area_units=budget, grain=grain,
+                                      header=header)
+            d = sleep.block_delay(spec)
+            style = ("header" if header else "footer")
+            print(f"  {grain:>6} / {style:<6}: delay "
+                  f"{d * 1e12:6.1f} ps")
+    print("Fine-grain gating splits the area budget per gate, so each "
+          "switch\nis smaller and slower — coarse-grain wins at equal "
+          "total area.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — Hybrid NEMS-CMOS circuit design and analysis library.
+
+A from-scratch reproduction of "Design and Analysis of Hybrid NEMS-CMOS
+Circuits for Ultra Low-Power Applications" (Dadgour & Banerjee, DAC 2007):
+a pure-Python MNA circuit simulator, calibrated 90 nm MOSFET and
+electromechanical NEMFET compact models, and the paper's three hybrid
+circuit applications (wide fan-in dynamic OR gates, SRAM cells, sleep
+transistors) together with every table/figure experiment.
+
+Quick start::
+
+    from repro import Circuit, dc_sweep
+    from repro.devices import Nemfet, nemfet_90nm
+
+    c = Circuit("nemfet")
+    c.vsource("VG", "g", "0", 0.0)
+    c.vsource("VD", "d", "0", 1.2)
+    c.add(Nemfet("M1", "d", "g", "0", nemfet_90nm(), width=1e-6))
+    sweep = dc_sweep(c, "VG", [0.0, 0.2, 0.4, 0.6])
+    print(sweep.state("M1", "position"))  # watch the beam pull in
+
+See ``repro.experiments`` for the per-figure reproduction entry points.
+"""
+
+from repro.circuit import Circuit
+from repro.circuit.waveforms import DC, Pulse, PiecewiseLinear, Sine
+from repro.analysis import (
+    operating_point,
+    dc_sweep,
+    transient,
+    measure,
+    NewtonOptions,
+    TransientOptions,
+)
+from repro.errors import (
+    ReproError,
+    NetlistError,
+    AnalysisError,
+    ConvergenceError,
+    TimestepError,
+    MeasurementError,
+    CalibrationError,
+    DesignError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "DC",
+    "Pulse",
+    "PiecewiseLinear",
+    "Sine",
+    "operating_point",
+    "dc_sweep",
+    "transient",
+    "measure",
+    "NewtonOptions",
+    "TransientOptions",
+    "ReproError",
+    "NetlistError",
+    "AnalysisError",
+    "ConvergenceError",
+    "TimestepError",
+    "MeasurementError",
+    "CalibrationError",
+    "DesignError",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Circuit analyses: DC operating point, DC sweeps, transient, measurement."""
+
+from repro.analysis.options import NewtonOptions, TransientOptions
+from repro.analysis.dc import operating_point, dc_sweep, OperatingPoint, DCSweepResult
+from repro.analysis.transient import transient, TransientResult
+from repro.analysis.ac import ac_analysis, ACResult
+from repro.analysis import measure
+
+__all__ = [
+    "NewtonOptions",
+    "TransientOptions",
+    "operating_point",
+    "dc_sweep",
+    "OperatingPoint",
+    "DCSweepResult",
+    "transient",
+    "TransientResult",
+    "ac_analysis",
+    "ACResult",
+    "measure",
+]

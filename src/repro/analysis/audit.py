@@ -1,0 +1,116 @@
+"""Per-element power auditing of transient results.
+
+Decomposes a transient run's energy flow element by element: for each
+accepted time point, every element's *static* terminal currents are
+re-evaluated from the stored solution and multiplied by the terminal
+voltages.  Static currents capture dissipation (channels, resistors)
+and source delivery; capacitive/inductive ``add_dot`` terms are
+excluded, so lossless storage elements audit to ~zero net energy over a
+cycle.
+
+This is the instrument behind the switching-power story of the paper's
+Figure 10: it separates the CMOS gate's keeper-contention energy from
+the capacitive energy both gate styles share — see
+``repro.experiments.ext_power_breakdown``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis import measure
+from repro.analysis.transient import TransientResult
+from repro.circuit.mna import SystemLayout
+
+
+class _ProbeContext:
+    """Stamp-context stand-in that records one element's currents.
+
+    Presents the same interface elements stamp against, with the
+    integrator disabled (``add_dot`` is recorded but contributes no
+    current) and the Jacobian ignored.
+    """
+
+    __slots__ = ("x", "t", "source_scale", "F", "_num_nodes")
+
+    def __init__(self, x_ext: np.ndarray, t: float, num_rows: int,
+                 num_nodes: int):
+        self.x = x_ext
+        self.t = t
+        self.source_scale = 1.0
+        self.F = np.zeros(num_rows + 1)
+        self._num_nodes = num_nodes
+
+    def add(self, row: int, value: float, cols, derivs) -> None:
+        self.F[row] += value
+
+    def add_dot(self, row: int, q: float, cols, derivs) -> None:
+        pass  # storage elements carry no static dissipation
+
+
+class PowerAudit:
+    """Element-wise power traces over a transient result."""
+
+    def __init__(self, result: TransientResult):
+        self.result = result
+        self.layout: SystemLayout = result.layout
+        self._powers: Dict[str, np.ndarray] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        layout = self.layout
+        circuit = layout.circuit
+        nn = layout.num_nodes
+        times = self.result.t
+        X = self.result._X
+        traces = {e.name: np.zeros(len(times))
+                  for e in circuit.elements}
+        for k, t in enumerate(times):
+            x_ext = layout.extend(X[k])
+            volts = x_ext[:nn]
+            for element in circuit.elements:
+                probe = _ProbeContext(x_ext, float(t), layout.n, nn)
+                element.load(probe)
+                # Power drawn = sum over node rows of V * I(into elem).
+                traces[element.name][k] = float(
+                    np.dot(volts, probe.F[:nn]))
+        self._powers = traces
+
+    def power(self, element_name: str) -> np.ndarray:
+        """Instantaneous power drawn by an element [W].
+
+        Positive = dissipating/absorbing; negative = delivering (as a
+        source does).
+        """
+        try:
+            return self._powers[element_name].copy()
+        except KeyError:
+            raise KeyError(
+                f"no element '{element_name}' in the audited circuit"
+            ) from None
+
+    def energy(self, element_name: str, t0: Optional[float] = None,
+               t1: Optional[float] = None) -> float:
+        """Energy drawn by an element over a window [J]."""
+        return measure.integrate(self.result.t,
+                                 self._powers[element_name], t0, t1)
+
+    def table(self, t0: Optional[float] = None,
+              t1: Optional[float] = None,
+              threshold: float = 0.0) -> List[Tuple[str, float]]:
+        """``(element, energy)`` pairs, largest consumers first."""
+        rows = [(name, self.energy(name, t0, t1))
+                for name in self._powers]
+        rows = [r for r in rows if abs(r[1]) >= threshold]
+        return sorted(rows, key=lambda r: -r[1])
+
+    def total(self, t0: Optional[float] = None,
+              t1: Optional[float] = None) -> float:
+        """Net static energy over a window [J].
+
+        Near zero when the window covers complete cycles: dissipation
+        balances source delivery (capacitors shuttle the remainder).
+        """
+        return sum(self.energy(name, t0, t1) for name in self._powers)

@@ -1,0 +1,199 @@
+"""DC operating point and swept DC analyses."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.options import HomotopyOptions, NewtonOptions
+from repro.analysis.solver import newton_solve, solve_with_homotopy
+from repro.circuit.mna import Assembler, SystemLayout
+from repro.circuit.netlist import Circuit, is_ground
+from repro.errors import ConvergenceError, NetlistError
+
+
+class OperatingPoint:
+    """A converged DC solution with named access to the unknowns."""
+
+    def __init__(self, layout: SystemLayout, x: np.ndarray,
+                 q: np.ndarray):
+        self.layout = layout
+        self.x = x
+        self.q = q
+
+    def voltage(self, node: str) -> float:
+        """Node voltage in volts (ground is 0 by definition)."""
+        if is_ground(node):
+            return 0.0
+        return float(self.x[self.layout.node_index(node)])
+
+    def branch_current(self, element_name: str) -> float:
+        """Branch current of a voltage-defined element, in amperes.
+
+        For a voltage source the current flows *into* the positive
+        terminal from the external circuit, so a source delivering power
+        reports a negative current.
+        """
+        element = self.layout.circuit[element_name]
+        if not element.branch_count:
+            raise NetlistError(
+                f"element '{element_name}' has no branch current")
+        return float(self.x[self.layout.branch_start(element)])
+
+    def state(self, element_name: str, state_name: str) -> float:
+        """Value of a device internal state (e.g. NEMFET beam position)."""
+        return float(self.x[self.layout.state_index(element_name,
+                                                    state_name)])
+
+    def source_power(self, source_name: str) -> float:
+        """Power delivered by a voltage source (positive = delivering)."""
+        element = self.layout.circuit[source_name]
+        a, b = (self.layout.node_index(n) for n in element.nodes)
+        x_ext = self.layout.extend(self.x)
+        v = x_ext[a] - x_ext[b]
+        return float(-v * self.branch_current(source_name))
+
+
+def operating_point(circuit: Circuit, *,
+                    x0: Optional[np.ndarray] = None,
+                    layout: Optional[SystemLayout] = None,
+                    newton_options: Optional[NewtonOptions] = None,
+                    homotopy: Optional[HomotopyOptions] = None
+                    ) -> OperatingPoint:
+    """Compute the DC operating point of ``circuit``.
+
+    Capacitors are open, inductors are short, and device mechanical
+    states settle to force equilibrium.  Sources are evaluated at
+    ``t = 0``.  ``x0`` provides a warm start (e.g. from a neighbouring
+    sweep point), which is what makes hysteretic NEMS sweeps follow the
+    correct branch.
+    """
+    assembler = Assembler(circuit, layout)
+    lay = assembler.layout
+
+    def make_assemble(gmin: float, source_scale: float):
+        def assemble(x):
+            return assembler.assemble(
+                x, t=0.0, source_scale=source_scale, gmin=gmin)
+        return assemble
+
+    guess = lay.x_default if x0 is None else np.asarray(x0, dtype=float)
+    try:
+        x, q, _ = solve_with_homotopy(
+            make_assemble, guess, row_tol=lay.row_tol,
+            dx_limit=lay.dx_limit, newton_options=newton_options,
+            homotopy=homotopy)
+    except ConvergenceError:
+        # Electromechanical fold (pull-in/pull-out): no static Newton path
+        # connects the branches — integrate the damped dynamics instead.
+        x = _pseudo_transient(assembler, guess, newton_options)
+        x, q, _ = solve_with_homotopy(
+            make_assemble, x, row_tol=lay.row_tol,
+            dx_limit=lay.dx_limit, newton_options=newton_options,
+            homotopy=homotopy)
+    return OperatingPoint(lay, x, q)
+
+
+def _pseudo_transient(assembler: Assembler, x0: np.ndarray,
+                      newton_options: Optional[NewtonOptions],
+                      h_start: float = 1e-12, h_final: float = 1.0,
+                      growth: float = 2.0) -> np.ndarray:
+    """Pseudo-transient continuation toward the DC solution.
+
+    Integrates the circuit's damped dynamics with a geometrically growing
+    backward-Euler step, starting from ``x0``.  This carries the solution
+    across saddle-node bifurcations (NEMS pull-in/pull-out snap-through)
+    that plain Newton homotopies cannot cross: the beam physically falls
+    to its new equilibrium.  Returns the final state, which is then
+    polished by a direct DC solve.
+    """
+    lay = assembler.layout
+    x = np.array(x0, dtype=float, copy=True)
+    _, _, q_prev = assembler.assemble(x, t=0.0)
+    h = h_start
+    failures = 0
+    while h < h_final:
+        def assemble(x_try, _h=h, _q=q_prev):
+            return assembler.assemble(x_try, t=0.0, c0=1.0 / _h,
+                                      q_prev=_q,
+                                      qdot_prev=np.zeros_like(_q))
+        try:
+            x_new, q_new, _ = newton_solve(
+                assemble, x, row_tol=lay.row_tol, dx_limit=lay.dx_limit,
+                options=newton_options)
+        except ConvergenceError:
+            failures += 1
+            h *= 0.25
+            if failures > 60 or h < 1e-18:
+                raise
+            continue
+        x, q_prev = x_new, q_new
+        h *= growth
+    return x
+
+
+class DCSweepResult:
+    """Result of a DC sweep: one operating point per sweep value."""
+
+    def __init__(self, parameter: str, values: np.ndarray,
+                 points: List[OperatingPoint]):
+        self.parameter = parameter
+        self.values = values
+        self.points = points
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Array of node voltages across the sweep."""
+        return np.array([p.voltage(node) for p in self.points])
+
+    def branch_current(self, element_name: str) -> np.ndarray:
+        """Array of branch currents across the sweep."""
+        return np.array([p.branch_current(element_name)
+                         for p in self.points])
+
+    def state(self, element_name: str, state_name: str) -> np.ndarray:
+        """Array of a device internal state across the sweep."""
+        return np.array([p.state(element_name, state_name)
+                         for p in self.points])
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def dc_sweep(circuit: Circuit, source_name: str,
+             values: Sequence[float], *,
+             layout: Optional[SystemLayout] = None,
+             newton_options: Optional[NewtonOptions] = None,
+             homotopy: Optional[HomotopyOptions] = None,
+             x0: Optional[np.ndarray] = None) -> DCSweepResult:
+    """Sweep the DC value of an independent source.
+
+    Each point warm-starts from the previous solution (continuation), so
+    hysteretic devices traverse the branch corresponding to the sweep
+    direction — sweeping a NEMFET gate up then down exposes the
+    pull-in/pull-out loop.
+
+    The source's original value is restored afterwards.
+    """
+    source = circuit[source_name]
+    if not hasattr(source, "value"):
+        raise NetlistError(
+            f"'{source_name}' is not a source with a settable value")
+    assembler = Assembler(circuit, layout)
+    lay = assembler.layout
+
+    original = source.value
+    points: List[OperatingPoint] = []
+    guess = x0
+    try:
+        for v in values:
+            source.value = float(v)
+            op = operating_point(
+                circuit, x0=guess, layout=lay,
+                newton_options=newton_options, homotopy=homotopy)
+            points.append(op)
+            guess = op.x
+    finally:
+        source.value = original
+    return DCSweepResult(source_name, np.asarray(values, dtype=float),
+                         points)

@@ -1,0 +1,180 @@
+"""Waveform measurements: crossings, delays, power and energy integrals.
+
+All functions operate on plain numpy arrays (time and signal of equal
+length), so they compose with :class:`~repro.analysis.transient.
+TransientResult` accessors and with synthetic data in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+# numpy 2.0 renamed trapz to trapezoid.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+def _validate(t: np.ndarray, y: np.ndarray) -> None:
+    t = np.asarray(t)
+    y = np.asarray(y)
+    if t.ndim != 1 or y.ndim != 1 or t.shape != y.shape:
+        raise MeasurementError(
+            f"time and signal must be equal-length 1-D arrays, got "
+            f"{t.shape} and {y.shape}")
+    if len(t) < 2:
+        raise MeasurementError("need at least two samples to measure")
+
+
+def cross_times(t, y, level: float, edge: str = "any") -> List[float]:
+    """All times where ``y`` crosses ``level``, linearly interpolated.
+
+    ``edge`` selects ``"rise"``, ``"fall"`` or ``"any"`` crossings.
+    Samples exactly at the level are treated as crossings of the
+    surrounding segment.
+    """
+    _validate(t, y)
+    if edge not in ("rise", "fall", "any"):
+        raise MeasurementError(f"unknown edge type '{edge}'")
+    t = np.asarray(t, dtype=float)
+    d = np.asarray(y, dtype=float) - level
+    crossings: List[float] = []
+    for i in range(len(d) - 1):
+        d0, d1 = d[i], d[i + 1]
+        if d0 == d1:
+            continue
+        if d0 < 0.0 <= d1:
+            direction = "rise"
+        elif d0 >= 0.0 > d1:
+            direction = "fall"
+        else:
+            continue
+        if edge != "any" and direction != edge:
+            continue
+        frac = -d0 / (d1 - d0)
+        crossings.append(float(t[i] + frac * (t[i + 1] - t[i])))
+    return crossings
+
+
+def first_cross(t, y, level: float, edge: str = "any",
+                after: float = 0.0) -> float:
+    """First crossing of ``level`` at or after time ``after``.
+
+    Raises :class:`MeasurementError` when no such crossing exists.
+    """
+    for tc in cross_times(t, y, level, edge):
+        if tc >= after:
+            return tc
+    raise MeasurementError(
+        f"signal never crosses {level} ({edge}) after t={after:.3e}s")
+
+
+def propagation_delay(t, y_from, y_to, *, level_from: float,
+                      level_to: float, edge_from: str = "any",
+                      edge_to: str = "any", after: float = 0.0) -> float:
+    """Delay from a reference-signal edge to the response-signal edge.
+
+    Measures the first ``y_from`` crossing after ``after``, then the first
+    ``y_to`` crossing after that reference instant.
+    """
+    t_ref = first_cross(t, y_from, level_from, edge_from, after)
+    t_out = first_cross(t, y_to, level_to, edge_to, t_ref)
+    return t_out - t_ref
+
+
+def rise_time(t, y, low_frac: float = 0.1, high_frac: float = 0.9,
+              vlow: Optional[float] = None,
+              vhigh: Optional[float] = None) -> float:
+    """10-90 % (by default) rise time of the first rising transition."""
+    _validate(t, y)
+    y = np.asarray(y, dtype=float)
+    lo = float(np.min(y)) if vlow is None else vlow
+    hi = float(np.max(y)) if vhigh is None else vhigh
+    span = hi - lo
+    if span <= 0:
+        raise MeasurementError("signal has no rising span")
+    t_lo = first_cross(t, y, lo + low_frac * span, "rise")
+    t_hi = first_cross(t, y, lo + high_frac * span, "rise", after=t_lo)
+    return t_hi - t_lo
+
+
+def fall_time(t, y, low_frac: float = 0.1, high_frac: float = 0.9,
+              vlow: Optional[float] = None,
+              vhigh: Optional[float] = None) -> float:
+    """90-10 % (by default) fall time of the first falling transition."""
+    _validate(t, y)
+    y = np.asarray(y, dtype=float)
+    lo = float(np.min(y)) if vlow is None else vlow
+    hi = float(np.max(y)) if vhigh is None else vhigh
+    span = hi - lo
+    if span <= 0:
+        raise MeasurementError("signal has no falling span")
+    t_hi = first_cross(t, y, lo + high_frac * span, "fall")
+    t_lo = first_cross(t, y, lo + low_frac * span, "fall", after=t_hi)
+    return t_lo - t_hi
+
+
+def integrate(t, y, t0: Optional[float] = None,
+              t1: Optional[float] = None) -> float:
+    """Trapezoidal integral of ``y`` dt over ``[t0, t1]``.
+
+    Window endpoints are interpolated, so energy measurements do not
+    depend on sample placement.
+    """
+    _validate(t, y)
+    t = np.asarray(t, dtype=float)
+    y = np.asarray(y, dtype=float)
+    a = t[0] if t0 is None else float(t0)
+    b = t[-1] if t1 is None else float(t1)
+    if b < a:
+        raise MeasurementError(f"empty window [{a}, {b}]")
+    if a < t[0] - 1e-18 or b > t[-1] + 1e-18:
+        raise MeasurementError(
+            f"window [{a:.3e}, {b:.3e}] outside data range "
+            f"[{t[0]:.3e}, {t[-1]:.3e}]")
+    # Clip to the data and interpolate the window edges.
+    a = max(a, t[0])
+    b = min(b, t[-1])
+    mask = (t > a) & (t < b)
+    ts = np.concatenate(([a], t[mask], [b]))
+    ys = np.concatenate(([np.interp(a, t, y)], y[mask],
+                         [np.interp(b, t, y)]))
+    return float(_trapezoid(ys, ts))
+
+
+def average(t, y, t0: Optional[float] = None,
+            t1: Optional[float] = None) -> float:
+    """Time-average of ``y`` over ``[t0, t1]``."""
+    _validate(t, y)
+    t = np.asarray(t, dtype=float)
+    a = t[0] if t0 is None else float(t0)
+    b = t[-1] if t1 is None else float(t1)
+    if b <= a:
+        raise MeasurementError(f"empty averaging window [{a}, {b}]")
+    return integrate(t, y, a, b) / (b - a)
+
+
+def supply_energy(result, source_name: str, t0: Optional[float] = None,
+                  t1: Optional[float] = None) -> float:
+    """Energy delivered by a voltage source over a window [J].
+
+    Positive values mean the source delivered net energy to the circuit.
+    """
+    return integrate(result.t, result.source_power(source_name), t0, t1)
+
+
+def steady_state_power(result, source_name: str,
+                       fraction: float = 0.2) -> float:
+    """Average delivered power over the trailing ``fraction`` of the run.
+
+    Used for leakage measurements: run the circuit to a quiescent state
+    and average the supply power over the final stretch.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise MeasurementError(
+            f"fraction must be in (0, 1], got {fraction}")
+    t = result.t
+    t0 = t[-1] - fraction * (t[-1] - t[0])
+    return average(t, result.source_power(source_name), t0, t[-1])

@@ -1,0 +1,70 @@
+"""Analysis option containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NewtonOptions:
+    """Controls for the damped Newton solver.
+
+    Attributes
+    ----------
+    max_iterations:
+        Iteration cap per solve attempt.
+    reltol / abstol_v:
+        Update-size convergence test: ``|dx| <= reltol*|x| + abstol_v``.
+    damping:
+        Initial step scale (1.0 = full Newton steps).
+    min_step_scale:
+        Smallest allowed backtracking scale before declaring failure.
+    """
+
+    max_iterations: int = 120
+    reltol: float = 1e-6
+    abstol_v: float = 1e-9
+    damping: float = 1.0
+    min_step_scale: float = 1e-4
+    #: Multiplies the layout's per-row residual tolerances.
+    residual_scale: float = 1.0
+
+
+@dataclass
+class HomotopyOptions:
+    """gmin- and source-stepping fallbacks for hard DC problems."""
+
+    gmin_start: float = 1e-2
+    gmin_final: float = 1e-12
+    gmin_steps_per_decade: int = 1
+    source_steps: int = 20
+
+
+@dataclass
+class TransientOptions:
+    """Controls for transient analysis.
+
+    Attributes
+    ----------
+    method:
+        ``"be"`` (backward Euler, L-stable, default) or ``"trap"``.
+    dtmin:
+        Smallest step accepted before raising
+        :class:`~repro.errors.TimestepError`.
+    adaptive:
+        When true the step grows by ``growth`` after each easy solve and
+        shrinks on Newton failures; when false a fixed step is used
+        (except for breakpoint alignment).
+    """
+
+    method: str = "be"
+    dtmin: float = 1e-18
+    adaptive: bool = True
+    growth: float = 1.4
+    shrink: float = 0.25
+    max_dt_factor: float = 8.0
+    newton: NewtonOptions = field(default_factory=NewtonOptions)
+
+    def __post_init__(self):
+        if self.method not in ("be", "trap"):
+            raise ValueError(f"unknown integration method '{self.method}'")

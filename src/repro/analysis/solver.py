@@ -1,0 +1,159 @@
+"""Damped Newton-Raphson solver for the MNA residual system.
+
+The solver expects an ``assemble(x) -> (F, J, q_now)`` callable produced
+by the analyses in :mod:`repro.analysis.dc` and
+:mod:`repro.analysis.transient`.  Robustness measures:
+
+* per-unknown update clamping (SPICE-style voltage limiting), with clamp
+  magnitudes supplied by the system layout so mechanical states get their
+  own, much smaller, limits;
+* residual-norm backtracking line search;
+* caller-driven gmin and source stepping (see :func:`solve_with_homotopy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.options import HomotopyOptions, NewtonOptions
+from repro.errors import ConvergenceError
+
+
+@dataclass
+class NewtonInfo:
+    """Diagnostics returned alongside a converged solution."""
+
+    iterations: int
+    residual_norm: float
+    converged: bool
+
+
+def _scaled_residual_norm(F: np.ndarray, row_tol: np.ndarray) -> float:
+    """Max of |F_i| / tol_i — convergence when < 1."""
+    return float(np.max(np.abs(F) / row_tol))
+
+
+def newton_solve(assemble: Callable, x0: np.ndarray, *,
+                 row_tol: np.ndarray, dx_limit: np.ndarray,
+                 options: Optional[NewtonOptions] = None
+                 ) -> Tuple[np.ndarray, np.ndarray, NewtonInfo]:
+    """Solve ``F(x) = 0`` starting from ``x0``.
+
+    Returns ``(x, q_now, info)`` where ``q_now`` is the charge-history
+    vector recorded at the accepted solution.  Raises
+    :class:`ConvergenceError` when the iteration limit is exhausted.
+    """
+    opts = options or NewtonOptions()
+    x = np.array(x0, dtype=float, copy=True)
+    tol = row_tol * opts.residual_scale
+
+    F, J, q_now = assemble(x)
+    fnorm = _scaled_residual_norm(F, tol)
+    for iteration in range(1, opts.max_iterations + 1):
+        if not np.all(np.isfinite(F)) or not np.all(np.isfinite(J)):
+            raise ConvergenceError(
+                "non-finite residual or Jacobian encountered",
+                residual_norm=float("nan"), iterations=iteration)
+        try:
+            dx = np.linalg.solve(J, -F)
+        except np.linalg.LinAlgError:
+            # Regularise a singular Jacobian slightly and retry once.
+            reg = J + 1e-12 * np.eye(J.shape[0])
+            try:
+                dx = np.linalg.solve(reg, -F)
+            except np.linalg.LinAlgError:
+                raise ConvergenceError(
+                    "singular Jacobian", residual_norm=fnorm,
+                    iterations=iteration) from None
+
+        # Per-unknown clamping keeps devices inside their trusted region.
+        clip = np.minimum(np.abs(dx), dx_limit)
+        dx = np.sign(dx) * clip
+
+        # Backtracking line search on the scaled residual norm.
+        scale = opts.damping
+        best = None
+        while scale >= opts.min_step_scale:
+            x_try = x + scale * dx
+            F_try, J_try, q_try = assemble(x_try)
+            if np.all(np.isfinite(F_try)):
+                f_try = _scaled_residual_norm(F_try, tol)
+                if best is None or f_try < best[0]:
+                    best = (f_try, x_try, F_try, J_try, q_try, scale)
+                if f_try < fnorm or f_try < 1.0:
+                    break
+            scale *= 0.5
+        if best is None:
+            raise ConvergenceError(
+                "line search produced no finite residual",
+                residual_norm=fnorm, iterations=iteration)
+        f_new, x_new, F, J, q_now, used_scale = best
+
+        step = np.abs(x_new - x)
+        x = x_new
+        fnorm = f_new
+
+        small_update = np.all(
+            step <= opts.reltol * np.abs(x) + opts.abstol_v)
+        if fnorm < 1.0 and (small_update or used_scale == opts.damping):
+            return x, q_now, NewtonInfo(iteration, fnorm, True)
+
+    raise ConvergenceError(
+        f"Newton failed to converge in {opts.max_iterations} iterations "
+        f"(scaled residual {fnorm:.3g})",
+        residual_norm=fnorm, iterations=opts.max_iterations)
+
+
+def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
+                        row_tol: np.ndarray, dx_limit: np.ndarray,
+                        newton_options: Optional[NewtonOptions] = None,
+                        homotopy: Optional[HomotopyOptions] = None
+                        ) -> Tuple[np.ndarray, np.ndarray, NewtonInfo]:
+    """DC solve with gmin-stepping and source-stepping fallbacks.
+
+    ``make_assemble(gmin, source_scale)`` must return an
+    ``assemble(x)`` callable.  The strategies are tried in order:
+
+    1. direct Newton at the target problem;
+    2. gmin stepping: solve with a large conductance to ground on every
+       node, then reduce it decade by decade, warm-starting each solve;
+    3. source stepping: ramp all independent sources from zero.
+    """
+    hopt = homotopy or HomotopyOptions()
+
+    def attempt(gmin: float, scale: float, guess: np.ndarray):
+        return newton_solve(
+            make_assemble(gmin, scale), guess,
+            row_tol=row_tol, dx_limit=dx_limit, options=newton_options)
+
+    try:
+        return attempt(0.0, 1.0, x0)
+    except ConvergenceError:
+        pass
+
+    # gmin stepping.
+    try:
+        x = np.array(x0, dtype=float, copy=True)
+        gmin = hopt.gmin_start
+        while gmin > hopt.gmin_final:
+            x, _, _ = attempt(gmin, 1.0, x)
+            gmin /= 10.0 ** (1.0 / hopt.gmin_steps_per_decade)
+        return attempt(0.0, 1.0, x)
+    except ConvergenceError:
+        pass
+
+    # Source stepping.
+    x = np.zeros_like(x0)
+    try:
+        for k in range(1, hopt.source_steps + 1):
+            scale = k / hopt.source_steps
+            x, _, _ = attempt(0.0, scale, x)
+        return attempt(0.0, 1.0, x)
+    except ConvergenceError as err:
+        raise ConvergenceError(
+            f"DC solution failed after direct, gmin and source stepping: "
+            f"{err}", residual_norm=err.residual_norm,
+            iterations=err.iterations) from err

@@ -1,0 +1,182 @@
+"""Implicit transient analysis with breakpoint-aware adaptive stepping."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.dc import OperatingPoint, operating_point
+from repro.analysis.options import NewtonOptions, TransientOptions
+from repro.analysis.solver import newton_solve
+from repro.circuit.mna import Assembler, SystemLayout
+from repro.circuit.netlist import Circuit, is_ground
+from repro.errors import ConvergenceError, NetlistError, TimestepError
+
+
+class TransientResult:
+    """Time-series solution of a transient run.
+
+    Provides named access to node voltages, branch currents and device
+    internal states as numpy arrays over the accepted time points.
+    """
+
+    def __init__(self, layout: SystemLayout, times: np.ndarray,
+                 solutions: np.ndarray):
+        self.layout = layout
+        self.t = times
+        self._X = solutions  # shape (len(t), layout.n)
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Voltage waveform of ``node`` (zeros for ground)."""
+        if is_ground(node):
+            return np.zeros_like(self.t)
+        return self._X[:, self.layout.node_index(node)].copy()
+
+    def branch_current(self, element_name: str) -> np.ndarray:
+        """Branch-current waveform of a voltage-defined element."""
+        element = self.layout.circuit[element_name]
+        if not element.branch_count:
+            raise NetlistError(
+                f"element '{element_name}' has no branch current")
+        return self._X[:, self.layout.branch_start(element)].copy()
+
+    def state(self, element_name: str, state_name: str) -> np.ndarray:
+        """Waveform of a device internal state."""
+        return self._X[:, self.layout.state_index(
+            element_name, state_name)].copy()
+
+    def source_power(self, source_name: str) -> np.ndarray:
+        """Instantaneous power delivered by a voltage source [W]."""
+        element = self.layout.circuit[source_name]
+        idx = [self.layout.node_index(n) for n in element.nodes]
+        va = (np.zeros_like(self.t) if idx[0] == self.layout.ground
+              else self._X[:, idx[0]])
+        vb = (np.zeros_like(self.t) if idx[1] == self.layout.ground
+              else self._X[:, idx[1]])
+        return -(va - vb) * self.branch_current(source_name)
+
+    def final(self) -> OperatingPoint:
+        """The last accepted solution as an :class:`OperatingPoint`."""
+        return OperatingPoint(self.layout, self._X[-1].copy(),
+                              np.zeros(0))
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+
+def _collect_breakpoints(circuit: Circuit, tstop: float) -> np.ndarray:
+    points = {0.0, tstop}
+    for element in circuit.elements:
+        for bp in element.breakpoints(tstop):
+            if 0.0 < bp < tstop:
+                points.add(float(bp))
+    return np.array(sorted(points))
+
+
+def transient(circuit: Circuit, tstop: float, dt: float, *,
+              options: Optional[TransientOptions] = None,
+              initial: Union[str, OperatingPoint] = "dc",
+              layout: Optional[SystemLayout] = None) -> TransientResult:
+    """Integrate the circuit from 0 to ``tstop``.
+
+    Parameters
+    ----------
+    tstop:
+        End time in seconds.
+    dt:
+        Nominal time step.  With ``options.adaptive`` the step may grow
+        to ``options.max_dt_factor * dt`` and shrinks automatically on
+        Newton failures; steps always land exactly on source breakpoints.
+    initial:
+        ``"dc"`` computes a DC operating point at ``t=0`` (sources at
+        their initial values); an :class:`OperatingPoint` re-uses a
+        previous solution (it must come from the same layout).
+    """
+    if tstop <= 0:
+        raise ValueError(f"tstop must be positive, got {tstop}")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    opts = options or TransientOptions()
+
+    assembler = Assembler(circuit, layout)
+    lay = assembler.layout
+
+    if isinstance(initial, OperatingPoint):
+        if initial.layout is not lay:
+            raise NetlistError(
+                "initial operating point belongs to a different layout")
+        op = initial
+    elif initial == "dc":
+        op = operating_point(circuit, layout=lay,
+                             newton_options=opts.newton)
+    else:
+        raise ValueError(f"unknown initial condition mode '{initial}'")
+
+    # Initialise charge history from the DC solution.
+    _, _, q_prev = assembler.assemble(op.x, t=0.0)
+    qdot_prev = np.zeros_like(q_prev)
+
+    breakpoints = _collect_breakpoints(circuit, tstop)
+    bp_index = 1  # breakpoints[0] == 0.0
+
+    times: List[float] = [0.0]
+    solutions: List[np.ndarray] = [op.x.copy()]
+
+    t = 0.0
+    h = dt
+    h_max = dt * opts.max_dt_factor if opts.adaptive else dt
+    x = op.x.copy()
+    # Force backward Euler for the step right after every breakpoint:
+    # trapezoidal rule rings on discontinuous source slopes.
+    force_be = True
+
+    while t < tstop - 1e-21:
+        # Clip the step to the next breakpoint and the stop time.
+        while bp_index < len(breakpoints) and breakpoints[bp_index] <= t + 1e-21:
+            bp_index += 1
+        next_bp = (breakpoints[bp_index]
+                   if bp_index < len(breakpoints) else tstop)
+        h_try = min(h, tstop - t, next_bp - t)
+        hit_bp = abs((t + h_try) - next_bp) < 1e-21
+
+        use_trap = opts.method == "trap" and not force_be
+        if use_trap:
+            c0, d1 = 2.0 / h_try, -1.0
+        else:
+            c0, d1 = 1.0 / h_try, 0.0
+        t_new = t + h_try
+
+        def assemble(x_try, _t=t_new, _c0=c0, _d1=d1):
+            return assembler.assemble(
+                x_try, t=_t, c0=_c0, d1=_d1,
+                q_prev=q_prev, qdot_prev=qdot_prev)
+
+        try:
+            x_new, q_new, info = newton_solve(
+                assemble, x, row_tol=lay.row_tol, dx_limit=lay.dx_limit,
+                options=opts.newton)
+        except ConvergenceError:
+            h *= opts.shrink
+            if h < opts.dtmin:
+                raise TimestepError(
+                    f"transient step fell below dtmin={opts.dtmin} at "
+                    f"t={t:.3e}s") from None
+            continue
+
+        # Accept the step.
+        qdot_prev = c0 * (q_new - q_prev) + (d1 * qdot_prev if d1 else 0.0)
+        q_prev = q_new
+        x = x_new
+        t = t_new
+        times.append(t)
+        solutions.append(x.copy())
+        force_be = hit_bp
+
+        if opts.adaptive:
+            if info.iterations <= 8:
+                h = min(h * opts.growth, h_max)
+            elif info.iterations > 20:
+                h = max(h * 0.5, opts.dtmin)
+
+    return TransientResult(lay, np.asarray(times), np.asarray(solutions))

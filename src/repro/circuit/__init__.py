@@ -1,0 +1,39 @@
+"""Circuit description and modified-nodal-analysis (MNA) substrate.
+
+This package provides the SPICE-like foundation the paper's experiments
+run on: a :class:`~repro.circuit.netlist.Circuit` builder, passive and
+source elements, waveform generators, and the MNA system assembler that
+turns a circuit into residual/Jacobian evaluations for the Newton solver.
+"""
+
+from repro.circuit.netlist import Circuit, GROUND_NAMES, is_ground
+from repro.circuit.elements import (
+    Element,
+    Resistor,
+    Capacitor,
+    Inductor,
+    VoltageSource,
+    CurrentSource,
+)
+from repro.circuit.waveforms import Waveform, DC, Pulse, PiecewiseLinear, Sine
+from repro.circuit.mna import SystemLayout, Assembler, StampContext
+
+__all__ = [
+    "Circuit",
+    "GROUND_NAMES",
+    "is_ground",
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Waveform",
+    "DC",
+    "Pulse",
+    "PiecewiseLinear",
+    "Sine",
+    "SystemLayout",
+    "Assembler",
+    "StampContext",
+]

@@ -1,0 +1,253 @@
+"""Basic circuit elements and the :class:`Element` stamping interface.
+
+Every element participates in modified nodal analysis (MNA) through the
+:meth:`Element.load` method, which adds the element's contribution to the
+system residual ``F(x) = 0`` and its Jacobian.  The residual rows are:
+
+* one Kirchhoff-current-law (KCL) row per non-ground node — the sum of
+  currents *leaving* the node through all elements must be zero;
+* one branch row per voltage-defined element (voltage sources, inductors);
+* element-declared internal-state rows (used by electromechanical devices).
+
+Time derivatives are expressed through :meth:`StampContext.add_dot`, which
+lets the same ``load`` implementation serve DC and transient analyses: the
+context inserts the active integration formula (nothing for DC, backward
+Euler or trapezoidal companion terms for transient).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.waveforms import Waveform, as_waveform
+from repro.errors import NetlistError
+
+
+class Element:
+    """Base class for all circuit elements.
+
+    Parameters
+    ----------
+    name:
+        Unique element name within its circuit.
+    nodes:
+        Terminal node names, in the element's canonical terminal order.
+    """
+
+    #: Number of terminals the element expects; ``None`` disables the check.
+    TERMINALS: int = None
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        if not name:
+            raise NetlistError("element name must be non-empty")
+        nodes = tuple(str(n) for n in nodes)
+        if self.TERMINALS is not None and len(nodes) != self.TERMINALS:
+            raise NetlistError(
+                f"{type(self).__name__} '{name}' needs {self.TERMINALS} "
+                f"terminals, got {len(nodes)}")
+        self.name = str(name)
+        self.nodes = nodes
+        # Resolved by bind(): extended-vector indices of the terminals.
+        self._n: Tuple[int, ...] = ()
+        # Resolved by bind(): first branch row / first state row indices.
+        self._branch0: int = -1
+        self._state0: int = -1
+
+    # -- system sizing ------------------------------------------------------
+
+    @property
+    def branch_count(self) -> int:
+        """Number of branch-current unknowns this element introduces."""
+        return 0
+
+    @property
+    def state_count(self) -> int:
+        """Number of internal-state unknowns this element introduces."""
+        return 0
+
+    def state_names(self) -> Tuple[str, ...]:
+        """Names of internal states, parallel to their unknown slots."""
+        return ()
+
+    def state_initial(self) -> np.ndarray:
+        """Initial guess for the internal states."""
+        return np.zeros(self.state_count)
+
+    def state_dx_limit(self) -> np.ndarray:
+        """Per-iteration Newton update clamp for each internal state."""
+        return np.full(self.state_count, np.inf)
+
+    # -- binding and stamping ----------------------------------------------
+
+    def bind(self, layout) -> None:
+        """Resolve node/branch/state indices against a system layout."""
+        self._n = tuple(layout.node_index(n) for n in self.nodes)
+        self._branch0 = layout.branch_start(self)
+        self._state0 = layout.state_start(self)
+
+    def load(self, ctx) -> None:
+        """Add this element's residual and Jacobian contributions."""
+        raise NotImplementedError
+
+    def breakpoints(self, tstop: float):
+        """Transient breakpoints contributed by this element."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes!r})"
+
+
+class Resistor(Element):
+    """Linear resistor between two nodes."""
+
+    TERMINALS = 2
+
+    def __init__(self, name: str, a: str, b: str, resistance: float):
+        super().__init__(name, (a, b))
+        if resistance <= 0:
+            raise NetlistError(
+                f"resistor '{name}' must have positive resistance, "
+                f"got {resistance}")
+        self.resistance = float(resistance)
+
+    def load(self, ctx) -> None:
+        a, b = self._n
+        g = 1.0 / self.resistance
+        i = g * (ctx.x[a] - ctx.x[b])
+        ctx.add(a, i, (a, b), (g, -g))
+        ctx.add(b, -i, (a, b), (-g, g))
+
+
+class Capacitor(Element):
+    """Linear capacitor between two nodes.
+
+    The optional ``ic`` initial condition is applied when transient
+    analysis is started with ``initial='ic'``.
+    """
+
+    TERMINALS = 2
+
+    def __init__(self, name: str, a: str, b: str, capacitance: float,
+                 ic: float = None):
+        super().__init__(name, (a, b))
+        if capacitance <= 0:
+            raise NetlistError(
+                f"capacitor '{name}' must have positive capacitance, "
+                f"got {capacitance}")
+        self.capacitance = float(capacitance)
+        self.ic = None if ic is None else float(ic)
+
+    def load(self, ctx) -> None:
+        a, b = self._n
+        c = self.capacitance
+        q = c * (ctx.x[a] - ctx.x[b])
+        ctx.add_dot(a, q, (a, b), (c, -c))
+        ctx.add_dot(b, -q, (a, b), (-c, c))
+
+
+class Inductor(Element):
+    """Linear inductor; introduces one branch-current unknown."""
+
+    TERMINALS = 2
+
+    def __init__(self, name: str, a: str, b: str, inductance: float,
+                 ic: float = None):
+        super().__init__(name, (a, b))
+        if inductance <= 0:
+            raise NetlistError(
+                f"inductor '{name}' must have positive inductance, "
+                f"got {inductance}")
+        self.inductance = float(inductance)
+        self.ic = None if ic is None else float(ic)
+
+    @property
+    def branch_count(self) -> int:
+        return 1
+
+    def load(self, ctx) -> None:
+        a, b = self._n
+        j = self._branch0
+        i = ctx.x[j]
+        # KCL: branch current leaves node a, enters node b.
+        ctx.add(a, i, (j,), (1.0,))
+        ctx.add(b, -i, (j,), (-1.0,))
+        # Branch equation: v(a) - v(b) - L di/dt = 0.
+        ctx.add(j, ctx.x[a] - ctx.x[b], (a, b), (1.0, -1.0))
+        ctx.add_dot(j, -self.inductance * i, (j,), (-self.inductance,))
+
+
+class VoltageSource(Element):
+    """Independent voltage source; introduces one branch-current unknown.
+
+    ``value`` may be a number (DC level) or any :class:`Waveform`.  The
+    branch current is defined as flowing *into* the positive terminal from
+    the external circuit, i.e. a source delivering power has a negative
+    branch current.
+    """
+
+    TERMINALS = 2
+
+    def __init__(self, name: str, positive: str, negative: str, value=0.0,
+                 ac: float = 0.0):
+        super().__init__(name, (positive, negative))
+        self.waveform: Waveform = as_waveform(value)
+        #: Small-signal excitation magnitude for AC analysis [V].
+        self.ac = float(ac)
+
+    @property
+    def branch_count(self) -> int:
+        return 1
+
+    @property
+    def value(self):
+        """The waveform; assign a float or a waveform to change it."""
+        return self.waveform
+
+    @value.setter
+    def value(self, new_value) -> None:
+        self.waveform = as_waveform(new_value)
+
+    def load(self, ctx) -> None:
+        a, b = self._n
+        j = self._branch0
+        i = ctx.x[j]
+        ctx.add(a, i, (j,), (1.0,))
+        ctx.add(b, -i, (j,), (-1.0,))
+        vs = ctx.source_scale * self.waveform.value(ctx.t)
+        ctx.add(j, ctx.x[a] - ctx.x[b] - vs, (a, b), (1.0, -1.0))
+
+    def breakpoints(self, tstop: float):
+        return self.waveform.breakpoints(tstop)
+
+
+class CurrentSource(Element):
+    """Independent current source from the positive to the negative node."""
+
+    TERMINALS = 2
+
+    def __init__(self, name: str, positive: str, negative: str, value=0.0,
+                 ac: float = 0.0):
+        super().__init__(name, (positive, negative))
+        self.waveform: Waveform = as_waveform(value)
+        #: Small-signal excitation magnitude for AC analysis [A].
+        self.ac = float(ac)
+
+    @property
+    def value(self):
+        return self.waveform
+
+    @value.setter
+    def value(self, new_value) -> None:
+        self.waveform = as_waveform(new_value)
+
+    def load(self, ctx) -> None:
+        a, b = self._n
+        i = ctx.source_scale * self.waveform.value(ctx.t)
+        # Current i flows out of node a (leaving), into node b.
+        ctx.add(a, i, (), ())
+        ctx.add(b, -i, (), ())
+
+    def breakpoints(self, tstop: float):
+        return self.waveform.breakpoints(tstop)

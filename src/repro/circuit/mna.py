@@ -1,0 +1,278 @@
+"""Modified nodal analysis: system layout, stamping context, assembler.
+
+The unknown vector is laid out as::
+
+    x = [ V(node_0) .. V(node_{nn-1}) | branch currents | internal states ]
+
+Internally an *extended* vector of length ``n + 1`` is used whose last
+entry is the ground voltage, pinned at zero.  Elements stamp terminal
+contributions unconditionally (including ground terminals); the ground row
+and column are simply discarded when the linear system is solved.  This
+keeps element code free of ground special-casing.
+
+Time derivatives are handled uniformly: an element calls
+:meth:`StampContext.add_dot` with a charge/flux-like quantity ``q`` and
+its partial derivatives, meaning "add ``dq/dt`` to this residual row".
+The context applies the active integration formula:
+
+* DC: no contribution (capacitors open, inductors short, states at
+  equilibrium), but ``q`` is still recorded to initialise transient runs;
+* backward Euler: ``(q - q_prev) / h``;
+* trapezoidal: ``2 (q - q_prev) / h - qdot_prev``.
+
+Charge history slots are identified by call order, which is deterministic
+because elements are loaded in netlist order and must call ``add_dot`` an
+analysis-independent number of times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit, is_ground
+from repro.errors import NetlistError
+
+#: Default KCL residual tolerance for node rows [A].
+NODE_TOL = 1e-9
+#: Default residual tolerance for branch rows [V].
+BRANCH_TOL = 1e-9
+#: Default residual tolerance for (dimensionless) state rows.
+STATE_TOL = 1e-9
+#: Default per-iteration Newton clamp for node voltages [V].
+NODE_DX_LIMIT = 0.4
+#: Default per-iteration Newton clamp for branch currents [A].
+BRANCH_DX_LIMIT = np.inf
+
+
+class SystemLayout:
+    """Index assignment for a circuit's MNA unknowns.
+
+    Attributes
+    ----------
+    n:
+        Number of unknowns (excluding the pinned ground entry).
+    ground:
+        Index of the ground entry in the extended vector (equals ``n``).
+    """
+
+    def __init__(self, circuit: Circuit):
+        circuit.validate()
+        self.circuit = circuit
+        self._node_index: Dict[str, int] = {
+            name: i for i, name in enumerate(circuit.nodes)}
+        nn = len(self._node_index)
+
+        self._branch_start: Dict[str, int] = {}
+        cursor = nn
+        for element in circuit.elements:
+            if element.branch_count:
+                self._branch_start[element.name] = cursor
+                cursor += element.branch_count
+        self.num_branches = cursor - nn
+
+        self._state_start: Dict[str, int] = {}
+        state_names: List[Tuple[str, str]] = []
+        for element in circuit.elements:
+            if element.state_count:
+                self._state_start[element.name] = cursor
+                for sname in element.state_names():
+                    state_names.append((element.name, sname))
+                cursor += element.state_count
+        self.num_states = cursor - nn - self.num_branches
+
+        self.num_nodes = nn
+        self.n = cursor
+        self.ground = cursor  # extended-vector slot pinned to zero
+        self._state_names = state_names
+
+        # Per-row residual tolerances and per-unknown Newton clamps.
+        tol = np.empty(self.n)
+        tol[:nn] = NODE_TOL
+        tol[nn:nn + self.num_branches] = BRANCH_TOL
+        dx = np.empty(self.n)
+        dx[:nn] = NODE_DX_LIMIT
+        dx[nn:nn + self.num_branches] = BRANCH_DX_LIMIT
+        x0 = np.zeros(self.n)
+        for element in circuit.elements:
+            if element.state_count:
+                s0 = self._state_start[element.name]
+                s1 = s0 + element.state_count
+                tol[s0:s1] = STATE_TOL
+                dx[s0:s1] = element.state_dx_limit()
+                x0[s0:s1] = element.state_initial()
+        self.row_tol = tol
+        self.dx_limit = dx
+        self.x_default = x0
+
+        for element in circuit.elements:
+            element.bind(self)
+
+    # -- index resolution ---------------------------------------------------
+
+    def node_index(self, name: str) -> int:
+        """Extended-vector index of a node (ground maps to the pinned slot)."""
+        if is_ground(name):
+            return self.ground
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise NetlistError(f"unknown node '{name}'") from None
+
+    def branch_start(self, element) -> int:
+        """First branch-current index of ``element`` (or -1 if none)."""
+        return self._branch_start.get(element.name, -1)
+
+    def state_start(self, element) -> int:
+        """First internal-state index of ``element`` (or -1 if none)."""
+        return self._state_start.get(element.name, -1)
+
+    def state_index(self, element_name: str, state_name: str) -> int:
+        """Index of a named internal state of a named element."""
+        element = self.circuit[element_name]
+        names = element.state_names()
+        try:
+            offset = names.index(state_name)
+        except ValueError:
+            raise NetlistError(
+                f"element '{element_name}' has no state '{state_name}' "
+                f"(has {names})") from None
+        return self._state_start[element_name] + offset
+
+    def extend(self, x: np.ndarray) -> np.ndarray:
+        """Append the pinned ground entry to a solution vector."""
+        out = np.empty(self.n + 1)
+        out[:self.n] = x
+        out[self.n] = 0.0
+        return out
+
+
+class StampContext:
+    """Mutable accumulation target passed to :meth:`Element.load`.
+
+    Attributes
+    ----------
+    x:
+        Extended solution vector (``x[layout.ground] == 0``).
+    t:
+        Evaluation time in seconds (0 for DC).
+    source_scale:
+        Homotopy multiplier applied by sources to their values.
+    """
+
+    __slots__ = ("x", "t", "source_scale", "F", "J", "c0", "d1",
+                 "q_now", "q_prev", "qdot_prev", "_qk")
+
+    def __init__(self, n: int, x_ext: np.ndarray, t: float,
+                 source_scale: float, c0: float, d1: float,
+                 q_prev: Optional[np.ndarray],
+                 qdot_prev: Optional[np.ndarray],
+                 q_capacity: int):
+        self.x = x_ext
+        self.t = t
+        self.source_scale = source_scale
+        # Extended residual/Jacobian; ground row/column discarded at solve.
+        self.F = np.zeros(n + 1)
+        self.J = np.zeros((n + 1, n + 1))
+        self.c0 = c0
+        self.d1 = d1
+        self.q_now = np.zeros(q_capacity) if q_capacity else None
+        self.q_prev = q_prev
+        self.qdot_prev = qdot_prev
+        self._qk = 0
+
+    def add(self, row: int, value: float, cols, derivs) -> None:
+        """Add a static residual term and its partial derivatives."""
+        self.F[row] += value
+        J_row = self.J[row]
+        for col, d in zip(cols, derivs):
+            J_row[col] += d
+
+    def add_dot(self, row: int, q: float, cols, derivs) -> None:
+        """Add ``d/dt`` of quantity ``q`` to residual row ``row``.
+
+        ``cols``/``derivs`` are the partials of ``q`` with respect to
+        unknowns.  Under DC (``c0 == 0``) nothing is added, but ``q`` is
+        recorded for transient initialisation.
+        """
+        k = self._qk
+        self._qk = k + 1
+        if self.q_now is None:
+            # Discovery pass: grow implicitly via list-free double buffer.
+            raise RuntimeError("StampContext created without charge slots")
+        if k >= self.q_now.shape[0]:
+            # Grow during the discovery assembly.
+            grown = np.zeros(max(16, 2 * self.q_now.shape[0]))
+            grown[:self.q_now.shape[0]] = self.q_now
+            self.q_now = grown
+        self.q_now[k] = q
+        c0 = self.c0
+        if c0 == 0.0:
+            return
+        hist = -c0 * self.q_prev[k]
+        if self.d1 != 0.0:
+            hist += self.d1 * self.qdot_prev[k]
+        self.F[row] += c0 * q + hist
+        J_row = self.J[row]
+        for col, d in zip(cols, derivs):
+            J_row[col] += c0 * d
+
+    @property
+    def charge_count(self) -> int:
+        """Number of ``add_dot`` slots used in this assembly."""
+        return self._qk
+
+
+class Assembler:
+    """Evaluates the MNA residual and Jacobian for a bound circuit."""
+
+    def __init__(self, circuit: Circuit, layout: Optional[SystemLayout] = None):
+        self.circuit = circuit
+        self.layout = layout if layout is not None else SystemLayout(circuit)
+        self._q_capacity = 16
+        self._q_count: Optional[int] = None
+
+    def assemble(self, x: np.ndarray, *, t: float = 0.0,
+                 source_scale: float = 1.0, c0: float = 0.0, d1: float = 0.0,
+                 q_prev: Optional[np.ndarray] = None,
+                 qdot_prev: Optional[np.ndarray] = None,
+                 gmin: float = 0.0):
+        """Evaluate residual ``F`` and Jacobian ``J`` at solution ``x``.
+
+        Returns ``(F, J, q_now)`` where ``F``/``J`` are restricted to the
+        non-ground unknowns and ``q_now`` holds the charge-like quantities
+        recorded by ``add_dot`` calls (for integrator history updates).
+        """
+        layout = self.layout
+        n = layout.n
+        x_ext = layout.extend(x)
+        ctx = StampContext(n, x_ext, t, source_scale, c0, d1,
+                           q_prev, qdot_prev, self._q_capacity)
+        for element in self.circuit.elements:
+            element.load(ctx)
+        if self._q_count is None:
+            self._q_count = ctx.charge_count
+            self._q_capacity = max(self._q_count, 1)
+        elif ctx.charge_count != self._q_count:
+            raise RuntimeError(
+                f"inconsistent add_dot call count: {ctx.charge_count} vs "
+                f"{self._q_count}; element load() must be "
+                f"analysis-independent")
+        F = ctx.F[:n].copy()
+        J = ctx.J[:n, :n].copy()
+        if gmin > 0.0:
+            nn = layout.num_nodes
+            F[:nn] += gmin * x[:nn]
+            J[:nn, :nn] += gmin * np.eye(nn)
+        q_now = (ctx.q_now[:self._q_count].copy()
+                 if ctx.q_now is not None else np.zeros(0))
+        return F, J, q_now
+
+    @property
+    def charge_count(self) -> int:
+        """Number of charge-history slots (discovered on first assembly)."""
+        if self._q_count is None:
+            x = self.layout.x_default
+            self.assemble(x)
+        return self._q_count

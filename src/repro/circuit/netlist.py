@@ -1,0 +1,184 @@
+"""Circuit container: a named collection of elements over a node graph."""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, List, Optional
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.errors import NetlistError
+
+#: Node names treated as the global ground reference.
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "vss!"})
+
+
+def is_ground(node: str) -> bool:
+    """Whether ``node`` names the global ground reference."""
+    return node in GROUND_NAMES
+
+
+class Circuit:
+    """A flat netlist of elements.
+
+    Nodes are created implicitly the first time an element references
+    them.  Element names must be unique.  Convenience factory methods are
+    provided for the common passive elements and sources; device models
+    (MOSFETs, NEMFETs, relays) are added with :meth:`add`.
+
+    Example
+    -------
+    >>> c = Circuit("rc")
+    >>> c.vsource("VIN", "in", "0", 1.0)
+    >>> c.resistor("R1", "in", "out", 1e3)
+    >>> c.capacitor("C1", "out", "0", 1e-12)
+    """
+
+    def __init__(self, title: str = "untitled"):
+        self.title = title
+        self.elements: List[Element] = []
+        self._by_name: Dict[str, Element] = {}
+        # Non-ground nodes in first-reference order.
+        self._node_order: List[str] = []
+        self._node_set: set = set()
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, element: Element) -> Element:
+        """Register an element; returns it for chaining."""
+        if element.name in self._by_name:
+            raise NetlistError(
+                f"duplicate element name '{element.name}' in circuit "
+                f"'{self.title}'")
+        for node in element.nodes:
+            self._register_node(node)
+        self.elements.append(element)
+        self._by_name[element.name] = element
+        return element
+
+    def _register_node(self, node: str) -> None:
+        if is_ground(node) or node in self._node_set:
+            return
+        self._node_set.add(node)
+        self._node_order.append(node)
+
+    def resistor(self, name: str, a: str, b: str, r: float) -> Resistor:
+        """Add a resistor of ``r`` ohms between ``a`` and ``b``."""
+        return self.add(Resistor(name, a, b, r))
+
+    def capacitor(self, name: str, a: str, b: str, c: float,
+                  ic: float = None) -> Capacitor:
+        """Add a capacitor of ``c`` farads between ``a`` and ``b``."""
+        return self.add(Capacitor(name, a, b, c, ic=ic))
+
+    def inductor(self, name: str, a: str, b: str, l: float,
+                 ic: float = None) -> Inductor:
+        """Add an inductor of ``l`` henries between ``a`` and ``b``."""
+        return self.add(Inductor(name, a, b, l, ic=ic))
+
+    def vsource(self, name: str, positive: str, negative: str,
+                value=0.0) -> VoltageSource:
+        """Add an independent voltage source (value or waveform)."""
+        return self.add(VoltageSource(name, positive, negative, value))
+
+    def isource(self, name: str, positive: str, negative: str,
+                value=0.0) -> CurrentSource:
+        """Add an independent current source (value or waveform)."""
+        return self.add(CurrentSource(name, positive, negative, value))
+
+    def embed(self, other: "Circuit", prefix: str,
+              node_map: Optional[Dict[str, str]] = None) -> None:
+        """Instantiate ``other`` as a subcircuit of this circuit.
+
+        Every element of ``other`` is re-registered here with its name
+        prefixed by ``prefix``; internal nodes are prefixed likewise,
+        while nodes listed in ``node_map`` are connected to this
+        circuit's nodes (the subcircuit's "ports").  Ground is always
+        shared.  The source circuit is not modified, but its elements
+        are shared by reference — embed a freshly-built circuit rather
+        than one that is also simulated standalone.
+
+        Example
+        -------
+        >>> inv = Circuit("inv")            # uses nodes in/out/vdd
+        >>> top = Circuit("top")
+        >>> top.embed(inv, "U1_", {"in": "a", "out": "b",
+        ...                        "vdd": "vdd"})
+        """
+        if not prefix:
+            raise NetlistError("embed needs a non-empty name prefix")
+        mapping = dict(node_map or {})
+
+        def translate(node: str) -> str:
+            if is_ground(node):
+                return node
+            if node in mapping:
+                return mapping[node]
+            return prefix + node
+
+        for element in other.elements:
+            clone = copy.copy(element)
+            clone.name = prefix + element.name
+            clone.nodes = tuple(translate(n) for n in element.nodes)
+            self.add(clone)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        """Non-ground node names in first-reference order."""
+        return list(self._node_order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Element:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise NetlistError(
+                f"no element named '{name}' in circuit '{self.title}'"
+            ) from None
+
+    def __iter__(self) -> Iterable[Element]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def has_node(self, node: str) -> bool:
+        """Whether ``node`` exists in this circuit (ground always does)."""
+        return is_ground(node) or node in self._node_set
+
+    def elements_of_type(self, cls) -> List[Element]:
+        """All elements that are instances of ``cls``."""
+        return [e for e in self.elements if isinstance(e, cls)]
+
+    def validate(self) -> None:
+        """Sanity-check the netlist.
+
+        Raises :class:`NetlistError` if the circuit has no ground
+        reference or contains floating single-element nodes that make the
+        MNA system singular (a node touched by only one capacitor or
+        current source has no DC path).
+        """
+        has_ground = any(
+            is_ground(n) for e in self.elements for n in e.nodes)
+        if not has_ground:
+            raise NetlistError(
+                f"circuit '{self.title}' has no connection to ground")
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-element description."""
+        lines = [f"circuit '{self.title}': {len(self.elements)} elements, "
+                 f"{len(self._node_order)} nodes"]
+        for e in self.elements:
+            lines.append(f"  {type(e).__name__:<16} {e.name:<12} "
+                         f"{' '.join(e.nodes)}")
+        return "\n".join(lines)

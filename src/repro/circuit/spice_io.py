@@ -1,0 +1,137 @@
+"""SPICE netlist export.
+
+Writes a :class:`~repro.circuit.netlist.Circuit` as a SPICE deck so
+designs built with this library can be cross-checked in an external
+simulator.  Coverage:
+
+* passives and independent sources export exactly (including PULSE /
+  PWL / SIN waveforms);
+* MOSFETs export as LEVEL=1 ``.model`` cards matched to the compact
+  model's threshold and drive anchor — a documented approximation
+  (LEVEL=1 has square-law saturation; our model is an alpha-power law),
+  adequate for topology and functionality checks, not for re-running
+  the paper's numbers;
+* electromechanical devices (NEMFET, relay, macro-model) export as
+  ``X`` subcircuit instances with a parameter comment block; their
+  ``.subckt`` bodies must come from the target simulator's
+  electromechanical library (or the Figure 6(b) RLC macro built from
+  the emitted parameters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit, is_ground
+from repro.circuit.waveforms import DC, PiecewiseLinear, Pulse, Sine, Waveform
+from repro.devices.mosfet import Mosfet
+from repro.devices.nemfet import Nemfet
+from repro.errors import NetlistError
+
+
+def _node(name: str) -> str:
+    return "0" if is_ground(name) else name
+
+
+def _waveform_card(waveform: Waveform) -> str:
+    if isinstance(waveform, DC):
+        return f"DC {waveform.level:g}"
+    if isinstance(waveform, Pulse):
+        per = "" if waveform.per is None else f" {waveform.per:g}"
+        return (f"PULSE({waveform.v1:g} {waveform.v2:g} "
+                f"{waveform.td:g} {waveform.tr:g} {waveform.tf:g} "
+                f"{waveform.pw:g}{per})")
+    if isinstance(waveform, PiecewiseLinear):
+        pts = " ".join(f"{t:g} {v:g}" for t, v in waveform.points)
+        return f"PWL({pts})"
+    if isinstance(waveform, Sine):
+        return (f"SIN({waveform.offset:g} {waveform.amplitude:g} "
+                f"{waveform.freq:g} {waveform.delay:g})")
+    raise NetlistError(
+        f"cannot export waveform type {type(waveform).__name__}")
+
+
+def _mosfet_model_card(name: str, mosfet: Mosfet) -> str:
+    p = mosfet._effective_params()
+    mtype = "NMOS" if p.polarity > 0 else "PMOS"
+    # LEVEL=1: match VTO and the saturation drive at Vgs = Vds = 1.2 V.
+    vdd = 1.2
+    vov = max(vdd - p.vth0, 0.1)
+    from repro.devices.mosfet import mosfet_current
+    i_on = abs(mosfet_current(p, 1.0, p.polarity * vdd,
+                              p.polarity * vdd, 0.0)[0])
+    kp = 2.0 * i_on * p.l_channel / (vov * vov)
+    return (f".model {name} {mtype} (LEVEL=1 VTO={p.polarity * p.vth0:g}"
+            f" KP={kp:g} LAMBDA={p.lambda_clm:g})")
+
+
+def to_spice(circuit: Circuit) -> str:
+    """Render the circuit as a SPICE deck string."""
+    lines: List[str] = [f"* {circuit.title}",
+                        "* exported by repro (hybrid NEMS-CMOS "
+                        "reproduction library)"]
+    models: Dict[tuple, str] = {}
+    model_cards: List[str] = []
+    subckts_needed = set()
+
+    for e in circuit.elements:
+        nodes = [_node(n) for n in e.nodes]
+        if isinstance(e, Resistor):
+            lines.append(f"R{e.name} {nodes[0]} {nodes[1]} "
+                         f"{e.resistance:g}")
+        elif isinstance(e, Capacitor):
+            lines.append(f"C{e.name} {nodes[0]} {nodes[1]} "
+                         f"{e.capacitance:g}")
+        elif isinstance(e, Inductor):
+            lines.append(f"L{e.name} {nodes[0]} {nodes[1]} "
+                         f"{e.inductance:g}")
+        elif isinstance(e, VoltageSource):
+            card = _waveform_card(e.waveform)
+            ac = f" AC {e.ac:g}" if getattr(e, "ac", 0.0) else ""
+            lines.append(f"V{e.name} {nodes[0]} {nodes[1]} {card}{ac}")
+        elif isinstance(e, CurrentSource):
+            card = _waveform_card(e.waveform)
+            lines.append(f"I{e.name} {nodes[0]} {nodes[1]} {card}")
+        elif isinstance(e, Mosfet):
+            key = (id(e.params), round(e.vth_shift, 9))
+            model_name = models.get(key)
+            if model_name is None:
+                model_name = f"M{'N' if e.params.polarity > 0 else 'P'}" \
+                             f"{len(models)}"
+                models[key] = model_name
+                model_cards.append(_mosfet_model_card(model_name, e))
+            lines.append(f"M{e.name} {nodes[0]} {nodes[1]} {nodes[2]} "
+                         f"{nodes[2]} {model_name} W={e.width:g} "
+                         f"L={e.params.l_channel:g}")
+        elif isinstance(e, Nemfet):
+            subckts_needed.add("NEMFET")
+            p = e.params
+            lines.append(f"X{e.name} {nodes[0]} {nodes[1]} {nodes[2]} "
+                         f"NEMFET W={e.width:g}")
+            lines.append(f"* ^ k={p.stiffness:g} m={p.mass:g} "
+                         f"Q={p.q_factor:g} gap={p.gap:g} "
+                         f"area={p.area:g} Vpi={p.pull_in_voltage:.3f}")
+        else:
+            subckts_needed.add(type(e).__name__.upper())
+            lines.append(f"X{e.name} {' '.join(nodes)} "
+                         f"{type(e).__name__.upper()}")
+
+    lines.extend(model_cards)
+    for name in sorted(subckts_needed):
+        lines.append(f"* requires external .subckt {name} "
+                     f"(electromechanical model)")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_spice(circuit: Circuit, path: str) -> None:
+    """Write the SPICE deck to a file."""
+    with open(path, "w") as handle:
+        handle.write(to_spice(circuit))

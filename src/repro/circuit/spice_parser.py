@@ -1,0 +1,152 @@
+"""SPICE netlist import (the subset :mod:`repro.circuit.spice_io` emits).
+
+Parses decks containing passives, independent sources (DC / PULSE /
+PWL / SIN, with optional ``AC`` magnitude) and comments into a
+:class:`~repro.circuit.netlist.Circuit`.  Together with ``to_spice``
+this gives a round-trip for the linear/source part of any circuit —
+device cards (``M``/``X``) are *not* reconstructed, because compact
+models cannot be recovered from LEVEL=1 approximations; the parser
+reports them so callers can decide.
+
+Intended uses: importing small reference circuits from the literature,
+and verifying that exported decks are syntactically self-consistent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import DC, PiecewiseLinear, Pulse, Sine
+from repro.errors import NetlistError
+
+#: SPICE engineering suffixes (longest match first: MEG before M).
+_SUFFIXES = (
+    ("MEG", 1e6), ("T", 1e12), ("G", 1e9), ("K", 1e3), ("M", 1e-3),
+    ("U", 1e-6), ("N", 1e-9), ("P", 1e-12), ("F", 1e-15),
+)
+
+
+def parse_number(token: str) -> float:
+    """Parse a SPICE number with optional engineering suffix/unit."""
+    text = token.strip().upper()
+    match = re.match(r"^([+-]?[0-9]*\.?[0-9]+(?:E[+-]?[0-9]+)?)"
+                     r"([A-Z]*)$", text)
+    if not match:
+        raise NetlistError(f"cannot parse SPICE number '{token}'")
+    value = float(match.group(1))
+    tail = match.group(2)
+    for suffix, scale in _SUFFIXES:
+        if tail.startswith(suffix):
+            return value * scale
+    return value
+
+
+def _parse_waveform(tokens: List[str]):
+    """Parse source value tokens into a waveform + optional AC."""
+    joined = " ".join(tokens)
+    ac = 0.0
+    ac_match = re.search(r"\bAC\s+(\S+)", joined, re.IGNORECASE)
+    if ac_match:
+        ac = parse_number(ac_match.group(1))
+        joined = joined[:ac_match.start()] + joined[ac_match.end():]
+    joined = joined.strip()
+
+    func = re.match(r"^(PULSE|PWL|SIN)\s*\((.*)\)\s*$", joined,
+                    re.IGNORECASE)
+    if func:
+        name = func.group(1).upper()
+        args = [parse_number(t) for t in func.group(2).split()]
+        if name == "PULSE":
+            if len(args) < 6:
+                raise NetlistError("PULSE needs at least 6 arguments")
+            v1, v2, td, tr, tf, pw = args[:6]
+            per = args[6] if len(args) > 6 else None
+            return Pulse(v1, v2, td=td, tr=tr, tf=tf, pw=pw,
+                         per=per), ac
+        if name == "PWL":
+            if len(args) % 2:
+                raise NetlistError("PWL needs time/value pairs")
+            points = list(zip(args[0::2], args[1::2]))
+            return PiecewiseLinear(points), ac
+        offset, amplitude, freq = args[:3]
+        delay = args[3] if len(args) > 3 else 0.0
+        return Sine(offset, amplitude, freq, delay), ac
+
+    dc_match = re.match(r"^(?:DC\s+)?(\S+)$", joined, re.IGNORECASE)
+    if dc_match and dc_match.group(1):
+        return DC(parse_number(dc_match.group(1))), ac
+    if not joined:
+        return DC(0.0), ac
+    raise NetlistError(f"cannot parse source value '{joined}'")
+
+
+@dataclass
+class ParseReport:
+    """What the parser did and what it had to skip."""
+
+    circuit: Circuit
+    skipped_cards: List[str] = field(default_factory=list)
+    model_cards: List[str] = field(default_factory=list)
+
+
+def from_spice(deck: str) -> ParseReport:
+    """Parse a SPICE deck string (see module docstring for coverage)."""
+    lines: List[str] = []
+    for raw in deck.splitlines():
+        line = raw.rstrip()
+        if line.startswith("+") and lines:
+            lines[-1] += " " + line[1:]
+        else:
+            lines.append(line)
+
+    title = "imported"
+    if lines and lines[0].startswith("*"):
+        title = lines[0].lstrip("* ").strip() or title
+    circuit = Circuit(title)
+    report = ParseReport(circuit)
+
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        upper = stripped.upper()
+        if upper.startswith(".END"):
+            break
+        if upper.startswith(".MODEL"):
+            report.model_cards.append(stripped)
+            continue
+        if upper.startswith("."):
+            report.skipped_cards.append(stripped)
+            continue
+
+        tokens = stripped.split()
+        kind = tokens[0][0].upper()
+        # Keep the full card name: "V1" and "R1" must not collide.
+        name = tokens[0]
+        try:
+            if kind == "R":
+                circuit.resistor(name, tokens[1], tokens[2],
+                                 parse_number(tokens[3]))
+            elif kind == "C":
+                circuit.capacitor(name, tokens[1], tokens[2],
+                                  parse_number(tokens[3]))
+            elif kind == "L":
+                circuit.inductor(name, tokens[1], tokens[2],
+                                 parse_number(tokens[3]))
+            elif kind == "V":
+                waveform, ac = _parse_waveform(tokens[3:])
+                src = circuit.vsource(name, tokens[1], tokens[2],
+                                      waveform)
+                src.ac = ac
+            elif kind == "I":
+                waveform, _ = _parse_waveform(tokens[3:])
+                circuit.isource(name, tokens[1], tokens[2], waveform)
+            else:
+                report.skipped_cards.append(stripped)
+        except (IndexError, NetlistError) as err:
+            raise NetlistError(
+                f"cannot parse card '{stripped}': {err}") from err
+    return report

@@ -1,0 +1,171 @@
+"""Time-domain waveform generators for independent sources.
+
+Each waveform knows its value at any time ``t`` and the list of
+*breakpoints* (instants where its derivative is discontinuous).  The
+transient engine forces time steps to land exactly on breakpoints so that
+sharp clock and input edges are never stepped over.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+class Waveform:
+    """Base class for waveforms.  Subclasses implement :meth:`value`."""
+
+    def value(self, t: float) -> float:
+        """Waveform value at time ``t`` (seconds)."""
+        raise NotImplementedError
+
+    def breakpoints(self, tstop: float) -> List[float]:
+        """Times in ``[0, tstop]`` where the waveform has slope breaks."""
+        return []
+
+    def __call__(self, t: float) -> float:
+        return self.value(t)
+
+
+class DC(Waveform):
+    """A constant value."""
+
+    def __init__(self, level: float):
+        self.level = float(level)
+
+    def value(self, t: float) -> float:
+        return self.level
+
+    def __repr__(self) -> str:
+        return f"DC({self.level})"
+
+
+class Pulse(Waveform):
+    """SPICE-style periodic trapezoidal pulse.
+
+    Parameters mirror the SPICE ``PULSE`` source: initial value ``v1``,
+    pulsed value ``v2``, delay ``td``, rise time ``tr``, fall time ``tf``,
+    pulse width ``pw`` and period ``per``.  If ``per`` is ``None`` the
+    pulse fires once and stays at ``v1`` afterwards.
+    """
+
+    def __init__(self, v1: float, v2: float, td: float = 0.0,
+                 tr: float = 1e-12, tf: float = 1e-12,
+                 pw: float = 1e-9, per: float = None):
+        if tr <= 0 or tf <= 0:
+            raise ValueError("rise/fall times must be positive")
+        if pw < 0:
+            raise ValueError("pulse width must be non-negative")
+        if per is not None and per < tr + pw + tf:
+            raise ValueError("period shorter than tr + pw + tf")
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+        self.td = float(td)
+        self.tr = float(tr)
+        self.tf = float(tf)
+        self.pw = float(pw)
+        self.per = None if per is None else float(per)
+
+    def _one_shot(self, tau: float) -> float:
+        """Value within a single period, ``tau`` measured from pulse start."""
+        if tau < 0:
+            return self.v1
+        if tau < self.tr:
+            return self.v1 + (self.v2 - self.v1) * tau / self.tr
+        tau -= self.tr
+        if tau < self.pw:
+            return self.v2
+        tau -= self.pw
+        if tau < self.tf:
+            return self.v2 + (self.v1 - self.v2) * tau / self.tf
+        return self.v1
+
+    def value(self, t: float) -> float:
+        tau = t - self.td
+        if self.per is not None and tau > 0:
+            tau = math.fmod(tau, self.per)
+        return self._one_shot(tau)
+
+    def breakpoints(self, tstop: float) -> List[float]:
+        points: List[float] = []
+        edges = (0.0, self.tr, self.tr + self.pw, self.tr + self.pw + self.tf)
+        start = self.td
+        while start <= tstop:
+            for e in edges:
+                bp = start + e
+                if 0.0 <= bp <= tstop:
+                    points.append(bp)
+            if self.per is None:
+                break
+            start += self.per
+        return points
+
+    def __repr__(self) -> str:
+        return (f"Pulse(v1={self.v1}, v2={self.v2}, td={self.td}, "
+                f"tr={self.tr}, tf={self.tf}, pw={self.pw}, per={self.per})")
+
+
+class PiecewiseLinear(Waveform):
+    """Piecewise-linear waveform through ``(time, value)`` points.
+
+    Before the first point the waveform holds the first value; after the
+    last point it holds the last value.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 1:
+            raise ValueError("PWL waveform needs at least one point")
+        times = [float(t) for t, _ in points]
+        if any(t1 >= t2 for t1, t2 in zip(times, times[1:])):
+            raise ValueError("PWL times must be strictly increasing")
+        self.points = [(float(t), float(v)) for t, v in points]
+
+    def value(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1]
+        if t >= pts[-1][0]:
+            return pts[-1][1]
+        for (t1, v1), (t2, v2) in zip(pts, pts[1:]):
+            if t1 <= t <= t2:
+                return v1 + (v2 - v1) * (t - t1) / (t2 - t1)
+        return pts[-1][1]  # unreachable, kept for safety
+
+    def breakpoints(self, tstop: float) -> List[float]:
+        return [t for t, _ in self.points if 0.0 <= t <= tstop]
+
+    def __repr__(self) -> str:
+        return f"PiecewiseLinear({self.points!r})"
+
+
+class Sine(Waveform):
+    """Sinusoid ``offset + amplitude * sin(2*pi*freq*(t - delay))``."""
+
+    def __init__(self, offset: float, amplitude: float, freq: float,
+                 delay: float = 0.0):
+        if freq <= 0:
+            raise ValueError("frequency must be positive")
+        self.offset = float(offset)
+        self.amplitude = float(amplitude)
+        self.freq = float(freq)
+        self.delay = float(delay)
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * self.freq * (t - self.delay))
+
+    def breakpoints(self, tstop: float) -> List[float]:
+        return [self.delay] if 0.0 <= self.delay <= tstop else []
+
+    def __repr__(self) -> str:
+        return (f"Sine(offset={self.offset}, amplitude={self.amplitude}, "
+                f"freq={self.freq}, delay={self.delay})")
+
+
+def as_waveform(value) -> Waveform:
+    """Coerce a float or waveform into a :class:`Waveform` instance."""
+    if isinstance(value, Waveform):
+        return value
+    return DC(float(value))

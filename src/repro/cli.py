@@ -1,0 +1,146 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig11
+    python -m repro run fig09 --quick
+    python -m repro run all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import Dict, Optional, Tuple
+
+#: experiment id -> (module, quick-mode kwargs).  Quick mode trades
+#: sweep density for runtime; both modes run real simulations.
+REGISTRY: Dict[str, Tuple[str, dict]] = {
+    "table1": ("repro.experiments.table1_devices", {}),
+    "fig01": ("repro.experiments.fig01_itrs_trend", {}),
+    "fig02": ("repro.experiments.fig02_swing_survey", {}),
+    "fig09": ("repro.experiments.fig09_keeper_tradeoff",
+              {"sigma_levels": (0.05, 0.15),
+               "keeper_widths": (0.8e-6, 2e-6, 4e-6)}),
+    "fig10": ("repro.experiments.fig10_fanout_sweep",
+              {"fan_outs": (1, 3, 5)}),
+    "fig11": ("repro.experiments.fig11_fanin_sweep",
+              {"fan_ins": (4, 8, 12)}),
+    "fig12": ("repro.experiments.fig12_pdp",
+              {"loads": (1.0,), "activities": (0.0, 0.5, 1.0)}),
+    "fig14": ("repro.experiments.fig14_butterfly", {"points": 81}),
+    "fig15": ("repro.experiments.fig15_sram_comparison", {}),
+    "fig17": ("repro.experiments.fig17_sleep_transistors",
+              {"area_units": (1, 4, 16, 64), "delay_budget": None}),
+    "resonator": ("repro.experiments.ext_resonator",
+                  {"biases": (0.15, 0.40), "points": 61}),
+    "cond-keeper": ("repro.experiments.ext_conditional_keeper", {}),
+    "fig09-mc": ("repro.experiments.ext_fig09_montecarlo",
+                 {"samples": 10}),
+    "temperature": ("repro.experiments.ext_temperature", {}),
+    "sram-array": ("repro.experiments.ext_sram_array",
+                   {"row_counts": (32, 128),
+                    "include_nems_access": False}),
+    "power-breakdown": ("repro.experiments.ext_power_breakdown",
+                        {"fan_in": 4, "fan_out": 1.0}),
+    "write": ("repro.experiments.ext_write_analysis",
+              {"variants": ("conventional", "hybrid")}),
+    "yield": ("repro.experiments.ext_yield",
+              {"variants": ("conventional", "hybrid"), "samples": 5}),
+    "corners": ("repro.experiments.ext_corners",
+                {"corners": ("TT", "SS", "FF")}),
+    "static": ("repro.experiments.ext_static_comparison",
+               {"fan_ins": (4, 12)}),
+    "thermal": ("repro.experiments.ext_thermal_runaway",
+                {"r_thermals": (20.0, 600.0)}),
+    "domino": ("repro.experiments.ext_domino",
+               {"stage_counts": (1, 2)}),
+}
+
+#: Descriptions shown by `list`.
+DESCRIPTIONS = {
+    "table1": "device I_ON/I_OFF calibration (Table 1)",
+    "fig01": "ITRS scaling vs subthreshold leakage (Figure 1)",
+    "fig02": "subthreshold swing survey (Figure 2)",
+    "fig09": "keeper delay/noise-margin trade-off (Figure 9)",
+    "fig10": "8-input OR vs fan-out (Figure 10)",
+    "fig11": "OR vs fan-in: the crossover (Figure 11)",
+    "fig12": "power-delay product vs activity (Figure 12)",
+    "fig14": "SRAM butterfly curves / SNM (Figure 14)",
+    "fig15": "SRAM latency & leakage comparison (Figure 15)",
+    "fig17": "sleep transistor Ron/Ioff vs area (Figure 17)",
+    "resonator": "[ext] RSG-MOSFET resonator (ref [22])",
+    "cond-keeper": "[ext] conditional keeper at iso-NM (ref [24])",
+    "fig09-mc": "[ext] Monte-Carlo check of the Figure 9 corners",
+    "temperature": "[ext] leakage advantage vs temperature",
+    "sram-array": "[ext] array-height reads + NEMS-access ablation",
+    "power-breakdown": "[ext] itemised switching-energy audit",
+    "write": "[ext] SRAM write margin & latency (hidden hybrid costs)",
+    "yield": "[ext] Monte-Carlo read-stability yield per cell",
+    "corners": "[ext] global corners: hybrid NM is corner-invariant",
+    "static": "[ext] static vs dynamic vs hybrid OR (Section 4.1)",
+    "thermal": "[ext] leakage-temperature feedback & runaway (ref [5])",
+    "domino": "[ext] pipeline latency: the per-stage mechanical cost",
+}
+
+
+def run_experiment(exp_id: str, quick: bool = False):
+    """Run one experiment by id and return its ExperimentResult."""
+    if exp_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment '{exp_id}' "
+            f"(known: {', '.join(sorted(REGISTRY))})")
+    module_name, quick_kwargs = REGISTRY[exp_id]
+    module = importlib.import_module(module_name)
+    kwargs = quick_kwargs if quick else {}
+    return module.run(**kwargs)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of Dadgour & "
+                    "Banerjee, 'Hybrid NEMS-CMOS Circuits', DAC 2007.")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("verify",
+                   help="run analytic self-checks of the engine")
+    runner = sub.add_parser("run", help="run an experiment")
+    runner.add_argument("experiment",
+                        help="experiment id from 'list', or 'all'")
+    runner.add_argument("--quick", action="store_true",
+                        help="reduced sweeps (faster, same shapes)")
+
+    args = parser.parse_args(argv)
+    if args.command == "verify":
+        from repro.verification import run_all
+        results = run_all(verbose=True)
+        return 0 if all(r.passed for r in results) else 3
+    if args.command == "list":
+        width = max(len(k) for k in REGISTRY)
+        for exp_id in REGISTRY:
+            print(f"  {exp_id:<{width}}  {DESCRIPTIONS[exp_id]}")
+        return 0
+    if args.command == "run":
+        targets = (list(REGISTRY) if args.experiment == "all"
+                   else [args.experiment])
+        for exp_id in targets:
+            started = time.time()
+            try:
+                result = run_experiment(exp_id, quick=args.quick)
+            except KeyError as err:
+                print(err.args[0], file=sys.stderr)
+                return 2
+            print(result.to_text())
+            print(f"   [{time.time() - started:.1f} s]\n")
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

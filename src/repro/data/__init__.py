@@ -1,0 +1,13 @@
+"""Background data sets: ITRS scaling (Figure 1) and the subthreshold
+swing survey (Figure 2)."""
+
+from repro.data.itrs import ItrsNode, ITRS_NODES, subthreshold_leakage_trend
+from repro.data.swing_survey import SWING_SURVEY, SwingEntry
+
+__all__ = [
+    "ItrsNode",
+    "ITRS_NODES",
+    "subthreshold_leakage_trend",
+    "SWING_SURVEY",
+    "SwingEntry",
+]

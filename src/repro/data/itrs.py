@@ -1,0 +1,74 @@
+"""ITRS-style technology scaling trend (the paper's Figure 1).
+
+Figure 1 plots the supply/threshold voltage scaling across nodes and the
+resulting explosion of subthreshold leakage current.  The table below
+follows the ITRS high-performance roadmap values in circulation at the
+paper's writing (2006/2007 editions); the leakage trend is regenerated
+from the standard subthreshold model::
+
+    I_off = I0 * 10 ** (-Vth / S)
+
+with the swing ``S`` degrading slightly at short channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class ItrsNode:
+    """One technology node of the scaling roadmap."""
+
+    node_nm: float   #: drawn feature size [nm]
+    year: int        #: approximate production year
+    vdd: float       #: nominal supply [V]
+    vth: float       #: nominal threshold [V]
+    swing_mv: float  #: subthreshold swing [mV/decade]
+
+
+#: High-performance logic roadmap, 250 nm through 22 nm.
+ITRS_NODES: Tuple[ItrsNode, ...] = (
+    ItrsNode(250, 1997, 2.50, 0.500, 85.0),
+    ItrsNode(180, 1999, 1.80, 0.450, 86.0),
+    ItrsNode(130, 2001, 1.30, 0.400, 88.0),
+    ItrsNode(90, 2004, 1.20, 0.350, 90.0),
+    ItrsNode(65, 2007, 1.10, 0.300, 95.0),
+    ItrsNode(45, 2010, 1.00, 0.250, 100.0),
+    ItrsNode(32, 2013, 0.90, 0.220, 105.0),
+    ItrsNode(22, 2016, 0.80, 0.200, 110.0),
+)
+
+#: Leakage prefactor chosen so the 90 nm node reproduces the paper's
+#: Table 1 CMOS I_OFF of 50 nA/um.
+_I0_90NM_ANCHOR = 50e-9 / 1e-6  # A/m at the 90 nm node
+
+
+def _prefactor() -> float:
+    ref = next(n for n in ITRS_NODES if n.node_nm == 90)
+    return _I0_90NM_ANCHOR * 10.0 ** (ref.vth / (ref.swing_mv * 1e-3))
+
+
+def subthreshold_leakage(node: ItrsNode) -> float:
+    """Subthreshold OFF current per metre of width at a node [A/m]."""
+    return _prefactor() * 10.0 ** (-node.vth / (node.swing_mv * 1e-3))
+
+
+def subthreshold_leakage_trend() -> List[Tuple[float, float, float, float]]:
+    """Figure 1 data rows: ``(node_nm, vdd, vth, i_off_per_um)``.
+
+    ``i_off_per_um`` is in amperes per micron of device width.
+    """
+    return [(n.node_nm, n.vdd, n.vth, subthreshold_leakage(n) * 1e-6)
+            for n in ITRS_NODES]
+
+
+def leakage_growth_per_generation() -> float:
+    """Geometric-mean leakage growth factor between adjacent nodes."""
+    trend = [subthreshold_leakage(n) for n in ITRS_NODES]
+    ratios = [b / a for a, b in zip(trend, trend[1:])]
+    product = 1.0
+    for r in ratios:
+        product *= r
+    return product ** (1.0 / len(ratios))

@@ -1,0 +1,52 @@
+"""Device compact models: 90 nm MOSFETs and electromechanical NEMS switches."""
+
+from repro.devices.mosfet import (
+    Mosfet,
+    MosfetParams,
+    mosfet_current,
+    nmos_90nm,
+    pmos_90nm,
+    nmos_90nm_hvt,
+    pmos_90nm_hvt,
+)
+from repro.devices.mechanics import (
+    BeamMaterial,
+    BeamGeometry,
+    ALSI,
+    POLYSILICON,
+    beam_stiffness,
+    beam_modal_mass,
+    resonant_frequency,
+    damping_coefficient,
+    pull_in_voltage,
+    pull_out_voltage,
+)
+from repro.devices.nemfet import Nemfet, NemfetParams, nemfet_90nm, pemfet_90nm
+from repro.devices.relay import NanoRelay, NanoRelayParams, nano_relay_default
+
+__all__ = [
+    "Mosfet",
+    "MosfetParams",
+    "mosfet_current",
+    "nmos_90nm",
+    "pmos_90nm",
+    "nmos_90nm_hvt",
+    "pmos_90nm_hvt",
+    "BeamMaterial",
+    "BeamGeometry",
+    "ALSI",
+    "POLYSILICON",
+    "beam_stiffness",
+    "beam_modal_mass",
+    "resonant_frequency",
+    "damping_coefficient",
+    "pull_in_voltage",
+    "pull_out_voltage",
+    "Nemfet",
+    "NemfetParams",
+    "nemfet_90nm",
+    "pemfet_90nm",
+    "NanoRelay",
+    "NanoRelayParams",
+    "nano_relay_default",
+]

@@ -1,0 +1,73 @@
+"""Overflow-safe smooth nonlinearities shared by the device models.
+
+All device equations in this library are built from these C-infinity
+primitives so that the Newton solver always sees finite, continuous
+derivatives.  Each helper returns ``(value, derivative)`` pairs where
+useful.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+#: Exponent magnitude beyond which exp() saturates to its asymptote.
+_EXP_CLIP = 45.0
+
+
+def safe_exp(x: float) -> float:
+    """exp(x) clipped to avoid overflow (saturates near x = 45)."""
+    if x > _EXP_CLIP:
+        return math.exp(_EXP_CLIP)
+    if x < -_EXP_CLIP:
+        return math.exp(-_EXP_CLIP)
+    return math.exp(x)
+
+
+def softplus(x: float) -> Tuple[float, float]:
+    """Smooth max(0, x): returns ``(log(1+exp(x)), sigmoid(x))``.
+
+    Asymptotically exact: for large ``|x|`` it returns ``x`` (slope 1) or
+    ``exp(x)`` (slope ``exp(x)``) without overflow.
+    """
+    if x > _EXP_CLIP:
+        return x, 1.0
+    if x < -_EXP_CLIP:
+        e = math.exp(x)
+        return e, e
+    e = math.exp(x)
+    return math.log1p(e), e / (1.0 + e)
+
+
+def sigmoid(x: float) -> Tuple[float, float]:
+    """Logistic function and its derivative."""
+    if x > _EXP_CLIP:
+        return 1.0, 0.0
+    if x < -_EXP_CLIP:
+        e = math.exp(x)
+        return e, e
+    e = math.exp(-abs(x))
+    s = 1.0 / (1.0 + e)
+    if x < 0:
+        s = 1.0 - s
+    return s, s * (1.0 - s)
+
+
+def smooth_tanh(x: float) -> Tuple[float, float]:
+    """tanh(x) and its derivative ``1 - tanh(x)**2``."""
+    t = math.tanh(x)
+    return t, 1.0 - t * t
+
+
+def smooth_abs(x: float, eps: float = 1e-12) -> Tuple[float, float]:
+    """sqrt(x^2 + eps^2): smooth |x| with derivative."""
+    r = math.sqrt(x * x + eps * eps)
+    return r, x / r
+
+
+def power(base: float, exponent: float) -> Tuple[float, float]:
+    """``base**exponent`` and its derivative w.r.t. ``base`` (base > 0)."""
+    if base <= 0.0:
+        raise ValueError(f"power() requires positive base, got {base}")
+    v = base ** exponent
+    return v, exponent * v / base

@@ -1,0 +1,120 @@
+"""Device characterisation: I-V families for any supported device.
+
+Produces the transfer (Id-Vg) and output (Id-Vd) curve families that
+datasheets and model-calibration reports are made of, uniformly for the
+MOSFET compact model and the electromechanical NEMFET (with its
+hysteresis branch made explicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.devices.mosfet import MosfetParams, mosfet_current
+from repro.devices.nemfet import NemfetParams
+from repro.errors import DesignError
+
+
+@dataclass
+class IVFamily:
+    """A family of I-V curves: one row of currents per fixed bias."""
+
+    kind: str                 #: "transfer" (vs Vg) or "output" (vs Vd)
+    sweep: np.ndarray         #: swept voltage axis [V]
+    fixed: np.ndarray         #: the per-curve fixed bias values [V]
+    currents: np.ndarray      #: shape (len(fixed), len(sweep)) [A]
+    label: str = ""
+
+    def curve(self, fixed_value: float) -> np.ndarray:
+        """The current row whose fixed bias is closest to the request."""
+        idx = int(np.argmin(np.abs(self.fixed - fixed_value)))
+        return self.currents[idx].copy()
+
+    def to_rows(self) -> List[tuple]:
+        """Flatten to ``(fixed, sweep, current)`` rows."""
+        rows = []
+        for i, fx in enumerate(self.fixed):
+            for j, sv in enumerate(self.sweep):
+                rows.append((float(fx), float(sv),
+                             float(self.currents[i, j])))
+        return rows
+
+
+DeviceParams = Union[MosfetParams, NemfetParams]
+
+
+def _current(params: DeviceParams, width: float, vg: float, vd: float,
+             branch: str) -> float:
+    if isinstance(params, MosfetParams):
+        return mosfet_current(params, width, vg, vd, 0.0)[0]
+    if isinstance(params, NemfetParams):
+        return params.static_current(width, vg, vd, 0.0, branch=branch)
+    raise DesignError(
+        f"cannot characterise parameters of type "
+        f"{type(params).__name__}")
+
+
+def _check_params(params: DeviceParams) -> None:
+    if not isinstance(params, (MosfetParams, NemfetParams)):
+        raise DesignError(
+            f"cannot characterise parameters of type "
+            f"{type(params).__name__}")
+
+
+def transfer_family(params: DeviceParams, width: float = 1e-6,
+                    vg: Sequence[float] = None,
+                    vd_values: Sequence[float] = (0.1, 1.2),
+                    branch: str = "up") -> IVFamily:
+    """Id-Vg curves at several drain biases.
+
+    For NEMFETs ``branch`` selects the hysteresis branch ("up" =
+    sweeping from the released state); the pull-in step appears as the
+    branch's discontinuity.
+    """
+    _check_params(params)
+    pol = params.polarity
+    if vg is None:
+        vg = np.linspace(0.0, 1.2, 61) * pol
+    vg = np.asarray(list(vg), dtype=float)
+    vd_values = np.asarray([pol * abs(v) for v in vd_values])
+    currents = np.empty((len(vd_values), len(vg)))
+    for i, vd in enumerate(vd_values):
+        for j, v in enumerate(vg):
+            currents[i, j] = _current(params, width, float(v),
+                                      float(vd), branch)
+    return IVFamily("transfer", vg, vd_values, currents,
+                    label=type(params).__name__)
+
+
+def output_family(params: DeviceParams, width: float = 1e-6,
+                  vd: Sequence[float] = None,
+                  vg_values: Sequence[float] = (0.6, 0.9, 1.2),
+                  branch: str = "auto") -> IVFamily:
+    """Id-Vd curves at several gate biases.
+
+    ``branch='auto'`` puts a NEMFET on the contact branch when its gate
+    bias exceeds pull-in (the quasi-static truth for a slow sweep).
+    """
+    _check_params(params)
+    pol = params.polarity
+    if vd is None:
+        vd = np.linspace(0.0, 1.2, 61) * pol
+    vd = np.asarray(list(vd), dtype=float)
+    vg_values = np.asarray([pol * abs(v) for v in vg_values])
+    currents = np.empty((len(vg_values), len(vd)))
+    for i, vg in enumerate(vg_values):
+        if branch == "auto" and isinstance(params, NemfetParams):
+            use = ("down" if abs(vg) >= params.pull_in_voltage
+                   else "up")
+        elif branch == "auto":
+            use = "up"
+        else:
+            use = branch
+        for j, v in enumerate(vd):
+            currents[i, j] = _current(params, width, float(vg),
+                                      float(v), use)
+    return IVFamily("output", vd, vg_values, currents,
+                    label=type(params).__name__)

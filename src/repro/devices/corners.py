@@ -1,0 +1,75 @@
+"""Global process corners for the CMOS devices.
+
+Complements the per-device statistical variation of
+:mod:`repro.devices.variation` with the classic *global* corners — all
+NMOS and all PMOS devices shifted together:
+
+========  =====================  =====================
+corner    NMOS                   PMOS
+========  =====================  =====================
+TT        typical                typical
+FF        fast (low Vt, high k)  fast
+SS        slow (high Vt, low k)  slow
+FS        fast                   slow
+SF        slow                   fast
+========  =====================  =====================
+
+NEMS devices are *not* shifted: their pull-in voltage is set by beam
+geometry and gap, which vary with different (mechanical) process
+parameters — one of the hybrid technology's robustness arguments, since
+the hybrid gate's noise margin (pinned at pull-in) is immune to the
+transistor corners that force CMOS keeper over-design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.devices.mosfet import MosfetParams
+from repro.errors import DesignError
+
+#: Corner names understood by :func:`apply_corner`.
+CORNERS = ("TT", "FF", "SS", "FS", "SF")
+
+
+@dataclass(frozen=True)
+class CornerModel:
+    """Magnitude of a global corner's parameter shifts.
+
+    ``dvth`` shifts the threshold magnitude (fast = lower), ``dk_rel``
+    scales the transconductance (fast = higher).
+    """
+
+    dvth: float = 0.04
+    dk_rel: float = 0.08
+
+    def shift(self, params: MosfetParams, fast: bool) -> MosfetParams:
+        """Shifted copy of a parameter set."""
+        sign = -1.0 if fast else +1.0
+        return replace(
+            params,
+            vth0=params.vth0 + sign * self.dvth,
+            k_trans=params.k_trans * (1.0 - sign * self.dk_rel))
+
+
+def corner_params(nmos: MosfetParams, pmos: MosfetParams, corner: str,
+                  model: CornerModel = CornerModel()
+                  ) -> Tuple[MosfetParams, MosfetParams]:
+    """NMOS/PMOS parameter sets at a named global corner."""
+    corner = corner.upper()
+    if corner not in CORNERS:
+        raise DesignError(
+            f"unknown corner '{corner}' (choose from {CORNERS})")
+    if corner == "TT":
+        return nmos, pmos
+    n_fast = corner[0] == "F"
+    p_fast = corner[1] == "F"
+    return (model.shift(nmos, n_fast), model.shift(pmos, p_fast))
+
+
+def corner_table(nmos: MosfetParams, pmos: MosfetParams,
+                 model: CornerModel = CornerModel()
+                 ) -> Dict[str, Tuple[MosfetParams, MosfetParams]]:
+    """All five corners as a name -> (nmos, pmos) mapping."""
+    return {c: corner_params(nmos, pmos, c, model) for c in CORNERS}

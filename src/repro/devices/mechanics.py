@@ -1,0 +1,171 @@
+"""Beam mechanics for suspended-gate and cantilever NEMS switches.
+
+Provides the lumped spring-mass-damper abstraction used by the NEMFET and
+nano-relay models (the paper's Figure 6a): Euler-Bernoulli bending
+stiffness for the two anchor styles, modal mass, damping from a quality
+factor, and the classic parallel-plate pull-in/pull-out voltages used to
+sanity-check device designs analytically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import EPS0, E_ALSI, E_POLYSI, RHO_ALSI, RHO_POLYSI
+
+
+@dataclass(frozen=True)
+class BeamMaterial:
+    """Structural material of the suspended electrode."""
+
+    name: str
+    youngs_modulus: float  #: [Pa]
+    density: float         #: [kg/m^3]
+
+
+#: Sputtered AlSi — the suspended-gate material of the paper's process
+#: flow (Figure 7f).
+ALSI = BeamMaterial("AlSi", E_ALSI, RHO_ALSI)
+
+#: Polysilicon, the classic surface-micromachining structural layer.
+POLYSILICON = BeamMaterial("poly-Si", E_POLYSI, RHO_POLYSI)
+
+
+@dataclass(frozen=True)
+class BeamGeometry:
+    """Rectangular beam dimensions and anchoring style.
+
+    ``anchor`` is ``"fixed-fixed"`` for the suspended-gate bridge of
+    Figure 3/4 or ``"cantilever"`` for the relay of Figure 5.
+    """
+
+    length: float     #: [m]
+    width: float      #: [m]
+    thickness: float  #: [m]
+    anchor: str = "fixed-fixed"
+
+    def __post_init__(self):
+        if min(self.length, self.width, self.thickness) <= 0:
+            raise ValueError("beam dimensions must be positive")
+        if self.anchor not in ("fixed-fixed", "cantilever"):
+            raise ValueError(f"unknown anchor style '{self.anchor}'")
+
+    @property
+    def area_moment(self) -> float:
+        """Second moment of area I = w t^3 / 12 [m^4]."""
+        return self.width * self.thickness ** 3 / 12.0
+
+    @property
+    def volume(self) -> float:
+        """Beam volume [m^3]."""
+        return self.length * self.width * self.thickness
+
+
+def beam_stiffness(geometry: BeamGeometry, material: BeamMaterial) -> float:
+    """Effective point-load bending stiffness [N/m].
+
+    Fixed-fixed centre load: ``k = 192 E I / L^3``; cantilever end load:
+    ``k = 3 E I / L^3``.
+    """
+    ei = material.youngs_modulus * geometry.area_moment
+    l3 = geometry.length ** 3
+    if geometry.anchor == "fixed-fixed":
+        return 192.0 * ei / l3
+    return 3.0 * ei / l3
+
+
+def beam_modal_mass(geometry: BeamGeometry, material: BeamMaterial) -> float:
+    """Effective modal mass of the fundamental bending mode [kg].
+
+    Standard participation factors: 0.40 of the physical mass for a
+    fixed-fixed bridge, 0.24 for a cantilever.
+    """
+    factor = 0.40 if geometry.anchor == "fixed-fixed" else 0.24
+    return factor * material.density * geometry.volume
+
+
+def resonant_frequency(stiffness: float, mass: float) -> float:
+    """Fundamental resonance f0 = sqrt(k/m) / 2pi [Hz]."""
+    if stiffness <= 0 or mass <= 0:
+        raise ValueError("stiffness and mass must be positive")
+    return math.sqrt(stiffness / mass) / (2.0 * math.pi)
+
+
+def damping_coefficient(stiffness: float, mass: float,
+                        quality_factor: float) -> float:
+    """Viscous damping c = sqrt(k m) / Q [N s/m].
+
+    Q of order 1-5 represents operation in air (squeeze-film dominated,
+    the CMOS-compatible packaging the paper assumes); Q of hundreds
+    represents vacuum packaging.
+    """
+    if quality_factor <= 0:
+        raise ValueError("quality factor must be positive")
+    return math.sqrt(stiffness * mass) / quality_factor
+
+
+def pull_in_voltage(stiffness: float, gap: float, dielectric_gap: float,
+                    area: float) -> float:
+    """Parallel-plate pull-in voltage [V].
+
+    ``gap`` is the air gap at rest, ``dielectric_gap`` the equivalent
+    air thickness of the fixed dielectric (t_ox / eps_r), ``area`` the
+    actuation overlap area.  Classic result: instability at one third of
+    the total effective gap, ``V_PI = sqrt(8 k g_eff^3 / (27 eps0 A))``.
+    """
+    if min(stiffness, gap, area) <= 0 or dielectric_gap < 0:
+        raise ValueError("stiffness, gap and area must be positive")
+    g_eff = gap + dielectric_gap
+    return math.sqrt(8.0 * stiffness * g_eff ** 3 / (27.0 * EPS0 * area))
+
+
+def pull_out_voltage(stiffness: float, gap: float, dielectric_gap: float,
+                     area: float, contact_gap: float = 0.0,
+                     adhesion_force: float = 0.0) -> float:
+    """Release (pull-out) voltage of a closed switch [V].
+
+    In contact the electrostatic force acts across the thin dielectric
+    only, so a much lower voltage sustains contact than was needed to
+    close it — the source of the hysteresis that gives NEMS memories
+    and sharp switching.  Release occurs when the spring force at full
+    travel exceeds the electrostatic force plus surface adhesion::
+
+        k (g - x_c) = eps0 A V^2 / (2 (x_c + g_d)^2) + F_adh
+
+    where ``x_c = contact_gap`` is the residual air gap in contact.
+    Returns 0 when adhesion alone holds the switch closed.
+    """
+    if min(stiffness, gap, area) <= 0 or dielectric_gap < 0:
+        raise ValueError("stiffness, gap and area must be positive")
+    restoring = stiffness * (gap - contact_gap)
+    net = restoring - adhesion_force
+    if net <= 0:
+        return 0.0
+    g_close = contact_gap + dielectric_gap
+    return math.sqrt(2.0 * net * g_close ** 2 / (EPS0 * area))
+
+
+def pull_in_travel(gap: float, dielectric_gap: float) -> float:
+    """Beam displacement at the pull-in instability [m] (g_eff / 3)."""
+    return (gap + dielectric_gap) / 3.0
+
+
+def switching_time_estimate(stiffness: float, mass: float, gap: float,
+                            dielectric_gap: float, area: float,
+                            drive_voltage: float) -> float:
+    """First-order closing-time estimate for a step drive [s].
+
+    Uses the standard strong-overdrive approximation
+    ``t_s ~ (V_PI / V) * sqrt(27 / 2) / omega0`` valid for
+    ``V >> V_PI``; near the pull-in voltage the true time diverges, so a
+    meander factor caps the estimate at 20 mechanical periods.
+    """
+    v_pi = pull_in_voltage(stiffness, gap, dielectric_gap, area)
+    if drive_voltage <= 0:
+        raise ValueError("drive voltage must be positive")
+    omega0 = math.sqrt(stiffness / mass)
+    base = math.sqrt(27.0 / 2.0) / omega0
+    ratio = v_pi / drive_voltage
+    estimate = base * ratio if ratio < 1.0 else base / max(1e-9, 1 - ratio)
+    return min(abs(estimate), 40.0 * math.pi / omega0)

@@ -1,0 +1,314 @@
+"""Smooth short-channel MOSFET compact model for the 90 nm node.
+
+The model is a single C1-continuous expression covering subthreshold,
+linear and saturation regions — the same role BSIM plays in the paper's
+HSPICE setup, reduced to the behaviours the experiments depend on:
+
+* a smooth unified overdrive ``V_ov = n v_T ln(1 + exp((V_GS-V_th)/(n v_T)))``
+  giving exponential subthreshold conduction with swing
+  ``S = n v_T ln 10 / alpha`` and a power-law strong-inversion region;
+* velocity-saturation-style output characteristic ``tanh(V_DS / V_dsat)``
+  with ``V_dsat`` proportional to the overdrive;
+* drain-induced barrier lowering (``V_th`` reduction proportional to
+  ``V_DS``) and channel-length modulation;
+* source/drain symmetry: the conducting terminal roles swap with the sign
+  of ``V_DS`` so pass-gate and access-transistor configurations work.
+
+Parameters are calibrated (see :mod:`repro.devices.calibration`) to the
+paper's Table 1 anchors for the 90 nm node: NMOS I_ON = 1110 uA/um and
+I_OFF = 50 nA/um at |Vdd| = 1.2 V.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.circuit.elements import Element
+from repro.devices.base import power, smooth_tanh, softplus
+from repro.errors import NetlistError
+from repro.units import thermal_voltage
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Compact-model parameter set.
+
+    Attributes
+    ----------
+    polarity:
+        +1 for NMOS, -1 for PMOS.
+    vth0:
+        Zero-bias threshold voltage magnitude [V].
+    n_sub:
+        Subthreshold ideality factor of the smooth overdrive.
+    alpha:
+        Velocity-saturation current exponent (alpha-power law).
+    k_trans:
+        Transconductance coefficient [A / (m * V**alpha)] per metre of
+        channel width.
+    eta_dibl:
+        DIBL coefficient: Vth reduction per volt of |V_DS|.
+    lambda_clm:
+        Channel-length modulation [1/V].
+    kappa_sat / vdsat_floor:
+        Saturation voltage ``V_dsat = kappa_sat * V_ov + vdsat_floor``.
+    c_gate_per_width:
+        Total gate capacitance per metre of width [F/m] (intrinsic at the
+        drawn channel length plus overlaps), split equally gate-source /
+        gate-drain.
+    c_junction_per_width:
+        Source/drain junction capacitance per metre of width [F/m].
+    l_channel:
+        Drawn channel length [m]; informational (capacitance is folded
+        into ``c_gate_per_width``).
+    temperature:
+        Simulation temperature [K].
+    """
+
+    polarity: int
+    vth0: float
+    n_sub: float
+    alpha: float
+    k_trans: float
+    eta_dibl: float
+    lambda_clm: float
+    kappa_sat: float
+    vdsat_floor: float
+    c_gate_per_width: float
+    c_junction_per_width: float
+    l_channel: float
+    temperature: float = 300.15
+    #: Minimum drain-source conductance per metre of width [S/m] — keeps
+    #: the Jacobian well conditioned when the device is fully off.
+    gds_min_per_width: float = 1e-9
+
+    def with_vth_shift(self, delta: float) -> "MosfetParams":
+        """A copy with the threshold magnitude shifted by ``delta`` volts."""
+        return replace(self, vth0=self.vth0 + delta)
+
+    @property
+    def subthreshold_swing(self) -> float:
+        """Nominal subthreshold swing [V/decade] at zero V_DS."""
+        return self.n_sub * thermal_voltage(self.temperature) \
+            * math.log(10.0) / self.alpha
+
+
+def _core(p: MosfetParams, vgs: float, vds: float
+          ) -> Tuple[float, float, float]:
+    """Channel current per metre width for ``vds >= 0``.
+
+    Returns ``(i, di/dvgs, di/dvds)``.
+    """
+    vt = thermal_voltage(p.temperature)
+    nvt = p.n_sub * vt
+    vth = p.vth0 - p.eta_dibl * vds
+    u = (vgs - vth) / nvt
+    sp, dsp = softplus(u)
+    vov = nvt * sp
+    dvov_dvgs = dsp
+    dvov_dvds = dsp * p.eta_dibl
+
+    vdsat = p.kappa_sat * vov + p.vdsat_floor
+    r = vds / vdsat
+    f, df_dr = smooth_tanh(r)
+    df_dvds = df_dr / vdsat
+    df_dvov = -df_dr * vds * p.kappa_sat / (vdsat * vdsat)
+
+    clm = 1.0 + p.lambda_clm * vds
+    vov_a, dvov_a = power(vov, p.alpha) if vov > 0 else (0.0, 0.0)
+    kw = p.k_trans
+
+    i = kw * vov_a * f * clm
+    di_dvov = kw * clm * (dvov_a * f + vov_a * df_dvov)
+    di_dvgs = di_dvov * dvov_dvgs
+    di_dvds = (di_dvov * dvov_dvds
+               + kw * vov_a * (df_dvds * clm + f * p.lambda_clm))
+    return i, di_dvgs, di_dvds
+
+
+def mosfet_current(p: MosfetParams, width: float, vg: float, vd: float,
+                   vs: float) -> Tuple[float, float, float, float]:
+    """Drain current and terminal derivatives of the compact model.
+
+    Returns ``(i_d, di/dvg, di/dvd, di/dvs)`` where ``i_d`` is the
+    conventional current flowing from the drain terminal through the
+    channel to the source terminal (negative for a conducting PMOS).
+    Handles both ``V_DS`` polarities by swapping terminal roles, so the
+    model is usable as a pass gate.
+    """
+    pol = p.polarity
+    vds_p = pol * (vd - vs)
+    if vds_p >= 0.0:
+        vgs_p = pol * (vg - vs)
+        i, dig, did = _core(p, vgs_p, vds_p)
+        # i flows drain->source internally; map derivative chain:
+        # vgs_p = pol*(vg - vs); vds_p = pol*(vd - vs).
+        di_dvg = pol * dig
+        di_dvd = pol * did
+        di_dvs = -pol * (dig + did)
+        sign = 1.0
+    else:
+        # Conduction reversed: the nominal drain acts as source.
+        vgs_p = pol * (vg - vd)
+        i, dig, did = _core(p, vgs_p, -vds_p)
+        # vds_roles = pol*(vs - vd); current flows s->d internally.
+        di_dvg = pol * dig
+        di_dvd = -pol * (dig + did)
+        di_dvs = pol * did
+        sign = -1.0
+
+    w = width
+    id_total = sign * pol * i * w
+    d_vg = sign * pol * di_dvg * w
+    d_vd = sign * pol * di_dvd * w
+    d_vs = sign * pol * di_dvs * w
+
+    # Parallel minimum conductance for numerical conditioning.
+    g_min = p.gds_min_per_width * w
+    id_total += g_min * (vd - vs)
+    d_vd += g_min
+    d_vs -= g_min
+    return id_total, d_vg, d_vd, d_vs
+
+
+class Mosfet(Element):
+    """Three-terminal MOSFET (drain, gate, source); body tied to source.
+
+    The ``vth_shift`` attribute adds to the threshold magnitude and is the
+    hook used by :mod:`repro.devices.variation` for process-variation
+    studies (positive shifts always weaken the device, for either
+    polarity).
+    """
+
+    TERMINALS = 3
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 params: MosfetParams, width: float,
+                 vth_shift: float = 0.0):
+        super().__init__(name, (drain, gate, source))
+        if width <= 0:
+            raise NetlistError(
+                f"mosfet '{name}' needs positive width, got {width}")
+        self.params = params
+        self.width = float(width)
+        self.vth_shift = float(vth_shift)
+
+    def _effective_params(self) -> MosfetParams:
+        if self.vth_shift == 0.0:
+            return self.params
+        return self.params.with_vth_shift(self.vth_shift)
+
+    def load(self, ctx) -> None:
+        d, g, s = self._n
+        x = ctx.x
+        p = self._effective_params()
+        i, di_g, di_d, di_s = mosfet_current(
+            p, self.width, x[g], x[d], x[s])
+        cols = (g, d, s)
+        ctx.add(d, i, cols, (di_g, di_d, di_s))
+        ctx.add(s, -i, cols, (-di_g, -di_d, -di_s))
+
+        # Gate-source and gate-drain capacitances (half of total each).
+        cg = 0.5 * p.c_gate_per_width * self.width
+        qgs = cg * (x[g] - x[s])
+        ctx.add_dot(g, qgs, (g, s), (cg, -cg))
+        ctx.add_dot(s, -qgs, (g, s), (-cg, cg))
+        qgd = cg * (x[g] - x[d])
+        ctx.add_dot(g, qgd, (g, d), (cg, -cg))
+        ctx.add_dot(d, -qgd, (g, d), (-cg, cg))
+
+        # Drain junction capacitance to the source/body terminal.
+        cj = p.c_junction_per_width * self.width
+        qdb = cj * (x[d] - x[s])
+        ctx.add_dot(d, qdb, (d, s), (cj, -cj))
+        ctx.add_dot(s, -qdb, (d, s), (-cj, cj))
+
+    # -- characterisation helpers -------------------------------------------
+
+    def drain_current(self, vg: float, vd: float, vs: float) -> float:
+        """Drain current at the given terminal voltages [A]."""
+        return mosfet_current(self._effective_params(), self.width,
+                              vg, vd, vs)[0]
+
+    def gate_capacitance(self) -> float:
+        """Total gate capacitance [F]."""
+        return self.params.c_gate_per_width * self.width
+
+
+# ---------------------------------------------------------------------------
+# 90 nm parameter factories (calibrated to the paper's Table 1; see
+# repro.devices.calibration and tests/test_calibration.py).
+# ---------------------------------------------------------------------------
+
+#: Nominal supply voltage of the 90 nm node used throughout the paper [V].
+VDD_90NM = 1.2
+
+# Calibration anchors from Table 1 of the paper (per micron of width).
+NMOS_ION_TARGET = 1110e-6 / 1e-6  # [A/m]
+NMOS_IOFF_TARGET = 50e-9 / 1e-6   # [A/m]
+# PMOS drive is ~45% of NMOS at matched leakage (typical 90 nm ratio).
+PMOS_ION_TARGET = 500e-6 / 1e-6
+PMOS_IOFF_TARGET = 50e-9 / 1e-6
+
+# Values produced by repro.devices.calibration.fit_mosfet against the
+# anchors above (regenerated by tests/test_calibration.py).
+_NMOS_VTH0 = 0.283990
+_NMOS_K = 1.082822e3   # A/(m V^alpha)
+_PMOS_VTH0 = 0.257497
+_PMOS_K = 4.740000e2
+
+#: Threshold increase of the high-Vt flavour used by dual-Vt / asymmetric
+#: SRAM cells [V] (~9x leakage reduction at the 90 nm effective swing).
+HVT_SHIFT = 0.07
+
+
+def nmos_90nm(**overrides) -> MosfetParams:
+    """Calibrated 90 nm NMOS parameters (Table 1 anchors)."""
+    base = MosfetParams(
+        polarity=+1,
+        vth0=_NMOS_VTH0,
+        n_sub=1.6,
+        alpha=1.3,
+        k_trans=_NMOS_K,
+        eta_dibl=0.08,
+        lambda_clm=0.06,
+        kappa_sat=0.6,
+        vdsat_floor=0.078,
+        c_gate_per_width=1.5e-9,      # 1.5 fF/um
+        c_junction_per_width=0.4e-9,  # 0.4 fF/um
+        l_channel=90e-9,
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+def pmos_90nm(**overrides) -> MosfetParams:
+    """Calibrated 90 nm PMOS parameters."""
+    base = MosfetParams(
+        polarity=-1,
+        vth0=_PMOS_VTH0,
+        n_sub=1.6,
+        alpha=1.3,
+        k_trans=_PMOS_K,
+        eta_dibl=0.08,
+        lambda_clm=0.06,
+        kappa_sat=0.6,
+        vdsat_floor=0.078,
+        c_gate_per_width=1.5e-9,
+        c_junction_per_width=0.8e-9,
+        l_channel=90e-9,
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+def nmos_90nm_hvt(**overrides) -> MosfetParams:
+    """High-threshold NMOS flavour (dual-Vt designs, ref [25]/[26])."""
+    params = nmos_90nm().with_vth_shift(HVT_SHIFT)
+    return replace(params, **overrides) if overrides else params
+
+
+def pmos_90nm_hvt(**overrides) -> MosfetParams:
+    """High-threshold PMOS flavour (dual-Vt designs, ref [25]/[26])."""
+    params = pmos_90nm().with_vth_shift(HVT_SHIFT)
+    return replace(params, **overrides) if overrides else params

@@ -1,0 +1,408 @@
+"""Electromechanical suspended-gate MOSFET (NEMFET) compact model.
+
+Implements the device of the paper's Figures 3/4: a conductive beam
+suspended over the gate dielectric.  Applying gate bias pulls the beam
+down electrostatically; past the pull-in voltage it snaps into contact
+with the dielectric and the underlying MOS channel turns on with
+near-full gate coupling.  Releasing requires a much lower voltage
+(pull-out), giving the abrupt, hysteretic transfer characteristic —
+effective subthreshold swings of ~2 mV/decade [12] — that motivates the
+hybrid NEMS-CMOS circuits.
+
+The mechanical degree of freedom is *part of the MNA system*: the beam's
+normalised position ``u`` (0 = rest, 1 = contact) and velocity ``w`` are
+internal-state unknowns, so the electromechanical coupling is solved
+implicitly together with the circuit by the same Newton iteration.
+Equations (normalised, ``omega0 = sqrt(k/m)``)::
+
+    d(u)/dt / omega0 = w
+    d(w)/dt / omega0 = -w/Q - u - F_pen(u) + F_e(V_GS, u)     (x k g0)
+
+with a smooth stiff-penalty contact force ``F_pen`` and the parallel-plate
+electrostatic force ``F_e = eps0 A V^2 / (2 (g_gap + g_d)^2)`` where
+``g_d`` is the dielectric's equivalent air thickness.  The channel uses
+the same smooth MOSFET core with the gate drive scaled by the capacitive
+divider ``kappa(u) = g_d / (g_gap(u) + g_d)``, plus a floor leakage
+(Brownian-motion / tunnelling currents, refs [17]-[18]) calibrated to
+Table 1's NEMS I_OFF of 110 pA/um.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.elements import Element
+from repro.devices import mechanics
+from repro.devices.base import sigmoid, smooth_tanh, softplus
+from repro.devices.mosfet import MosfetParams, mosfet_current, nmos_90nm
+from repro.errors import DesignError, NetlistError
+from repro.units import EPS0, EPS_SIO2
+
+
+@dataclass(frozen=True)
+class NemfetParams:
+    """NEMFET parameter set: beam mechanics plus channel electronics.
+
+    Attributes
+    ----------
+    channel:
+        MOSFET core parameters of the underlying channel (its
+        ``c_gate_per_width`` is ignored — the air-gap capacitor replaces
+        it).
+    stiffness / mass / q_factor:
+        Lumped beam spring constant [N/m], modal mass [kg], quality
+        factor (dimensionless).
+    gap:
+        Air gap at rest [m].
+    dielectric_gap:
+        Equivalent air thickness of the gate dielectric, t_ox/eps_r [m].
+    area:
+        Electrostatic actuation overlap area [m^2].
+    i_floor_per_width:
+        OFF-state floor leakage per metre of width [A/m].
+    k_penalty / s_penalty:
+        Normalised contact-penalty stiffness and smoothing width.
+    s_gap:
+        Normalised smoothing of the gap clamp (keeps ``g_gap > 0``).
+    """
+
+    channel: MosfetParams
+    stiffness: float
+    mass: float
+    q_factor: float
+    gap: float
+    dielectric_gap: float
+    area: float
+    i_floor_per_width: float
+    k_penalty: float = 2000.0
+    s_penalty: float = 0.01
+    s_gap: float = 0.02
+    c_junction_per_width: float = 0.4e-9
+
+    def __post_init__(self):
+        for label, v in (("stiffness", self.stiffness), ("mass", self.mass),
+                         ("q_factor", self.q_factor), ("gap", self.gap),
+                         ("area", self.area),
+                         ("dielectric_gap", self.dielectric_gap)):
+            if v <= 0:
+                raise DesignError(f"NEMFET {label} must be positive, got {v}")
+
+    @property
+    def polarity(self) -> int:
+        """+1 for an n-channel NEMFET, -1 for p-channel."""
+        return self.channel.polarity
+
+    @property
+    def omega0(self) -> float:
+        """Mechanical angular resonance sqrt(k/m) [rad/s]."""
+        return math.sqrt(self.stiffness / self.mass)
+
+    @property
+    def resonant_frequency(self) -> float:
+        """Mechanical resonance frequency [Hz]."""
+        return self.omega0 / (2.0 * math.pi)
+
+    @property
+    def pull_in_voltage(self) -> float:
+        """Analytic parallel-plate pull-in voltage [V]."""
+        return mechanics.pull_in_voltage(
+            self.stiffness, self.gap, self.dielectric_gap, self.area)
+
+    @property
+    def pull_out_voltage(self) -> float:
+        """Analytic release voltage [V] (residual contact gap included)."""
+        contact_gap = self.s_gap * math.log(2.0) * self.gap
+        return mechanics.pull_out_voltage(
+            self.stiffness, self.gap, self.dielectric_gap, self.area,
+            contact_gap=contact_gap)
+
+    # -- normalised force terms ---------------------------------------------
+
+    def gap_distance(self, u: float) -> Tuple[float, float]:
+        """Smoothly clamped air gap [m] and d(gap)/du at position ``u``."""
+        s = self.s_gap
+        sp, dsp = softplus((1.0 - u) / s)
+        return self.gap * s * sp, -self.gap * dsp
+
+    def coupling(self, u: float) -> Tuple[float, float]:
+        """Gate coupling factor kappa(u) in (0, 1] and dkappa/du."""
+        g_gap, dg = self.gap_distance(u)
+        g_d = self.dielectric_gap
+        g_eff = g_gap + g_d
+        kappa = g_d / g_eff
+        dkappa = -g_d / (g_eff * g_eff) * dg
+        return kappa, dkappa
+
+    def force_electrostatic_hat(self, vgb: float, u: float
+                                ) -> Tuple[float, float, float]:
+        """Normalised electrostatic force and partials (d/dvgb, d/du).
+
+        Normalisation: the spring force at full travel, ``k * gap``.
+        """
+        g_gap, dg = self.gap_distance(u)
+        g_eff = g_gap + self.dielectric_gap
+        norm = self.stiffness * self.gap
+        pref = EPS0 * self.area / (2.0 * g_eff * g_eff * norm)
+        f = pref * vgb * vgb
+        df_dv = 2.0 * pref * vgb
+        df_du = -2.0 * f / g_eff * dg
+        return f, df_dv, df_du
+
+    def force_penalty_hat(self, u: float) -> Tuple[float, float]:
+        """Normalised smooth contact-penalty force and d/du."""
+        s = self.s_penalty
+        sp, dsp = softplus((u - 1.0) / s)
+        return self.k_penalty * s * sp, self.k_penalty * dsp
+
+    # -- static characterisation --------------------------------------------
+
+    def equilibrium_positions(self, vgb: float,
+                              u_max: float = 1.2,
+                              samples: int = 400) -> List[float]:
+        """All static equilibria of the beam at gate bias ``vgb``.
+
+        Scans the normalised force balance for sign changes and refines
+        by bisection.  Below pull-in (and above pull-out) three equilibria
+        exist: stable up-state, unstable middle, stable contact.
+        """
+        def balance(u: float) -> float:
+            f_e = self.force_electrostatic_hat(vgb, u)[0]
+            f_p = self.force_penalty_hat(u)[0]
+            return u + f_p - f_e
+
+        grid = np.linspace(-0.05, u_max, samples)
+        values = np.array([balance(float(u)) for u in grid])
+        roots: List[float] = []
+        for i in range(len(grid) - 1):
+            if values[i] == 0.0:
+                roots.append(float(grid[i]))
+            elif values[i] * values[i + 1] < 0.0:
+                lo, hi = float(grid[i]), float(grid[i + 1])
+                for _ in range(60):
+                    mid = 0.5 * (lo + hi)
+                    if balance(lo) * balance(mid) <= 0.0:
+                        hi = mid
+                    else:
+                        lo = mid
+                roots.append(0.5 * (lo + hi))
+        return roots
+
+    def static_position(self, vgb: float, branch: str = "up") -> float:
+        """Stable beam position on the requested hysteresis branch.
+
+        ``branch='up'`` follows the released state until pull-in;
+        ``branch='down'`` follows the contact state until pull-out.
+        """
+        roots = self.equilibrium_positions(vgb)
+        if not roots:
+            raise DesignError(
+                f"no static equilibrium at vgb={vgb} (model error)")
+        if branch == "up":
+            return roots[0]
+        if branch == "down":
+            return roots[-1]
+        raise ValueError(f"unknown branch '{branch}'")
+
+    def static_current(self, width: float, vg: float, vd: float,
+                       vs: float, branch: str = "up") -> float:
+        """Static drain current with the beam at its equilibrium [A]."""
+        u = self.static_position(vg - vs, branch)
+        return _channel_current(self, width, vg, vd, vs, u)[0]
+
+    def softened_frequency(self, vgb: float,
+                           branch: str = "up") -> float:
+        """Bias-dependent mechanical resonance [Hz].
+
+        The electrostatic force gradient acts as a negative spring:
+        at the equilibrium position ``u*`` the effective stiffness is
+        ``k_eff = k (1 + dF_pen/du - dF_e/du)`` and the small-signal
+        resonance is ``f0 sqrt(k_eff / k)``.  Approaching pull-in on
+        the released branch, ``k_eff -> 0`` and the resonance tunes to
+        zero — the RSG-MOSFET tuning law of the paper's ref [22].
+        """
+        u = self.static_position(vgb, branch)
+        _, _, df_du = self.force_electrostatic_hat(vgb, u)
+        _, dfp_du = self.force_penalty_hat(u)
+        k_eff_hat = 1.0 + dfp_du - df_du
+        if k_eff_hat <= 0:
+            return 0.0
+        return self.resonant_frequency * math.sqrt(k_eff_hat)
+
+
+def _channel_current(p: NemfetParams, width: float, vg: float, vd: float,
+                     vs: float, u: float):
+    """Drain current with partials (d/dvg, d/dvd, d/dvs, d/du)."""
+    kappa, dkappa = p.coupling(u)
+    vg_virtual = vs + kappa * (vg - vs)
+    i, di_dvgv, di_dvd, di_dvs_v = mosfet_current(
+        p.channel, width, vg_virtual, vd, vs)
+    di_dvg = di_dvgv * kappa
+    di_dvs = di_dvs_v + di_dvgv * (1.0 - kappa)
+    di_du = di_dvgv * (vg - vs) * dkappa
+
+    # Floor leakage: Brownian displacement + tunnelling currents.
+    v_scale = 0.1
+    th, dth = smooth_tanh((vd - vs) / v_scale)
+    i_fl = p.i_floor_per_width * width
+    i += i_fl * th
+    di_dvd += i_fl * dth / v_scale
+    di_dvs -= i_fl * dth / v_scale
+    return i, di_dvg, di_dvd, di_dvs, di_du
+
+
+class Nemfet(Element):
+    """Three-terminal suspended-gate NEMFET (drain, gate, source).
+
+    Adds two internal MNA states: normalised beam position ``u`` and
+    velocity ``w``.  ``initial_contact=True`` starts the beam in the
+    closed state (used to initialise hysteresis-branch analyses).
+    """
+
+    TERMINALS = 3
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 params: NemfetParams, width: float,
+                 initial_contact: bool = False):
+        super().__init__(name, (drain, gate, source))
+        if width <= 0:
+            raise NetlistError(
+                f"nemfet '{name}' needs positive width, got {width}")
+        self.params = params
+        self.width = float(width)
+        self.initial_contact = bool(initial_contact)
+
+    @property
+    def state_count(self) -> int:
+        return 2
+
+    def state_names(self) -> Tuple[str, ...]:
+        return ("position", "velocity")
+
+    def state_initial(self) -> np.ndarray:
+        if self.initial_contact:
+            return np.array([1.0, 0.0])
+        return np.zeros(2)
+
+    def state_dx_limit(self) -> np.ndarray:
+        return np.array([0.05, 2.0])
+
+    def load(self, ctx) -> None:
+        d, g, s = self._n
+        su = self._state0
+        sw = self._state0 + 1
+        x = ctx.x
+        p = self.params
+        u, w = x[su], x[sw]
+        vgb = x[g] - x[s]
+
+        # Channel current.
+        i, di_g, di_d, di_s, di_u = _channel_current(
+            p, self.width, x[g], x[d], x[s], u)
+        cols = (g, d, s, su)
+        ctx.add(d, i, cols, (di_g, di_d, di_s, di_u))
+        ctx.add(s, -i, cols, (-di_g, -di_d, -di_s, -di_u))
+
+        # Mechanical equations (normalised; see module docstring).
+        inv_w0 = 1.0 / p.omega0
+        ctx.add_dot(su, u * inv_w0, (su,), (inv_w0,))
+        ctx.add(su, -w, (sw,), (-1.0,))
+
+        f_e, df_dv, df_du = p.force_electrostatic_hat(vgb, u)
+        f_pen, dfp_du = p.force_penalty_hat(u)
+        ctx.add_dot(sw, w * inv_w0, (sw,), (inv_w0,))
+        resid = w / p.q_factor + u + f_pen - f_e
+        ctx.add(sw, resid, (sw, su, g, s),
+                (1.0 / p.q_factor, 1.0 + dfp_du - df_du,
+                 -df_dv, df_dv))
+
+        # Gate charge through the moving air-gap capacitor.
+        g_gap, dg_du = p.gap_distance(u)
+        g_eff = g_gap + p.dielectric_gap
+        c_air = EPS0 * p.area / g_eff
+        dc_du = -c_air / g_eff * dg_du
+        q_g = c_air * vgb
+        ctx.add_dot(g, q_g, (g, s, su), (c_air, -c_air, dc_du * vgb))
+        ctx.add_dot(s, -q_g, (g, s, su), (-c_air, c_air, -dc_du * vgb))
+
+        # Drain junction capacitance.
+        cj = p.c_junction_per_width * self.width
+        q_db = cj * (x[d] - x[s])
+        ctx.add_dot(d, q_db, (d, s), (cj, -cj))
+        ctx.add_dot(s, -q_db, (d, s), (-cj, cj))
+
+    # -- characterisation helpers -------------------------------------------
+
+    def gate_capacitance(self, u: float = 0.0) -> float:
+        """Air-gap gate capacitance at beam position ``u`` [F]."""
+        g_gap, _ = self.params.gap_distance(u)
+        return EPS0 * self.params.area / (g_gap +
+                                          self.params.dielectric_gap)
+
+
+# ---------------------------------------------------------------------------
+# Calibrated 90 nm-node NEMFET factories (Table 1: 330 uA/um, 110 pA/um).
+# ---------------------------------------------------------------------------
+
+# Channel parameters fitted by repro.devices.calibration.fit_nemfet so the
+# contact-state device meets Table 1's NEMS I_ON (330 uA/um) and the
+# released device meets I_OFF (110 pA/um, 90% from the floor leakage).
+# Regenerated by tests/test_calibration.py.
+_NEMS_N_VTH0 = 0.434628
+_NEMS_N_K = 4.096053e2    # A/(m V^alpha)
+_NEMS_P_VTH0 = 0.413452
+_NEMS_P_K = 1.806407e2
+_NEMS_I_FLOOR = 9.9e-5    # A/m (99 pA/um)
+#: P-channel NEMS drive target, same NMOS:PMOS ratio as the CMOS node.
+NEMS_P_ION_TARGET = 150.0  # A/m
+
+
+def _beam_defaults() -> Tuple[float, float]:
+    geometry = mechanics.BeamGeometry(
+        length=500e-9, width=200e-9, thickness=30e-9,
+        anchor="fixed-fixed")
+    k = mechanics.beam_stiffness(geometry, mechanics.ALSI)
+    m = mechanics.beam_modal_mass(geometry, mechanics.ALSI)
+    return k, m
+
+
+def nemfet_90nm(**overrides) -> NemfetParams:
+    """N-channel NEMFET co-integrated with 90 nm CMOS.
+
+    An AlSi fixed-fixed bridge (500 x 200 x 30 nm) over a ~1.8 nm air
+    gap and 2 nm SiO2, giving a pull-in voltage around 0.45 V (well
+    below Vdd = 1.2 V), sub-ns mechanical switching, and the Table 1
+    current anchors.
+    """
+    k, m = _beam_defaults()
+    channel = replace(
+        nmos_90nm(),
+        vth0=_NEMS_N_VTH0,
+        k_trans=_NEMS_N_K,
+        # The suspended gate does not modulate leakage below pull-out, so
+        # a near-ideal body factor is used for the contact-state channel.
+        n_sub=1.3,
+    )
+    base = NemfetParams(
+        channel=channel,
+        stiffness=k,
+        mass=m,
+        q_factor=2.5,
+        gap=1.8e-9,
+        dielectric_gap=2e-9 / EPS_SIO2,
+        area=500e-9 * 200e-9,
+        i_floor_per_width=_NEMS_I_FLOOR,
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+def pemfet_90nm(**overrides) -> NemfetParams:
+    """P-channel NEMFET (for hybrid SRAM pull-ups and header switches)."""
+    base = nemfet_90nm()
+    channel = replace(base.channel, polarity=-1,
+                      vth0=_NEMS_P_VTH0, k_trans=_NEMS_P_K)
+    base = replace(base, channel=channel)
+    return replace(base, **overrides) if overrides else base

@@ -1,0 +1,201 @@
+"""Cantilever / carbon-nanotube nano-relay (the paper's Figure 5).
+
+An ohmic three-terminal switch: a conductive cantilever anchored at the
+source is suspended over a gate electrode; sufficient gate-source bias
+bends it until its tip lands on the drain contact.  Unlike the NEMFET
+there is no MOS channel — conduction is metallic through the contact
+resistance — which makes this structure attractive as a sleep switch
+(Section 6): the paper's three-orders-of-magnitude OFF-current reduction
+comes from the physical air gap.
+
+The mechanical model is the same normalised spring-mass-damper used by
+:class:`~repro.devices.nemfet.Nemfet`, with conduction
+``G(u) = G_off + G_on * sigma((u - 1)/s)`` smoothly switching on at
+contact, plus an optional surface-adhesion force that deepens the
+pull-out hysteresis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from repro.circuit.elements import Element
+from repro.devices import mechanics
+from repro.devices.base import sigmoid, softplus
+from repro.errors import DesignError, NetlistError
+from repro.units import EPS0
+
+
+@dataclass(frozen=True)
+class NanoRelayParams:
+    """Nano-relay parameters.
+
+    ``g_on`` is the fully-closed contact conductance [S] (1/R_contact)
+    and ``g_off`` the open-state leakage conductance [S] (vacuum
+    tunnelling / surface leakage floor).
+    """
+
+    stiffness: float
+    mass: float
+    q_factor: float
+    gap: float
+    contact_gap: float
+    area: float
+    g_on: float
+    g_off: float
+    adhesion_force: float = 0.0
+    k_penalty: float = 2000.0
+    s_penalty: float = 0.01
+    s_gap: float = 0.02
+    #: Conduction turns on as the tip crosses ``contact_threshold``
+    #: (slightly before the penalty equilibrium, so a closed switch is
+    #: fully conducting, not half-way up its sigmoid).
+    s_contact: float = 0.005
+    contact_threshold: float = 0.985
+
+    def __post_init__(self):
+        for label, v in (("stiffness", self.stiffness), ("mass", self.mass),
+                         ("q_factor", self.q_factor), ("gap", self.gap),
+                         ("contact_gap", self.contact_gap),
+                         ("area", self.area), ("g_on", self.g_on),
+                         ("g_off", self.g_off)):
+            if v <= 0:
+                raise DesignError(f"relay {label} must be positive, got {v}")
+
+    @property
+    def omega0(self) -> float:
+        """Mechanical angular resonance sqrt(k/m) [rad/s]."""
+        return math.sqrt(self.stiffness / self.mass)
+
+    @property
+    def pull_in_voltage(self) -> float:
+        """Analytic pull-in voltage of the actuation gap [V]."""
+        return mechanics.pull_in_voltage(
+            self.stiffness, self.gap, self.contact_gap, self.area)
+
+    @property
+    def pull_out_voltage(self) -> float:
+        """Analytic release voltage including adhesion [V]."""
+        return mechanics.pull_out_voltage(
+            self.stiffness, self.gap, self.contact_gap, self.area,
+            contact_gap=self.s_gap * math.log(2.0) * self.gap,
+            adhesion_force=self.adhesion_force)
+
+    def gap_distance(self, u: float) -> Tuple[float, float]:
+        """Smoothly clamped air gap [m] and derivative at position ``u``."""
+        s = self.s_gap
+        sp, dsp = softplus((1.0 - u) / s)
+        return self.gap * s * sp, -self.gap * dsp
+
+    def conductance(self, u: float) -> Tuple[float, float]:
+        """Drain-source conductance [S] and d/du at position ``u``."""
+        sig, dsig = sigmoid((u - self.contact_threshold)
+                            / self.s_contact)
+        g = self.g_off + self.g_on * sig
+        return g, self.g_on * dsig / self.s_contact
+
+
+class NanoRelay(Element):
+    """Three-terminal ohmic nano-relay (drain, gate, source)."""
+
+    TERMINALS = 3
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 params: NanoRelayParams, initial_contact: bool = False):
+        super().__init__(name, (drain, gate, source))
+        self.params = params
+        self.initial_contact = bool(initial_contact)
+
+    @property
+    def state_count(self) -> int:
+        return 2
+
+    def state_names(self) -> Tuple[str, ...]:
+        return ("position", "velocity")
+
+    def state_initial(self) -> np.ndarray:
+        if self.initial_contact:
+            return np.array([1.0, 0.0])
+        return np.zeros(2)
+
+    def state_dx_limit(self) -> np.ndarray:
+        return np.array([0.05, 2.0])
+
+    def load(self, ctx) -> None:
+        d, g, s = self._n
+        su = self._state0
+        sw = self._state0 + 1
+        x = ctx.x
+        p = self.params
+        u, w = x[su], x[sw]
+        vgs = x[g] - x[s]
+        vds = x[d] - x[s]
+
+        # Ohmic conduction through the (position-dependent) contact.
+        cond, dcond_du = p.conductance(u)
+        i = cond * vds
+        ctx.add(d, i, (d, s, su), (cond, -cond, dcond_du * vds))
+        ctx.add(s, -i, (d, s, su), (-cond, cond, -dcond_du * vds))
+
+        # Mechanics (normalised as in the NEMFET; see its docstring).
+        inv_w0 = 1.0 / p.omega0
+        ctx.add_dot(su, u * inv_w0, (su,), (inv_w0,))
+        ctx.add(su, -w, (sw,), (-1.0,))
+
+        g_gap, dg_du = p.gap_distance(u)
+        g_eff = g_gap + p.contact_gap
+        norm = p.stiffness * p.gap
+        pref = EPS0 * p.area / (2.0 * g_eff * g_eff * norm)
+        f_e = pref * vgs * vgs
+        df_dv = 2.0 * pref * vgs
+        df_du = -2.0 * f_e / g_eff * dg_du
+
+        sp, dsp = softplus((u - 1.0) / p.s_penalty)
+        f_pen = p.k_penalty * p.s_penalty * sp
+        dfp_du = p.k_penalty * dsp
+
+        # Adhesion pulls the beam toward contact once it is nearly closed.
+        sig_a, dsig_a = sigmoid((u - p.contact_threshold) / p.s_contact)
+        f_adh = p.adhesion_force / norm * sig_a
+        dfa_du = p.adhesion_force / norm * dsig_a / p.s_contact
+
+        ctx.add_dot(sw, w * inv_w0, (sw,), (inv_w0,))
+        resid = w / p.q_factor + u + f_pen - f_e - f_adh
+        ctx.add(sw, resid, (sw, su, g, s),
+                (1.0 / p.q_factor,
+                 1.0 + dfp_du - df_du - dfa_du,
+                 -df_dv, df_dv))
+
+        # Gate actuation capacitance.
+        c_air = EPS0 * p.area / g_eff
+        dc_du = -c_air / g_eff * dg_du
+        q_g = c_air * vgs
+        ctx.add_dot(g, q_g, (g, s, su), (c_air, -c_air, dc_du * vgs))
+        ctx.add_dot(s, -q_g, (g, s, su), (-c_air, c_air, -dc_du * vgs))
+
+
+def nano_relay_default(r_on: float = 5e3, **overrides) -> NanoRelayParams:
+    """A CMOS-compatible cantilever relay sized for ~0.5 V pull-in.
+
+    ``r_on`` sets the closed contact resistance; the open-state leakage
+    floor corresponds to ~100 fA at 1.2 V across the open contact.
+    """
+    geometry = mechanics.BeamGeometry(
+        length=300e-9, width=200e-9, thickness=40e-9, anchor="cantilever")
+    k = mechanics.beam_stiffness(geometry, mechanics.ALSI)
+    m = mechanics.beam_modal_mass(geometry, mechanics.ALSI)
+    base = NanoRelayParams(
+        stiffness=k,
+        mass=m,
+        q_factor=2.0,
+        gap=2.5e-9,
+        contact_gap=0.8e-9,
+        area=geometry.length * geometry.width * 0.5,
+        g_on=1.0 / r_on,
+        g_off=1e-13,
+    )
+    return replace(base, **overrides) if overrides else base

@@ -1,0 +1,99 @@
+"""Mechanical reliability metrics for NEMS switching transients.
+
+NEMS switches fail mechanically: hard landings erode contacts, bounce
+prolongs the effective switching time and causes contact chatter, and
+deep release overshoot stresses the anchors.  These are first-order
+design constraints for the paper's devices (its refs [19]-[21] discuss
+the fabrication/reliability side) even though the paper's circuit
+analysis ignores them.
+
+Given a transient result containing a NEMFET or relay, this module
+extracts:
+
+* **landing velocity** — normalised beam speed at first contact (wear
+  proxy; contact-damage models scale with impact kinetic energy);
+* **bounce count** — how many times the beam leaves and re-enters
+  contact before settling (chatter);
+* **settling time** — first contact to staying-in-contact;
+* **release overshoot** — how far past the rest position the beam
+  swings when released (anchor stress proxy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.transient import TransientResult
+from repro.errors import MeasurementError
+
+#: Position threshold treated as "in contact" (normalised travel).
+CONTACT_LEVEL = 0.98
+
+
+@dataclass(frozen=True)
+class ContactEvent:
+    """Summary of one closing event."""
+
+    t_first_contact: float     #: [s]
+    landing_velocity: float    #: normalised (g0 * omega0 units)
+    bounce_count: int
+    settling_time: float       #: first contact -> final entry [s]
+
+
+def analyze_closing(result: TransientResult, element: str,
+                    t_start: float = 0.0,
+                    t_end: Optional[float] = None) -> ContactEvent:
+    """Extract the closing-event metrics for one device."""
+    t = result.t
+    u = result.state(element, "position")
+    w = result.state(element, "velocity")
+    t_end = t[-1] if t_end is None else t_end
+    window = (t >= t_start) & (t <= t_end)
+    t_w, u_w, w_w = t[window], u[window], w[window]
+    if len(t_w) < 3:
+        raise MeasurementError("window too short for contact analysis")
+
+    in_contact = u_w >= CONTACT_LEVEL
+    if not in_contact.any():
+        raise MeasurementError(
+            f"'{element}' never reaches contact in the window")
+    entries = np.nonzero(np.diff(in_contact.astype(int)) == 1)[0] + 1
+    if in_contact[0]:
+        entries = np.concatenate(([0], entries))
+    first = int(entries[0])
+    last_entry = int(entries[-1])
+    return ContactEvent(
+        t_first_contact=float(t_w[first]),
+        landing_velocity=float(abs(w_w[first])),
+        bounce_count=int(len(entries) - 1),
+        settling_time=float(t_w[last_entry] - t_w[first]),
+    )
+
+
+def release_overshoot(result: TransientResult, element: str,
+                      t_start: float = 0.0) -> float:
+    """Maximum negative excursion past the rest position (normalised).
+
+    After release the beam springs back through u = 0; an
+    underdamped beam overshoots to negative positions, stressing the
+    anchors.  Returns ``max(0, -min(u))`` over the window.
+    """
+    t = result.t
+    u = result.state(element, "position")
+    window = t >= t_start
+    if not window.any():
+        raise MeasurementError("empty analysis window")
+    return float(max(0.0, -np.min(u[window])))
+
+
+def recommended_quality_factor_range() -> tuple:
+    """Q band trading bounce against speed.
+
+    Below ~0.7 the closing is sluggish (overdamped); above ~3 landing
+    bounce and release overshoot grow quickly.  The library's default
+    device (Q = 2.5) sits at the fast-but-bounded edge.
+    """
+    return (0.7, 3.0)

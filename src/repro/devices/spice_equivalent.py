@@ -1,0 +1,174 @@
+"""The paper's Figure 6(b) all-electrical NEMS macro-model.
+
+Pott et al. [23] map the suspended gate's mechanical variables onto an
+electrical equivalent: the damping factor ``c`` becomes a resistance, the
+beam mass ``m`` an inductance, the spring an elastance, and the
+gate-voltage-dependent actuation force a controlled source approximated
+by a *polynomial* ``f(V_g)`` obtained from curve fitting.  The paper runs
+all its HSPICE simulations with that macro-model calibrated to the
+NEMFET data of ref [13].
+
+This module reproduces the macro-model: :class:`MacroNemfet` keeps the
+same two internal states (position/velocity), but replaces the physical
+position-dependent electrostatic force with a fitted polynomial in the
+gate-source voltage alone, exactly the simplification of [23].  The
+fitting routine :func:`fit_force_polynomial` generates the polynomial
+from the physical model's stable-branch force, so the macro-model can be
+compared against the full electromechanical model (an ablation the
+library's benchmarks exercise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from repro.circuit.elements import Element
+from repro.devices.base import smooth_tanh, softplus
+from repro.devices.mosfet import mosfet_current
+from repro.devices.nemfet import NemfetParams, _channel_current
+from repro.errors import CalibrationError, NetlistError
+
+
+@dataclass(frozen=True)
+class ForcePolynomial:
+    """Fitted normalised actuation force ``f(v_gs) = sum c_k v^k``."""
+
+    coefficients: Tuple[float, ...]
+    v_min: float
+    v_max: float
+
+    def evaluate(self, v: float) -> Tuple[float, float]:
+        """Normalised force and its derivative at ``v`` (clamped range)."""
+        v = min(max(v, self.v_min), self.v_max)
+        f = 0.0
+        df = 0.0
+        for k in range(len(self.coefficients) - 1, 0, -1):
+            c = self.coefficients[k]
+            f = f * v + c
+            df = df * v + k * c
+        f = f * v + self.coefficients[0]
+        return f, df
+
+
+def fit_force_polynomial(params: NemfetParams, degree: int = 6,
+                         v_max: float = 1.5, samples: int = 120
+                         ) -> ForcePolynomial:
+    """Fit the macro-model force polynomial against the physical model.
+
+    Samples the physical electrostatic force along the *followed*
+    equilibrium branch (up-state until pull-in, contact beyond — the
+    curve a quasi-static up-sweep traces) and least-squares fits an even
+    polynomial in ``|v_gs|``.  The force is normalised by ``k * gap`` as
+    in the state equations.
+    """
+    if degree < 2:
+        raise CalibrationError("polynomial degree must be at least 2")
+    v_pi = params.pull_in_voltage
+    v = np.linspace(0.0, v_max, samples)
+    f = np.empty_like(v)
+    for i, vi in enumerate(v):
+        branch = "up" if vi < v_pi else "down"
+        u = params.static_position(float(vi), branch)
+        f[i] = params.force_electrostatic_hat(float(vi), u)[0]
+    # Even polynomial (force is symmetric in v_gs): fit in v^2, with
+    # relative weighting so the small below-pull-in forces are tracked
+    # as well as the large contact-state ones.
+    half_deg = degree // 2
+    design = np.vander(v * v, half_deg + 1, increasing=True)
+    weights = 1.0 / (0.2 + np.abs(f))
+    coeff_sq, *_ = np.linalg.lstsq(design * weights[:, None],
+                                   f * weights, rcond=None)
+    coeffs = [0.0] * (2 * half_deg + 1)
+    for k, c in enumerate(coeff_sq):
+        coeffs[2 * k] = float(c)
+    poly = ForcePolynomial(tuple(coeffs), -v_max, v_max)
+    # Quality gate: the fit must track the sampled force reasonably.
+    fitted = np.array([poly.evaluate(float(vi))[0] for vi in v])
+    err = float(np.max(np.abs(fitted - f)))
+    scale = float(np.max(np.abs(f))) or 1.0
+    if err > 0.35 * scale:
+        raise CalibrationError(
+            f"force polynomial fit error {err:.3g} exceeds 35% of force "
+            f"scale {scale:.3g}; raise the degree")
+    return poly
+
+
+class MacroNemfet(Element):
+    """Figure 6(b) macro-model NEMFET (drain, gate, source).
+
+    Same interface and state names as the physical
+    :class:`~repro.devices.nemfet.Nemfet`, but driven by the fitted
+    ``f(V_g)`` polynomial instead of the gap-dependent electrostatic
+    force.  Because the polynomial ignores the position feedback, the
+    model loses the pull-in fold (and therefore hysteresis) — the
+    fidelity gap the macro-model ablation benchmark quantifies.
+    """
+
+    TERMINALS = 3
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 params: NemfetParams, width: float,
+                 force_poly: ForcePolynomial = None):
+        super().__init__(name, (drain, gate, source))
+        if width <= 0:
+            raise NetlistError(
+                f"macro nemfet '{name}' needs positive width, got {width}")
+        self.params = params
+        self.width = float(width)
+        self.force_poly = (force_poly if force_poly is not None
+                           else fit_force_polynomial(params))
+
+    @property
+    def state_count(self) -> int:
+        return 2
+
+    def state_names(self) -> Tuple[str, ...]:
+        return ("position", "velocity")
+
+    def state_initial(self) -> np.ndarray:
+        return np.zeros(2)
+
+    def state_dx_limit(self) -> np.ndarray:
+        return np.array([0.05, 2.0])
+
+    def load(self, ctx) -> None:
+        d, g, s = self._n
+        su = self._state0
+        sw = self._state0 + 1
+        x = ctx.x
+        p = self.params
+        u, w = x[su], x[sw]
+        vgb = x[g] - x[s]
+
+        i, di_g, di_d, di_s, di_u = _channel_current(
+            p, self.width, x[g], x[d], x[s], u)
+        cols = (g, d, s, su)
+        ctx.add(d, i, cols, (di_g, di_d, di_s, di_u))
+        ctx.add(s, -i, cols, (-di_g, -di_d, -di_s, -di_u))
+
+        inv_w0 = 1.0 / p.omega0
+        ctx.add_dot(su, u * inv_w0, (su,), (inv_w0,))
+        ctx.add(su, -w, (sw,), (-1.0,))
+
+        f_e, df_dv = self.force_poly.evaluate(vgb)
+        f_pen, dfp_du = p.force_penalty_hat(u)
+        ctx.add_dot(sw, w * inv_w0, (sw,), (inv_w0,))
+        resid = w / p.q_factor + u + f_pen - f_e
+        ctx.add(sw, resid, (sw, su, g, s),
+                (1.0 / p.q_factor, 1.0 + dfp_du, -df_dv, df_dv))
+
+        # Fixed up-state gate capacitance (the macro-model's C element).
+        from repro.units import EPS0
+        c_air = EPS0 * p.area / (p.gap + p.dielectric_gap)
+        q_g = c_air * vgb
+        ctx.add_dot(g, q_g, (g, s), (c_air, -c_air))
+        ctx.add_dot(s, -q_g, (g, s), (-c_air, c_air))
+
+        cj = p.c_junction_per_width * self.width
+        q_db = cj * (x[d] - x[s])
+        ctx.add_dot(d, q_db, (d, s), (cj, -cj))
+        ctx.add_dot(s, -q_db, (d, s), (-cj, cj))

@@ -1,0 +1,112 @@
+"""Process-variation modelling for threshold voltages.
+
+The paper's Figure 9 methodology (from ref [24]) characterises wide
+fan-in dynamic gates under threshold-voltage variation expressed as
+``sigma_Vth / mu_Vth`` percentages.  Two usage styles are provided:
+
+* **corner analysis** — deterministic worst cases: the keeper's noise
+  margin is stressed when the pull-down network is *leaky* (Vth shifted
+  down), and the evaluation delay is stressed when the pull-down is
+  *weak* (Vth shifted up) while the keeper is strong;
+* **Monte Carlo** — independent Gaussian Vth samples per transistor.
+
+Both act through the :attr:`~repro.devices.mosfet.Mosfet.vth_shift`
+attribute, so a circuit can be re-analysed at many corners/samples
+without rebuilding it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.devices.mosfet import Mosfet
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Gaussian threshold-voltage variation.
+
+    ``sigma_rel`` is sigma(Vth)/mu(Vth) — the paper's Figure 9 sweeps
+    this at 5/10/15 %.  ``n_sigma`` sets how many sigmas the corner
+    analyses use (3-sigma worst case by default).
+    """
+
+    sigma_rel: float
+    n_sigma: float = 3.0
+
+    def __post_init__(self):
+        if self.sigma_rel < 0:
+            raise ValueError(
+                f"sigma_rel must be non-negative, got {self.sigma_rel}")
+        if self.n_sigma <= 0:
+            raise ValueError(
+                f"n_sigma must be positive, got {self.n_sigma}")
+
+    def corner_shift(self, device: Mosfet, direction: str) -> float:
+        """Deterministic n-sigma Vth shift for a device [V].
+
+        ``direction='weak'`` raises the threshold magnitude (less drive,
+        less leakage); ``'leaky'`` lowers it (more drive, more leakage).
+        """
+        mu = device.params.vth0
+        sigma = self.sigma_rel * mu
+        if direction == "weak":
+            return +self.n_sigma * sigma
+        if direction == "leaky":
+            return -self.n_sigma * sigma
+        raise ValueError(f"unknown corner direction '{direction}'")
+
+    def sample_shifts(self, devices: Sequence[Mosfet],
+                      rng: np.random.Generator) -> Dict[str, float]:
+        """Independent Gaussian Vth shifts for each device [V]."""
+        return {
+            d.name: float(rng.normal(0.0, self.sigma_rel * d.params.vth0))
+            for d in devices
+        }
+
+
+@contextlib.contextmanager
+def applied_shifts(circuit: Circuit,
+                   shifts: Dict[str, float]) -> Iterator[None]:
+    """Temporarily apply ``{element_name: vth_shift}`` to a circuit.
+
+    Restores the previous shifts on exit, so analyses at different
+    corners can share one netlist.
+    """
+    saved: Dict[str, float] = {}
+    try:
+        for name, shift in shifts.items():
+            device = circuit[name]
+            if not isinstance(device, Mosfet):
+                raise TypeError(
+                    f"element '{name}' is not a Mosfet; cannot shift Vth")
+            saved[name] = device.vth_shift
+            device.vth_shift = device.vth_shift + shift
+        yield
+    finally:
+        for name, old in saved.items():
+            circuit[name].vth_shift = old
+
+
+def corner_shifts(model: VariationModel, weak: Iterable[Mosfet] = (),
+                  leaky: Iterable[Mosfet] = ()) -> Dict[str, float]:
+    """Build a corner shift map: some devices weak, some leaky."""
+    shifts: Dict[str, float] = {}
+    for device in weak:
+        shifts[device.name] = model.corner_shift(device, "weak")
+    for device in leaky:
+        shifts[device.name] = model.corner_shift(device, "leaky")
+    return shifts
+
+
+def monte_carlo_shifts(model: VariationModel, devices: Sequence[Mosfet],
+                       samples: int, seed: int = 0
+                       ) -> List[Dict[str, float]]:
+    """A list of independent Monte-Carlo shift maps."""
+    rng = np.random.default_rng(seed)
+    return [model.sample_shifts(devices, rng) for _ in range(samples)]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed circuit descriptions.
+
+    Examples: duplicate element names, references to undeclared nodes,
+    elements with the wrong number of terminals.
+    """
+
+
+class AnalysisError(ReproError):
+    """Base class for numerical analysis failures."""
+
+
+class ConvergenceError(AnalysisError):
+    """Raised when the Newton solver fails to converge.
+
+    Carries the residual norm and iteration count reached so callers can
+    report diagnostics or retry with different homotopy settings.
+    """
+
+    def __init__(self, message: str, residual_norm: float = float("nan"),
+                 iterations: int = 0):
+        super().__init__(message)
+        self.residual_norm = residual_norm
+        self.iterations = iterations
+
+
+class TimestepError(AnalysisError):
+    """Raised when transient analysis cannot proceed below the minimum step."""
+
+
+class MeasurementError(ReproError):
+    """Raised when a waveform measurement cannot be taken.
+
+    Example: asking for a threshold crossing that never occurs within the
+    simulated window.
+    """
+
+
+class CalibrationError(ReproError):
+    """Raised when device calibration fails to meet its fitting tolerance."""
+
+
+class DesignError(ReproError):
+    """Raised for infeasible circuit-design requests.
+
+    Example: a dynamic gate with zero fan-in, or a sleep-transistor sizing
+    target that cannot be met within the allowed area budget.
+    """

@@ -1,0 +1,40 @@
+"""Shared methodology constants and builders for the gate experiments.
+
+The paper compares gates under the variation-aware keeper-sizing
+methodology of ref [24]: the CMOS keeper is the smallest device meeting
+a noise-margin target at the worst-case (3-sigma leaky pull-down)
+process corner, while the hybrid gate keeps a minimum-size keeper
+because its released NEMFETs cut the leakage path.  These constants pin
+the default operating point used by Figures 10-12.
+"""
+
+from __future__ import annotations
+
+from repro.library.dynamic_logic import DynamicOrSpec, DynamicOrGate, build_dynamic_or
+from repro.library import gate_metrics
+
+#: Noise-margin target for keeper sizing [V].
+NM_TARGET = 0.24
+
+#: Threshold-voltage variation level sigma(Vth)/mu(Vth) used for sizing.
+SIGMA_REL = 0.10
+
+#: Corner depth in sigmas.
+N_SIGMA = 3.0
+
+
+def leaky_corner_shift(spec: DynamicOrSpec) -> float:
+    """Vth shift of the leaky pull-down corner [V] (negative)."""
+    return -N_SIGMA * SIGMA_REL * spec.nmos.vth0
+
+
+def build_sized_gate(fan_in: int, fan_out: float, style: str,
+                     nm_target: float = NM_TARGET) -> DynamicOrGate:
+    """Build a gate with the default keeper-sizing methodology applied."""
+    spec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out, style=style)
+    gate = build_dynamic_or(spec)
+    if style == "cmos":
+        width = gate_metrics.size_keeper_for_noise_margin(
+            gate, nm_target, pd_shift=leaky_corner_shift(spec))
+        gate.set_keeper_width(width)
+    return gate

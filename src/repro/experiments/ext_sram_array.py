@@ -1,0 +1,53 @@
+"""Extension: array-level SRAM reads and the NEMS-access ablation.
+
+Two measurable claims from the paper's Section 5 prose:
+
+* 5.1 — read latency degrades with array height because unselected
+  cells' OFF access transistors leak the bitlines and the column
+  capacitance grows;
+* 5.3 — "replacing access transistors (AR and AL) with NEMS devices is
+  not a good idea because of their huge impact on latency": every read
+  would wait for the access beams to actuate mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.result import ExperimentResult
+from repro.library.sram import SramSpec
+from repro.library.sram_array import ArraySpec, array_read_latency, nems_access_spec
+from repro.library.sram_metrics import read_latency
+
+
+def run(row_counts: Sequence[int] = (32, 128, 256),
+        include_nems_access: bool = True) -> ExperimentResult:
+    """Latency vs column height, plus the rejected NEMS-access cell."""
+    rows = []
+    for variant in ("conventional", "hybrid"):
+        for n in row_counts:
+            spec = ArraySpec(cell=SramSpec(variant=variant), rows=n)
+            lat = array_read_latency(spec)
+            rows.append((variant, n, lat * 1e12))
+    notes = ("Latency grows with column height (capacitance + leakage) "
+             "for both cell types; the hybrid penalty stays a constant "
+             "factor.")
+    if include_nems_access:
+        lat_conv = read_latency(SramSpec())
+        lat_nems_acc = read_latency(nems_access_spec())
+        rows.append(("nems-access (rejected)", 1,
+                     lat_nems_acc * 1e12))
+        notes += (f" NEMS access transistors would cost "
+                  f"{lat_nems_acc / lat_conv:.0f}x the conventional "
+                  f"read latency (mechanical actuation per read) — "
+                  f"the paper's Section 5.3 rejection, quantified.")
+    return ExperimentResult(
+        experiment_id="Ext-SRAM-Array",
+        title="Array-level read latency and the NEMS-access ablation",
+        columns=["cell", "rows per bitline", "read latency [ps]"],
+        rows=rows,
+        notes=notes)
+
+
+if __name__ == "__main__":
+    print(run())

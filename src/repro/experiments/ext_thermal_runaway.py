@@ -1,0 +1,52 @@
+"""Extension: the leakage-temperature feedback loop (paper ref [5]).
+
+Solves the self-consistent junction temperature ``T = T_amb + R_th P(T)``
+for an all-CMOS logic block and for the same block behind NEMS power
+gating, across packaging quality (thermal resistance).  As the package
+worsens, the CMOS block's leakage-temperature feedback first inflates
+its idle power super-linearly and then loses its fixed point entirely
+(thermal runaway); the gated block barely couples because only its
+ungated control fraction is thermal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import thermal
+from repro.experiments.result import ExperimentResult
+
+
+def run(r_thermals: Sequence[float] = (20.0, 100.0, 300.0, 600.0),
+        total_width: float = 2.0,
+        t_ambient: float = 318.15) -> ExperimentResult:
+    """Operating temperature/power vs package thermal resistance."""
+    rows = []
+    for r_th in r_thermals:
+        env = thermal.ThermalEnvironment(t_ambient=t_ambient,
+                                         r_thermal=r_th)
+        results = thermal.thermal_comparison(total_width=total_width,
+                                             env=env)
+        for label in ("cmos", "hybrid"):
+            point = results[label]
+            if point is None:
+                rows.append((label, r_th, float("nan"), float("nan"),
+                             "RUNAWAY"))
+            else:
+                t, p = point
+                rows.append((label, r_th, t - 273.15, p * 1e3, "ok"))
+    return ExperimentResult(
+        experiment_id="Ext-Thermal",
+        title="Self-consistent junction temperature vs package R_th",
+        columns=["block", "R_th [K/W]", "T [C]", "P_leak [mW]",
+                 "status"],
+        rows=rows,
+        notes="The all-CMOS block's leakage-temperature loop loses its "
+              "fixed point at high thermal resistance (runaway); the "
+              "NEMS-gated block's loop stays weak because only the "
+              "ungated 5% of the width couples thermally — ref [5]'s "
+              "coupling, defused by the hybrid technology.")
+
+
+if __name__ == "__main__":
+    print(run())

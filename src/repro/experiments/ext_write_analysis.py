@@ -1,0 +1,48 @@
+"""Extension: write margin and write latency of the four SRAM cells.
+
+The paper evaluates read stability, read latency and standby leakage
+(Figures 14-15) but never the *write* side.  Measured here: the hybrid
+cell is *statically* easy to write (its weak NEMS pull-ups raise the
+write trip voltage) but *dynamically* expensive — completing the flip
+must actuate four beams, multiplying the write latency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.result import ExperimentResult
+from repro.library.sram import SramSpec, VARIANTS
+from repro.library.sram_metrics import write_latency, write_margin
+
+
+def run(variants: Sequence[str] = VARIANTS) -> ExperimentResult:
+    """Write trip voltage [mV] and latency [ps] per cell variant."""
+    rows = []
+    raw = {}
+    for variant in variants:
+        spec = SramSpec(variant=variant)
+        margin = write_margin(spec)
+        latency = write_latency(spec)
+        raw[variant] = (margin, latency)
+        rows.append((variant, margin * 1e3, latency * 1e12))
+    note = "Write-side behaviour the paper does not quote."
+    if "hybrid" in raw and "conventional" in raw:
+        m_h, l_h = raw["hybrid"]
+        m_c, l_c = raw["conventional"]
+        note = (f"The hybrid cell's write trip voltage is "
+                f"{m_h / m_c:.1f}x conventional (weak NEMS pull-ups "
+                f"flip easily) but its write latency is "
+                f"{l_h / l_c:.1f}x (four beams must actuate to settle "
+                f"the new state) — write-side behaviour the paper "
+                f"does not quote.")
+    return ExperimentResult(
+        experiment_id="Ext-Write",
+        title="SRAM write trip voltage & latency across cell variants",
+        columns=["variant", "write trip [mV]", "write latency [ps]"],
+        rows=rows,
+        notes=note)
+
+
+if __name__ == "__main__":
+    print(run())

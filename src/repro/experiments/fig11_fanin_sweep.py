@@ -1,0 +1,57 @@
+"""Figure 11: dynamic OR power and delay versus fan-in — the crossover.
+
+The paper's headline dynamic-logic result: the CMOS gate's keeper must
+grow with fan-in to hold its noise margin against the summed pull-down
+leakage, so its delay and contention energy grow steeply, and beyond
+fan-in ~12 the hybrid gate wins on *both* delay and switching power.
+Normalisation per the paper: to the hybrid gate at the smallest fan-in.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import build_sized_gate
+from repro.experiments.result import ExperimentResult
+from repro.library import gate_metrics
+
+
+def run(fan_ins: Sequence[int] = (4, 8, 12, 16),
+        fan_out: float = 3.0) -> ExperimentResult:
+    """Sweep fan-in for both gate styles at fixed fan-out."""
+    raw = {}
+    for style in ("cmos", "hybrid"):
+        for fi in fan_ins:
+            gate = build_sized_gate(fi, fan_out, style)
+            delay = gate_metrics.measure_worst_case_delay(gate)
+            p_sw, _ = gate_metrics.measure_switching_power(gate)
+            raw[(style, fi)] = (delay, p_sw, gate.keeper_width)
+
+    d_ref, p_ref, _ = raw[("hybrid", fan_ins[0])]
+    rows = []
+    for style in ("cmos", "hybrid"):
+        for fi in fan_ins:
+            delay, p_sw, keeper = raw[(style, fi)]
+            rows.append((style, fi, delay * 1e12, delay / d_ref,
+                         p_sw * 1e6, p_sw / p_ref, keeper * 1e6))
+
+    crossover = None
+    for fi in fan_ins:
+        if raw[("hybrid", fi)][0] < raw[("cmos", fi)][0]:
+            crossover = fi
+            break
+    return ExperimentResult(
+        experiment_id="Figure11",
+        title=f"Dynamic OR vs fan-in at fan-out {fan_out:g} "
+              f"(CMOS vs hybrid)",
+        columns=["style", "fan_in", "delay [ps]", "norm delay",
+                 "P_sw [uW]", "norm P_sw", "keeper [um]"],
+        rows=rows,
+        notes=(f"Hybrid wins both delay and power from fan-in "
+               f"{crossover} onward (paper: beyond 12)."
+               if crossover else
+               "No delay crossover within the swept fan-in range."))
+
+
+if __name__ == "__main__":
+    print(run())

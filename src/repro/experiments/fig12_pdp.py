@@ -1,0 +1,68 @@
+"""Figure 12: power-delay product vs activity factor (Equation 1).
+
+``P.D = ((1 - a) P_L + a P_S) D`` combines idle leakage and switching
+power with the worst-case delay.  The paper plots the metric for CMOS
+and hybrid 8-input OR gates at output loads C_L = 1 and C_L = 3 fan-out
+units, over the full activity range — the hybrid gate wins everywhere,
+and overwhelmingly so at low activity where its near-zero leakage
+dominates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.common import build_sized_gate
+from repro.experiments.result import ExperimentResult
+from repro.library import gate_metrics
+from repro.library.metrics import power_delay_product
+
+
+def run(fan_in: int = 8, loads: Sequence[float] = (1.0, 3.0),
+        activities: Sequence[float] = tuple(np.linspace(0, 1, 11))
+        ) -> ExperimentResult:
+    """Characterise both styles at each load, then apply Equation 1."""
+    characterised = {}
+    for style in ("cmos", "hybrid"):
+        for load in loads:
+            gate = build_sized_gate(fan_in, load, style)
+            delay = gate_metrics.measure_worst_case_delay(gate)
+            p_sw, _ = gate_metrics.measure_switching_power(gate)
+            p_leak = gate_metrics.measure_leakage_power(gate)
+            characterised[(style, load)] = (delay, p_sw, p_leak)
+
+    rows = []
+    for style in ("cmos", "hybrid"):
+        for load in loads:
+            delay, p_sw, p_leak = characterised[(style, load)]
+            for a in activities:
+                pdp = power_delay_product(p_leak, p_sw, delay, float(a))
+                rows.append((style, load, float(a), pdp * 1e18))
+
+    # Summary: hybrid-vs-CMOS PDP ratio extremes per load.
+    ratios = []
+    for load in loads:
+        dc, pc, lc = characterised[("cmos", load)]
+        dh, ph, lh = characterised[("hybrid", load)]
+        for a in activities:
+            pdp_c = power_delay_product(lc, pc, dc, float(a))
+            pdp_h = power_delay_product(lh, ph, dh, float(a))
+            if pdp_c > 0:
+                ratios.append(pdp_h / pdp_c)
+    return ExperimentResult(
+        experiment_id="Figure12",
+        title=f"Power-delay product vs activity factor "
+              f"({fan_in}-input OR)",
+        columns=["style", "C_L [FO]", "activity", "PDP [aJ]"],
+        rows=rows,
+        notes=f"Hybrid/CMOS PDP ratio ranges "
+              f"{min(ratios):.3f}..{max(ratios):.3f} — the hybrid "
+              f"architecture surpasses CMOS across the whole activity "
+              f"range (paper: 'strongly surpasses ... in both cases').",
+        extras={"characterised": characterised})
+
+
+if __name__ == "__main__":
+    print(run())

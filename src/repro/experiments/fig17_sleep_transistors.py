@@ -1,0 +1,67 @@
+"""Figure 17: sleep-transistor ON resistance and OFF current vs area.
+
+Device-level sweep of NEMS against CMOS sleep switches across area
+(normalised to a W/L = 5 CMOS device at 90 nm, per the paper's caption),
+plus the block-level corollary: a NEMS switch sized for a small delay
+budget still keeps its orders-of-magnitude leakage advantage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.result import ExperimentResult
+from repro.library import sleep
+
+
+def run(area_units: Sequence[float] = (1, 2, 4, 8, 16, 32, 64),
+        delay_budget: Optional[float] = 0.05) -> ExperimentResult:
+    """Figure 17 sweep plus the sized-up block-level check.
+
+    ``delay_budget`` is the allowed fractional block-delay degradation
+    for the sizing demonstration (``None`` skips the block-level part,
+    which needs several transient runs).
+    """
+    rows = []
+    for a, r_cmos, i_cmos, r_nems, i_nems in \
+            sleep.sweep_sleep_devices(list(area_units)):
+        rows.append((a, r_cmos, i_cmos * 1e9, r_nems, i_nems * 1e9,
+                     r_nems - r_cmos, i_cmos / i_nems))
+
+    notes = ("NEMS OFF current sits ~3 orders of magnitude below CMOS "
+             "at every area; the absolute ON-resistance gap shrinks "
+             "as 1/area (paper: 'difference ... becomes minimal').")
+    extras = {}
+    if delay_budget is not None:
+        area_needed = sleep.size_for_delay_budget("nems", delay_budget)
+        spec = sleep.GatedBlockSpec(kind="nems", area_units=area_needed)
+        leak_nems = sleep.block_sleep_leakage(spec)
+        cmos_area = sleep.size_for_delay_budget("cmos", delay_budget)
+        leak_cmos = sleep.block_sleep_leakage(
+            sleep.GatedBlockSpec(kind="cmos", area_units=cmos_area))
+        extras["sizing"] = {
+            "delay_budget": delay_budget,
+            "nems_area_units": area_needed,
+            "cmos_area_units": cmos_area,
+            "nems_sleep_leakage_w": leak_nems,
+            "cmos_sleep_leakage_w": leak_cmos,
+        }
+        notes += (f" Sized for {delay_budget * 100:.0f}% delay "
+                  f"degradation: NEMS needs {area_needed:.1f} area "
+                  f"units and leaks {leak_cmos / leak_nems:.0f}x less "
+                  f"than the equivalent CMOS switch "
+                  f"({cmos_area:.1f} units).")
+    return ExperimentResult(
+        experiment_id="Figure17",
+        title="Sleep transistors: Ron & Ioff vs area "
+              "(normalised to W/L=5 CMOS)",
+        columns=["area [units]", "Ron CMOS [ohm]", "Ioff CMOS [nA]",
+                 "Ron NEMS [ohm]", "Ioff NEMS [nA]", "dRon [ohm]",
+                 "Ioff ratio"],
+        rows=rows,
+        notes=notes,
+        extras=extras)
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,90 @@
+"""Uniform container for experiment outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular result of one table/figure reproduction.
+
+    ``rows`` are tuples aligned with ``columns``.  ``extras`` carries
+    non-tabular artifacts (e.g. butterfly curve arrays) keyed by name.
+    """
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Tuple]
+    notes: str = ""
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def column(self, name: str) -> List:
+        """All values of one named column."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column '{name}' in {self.experiment_id} "
+                f"(has {self.columns})") from None
+        return [row[idx] for row in self.rows]
+
+    def filtered(self, **criteria) -> List[Tuple]:
+        """Rows whose named columns equal the given values."""
+        indices = {self.columns.index(k): v for k, v in criteria.items()}
+        return [r for r in self.rows
+                if all(r[i] == v for i, v in indices.items())]
+
+    def to_text(self) -> str:
+        """Render as an aligned text table (the paper's rows/series)."""
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                if value == 0:
+                    return "0"
+                magnitude = abs(value)
+                if magnitude >= 1e4 or magnitude < 1e-2:
+                    return f"{value:.3e}"
+                return f"{value:.4g}"
+            return str(value)
+
+        header = [self.columns]
+        body = [[fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(r[i]) for r in header + body)
+                  for i in range(len(self.columns))]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(c.ljust(w)
+                               for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w)
+                                   for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"-- {self.notes}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render as CSV (header row + data rows).
+
+        Fields containing commas or quotes are quoted per RFC 4180, so
+        the output loads into any spreadsheet or ``csv.reader``.
+        """
+        def escape(value) -> str:
+            text = repr(value) if isinstance(value, float) else str(value)
+            if any(ch in text for ch in ",\"\n"):
+                return '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(escape(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(escape(v) for v in row))
+        return "\n".join(lines) + "\n"
+
+    def save_csv(self, path: str) -> None:
+        """Write the CSV rendering to a file."""
+        with open(path, "w") as handle:
+            handle.write(self.to_csv())
+
+    def __str__(self) -> str:
+        return self.to_text()

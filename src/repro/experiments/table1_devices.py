@@ -1,0 +1,66 @@
+"""Table 1: I_ON and I_OFF of the calibrated NEMS and CMOS devices."""
+
+from __future__ import annotations
+
+from repro.devices.mosfet import (
+    NMOS_ION_TARGET,
+    NMOS_IOFF_TARGET,
+    PMOS_ION_TARGET,
+    PMOS_IOFF_TARGET,
+    VDD_90NM,
+    mosfet_current,
+    nmos_90nm,
+    pmos_90nm,
+)
+from repro.devices.nemfet import NEMS_P_ION_TARGET, nemfet_90nm, pemfet_90nm
+from repro.experiments.result import ExperimentResult
+
+#: Table 1 anchors for the n-channel NEMS device [A/m].
+NEMS_ION_TARGET = 330e-6 / 1e-6
+NEMS_IOFF_TARGET = 110e-12 / 1e-6
+
+
+def run(vdd: float = VDD_90NM) -> ExperimentResult:
+    """Measure device anchor currents and compare to Table 1."""
+    rows = []
+
+    def add_mosfet(name, params, ion_t, ioff_t):
+        pol = params.polarity
+        i_on = abs(mosfet_current(params, 1e-6, pol * vdd, pol * vdd,
+                                  0.0)[0])
+        i_off = abs(mosfet_current(params, 1e-6, 0.0, pol * vdd, 0.0)[0])
+        rows.append((name, i_on * 1e6, ion_t * 1e-6 * 1e6,
+                     i_off * 1e9, ioff_t * 1e-6 * 1e9,
+                     abs(i_on * 1e6 - ion_t) / ion_t * 100))
+
+    def add_nemfet(name, params, ion_t, ioff_t):
+        pol = params.polarity
+        i_on = abs(params.static_current(1e-6, pol * vdd, pol * vdd,
+                                         0.0, branch="down"))
+        i_off = abs(params.static_current(1e-6, 0.0, pol * vdd, 0.0,
+                                          branch="up"))
+        rows.append((name, i_on * 1e6, ion_t * 1e-6 * 1e6,
+                     i_off * 1e9, ioff_t * 1e-6 * 1e9,
+                     abs(i_on * 1e6 - ion_t) / ion_t * 100))
+
+    add_mosfet("CMOS NMOS", nmos_90nm(), NMOS_ION_TARGET,
+               NMOS_IOFF_TARGET)
+    add_mosfet("CMOS PMOS", pmos_90nm(), PMOS_ION_TARGET,
+               PMOS_IOFF_TARGET)
+    add_nemfet("NEMS (n)", nemfet_90nm(), NEMS_ION_TARGET,
+               NEMS_IOFF_TARGET)
+    add_nemfet("NEMS (p)", pemfet_90nm(), NEMS_P_ION_TARGET,
+               NEMS_IOFF_TARGET)
+
+    return ExperimentResult(
+        experiment_id="Table1",
+        title="Device I_ON / I_OFF calibration (per um of width)",
+        columns=["device", "I_on [uA/um]", "target", "I_off [nA/um]",
+                 "target_off", "on_err [%]"],
+        rows=rows,
+        notes="Paper anchors: CMOS 1110 uA/um & 50 nA/um; "
+              "NEMS 330 uA/um & 110 pA/um (= 0.11 nA/um).")
+
+
+if __name__ == "__main__":
+    print(run())

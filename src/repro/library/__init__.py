@@ -1,0 +1,31 @@
+"""Hybrid NEMS-CMOS circuit library: the paper's three applications.
+
+* :mod:`repro.library.dynamic_logic` / :mod:`repro.library.gate_metrics` —
+  wide fan-in dynamic OR gates (Section 4, Figures 8-12);
+* :mod:`repro.library.sram` / :mod:`repro.library.sram_metrics` — SRAM
+  cells (Section 5, Figures 13-15);
+* :mod:`repro.library.sleep` — sleep transistors (Section 6, Figures
+  16-17);
+* :mod:`repro.library.metrics` — shared figures of merit (Equation 1).
+"""
+
+from repro.library.dynamic_logic import DynamicOrSpec, DynamicOrGate, build_dynamic_or
+from repro.library.keeper import ConditionalKeeperGate, ConditionalKeeperSpec
+from repro.library.domino import DominoPipelineSpec, DominoPipeline, build_pipeline
+from repro.library.sram import SramSpec, SramCell, build_read_harness
+from repro.library.metrics import power_delay_product
+
+__all__ = [
+    "DynamicOrSpec",
+    "DynamicOrGate",
+    "build_dynamic_or",
+    "ConditionalKeeperGate",
+    "ConditionalKeeperSpec",
+    "DominoPipelineSpec",
+    "DominoPipeline",
+    "build_pipeline",
+    "SramSpec",
+    "SramCell",
+    "build_read_harness",
+    "power_delay_product",
+]

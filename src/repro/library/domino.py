@@ -1,0 +1,143 @@
+"""Multi-stage domino pipelines of dynamic OR gates.
+
+Wide fan-in dynamic OR gates are used as stages of domino pipelines
+(the application context of the paper's Section 4).  This builder
+chains :class:`~repro.library.dynamic_logic.DynamicOrGate` stages on a
+shared clock, with each stage's output driving one input of the next —
+the configuration in which the monotonicity property matters and in
+which the hybrid gate's mechanical closing overlaps upstream
+evaluation.
+
+The pipeline exposes end-to-end latency measurement (clock edge to the
+last stage's output) for both gate styles, quantifying how the
+NEMFET's mechanical delay amortises across a chain: only the stages
+whose inputs arrive during evaluation pay it, and deeper pipelines pay
+it once per stage *in parallel with* the electrical propagation of the
+previous stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.analysis import measure
+from repro.analysis.transient import transient
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Pulse
+from repro.devices.mosfet import Mosfet
+from repro.devices.nemfet import Nemfet
+from repro.errors import DesignError, MeasurementError
+from repro.library.dynamic_logic import DynamicOrSpec
+
+
+@dataclass
+class DominoPipelineSpec:
+    """A chain of ``stages`` dynamic OR gates on one clock."""
+
+    stages: int = 3
+    fan_in: int = 4
+    style: str = "cmos"
+    t_precharge: float = 1.2e-9
+    t_eval: float = 4.0e-9
+    gate: DynamicOrSpec = None  # template; built in __post_init__
+
+    def __post_init__(self):
+        if self.stages < 1:
+            raise DesignError(
+                f"pipeline needs at least one stage, got {self.stages}")
+        if self.gate is None:
+            self.gate = DynamicOrSpec(
+                fan_in=self.fan_in, fan_out=0, style=self.style,
+                t_precharge=self.t_precharge, t_eval=self.t_eval)
+
+    @property
+    def period(self) -> float:
+        return self.t_precharge + self.t_eval
+
+
+class DominoPipeline:
+    """A built pipeline with measurement helpers.
+
+    Stage ``s`` uses nodes ``s{s}_dyn``, ``s{s}_out`` etc.; the primary
+    input drives input 0 of stage 0, and each stage's output drives
+    input 0 of the next.  Unused OR inputs are tied low.
+    """
+
+    def __init__(self, spec: DominoPipelineSpec):
+        self.spec = spec
+        self.circuit = Circuit(
+            f"domino_{spec.style}_{spec.stages}x{spec.fan_in}")
+        self._build()
+
+    def _build(self) -> None:
+        spec = self.spec
+        g = spec.gate
+        c = self.circuit
+        vdd = g.vdd
+
+        c.vsource("VDD", "vdd", "0", vdd)
+        self.clock_source = c.vsource(
+            "VCLK", "clk", "0",
+            Pulse(0.0, vdd, td=g.t_precharge, tr=20e-12, tf=20e-12,
+                  pw=g.t_eval - 40e-12, per=spec.period))
+        # Primary input: rises right at the evaluation edge — the
+        # monotonic-domino worst case for stage 0.
+        self.input_source = c.vsource(
+            "VIN", "s0_in0", "0",
+            Pulse(0.0, vdd, td=g.t_precharge + 60e-12, tr=30e-12,
+                  pw=g.t_eval, per=None))
+        c.vsource("VLOW", "tied_low", "0", 0.0)
+
+        for s in range(spec.stages):
+            prefix = f"s{s}_"
+            dyn, out, foot = (prefix + n for n in ("dyn", "out", "foot"))
+            c.add(Mosfet(prefix + "PRE", dyn, "clk", "vdd", g.pmos,
+                         g.w_precharge))
+            keeper_w = g.w_keeper if g.w_keeper is not None \
+                else g.default_keeper_width()
+            c.add(Mosfet(prefix + "KEEP", dyn, out, "vdd", g.pmos,
+                         keeper_w))
+            for i in range(g.fan_in):
+                gate_node = (prefix + f"in{i}" if (s == 0 and i == 0)
+                             else f"s{s - 1}_out" if i == 0
+                             else "tied_low")
+                if g.style == "cmos":
+                    c.add(Mosfet(prefix + f"PD{i}", dyn, gate_node,
+                                 foot, g.nmos, g.w_pulldown))
+                else:
+                    mid = prefix + f"mid{i}"
+                    c.add(Mosfet(prefix + f"PD{i}", dyn, gate_node,
+                                 mid, g.nmos, g.w_pulldown))
+                    c.add(Nemfet(prefix + f"NEM{i}", mid, gate_node,
+                                 foot, g.nems, g.w_nems))
+            c.add(Mosfet(prefix + "FOOT", foot, "clk", "0", g.nmos,
+                         g.w_footer))
+            c.add(Mosfet(prefix + "INVP", out, dyn, "vdd", g.pmos,
+                         g.w_inv_p))
+            c.add(Mosfet(prefix + "INVN", out, dyn, "0", g.nmos,
+                         g.w_inv_n))
+
+    @property
+    def output_node(self) -> str:
+        return f"s{self.spec.stages - 1}_out"
+
+    def latency(self, dt: float = 5e-12) -> float:
+        """Clock-to-final-output latency through the whole chain [s]."""
+        spec = self.spec
+        result = transient(self.circuit, spec.period - 0.1e-9, dt)
+        half = spec.gate.vdd / 2
+        try:
+            return measure.propagation_delay(
+                result.t, result.voltage("clk"),
+                result.voltage(self.output_node), level_from=half,
+                level_to=half, edge_from="rise", edge_to="rise")
+        except MeasurementError as err:
+            raise MeasurementError(
+                f"pipeline '{self.circuit.title}' did not propagate "
+                f"within the evaluation phase: {err}") from err
+
+
+def build_pipeline(spec: DominoPipelineSpec) -> DominoPipeline:
+    """Construct a domino pipeline from its specification."""
+    return DominoPipeline(spec)

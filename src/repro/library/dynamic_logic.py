@@ -1,0 +1,269 @@
+"""Wide fan-in dynamic OR gates: conventional CMOS and hybrid NEMS-CMOS.
+
+Reproduces the paper's Figure 8 topologies:
+
+* **Figure 8(a)** — conventional dynamic (domino) OR: clocked PMOS
+  precharge, parallel NMOS pull-down network (one per input) over a
+  clocked NMOS footer, PMOS keeper closed around the output inverter.
+  The keeper must be upsized with fan-in to hold the dynamic node against
+  the summed subthreshold leakage of the parallel pull-downs, which costs
+  evaluation speed through keeper contention.
+
+* **Figure 8(b)** — hybrid NEMS-CMOS: identical, but each pull-down NMOS
+  has a same-sized NEMFET in series below it, driven by the same input.
+  Because a released NEMFET passes only ~pA, the pull-down network's
+  leakage collapses and a *minimum-size* keeper suffices regardless of
+  fan-in — the source of both the switching-power saving (no contention)
+  and the large-fan-in delay win.
+
+Domino timing convention: inputs settle during the precharge phase (they
+are outputs of the previous pipeline stage), so the NEMFET's mechanical
+closing overlaps precharge and the measured worst-case delay is the
+clock-to-output evaluation delay.  This matches the paper's "minor delay
+penalty" observation; the input-limited case (mechanical closing in the
+critical path) is reported separately by the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.circuit.elements import VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Pulse
+from repro.devices.mosfet import (
+    Mosfet,
+    MosfetParams,
+    nmos_90nm,
+    pmos_90nm,
+)
+from repro.devices.nemfet import Nemfet, NemfetParams, nemfet_90nm
+from repro.errors import DesignError
+
+#: Input gate capacitance of the reference fan-out inverter (Wn = 1 um,
+#: Wp = 2 um at 1.5 fF/um) — one "fan-out unit" of load.
+FANOUT_UNIT_CAP = 4.5e-15
+
+#: Styles understood by the builder.
+STYLES = ("cmos", "hybrid")
+
+
+@dataclass
+class DynamicOrSpec:
+    """Parameters of a dynamic OR gate instance.
+
+    Attributes
+    ----------
+    fan_in:
+        Number of OR inputs (the paper sweeps 4-16).
+    fan_out:
+        Output load in fan-out units (reference inverter input caps).
+    style:
+        ``"cmos"`` (Figure 8a) or ``"hybrid"`` (Figure 8b).
+    w_keeper:
+        Keeper PMOS width [m]; ``None`` selects the style default
+        (fan-in-proportional for CMOS, minimum-size for hybrid).
+    t_precharge / t_eval:
+        Clock phase durations [s]; inputs settle during precharge.
+    """
+
+    fan_in: int = 8
+    fan_out: float = 1.0
+    style: str = "cmos"
+    vdd: float = 1.2
+    w_pulldown: float = 4e-6
+    w_nems: float = 4e-6
+    w_precharge: float = 4e-6
+    w_footer: float = 12e-6
+    w_keeper: Optional[float] = None
+    w_inv_n: float = 1e-6
+    w_inv_p: float = 2e-6
+    t_precharge: float = 1.2e-9
+    t_eval: float = 2.0e-9
+    #: Hybrid only: also precharge the NMOS/NEMFET mid nodes (small
+    #: clocked PMOS per input, width ``w_mid_precharge``).  Mitigates
+    #: charge sharing: when an input rises mid-evaluation, a discharged
+    #: mid node steals charge from the dynamic node before the NEMFET
+    #: has even closed, eroding noise margin on the monotonic-domino
+    #: protocol.
+    precharge_mid: bool = False
+    w_mid_precharge: float = 0.3e-6
+    nmos: MosfetParams = field(default_factory=nmos_90nm)
+    pmos: MosfetParams = field(default_factory=pmos_90nm)
+    nems: NemfetParams = field(default_factory=nemfet_90nm)
+
+    #: Minimum keeper width used by the hybrid gate [m].
+    W_KEEPER_MIN = 0.12e-6
+    #: CMOS keeper width per input, matching the variation-aware
+    #: noise-margin sizing at the default target (see
+    #: ``gate_metrics.size_keeper_for_noise_margin``) [m].
+    W_KEEPER_PER_INPUT = 0.55e-6
+
+    def __post_init__(self):
+        if self.fan_in < 1:
+            raise DesignError(
+                f"dynamic OR needs fan_in >= 1, got {self.fan_in}")
+        if self.fan_out < 0:
+            raise DesignError(
+                f"fan_out must be non-negative, got {self.fan_out}")
+        if self.style not in STYLES:
+            raise DesignError(
+                f"unknown dynamic gate style '{self.style}' "
+                f"(choose from {STYLES})")
+
+    def default_keeper_width(self) -> float:
+        """Style-default keeper width [m].
+
+        The CMOS keeper grows with fan-in because the noise margin is set
+        by the keeper current against ``fan_in`` parallel leaky
+        pull-downs; the hybrid keeper stays at minimum size because the
+        released NEMFETs cut the leakage path.
+        """
+        if self.style == "hybrid":
+            return self.W_KEEPER_MIN
+        return max(self.W_KEEPER_MIN,
+                   self.W_KEEPER_PER_INPUT * self.fan_in)
+
+    @property
+    def period(self) -> float:
+        """One precharge + evaluate cycle [s]."""
+        return self.t_precharge + self.t_eval
+
+    @property
+    def load_cap(self) -> float:
+        """Output load capacitance [F]."""
+        return self.fan_out * FANOUT_UNIT_CAP
+
+
+class DynamicOrGate:
+    """A built dynamic OR gate: circuit plus named handles.
+
+    Node names: ``dyn`` (dynamic node), ``out`` (inverter output),
+    ``foot`` (footer rail), ``clk``, ``vdd``, ``in0..in{N-1}`` and, for
+    the hybrid style, ``mid0..mid{N-1}`` between each NMOS and its series
+    NEMFET.
+    """
+
+    def __init__(self, spec: DynamicOrSpec):
+        self.spec = spec
+        self.circuit = Circuit(f"dynamic_or_{spec.style}_fi{spec.fan_in}")
+        self.input_sources: List[VoltageSource] = []
+        self._build()
+
+    def _build(self) -> None:
+        spec = self.spec
+        c = self.circuit
+        vdd = spec.vdd
+
+        self.vdd_source = c.vsource("VDD", "vdd", "0", vdd)
+        # Clock: low = precharge, high = evaluate; one cycle per period.
+        self.clock_source = c.vsource(
+            "VCLK", "clk", "0",
+            Pulse(0.0, vdd, td=spec.t_precharge, tr=20e-12, tf=20e-12,
+                  pw=spec.t_eval - 40e-12, per=spec.period))
+
+        # Input sources: quiet low by default; metrics reassign waveforms.
+        for i in range(spec.fan_in):
+            src = c.vsource(f"VIN{i}", f"in{i}", "0", 0.0)
+            self.input_sources.append(src)
+
+        # Precharge PMOS.
+        c.add(Mosfet("MPRE", "dyn", "clk", "vdd", spec.pmos,
+                     spec.w_precharge))
+
+        # Keeper PMOS (feedback from the output inverter).
+        w_keeper = (spec.w_keeper if spec.w_keeper is not None
+                    else spec.default_keeper_width())
+        self.keeper = Mosfet("MKEEP", "dyn", "out", "vdd", spec.pmos,
+                             w_keeper)
+        c.add(self.keeper)
+
+        # Pull-down network.
+        self.pulldowns: List[Mosfet] = []
+        self.nemfets: List[Nemfet] = []
+        for i in range(spec.fan_in):
+            if spec.style == "cmos":
+                m = Mosfet(f"MPD{i}", "dyn", f"in{i}", "foot",
+                           spec.nmos, spec.w_pulldown)
+                c.add(m)
+                self.pulldowns.append(m)
+            else:
+                m = Mosfet(f"MPD{i}", "dyn", f"in{i}", f"mid{i}",
+                           spec.nmos, spec.w_pulldown)
+                c.add(m)
+                self.pulldowns.append(m)
+                n = Nemfet(f"MNEM{i}", f"mid{i}", f"in{i}", "foot",
+                           spec.nems, spec.w_nems)
+                c.add(n)
+                self.nemfets.append(n)
+                if spec.precharge_mid:
+                    c.add(Mosfet(f"MPREM{i}", f"mid{i}", "clk", "vdd",
+                                 spec.pmos, spec.w_mid_precharge))
+
+        # Clocked footer.
+        self.footer = Mosfet("MFOOT", "foot", "clk", "0", spec.nmos,
+                             spec.w_footer)
+        c.add(self.footer)
+
+        # Output inverter.
+        c.add(Mosfet("MINVP", "out", "dyn", "vdd", spec.pmos,
+                     spec.w_inv_p))
+        c.add(Mosfet("MINVN", "out", "dyn", "0", spec.nmos,
+                     spec.w_inv_n))
+
+        # Fan-out load.
+        if spec.load_cap > 0:
+            c.capacitor("CL", "out", "0", spec.load_cap)
+
+    # -- stimulus configuration ---------------------------------------------
+
+    def set_inputs_static(self, levels: List[float]) -> None:
+        """Drive each input with a DC level (volts)."""
+        if len(levels) != self.spec.fan_in:
+            raise DesignError(
+                f"expected {self.spec.fan_in} levels, got {len(levels)}")
+        for src, level in zip(self.input_sources, levels):
+            src.value = float(level)
+
+    def set_inputs_domino(self, active: List[int],
+                          t_rise: Optional[float] = None) -> None:
+        """Raise the listed inputs during precharge, others held low.
+
+        ``t_rise`` defaults to 20% into the precharge phase, leaving the
+        NEMFETs time to close mechanically before evaluation begins —
+        the domino pipeline convention described in the module docstring.
+        """
+        spec = self.spec
+        rise = 0.2 * spec.t_precharge if t_rise is None else t_rise
+        if not 0 <= rise < spec.t_precharge:
+            raise DesignError(
+                f"input rise {rise} outside the precharge phase")
+        active_set = set(active)
+        bad = active_set - set(range(spec.fan_in))
+        if bad:
+            raise DesignError(f"no such inputs: {sorted(bad)}")
+        for i, src in enumerate(self.input_sources):
+            if i in active_set:
+                src.value = Pulse(0.0, spec.vdd, td=rise, tr=30e-12,
+                                  tf=30e-12,
+                                  pw=spec.period - rise - 0.1e-9,
+                                  per=None)
+            else:
+                src.value = 0.0
+
+    def set_keeper_width(self, width: float) -> None:
+        """Resize the keeper (the Figure 9 design knob)."""
+        if width <= 0:
+            raise DesignError(f"keeper width must be positive: {width}")
+        self.keeper.width = float(width)
+
+    @property
+    def keeper_width(self) -> float:
+        """Current keeper width [m]."""
+        return self.keeper.width
+
+
+def build_dynamic_or(spec: DynamicOrSpec) -> DynamicOrGate:
+    """Construct a dynamic OR gate from its specification."""
+    return DynamicOrGate(spec)

@@ -1,0 +1,313 @@
+"""Figures of merit for dynamic OR gates: delay, power, noise margin.
+
+Measurement protocols (identical for CMOS and hybrid gates so ratios are
+meaningful):
+
+* **worst-case delay** — domino convention: a single active input settles
+  during precharge; delay is measured from the 50% rising clock edge to
+  the 50% rising output edge.  A single input is the worst case for an
+  OR gate because one pull-down path fights the keeper alone.
+* **switching power** — supply energy over one complete switching event
+  (evaluation discharge, keeper contention, and the following precharge
+  recovery), divided by the clock period.
+* **leakage power** — average supply power late in an idle evaluation
+  phase (all inputs low, dynamic node held by the keeper).
+* **noise margin** — the classic keeper-contention criterion of ref
+  [24]: the common input noise level at which the pull-down network
+  current through the dynamic node equals the maximum keeper current at
+  the output-inverter trip point.  A transient verification variant
+  drives all inputs with a noise step and checks whether the output
+  stays low.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from scipy import optimize
+
+from repro.analysis import measure
+from repro.analysis.options import TransientOptions
+from repro.analysis.transient import transient
+from repro.circuit.waveforms import Pulse
+from repro.devices.mosfet import MosfetParams, mosfet_current
+from repro.devices.nemfet import NemfetParams
+from repro.errors import DesignError, MeasurementError
+from repro.library.dynamic_logic import DynamicOrGate
+
+#: Default transient step for gate simulations [s].
+DEFAULT_DT = 4e-12
+
+
+@dataclass(frozen=True)
+class GateMetrics:
+    """Characterisation summary of one dynamic OR gate configuration."""
+
+    delay: float             #: worst-case clk->out delay [s]
+    switching_power: float   #: [W] at the gate's own clock period
+    switching_energy: float  #: [J] per switching event
+    leakage_power: float     #: [W] in the idle evaluation state
+    noise_margin: float      #: [V] static keeper-contention margin
+
+
+def inverter_trip_voltage(nmos: MosfetParams, w_n: float,
+                          pmos: MosfetParams, w_p: float,
+                          vdd: float) -> float:
+    """Input voltage where the static inverter output crosses itself.
+
+    Solved from ``I_N(v, v) = |I_P(v, v)|`` — the metastable point of the
+    voltage transfer curve.
+    """
+    def balance(v: float) -> float:
+        i_n = mosfet_current(nmos, w_n, v, v, 0.0)[0]
+        i_p = mosfet_current(pmos, w_p, v, v, vdd)[0]
+        return i_n + i_p  # i_p is negative when the PMOS conducts
+
+    return float(optimize.brentq(balance, 1e-4, vdd - 1e-4, xtol=1e-6))
+
+
+def _pulldown_path_current(gate: DynamicOrGate, v_noise: float,
+                           v_dyn: float, pd_shift: float = 0.0) -> float:
+    """Current one pull-down path sinks from the dynamic node [A].
+
+    For the hybrid gate this solves the series NMOS + NEMFET divider for
+    the intermediate node voltage; the NEMFET's beam position follows the
+    static hysteresis branch for the applied input level (released below
+    pull-in, closed above — which is what bounds the hybrid gate's noise
+    margin at the pull-in voltage).
+    """
+    spec = gate.spec
+    nmos = spec.nmos.with_vth_shift(pd_shift) if pd_shift else spec.nmos
+
+    if spec.style == "cmos":
+        return mosfet_current(nmos, spec.w_pulldown, v_noise, v_dyn,
+                              0.0)[0]
+
+    nems: NemfetParams = spec.nems
+    branch = "up" if v_noise < nems.pull_in_voltage else "down"
+
+    def mismatch(v_mid: float) -> float:
+        i_top = mosfet_current(nmos, spec.w_pulldown, v_noise, v_dyn,
+                               v_mid)[0]
+        i_bot = nems.static_current(spec.w_nems, v_noise, v_mid, 0.0,
+                                    branch=branch)
+        return i_top - i_bot
+
+    lo, hi = 0.0, max(v_dyn, 1e-3)
+    f_lo, f_hi = mismatch(lo), mismatch(hi)
+    # mismatch() decreases with v_mid (NMOS weakens, NEMFET strengthens).
+    if f_lo <= 0.0:
+        # The NMOS limits the path even with its source grounded.
+        return mosfet_current(nmos, spec.w_pulldown, v_noise, v_dyn,
+                              lo)[0]
+    if f_hi >= 0.0:
+        # The NEMFET limits the path even with the full drop across it.
+        return nems.static_current(spec.w_nems, v_noise, hi, 0.0,
+                                   branch=branch)
+    v_mid = optimize.brentq(mismatch, lo, hi, xtol=1e-9)
+    return mosfet_current(nmos, spec.w_pulldown, v_noise, v_dyn,
+                          float(v_mid))[0]
+
+
+def noise_margin_static(gate: DynamicOrGate, pd_shift: float = 0.0,
+                        keeper_shift: float = 0.0) -> float:
+    """Static noise margin [V] by the keeper-contention criterion.
+
+    Finds the common input level at which the total pull-down current at
+    the inverter trip point equals the fully-on keeper current.  ``pd_shift``
+    (negative = leaky) and ``keeper_shift`` model variation corners.
+    """
+    spec = gate.spec
+    vdd = spec.vdd
+    trip = inverter_trip_voltage(spec.nmos, spec.w_inv_n, spec.pmos,
+                                 spec.w_inv_p, vdd)
+    keeper_params = (spec.pmos.with_vth_shift(keeper_shift)
+                     if keeper_shift else spec.pmos)
+    i_keeper = abs(mosfet_current(keeper_params, gate.keeper_width,
+                                  0.0, trip, vdd)[0])
+
+    def excess(v_noise: float) -> float:
+        i_path = _pulldown_path_current(gate, v_noise, trip, pd_shift)
+        return spec.fan_in * i_path - i_keeper
+
+    if excess(vdd) < 0:
+        return vdd  # keeper wins even at full-rail noise
+    if excess(0.0) > 0:
+        return 0.0  # leakage alone defeats the keeper
+    return float(optimize.brentq(excess, 0.0, vdd, xtol=1e-5))
+
+
+def noise_margin_transient(gate: DynamicOrGate, v_noise: float,
+                           dt: float = DEFAULT_DT,
+                           options: Optional[TransientOptions] = None
+                           ) -> bool:
+    """Whether the gate survives a noise step of ``v_noise`` volts.
+
+    All inputs step to ``v_noise`` at the start of evaluation; returns
+    True when the output stays below the half-rail for the whole phase.
+    """
+    spec = gate.spec
+    rise = spec.t_precharge + 50e-12
+    for src in gate.input_sources:
+        src.value = Pulse(0.0, v_noise, td=rise, tr=30e-12,
+                          pw=spec.t_eval, per=None)
+    try:
+        result = transient(gate.circuit, spec.t_precharge + spec.t_eval,
+                           dt, options=options)
+    finally:
+        gate.set_inputs_static([0.0] * spec.fan_in)
+    out = result.voltage("out")
+    window = result.t >= rise
+    return bool((out[window] < spec.vdd / 2).all())
+
+
+def measure_worst_case_delay(gate: DynamicOrGate,
+                             dt: float = DEFAULT_DT,
+                             options: Optional[TransientOptions] = None
+                             ) -> float:
+    """Worst-case evaluation delay [s]: clock edge to output edge."""
+    spec = gate.spec
+    gate.set_inputs_domino([0])
+    try:
+        result = transient(gate.circuit, spec.period, dt, options=options)
+    finally:
+        gate.set_inputs_static([0.0] * spec.fan_in)
+    half = spec.vdd / 2
+    try:
+        return measure.propagation_delay(
+            result.t, result.voltage("clk"), result.voltage("out"),
+            level_from=half, level_to=half, edge_from="rise",
+            edge_to="rise")
+    except MeasurementError as err:
+        raise MeasurementError(
+            f"gate '{gate.circuit.title}' failed to evaluate: {err}"
+        ) from err
+
+
+def measure_switching_power(gate: DynamicOrGate,
+                            dt: float = DEFAULT_DT,
+                            options: Optional[TransientOptions] = None
+                            ) -> tuple:
+    """Switching power [W] and per-event energy [J].
+
+    Simulates one full switching event plus the following precharge
+    recovery: the energy window runs from the evaluation edge to the end
+    of the next precharge phase, capturing keeper contention, the output
+    transition, and the dynamic-node recharge.
+    """
+    spec = gate.spec
+    gate.set_inputs_domino([0])
+    tstop = spec.period + spec.t_precharge
+    try:
+        result = transient(gate.circuit, tstop, dt, options=options)
+    finally:
+        gate.set_inputs_static([0.0] * spec.fan_in)
+    energy = measure.supply_energy(result, "VDD", spec.t_precharge, tstop)
+    return energy / spec.period, energy
+
+
+def measure_leakage_power(gate: DynamicOrGate,
+                          dt: float = DEFAULT_DT,
+                          options: Optional[TransientOptions] = None
+                          ) -> float:
+    """Idle evaluation-phase leakage power [W] (all inputs low).
+
+    Settles the gate through precharge into the evaluation phase with a
+    transient run, then polishes to a true DC point with the clock held
+    high — so sub-nanowatt leakage levels (the hybrid gate) are resolved
+    exactly instead of being buried in integration noise.
+    """
+    from repro.analysis.dc import operating_point
+
+    spec = gate.spec
+    gate.set_inputs_static([0.0] * spec.fan_in)
+    t_settle = spec.t_precharge + 0.5 * spec.t_eval
+    result = transient(gate.circuit, t_settle, dt, options=options)
+    saved_clock = gate.clock_source.value
+    try:
+        gate.clock_source.value = spec.vdd
+        op = operating_point(gate.circuit, x0=result.final().x,
+                             layout=result.layout)
+    finally:
+        gate.clock_source.value = saved_clock
+    return op.source_power("VDD")
+
+
+def characterize(gate: DynamicOrGate, dt: float = DEFAULT_DT,
+                 options: Optional[TransientOptions] = None
+                 ) -> GateMetrics:
+    """Full characterisation of one gate configuration."""
+    delay = measure_worst_case_delay(gate, dt, options)
+    p_sw, e_sw = measure_switching_power(gate, dt, options)
+    p_leak = measure_leakage_power(gate, dt, options)
+    nm = noise_margin_static(gate)
+    return GateMetrics(delay=delay, switching_power=p_sw,
+                       switching_energy=e_sw, leakage_power=p_leak,
+                       noise_margin=nm)
+
+
+def max_functional_keeper_width(gate: DynamicOrGate,
+                                contention_ratio: float = 0.8) -> float:
+    """Largest keeper the gate can still evaluate against [m].
+
+    Standard keeper-ratio constraint: the fully-on keeper current at the
+    inverter trip point must not exceed ``contention_ratio`` times the
+    current a single active pull-down path sinks there, or the worst-case
+    (single-input) evaluation stalls.
+    """
+    spec = gate.spec
+    trip = inverter_trip_voltage(spec.nmos, spec.w_inv_n, spec.pmos,
+                                 spec.w_inv_p, spec.vdd)
+    i_path = _pulldown_path_current(gate, spec.vdd, trip)
+    i_keeper_per_width = abs(
+        mosfet_current(spec.pmos, 1.0, 0.0, trip, spec.vdd)[0])
+    return contention_ratio * i_path / i_keeper_per_width
+
+
+def size_keeper_for_noise_margin(gate: DynamicOrGate, target: float,
+                                 w_min: float = 0.05e-6,
+                                 w_max: Optional[float] = None,
+                                 pd_shift: float = 0.0,
+                                 strict: bool = False) -> float:
+    """Smallest keeper width meeting a static noise-margin target [m].
+
+    Binary search over the keeper width, bounded above by the functional
+    keeper-ratio limit (see :func:`max_functional_keeper_width`) so the
+    returned design can always evaluate.  When the target is unreachable
+    within that bound the bound itself is returned — the gate gets the
+    best noise margin it can still function with — unless ``strict`` is
+    set, in which case :class:`DesignError` is raised.  This is the
+    design loop the paper's Figure 9 trade-off curve sweeps.
+    """
+    cap = max_functional_keeper_width(gate)
+    hi_limit = cap if w_max is None else min(w_max, cap)
+    if hi_limit <= w_min:
+        raise DesignError(
+            f"functional keeper bound {hi_limit * 1e6:.2f} um is below "
+            f"the minimum width {w_min * 1e6:.2f} um")
+    original = gate.keeper_width
+    try:
+        gate.set_keeper_width(hi_limit)
+        if noise_margin_static(gate, pd_shift=pd_shift) < target:
+            if strict:
+                raise DesignError(
+                    f"noise margin target {target:.3f} V unreachable "
+                    f"within the functional keeper bound "
+                    f"{hi_limit * 1e6:.2f} um")
+            return hi_limit
+        gate.set_keeper_width(w_min)
+        if noise_margin_static(gate, pd_shift=pd_shift) >= target:
+            return w_min
+        lo, hi = w_min, hi_limit
+        for _ in range(50):
+            mid = math.sqrt(lo * hi)
+            gate.set_keeper_width(mid)
+            if noise_margin_static(gate, pd_shift=pd_shift) >= target:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+    finally:
+        gate.set_keeper_width(original)

@@ -1,0 +1,132 @@
+"""Variation-aware conditional keeper (the paper's ref [24]).
+
+The Figure 9 trade-off exists because a *standard* keeper fights the
+pull-down network during the entire evaluation.  Dadgour, Joshi &
+Banerjee (DAC 2006) break the trade-off by splitting the keeper:
+
+* a minimum-size keeper holds the dynamic node from the start;
+* a large keeper is enabled only after a delay chain times out —
+  long after a genuine evaluation would have finished — so it provides
+  the late-window leakage robustness without contending with a real
+  transition.
+
+:class:`ConditionalKeeperGate` extends the standard dynamic OR gate
+with the delayed branch: a series-enabled PMOS pair whose enable is an
+inverted, RC-delayed copy of the clock.  The late-window noise margin
+is set by the *total* keeper width, while the evaluation delay sees
+only the small keeper — quantified by the ``ext_conditional_keeper``
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.devices.mosfet import Mosfet
+from repro.errors import DesignError
+from repro.library.dynamic_logic import DynamicOrGate, DynamicOrSpec
+
+
+@dataclass
+class ConditionalKeeperSpec:
+    """Parameters of the conditional-keeper branch.
+
+    ``delay_stages`` must be odd so the enable is the *complement* of
+    the delayed clock (PMOS enable: low = on).  ``c_stage`` loads each
+    chain node to set the enable delay.
+    """
+
+    w_small: float = 0.12e-6
+    w_large: float = 4e-6
+    delay_stages: int = 3
+    c_stage: float = 8e-15
+    w_chain_n: float = 0.4e-6
+    w_chain_p: float = 0.8e-6
+
+    def __post_init__(self):
+        if self.delay_stages < 1 or self.delay_stages % 2 == 0:
+            raise DesignError(
+                f"delay_stages must be odd and positive, got "
+                f"{self.delay_stages}")
+        if self.w_small <= 0 or self.w_large <= 0:
+            raise DesignError("keeper widths must be positive")
+
+
+class ConditionalKeeperGate(DynamicOrGate):
+    """A dynamic OR gate with the split (conditional) keeper of [24].
+
+    The base gate's keeper is set to ``w_small``; the delayed branch is
+    MKL (gate = out, like a keeper) in series with MKEN (gate = the
+    inverted delayed clock ``ken``).
+    """
+
+    def __init__(self, spec: DynamicOrSpec,
+                 keeper: Optional[ConditionalKeeperSpec] = None):
+        self.keeper_spec = keeper or ConditionalKeeperSpec()
+        spec.w_keeper = self.keeper_spec.w_small
+        super().__init__(spec)
+        self._add_conditional_branch()
+
+    def _add_conditional_branch(self) -> None:
+        spec = self.spec
+        ks = self.keeper_spec
+        c = self.circuit
+
+        # Inverter delay chain from the clock: odd length -> 'ken' is
+        # the complement of a delayed clock (high during precharge,
+        # falling a while after the evaluation edge).
+        prev = "clk"
+        for i in range(ks.delay_stages):
+            node = f"ken" if i == ks.delay_stages - 1 else f"kd{i}"
+            c.add(Mosfet(f"MKDP{i}", node, prev, "vdd", spec.pmos,
+                         ks.w_chain_p))
+            c.add(Mosfet(f"MKDN{i}", node, prev, "0", spec.nmos,
+                         ks.w_chain_n))
+            c.capacitor(f"CKD{i}", node, "0", ks.c_stage)
+            prev = node
+
+        # The large keeper branch: enabled (MKEN on) only once 'ken'
+        # has fallen, i.e. after the delay-chain timeout.
+        c.add(Mosfet("MKEN", "kint", "ken", "vdd", spec.pmos,
+                     ks.w_large))
+        self.large_keeper = Mosfet("MKL", "dyn", "out", "kint",
+                                   spec.pmos, ks.w_large)
+        c.add(self.large_keeper)
+
+    @property
+    def keeper_width(self) -> float:
+        """Total late-window keeper width (small + large) [m].
+
+        This is the width the static noise-margin criterion sees: once
+        the delayed branch is enabled, both keepers hold the node.
+        """
+        return self.keeper.width + self.large_keeper.width
+
+    def set_keeper_width(self, width: float) -> None:
+        """Resize the *large* branch, keeping the small keeper minimal."""
+        small = self.keeper.width
+        if width <= small:
+            raise DesignError(
+                f"total keeper width {width} must exceed the small "
+                f"keeper {small}")
+        self.large_keeper.width = width - small
+        self.circuit["MKEN"].width = width - small
+
+    def enable_delay_estimate(self) -> float:
+        """Crude RC estimate of the delayed-enable timeout [s]."""
+        ks = self.keeper_spec
+        # Each stage drives c_stage plus the next stage's gate.
+        r_stage = 1.2 / (ks.w_chain_n * 1e3)  # ~1 mA/um drive at Vdd
+        c_node = ks.c_stage + (ks.w_chain_n + ks.w_chain_p) \
+            * self.spec.nmos.c_gate_per_width
+        return ks.delay_stages * r_stage * c_node
+
+
+def build_conditional_keeper_gate(
+        fan_in: int, fan_out: float,
+        keeper: Optional[ConditionalKeeperSpec] = None
+        ) -> ConditionalKeeperGate:
+    """Convenience builder mirroring ``build_dynamic_or``."""
+    spec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out, style="cmos")
+    return ConditionalKeeperGate(spec, keeper)

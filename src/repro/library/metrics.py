@@ -1,0 +1,28 @@
+"""Shared figures of merit for the paper's comparisons."""
+
+from __future__ import annotations
+
+
+def power_delay_product(leakage_power: float, switching_power: float,
+                        delay: float, activity: float) -> float:
+    """The paper's Equation 1: ``P.D = ((1-a) P_L + a P_S) D``.
+
+    ``activity`` is the dynamic-circuit activity factor in [0, 1]:
+    the fraction of cycles in which the gate actually switches.  At low
+    activity the leakage power ``P_L`` dominates (where the NEMS-based
+    gates shine); at high activity the switching power ``P_S`` does.
+    """
+    if not 0.0 <= activity <= 1.0:
+        raise ValueError(f"activity must be in [0, 1], got {activity}")
+    if delay < 0 or leakage_power < 0 or switching_power < 0:
+        raise ValueError("powers and delay must be non-negative")
+    total_power = (1.0 - activity) * leakage_power \
+        + activity * switching_power
+    return total_power * delay
+
+
+def energy_delay_product(switching_energy: float, delay: float) -> float:
+    """Classic EDP metric (extension beyond the paper's Equation 1)."""
+    if delay < 0 or switching_energy < 0:
+        raise ValueError("energy and delay must be non-negative")
+    return switching_energy * delay

@@ -1,0 +1,314 @@
+"""NEMS and CMOS sleep transistors (the paper's Section 6).
+
+Two analysis levels:
+
+* **Device level** (Figure 17) — ON resistance and OFF leakage versus
+  device area, with areas normalised to the paper's reference: a CMOS
+  device with W/L = 5 at the 90 nm node.  A NEMS switch occupies its
+  beam footprint, so at equal area it offers less conduction width *and*
+  less per-width drive — a higher ON resistance — but its OFF current is
+  orders of magnitude lower, and because both resistances fall as 1/area
+  the absolute resistance gap becomes negligible for large switches.
+
+* **Block level** (Figures 16a-d) — a logic block (inverter chain)
+  power-gated by a footer (or header) sleep device, in fine-grain (one
+  switch per gate) or coarse-grain (one shared switch) style.  Metrics:
+  active-mode delay degradation from the virtual-rail bounce, and
+  sleep-mode leakage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from scipy import optimize
+
+from repro.analysis import measure
+from repro.analysis.dc import operating_point
+from repro.analysis.transient import transient
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Pulse
+from repro.devices.mosfet import (
+    Mosfet,
+    MosfetParams,
+    nmos_90nm,
+    pmos_90nm,
+)
+from repro.devices.nemfet import (
+    Nemfet,
+    NemfetParams,
+    nemfet_90nm,
+    pemfet_90nm,
+)
+from repro.errors import DesignError, MeasurementError
+
+#: The paper's area unit: a W/L = 5 CMOS device at L = 90 nm.
+CMOS_UNIT_WIDTH = 5 * 90e-9           # [m]
+CMOS_UNIT_AREA = CMOS_UNIT_WIDTH * 90e-9  # [m^2]
+
+#: Small drain bias used for ON-resistance extraction [V].
+RON_VDS = 0.05
+
+
+@dataclass(frozen=True)
+class SleepDevice:
+    """A sleep switch described by technology and normalised area."""
+
+    kind: str                 #: "cmos" or "nems"
+    area_units: float         #: area / CMOS_UNIT_AREA
+    vdd: float = 1.2
+    nmos: MosfetParams = field(default_factory=nmos_90nm)
+    nems: NemfetParams = field(default_factory=nemfet_90nm)
+
+    def __post_init__(self):
+        if self.kind not in ("cmos", "nems"):
+            raise DesignError(f"unknown sleep device kind '{self.kind}'")
+        if self.area_units <= 0:
+            raise DesignError(
+                f"area must be positive, got {self.area_units}")
+
+    @property
+    def width(self) -> float:
+        """Conduction width the area budget buys [m].
+
+        CMOS: ``W = area / L``.  NEMS: beams tile the footprint, so the
+        summed channel width is ``area / beam_length``.
+        """
+        area = self.area_units * CMOS_UNIT_AREA
+        if self.kind == "cmos":
+            return area / self.nmos.l_channel
+        beam_length = self.nems.area / _beam_width(self.nems)
+        return area / beam_length
+
+    def on_resistance(self) -> float:
+        """ON-state resistance at full gate drive, small V_DS [ohm]."""
+        if self.kind == "cmos":
+            from repro.devices.mosfet import mosfet_current
+            i = mosfet_current(self.nmos, self.width, self.vdd,
+                               RON_VDS, 0.0)[0]
+        else:
+            i = self.nems.static_current(self.width, self.vdd, RON_VDS,
+                                         0.0, branch="down")
+        if i <= 0:
+            raise MeasurementError("sleep device does not conduct")
+        return RON_VDS / i
+
+    def off_current(self) -> float:
+        """OFF-state leakage at V_GS = 0, V_DS = Vdd [A]."""
+        if self.kind == "cmos":
+            from repro.devices.mosfet import mosfet_current
+            return abs(mosfet_current(self.nmos, self.width, 0.0,
+                                      self.vdd, 0.0)[0])
+        return abs(self.nems.static_current(self.width, 0.0, self.vdd,
+                                            0.0, branch="up"))
+
+
+def _beam_width(nems: NemfetParams) -> float:
+    """Beam width implied by the actuation area and default geometry."""
+    # area = beam_length * beam_width with the factory's 500 nm length.
+    return nems.area / 500e-9
+
+
+def sweep_sleep_devices(area_units: List[float], vdd: float = 1.2
+                        ) -> List[Tuple[float, float, float, float, float]]:
+    """Figure 17 sweep: ``(area, Ron_cmos, Ioff_cmos, Ron_nems, Ioff_nems)``."""
+    rows = []
+    for a in area_units:
+        cmos = SleepDevice("cmos", a, vdd=vdd)
+        nems = SleepDevice("nems", a, vdd=vdd)
+        rows.append((a, cmos.on_resistance(), cmos.off_current(),
+                     nems.on_resistance(), nems.off_current()))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Block-level power gating.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GatedBlockSpec:
+    """An inverter chain power-gated by sleep switches.
+
+    ``grain='coarse'`` shares one footer across the chain (Figure 16d);
+    ``'fine'`` gives each stage its own footer sized ``1/n_stages`` of
+    the area budget (Figure 16c).  ``header=True`` gates the Vdd side
+    with a PMOS / p-NEMS device instead (Figure 16a vs 16b).
+    """
+
+    kind: str = "cmos"            #: sleep-switch technology
+    area_units: float = 4.0       #: total sleep-switch area budget
+    n_stages: int = 4
+    grain: str = "coarse"
+    header: bool = False          #: True = gate the Vdd rail (Fig 16a)
+    vdd: float = 1.2
+    w_inv_n: float = 1e-6
+    w_inv_p: float = 2e-6
+    load_cap: float = 5e-15
+    t_input: float = 0.4e-9
+    t_stop: float = 2.5e-9
+    nmos: MosfetParams = field(default_factory=nmos_90nm)
+    pmos: MosfetParams = field(default_factory=pmos_90nm)
+    nems: NemfetParams = field(default_factory=nemfet_90nm)
+    nems_p: NemfetParams = field(default_factory=pemfet_90nm)
+
+    def __post_init__(self):
+        if self.n_stages < 1:
+            raise DesignError("need at least one stage")
+        if self.grain not in ("coarse", "fine"):
+            raise DesignError(f"unknown grain '{self.grain}'")
+        if self.kind not in ("cmos", "nems", "none"):
+            raise DesignError(f"unknown sleep kind '{self.kind}'")
+
+
+class GatedBlock:
+    """A built power-gated inverter chain with handles for measurement."""
+
+    def __init__(self, spec: GatedBlockSpec):
+        self.spec = spec
+        self.circuit = Circuit(
+            f"gated_{spec.kind}_{spec.grain}_{spec.n_stages}")
+        self._build()
+
+    def _sleep_device(self, name: str, rail: str, area_units: float):
+        """Insert one sleep switch between ``rail`` and its supply."""
+        spec = self.spec
+        device = SleepDevice(spec.kind, area_units, vdd=spec.vdd,
+                             nmos=spec.nmos, nems=spec.nems)
+        if spec.header:
+            # Header switch between the real and virtual Vdd, active-low
+            # control on the 'slpb' node.
+            if spec.kind == "cmos":
+                return self.circuit.add(
+                    Mosfet(name, rail, "slpb", "vdd", spec.pmos,
+                           device.width))
+            return self.circuit.add(
+                Nemfet(name, rail, "slpb", "vdd", spec.nems_p,
+                       device.width, initial_contact=True))
+        if spec.kind == "cmos":
+            return self.circuit.add(
+                Mosfet(name, rail, "slp", "0", spec.nmos, device.width))
+        return self.circuit.add(
+            Nemfet(name, rail, "slp", "0", spec.nems, device.width,
+                   initial_contact=True))
+
+    def _build(self) -> None:
+        spec = self.spec
+        c = self.circuit
+        c.vsource("VDD", "vdd", "0", spec.vdd)
+        # Sleep controls: footer 'slp' is active-high, header 'slpb' is
+        # active-low.  Both rails exist so measurements can flip either.
+        self.sleep_source = c.vsource(
+            "VSLP", "slpb" if spec.header else "slp", "0",
+            0.0 if spec.header else spec.vdd)
+        self.input_source = c.vsource(
+            "VIN", "n0", "0",
+            Pulse(0.0, spec.vdd, td=spec.t_input, tr=30e-12, tf=30e-12,
+                  pw=spec.t_stop, per=None))
+
+        gated_rail = "vvdd" if spec.header else "vgnd"
+
+        def rail_for(stage: int) -> str:
+            if spec.kind == "none":
+                return "vdd" if spec.header else "0"
+            if spec.grain == "coarse":
+                return gated_rail
+            return f"{gated_rail}{stage}"
+
+        for i in range(spec.n_stages):
+            inp, out = f"n{i}", f"n{i + 1}"
+            p_rail = rail_for(i) if spec.header else "vdd"
+            n_rail = "0" if spec.header else rail_for(i)
+            c.add(Mosfet(f"MP{i}", out, inp, p_rail, spec.pmos,
+                         spec.w_inv_p))
+            c.add(Mosfet(f"MN{i}", out, inp, n_rail, spec.nmos,
+                         spec.w_inv_n))
+            c.capacitor(f"CL{i}", out, "0", spec.load_cap)
+
+        if spec.kind != "none":
+            if spec.grain == "coarse":
+                self._sleep_device("MSLP", gated_rail, spec.area_units)
+            else:
+                per_stage = spec.area_units / spec.n_stages
+                for i in range(spec.n_stages):
+                    self._sleep_device(f"MSLP{i}", f"{gated_rail}{i}",
+                                       per_stage)
+
+    @property
+    def output_node(self) -> str:
+        return f"n{self.spec.n_stages}"
+
+
+def block_delay(spec: GatedBlockSpec, dt: float = 4e-12) -> float:
+    """Active-mode propagation delay through the gated chain [s]."""
+    block = GatedBlock(spec)
+    result = transient(block.circuit, spec.t_stop, dt)
+    half = spec.vdd / 2
+    edge_out = "rise" if spec.n_stages % 2 == 0 else "fall"
+    return measure.propagation_delay(
+        result.t, result.voltage("n0"), result.voltage(block.output_node),
+        level_from=half, level_to=half, edge_from="rise",
+        edge_to=edge_out)
+
+
+def block_sleep_leakage(spec: GatedBlockSpec, dt: float = 4e-12) -> float:
+    """Sleep-mode leakage power of the gated block [W].
+
+    The sleep control is low; inputs are held low.  The NEMS switch
+    starts closed (its worst case) and releases, so the measurement
+    includes the mechanical opening transient before the DC polish.
+    """
+    block = GatedBlock(spec)
+    block.sleep_source.value = spec.vdd if spec.header else 0.0
+    block.input_source.value = 0.0
+    result = transient(block.circuit, 1.5e-9, dt)
+    op = operating_point(block.circuit, x0=result.final().x,
+                         layout=result.layout)
+    return op.source_power("VDD")
+
+
+def delay_degradation(kind: str, area_units: float,
+                      base: Optional[GatedBlockSpec] = None) -> float:
+    """Fractional delay increase versus the ungated chain."""
+    template = base or GatedBlockSpec()
+    ungated = replace_spec(template, kind="none", area_units=1.0)
+    gated = replace_spec(template, kind=kind, area_units=area_units)
+    d0 = block_delay(ungated)
+    d1 = block_delay(gated)
+    return (d1 - d0) / d0
+
+
+def replace_spec(spec: GatedBlockSpec, **overrides) -> GatedBlockSpec:
+    """Copy a block spec with field overrides (dataclasses.replace)."""
+    fields = {f: getattr(spec, f) for f in spec.__dataclass_fields__}
+    fields.update(overrides)
+    return GatedBlockSpec(**fields)
+
+
+def size_for_delay_budget(kind: str, max_degradation: float,
+                          base: Optional[GatedBlockSpec] = None,
+                          a_min: float = 0.5, a_max: float = 256.0
+                          ) -> float:
+    """Smallest sleep-switch area meeting a delay-degradation budget.
+
+    Returns the area in paper units.  This is the sizing loop behind the
+    paper's claim that an (up-sized) NEMS sleep switch matches CMOS block
+    performance while keeping its leakage advantage.
+    """
+    if max_degradation <= 0:
+        raise DesignError("delay budget must be positive")
+    if delay_degradation(kind, a_max, base) > max_degradation:
+        raise DesignError(
+            f"even area {a_max} units exceeds the delay budget")
+    if delay_degradation(kind, a_min, base) <= max_degradation:
+        return a_min
+    lo, hi = a_min, a_max
+    for _ in range(24):
+        mid = math.sqrt(lo * hi)
+        if delay_degradation(kind, mid, base) <= max_degradation:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,252 @@
+"""SRAM cell architectures of the paper's Figure 13.
+
+Four six-transistor cell variants are built from the same topology by
+assigning per-transistor device flavours:
+
+* **conventional** — all nominal-Vt CMOS;
+* **dual_vt** (ref [25]) — high-Vt cross-coupled inverters, nominal
+  access transistors: less leakage, weaker cell;
+* **asymmetric** (ref [26]) — high-Vt on the cross-coupled devices that
+  leak when the cell stores the (statistically dominant) zero at QL —
+  NR and PL — leaving the frequent-zero read path (AL + NL) at nominal
+  speed;
+* **hybrid** (the paper's proposal, Figure 13d) — the cross-coupled
+  inverter transistors NL/NR/PL/PR are NEMFETs, access transistors stay
+  CMOS (replacing the access devices would put the mechanical switching
+  time into every read).
+
+Transistor names follow the paper: ``NL/NR`` pull-downs, ``PL/PR``
+pull-ups, ``AL/AR`` access devices, storage nodes ``QL/QR``; bitline
+``BL`` couples to ``QL`` through ``AL``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Pulse
+from repro.devices.mosfet import (
+    Mosfet,
+    MosfetParams,
+    nmos_90nm,
+    nmos_90nm_hvt,
+    pmos_90nm,
+    pmos_90nm_hvt,
+)
+from repro.devices.nemfet import Nemfet, NemfetParams, nemfet_90nm, pemfet_90nm
+from repro.errors import DesignError
+
+#: Cell variants understood by the builders.
+VARIANTS = ("conventional", "dual_vt", "asymmetric", "hybrid")
+
+#: Which transistors are NEMFETs in the hybrid cell.
+HYBRID_NEMS_DEVICES = frozenset({"NL", "NR", "PL", "PR"})
+
+
+@dataclass
+class SramSpec:
+    """Cell sizing and device-flavour selection.
+
+    Default widths give a read beta ratio (pull-down : access) of 5,
+    which once the hybrid variant's weaker NEMS pull-downs are accounted
+    for keeps every variant read-stable.
+    """
+
+    variant: str = "conventional"
+    vdd: float = 1.2
+    w_pulldown: float = 0.5e-6
+    w_pullup: float = 0.2e-6
+    w_access: float = 0.1e-6
+    c_bitline: float = 40e-15
+    w_precharge: float = 2e-6
+    #: Read-timing protocol [s]: bitline precharge window, then wordline.
+    t_precharge: float = 0.6e-9
+    t_wordline: float = 0.8e-9
+    t_read: float = 1.5e-9
+    nmos: MosfetParams = field(default_factory=nmos_90nm)
+    pmos: MosfetParams = field(default_factory=pmos_90nm)
+    nmos_hvt: MosfetParams = field(default_factory=nmos_90nm_hvt)
+    pmos_hvt: MosfetParams = field(default_factory=pmos_90nm_hvt)
+    nems_n: NemfetParams = field(default_factory=nemfet_90nm)
+    nems_p: NemfetParams = field(default_factory=pemfet_90nm)
+
+    def __post_init__(self):
+        if self.variant not in VARIANTS:
+            raise DesignError(
+                f"unknown SRAM variant '{self.variant}' "
+                f"(choose from {VARIANTS})")
+        for label, v in (("w_pulldown", self.w_pulldown),
+                         ("w_pullup", self.w_pullup),
+                         ("w_access", self.w_access),
+                         ("c_bitline", self.c_bitline)):
+            if getattr(self, label.split()[0]) <= 0:
+                raise DesignError(f"{label} must be positive, got {v}")
+
+    # -- flavour table -------------------------------------------------------
+
+    def flavor(self, device: str):
+        """MOSFET parameter set (or NEMFET marker) for a cell transistor.
+
+        Returns ``("mosfet", params)`` or ``("nemfet", params)``.
+        """
+        if device not in ("NL", "NR", "PL", "PR", "AL", "AR"):
+            raise DesignError(f"unknown cell transistor '{device}'")
+        is_pullup = device in ("PL", "PR")
+        is_access = device in ("AL", "AR")
+
+        if self.variant == "hybrid" and device in HYBRID_NEMS_DEVICES:
+            return ("nemfet", self.nems_p if is_pullup else self.nems_n)
+
+        if self.variant == "dual_vt" and not is_access:
+            return ("mosfet",
+                    self.pmos_hvt if is_pullup else self.nmos_hvt)
+
+        if self.variant == "asymmetric" and device in ("NR", "PL"):
+            return ("mosfet",
+                    self.pmos_hvt if is_pullup else self.nmos_hvt)
+
+        if is_pullup:
+            return ("mosfet", self.pmos)
+        return ("mosfet", self.nmos)
+
+    def width_of(self, device: str) -> float:
+        """Drawn width of a cell transistor [m]."""
+        if device in ("PL", "PR"):
+            return self.w_pullup
+        if device in ("AL", "AR"):
+            return self.w_access
+        return self.w_pulldown
+
+
+def _add_cell_transistor(circuit: Circuit, spec: SramSpec, name: str,
+                         drain: str, gate: str, source: str,
+                         initial_contact: bool = False):
+    kind, params = spec.flavor(name)
+    width = spec.width_of(name)
+    if kind == "nemfet":
+        return circuit.add(Nemfet(name, drain, gate, source, params,
+                                  width, initial_contact=initial_contact))
+    return circuit.add(Mosfet(name, drain, gate, source, params, width))
+
+
+class SramCell:
+    """A full SRAM read/standby harness.
+
+    Contains the six-transistor cell, bitline capacitances, a bitline
+    precharge pair, wordline and supply sources, and a transient
+    state-setting pull that deterministically initialises the cell to
+    ``QL = 0, QR = 1`` (released after ``spec.t_precharge / 2``).
+
+    Timeline of the built waveforms::
+
+        0 .. t_precharge         bitlines precharged, cell settles
+        t_wordline ..            wordline rises (read access)
+    """
+
+    def __init__(self, spec: SramSpec):
+        self.spec = spec
+        self.circuit = Circuit(f"sram_{spec.variant}")
+        self._build()
+
+    def _build(self) -> None:
+        spec = self.spec
+        c = self.circuit
+        vdd = spec.vdd
+
+        self.vdd_source = c.vsource("VDD", "vdd", "0", vdd)
+        self.wordline_source = c.vsource(
+            "VWL", "wl", "0",
+            Pulse(0.0, vdd, td=spec.t_wordline, tr=20e-12, tf=20e-12,
+                  pw=spec.t_read, per=None))
+        # Precharge control: low (PMOS on) during the precharge window.
+        self.precharge_source = c.vsource(
+            "VPRE", "pre", "0",
+            Pulse(0.0, vdd, td=spec.t_precharge, tr=20e-12, tf=20e-12,
+                  pw=1.0, per=None))
+
+        # Cross-coupled inverters.  The devices that hold the initial
+        # QL=0 / QR=1 state start in contact (NL gate high, PR gate low).
+        _add_cell_transistor(c, spec, "PL", "ql", "qr", "vdd")
+        _add_cell_transistor(c, spec, "NL", "ql", "qr", "0",
+                             initial_contact=True)
+        _add_cell_transistor(c, spec, "PR", "qr", "ql", "vdd",
+                             initial_contact=True)
+        _add_cell_transistor(c, spec, "NR", "qr", "ql", "0")
+
+        # Access transistors: bitline side is the drain terminal.
+        _add_cell_transistor(c, spec, "AL", "bl", "wl", "ql")
+        _add_cell_transistor(c, spec, "AR", "blb", "wl", "qr")
+
+        # Bitlines: capacitance plus precharge PMOS pair.
+        c.capacitor("CBL", "bl", "0", spec.c_bitline)
+        c.capacitor("CBLB", "blb", "0", spec.c_bitline)
+        c.add(Mosfet("MPREL", "bl", "pre", "vdd", spec.pmos,
+                     spec.w_precharge))
+        c.add(Mosfet("MPRER", "blb", "pre", "vdd", spec.pmos,
+                     spec.w_precharge))
+
+        # State-setting pull: drags QL low while the cell powers up, then
+        # releases well before the wordline event.
+        self.state_source = c.isource(
+            "ISET", "ql", "0",
+            Pulse(50e-6, 0.0, td=0.3 * spec.t_precharge, tr=20e-12,
+                  pw=1.0, per=None))
+
+    def hold_wordline_low(self) -> None:
+        """Reconfigure for standby: the wordline never rises."""
+        self.wordline_source.value = 0.0
+
+    def write_pulse(self, value: int, t_start: float,
+                    duration: float) -> None:
+        """Drive the bitlines to write ``value`` into QL during a window.
+
+        Adds strong drivers emulating the write circuitry; call before
+        running the transient.
+        """
+        spec = self.spec
+        if value not in (0, 1):
+            raise DesignError(f"write value must be 0 or 1, got {value}")
+        high, low = ("bl", "blb") if value == 1 else ("blb", "bl")
+        # Write driver: yank the low-going bitline to ground.
+        self.circuit.add(Mosfet("MWDRV", low, "wen", "0",
+                                spec.nmos, 4e-6))
+        self.circuit.vsource("VWEN", "wen", "0",
+                             Pulse(0.0, spec.vdd, td=t_start, tr=20e-12,
+                                   pw=duration, per=None))
+
+
+def build_read_harness(spec: SramSpec) -> SramCell:
+    """Construct the full read/standby harness for a cell variant."""
+    return SramCell(spec)
+
+
+def build_vtc_circuit(spec: SramSpec, side: str) -> Circuit:
+    """Half-cell circuit for one inverter's read-condition VTC.
+
+    ``side='right'`` builds the QL -> QR inverter (PR, NR) with its
+    access transistor AR tied to a full-rail bitline and the wordline
+    high — the read-disturb loading condition under which the paper's
+    Figure 14 butterfly curves are drawn.  The input node is ``in``
+    (driven externally via the ``VIN`` source); the output is ``q``.
+    """
+    if side not in ("left", "right"):
+        raise DesignError(f"side must be 'left' or 'right', got '{side}'")
+    c = Circuit(f"sram_vtc_{spec.variant}_{side}")
+    vdd = spec.vdd
+    c.vsource("VDD", "vdd", "0", vdd)
+    c.vsource("VWL", "wl", "0", vdd)
+    c.vsource("VBL", "bit", "0", vdd)
+    c.vsource("VIN", "in", "0", 0.0)
+    if side == "right":
+        _add_cell_transistor(c, spec, "PR", "q", "in", "vdd",
+                             initial_contact=True)
+        _add_cell_transistor(c, spec, "NR", "q", "in", "0")
+        _add_cell_transistor(c, spec, "AR", "bit", "wl", "q")
+    else:
+        _add_cell_transistor(c, spec, "PL", "q", "in", "vdd",
+                             initial_contact=True)
+        _add_cell_transistor(c, spec, "NL", "q", "in", "0")
+        _add_cell_transistor(c, spec, "AL", "bit", "wl", "q")
+    return c

@@ -1,0 +1,117 @@
+"""Array-level SRAM effects: bitline leakage and access-device choices.
+
+Section 5.1 of the paper argues that read latency degrades with scaling
+because "the higher leakage current of OFF access transistors (in other
+cells that are connected to the BLB) makes it tougher for the access
+transistors to create the necessary voltage difference for sense
+amplifiers".  This module makes that argument measurable:
+
+* :func:`build_array_read_harness` attaches the aggregated OFF access
+  transistors of the other ``rows - 1`` cells to both bitlines (lumped
+  as one wide device per bitline, the standard bitline-leakage model),
+  with the worst-case data pattern — every unselected cell on the
+  *high-going* bitline stores a zero, so its leakage fights the
+  developing differential;
+* :class:`NemsAccessSramSpec` builds the variant the paper explicitly
+  rejects ("replacing access transistors with NEMS devices is not a
+  good idea because of their huge impact on latency"): reads must wait
+  for the access beams to actuate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.circuit.mna import SystemLayout
+from repro.devices.mosfet import Mosfet
+from repro.devices.nemfet import Nemfet
+from repro.errors import DesignError
+from repro.library.sram import SramCell, SramSpec, build_read_harness
+
+
+@dataclass
+class ArraySpec:
+    """A column of ``rows`` cells sharing one bitline pair."""
+
+    cell: SramSpec = field(default_factory=SramSpec)
+    rows: int = 128
+    #: Extra bitline capacitance per row [F] (wire + drain junctions).
+    c_bitline_per_row: float = 0.25e-15
+
+    def __post_init__(self):
+        if self.rows < 1:
+            raise DesignError(f"need at least one row, got {self.rows}")
+
+
+def build_array_read_harness(spec: ArraySpec,
+                             leaker_vth_shift: float = 0.0) -> SramCell:
+    """Read harness with the unselected rows' bitline leakage attached.
+
+    The ``rows - 1`` OFF access transistors per bitline are lumped into
+    a single wide device (gate grounded).  On the BLB side (which must
+    stay high during a read of the stored zero) the leakers' sources sit
+    at ground — the worst-case pattern — so their subthreshold current
+    directly erodes the sense differential.  ``leaker_vth_shift``
+    models a leaky process corner (negative = leakier).
+    """
+    # Clone the cell spec (preserving subclass flavour overrides) with
+    # the bitline capacitance grown to the column height.
+    cell_spec = type(spec.cell)(**{f: getattr(spec.cell, f)
+                                   for f in SramSpec.__dataclass_fields__})
+    cell_spec.c_bitline = (spec.cell.c_bitline
+                           + spec.rows * spec.c_bitline_per_row)
+    cell = SramCell(cell_spec)
+
+    n_leakers = spec.rows - 1
+    if n_leakers > 0:
+        w_lump = n_leakers * cell_spec.w_access
+        params = cell_spec.nmos.with_vth_shift(leaker_vth_shift) \
+            if leaker_vth_shift else cell_spec.nmos
+        # Unselected cells storing 0 on each bitline: OFF access
+        # devices from the (high) bitline into grounded storage nodes.
+        cell.circuit.add(Mosfet("MLEAKL", "bl", "0", "0", params,
+                                w_lump))
+        cell.circuit.add(Mosfet("MLEAKR", "blb", "0", "0", params,
+                                w_lump))
+    return cell
+
+
+def array_read_latency(spec: ArraySpec, dt: float = 4e-12,
+                       leaker_vth_shift: float = 0.0) -> float:
+    """Read latency of the selected cell inside the column [s]."""
+    from repro.analysis import measure
+    from repro.analysis.transient import transient
+    from repro.library.sram_metrics import SENSE_THRESHOLD
+    import numpy as np
+
+    cell = build_array_read_harness(spec, leaker_vth_shift)
+    cspec = cell.spec
+    tstop = cspec.t_wordline + cspec.t_read
+    result = transient(cell.circuit, tstop, dt)
+    t_wl = measure.first_cross(result.t, result.voltage("wl"),
+                               cspec.vdd / 2, "rise")
+    split = np.abs(result.voltage("blb") - result.voltage("bl"))
+    t_sense = measure.first_cross(result.t, split, SENSE_THRESHOLD,
+                                  "rise", after=t_wl)
+    return t_sense - t_wl
+
+
+class NemsAccessSramSpec(SramSpec):
+    """The rejected design: NEMS access transistors (AL/AR).
+
+    Inherits the hybrid cell's NEMS cross-coupled devices and replaces
+    the access transistors too, so a read must first actuate the access
+    beams mechanically.
+    """
+
+    def flavor(self, device: str):
+        if device in ("AL", "AR"):
+            return ("nemfet", self.nems_n)
+        return super().flavor(device)
+
+
+def nems_access_spec(**overrides) -> NemsAccessSramSpec:
+    """Build the all-NEMS-access variant (hybrid cell plus NEMS access)."""
+    spec = NemsAccessSramSpec(variant="hybrid", **overrides)
+    return spec

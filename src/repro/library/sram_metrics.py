@@ -1,0 +1,299 @@
+"""SRAM cell metrics: butterfly curves / SNM, read latency, leakage.
+
+* **Static noise margin** — read-condition butterfly curves (Figure 14)
+  via the Seevinck largest-square method: both inverter VTCs are traced
+  with the access transistors conducting against full-rail bitlines, the
+  curves are rotated 45 degrees, and the SNM is the smaller lobe's
+  maximum diagonal separation divided by sqrt(2).
+* **Read latency** (Figure 15) — full-harness transient: bitlines
+  precharge, the wordline rises, and latency is measured from the 50%
+  wordline edge to a 100 mV bitline differential (a typical
+  sense-amplifier threshold).
+* **Standby leakage** (Figure 15) — wordline low, bitlines held at Vdd;
+  total static power drawn from the supply and the bitline precharge,
+  resolved by a DC polish of the settled state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analysis import measure
+from repro.analysis.dc import dc_sweep, operating_point
+from repro.analysis.transient import transient
+from repro.errors import MeasurementError
+from repro.library.sram import SramSpec, build_read_harness, build_vtc_circuit
+
+#: Sense-amplifier differential threshold used for read latency [V].
+SENSE_THRESHOLD = 0.1
+
+#: Default transient step for SRAM simulations [s].
+DEFAULT_DT = 4e-12
+
+
+@dataclass(frozen=True)
+class ButterflyCurves:
+    """Read-condition transfer curves of both cell inverters."""
+
+    v_in: np.ndarray    #: swept inverter input [V]
+    v_right: np.ndarray  #: QR = f_R(input) — right inverter output
+    v_left: np.ndarray   #: QL = f_L(input) — left inverter output
+
+    def as_xy(self) -> Tuple[np.ndarray, np.ndarray,
+                             np.ndarray, np.ndarray]:
+        """Butterfly plot data: (x1, y1) right curve, (x2, y2) mirrored
+        left curve (input on the y axis)."""
+        return self.v_in, self.v_right, self.v_left, self.v_in
+
+
+def trace_vtc(spec: SramSpec, side: str, points: int = 121
+              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Read-condition VTC of one cell inverter.
+
+    Swept by continuation from input 0 upward, which for the hybrid cell
+    follows the physically-traversed NEMS hysteresis branch (pull-down
+    closing at pull-in as the input rises).
+    """
+    circuit = build_vtc_circuit(spec, side)
+    v_in = np.linspace(0.0, spec.vdd, points)
+    sweep = dc_sweep(circuit, "VIN", v_in)
+    return v_in, sweep.voltage("q")
+
+
+def butterfly(spec: SramSpec, points: int = 121) -> ButterflyCurves:
+    """Both read-condition VTCs (the Figure 14 butterfly)."""
+    v_in, v_right = trace_vtc(spec, "right", points)
+    _, v_left = trace_vtc(spec, "left", points)
+    return ButterflyCurves(v_in=v_in, v_right=v_right, v_left=v_left)
+
+
+def seevinck_snm(v_in: np.ndarray, vtc_a: np.ndarray,
+                 vtc_b: np.ndarray) -> float:
+    """Static noise margin [V] from two inverter VTCs (Seevinck method).
+
+    The butterfly plots curve A as ``(x, a(x))`` and curve B mirrored as
+    ``(b(y), y)``.  The largest square (sides parallel to the axes)
+    inscribed in a lobe has its diagonal along a 45-degree line
+    ``y = x + c``; since both VTCs are traced by continuation they cross
+    each such line once, and the square's side equals the horizontal
+    distance between the two intersection points.  The SNM is the
+    smaller lobe's maximum side over all offsets ``c``.
+    """
+    v_in = np.asarray(v_in, dtype=float)
+    vtc_a = np.asarray(vtc_a, dtype=float)
+    vtc_b = np.asarray(vtc_b, dtype=float)
+    if not (len(v_in) == len(vtc_a) == len(vtc_b)) or len(v_in) < 5:
+        raise MeasurementError("VTC arrays must match and have >= 5 pts")
+
+    def line_crossing_x(vtc: np.ndarray, c: float) -> float:
+        """x where the curve (v_in, vtc) crosses y = x + c (first)."""
+        h = vtc - v_in - c  # decreasing for an inverter VTC
+        sign_change = np.nonzero(np.diff(np.signbit(h)))[0]
+        if len(sign_change) == 0:
+            return np.nan
+        i = int(sign_change[0])
+        frac = h[i] / (h[i] - h[i + 1])
+        return float(v_in[i] + frac * (v_in[i + 1] - v_in[i]))
+
+    # Curve A crossing y = x + c at (xa, xa + c); the mirrored curve B
+    # crosses where b(y) = y - c, i.e. at (yb - c, yb) with yb the
+    # crossing of (v_in, vtc_b) against y = x + (-c) ... solved directly:
+    # h_b(y) = vtc_b(y) - y + c.
+    def line_crossing_b(c: float) -> float:
+        h = vtc_b - v_in + c
+        sign_change = np.nonzero(np.diff(np.signbit(h)))[0]
+        if len(sign_change) == 0:
+            return np.nan
+        i = int(sign_change[0])
+        frac = h[i] / (h[i] - h[i + 1])
+        yb = float(v_in[i] + frac * (v_in[i + 1] - v_in[i]))
+        return yb - c  # the x coordinate of the intersection
+
+    vdd = float(v_in[-1])
+    upper = 0.0  # lobe where curve A is to the left of curve B
+    lower = 0.0
+    for c in np.linspace(-vdd, vdd, 481):
+        xa = line_crossing_x(vtc_a, c)
+        xb = line_crossing_b(c)
+        if np.isnan(xa) or np.isnan(xb):
+            continue
+        side = xb - xa
+        if side > upper:
+            upper = side
+        elif -side > lower:
+            lower = -side
+    return float(min(upper, lower))
+
+
+def static_noise_margin(spec: SramSpec,
+                        points: int = 121) -> Tuple[float, ButterflyCurves]:
+    """Read SNM [V] and the butterfly curves it was measured from."""
+    curves = butterfly(spec, points)
+    snm = seevinck_snm(curves.v_in, curves.v_right, curves.v_left)
+    return snm, curves
+
+
+def read_latency(spec: SramSpec, dt: float = DEFAULT_DT) -> float:
+    """Read access latency [s]: wordline edge to 100 mV bitline split.
+
+    The cell stores QL=0, so the read discharges BL through AL and NL.
+    """
+    cell = build_read_harness(spec)
+    tstop = spec.t_wordline + spec.t_read
+    result = transient(cell.circuit, tstop, dt)
+    t_wl = measure.first_cross(result.t, result.voltage("wl"),
+                               spec.vdd / 2, "rise")
+    split = np.abs(result.voltage("blb") - result.voltage("bl"))
+    try:
+        t_sense = measure.first_cross(result.t, split, SENSE_THRESHOLD,
+                                      "rise", after=t_wl)
+    except MeasurementError as err:
+        raise MeasurementError(
+            f"variant '{spec.variant}' never develops a "
+            f"{SENSE_THRESHOLD * 1e3:.0f} mV bitline split: {err}"
+        ) from err
+    return t_sense - t_wl
+
+
+def read_latencies_both(spec: SramSpec, dt: float = DEFAULT_DT
+                        ) -> Tuple[float, float]:
+    """Read latency for stored 0 and stored 1 [s].
+
+    The asymmetric cell (Figure 13c) reads its two states at different
+    speeds; the paper's Figure 15 plots their average.  The stored-1
+    latency is obtained by mirroring the flavour assignment, i.e.
+    measuring the complementary discharge path AR + NR.
+    """
+    lat0 = read_latency(spec, dt)
+    mirrored = _mirror_spec(spec)
+    lat1 = read_latency(mirrored, dt)
+    return lat0, lat1
+
+
+class _MirrorSpec(SramSpec):
+    """Spec wrapper that swaps left/right flavour assignments."""
+
+    _SWAP = {"NL": "NR", "NR": "NL", "PL": "PR", "PR": "PL",
+             "AL": "AR", "AR": "AL"}
+
+    def flavor(self, device: str):
+        return super().flavor(self._SWAP[device])
+
+
+def _mirror_spec(spec: SramSpec) -> SramSpec:
+    mirrored = _MirrorSpec(**{f: getattr(spec, f)
+                              for f in spec.__dataclass_fields__})
+    return mirrored
+
+
+def standby_leakage(spec: SramSpec, dt: float = DEFAULT_DT) -> float:
+    """Standby leakage power [W]: wordline low, bitlines precharged.
+
+    Counts all static power entering from the supply (the bitline
+    precharge devices stay on, so bitline leakage through the access
+    transistors is included).  Resolved by settling transiently and
+    polishing with a DC solve.
+    """
+    cell = build_read_harness(spec)
+    cell.hold_wordline_low()
+    t_settle = spec.t_precharge
+    result = transient(cell.circuit, t_settle, dt)
+    saved_pre = cell.precharge_source.value
+    saved_set = cell.state_source.value
+    try:
+        # Pin every pulse source to its standby level: the DC polish
+        # evaluates waveforms at t=0, which would otherwise re-apply the
+        # state-setting pull.
+        cell.precharge_source.value = 0.0  # keep the precharge pair on
+        cell.state_source.value = 0.0
+        op = operating_point(cell.circuit, x0=result.final().x,
+                             layout=result.layout)
+    finally:
+        cell.precharge_source.value = saved_pre
+        cell.state_source.value = saved_set
+    return op.source_power("VDD")
+
+
+def write_margin(spec: SramSpec, points: int = 121) -> float:
+    """Write trip voltage [V]: the bitline level at which the cell
+    flips during a write (larger = easier to write).
+
+    Standard bitline-sweep definition: wordline high, BLB held at Vdd,
+    BL swept downward from Vdd; the metric is the bitline voltage at
+    which the stored value flips.  Uses DC continuation from the held
+    state, so the flip appears as the held branch's fold.  The hybrid
+    cell's weak NEMS pull-ups make it *statically* easier to write than
+    the conventional cell — its write cost is dynamic (beam actuation,
+    see :func:`write_latency`), not static.
+    """
+    from repro.circuit.netlist import Circuit
+    from repro.library.sram import _add_cell_transistor
+
+    c = Circuit(f"wm_{spec.variant}")
+    vdd = spec.vdd
+    c.vsource("VDD", "vdd", "0", vdd)
+    c.vsource("VWL", "wl", "0", vdd)
+    c.vsource("VBLB", "blb", "0", vdd)
+    vbl = c.vsource("VBL", "bl", "0", vdd)
+    # Cell storing QL = 1 (so pulling BL low writes a 0 through AL).
+    _add_cell_transistor(c, spec, "PL", "ql", "qr", "vdd",
+                         initial_contact=True)
+    _add_cell_transistor(c, spec, "NL", "ql", "qr", "0")
+    _add_cell_transistor(c, spec, "PR", "qr", "ql", "vdd")
+    _add_cell_transistor(c, spec, "NR", "qr", "ql", "0",
+                         initial_contact=True)
+    _add_cell_transistor(c, spec, "AL", "bl", "wl", "ql")
+    _add_cell_transistor(c, spec, "AR", "blb", "wl", "qr")
+
+    # Deterministic start on the QL=1 branch: warm-start the first
+    # solve from a vector with the storage nodes pre-set (the cell is
+    # bistable, so a cold start could land on either state).
+    from repro.circuit.mna import SystemLayout
+
+    layout = SystemLayout(c)
+    x0 = layout.x_default.copy()
+    for node, v in (("vdd", vdd), ("wl", vdd), ("bl", vdd),
+                    ("blb", vdd), ("ql", vdd), ("qr", 0.0)):
+        x0[layout.node_index(node)] = v
+
+    bl_values = np.linspace(vdd, 0.0, points)
+    sweep = dc_sweep(c, "VBL", bl_values, layout=layout, x0=x0)
+    ql = sweep.voltage("ql")
+    flipped = np.nonzero(ql < vdd / 2)[0]
+    if len(flipped) == 0:
+        raise MeasurementError(
+            f"variant '{spec.variant}' cell cannot be written by a "
+            f"full bitline swing")
+    return float(bl_values[flipped[0]])
+
+
+def write_latency(spec: SramSpec, dt: float = DEFAULT_DT,
+                  settle_fraction: float = 0.95) -> float:
+    """Write latency [s]: wordline edge until QL settles high.
+
+    Writes a 1 into a cell storing 0 and waits for QL to reach
+    ``settle_fraction * Vdd`` — the full-rail settle, which only the
+    pull-up can complete (the access NMOS stops a threshold below the
+    rail).  For the hybrid cell this therefore includes the NEMS
+    pull-up/pull-down mechanical actuation — the hidden cost the paper
+    does not quote, reported here as an extension metric.
+    """
+    cell = build_read_harness(spec)
+    cell.write_pulse(1, t_start=spec.t_wordline - 0.1e-9,
+                     duration=spec.t_read + 0.2e-9)
+    tstop = spec.t_wordline + spec.t_read
+    result = transient(cell.circuit, tstop, dt)
+    t_wl = measure.first_cross(result.t, result.voltage("wl"),
+                               spec.vdd / 2, "rise")
+    try:
+        t_flip = measure.first_cross(result.t, result.voltage("ql"),
+                                     settle_fraction * spec.vdd,
+                                     "rise", after=t_wl)
+    except MeasurementError as err:
+        raise MeasurementError(
+            f"variant '{spec.variant}' failed to write within "
+            f"{spec.t_read * 1e9:.1f} ns: {err}") from err
+    return t_flip - t_wl

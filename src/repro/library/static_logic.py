@@ -1,0 +1,167 @@
+"""Static CMOS wide-OR gates: the baseline of the paper's Section 4.1.
+
+The paper motivates dynamic OR gates by the *static* alternative's
+weakness: an N-input static OR is a NOR plus inverter, and the NOR
+needs a **series stack of N PMOS devices** whose resistance grows
+linearly with fan-in — which is exactly why "dynamic implementation of
+wide fan-in OR-gates offers low latency".  This module builds that
+baseline so the claim is measurable: delay and power of static vs
+dynamic vs hybrid OR gates across fan-in
+(``repro.experiments.ext_static_comparison``).
+
+Topology: NOR stage (parallel NMOS pull-down, series PMOS pull-up,
+each PMOS upsized by the stack depth to partially compensate), then an
+output inverter so the gate is non-inverting like the domino gates it
+is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis import measure
+from repro.analysis.dc import operating_point
+from repro.analysis.transient import transient
+from repro.circuit.elements import VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Pulse
+from repro.devices.mosfet import Mosfet, MosfetParams, nmos_90nm, pmos_90nm
+from repro.errors import DesignError
+from repro.library.dynamic_logic import FANOUT_UNIT_CAP
+
+
+@dataclass
+class StaticOrSpec:
+    """A static (NOR + inverter) OR gate.
+
+    ``pmos_upsizing`` scales each series PMOS by the stack depth times
+    this factor (1.0 = full delay compensation at quadratic area cost;
+    real designs use less, which is part of why wide static OR loses).
+    """
+
+    fan_in: int = 8
+    fan_out: float = 1.0
+    vdd: float = 1.2
+    w_nmos: float = 1e-6
+    w_pmos_unit: float = 2e-6
+    pmos_upsizing: float = 0.5
+    w_inv_n: float = 1e-6
+    w_inv_p: float = 2e-6
+    t_input: float = 0.4e-9
+    t_stop: float = 4e-9
+    nmos: MosfetParams = field(default_factory=nmos_90nm)
+    pmos: MosfetParams = field(default_factory=pmos_90nm)
+
+    def __post_init__(self):
+        if self.fan_in < 1:
+            raise DesignError(
+                f"static OR needs fan_in >= 1, got {self.fan_in}")
+        if self.pmos_upsizing <= 0:
+            raise DesignError("pmos_upsizing must be positive")
+
+    @property
+    def w_pmos_stack(self) -> float:
+        """Width of each series PMOS in the stack [m]."""
+        return self.w_pmos_unit * (1 + self.pmos_upsizing
+                                   * (self.fan_in - 1))
+
+    @property
+    def load_cap(self) -> float:
+        return self.fan_out * FANOUT_UNIT_CAP
+
+
+class StaticOrGate:
+    """A built static OR gate with stimulus and metric helpers."""
+
+    def __init__(self, spec: StaticOrSpec):
+        self.spec = spec
+        self.circuit = Circuit(f"static_or_fi{spec.fan_in}")
+        self.input_sources: List[VoltageSource] = []
+        self._build()
+
+    def _build(self) -> None:
+        spec = self.spec
+        c = self.circuit
+        c.vsource("VDD", "vdd", "0", spec.vdd)
+        for i in range(spec.fan_in):
+            self.input_sources.append(
+                c.vsource(f"VIN{i}", f"in{i}", "0", 0.0))
+
+        # NOR: parallel NMOS to ground.
+        for i in range(spec.fan_in):
+            c.add(Mosfet(f"MN{i}", "nor", f"in{i}", "0", spec.nmos,
+                         spec.w_nmos))
+        # Series PMOS stack from vdd to the NOR node.
+        top = "vdd"
+        for i in range(spec.fan_in):
+            bottom = "nor" if i == spec.fan_in - 1 else f"sp{i}"
+            c.add(Mosfet(f"MP{i}", bottom, f"in{i}", top, spec.pmos,
+                         spec.w_pmos_stack))
+            top = bottom
+
+        # Output inverter makes the gate non-inverting (an OR).
+        c.add(Mosfet("MINVP", "out", "nor", "vdd", spec.pmos,
+                     spec.w_inv_p))
+        c.add(Mosfet("MINVN", "out", "nor", "0", spec.nmos,
+                     spec.w_inv_n))
+        if spec.load_cap > 0:
+            c.capacitor("CL", "out", "0", spec.load_cap)
+
+    def set_inputs_static(self, levels: List[float]) -> None:
+        """Drive each input with a DC level (volts)."""
+        if len(levels) != self.spec.fan_in:
+            raise DesignError(
+                f"expected {self.spec.fan_in} levels, got {len(levels)}")
+        for src, level in zip(self.input_sources, levels):
+            src.value = float(level)
+
+    def _pulse_one_input(self, index: int, falling: bool) -> None:
+        spec = self.spec
+        v1, v2 = (spec.vdd, 0.0) if falling else (0.0, spec.vdd)
+        for i, src in enumerate(self.input_sources):
+            if i == index:
+                src.value = Pulse(v1, v2, td=spec.t_input, tr=30e-12,
+                                  tf=30e-12, pw=spec.t_stop, per=None)
+            else:
+                src.value = 0.0
+
+    def worst_case_delay(self, dt: float = 4e-12) -> float:
+        """Worst-case propagation delay [s].
+
+        For an OR gate the slow edge is the output *rise through the
+        full PMOS stack* after the last high input falls... but rising
+        through the stack happens when ALL inputs are low; the critical
+        transition is the falling input that releases the NOR node: the
+        stack then charges `nor` through N series devices.
+        """
+        self._pulse_one_input(0, falling=True)
+        try:
+            result = transient(self.circuit, self.spec.t_stop, dt)
+        finally:
+            self.set_inputs_static([0.0] * self.spec.fan_in)
+        half = self.spec.vdd / 2
+        return measure.propagation_delay(
+            result.t, result.voltage("in0"), result.voltage("out"),
+            level_from=half, level_to=half, edge_from="fall",
+            edge_to="fall")
+
+    def switching_energy(self, dt: float = 4e-12) -> float:
+        """Supply energy for one full output high->low event [J]."""
+        self._pulse_one_input(0, falling=True)
+        try:
+            result = transient(self.circuit, self.spec.t_stop, dt)
+        finally:
+            self.set_inputs_static([0.0] * self.spec.fan_in)
+        return measure.supply_energy(result, "VDD")
+
+    def leakage_power(self) -> float:
+        """Static power with all inputs low (output low) [W]."""
+        self.set_inputs_static([0.0] * self.spec.fan_in)
+        op = operating_point(self.circuit)
+        return op.source_power("VDD")
+
+
+def build_static_or(spec: StaticOrSpec) -> StaticOrGate:
+    """Construct a static OR gate from its specification."""
+    return StaticOrGate(spec)

@@ -1,0 +1,107 @@
+"""Statistical SRAM yield: read-stability failure probability.
+
+Section 5.1 of the paper notes that "the probability of read failures
+(toggling of stored value during read operation) ... degrades with
+scaling".  This module estimates that probability for each Figure 13
+cell: Monte-Carlo Vth samples per cell transistor, the read SNM of each
+sample, and a Gaussian-tail yield model.
+
+A cell read-fails when its SNM falls to zero; with the sampled SNM
+distribution approximately normal, the per-cell failure probability is
+``Phi(-mu/sigma)`` and array-level yield follows from the cell count —
+the standard cache-yield estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.devices.mosfet import MosfetParams
+from repro.errors import DesignError
+from repro.library.sram import SramSpec
+from repro.library.sram_metrics import static_noise_margin
+
+
+@dataclass
+class YieldEstimate:
+    """Sampled SNM statistics and the derived yield numbers."""
+
+    variant: str
+    snm_mean: float     #: [V]
+    snm_sigma: float    #: [V]
+    samples: int
+
+    @property
+    def cell_failure_probability(self) -> float:
+        """P(SNM <= 0) under the normal approximation."""
+        if self.snm_sigma <= 0:
+            return 0.0 if self.snm_mean > 0 else 1.0
+        z = self.snm_mean / self.snm_sigma
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+    def array_yield(self, cells: int) -> float:
+        """Probability an array of ``cells`` bits has no failing cell."""
+        if cells < 1:
+            raise DesignError(f"need at least one cell, got {cells}")
+        p = self.cell_failure_probability
+        if p >= 1.0:
+            return 0.0
+        return math.exp(cells * math.log1p(-p))
+
+
+class _SampledSpec(SramSpec):
+    """Spec whose MOSFET flavours carry per-device Vth shifts."""
+
+    def __init__(self, base: SramSpec, shifts: Dict[str, float]):
+        fields = {f: getattr(base, f)
+                  for f in SramSpec.__dataclass_fields__}
+        super().__init__(**fields)
+        self._base = base
+        self._shifts = shifts
+
+    def flavor(self, device: str):
+        kind, params = self._base.flavor(device)
+        shift = self._shifts.get(device, 0.0)
+        if kind == "mosfet" and shift:
+            return (kind, params.with_vth_shift(shift))
+        return (kind, params)
+
+
+def sample_snm_distribution(spec: SramSpec, sigma_rel: float = 0.05,
+                            samples: int = 25, seed: int = 11,
+                            points: int = 61) -> np.ndarray:
+    """Monte-Carlo read-SNM samples for one cell variant [V].
+
+    Each sample draws an independent Vth shift for each of the six cell
+    transistors (NEMS devices are geometry-limited and left unshifted,
+    mirroring :mod:`repro.devices.corners`).
+    """
+    if sigma_rel < 0:
+        raise DesignError("sigma_rel must be non-negative")
+    rng = np.random.default_rng(seed)
+    devices = ("NL", "NR", "PL", "PR", "AL", "AR")
+    values = np.empty(samples)
+    for k in range(samples):
+        shifts = {}
+        for device in devices:
+            kind, params = spec.flavor(device)
+            if kind == "mosfet":
+                shifts[device] = float(
+                    rng.normal(0.0, sigma_rel * params.vth0))
+        sampled = _SampledSpec(spec, shifts)
+        values[k] = static_noise_margin(sampled, points=points)[0]
+    return values
+
+
+def estimate_yield(spec: SramSpec, sigma_rel: float = 0.05,
+                   samples: int = 25, seed: int = 11) -> YieldEstimate:
+    """Fit the sampled SNM distribution into a yield estimate."""
+    snm = sample_snm_distribution(spec, sigma_rel, samples, seed)
+    return YieldEstimate(variant=spec.variant,
+                         snm_mean=float(snm.mean()),
+                         snm_sigma=float(snm.std(ddof=1)),
+                         samples=samples)

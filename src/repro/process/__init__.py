@@ -1,0 +1,9 @@
+"""Hybrid NEMS-CMOS process-flow description (the paper's Section 3)."""
+
+from repro.process.flow import (
+    ProcessStep,
+    HYBRID_PROCESS_FLOW,
+    check_gap_feasibility,
+)
+
+__all__ = ["ProcessStep", "HYBRID_PROCESS_FLOW", "check_gap_feasibility"]

@@ -1,0 +1,90 @@
+"""The paper's Figure 7 fabrication flow as a structured description.
+
+Section 3 argues feasibility of co-fabricating suspended-gate NEMS with
+standard CMOS.  The flow itself is not executable, but capturing it as
+data lets design tools cross-check electrical targets against process
+capabilities — most importantly that the air gap a pull-in target
+requires is manufacturable by the sacrificial-layer options the flow
+offers (dry-etched gaps of a few nanometres, per ref [13]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.devices.nemfet import NemfetParams
+from repro.errors import DesignError
+
+
+@dataclass(frozen=True)
+class ProcessStep:
+    """One fabrication step of the hybrid flow."""
+
+    figure: str       #: panel of the paper's Figure 7
+    name: str
+    description: str
+    #: Maximum temperature of the step [C]; post-CMOS MEMS steps must
+    #: stay within the back-end thermal budget (ref [19]).
+    max_temperature: float
+
+
+#: The simplified hybrid NEMS-CMOS flow of Figure 7.
+HYBRID_PROCESS_FLOW: Tuple[ProcessStep, ...] = (
+    ProcessStep("7a", "CMOS gate definition",
+                "Polysilicon gate patterning, thermal oxidation and "
+                "nitride deposition forming the isolation bi-layer.",
+                900.0),
+    ProcessStep("7b", "CMOS source/drain",
+                "Self-aligned source/drain implantation for the CMOS "
+                "devices.", 1000.0),
+    ProcessStep("7c", "NEMS active area",
+                "Phosphorous implant defining NEMS source/drain; the "
+                "suspended gate precludes self-alignment.", 1000.0),
+    ProcessStep("7d", "Field oxide",
+                "Thick field oxide formation.", 900.0),
+    ProcessStep("7e", "Sacrificial layer",
+                "Cured polyimide (dry-oxygen etched) or polysilicon "
+                "(SF6 etched) sacrificial layer; two-step CMP; dry "
+                "etching reaches nm-order gap thickness.", 350.0),
+    ProcessStep("7f", "Suspended gate",
+                "AlSi sputtering and chlorine plasma patterning of the "
+                "mechanical gate.", 350.0),
+    ProcessStep("7g", "Release",
+                "Isotropic dry release: oxygen plasma (polyimide) or "
+                "SF6 plasma (polysilicon).", 300.0),
+)
+
+#: Smallest air gap the dry-etched sacrificial process reliably yields
+#: [m] (nm-order gaps, ref [13]).
+MIN_GAP = 1e-9
+
+#: Largest practical sacrificial thickness for the flow [m].
+MAX_GAP = 200e-9
+
+#: Post-CMOS thermal budget [C] (ref [19]).
+BACKEND_THERMAL_BUDGET = 450.0
+
+
+def check_gap_feasibility(params: NemfetParams) -> None:
+    """Validate a NEMFET design against the process capabilities.
+
+    Raises :class:`DesignError` when the requested air gap falls outside
+    the sacrificial-layer window.  Returns ``None`` on success.
+    """
+    if not MIN_GAP <= params.gap <= MAX_GAP:
+        raise DesignError(
+            f"air gap {params.gap * 1e9:.2f} nm outside the process "
+            f"window [{MIN_GAP * 1e9:.0f}, {MAX_GAP * 1e9:.0f}] nm")
+
+
+def post_cmos_steps() -> Tuple[ProcessStep, ...]:
+    """Steps executed after CMOS metallisation (thermal-budget bound)."""
+    return tuple(s for s in HYBRID_PROCESS_FLOW
+                 if s.max_temperature <= BACKEND_THERMAL_BUDGET)
+
+
+def thermal_budget_violations() -> Tuple[ProcessStep, ...]:
+    """Post-CMOS steps exceeding the back-end budget (empty when OK)."""
+    return tuple(s for s in post_cmos_steps()
+                 if s.max_temperature > BACKEND_THERMAL_BUDGET)

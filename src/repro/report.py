@@ -1,0 +1,95 @@
+"""Terminal-friendly reporting: ASCII charts for experiment series.
+
+No plotting dependency is available offline, so the examples and the
+CLI render series as text charts.  The implementation favours
+robustness over beauty: linear or log axes, multiple series with
+distinct glyphs, and automatic bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+#: Glyphs assigned to series in insertion order.
+GLYPHS = "ox+*#@%&"
+
+
+def _transform(values, log: bool):
+    if not log:
+        return [float(v) for v in values]
+    out = []
+    for v in values:
+        if v <= 0:
+            raise ValueError("log axis requires positive values")
+        out.append(math.log10(v))
+    return out
+
+
+def ascii_chart(x: Sequence[float], series: Dict[str, Sequence[float]],
+                *, width: int = 64, height: int = 18,
+                logx: bool = False, logy: bool = False,
+                title: str = "", x_label: str = "",
+                y_label: str = "") -> str:
+    """Render series as a text scatter chart.
+
+    ``series`` maps labels to y-arrays aligned with ``x``.  Returns a
+    multi-line string; glyph legend appended below the axes.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs = _transform(x, logx)
+    if len(xs) < 2:
+        raise ValueError("need at least two x points")
+    all_y = []
+    for ys in series.values():
+        if len(ys) != len(xs):
+            raise ValueError("series length mismatch")
+        all_y.extend(_transform(ys, logy))
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, ys), glyph in zip(series.items(), GLYPHS):
+        ys_t = _transform(ys, logy)
+        for xv, yv in zip(xs, ys_t):
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    def fmt(value: float, log: bool) -> str:
+        return f"1e{value:.1f}" if log else f"{value:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = fmt(y_hi, logy)
+    bottom = fmt(y_lo, logy)
+    margin = max(len(top), len(bottom), len(y_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom.rjust(margin)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    left = fmt(x_lo, logx)
+    right = fmt(x_hi, logx)
+    axis = (" " * (margin + 1) + left
+            + right.rjust(width - len(left)))
+    lines.append(axis)
+    if x_label:
+        lines.append(" " * (margin + 1)
+                     + x_label.center(width))
+    legend = "   ".join(f"{glyph}={label}" for (label, _), glyph
+                        in zip(series.items(), GLYPHS))
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

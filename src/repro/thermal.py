@@ -1,0 +1,126 @@
+"""Self-consistent temperature-leakage estimation (paper ref [5]).
+
+The paper's introduction highlights the feedback loop Banerjee et al.
+formalised: leakage power raises die temperature through the package's
+thermal resistance, and temperature raises leakage exponentially.  The
+fixed point
+
+    T = T_ambient + R_th * P(T)
+
+can run away for leaky designs.  This module solves that fixed point
+for any temperature-to-power callable and provides the canonical
+application: comparing the thermal operating point of CMOS versus
+hybrid NEMS-CMOS leakage at equal logic capacity — NEMS leakage is
+athermal, so the hybrid loop barely couples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Tuple
+
+from repro.devices.mosfet import mosfet_current, nmos_90nm
+from repro.devices.nemfet import nemfet_90nm
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ThermalEnvironment:
+    """Package/ambient description.
+
+    ``r_thermal`` is the junction-to-ambient thermal resistance in
+    kelvin per watt, scaled to whatever block the power callable
+    describes.
+    """
+
+    t_ambient: float = 318.15   #: [K] (45 C system ambient)
+    r_thermal: float = 20.0     #: [K/W]
+    t_max: float = 500.0        #: runaway declaration threshold [K]
+
+
+def solve_operating_temperature(
+        power_at: Callable[[float], float],
+        env: ThermalEnvironment = ThermalEnvironment(),
+        tol: float = 1e-3, max_iterations: int = 200
+) -> Tuple[float, float]:
+    """Solve ``T = T_amb + R_th * P(T)`` by damped fixed-point iteration.
+
+    Returns ``(temperature [K], power [W])``.  Raises
+    :class:`AnalysisError` when the loop exceeds ``env.t_max`` —
+    thermal runaway: the leakage-temperature feedback has no stable
+    fixed point below the ceiling.
+    """
+    t = env.t_ambient
+    for _ in range(max_iterations):
+        p = power_at(t)
+        if p < 0:
+            raise AnalysisError("power callable returned negative power")
+        t_new = env.t_ambient + env.r_thermal * p
+        if t_new > env.t_max:
+            raise AnalysisError(
+                f"thermal runaway: T exceeded {env.t_max:.0f} K "
+                f"(P = {p:.3g} W)")
+        # Damping keeps strongly-coupled loops convergent.
+        t_next = 0.5 * (t + t_new)
+        if abs(t_next - t) < tol:
+            return t_next, power_at(t_next)
+        t = t_next
+    raise AnalysisError(
+        f"thermal fixed point did not converge in {max_iterations} "
+        f"iterations")
+
+
+def cmos_block_leakage(total_width: float, vdd: float = 1.2
+                       ) -> Callable[[float], float]:
+    """Leakage power of ``total_width`` metres of OFF NMOS at ``T``.
+
+    A standard leakage proxy for a logic block: half the transistor
+    width is OFF at any time; the OFF devices see full V_DS.
+    """
+    base = nmos_90nm()
+
+    def power_at(temperature: float) -> float:
+        params = replace(base, temperature=temperature)
+        i_off = abs(mosfet_current(params, total_width, 0.0, vdd,
+                                   0.0)[0])
+        return i_off * vdd
+
+    return power_at
+
+
+def hybrid_block_leakage(total_width: float, vdd: float = 1.2,
+                         gated_fraction: float = 0.95
+                         ) -> Callable[[float], float]:
+    """Leakage of the same block with NEMS power gating.
+
+    ``gated_fraction`` of the width sits behind released NEMS switches
+    (athermal floor leakage); the remainder stays CMOS (always-on
+    control logic).
+    """
+    if not 0.0 <= gated_fraction <= 1.0:
+        raise AnalysisError("gated_fraction must be in [0, 1]")
+    nems = nemfet_90nm()
+    cmos = cmos_block_leakage((1.0 - gated_fraction) * total_width, vdd)
+
+    def power_at(temperature: float) -> float:
+        i_floor = nems.i_floor_per_width * gated_fraction * total_width
+        return cmos(temperature) + i_floor * vdd
+
+    return power_at
+
+
+def thermal_comparison(total_width: float = 1.0,
+                       env: ThermalEnvironment = ThermalEnvironment()):
+    """Operating points of the CMOS and hybrid blocks.
+
+    Returns ``{(label): (T, P)}``; a label maps to ``None`` when that
+    block runs away thermally.
+    """
+    results = {}
+    for label, power in (("cmos", cmos_block_leakage(total_width)),
+                         ("hybrid", hybrid_block_leakage(total_width))):
+        try:
+            results[label] = solve_operating_temperature(power, env)
+        except AnalysisError:
+            results[label] = None
+    return results

@@ -1,0 +1,146 @@
+"""Physical constants and engineering-unit helpers.
+
+All library code works in base SI units (volts, amperes, seconds, metres,
+farads, kilograms).  The helpers in this module exist so user-facing code
+can be written in the units circuit designers actually think in::
+
+    from repro.units import nm, um, fF, ns, uA
+
+    width = 2 * um
+    delay = 35 * ps
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Physical constants (CODATA values, SI units)
+# ---------------------------------------------------------------------------
+
+#: Vacuum permittivity [F/m].
+EPS0 = 8.8541878128e-12
+
+#: Relative permittivity of SiO2.
+EPS_SIO2 = 3.9
+
+#: Relative permittivity of silicon.
+EPS_SI = 11.7
+
+#: Elementary charge [C].
+Q_ELECTRON = 1.602176634e-19
+
+#: Boltzmann constant [J/K].
+K_BOLTZMANN = 1.380649e-23
+
+#: Default simulation temperature [K] (27 C, SPICE convention).
+T_NOMINAL = 300.15
+
+#: Density of AlSi suspended-gate material [kg/m^3] (aluminium-rich alloy).
+RHO_ALSI = 2700.0
+
+#: Young's modulus of AlSi [Pa].
+E_ALSI = 70e9
+
+#: Density of polysilicon [kg/m^3].
+RHO_POLYSI = 2330.0
+
+#: Young's modulus of polysilicon [Pa].
+E_POLYSI = 160e9
+
+
+def thermal_voltage(temperature: float = T_NOMINAL) -> float:
+    """Return kT/q in volts at the given temperature in kelvin."""
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return K_BOLTZMANN * temperature / Q_ELECTRON
+
+
+# ---------------------------------------------------------------------------
+# SI prefixes — multiply literals by these to express engineering units.
+# ---------------------------------------------------------------------------
+
+tera = 1e12
+giga = 1e9
+mega = 1e6
+kilo = 1e3
+milli = 1e-3
+micro = 1e-6
+nano = 1e-9
+pico = 1e-12
+femto = 1e-15
+atto = 1e-18
+
+# Common engineering shorthands (value of ONE unit, in SI base units).
+nm = 1e-9
+um = 1e-6
+mm = 1e-3
+
+ps = 1e-12
+ns = 1e-9
+us = 1e-6
+ms = 1e-3
+
+mV = 1e-3
+
+pA = 1e-12
+nA = 1e-9
+uA = 1e-6
+mA = 1e-3
+
+aF = 1e-18
+fF = 1e-15
+pF = 1e-12
+nF = 1e-9
+
+nH = 1e-9
+uH = 1e-6
+
+kohm = 1e3
+Mohm = 1e6
+Gohm = 1e9
+
+fJ = 1e-15
+pJ = 1e-12
+
+nW = 1e-9
+uW = 1e-6
+mW = 1e-3
+
+MHz = 1e6
+GHz = 1e9
+
+
+def db10(ratio: float) -> float:
+    """Power ratio expressed in decibels (10*log10)."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def decades(ratio: float) -> float:
+    """Number of decades spanned by a positive ratio (log10)."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return math.log10(ratio)
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(3.2e-9, 'A')``.
+
+    Returns strings like ``"3.2 nA"``.  Zero and non-finite values are
+    rendered without a prefix.
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:.{digits}g} {unit}".rstrip()
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+        (1e-18, "a"),
+    ]
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()

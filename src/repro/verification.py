@@ -1,0 +1,153 @@
+"""Installation self-checks: simulate, compare against closed forms.
+
+``python -m repro verify`` (or :func:`run_all`) executes a battery of
+small problems whose answers are known analytically — a voltage
+divider, an RC time constant, an RLC resonance, the MOSFET calibration
+anchors, and the NEMFET pull-in voltage — and reports pass/fail per
+check.  Useful as a smoke test after installation or modification, and
+as living documentation of the numerical accuracy the engine achieves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one verification check."""
+
+    name: str
+    measured: float
+    expected: float
+    tolerance: float  #: allowed relative error
+
+    @property
+    def error(self) -> float:
+        if self.expected == 0:
+            return abs(self.measured)
+        return abs(self.measured - self.expected) / abs(self.expected)
+
+    @property
+    def passed(self) -> bool:
+        return self.error <= self.tolerance
+
+    def render(self) -> str:
+        status = "ok  " if self.passed else "FAIL"
+        return (f"[{status}] {self.name}: measured {self.measured:.6g},"
+                f" expected {self.expected:.6g} "
+                f"(err {self.error * 100:.3f}%, tol "
+                f"{self.tolerance * 100:g}%)")
+
+
+def _check_divider() -> CheckResult:
+    from repro import Circuit, operating_point
+
+    c = Circuit("verify_divider")
+    c.vsource("V1", "in", "0", 3.0)
+    c.resistor("R1", "in", "mid", 2e3)
+    c.resistor("R2", "mid", "0", 1e3)
+    op = operating_point(c)
+    return CheckResult("resistive divider", op.voltage("mid"), 1.0,
+                       1e-9)
+
+
+def _check_rc_time_constant() -> CheckResult:
+    from repro import Circuit, Pulse, transient
+
+    c = Circuit("verify_rc")
+    c.vsource("V1", "in", "0", Pulse(0, 1, td=0.0, tr=1e-12, pw=1.0))
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 1e-12)
+    res = transient(c, 5e-9, 2e-12)
+    v_tau = float(np.interp(1e-9, res.t, res.voltage("out")))
+    return CheckResult("RC step at t = tau", v_tau,
+                       1 - math.exp(-1), 0.01)
+
+
+def _check_rlc_resonance() -> CheckResult:
+    from repro import Circuit
+    from repro.analysis.ac import ac_analysis
+
+    c = Circuit("verify_rlc")
+    src = c.vsource("V1", "in", "0", 0.0)
+    src.ac = 1.0
+    c.resistor("R1", "in", "mid", 50.0)
+    c.inductor("L1", "mid", "out", 1e-6)
+    c.capacitor("C1", "out", "0", 1e-12)
+    f0 = 1.0 / (2 * math.pi * math.sqrt(1e-6 * 1e-12))
+    res = ac_analysis(c, [f0])
+    i_res = abs(res.branch_current("L1")[0])
+    return CheckResult("series RLC current at resonance", i_res,
+                       1.0 / 50.0, 0.01)
+
+
+def _check_mosfet_ion() -> CheckResult:
+    from repro.devices.mosfet import mosfet_current, nmos_90nm
+
+    i_on = mosfet_current(nmos_90nm(), 1e-6, 1.2, 1.2, 0.0)[0]
+    return CheckResult("NMOS I_ON (Table 1)", i_on * 1e6, 1110.0, 0.02)
+
+
+def _check_nemfet_pull_in() -> CheckResult:
+    import numpy as np
+
+    from repro import Circuit, dc_sweep
+    from repro.devices.nemfet import Nemfet, nemfet_90nm
+
+    params = nemfet_90nm()
+    c = Circuit("verify_pullin")
+    c.vsource("VG", "g", "0", 0.0)
+    c.vsource("VD", "d", "0", 1.2)
+    c.add(Nemfet("M1", "d", "g", "0", params, 1e-6))
+    vg = np.linspace(0.3, 0.6, 61)
+    sweep = dc_sweep(c, "VG", vg)
+    u = sweep.state("M1", "position")
+    jump = int(np.argmax(np.diff(u)))
+    measured = 0.5 * (vg[jump] + vg[jump + 1])
+    return CheckResult("NEMFET pull-in vs closed form", measured,
+                       params.pull_in_voltage, 0.03)
+
+
+def _check_energy_conservation() -> CheckResult:
+    from repro import Circuit, Pulse, transient
+    from repro.analysis import measure
+
+    c = Circuit("verify_energy")
+    c.vsource("V1", "in", "0", Pulse(0, 1, td=0.2e-9, tr=1e-12,
+                                     pw=1.0))
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 1e-12)
+    res = transient(c, 12e-9, 4e-12)
+    energy = measure.supply_energy(res, "V1")
+    return CheckResult("source energy charging C through R (C*V^2)",
+                       energy * 1e12, 1.0, 0.05)
+
+
+#: The full check battery in execution order.
+CHECKS: List[Callable[[], CheckResult]] = [
+    _check_divider,
+    _check_rc_time_constant,
+    _check_rlc_resonance,
+    _check_mosfet_ion,
+    _check_nemfet_pull_in,
+    _check_energy_conservation,
+]
+
+
+def run_all(verbose: bool = True) -> List[CheckResult]:
+    """Run every verification check; returns the results."""
+    results = []
+    for check in CHECKS:
+        result = check()
+        results.append(result)
+        if verbose:
+            print(result.render())
+    if verbose:
+        failed = sum(1 for r in results if not r.passed)
+        print(f"{len(results) - failed}/{len(results)} checks passed")
+    return results

@@ -1,0 +1,47 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Circuit
+from repro.devices.mosfet import nmos_90nm, pmos_90nm
+from repro.devices.nemfet import nemfet_90nm, pemfet_90nm
+
+#: Nominal supply of the 90 nm node [V].
+VDD = 1.2
+
+
+@pytest.fixture
+def vdd() -> float:
+    return VDD
+
+
+@pytest.fixture
+def nmos_params():
+    return nmos_90nm()
+
+
+@pytest.fixture
+def pmos_params():
+    return pmos_90nm()
+
+
+@pytest.fixture
+def nemfet_params():
+    return nemfet_90nm()
+
+
+@pytest.fixture
+def pemfet_params():
+    return pemfet_90nm()
+
+
+@pytest.fixture
+def divider_circuit() -> Circuit:
+    """A 2:1 resistive divider driven by 2 V."""
+    c = Circuit("divider")
+    c.vsource("V1", "in", "0", 2.0)
+    c.resistor("R1", "in", "mid", 1e3)
+    c.resistor("R2", "mid", "0", 1e3)
+    return c

@@ -1,0 +1,162 @@
+"""Tests for AC small-signal analysis."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit
+from repro.analysis.ac import ac_analysis
+from repro.devices.nemfet import Nemfet, nemfet_90nm
+from repro.errors import AnalysisError, NetlistError
+
+
+def _lowpass(r=1e3, c=1e-12):
+    circuit = Circuit("lp")
+    src = circuit.vsource("VIN", "in", "0", 0.0)
+    src.ac = 1.0
+    circuit.resistor("R1", "in", "out", r)
+    circuit.capacitor("C1", "out", "0", c)
+    return circuit, 1.0 / (2 * np.pi * r * c)
+
+
+class TestRCLowpass:
+    def test_corner_frequency_3db(self):
+        circuit, fc = _lowpass()
+        res = ac_analysis(circuit, [fc])
+        assert abs(res.voltage("out")[0]) == pytest.approx(
+            1 / np.sqrt(2), rel=1e-3)
+
+    def test_passband_and_rolloff(self):
+        circuit, fc = _lowpass()
+        res = ac_analysis(circuit, [fc / 1000, 1000 * fc])
+        mags = np.abs(res.voltage("out"))
+        assert mags[0] == pytest.approx(1.0, abs=1e-3)
+        assert mags[1] == pytest.approx(1e-3, rel=0.01)
+
+    def test_phase_at_corner(self):
+        circuit, fc = _lowpass()
+        res = ac_analysis(circuit, [fc])
+        assert res.phase_deg("out")[0] == pytest.approx(-45.0, abs=0.5)
+
+    def test_magnitude_db(self):
+        circuit, fc = _lowpass()
+        res = ac_analysis(circuit, [fc])
+        assert res.magnitude_db("out")[0] == pytest.approx(-3.01,
+                                                           abs=0.05)
+
+    def test_branch_current_through_source(self):
+        circuit, fc = _lowpass()
+        res = ac_analysis(circuit, [fc / 1000])
+        # Nearly open at low f: tiny current.
+        assert abs(res.branch_current("VIN")[0]) < 1e-5
+
+    def test_ground_voltage_zero(self):
+        circuit, fc = _lowpass()
+        res = ac_analysis(circuit, [fc])
+        assert np.all(res.voltage("0") == 0)
+
+
+class TestRLCResonance:
+    def test_series_rlc_peak(self):
+        circuit = Circuit("rlc")
+        src = circuit.vsource("VIN", "in", "0", 0.0)
+        src.ac = 1.0
+        circuit.resistor("R1", "in", "mid", 10.0)
+        circuit.inductor("L1", "mid", "out", 1e-6)
+        circuit.capacitor("C1", "out", "0", 1e-12)
+        f0 = 1 / (2 * np.pi * np.sqrt(1e-6 * 1e-12))
+        freqs = np.geomspace(f0 / 10, f0 * 10, 201)
+        res = ac_analysis(circuit, freqs)
+        i = np.abs(res.branch_current("L1"))
+        f_peak = freqs[np.argmax(i)]
+        assert f_peak == pytest.approx(f0, rel=0.05)
+        # At resonance the current is limited by R only.
+        assert i.max() == pytest.approx(1.0 / 10.0, rel=0.02)
+
+
+class TestInterface:
+    def test_requires_excitation(self):
+        circuit, _ = _lowpass()
+        circuit["VIN"].ac = 0.0
+        with pytest.raises(AnalysisError, match="no AC excitation"):
+            ac_analysis(circuit, [1e6])
+
+    def test_rejects_empty_frequencies(self):
+        circuit, _ = _lowpass()
+        with pytest.raises(AnalysisError):
+            ac_analysis(circuit, [])
+
+    def test_rejects_negative_frequency(self):
+        circuit, _ = _lowpass()
+        with pytest.raises(AnalysisError):
+            ac_analysis(circuit, [-1.0])
+
+    def test_current_source_excitation(self):
+        circuit = Circuit("norton")
+        src = circuit.isource("IIN", "0", "out", 0.0)
+        src.ac = 1e-3
+        circuit.resistor("R1", "out", "0", 1e3)
+        res = ac_analysis(circuit, [1e3])
+        assert abs(res.voltage("out")[0]) == pytest.approx(1.0,
+                                                           rel=1e-6)
+
+    def test_foreign_operating_point_rejected(self):
+        from repro.analysis.dc import operating_point
+        c1, _ = _lowpass()
+        c2, _ = _lowpass()
+        op1 = operating_point(c1)
+        with pytest.raises(NetlistError):
+            ac_analysis(c2, [1e6], op=op1)
+
+
+class TestNemsResonator:
+    """The paper's ref [22]: a biased SG-MOSFET is a resonator."""
+
+    @pytest.fixture(scope="class")
+    def spectrum(self):
+        params = nemfet_90nm()
+        circuit = Circuit("resonator")
+        vg = circuit.vsource("VG", "g", "0", 0.3)
+        vg.ac = 1.0
+        circuit.vsource("VD", "d", "0", 0.1)
+        circuit.add(Nemfet("M1", "d", "g", "0", params, 1e-6))
+        f0 = params.resonant_frequency
+        freqs = np.geomspace(f0 / 10, 3 * f0, 101)
+        return params, freqs, ac_analysis(circuit, freqs)
+
+    def test_mechanical_peak_visible(self, spectrum):
+        params, freqs, res = spectrum
+        u = np.abs(res.state("M1", "position"))
+        f_peak = freqs[np.argmax(u)]
+        # Spring softening: peak below the unbiased f0 but near it.
+        assert 0.5 * params.resonant_frequency < f_peak \
+            < params.resonant_frequency
+        assert u.max() > 1.5 * u[0]
+
+    def test_spring_softening_with_bias(self, spectrum):
+        params, freqs, _ = spectrum
+        circuit = Circuit("resonator2")
+        vg = circuit.vsource("VG", "g", "0", 0.42)  # closer to pull-in
+        vg.ac = 1.0
+        circuit.vsource("VD", "d", "0", 0.1)
+        circuit.add(Nemfet("M1", "d", "g", "0", params, 1e-6))
+        res2 = ac_analysis(circuit, freqs)
+        u2 = np.abs(res2.state("M1", "position"))
+        # Higher bias -> softer effective spring -> lower peak.
+        f_peak_lo = freqs[np.argmax(u2)]
+        assert f_peak_lo < 0.9 * params.resonant_frequency
+
+    def test_ac_peak_matches_analytic_softened_frequency(self,
+                                                         spectrum):
+        """The simulated resonance must track the closed-form
+        negative-spring tuning law."""
+        params, freqs, res = spectrum
+        u = np.abs(res.state("M1", "position"))
+        f_peak = freqs[np.argmax(u)]
+        f_analytic = params.softened_frequency(0.3)
+        assert f_peak == pytest.approx(f_analytic, rel=0.10)
+
+    def test_softened_frequency_vanishes_at_pull_in(self):
+        params = nemfet_90nm()
+        f_near = params.softened_frequency(
+            params.pull_in_voltage * 0.999)
+        assert f_near < 0.45 * params.resonant_frequency

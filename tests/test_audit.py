@@ -1,0 +1,80 @@
+"""Tests for the per-element power audit."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, Pulse, transient
+from repro.analysis.audit import PowerAudit
+
+
+@pytest.fixture(scope="module")
+def rc_audit():
+    c = Circuit("rc")
+    c.vsource("V1", "in", "0", Pulse(0.0, 1.0, td=0.5e-9, tr=1e-12,
+                                     pw=1.0))
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 1e-12)
+    result = transient(c, 15e-9, 5e-12)
+    return PowerAudit(result)
+
+
+class TestRCEnergyBalance:
+    def test_resistor_dissipates_half_cv2(self, rc_audit):
+        """Charging a capacitor through a resistor burns C V^2 / 2 in
+        the resistor regardless of R."""
+        e_r = rc_audit.energy("R1")
+        assert e_r == pytest.approx(0.5e-12, rel=0.07)
+
+    def test_source_delivers_cv2(self, rc_audit):
+        e_src = rc_audit.energy("V1")
+        assert e_src == pytest.approx(-1e-12, rel=0.07)
+
+    def test_capacitor_audits_to_zero_static(self, rc_audit):
+        """Storage elements have no static dissipation."""
+        assert rc_audit.energy("C1") == pytest.approx(0.0, abs=1e-18)
+
+    def test_total_balances(self, rc_audit):
+        """Source delivery = dissipation + stored (C V^2 / 2)."""
+        # total = -CV^2 (delivered) + CV^2/2 (dissipated): the other
+        # half sits in the capacitor, invisible to the static audit.
+        assert rc_audit.total() == pytest.approx(-0.5e-12, rel=0.07)
+
+    def test_power_trace_shape(self, rc_audit):
+        p = rc_audit.power("R1")
+        assert len(p) == len(rc_audit.result.t)
+        assert p.min() >= -1e-15  # a resistor never delivers
+
+    def test_unknown_element(self, rc_audit):
+        with pytest.raises(KeyError):
+            rc_audit.power("R9")
+
+    def test_table_sorted(self, rc_audit):
+        rows = rc_audit.table()
+        energies = [e for _, e in rows]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_table_threshold_filters(self, rc_audit):
+        rows = rc_audit.table(threshold=1e-15)
+        names = {n for n, _ in rows}
+        assert "C1" not in names
+
+    def test_windowed_energy(self, rc_audit):
+        t = rc_audit.result.t
+        first = rc_audit.energy("R1", t[0], 0.5e-9)
+        assert first == pytest.approx(0.0, abs=1e-17)
+
+
+class TestGateAudit:
+    def test_keeper_contention_visible(self):
+        """The CMOS keeper dissipates real energy during evaluation."""
+        from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+
+        spec = DynamicOrSpec(fan_in=4, fan_out=1, style="cmos")
+        gate = build_dynamic_or(spec)
+        gate.set_keeper_width(2e-6)
+        gate.set_inputs_domino([0])
+        result = transient(gate.circuit, spec.period, 5e-12)
+        audit = PowerAudit(result)
+        e_keeper = audit.energy("MKEEP", spec.t_precharge,
+                                result.t[-1])
+        assert e_keeper > 1e-15  # femtojoules of contention

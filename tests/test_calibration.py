@@ -1,0 +1,111 @@
+"""Tests for device calibration and swing extraction."""
+
+import numpy as np
+import pytest
+
+from repro.devices.calibration import (
+    CurrentTargets,
+    extract_swing,
+    fit_mosfet,
+    fit_nemfet,
+    transfer_sweep,
+)
+from repro.devices.mosfet import (
+    mosfet_current,
+    nmos_90nm,
+    pmos_90nm,
+)
+from repro.devices.nemfet import nemfet_90nm
+from repro.errors import CalibrationError
+
+VDD = 1.2
+
+
+class TestTargets:
+    def test_rejects_inverted_targets(self):
+        with pytest.raises(CalibrationError):
+            CurrentTargets(i_on=1e-9, i_off=1e-3)
+
+
+class TestFitMosfet:
+    def test_reproduces_baked_nmos_constants(self):
+        """The constants in mosfet.py must match a fresh fit."""
+        fitted = fit_mosfet(nmos_90nm(), CurrentTargets(1110.0, 0.05))
+        baked = nmos_90nm()
+        assert fitted.vth0 == pytest.approx(baked.vth0, abs=1e-4)
+        assert fitted.k_trans == pytest.approx(baked.k_trans, rel=1e-3)
+
+    def test_reproduces_baked_pmos_constants(self):
+        fitted = fit_mosfet(pmos_90nm(), CurrentTargets(500.0, 0.05))
+        baked = pmos_90nm()
+        assert fitted.vth0 == pytest.approx(baked.vth0, abs=1e-4)
+        assert fitted.k_trans == pytest.approx(baked.k_trans, rel=1e-3)
+
+    def test_fit_hits_arbitrary_targets(self):
+        targets = CurrentTargets(800.0, 0.01)
+        fitted = fit_mosfet(nmos_90nm(), targets)
+        i_on = mosfet_current(fitted, 1.0, VDD, VDD, 0.0)[0]
+        i_off = mosfet_current(fitted, 1.0, 0.0, VDD, 0.0)[0]
+        assert i_on == pytest.approx(800.0, rel=0.02)
+        assert i_off == pytest.approx(0.01, rel=0.02)
+
+    def test_impossible_ratio_raises(self):
+        # ON/OFF ratio of 2 cannot be bracketed by any threshold.
+        with pytest.raises(CalibrationError):
+            fit_mosfet(nmos_90nm(), CurrentTargets(100.0, 50.0))
+
+
+class TestFitNemfet:
+    def test_reproduces_baked_constants(self):
+        fitted = fit_nemfet(nemfet_90nm(),
+                            CurrentTargets(330.0, 110e-6))
+        baked = nemfet_90nm()
+        assert fitted.channel.vth0 == pytest.approx(
+            baked.channel.vth0, abs=1e-3)
+        assert fitted.channel.k_trans == pytest.approx(
+            baked.channel.k_trans, rel=1e-2)
+        assert fitted.i_floor_per_width == pytest.approx(
+            baked.i_floor_per_width, rel=1e-6)
+
+    def test_rejects_bad_floor_fraction(self):
+        with pytest.raises(CalibrationError):
+            fit_nemfet(nemfet_90nm(), CurrentTargets(330.0, 110e-6),
+                       floor_fraction=1.5)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(CalibrationError):
+            fit_nemfet(nmos_90nm(), CurrentTargets(330.0, 110e-6))
+
+
+class TestSwingExtraction:
+    def test_ideal_exponential(self):
+        """A perfect 100 mV/dec exponential must measure exactly that."""
+        vg = np.linspace(0.0, 1.0, 201)
+        i = 1e-12 * 10 ** (vg / 0.1)
+        assert extract_swing(vg, i, i_min=1e-12, i_max=1e-4) \
+            == pytest.approx(0.1, rel=1e-3)
+
+    def test_window_excludes_saturation(self):
+        vg = np.linspace(0.0, 1.0, 201)
+        i = np.minimum(1e-12 * 10 ** (vg / 0.08), 1e-5)
+        s = extract_swing(vg, i, i_min=1e-11, i_max=1e-6)
+        assert s == pytest.approx(0.08, rel=1e-2)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(CalibrationError):
+            extract_swing([0.0, 1.0], [1e-9, 1e-6])
+
+    def test_flat_current_raises(self):
+        vg = np.linspace(0, 1, 50)
+        with pytest.raises(CalibrationError):
+            extract_swing(vg, np.full_like(vg, 1e-9))
+
+    def test_empty_window_raises(self):
+        vg = np.linspace(0, 1, 50)
+        i = 1e-12 * 10 ** (vg / 0.1)
+        with pytest.raises(CalibrationError):
+            extract_swing(vg, i, i_min=1.0, i_max=2.0)
+
+    def test_transfer_sweep_helper(self):
+        values = transfer_sweep(lambda v: 2 * v, [0.0, 0.5, 1.0])
+        assert np.allclose(values, [0.0, 1.0, 2.0])

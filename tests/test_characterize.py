@@ -1,0 +1,75 @@
+"""Tests for device I-V characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.devices.characterize import IVFamily, output_family, transfer_family
+from repro.devices.mosfet import nmos_90nm, pmos_90nm
+from repro.devices.nemfet import nemfet_90nm
+from repro.errors import DesignError
+
+
+class TestTransferFamily:
+    def test_shape(self):
+        fam = transfer_family(nmos_90nm(), vd_values=(0.1, 1.2))
+        assert fam.currents.shape == (2, 61)
+        assert fam.kind == "transfer"
+
+    def test_monotone_in_vg(self):
+        fam = transfer_family(nmos_90nm(), vd_values=(1.2,))
+        i = fam.curve(1.2)
+        assert np.all(np.diff(i) >= -1e-15)
+
+    def test_higher_vd_more_current(self):
+        fam = transfer_family(nmos_90nm(), vd_values=(0.1, 1.2))
+        assert fam.curve(1.2)[-1] > fam.curve(0.1)[-1]
+
+    def test_nemfet_up_branch_has_pull_in_step(self):
+        params = nemfet_90nm()
+        vg = np.linspace(0.3, 0.6, 61)
+        fam = transfer_family(params, vg=vg, vd_values=(1.2,),
+                              branch="up")
+        i = fam.curve(1.2)
+        # Orders-of-magnitude jump inside the window.
+        assert i[-1] / max(i[0], 1e-18) > 1e3
+
+    def test_pmos_signs(self):
+        fam = transfer_family(pmos_90nm(), vd_values=(1.2,))
+        # Sweep is over negative gate voltages; current is negative.
+        assert fam.sweep[-1] < 0
+        assert fam.curve(1.2)[-1] < 0
+
+    def test_to_rows_flattens(self):
+        fam = transfer_family(nmos_90nm(), vg=np.linspace(0, 1.2, 5),
+                              vd_values=(1.2,))
+        rows = fam.to_rows()
+        assert len(rows) == 5
+        assert len(rows[0]) == 3
+
+
+class TestOutputFamily:
+    def test_saturation_flattens(self):
+        fam = output_family(nmos_90nm(), vg_values=(1.2,))
+        i = fam.curve(1.2)
+        early_slope = (i[10] - i[5])
+        late_slope = (i[-1] - i[-6])
+        assert late_slope < 0.3 * early_slope
+
+    def test_nemfet_auto_branch(self):
+        params = nemfet_90nm()
+        fam = output_family(params, vg_values=(0.2, 1.2))
+        # Below pull-in: off; above: conducting.
+        assert abs(fam.curve(0.2)[-1]) < 1e-9
+        assert abs(fam.curve(1.2)[-1]) > 1e-4
+
+    def test_rejects_unknown_params(self):
+        with pytest.raises(DesignError):
+            transfer_family(object())  # type: ignore[arg-type]
+
+
+class TestIVFamilyAccess:
+    def test_curve_picks_nearest(self):
+        fam = IVFamily("transfer", np.array([0.0, 1.0]),
+                       np.array([0.5, 1.0]),
+                       np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert np.allclose(fam.curve(0.95), [3.0, 4.0])

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DESCRIPTIONS, REGISTRY, main, run_experiment
+from repro.experiments.result import ExperimentResult
+
+
+class TestRegistry:
+    def test_every_entry_described(self):
+        assert set(REGISTRY) == set(DESCRIPTIONS)
+
+    def test_all_paper_figures_present(self):
+        for exp_id in ("table1", "fig01", "fig02", "fig09", "fig10",
+                       "fig11", "fig12", "fig14", "fig15", "fig17"):
+            assert exp_id in REGISTRY
+
+    def test_modules_importable_with_run(self):
+        import importlib
+        for module_name, _ in REGISTRY.values():
+            module = importlib.import_module(module_name)
+            assert callable(module.run)
+
+    def test_quick_kwargs_are_valid_parameters(self):
+        import importlib
+        import inspect
+        for module_name, kwargs in REGISTRY.values():
+            signature = inspect.signature(
+                importlib.import_module(module_name).run)
+            for key in kwargs:
+                assert key in signature.parameters, \
+                    f"{module_name}.run has no parameter '{key}'"
+
+
+class TestRunExperiment:
+    def test_runs_fast_experiment(self):
+        result = run_experiment("fig01")
+        assert isinstance(result, ExperimentResult)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestMain:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "crossover" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "ITRS" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "nope"]) == 2
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1

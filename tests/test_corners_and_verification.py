@@ -1,0 +1,78 @@
+"""Tests for global process corners and the verification battery."""
+
+import pytest
+
+from repro.devices.corners import CORNERS, CornerModel, corner_params, corner_table
+from repro.devices.mosfet import mosfet_current, nmos_90nm, pmos_90nm
+from repro.errors import DesignError
+from repro import verification
+
+
+class TestCorners:
+    def test_tt_is_identity(self):
+        n, p = corner_params(nmos_90nm(), pmos_90nm(), "TT")
+        assert n is nmos_90nm() or n.vth0 == nmos_90nm().vth0
+
+    def test_ff_is_faster(self):
+        n_tt = nmos_90nm()
+        n_ff, _ = corner_params(n_tt, pmos_90nm(), "FF")
+        i_tt = mosfet_current(n_tt, 1e-6, 1.2, 1.2, 0.0)[0]
+        i_ff = mosfet_current(n_ff, 1e-6, 1.2, 1.2, 0.0)[0]
+        assert i_ff > 1.05 * i_tt
+
+    def test_ss_is_slower_and_less_leaky(self):
+        n_tt = nmos_90nm()
+        n_ss, _ = corner_params(n_tt, pmos_90nm(), "SS")
+        i_on_tt = mosfet_current(n_tt, 1e-6, 1.2, 1.2, 0.0)[0]
+        i_on_ss = mosfet_current(n_ss, 1e-6, 1.2, 1.2, 0.0)[0]
+        i_off_tt = mosfet_current(n_tt, 1e-6, 0.0, 1.2, 0.0)[0]
+        i_off_ss = mosfet_current(n_ss, 1e-6, 0.0, 1.2, 0.0)[0]
+        assert i_on_ss < i_on_tt
+        assert i_off_ss < i_off_tt
+
+    def test_skewed_corners_split_polarity(self):
+        n_fs, p_fs = corner_params(nmos_90nm(), pmos_90nm(), "FS")
+        assert n_fs.vth0 < nmos_90nm().vth0   # fast NMOS
+        assert p_fs.vth0 > pmos_90nm().vth0   # slow PMOS
+
+    def test_lowercase_accepted(self):
+        corner_params(nmos_90nm(), pmos_90nm(), "ss")
+
+    def test_unknown_corner_rejected(self):
+        with pytest.raises(DesignError):
+            corner_params(nmos_90nm(), pmos_90nm(), "XX")
+
+    def test_table_covers_all(self):
+        table = corner_table(nmos_90nm(), pmos_90nm())
+        assert set(table) == set(CORNERS)
+
+    def test_custom_model_scales(self):
+        model = CornerModel(dvth=0.1, dk_rel=0.0)
+        n_ss, _ = corner_params(nmos_90nm(), pmos_90nm(), "SS", model)
+        assert n_ss.vth0 == pytest.approx(nmos_90nm().vth0 + 0.1)
+
+
+class TestVerification:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return verification.run_all(verbose=False)
+
+    def test_all_checks_pass(self, results):
+        failing = [r.name for r in results if not r.passed]
+        assert failing == []
+
+    def test_covers_all_engine_areas(self, results):
+        names = " ".join(r.name for r in results)
+        assert "divider" in names      # DC
+        assert "RC" in names           # transient
+        assert "RLC" in names          # AC
+        assert "pull-in" in names      # electromechanics
+        assert "energy" in names       # measurement
+
+    def test_render_mentions_status(self, results):
+        assert results[0].render().startswith("[ok  ]")
+
+    def test_error_property(self):
+        r = verification.CheckResult("x", 1.01, 1.0, 0.02)
+        assert r.error == pytest.approx(0.01)
+        assert r.passed

@@ -1,0 +1,83 @@
+"""Tests for the ITRS data, swing survey, and process-flow modules."""
+
+import pytest
+
+from repro.data import itrs, swing_survey
+from repro.devices.nemfet import nemfet_90nm
+from repro.errors import DesignError
+from repro.process import flow
+
+
+class TestItrs:
+    def test_nodes_in_scaling_order(self):
+        sizes = [n.node_nm for n in itrs.ITRS_NODES]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_vdd_and_vth_scale_down(self):
+        vdds = [n.vdd for n in itrs.ITRS_NODES]
+        vths = [n.vth for n in itrs.ITRS_NODES]
+        assert all(a >= b for a, b in zip(vdds, vdds[1:]))
+        assert all(a >= b for a, b in zip(vths, vths[1:]))
+
+    def test_leakage_monotonically_explodes(self):
+        trend = [itrs.subthreshold_leakage(n) for n in itrs.ITRS_NODES]
+        assert all(b > a for a, b in zip(trend, trend[1:]))
+        assert trend[-1] / trend[0] > 1e3
+
+    def test_90nm_anchor_matches_table1(self):
+        node = next(n for n in itrs.ITRS_NODES if n.node_nm == 90)
+        i = itrs.subthreshold_leakage(node)
+        assert i == pytest.approx(50e-9 / 1e-6, rel=1e-6)
+
+    def test_growth_per_generation(self):
+        g = itrs.leakage_growth_per_generation()
+        assert 2.0 < g < 8.0
+
+    def test_trend_rows(self):
+        rows = itrs.subthreshold_leakage_trend()
+        assert len(rows) == len(itrs.ITRS_NODES)
+        assert rows[0][0] == 250
+
+
+class TestSwingSurvey:
+    def test_thermionic_limit_value(self):
+        assert swing_survey.thermionic_limit() == pytest.approx(59.6,
+                                                                abs=0.5)
+
+    def test_survey_is_self_consistent(self):
+        assert swing_survey.survey_violations() == ()
+
+    def test_nems_is_steepest(self):
+        steepest = min(swing_survey.SWING_SURVEY,
+                       key=lambda e: e.swing_mv_per_dec)
+        assert "NEMS" in steepest.device
+        assert steepest.swing_mv_per_dec == 2.0
+
+    def test_cmos_families_above_limit(self):
+        limit = swing_survey.thermionic_limit()
+        for entry in swing_survey.SWING_SURVEY:
+            if entry.thermionic:
+                assert entry.swing_mv_per_dec >= limit
+
+
+class TestProcessFlow:
+    def test_seven_steps(self):
+        assert len(flow.HYBRID_PROCESS_FLOW) == 7
+        assert flow.HYBRID_PROCESS_FLOW[0].figure == "7a"
+
+    def test_gap_feasibility_accepts_default_device(self):
+        flow.check_gap_feasibility(nemfet_90nm())
+
+    def test_gap_feasibility_rejects_sub_nm(self):
+        with pytest.raises(DesignError):
+            flow.check_gap_feasibility(nemfet_90nm(gap=0.5e-9))
+
+    def test_gap_feasibility_rejects_huge(self):
+        with pytest.raises(DesignError):
+            flow.check_gap_feasibility(nemfet_90nm(gap=1e-6))
+
+    def test_post_cmos_steps_within_budget(self):
+        assert flow.thermal_budget_violations() == ()
+        names = {s.name for s in flow.post_cmos_steps()}
+        assert "Sacrificial layer" in names
+        assert "Release" in names

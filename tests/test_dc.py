@@ -1,0 +1,120 @@
+"""Tests for DC operating point and sweeps, with KCL properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Circuit, dc_sweep, operating_point
+from repro.devices.mosfet import Mosfet, nmos_90nm
+from repro.errors import NetlistError
+
+
+class TestOperatingPoint:
+    def test_divider(self, divider_circuit):
+        op = operating_point(divider_circuit)
+        assert op.voltage("mid") == pytest.approx(1.0)
+        assert op.voltage("in") == pytest.approx(2.0)
+        assert op.voltage("0") == 0.0
+
+    def test_branch_current_sign_convention(self, divider_circuit):
+        op = operating_point(divider_circuit)
+        # Delivering source: current into its + terminal is negative.
+        assert op.branch_current("V1") == pytest.approx(-1e-3)
+        assert op.source_power("V1") == pytest.approx(2e-3)
+
+    def test_branch_current_requires_branch(self, divider_circuit):
+        op = operating_point(divider_circuit)
+        with pytest.raises(NetlistError):
+            op.branch_current("R1")
+
+    def test_capacitor_open_at_dc(self):
+        c = Circuit()
+        c.vsource("V1", "a", "0", 1.0)
+        c.resistor("R1", "a", "b", 1e3)
+        c.capacitor("C1", "b", "0", 1e-12)
+        op = operating_point(c)
+        assert op.voltage("b") == pytest.approx(1.0)
+
+    def test_inductor_short_at_dc(self):
+        c = Circuit()
+        c.vsource("V1", "a", "0", 1.0)
+        c.resistor("R1", "a", "b", 1e3)
+        c.inductor("L1", "b", "0", 1e-9)
+        op = operating_point(c)
+        assert op.voltage("b") == pytest.approx(0.0, abs=1e-9)
+        assert op.branch_current("L1") == pytest.approx(1e-3)
+
+    def test_current_source(self):
+        c = Circuit()
+        c.isource("I1", "0", "a", 1e-3)  # pushes 1 mA into node a
+        c.resistor("R1", "a", "0", 1e3)
+        op = operating_point(c)
+        assert op.voltage("a") == pytest.approx(1.0)
+
+    def test_mosfet_inverter_rails(self):
+        from repro.devices.mosfet import pmos_90nm
+        c = Circuit()
+        c.vsource("VDD", "vdd", "0", 1.2)
+        c.vsource("VIN", "in", "0", 0.0)
+        c.add(Mosfet("MP", "out", "in", "vdd", pmos_90nm(), 2e-6))
+        c.add(Mosfet("MN", "out", "in", "0", nmos_90nm(), 1e-6))
+        op = operating_point(c)
+        assert op.voltage("out") == pytest.approx(1.2, abs=0.01)
+        c["VIN"].value = 1.2
+        op = operating_point(c)
+        assert op.voltage("out") == pytest.approx(0.0, abs=0.01)
+
+
+class TestDCSweep:
+    def test_sweep_restores_source(self, divider_circuit):
+        original = divider_circuit["V1"].value
+        sweep = dc_sweep(divider_circuit, "V1", [0.0, 1.0, 2.0])
+        assert divider_circuit["V1"].value is original
+        assert len(sweep) == 3
+
+    def test_sweep_values_linear_circuit(self, divider_circuit):
+        sweep = dc_sweep(divider_circuit, "V1", [0.0, 1.0, 2.0])
+        assert np.allclose(sweep.voltage("mid"), [0.0, 0.5, 1.0])
+
+    def test_sweep_nonsource_rejected(self, divider_circuit):
+        with pytest.raises(NetlistError):
+            dc_sweep(divider_circuit, "R1", [1.0])
+
+    def test_sweep_current_access(self, divider_circuit):
+        sweep = dc_sweep(divider_circuit, "V1", [2.0])
+        assert sweep.branch_current("V1")[0] == pytest.approx(-1e-3)
+
+
+class TestKclProperty:
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e6,
+                              allow_nan=False),
+                    min_size=3, max_size=8),
+           st.floats(min_value=-5, max_value=5, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_ladder_network_satisfies_kcl(self, resistances, v_in):
+        """Random resistor ladders: node currents sum to zero."""
+        c = Circuit("ladder")
+        c.vsource("V1", "n0", "0", v_in)
+        for i, r in enumerate(resistances):
+            c.resistor(f"R{i}", f"n{i}", f"n{i + 1}", r)
+        c.resistor("RT", f"n{len(resistances)}", "0", 1e3)
+        op = operating_point(c)
+        # KCL at every interior node: current in R_i equals R_{i+1}.
+        for i in range(len(resistances) - 1):
+            v_a = op.voltage(f"n{i}")
+            v_b = op.voltage(f"n{i + 1}")
+            v_c = op.voltage(f"n{i + 2}")
+            i_in = (v_a - v_b) / resistances[i]
+            i_out = (v_b - v_c) / resistances[i + 1]
+            assert i_in == pytest.approx(i_out, abs=1e-9)
+
+    @given(st.floats(min_value=0.1, max_value=5.0, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_divider_superposition(self, scale):
+        """Linear circuit: output scales with the source."""
+        c = Circuit()
+        c.vsource("V1", "in", "0", scale)
+        c.resistor("R1", "in", "mid", 2e3)
+        c.resistor("R2", "mid", "0", 1e3)
+        op = operating_point(c)
+        assert op.voltage("mid") == pytest.approx(scale / 3, rel=1e-6)

@@ -1,0 +1,68 @@
+"""Tests for the domino pipeline builder."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.library.domino import DominoPipelineSpec, build_pipeline
+
+
+class TestSpec:
+    def test_rejects_zero_stages(self):
+        with pytest.raises(DesignError):
+            DominoPipelineSpec(stages=0)
+
+    def test_gate_template_built(self):
+        spec = DominoPipelineSpec(stages=2, fan_in=3, style="hybrid")
+        assert spec.gate.fan_in == 3
+        assert spec.gate.style == "hybrid"
+
+
+class TestBuild:
+    def test_stage_nodes_exist(self):
+        pipe = build_pipeline(DominoPipelineSpec(stages=3, fan_in=2))
+        for s in range(3):
+            assert pipe.circuit.has_node(f"s{s}_dyn")
+            assert pipe.circuit.has_node(f"s{s}_out")
+        assert pipe.output_node == "s2_out"
+
+    def test_hybrid_stages_have_nemfets(self):
+        from repro.devices.nemfet import Nemfet
+        pipe = build_pipeline(DominoPipelineSpec(stages=2, fan_in=2,
+                                                 style="hybrid"))
+        nemfets = pipe.circuit.elements_of_type(Nemfet)
+        assert len(nemfets) == 2 * 2
+
+    def test_inter_stage_wiring(self):
+        pipe = build_pipeline(DominoPipelineSpec(stages=2, fan_in=2))
+        stage2_pd0 = pipe.circuit["s1_PD0"]
+        assert stage2_pd0.nodes[1] == "s0_out"
+
+
+class TestLatency:
+    def test_cmos_pipeline_propagates(self):
+        pipe = build_pipeline(DominoPipelineSpec(stages=2, fan_in=2))
+        latency = pipe.latency()
+        assert 10e-12 < latency < 1e-9
+
+    def test_latency_grows_with_depth(self):
+        """Each stage adds propagation time (the 1-stage latency also
+        contains the fixed input-arrival lag, so growth is sub-linear
+        in total latency)."""
+        shallow = build_pipeline(
+            DominoPipelineSpec(stages=1, fan_in=2)).latency()
+        mid = build_pipeline(
+            DominoPipelineSpec(stages=2, fan_in=2)).latency()
+        deep = build_pipeline(
+            DominoPipelineSpec(stages=3, fan_in=2)).latency()
+        assert shallow < mid < deep
+        assert deep > 1.4 * shallow
+
+    def test_hybrid_pays_mechanical_delay_per_stage(self):
+        """Inputs arrive mid-evaluation stage by stage, so each hybrid
+        stage adds a mechanical closing to the chain latency."""
+        cmos = build_pipeline(
+            DominoPipelineSpec(stages=2, fan_in=2)).latency()
+        hybrid = build_pipeline(
+            DominoPipelineSpec(stages=2, fan_in=2,
+                               style="hybrid")).latency()
+        assert hybrid > cmos + 0.3e-9

@@ -1,0 +1,130 @@
+"""Tests for the dynamic OR gate builders."""
+
+import numpy as np
+import pytest
+
+from repro import transient
+from repro.analysis import measure
+from repro.errors import DesignError
+from repro.library.dynamic_logic import (
+    DynamicOrGate,
+    DynamicOrSpec,
+    FANOUT_UNIT_CAP,
+    build_dynamic_or,
+)
+
+
+class TestSpec:
+    def test_rejects_zero_fan_in(self):
+        with pytest.raises(DesignError):
+            DynamicOrSpec(fan_in=0)
+
+    def test_rejects_negative_fan_out(self):
+        with pytest.raises(DesignError):
+            DynamicOrSpec(fan_out=-1)
+
+    def test_rejects_unknown_style(self):
+        with pytest.raises(DesignError):
+            DynamicOrSpec(style="quantum")
+
+    def test_load_cap(self):
+        spec = DynamicOrSpec(fan_out=3)
+        assert spec.load_cap == pytest.approx(3 * FANOUT_UNIT_CAP)
+
+    def test_default_keeper_scales_with_fan_in_cmos(self):
+        small = DynamicOrSpec(fan_in=4, style="cmos")
+        big = DynamicOrSpec(fan_in=16, style="cmos")
+        assert big.default_keeper_width() == pytest.approx(
+            4 * small.default_keeper_width())
+
+    def test_hybrid_keeper_is_minimum(self):
+        spec = DynamicOrSpec(fan_in=16, style="hybrid")
+        assert spec.default_keeper_width() == DynamicOrSpec.W_KEEPER_MIN
+
+
+class TestBuild:
+    def test_cmos_element_count(self):
+        gate = build_dynamic_or(DynamicOrSpec(fan_in=4, style="cmos"))
+        # 4 pulldowns + precharge + keeper + footer + 2 inverter
+        # + load cap + vdd + clk + 4 inputs = 16.
+        assert len(gate.circuit) == 16
+        assert len(gate.nemfets) == 0
+
+    def test_hybrid_has_series_nemfets(self):
+        gate = build_dynamic_or(DynamicOrSpec(fan_in=4, style="hybrid"))
+        assert len(gate.nemfets) == 4
+        assert gate.circuit.has_node("mid0")
+
+    def test_zero_fanout_omits_load(self):
+        gate = build_dynamic_or(DynamicOrSpec(fan_in=2, fan_out=0))
+        assert "CL" not in gate.circuit
+
+
+class TestStimulus:
+    def test_static_inputs_validated(self):
+        gate = build_dynamic_or(DynamicOrSpec(fan_in=4))
+        with pytest.raises(DesignError):
+            gate.set_inputs_static([0.0, 0.0])
+
+    def test_domino_rejects_unknown_input(self):
+        gate = build_dynamic_or(DynamicOrSpec(fan_in=4))
+        with pytest.raises(DesignError, match="no such"):
+            gate.set_inputs_domino([7])
+
+    def test_domino_rejects_late_rise(self):
+        gate = build_dynamic_or(DynamicOrSpec(fan_in=4))
+        with pytest.raises(DesignError):
+            gate.set_inputs_domino([0], t_rise=5e-9)
+
+    def test_keeper_resize(self):
+        gate = build_dynamic_or(DynamicOrSpec(fan_in=4))
+        gate.set_keeper_width(1e-6)
+        assert gate.keeper_width == 1e-6
+        with pytest.raises(DesignError):
+            gate.set_keeper_width(0.0)
+
+
+class TestFunctionality:
+    @pytest.mark.parametrize("style", ["cmos", "hybrid"])
+    def test_evaluates_when_input_high(self, style):
+        spec = DynamicOrSpec(fan_in=4, fan_out=1, style=style)
+        gate = build_dynamic_or(spec)
+        gate.set_inputs_domino([0])
+        res = transient(gate.circuit, spec.period, 5e-12)
+        out = res.voltage("out")
+        # Output low during precharge, high after evaluation.
+        assert np.interp(0.9 * spec.t_precharge, res.t, out) < 0.1
+        assert out[np.searchsorted(res.t, spec.t_precharge + 1e-9)] > 1.0
+
+    @pytest.mark.parametrize("style", ["cmos", "hybrid"])
+    def test_holds_low_when_inputs_low(self, style):
+        spec = DynamicOrSpec(fan_in=4, fan_out=1, style=style)
+        gate = build_dynamic_or(spec)
+        gate.set_inputs_static([0.0] * 4)
+        res = transient(gate.circuit, spec.period, 5e-12)
+        assert res.voltage("out").max() < 0.2
+        assert res.voltage("dyn").min() > 1.0
+
+    def test_any_single_input_fires_gate(self):
+        """OR semantics: each input alone must discharge the gate."""
+        spec = DynamicOrSpec(fan_in=3, fan_out=1, style="cmos")
+        gate = build_dynamic_or(spec)
+        for i in range(3):
+            gate.set_inputs_domino([i])
+            res = transient(gate.circuit, spec.period, 5e-12)
+            assert res.voltage("out")[-1] > 1.0, f"input {i}"
+
+    def test_multiple_inputs_faster_than_one(self):
+        spec = DynamicOrSpec(fan_in=4, fan_out=1, style="cmos")
+        gate = build_dynamic_or(spec)
+        half = spec.vdd / 2
+
+        def delay(active):
+            gate.set_inputs_domino(active)
+            res = transient(gate.circuit, spec.period, 4e-12)
+            return measure.propagation_delay(
+                res.t, res.voltage("clk"), res.voltage("out"),
+                level_from=half, level_to=half, edge_from="rise",
+                edge_to="rise")
+
+        assert delay([0, 1, 2, 3]) < delay([0])

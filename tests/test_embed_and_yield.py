@@ -1,0 +1,123 @@
+"""Tests for subcircuit embedding and SRAM yield analysis."""
+
+import pytest
+
+from repro import Circuit, operating_point
+from repro.devices.mosfet import Mosfet, nmos_90nm, pmos_90nm
+from repro.errors import DesignError, NetlistError
+from repro.library.sram import SramSpec
+from repro.library.yield_analysis import (
+    YieldEstimate,
+    estimate_yield,
+    sample_snm_distribution,
+)
+
+
+def _inverter() -> Circuit:
+    c = Circuit("inv")
+    c.add(Mosfet("MP", "out", "in", "vdd", pmos_90nm(), 2e-6))
+    c.add(Mosfet("MN", "out", "in", "0", nmos_90nm(), 1e-6))
+    return c
+
+
+class TestEmbed:
+    def test_two_instances_chain(self):
+        top = Circuit("top")
+        top.vsource("VDD", "vdd", "0", 1.2)
+        top.vsource("VIN", "a", "0", 0.0)
+        top.embed(_inverter(), "U1_", {"in": "a", "out": "b",
+                                       "vdd": "vdd"})
+        top.embed(_inverter(), "U2_", {"in": "b", "out": "c",
+                                       "vdd": "vdd"})
+        op = operating_point(top)
+        assert op.voltage("b") > 1.1      # first inverts 0 -> 1
+        assert op.voltage("c") < 0.1      # second inverts back
+
+    def test_internal_nodes_prefixed(self):
+        sub = Circuit("sub")
+        sub.resistor("R1", "x", "y", 1e3)
+        sub.resistor("R2", "y", "0", 1e3)
+        top = Circuit("top")
+        top.vsource("V1", "a", "0", 1.0)
+        top.embed(sub, "S_", {"x": "a"})
+        assert top.has_node("S_y")
+        assert "S_R1" in top
+
+    def test_ground_shared(self):
+        sub = Circuit("sub")
+        sub.resistor("R1", "x", "0", 1e3)
+        top = Circuit("top")
+        top.vsource("V1", "a", "0", 1.0)
+        top.embed(sub, "S_", {"x": "a"})
+        op = operating_point(top)
+        assert op.branch_current("V1") == pytest.approx(-1e-3)
+
+    def test_empty_prefix_rejected(self):
+        top = Circuit("top")
+        with pytest.raises(NetlistError):
+            top.embed(_inverter(), "", {})
+
+    def test_name_collision_detected(self):
+        top = Circuit("top")
+        top.embed(_inverter(), "U1_", {})
+        with pytest.raises(NetlistError, match="duplicate"):
+            top.embed(_inverter(), "U1_", {})
+
+    def test_source_circuit_untouched(self):
+        sub = _inverter()
+        top = Circuit("top")
+        top.embed(sub, "U1_", {"in": "a"})
+        assert sub["MP"].name == "MP"
+        assert sub["MP"].nodes == ("out", "in", "vdd")
+
+
+class TestYieldModel:
+    def test_failure_probability_half_at_zero_mean(self):
+        est = YieldEstimate("x", snm_mean=0.0, snm_sigma=0.05,
+                            samples=10)
+        assert est.cell_failure_probability == pytest.approx(0.5)
+
+    def test_robust_cell_high_yield(self):
+        est = YieldEstimate("x", snm_mean=0.2, snm_sigma=0.01,
+                            samples=10)
+        assert est.array_yield(2 ** 20) > 0.999
+
+    def test_marginal_cell_low_yield(self):
+        est = YieldEstimate("x", snm_mean=0.05, snm_sigma=0.02,
+                            samples=10)
+        assert est.array_yield(2 ** 20) < 0.01
+
+    def test_zero_sigma_degenerate(self):
+        good = YieldEstimate("x", 0.1, 0.0, 5)
+        assert good.cell_failure_probability == 0.0
+
+    def test_rejects_empty_array(self):
+        est = YieldEstimate("x", 0.1, 0.01, 5)
+        with pytest.raises(DesignError):
+            est.array_yield(0)
+
+
+class TestSampling:
+    def test_samples_deterministic(self):
+        spec = SramSpec()
+        a = sample_snm_distribution(spec, sigma_rel=0.05, samples=4,
+                                    seed=3, points=41)
+        b = sample_snm_distribution(spec, sigma_rel=0.05, samples=4,
+                                    seed=3, points=41)
+        assert (a == b).all()
+
+    def test_zero_sigma_no_spread(self):
+        spec = SramSpec()
+        snm = sample_snm_distribution(spec, sigma_rel=0.0, samples=3,
+                                      points=41)
+        assert snm.std() == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(DesignError):
+            sample_snm_distribution(SramSpec(), sigma_rel=-0.1)
+
+    def test_estimate_bundles_statistics(self):
+        est = estimate_yield(SramSpec(), sigma_rel=0.05, samples=4)
+        assert est.variant == "conventional"
+        assert est.snm_mean > 0.05
+        assert est.samples == 4

@@ -1,0 +1,136 @@
+"""Engine failure-path and robustness tests.
+
+Exercises the error handling the happy-path tests never reach: timestep
+collapse, inconsistent element stamping, stiff-circuit integration, and
+extreme parameter ranges.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Circuit,
+    Pulse,
+    TransientOptions,
+    operating_point,
+    transient,
+)
+from repro.circuit.elements import Element
+from repro.circuit.mna import Assembler
+from repro.errors import ConvergenceError, TimestepError
+
+
+class _BistableLatch(Element):
+    """A cross-coupled pair abstraction with a cusp nonlinearity that
+    refuses to converge once its input leaves a trust region — used to
+    provoke transient step rejection."""
+
+    TERMINALS = 2
+
+    def load(self, ctx):
+        a, b = self._n
+        v = ctx.x[a] - ctx.x[b]
+        if abs(v) > 0.5:
+            # Non-finite residual: the solver must reject and retry.
+            ctx.add(a, float("nan"), (a,), (1.0,))
+            ctx.add(b, float("nan"), (b,), (1.0,))
+            return
+        g = 1e-3
+        ctx.add(a, g * v, (a, b), (g, -g))
+        ctx.add(b, -g * v, (a, b), (-g, g))
+
+
+class TestFailurePaths:
+    def test_timestep_error_reports_time(self):
+        c = Circuit("bad")
+        c.vsource("V1", "in", "0", Pulse(0, 1, td=1e-9, tr=1e-12,
+                                         pw=1.0))
+        c.add(_BistableLatch("X1", ("in", "out")))
+        # Small load: most of the input lands across the latch, which
+        # emits NaN above 0.5 V, so no step size can cross the edge.
+        c.resistor("R1", "out", "0", 100.0)
+        with pytest.raises(TimestepError, match="dtmin"):
+            transient(c, 3e-9, 0.1e-9,
+                      options=TransientOptions(dtmin=1e-15))
+
+    def test_inconsistent_add_dot_detected(self):
+        class Flaky(Element):
+            TERMINALS = 2
+            calls = 0
+
+            def load(self, ctx):
+                a, b = self._n
+                Flaky.calls += 1
+                if Flaky.calls % 2 == 0:
+                    ctx.add_dot(a, 0.0, (a,), (0.0,))
+
+        c = Circuit("flaky")
+        c.vsource("V1", "x", "0", 1.0)
+        c.add(Flaky("F1", ("x", "0")))
+        asm = Assembler(c)
+        x = asm.layout.x_default
+        asm.assemble(x)
+        with pytest.raises(RuntimeError, match="add_dot"):
+            asm.assemble(x)
+            asm.assemble(x)
+
+    def test_dc_failure_propagates_as_convergence_error(self):
+        c = Circuit("nan")
+        c.vsource("V1", "in", "0", 1.0)
+        c.add(_BistableLatch("X1", ("in", "out")))
+        c.resistor("R1", "out", "0", 100.0)
+        # The latch emits NaN at |v| > 0.5 and the source forces ~0.9 V
+        # across it; every homotopy path must cross the NaN region.
+        with pytest.raises(ConvergenceError):
+            operating_point(c)
+
+
+class TestStiffness:
+    def test_widely_separated_time_constants(self):
+        """A 1 ps and a 1 us pole in one circuit: BE must stay stable
+        stepping at the slow scale."""
+        c = Circuit("stiff")
+        c.vsource("V1", "in", "0", Pulse(0, 1, td=10e-9, tr=1e-12,
+                                         pw=1.0))
+        c.resistor("Rf", "in", "fast", 1.0)       # tau = 1 ps
+        c.capacitor("Cf", "fast", "0", 1e-12)
+        c.resistor("Rs", "in", "slow", 1e6)       # tau = 1 us
+        c.capacitor("Cs", "slow", "0", 1e-12)
+        res = transient(c, 100e-9, 1e-9)
+        v_fast = res.voltage("fast")
+        assert np.all(np.isfinite(v_fast))
+        assert v_fast[-1] == pytest.approx(1.0, abs=1e-3)
+        # The slow node has barely moved after 90 ns = 0.09 tau.
+        assert res.voltage("slow")[-1] < 0.15
+
+    def test_tiny_capacitor_with_big_resistor(self):
+        c = Circuit("extreme")
+        c.vsource("V1", "in", "0", 1.0)
+        c.resistor("R1", "in", "out", 1e9)
+        c.capacitor("C1", "out", "0", 1e-18)
+        op = operating_point(c)
+        assert op.voltage("out") == pytest.approx(1.0, abs=1e-6)
+
+
+class TestExtremeDevices:
+    def test_very_wide_mosfet(self):
+        from repro.devices.mosfet import Mosfet, nmos_90nm
+        c = Circuit("wide")
+        c.vsource("VD", "d", "0", 1.2)
+        c.vsource("VG", "g", "0", 1.2)
+        c.add(Mosfet("M1", "d", "g", "0", nmos_90nm(), 1e-3))  # 1 mm
+        op = operating_point(c)
+        assert -op.branch_current("VD") == pytest.approx(1.11, rel=0.02)
+
+    def test_nemfet_with_overdriven_gate(self):
+        """Gate far above pull-in: beam slams in and stays bounded."""
+        from repro.devices.nemfet import Nemfet, nemfet_90nm
+        c = Circuit("slam")
+        c.vsource("VG", "g", "0", Pulse(0, 2.4, td=0.1e-9, tr=10e-12,
+                                        pw=1.0))
+        c.vsource("VD", "d", "0", 1.2)
+        c.add(Nemfet("M1", "d", "g", "0", nemfet_90nm(), 1e-6))
+        res = transient(c, 1.5e-9, 2e-12)
+        u = res.state("M1", "position")
+        assert u.max() < 1.2  # penalty holds the beam at contact
+        assert u[-1] > 0.95

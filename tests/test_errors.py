@@ -1,0 +1,31 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for cls in (errors.NetlistError, errors.AnalysisError,
+                errors.ConvergenceError, errors.TimestepError,
+                errors.MeasurementError, errors.CalibrationError,
+                errors.DesignError):
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_analysis_subtypes():
+    assert issubclass(errors.ConvergenceError, errors.AnalysisError)
+    assert issubclass(errors.TimestepError, errors.AnalysisError)
+
+
+def test_convergence_error_diagnostics():
+    err = errors.ConvergenceError("failed", residual_norm=1.5,
+                                  iterations=42)
+    assert err.residual_norm == 1.5
+    assert err.iterations == 42
+    assert "failed" in str(err)
+
+
+def test_convergence_error_defaults():
+    err = errors.ConvergenceError("oops")
+    assert err.iterations == 0

@@ -1,0 +1,151 @@
+"""Shape tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments import (
+    ext_conditional_keeper,
+    ext_fig09_montecarlo,
+    ext_resonator,
+    ext_sram_array,
+    ext_temperature,
+)
+
+
+class TestResonator:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_resonator.run(biases=(0.15, 0.40), points=81)
+
+    def test_resonance_visible(self, result):
+        for gain in result.column("peak gain"):
+            assert gain > 1.3
+
+    def test_spring_softening_tunes_down(self, result):
+        peaks = result.column("f_peak [MHz]")
+        assert peaks[1] < peaks[0]
+
+    def test_peaks_below_unbiased_f0(self, result):
+        for rel in result.column("f_peak / f0"):
+            assert rel < 1.0
+
+
+class TestConditionalKeeper:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_conditional_keeper.run()
+
+    def test_iso_noise_margin(self, result):
+        nm = {r[0]: r[2] for r in result.rows}
+        assert nm["conditional keeper"] == pytest.approx(
+            nm["standard keeper"], abs=0.01)
+
+    def test_conditional_faster_than_standard(self, result):
+        delay = {r[0]: r[3] for r in result.rows}
+        assert delay["conditional keeper"] < 0.9 * delay["standard keeper"]
+
+    def test_hybrid_still_wins_leakage(self, result):
+        """The hybrid pull-down network leaks ~nothing; the residual is
+        the shared output inverter's PMOS."""
+        leak = {r[0]: r[5] for r in result.rows}
+        assert leak["hybrid NEMS-CMOS"] < 0.1 * leak["standard keeper"]
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_fig09_montecarlo.run(samples=10, seed=3)
+
+    def test_corner_bounds_sampled_delay(self, result):
+        row = result.filtered(metric="delay [ps]")[0]
+        mean, std, worst, corner = row[1], row[2], row[3], row[4]
+        assert corner >= worst
+        assert corner >= mean
+
+    def test_corner_bounds_sampled_margin(self, result):
+        row = result.filtered(metric="noise margin [V]")[0]
+        mean, std, worst, corner = row[1], row[2], row[3], row[4]
+        assert corner <= worst    # corner NM below smallest sample
+        assert corner <= mean
+
+    def test_variation_produces_spread(self, result):
+        row = result.filtered(metric="delay [ps]")[0]
+        assert row[2] > 0  # nonzero std
+
+
+class TestTemperature:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_temperature.run()
+
+    def test_cmos_leakage_explodes_with_t(self, result):
+        cmos = result.column("CMOS I_off [nA/um]")
+        assert cmos[-1] > 4 * cmos[0]
+
+    def test_advantage_always_large(self, result):
+        for adv in result.column("advantage"):
+            assert adv > 300
+
+    def test_room_temperature_matches_table1(self, result):
+        row = result.rows[0]
+        assert row[1] == pytest.approx(50.0, rel=0.02)
+
+
+class TestStaticComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_static_comparison
+        return ext_static_comparison.run(fan_ins=(4, 12))
+
+    def test_three_styles(self, result):
+        assert set(r[0] for r in result.rows) \
+            == {"static", "dynamic", "hybrid dynamic"}
+
+    def test_static_delay_explodes_with_fan_in(self, result):
+        static = {r[1]: r[2] for r in result.rows if r[0] == "static"}
+        assert static[12] > 3 * static[4]
+
+    def test_wide_static_loses_to_dynamic(self, result):
+        d_static = [r[2] for r in result.rows
+                    if r[0] == "static" and r[1] == 12][0]
+        d_dyn = [r[2] for r in result.rows
+                 if r[0] == "dynamic" and r[1] == 12][0]
+        assert d_static > d_dyn
+
+
+class TestThermalRunaway:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_thermal_runaway
+        return ext_thermal_runaway.run(r_thermals=(20.0, 600.0))
+
+    def test_cmos_runs_away_on_bad_package(self, result):
+        row = [r for r in result.rows
+               if r[0] == "cmos" and r[1] == 600.0][0]
+        assert row[4] == "RUNAWAY"
+
+    def test_hybrid_always_converges(self, result):
+        for row in result.rows:
+            if row[0] == "hybrid":
+                assert row[4] == "ok"
+
+    def test_hybrid_cooler_at_good_package(self, result):
+        temp = {(r[0], r[1]): r[2] for r in result.rows
+                if r[4] == "ok"}
+        assert temp[("hybrid", 20.0)] < temp[("cmos", 20.0)]
+
+
+class TestSramArray:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_sram_array.run(row_counts=(32, 128),
+                                  include_nems_access=True)
+
+    def test_latency_grows_with_rows(self, result):
+        for cell in ("conventional", "hybrid"):
+            rows = result.filtered(cell=cell)
+            assert rows[1][2] > rows[0][2]
+
+    def test_nems_access_rejected_for_cause(self, result):
+        rejected = result.filtered(cell="nems-access (rejected)")[0][2]
+        conv_32 = result.filtered(cell="conventional")[0][2]
+        assert rejected > 4 * conv_32

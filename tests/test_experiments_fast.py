@@ -1,0 +1,71 @@
+"""Shape tests for the inexpensive experiments (Table 1, Figs 1-2)."""
+
+import pytest
+
+from repro.experiments import (
+    fig01_itrs_trend,
+    fig02_swing_survey,
+    table1_devices,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1_devices.run()
+
+    def test_four_devices(self, result):
+        assert len(result.rows) == 4
+
+    def test_calibration_errors_small(self, result):
+        for err in result.column("on_err [%]"):
+            assert err < 3.0
+
+    def test_nmos_anchor(self, result):
+        row = result.filtered(device="CMOS NMOS")[0]
+        assert row[1] == pytest.approx(1110.0, rel=0.02)
+        assert row[3] == pytest.approx(50.0, rel=0.02)
+
+    def test_nems_anchor(self, result):
+        row = result.filtered(device="NEMS (n)")[0]
+        assert row[1] == pytest.approx(330.0, rel=0.03)
+        assert row[3] == pytest.approx(0.110, rel=0.10)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig01_itrs_trend.run()
+
+    def test_leakage_explodes(self, result):
+        rel = result.column("vs 250nm")
+        assert rel[0] == 1.0
+        assert rel[-1] > 1e3
+        assert all(b > a for a, b in zip(rel, rel[1:]))
+
+    def test_eight_nodes(self, result):
+        assert len(result.rows) == 8
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig02_swing_survey.run()
+
+    def test_has_survey_and_measured(self, result):
+        kinds = set(result.column("kind"))
+        assert kinds == {"survey", "measured"}
+
+    def test_measured_cmos_above_limit(self, result):
+        row = result.filtered(device="repro bulk CMOS model")[0]
+        assert row[1] > 60.0
+
+    def test_measured_nemfet_below_survey_value(self, result):
+        """Our NEMFET must be at least as steep as the 2 mV/dec of [12]."""
+        row = result.filtered(device="repro NEMFET model")[0]
+        assert row[1] <= 2.0
+
+    def test_ordering_preserved(self, result):
+        survey = {r[0]: r[1] for r in result.rows if r[3] == "survey"}
+        assert survey["NEMS (SG-MOSFET)"] < survey["IMOS"] \
+            < survey["NW-FET"] < survey["Bulk CMOS"]

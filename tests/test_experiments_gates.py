@@ -1,0 +1,133 @@
+"""Shape tests for the dynamic-gate experiments (Figures 9-12).
+
+Reduced-but-real parameter sets keep these in CI-friendly time while
+still asserting the paper's qualitative claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig09_keeper_tradeoff,
+    fig10_fanout_sweep,
+    fig11_fanin_sweep,
+    fig12_pdp,
+)
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09_keeper_tradeoff.run(
+            fan_in=8, sigma_levels=(0.05, 0.15),
+            keeper_widths=(0.8e-6, 2e-6, 4e-6))
+
+    def test_row_count(self, result):
+        assert len(result.rows) == 6
+
+    def test_noise_margin_rises_with_keeper(self, result):
+        for sigma in (5.0, 15.0):
+            rows = result.filtered(**{"sigma/mu [%]": sigma})
+            nms = [r[2] for r in rows]
+            assert nms == sorted(nms)
+
+    def test_delay_rises_with_keeper(self, result):
+        for sigma in (5.0, 15.0):
+            rows = result.filtered(**{"sigma/mu [%]": sigma})
+            delays = [r[3] for r in rows]
+            assert delays == sorted(delays)
+
+    def test_higher_sigma_worse_tradeoff(self, result):
+        """At equal keeper size: more variation = less margin, more
+        worst-case delay."""
+        lo = result.filtered(**{"sigma/mu [%]": 5.0})
+        hi = result.filtered(**{"sigma/mu [%]": 15.0})
+        for row_lo, row_hi in zip(lo, hi):
+            assert row_hi[2] < row_lo[2]   # noise margin
+            assert row_hi[3] > row_lo[3]   # delay
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_fanout_sweep.run(fan_in=8, fan_outs=(1, 3))
+
+    def test_hybrid_saves_power_everywhere(self, result):
+        for fo in (1, 3):
+            p_c = result.filtered(style="cmos", fan_out=fo)[0][4]
+            p_h = result.filtered(style="hybrid", fan_out=fo)[0][4]
+            assert p_h < 0.7 * p_c  # at least 30% saving
+
+    def test_hybrid_delay_penalty_minor(self, result):
+        for fo in (1, 3):
+            d_c = result.filtered(style="cmos", fan_out=fo)[0][2]
+            d_h = result.filtered(style="hybrid", fan_out=fo)[0][2]
+            assert d_c < d_h < 1.6 * d_c
+
+    def test_delay_grows_with_fanout(self, result):
+        for style in ("cmos", "hybrid"):
+            d1 = result.filtered(style=style, fan_out=1)[0][2]
+            d3 = result.filtered(style=style, fan_out=3)[0][2]
+            assert d3 > d1
+
+    def test_normalisation_reference(self, result):
+        assert result.filtered(style="hybrid", fan_out=1)[0][5] \
+            == pytest.approx(1.0)
+        assert result.filtered(style="cmos", fan_out=1)[0][3] \
+            == pytest.approx(1.0)
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_fanin_sweep.run(fan_ins=(4, 8, 12))
+
+    def test_cmos_faster_at_small_fan_in(self, result):
+        d_c = result.filtered(style="cmos", fan_in=4)[0][2]
+        d_h = result.filtered(style="hybrid", fan_in=4)[0][2]
+        assert d_c < d_h
+
+    def test_crossover_by_fan_in_12(self, result):
+        """The paper's headline: hybrid wins both beyond fan-in 12."""
+        d_c = result.filtered(style="cmos", fan_in=12)[0][2]
+        d_h = result.filtered(style="hybrid", fan_in=12)[0][2]
+        p_c = result.filtered(style="cmos", fan_in=12)[0][4]
+        p_h = result.filtered(style="hybrid", fan_in=12)[0][4]
+        assert d_h < d_c
+        assert p_h < p_c
+
+    def test_cmos_keeper_grows_with_fan_in(self, result):
+        keepers = [result.filtered(style="cmos", fan_in=fi)[0][6]
+                   for fi in (4, 8, 12)]
+        assert keepers == sorted(keepers)
+
+    def test_crossover_reported_in_notes(self, result):
+        assert "12" in result.notes
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_pdp.run(loads=(1.0,),
+                             activities=(0.0, 0.5, 1.0))
+
+    def test_hybrid_pdp_below_cmos_everywhere(self, result):
+        for a in (0.0, 0.5, 1.0):
+            pdp_c = result.filtered(style="cmos", activity=a)[0][3]
+            pdp_h = result.filtered(style="hybrid", activity=a)[0][3]
+            assert pdp_h < pdp_c
+
+    def test_leakage_dominates_at_zero_activity(self, result):
+        """At a=0 the hybrid advantage is largest (near-zero leakage)."""
+        ratio_at = {}
+        for a in (0.0, 1.0):
+            pdp_c = result.filtered(style="cmos", activity=a)[0][3]
+            pdp_h = result.filtered(style="hybrid", activity=a)[0][3]
+            ratio_at[a] = pdp_h / pdp_c
+        assert ratio_at[0.0] < 0.3 * ratio_at[1.0]
+
+    def test_pdp_monotone_in_activity(self, result):
+        for style in ("cmos", "hybrid"):
+            pdps = [result.filtered(style=style, activity=a)[0][3]
+                    for a in (0.0, 0.5, 1.0)]
+            assert pdps == sorted(pdps)

@@ -1,0 +1,82 @@
+"""Shape tests for the SRAM and sleep-transistor experiments."""
+
+import pytest
+
+from repro.experiments import (
+    fig14_butterfly,
+    fig15_sram_comparison,
+    fig17_sleep_transistors,
+)
+
+
+class TestFigure14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14_butterfly.run(points=81)
+
+    def test_four_variants(self, result):
+        assert len(result.rows) == 4
+
+    def test_all_snm_positive(self, result):
+        for snm in result.column("SNM [mV]"):
+            assert snm > 50.0
+
+    def test_hybrid_below_conventional(self, result):
+        ratio = result.filtered(variant="hybrid")[0][2]
+        assert ratio < 1.0
+
+    def test_butterfly_curves_attached(self, result):
+        curves = result.extras["butterfly"]
+        assert set(curves) == {"conventional", "dual_vt",
+                               "asymmetric", "hybrid"}
+        bf = curves["hybrid"]
+        assert len(bf.v_in) == 81
+
+
+class TestFigure15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig15_sram_comparison.run()
+
+    def test_hybrid_leakage_reduction_band(self, result):
+        """The paper's 7.7x claim, within a factor tolerance."""
+        reduction = result.filtered(variant="hybrid")[0][5]
+        assert 5.0 < reduction < 12.0
+
+    def test_hybrid_latency_band(self, result):
+        """Paper: 23% penalty; accept 10-60%."""
+        norm = result.filtered(variant="hybrid")[0][2]
+        assert 1.1 < norm < 1.6
+
+    def test_low_leakage_cells_beat_conventional(self, result):
+        for variant in ("dual_vt", "asymmetric", "hybrid"):
+            assert result.filtered(variant=variant)[0][4] < 1.0
+
+    def test_hybrid_is_the_leakage_winner(self, result):
+        leaks = {r[0]: r[3] for r in result.rows}
+        assert leaks["hybrid"] == min(leaks.values())
+
+
+class TestFigure17:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig17_sleep_transistors.run(area_units=(1, 4, 16),
+                                           delay_budget=None)
+
+    def test_nems_ioff_three_orders_lower(self, result):
+        for ratio in result.column("Ioff ratio"):
+            assert ratio > 500
+
+    def test_ron_gap_shrinks_with_area(self, result):
+        gaps = result.column("dRon [ohm]")
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_both_ron_fall_with_area(self, result):
+        r_c = result.column("Ron CMOS [ohm]")
+        r_n = result.column("Ron NEMS [ohm]")
+        assert r_c == sorted(r_c, reverse=True)
+        assert r_n == sorted(r_n, reverse=True)
+
+    def test_cmos_leakage_grows_with_area(self, result):
+        i_c = result.column("Ioff CMOS [nA]")
+        assert i_c == sorted(i_c)

@@ -1,0 +1,123 @@
+"""Tests for dynamic-gate figures of merit."""
+
+import pytest
+
+from repro.devices.mosfet import nmos_90nm, pmos_90nm
+from repro.errors import DesignError
+from repro.library import gate_metrics as gm
+from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+
+
+@pytest.fixture(scope="module")
+def cmos_gate():
+    return build_dynamic_or(DynamicOrSpec(fan_in=4, fan_out=1,
+                                          style="cmos"))
+
+
+@pytest.fixture(scope="module")
+def hybrid_gate():
+    return build_dynamic_or(DynamicOrSpec(fan_in=4, fan_out=1,
+                                          style="hybrid"))
+
+
+class TestTripVoltage:
+    def test_within_rails(self):
+        trip = gm.inverter_trip_voltage(nmos_90nm(), 1e-6,
+                                        pmos_90nm(), 2e-6, 1.2)
+        assert 0.3 < trip < 0.9
+
+    def test_stronger_pmos_raises_trip(self):
+        t1 = gm.inverter_trip_voltage(nmos_90nm(), 1e-6, pmos_90nm(),
+                                      1e-6, 1.2)
+        t2 = gm.inverter_trip_voltage(nmos_90nm(), 1e-6, pmos_90nm(),
+                                      4e-6, 1.2)
+        assert t2 > t1
+
+
+class TestNoiseMargin:
+    def test_larger_keeper_increases_margin(self, cmos_gate):
+        cmos_gate.set_keeper_width(0.2e-6)
+        nm_small = gm.noise_margin_static(cmos_gate)
+        cmos_gate.set_keeper_width(2e-6)
+        nm_big = gm.noise_margin_static(cmos_gate)
+        assert nm_big > nm_small
+
+    def test_leaky_corner_reduces_margin(self, cmos_gate):
+        cmos_gate.set_keeper_width(1e-6)
+        nominal = gm.noise_margin_static(cmos_gate)
+        corner = gm.noise_margin_static(cmos_gate, pd_shift=-0.08)
+        assert corner < nominal
+
+    def test_hybrid_margin_pinned_at_pull_in(self, hybrid_gate):
+        nm = gm.noise_margin_static(hybrid_gate)
+        v_pi = hybrid_gate.spec.nems.pull_in_voltage
+        assert nm == pytest.approx(v_pi, abs=0.05)
+
+    def test_static_predicts_transient(self, cmos_gate):
+        """The static criterion must agree with a real transient check."""
+        cmos_gate.set_keeper_width(1.2e-6)
+        nm = gm.noise_margin_static(cmos_gate)
+        assert gm.noise_margin_transient(cmos_gate, nm - 0.08)
+        assert not gm.noise_margin_transient(cmos_gate, nm + 0.12)
+
+
+class TestDelayAndPower:
+    def test_delay_positive_and_sane(self, cmos_gate):
+        d = gm.measure_worst_case_delay(cmos_gate)
+        assert 1e-12 < d < 1e-9
+
+    def test_hybrid_slower_at_small_fan_in(self, cmos_gate,
+                                           hybrid_gate):
+        cmos_gate.set_keeper_width(
+            cmos_gate.spec.default_keeper_width())
+        d_c = gm.measure_worst_case_delay(cmos_gate)
+        d_h = gm.measure_worst_case_delay(hybrid_gate)
+        assert d_h > d_c
+
+    def test_switching_energy_grows_with_load(self):
+        e = {}
+        for fo in (1, 4):
+            gate = build_dynamic_or(DynamicOrSpec(fan_in=4, fan_out=fo,
+                                                  style="cmos"))
+            e[fo] = gm.measure_switching_power(gate)[1]
+        assert e[4] > e[1]
+
+    def test_hybrid_leakage_orders_below_cmos(self, cmos_gate,
+                                              hybrid_gate):
+        p_c = gm.measure_leakage_power(cmos_gate)
+        p_h = gm.measure_leakage_power(hybrid_gate)
+        assert p_h < p_c / 5
+        assert p_h > 0
+
+    def test_characterize_bundle(self, hybrid_gate):
+        metrics = gm.characterize(hybrid_gate)
+        assert metrics.delay > 0
+        assert metrics.switching_energy > 0
+        assert metrics.noise_margin > 0.3
+        assert metrics.leakage_power < 1e-6
+
+
+class TestKeeperSizing:
+    def test_sized_keeper_meets_target(self, cmos_gate):
+        w = gm.size_keeper_for_noise_margin(cmos_gate, 0.25)
+        cmos_gate.set_keeper_width(w)
+        assert gm.noise_margin_static(cmos_gate) >= 0.249
+        cmos_gate.set_keeper_width(
+            cmos_gate.spec.default_keeper_width())
+
+    def test_sizing_restores_width(self, cmos_gate):
+        cmos_gate.set_keeper_width(0.7e-6)
+        gm.size_keeper_for_noise_margin(cmos_gate, 0.2)
+        assert cmos_gate.keeper_width == pytest.approx(0.7e-6)
+
+    def test_unreachable_target_returns_cap(self, cmos_gate):
+        w = gm.size_keeper_for_noise_margin(cmos_gate, 1.1)
+        assert w == pytest.approx(
+            gm.max_functional_keeper_width(cmos_gate))
+
+    def test_strict_mode_raises(self, cmos_gate):
+        with pytest.raises(DesignError):
+            gm.size_keeper_for_noise_margin(cmos_gate, 1.1, strict=True)
+
+    def test_functional_cap_positive(self, cmos_gate):
+        assert gm.max_functional_keeper_width(cmos_gate) > 1e-6

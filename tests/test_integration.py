@@ -1,0 +1,123 @@
+"""Cross-module integration tests: mixed NEMS-CMOS circuits end to end."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, Pulse, operating_point, transient
+from repro.analysis import measure
+from repro.devices.mosfet import Mosfet, nmos_90nm, pmos_90nm
+from repro.devices.nemfet import Nemfet, nemfet_90nm, pemfet_90nm
+
+VDD = 1.2
+
+
+class TestInverterChain:
+    def test_three_stage_chain_propagates(self):
+        c = Circuit("chain")
+        c.vsource("VDD", "vdd", "0", VDD)
+        c.vsource("VIN", "n0", "0", Pulse(0, VDD, td=0.3e-9, tr=30e-12,
+                                          pw=3e-9))
+        for i in range(3):
+            c.add(Mosfet(f"MP{i}", f"n{i + 1}", f"n{i}", "vdd",
+                         pmos_90nm(), 2e-6))
+            c.add(Mosfet(f"MN{i}", f"n{i + 1}", f"n{i}", "0",
+                         nmos_90nm(), 1e-6))
+            c.capacitor(f"C{i}", f"n{i + 1}", "0", 2e-15)
+        res = transient(c, 2e-9, 4e-12)
+        out = res.voltage("n3")
+        # Odd chain inverts: output falls after the input rises.
+        assert out[0] > 1.0
+        assert out[-1] < 0.1
+        delay = measure.propagation_delay(
+            res.t, res.voltage("n0"), out, level_from=0.6,
+            level_to=0.6, edge_from="rise", edge_to="fall")
+        assert 1e-12 < delay < 200e-12
+
+    def test_energy_balances_cv2_scale(self):
+        """Supply energy of a switching inverter is on the CV^2 scale."""
+        c = Circuit("inv_energy")
+        c.vsource("VDD", "vdd", "0", VDD)
+        c.vsource("VIN", "a", "0", Pulse(VDD, 0.0, td=0.3e-9,
+                                         tr=30e-12, pw=5e-9))
+        c.add(Mosfet("MP", "out", "a", "vdd", pmos_90nm(), 2e-6))
+        c.add(Mosfet("MN", "out", "a", "0", nmos_90nm(), 1e-6))
+        c.capacitor("CL", "out", "0", 10e-15)
+        res = transient(c, 3e-9, 4e-12)
+        energy = measure.supply_energy(res, "VDD")
+        cv2 = 10e-15 * VDD ** 2
+        assert 0.8 * cv2 < energy < 3.0 * cv2
+
+
+class TestNemsCmosMixed:
+    def test_nems_gated_inverter(self):
+        """A NEMFET footer under a CMOS inverter cuts its leakage."""
+        def build(with_nems):
+            c = Circuit("gated_inv")
+            c.vsource("VDD", "vdd", "0", VDD)
+            c.vsource("VIN", "a", "0", VDD)  # NMOS on -> PMOS leaks
+            c.vsource("VSLP", "slp", "0", 0.0)
+            rail = "virt" if with_nems else "0"
+            c.add(Mosfet("MP", "out", "a", "vdd", pmos_90nm(), 2e-6))
+            c.add(Mosfet("MN", "out", "a", rail, nmos_90nm(), 1e-6))
+            if with_nems:
+                c.add(Nemfet("MS", "virt", "slp", "0", nemfet_90nm(),
+                             2e-6))
+            return c
+
+        leak_plain = operating_point(build(False)).source_power("VDD")
+        leak_gated = operating_point(build(True)).source_power("VDD")
+        assert leak_gated < leak_plain / 20
+
+    def test_complementary_nems_inverter(self):
+        """A pure-NEMS inverter (n + p NEMFET) switches rail to rail."""
+        c = Circuit("nems_inv")
+        c.vsource("VDD", "vdd", "0", VDD)
+        c.vsource("VIN", "a", "0", Pulse(0, VDD, td=0.5e-9, tr=50e-12,
+                                         pw=3e-9))
+        c.add(Nemfet("MP", "out", "a", "vdd", pemfet_90nm(), 2e-6,
+                     initial_contact=True))
+        c.add(Nemfet("MN", "out", "a", "0", nemfet_90nm(), 2e-6))
+        c.capacitor("CL", "out", "0", 2e-15)
+        res = transient(c, 3e-9, 2e-12)
+        out = res.voltage("out")
+        assert out[0] > 1.0       # input low: pull-up closed
+        assert out[-1] < 0.2      # input high: pull-down closed
+
+    def test_domino_two_stage_pipeline(self):
+        """Two cascaded hybrid dynamic OR gates: the second stage's
+        input comes from the first stage's output."""
+        from repro.library.dynamic_logic import DynamicOrSpec, DynamicOrGate
+
+        # Long evaluation phase: stage 2's NEMFETs close mid-evaluation
+        # (monotonic domino), which costs a mechanical delay.
+        spec = DynamicOrSpec(fan_in=2, fan_out=0, style="hybrid",
+                             t_eval=3.5e-9)
+        stage1 = DynamicOrGate(spec)
+        c = stage1.circuit
+        # Second stage sharing the same clock and rails.
+        from repro.devices.mosfet import nmos_90nm as nm, pmos_90nm as pm
+        c.add(Mosfet("S2_PRE", "dyn2", "clk", "vdd", spec.pmos, 4e-6))
+        c.add(Mosfet("S2_PD", "dyn2", "out", "mid2", spec.nmos, 4e-6))
+        c.add(Nemfet("S2_NEM", "mid2", "out", "foot2", spec.nems, 4e-6))
+        c.add(Mosfet("S2_FOOT", "foot2", "clk", "0", spec.nmos, 8e-6))
+        c.add(Mosfet("S2_INVP", "out2", "dyn2", "vdd", spec.pmos, 2e-6))
+        c.add(Mosfet("S2_INVN", "out2", "dyn2", "0", spec.nmos, 1e-6))
+        stage1.set_inputs_domino([0])
+        # Stop just before the next precharge wipes the outputs.
+        res = transient(c, spec.period - 0.1e-9, 5e-12)
+        # Stage 1 fires, then stage 2 fires on stage 1's output.
+        assert res.voltage("out")[-1] > 1.0
+        assert res.voltage("out2")[-1] > 1.0
+
+
+class TestHybridSramReadCycle:
+    def test_read_does_not_disturb_cell(self):
+        """After a full hybrid-cell read, the stored value survives."""
+        from repro.library.sram import SramSpec, build_read_harness
+
+        spec = SramSpec(variant="hybrid")
+        cell = build_read_harness(spec)
+        res = transient(cell.circuit, spec.t_wordline + spec.t_read,
+                        4e-12)
+        assert res.voltage("ql")[-1] < 0.45
+        assert res.voltage("qr")[-1] > 0.75

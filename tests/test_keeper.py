@@ -1,0 +1,99 @@
+"""Tests for the conditional keeper architecture (ref [24])."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.experiments.common import leaky_corner_shift
+from repro.library import gate_metrics as gm
+from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+from repro.library.keeper import (
+    ConditionalKeeperGate,
+    ConditionalKeeperSpec,
+    build_conditional_keeper_gate,
+)
+
+
+class TestSpec:
+    def test_rejects_even_delay_stages(self):
+        with pytest.raises(DesignError):
+            ConditionalKeeperSpec(delay_stages=2)
+
+    def test_rejects_nonpositive_widths(self):
+        with pytest.raises(DesignError):
+            ConditionalKeeperSpec(w_small=0.0)
+
+
+class TestBuild:
+    def test_has_delay_chain_and_branch(self):
+        gate = build_conditional_keeper_gate(4, 1)
+        assert "MKEN" in gate.circuit
+        assert "MKL" in gate.circuit
+        assert gate.circuit.has_node("ken")
+
+    def test_total_keeper_width(self):
+        ks = ConditionalKeeperSpec(w_small=0.2e-6, w_large=2e-6)
+        gate = ConditionalKeeperGate(
+            DynamicOrSpec(fan_in=4, style="cmos"), ks)
+        assert gate.keeper_width == pytest.approx(2.2e-6)
+
+    def test_resize_adjusts_large_branch(self):
+        gate = build_conditional_keeper_gate(4, 1)
+        gate.set_keeper_width(3e-6)
+        assert gate.keeper_width == pytest.approx(3e-6)
+        assert gate.large_keeper.width == pytest.approx(
+            3e-6 - gate.keeper.width)
+
+    def test_resize_below_small_rejected(self):
+        gate = build_conditional_keeper_gate(4, 1)
+        with pytest.raises(DesignError):
+            gate.set_keeper_width(0.05e-6)
+
+    def test_enable_delay_estimate_positive(self):
+        gate = build_conditional_keeper_gate(4, 1)
+        assert 0 < gate.enable_delay_estimate() < 1e-8
+
+
+class TestIsoNoiseMargin:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        """Standard and conditional gates sized to the same NM."""
+        spec = DynamicOrSpec(fan_in=8, fan_out=3, style="cmos")
+        shift = leaky_corner_shift(spec)
+        standard = build_dynamic_or(spec)
+        width = gm.size_keeper_for_noise_margin(standard, 0.24,
+                                                pd_shift=shift)
+        standard.set_keeper_width(width)
+        ks = ConditionalKeeperSpec(
+            w_large=width - ConditionalKeeperSpec().w_small)
+        conditional = ConditionalKeeperGate(
+            DynamicOrSpec(fan_in=8, fan_out=3, style="cmos"), ks)
+        return standard, conditional, shift
+
+    def test_same_static_noise_margin(self, pair):
+        standard, conditional, shift = pair
+        nm_std = gm.noise_margin_static(standard, pd_shift=shift)
+        nm_cond = gm.noise_margin_static(conditional, pd_shift=shift)
+        assert nm_cond == pytest.approx(nm_std, abs=0.005)
+
+    def test_conditional_is_faster(self, pair):
+        standard, conditional, _ = pair
+        d_std = gm.measure_worst_case_delay(standard)
+        d_cond = gm.measure_worst_case_delay(conditional)
+        assert d_cond < 0.9 * d_std
+
+    def test_still_evaluates_correctly(self, pair):
+        _, conditional, _ = pair
+        from repro import transient
+        spec = conditional.spec
+        conditional.set_inputs_domino([0])
+        res = transient(conditional.circuit, spec.period, 5e-12)
+        conditional.set_inputs_static([0.0] * spec.fan_in)
+        assert res.voltage("out").max() > 1.0
+
+    def test_holds_node_when_idle(self, pair):
+        _, conditional, _ = pair
+        from repro import transient
+        spec = conditional.spec
+        conditional.set_inputs_static([0.0] * spec.fan_in)
+        res = transient(conditional.circuit, spec.period, 5e-12)
+        assert res.voltage("dyn").min() > 1.0

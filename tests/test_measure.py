@@ -1,0 +1,140 @@
+"""Tests for waveform measurements, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import measure
+from repro.errors import MeasurementError
+
+
+@pytest.fixture
+def ramp():
+    t = np.linspace(0.0, 1.0, 101)
+    return t, t.copy()  # y = t
+
+
+class TestCrossings:
+    def test_single_rise(self, ramp):
+        t, y = ramp
+        times = measure.cross_times(t, y, 0.5, "rise")
+        assert len(times) == 1
+        assert times[0] == pytest.approx(0.5)
+
+    def test_fall_edge_on_ramp_empty(self, ramp):
+        t, y = ramp
+        assert measure.cross_times(t, y, 0.5, "fall") == []
+
+    def test_interpolation_between_samples(self):
+        t = np.array([0.0, 1.0])
+        y = np.array([0.0, 2.0])
+        assert measure.cross_times(t, y, 0.5)[0] == pytest.approx(0.25)
+
+    def test_triangle_both_edges(self):
+        t = np.linspace(0, 2, 201)
+        y = 1 - np.abs(t - 1)
+        rises = measure.cross_times(t, y, 0.5, "rise")
+        falls = measure.cross_times(t, y, 0.5, "fall")
+        assert len(rises) == 1 and len(falls) == 1
+        assert rises[0] == pytest.approx(0.5, abs=0.01)
+        assert falls[0] == pytest.approx(1.5, abs=0.01)
+
+    def test_unknown_edge_rejected(self, ramp):
+        t, y = ramp
+        with pytest.raises(MeasurementError):
+            measure.cross_times(t, y, 0.5, "sideways")
+
+    def test_first_cross_after(self):
+        t = np.linspace(0, 2, 201)
+        y = np.sin(2 * np.pi * t)  # rises at 0ish and 1
+        tc = measure.first_cross(t, y, 0.0, "rise", after=0.6)
+        assert tc == pytest.approx(1.0, abs=0.01)
+
+    def test_first_cross_missing_raises(self, ramp):
+        t, y = ramp
+        with pytest.raises(MeasurementError, match="never crosses"):
+            measure.first_cross(t, y, 2.0)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(MeasurementError):
+            measure.cross_times(np.zeros(3), np.zeros(4), 0.0)
+
+    @given(level=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=20)
+    def test_ramp_crossing_matches_level(self, level):
+        t = np.linspace(0, 1, 301)
+        times = measure.cross_times(t, t, level, "rise")
+        assert len(times) == 1
+        assert times[0] == pytest.approx(level, abs=1e-6)
+
+
+class TestDelay:
+    def test_propagation_delay(self):
+        t = np.linspace(0, 1, 101)
+        a = (t > 0.2).astype(float)
+        b = (t > 0.45).astype(float)
+        d = measure.propagation_delay(t, a, b, level_from=0.5,
+                                      level_to=0.5, edge_from="rise",
+                                      edge_to="rise")
+        assert d == pytest.approx(0.25, abs=0.02)
+
+    def test_rise_and_fall_time(self):
+        t = np.linspace(0, 1, 1001)
+        y = np.clip((t - 0.2) / 0.4, 0, 1)  # 0->1 over [0.2, 0.6]
+        rt = measure.rise_time(t, y)
+        assert rt == pytest.approx(0.8 * 0.4, abs=0.01)
+        y_fall = 1 - y
+        ft = measure.fall_time(t, y_fall)
+        assert ft == pytest.approx(0.8 * 0.4, abs=0.01)
+
+    def test_flat_signal_rejected(self):
+        t = np.linspace(0, 1, 11)
+        with pytest.raises(MeasurementError):
+            measure.rise_time(t, np.ones_like(t))
+
+
+class TestIntegrals:
+    def test_integrate_ramp(self, ramp):
+        t, y = ramp
+        assert measure.integrate(t, y) == pytest.approx(0.5)
+
+    def test_integrate_window_interpolates(self, ramp):
+        t, y = ramp
+        # Integral of y=t over [0.25, 0.75] = (0.75^2 - 0.25^2)/2.
+        val = measure.integrate(t, y, 0.25, 0.75)
+        assert val == pytest.approx(0.25, abs=1e-6)
+
+    def test_integrate_outside_range_rejected(self, ramp):
+        t, y = ramp
+        with pytest.raises(MeasurementError):
+            measure.integrate(t, y, -1.0, 0.5)
+
+    def test_average(self, ramp):
+        t, y = ramp
+        assert measure.average(t, y, 0.0, 1.0) == pytest.approx(0.5)
+
+    def test_average_empty_window_rejected(self, ramp):
+        t, y = ramp
+        with pytest.raises(MeasurementError):
+            measure.average(t, y, 0.6, 0.6)
+
+    @given(a=st.floats(min_value=-3, max_value=3),
+           b=st.floats(min_value=-3, max_value=3))
+    @settings(max_examples=25)
+    def test_integrate_linearity(self, a, b):
+        t = np.linspace(0, 1, 64)
+        y1 = np.sin(3 * t)
+        y2 = np.cos(2 * t)
+        lhs = measure.integrate(t, a * y1 + b * y2)
+        rhs = a * measure.integrate(t, y1) + b * measure.integrate(t, y2)
+        assert lhs == pytest.approx(rhs, abs=1e-9)
+
+    @given(split=st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=25)
+    def test_integrate_additive_over_windows(self, split):
+        t = np.linspace(0, 1, 97)
+        y = np.exp(-t) * np.sin(7 * t)
+        whole = measure.integrate(t, y, 0.0, 1.0)
+        parts = (measure.integrate(t, y, 0.0, split)
+                 + measure.integrate(t, y, split, 1.0))
+        assert whole == pytest.approx(parts, abs=1e-9)

@@ -1,0 +1,149 @@
+"""Tests for beam mechanics and analytic pull-in theory."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import mechanics
+from repro.devices.mechanics import (
+    ALSI,
+    BeamGeometry,
+    POLYSILICON,
+    beam_modal_mass,
+    beam_stiffness,
+    damping_coefficient,
+    pull_in_travel,
+    pull_in_voltage,
+    pull_out_voltage,
+    resonant_frequency,
+    switching_time_estimate,
+)
+from repro.units import EPS0
+
+
+@pytest.fixture
+def bridge():
+    return BeamGeometry(500e-9, 200e-9, 30e-9, "fixed-fixed")
+
+
+class TestGeometry:
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            BeamGeometry(0.0, 1e-6, 1e-6)
+
+    def test_rejects_unknown_anchor(self):
+        with pytest.raises(ValueError):
+            BeamGeometry(1e-6, 1e-6, 1e-7, "floating")
+
+    def test_area_moment(self, bridge):
+        expected = 200e-9 * (30e-9) ** 3 / 12
+        assert bridge.area_moment == pytest.approx(expected)
+
+
+class TestStiffnessAndMass:
+    def test_fixed_fixed_stiffer_than_cantilever(self):
+        ff = BeamGeometry(500e-9, 200e-9, 30e-9, "fixed-fixed")
+        cl = BeamGeometry(500e-9, 200e-9, 30e-9, "cantilever")
+        assert beam_stiffness(ff, ALSI) == pytest.approx(
+            64 * beam_stiffness(cl, ALSI))
+
+    def test_stiffness_cubic_in_thickness(self, bridge):
+        thick = BeamGeometry(500e-9, 200e-9, 60e-9, "fixed-fixed")
+        assert beam_stiffness(thick, ALSI) == pytest.approx(
+            8 * beam_stiffness(bridge, ALSI))
+
+    @given(scale=st.floats(min_value=0.5, max_value=3.0))
+    @settings(max_examples=20)
+    def test_stiffness_inverse_cubic_in_length(self, scale):
+        g1 = BeamGeometry(500e-9, 200e-9, 30e-9)
+        g2 = BeamGeometry(500e-9 * scale, 200e-9, 30e-9)
+        ratio = beam_stiffness(g1, ALSI) / beam_stiffness(g2, ALSI)
+        assert ratio == pytest.approx(scale ** 3, rel=1e-9)
+
+    def test_modal_mass_fraction(self, bridge):
+        m = beam_modal_mass(bridge, ALSI)
+        assert m == pytest.approx(0.4 * ALSI.density * bridge.volume)
+
+    def test_polysilicon_stiffer_than_alsi(self, bridge):
+        assert (beam_stiffness(bridge, POLYSILICON)
+                > beam_stiffness(bridge, ALSI))
+
+
+class TestDynamics:
+    def test_resonant_frequency(self):
+        assert resonant_frequency(1.0, 1.0) == pytest.approx(
+            1 / (2 * math.pi))
+
+    def test_resonance_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resonant_frequency(0.0, 1.0)
+
+    def test_damping_from_q(self):
+        c = damping_coefficient(4.0, 1.0, 2.0)
+        assert c == pytest.approx(1.0)
+
+    def test_damping_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            damping_coefficient(1.0, 1.0, 0.0)
+
+
+class TestPullIn:
+    def test_classic_formula(self):
+        k, g, a = 10.0, 100e-9, 1e-12
+        v = pull_in_voltage(k, g, 0.0, a)
+        expected = math.sqrt(8 * k * g ** 3 / (27 * EPS0 * a))
+        assert v == pytest.approx(expected)
+
+    def test_travel_is_third_of_gap(self):
+        assert pull_in_travel(90e-9, 10e-9) == pytest.approx(100e-9 / 3)
+
+    @given(k=st.floats(min_value=1.0, max_value=100.0),
+           scale=st.floats(min_value=1.1, max_value=5.0))
+    @settings(max_examples=25)
+    def test_pull_in_monotone_in_stiffness(self, k, scale):
+        v1 = pull_in_voltage(k, 2e-9, 0.5e-9, 1e-13)
+        v2 = pull_in_voltage(k * scale, 2e-9, 0.5e-9, 1e-13)
+        assert v2 > v1
+
+    @given(gap=st.floats(min_value=1e-9, max_value=50e-9))
+    @settings(max_examples=25)
+    def test_pull_out_below_pull_in(self, gap):
+        k, a, gd = 48.0, 1e-13, 0.5e-9
+        v_pi = pull_in_voltage(k, gap, gd, a)
+        v_po = pull_out_voltage(k, gap, gd, a)
+        assert v_po < v_pi
+
+    def test_adhesion_lowers_pull_out(self):
+        k, g, gd, a = 48.0, 2e-9, 0.5e-9, 1e-13
+        v0 = pull_out_voltage(k, g, gd, a)
+        v1 = pull_out_voltage(k, g, gd, a, adhesion_force=0.5 * k * g)
+        assert v1 < v0
+
+    def test_strong_adhesion_sticks(self):
+        k, g, gd, a = 48.0, 2e-9, 0.5e-9, 1e-13
+        assert pull_out_voltage(k, g, gd, a,
+                                adhesion_force=2 * k * g) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            pull_in_voltage(-1.0, 1e-9, 0.0, 1e-12)
+
+
+class TestSwitchingTime:
+    def test_faster_with_overdrive(self):
+        k, m, g, gd, a = 48.0, 3e-18, 2e-9, 0.5e-9, 1e-13
+        t_slow = switching_time_estimate(k, m, g, gd, a, 0.6)
+        t_fast = switching_time_estimate(k, m, g, gd, a, 1.2)
+        assert t_fast < t_slow
+
+    def test_rejects_nonpositive_drive(self):
+        with pytest.raises(ValueError):
+            switching_time_estimate(1.0, 1e-18, 1e-9, 0.0, 1e-13, 0.0)
+
+    def test_bounded_near_pull_in(self):
+        k, m, g, gd, a = 48.0, 3e-18, 2e-9, 0.5e-9, 1e-13
+        v_pi = pull_in_voltage(k, g, gd, a)
+        t = switching_time_estimate(k, m, g, gd, a, v_pi * 1.0001)
+        omega0 = math.sqrt(k / m)
+        assert t <= 40 * math.pi / omega0 + 1e-12

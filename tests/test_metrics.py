@@ -1,0 +1,43 @@
+"""Tests for the shared figures of merit (Equation 1)."""
+
+import pytest
+
+from repro.library.metrics import energy_delay_product, power_delay_product
+
+
+class TestPowerDelayProduct:
+    def test_zero_activity_is_pure_leakage(self):
+        assert power_delay_product(2e-9, 5e-6, 1e-10, 0.0) \
+            == pytest.approx(2e-9 * 1e-10)
+
+    def test_full_activity_is_pure_switching(self):
+        assert power_delay_product(2e-9, 5e-6, 1e-10, 1.0) \
+            == pytest.approx(5e-6 * 1e-10)
+
+    def test_linear_interpolation_in_activity(self):
+        lo = power_delay_product(1e-9, 1e-6, 1e-10, 0.0)
+        hi = power_delay_product(1e-9, 1e-6, 1e-10, 1.0)
+        mid = power_delay_product(1e-9, 1e-6, 1e-10, 0.5)
+        assert mid == pytest.approx(0.5 * (lo + hi))
+
+    def test_rejects_activity_out_of_range(self):
+        with pytest.raises(ValueError):
+            power_delay_product(1e-9, 1e-6, 1e-10, 1.5)
+        with pytest.raises(ValueError):
+            power_delay_product(1e-9, 1e-6, 1e-10, -0.1)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            power_delay_product(-1e-9, 1e-6, 1e-10, 0.5)
+        with pytest.raises(ValueError):
+            power_delay_product(1e-9, 1e-6, -1e-10, 0.5)
+
+
+class TestEnergyDelayProduct:
+    def test_value(self):
+        assert energy_delay_product(2e-15, 5e-11) \
+            == pytest.approx(1e-25)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            energy_delay_product(-1e-15, 1e-10)

@@ -1,0 +1,117 @@
+"""Tests for the MNA layout and assembler."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit
+from repro.circuit.mna import Assembler, SystemLayout
+from repro.devices.nemfet import Nemfet, nemfet_90nm
+from repro.errors import NetlistError
+
+
+@pytest.fixture
+def rc_circuit():
+    c = Circuit("rc")
+    c.vsource("V1", "in", "0", 1.0)
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 1e-12)
+    return c
+
+
+class TestLayout:
+    def test_unknown_counts(self, rc_circuit):
+        lay = SystemLayout(rc_circuit)
+        assert lay.num_nodes == 2
+        assert lay.num_branches == 1  # the voltage source
+        assert lay.num_states == 0
+        assert lay.n == 3
+
+    def test_ground_maps_to_pinned_slot(self, rc_circuit):
+        lay = SystemLayout(rc_circuit)
+        assert lay.node_index("0") == lay.ground
+        assert lay.node_index("gnd") == lay.ground
+
+    def test_unknown_node_raises(self, rc_circuit):
+        lay = SystemLayout(rc_circuit)
+        with pytest.raises(NetlistError):
+            lay.node_index("nope")
+
+    def test_states_allocated_for_nemfet(self):
+        c = Circuit("nems")
+        c.vsource("VG", "g", "0", 0.0)
+        c.vsource("VD", "d", "0", 1.2)
+        c.add(Nemfet("M1", "d", "g", "0", nemfet_90nm(), 1e-6))
+        lay = SystemLayout(c)
+        assert lay.num_states == 2
+        i_pos = lay.state_index("M1", "position")
+        i_vel = lay.state_index("M1", "velocity")
+        assert i_vel == i_pos + 1
+
+    def test_state_index_unknown_name(self):
+        c = Circuit("nems")
+        c.vsource("VD", "d", "0", 1.2)
+        c.add(Nemfet("M1", "d", "d", "0", nemfet_90nm(), 1e-6))
+        lay = SystemLayout(c)
+        with pytest.raises(NetlistError, match="no state"):
+            lay.state_index("M1", "altitude")
+
+    def test_extend_appends_zero(self, rc_circuit):
+        lay = SystemLayout(rc_circuit)
+        x = np.arange(lay.n, dtype=float) + 1.0
+        ext = lay.extend(x)
+        assert ext[-1] == 0.0
+        assert np.array_equal(ext[:-1], x)
+
+
+class TestAssembler:
+    def test_kcl_residual_of_divider(self, divider_circuit):
+        asm = Assembler(divider_circuit)
+        lay = asm.layout
+        # The exact solution: mid = 1 V, in = 2 V, i = -1 mA.
+        x = np.zeros(lay.n)
+        x[lay.node_index("in")] = 2.0
+        x[lay.node_index("mid")] = 1.0
+        x[lay.branch_start(divider_circuit["V1"])] = -1e-3
+        F, J, _ = asm.assemble(x)
+        assert np.allclose(F, 0.0, atol=1e-12)
+
+    def test_jacobian_matches_finite_difference(self, rc_circuit):
+        asm = Assembler(rc_circuit)
+        lay = asm.layout
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=lay.n)
+        F, J, _ = asm.assemble(x)
+        eps = 1e-7
+        for i in range(lay.n):
+            xp = x.copy()
+            xp[i] += eps
+            Fp, _, _ = asm.assemble(xp)
+            fd = (Fp - F) / eps
+            assert np.allclose(fd, J[:, i], atol=1e-5), f"column {i}"
+
+    def test_gmin_adds_node_conductance(self, divider_circuit):
+        asm = Assembler(divider_circuit)
+        lay = asm.layout
+        x = np.ones(lay.n)
+        _, J0, _ = asm.assemble(x, gmin=0.0)
+        _, J1, _ = asm.assemble(x, gmin=1e-3)
+        nn = lay.num_nodes
+        diff = J1 - J0
+        assert np.allclose(np.diag(diff)[:nn], 1e-3)
+
+    def test_charge_count_discovered_and_stable(self, rc_circuit):
+        asm = Assembler(rc_circuit)
+        assert asm.charge_count == 2  # capacitor stamps two rows
+        lay = asm.layout
+        x = np.zeros(lay.n)
+        asm.assemble(x)  # second pass must agree
+        asm.assemble(x)
+
+    def test_source_scale(self, divider_circuit):
+        asm = Assembler(divider_circuit)
+        lay = asm.layout
+        x = np.zeros(lay.n)
+        F_full, _, _ = asm.assemble(x, source_scale=1.0)
+        F_half, _, _ = asm.assemble(x, source_scale=0.5)
+        j = lay.branch_start(divider_circuit["V1"])
+        assert F_half[j] == pytest.approx(F_full[j] / 2)

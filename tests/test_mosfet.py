@@ -1,0 +1,143 @@
+"""Tests for the 90 nm MOSFET compact model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.mosfet import (
+    HVT_SHIFT,
+    Mosfet,
+    mosfet_current,
+    nmos_90nm,
+    nmos_90nm_hvt,
+    pmos_90nm,
+    pmos_90nm_hvt,
+    VDD_90NM,
+)
+from repro.errors import NetlistError
+
+VDD = VDD_90NM
+W = 1e-6  # 1 um
+
+
+class TestCalibration:
+    def test_nmos_table1_anchors(self):
+        p = nmos_90nm()
+        i_on = mosfet_current(p, W, VDD, VDD, 0.0)[0]
+        i_off = mosfet_current(p, W, 0.0, VDD, 0.0)[0]
+        assert i_on == pytest.approx(1110e-6, rel=0.02)
+        assert i_off == pytest.approx(50e-9, rel=0.02)
+
+    def test_pmos_anchors(self):
+        p = pmos_90nm()
+        i_on = abs(mosfet_current(p, W, -VDD + VDD - VDD, 0.0, VDD)[0])
+        # Standard bias: gate 0, drain 0, source vdd.
+        i_on = abs(mosfet_current(p, W, 0.0, 0.0, VDD)[0])
+        i_off = abs(mosfet_current(p, W, VDD, 0.0, VDD)[0])
+        assert i_on == pytest.approx(500e-6, rel=0.02)
+        assert i_off == pytest.approx(50e-9, rel=0.02)
+
+    def test_swing_above_thermionic_limit(self):
+        assert nmos_90nm().subthreshold_swing > 0.0596
+
+    def test_hvt_reduces_leakage(self):
+        lo = mosfet_current(nmos_90nm(), W, 0.0, VDD, 0.0)[0]
+        hi = mosfet_current(nmos_90nm_hvt(), W, 0.0, VDD, 0.0)[0]
+        assert hi < lo / 5  # ~9x at the nominal swing
+
+    def test_hvt_shift_value(self):
+        assert nmos_90nm_hvt().vth0 == pytest.approx(
+            nmos_90nm().vth0 + HVT_SHIFT)
+        assert pmos_90nm_hvt().vth0 == pytest.approx(
+            pmos_90nm().vth0 + HVT_SHIFT)
+
+    def test_factory_overrides(self):
+        p = nmos_90nm(vth0=0.5)
+        assert p.vth0 == 0.5
+
+
+class TestModelShape:
+    @given(vg=st.floats(min_value=0.0, max_value=1.2),
+           delta=st.floats(min_value=0.01, max_value=0.2))
+    @settings(max_examples=40)
+    def test_current_monotone_in_vgs(self, vg, delta):
+        p = nmos_90nm()
+        i1 = mosfet_current(p, W, vg, VDD, 0.0)[0]
+        i2 = mosfet_current(p, W, min(vg + delta, 1.4), VDD, 0.0)[0]
+        assert i2 >= i1
+
+    @given(vd=st.floats(min_value=0.01, max_value=1.2),
+           delta=st.floats(min_value=0.01, max_value=0.2))
+    @settings(max_examples=40)
+    def test_current_monotone_in_vds(self, vd, delta):
+        p = nmos_90nm()
+        i1 = mosfet_current(p, W, VDD, vd, 0.0)[0]
+        i2 = mosfet_current(p, W, VDD, vd + delta, 0.0)[0]
+        assert i2 >= i1
+
+    @given(vg=st.floats(min_value=0.0, max_value=1.2),
+           vd=st.floats(min_value=-1.2, max_value=1.2),
+           vs=st.floats(min_value=0.0, max_value=0.6))
+    @settings(max_examples=60, deadline=None)
+    def test_derivatives_match_finite_difference(self, vg, vd, vs):
+        p = nmos_90nm()
+        eps = 1e-7
+        i0, dg, dd, ds = mosfet_current(p, W, vg, vd, vs)
+        fd_g = (mosfet_current(p, W, vg + eps, vd, vs)[0] - i0) / eps
+        fd_d = (mosfet_current(p, W, vg, vd + eps, vs)[0] - i0) / eps
+        fd_s = (mosfet_current(p, W, vg, vd, vs + eps)[0] - i0) / eps
+        scale = max(abs(i0) / 0.05, 1e-7)
+        assert dg == pytest.approx(fd_g, abs=scale * 1e-2)
+        assert dd == pytest.approx(fd_d, abs=scale * 1e-2)
+        assert ds == pytest.approx(fd_s, abs=scale * 1e-2)
+
+    def test_zero_vds_zero_current(self):
+        p = nmos_90nm()
+        i = mosfet_current(p, W, VDD, 0.3, 0.3)[0]
+        assert i == pytest.approx(0.0, abs=1e-12)
+
+    def test_pass_gate_symmetry(self):
+        """Reversed V_DS conducts with the terminal roles swapped."""
+        p = nmos_90nm()
+        i_fwd = mosfet_current(p, W, VDD, 0.6, 0.0)[0]
+        i_rev = mosfet_current(p, W, VDD, 0.0, 0.6)[0]
+        assert i_rev == pytest.approx(-i_fwd, rel=1e-9)
+
+    def test_width_scaling(self):
+        p = nmos_90nm()
+        i1 = mosfet_current(p, 1e-6, VDD, VDD, 0.0)[0]
+        i2 = mosfet_current(p, 3e-6, VDD, VDD, 0.0)[0]
+        assert i2 == pytest.approx(3 * i1, rel=1e-9)
+
+    def test_dibl_raises_leakage(self):
+        p = nmos_90nm()
+        i_lo = mosfet_current(p, W, 0.0, 0.1, 0.0)[0]
+        i_hi = mosfet_current(p, W, 0.0, VDD, 0.0)[0]
+        assert i_hi > 3 * i_lo
+
+    def test_pmos_conducts_negative(self):
+        p = pmos_90nm()
+        i = mosfet_current(p, W, 0.0, 0.0, VDD)[0]
+        assert i < 0  # current flows source -> drain inside the device
+
+
+class TestElement:
+    def test_rejects_bad_width(self):
+        with pytest.raises(NetlistError):
+            Mosfet("M1", "d", "g", "s", nmos_90nm(), 0.0)
+
+    def test_vth_shift_weakens(self):
+        m = Mosfet("M1", "d", "g", "s", nmos_90nm(), W)
+        base = m.drain_current(VDD, VDD, 0.0)
+        m.vth_shift = 0.1
+        assert m.drain_current(VDD, VDD, 0.0) < base
+
+    def test_gate_capacitance(self):
+        m = Mosfet("M1", "d", "g", "s", nmos_90nm(), 2e-6)
+        assert m.gate_capacitance() == pytest.approx(3e-15)
+
+    def test_with_vth_shift_frozen_copy(self):
+        p = nmos_90nm()
+        q = p.with_vth_shift(0.05)
+        assert q is not p
+        assert q.vth0 == pytest.approx(p.vth0 + 0.05)

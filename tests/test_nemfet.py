@@ -1,0 +1,209 @@
+"""Tests for the electromechanical NEMFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Circuit, Pulse, dc_sweep, operating_point, transient
+from repro.analysis import measure
+from repro.circuit.mna import Assembler
+from repro.devices.nemfet import Nemfet, nemfet_90nm, pemfet_90nm
+from repro.errors import DesignError, NetlistError
+
+VDD = 1.2
+W = 1e-6
+
+
+@pytest.fixture(scope="module")
+def params():
+    return nemfet_90nm()
+
+
+def _transfer_circuit(p, vd=VDD):
+    c = Circuit("nemfet_transfer")
+    c.vsource("VG", "g", "0", 0.0)
+    c.vsource("VD", "d", "0", vd)
+    c.add(Nemfet("M1", "d", "g", "0", p, width=W))
+    return c
+
+
+class TestStatics:
+    def test_table1_ion(self, params):
+        i = params.static_current(W, VDD, VDD, 0.0, branch="down")
+        assert i == pytest.approx(330e-6, rel=0.03)
+
+    def test_table1_ioff(self, params):
+        i = params.static_current(W, 0.0, VDD, 0.0, branch="up")
+        assert i == pytest.approx(110e-12, rel=0.10)
+
+    def test_pull_in_voltage_below_half_vdd(self, params):
+        assert 0.3 < params.pull_in_voltage < 0.6
+
+    def test_hysteresis_window(self, params):
+        assert params.pull_out_voltage < params.pull_in_voltage
+
+    def test_three_equilibria_in_bistable_region(self, params):
+        v = 0.5 * (params.pull_out_voltage + params.pull_in_voltage)
+        roots = params.equilibrium_positions(v)
+        assert len(roots) == 3
+
+    def test_single_equilibrium_above_pull_in(self, params):
+        roots = params.equilibrium_positions(
+            params.pull_in_voltage * 1.3)
+        assert len(roots) == 1
+        assert roots[0] > 0.9
+
+    def test_static_position_branches(self, params):
+        v = 0.5 * (params.pull_out_voltage + params.pull_in_voltage)
+        up = params.static_position(v, "up")
+        down = params.static_position(v, "down")
+        assert up < 0.4 < down
+
+    def test_static_position_bad_branch(self, params):
+        with pytest.raises(ValueError):
+            params.static_position(0.3, "sideways")
+
+    @given(v=st.floats(min_value=0.0, max_value=0.35))
+    @settings(max_examples=25, deadline=None)
+    def test_up_branch_position_monotone(self, v):
+        p = nemfet_90nm()
+        u1 = p.static_position(v, "up")
+        u2 = p.static_position(v + 0.05, "up")
+        assert u2 >= u1 - 1e-9
+
+    def test_coupling_increases_toward_contact(self, params):
+        k0 = params.coupling(0.0)[0]
+        k1 = params.coupling(1.0)[0]
+        assert 0 < k0 < 0.4 < k1 <= 1.0
+
+    def test_gap_distance_positive_past_contact(self, params):
+        g, _ = params.gap_distance(1.1)
+        assert g > 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DesignError):
+            nemfet_90nm(gap=-1e-9)
+
+    def test_properties(self, params):
+        assert params.resonant_frequency > 1e8
+        assert params.omega0 == pytest.approx(
+            2 * np.pi * params.resonant_frequency)
+
+
+class TestDCSweeps:
+    def test_pull_in_matches_analytic(self, params):
+        c = _transfer_circuit(params)
+        vg = np.linspace(0.0, 0.8, 81)
+        sweep = dc_sweep(c, "VG", vg)
+        u = sweep.state("M1", "position")
+        jump = int(np.argmax(np.diff(u)))
+        v_jump = 0.5 * (vg[jump] + vg[jump + 1])
+        assert v_jump == pytest.approx(params.pull_in_voltage, abs=0.03)
+
+    def test_hysteresis_loop(self, params):
+        c = _transfer_circuit(params)
+        up = dc_sweep(c, "VG", np.linspace(0, 0.8, 81))
+        down = dc_sweep(c, "VG", np.linspace(0.8, 0, 81),
+                        x0=up.points[-1].x)
+        u_up = up.state("M1", "position")
+        u_dn = down.state("M1", "position")[::-1]
+        # Inside the hysteresis window the branches differ.
+        v_mid = 0.5 * (params.pull_out_voltage + params.pull_in_voltage)
+        idx = int(np.argmin(np.abs(np.linspace(0, 0.8, 81) - v_mid)))
+        assert u_dn[idx] - u_up[idx] > 0.4
+
+    def test_current_jump_decades_at_pull_in(self, params):
+        c = _transfer_circuit(params)
+        v_pi = params.pull_in_voltage
+        vg = np.linspace(v_pi - 0.05, v_pi + 0.05, 41)
+        sweep = dc_sweep(c, "VG", vg)
+        i = np.abs(sweep.branch_current("VD"))
+        assert i[-1] / max(i[0], 1e-18) > 1e3
+
+
+class TestJacobian:
+    def test_matches_finite_difference(self, params):
+        c = _transfer_circuit(params, vd=0.7)
+        c["VG"].value = 0.3
+        asm = Assembler(c)
+        lay = asm.layout
+        x = lay.x_default.copy()
+        x[lay.state_index("M1", "position")] = 0.2
+        x[lay.state_index("M1", "velocity")] = 0.1
+        x[lay.node_index("g")] = 0.3
+        x[lay.node_index("d")] = 0.7
+        F, J, _ = asm.assemble(x)
+        eps = 1e-8
+        for i in range(lay.n):
+            xp = x.copy()
+            xp[i] += eps
+            Fp, _, _ = asm.assemble(xp)
+            fd = (Fp - F) / eps
+            assert np.allclose(fd, J[:, i], rtol=1e-3,
+                               atol=1e-4 * max(1.0, np.abs(J[:, i]).max())
+                               ), f"column {i}"
+
+
+class TestTransient:
+    def test_switches_within_nanosecond(self, params):
+        c = Circuit("switch")
+        c.vsource("VG", "g", "0", Pulse(0, VDD, td=0.2e-9, tr=20e-12,
+                                        pw=2e-9, per=None))
+        c.vsource("VD", "d", "0", VDD)
+        c.add(Nemfet("M1", "d", "g", "0", params, width=W))
+        res = transient(c, 1.5e-9, 2e-12)
+        u = res.state("M1", "position")
+        t_on = measure.first_cross(res.t, u, 0.9, "rise") - 0.2e-9
+        assert 0.0 < t_on < 1e-9
+
+    def test_releases_after_gate_falls(self, params):
+        c = Circuit("release")
+        c.vsource("VG", "g", "0", Pulse(0, VDD, td=0.1e-9, tr=20e-12,
+                                        pw=1e-9, per=None))
+        c.vsource("VD", "d", "0", VDD)
+        c.add(Nemfet("M1", "d", "g", "0", params, width=W))
+        res = transient(c, 3e-9, 2e-12)
+        u = res.state("M1", "position")
+        assert u.max() > 0.95      # closed during the pulse
+        assert u[-1] < 0.3         # released at the end
+
+
+class TestElementInterface:
+    def test_rejects_bad_width(self, params):
+        with pytest.raises(NetlistError):
+            Nemfet("M1", "d", "g", "s", params, width=-1e-6)
+
+    def test_initial_contact_state(self, params):
+        n = Nemfet("M1", "d", "g", "s", params, W, initial_contact=True)
+        assert n.state_initial()[0] == pytest.approx(1.0)
+
+    def test_state_names(self, params):
+        n = Nemfet("M1", "d", "g", "s", params, W)
+        assert n.state_names() == ("position", "velocity")
+
+    def test_gate_capacitance_grows_with_closing(self, params):
+        n = Nemfet("M1", "d", "g", "s", params, W)
+        assert n.gate_capacitance(1.0) > 2 * n.gate_capacitance(0.0)
+
+
+class TestPChannel:
+    def test_pemfet_conducts_with_negative_vgs(self):
+        p = pemfet_90nm()
+        i_on = p.static_current(W, -VDD, -VDD, 0.0, branch="down")
+        assert i_on == pytest.approx(-150e-6, rel=0.05)
+
+    def test_pemfet_off_floor(self):
+        p = pemfet_90nm()
+        i_off = abs(p.static_current(W, 0.0, -VDD, 0.0, branch="up"))
+        assert i_off == pytest.approx(110e-12, rel=0.15)
+
+    def test_pemfet_in_pullup_circuit(self):
+        p = pemfet_90nm()
+        c = Circuit("pullup")
+        c.vsource("VDD", "vdd", "0", VDD)
+        c.vsource("VG", "g", "0", 0.0)
+        c.add(Nemfet("MP", "out", "g", "vdd", p, W,
+                     initial_contact=True))
+        c.resistor("RL", "out", "0", 1e6)
+        op = operating_point(c)
+        assert op.voltage("out") > 0.9 * VDD

@@ -1,0 +1,118 @@
+"""Tests for the Circuit container and netlist validation."""
+
+import pytest
+
+from repro import Circuit
+from repro.circuit.elements import Resistor, VoltageSource
+from repro.circuit.netlist import is_ground
+from repro.errors import NetlistError
+
+
+class TestGround:
+    def test_ground_aliases(self):
+        assert is_ground("0")
+        assert is_ground("gnd")
+        assert not is_ground("vdd")
+
+
+class TestConstruction:
+    def test_nodes_registered_in_order(self):
+        c = Circuit()
+        c.resistor("R1", "a", "b", 1.0)
+        c.resistor("R2", "b", "0", 1.0)
+        assert c.nodes == ["a", "b"]
+
+    def test_ground_not_a_node(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1.0)
+        assert "0" not in c.nodes
+
+    def test_duplicate_names_rejected(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(NetlistError, match="duplicate"):
+            c.resistor("R1", "b", "0", 1.0)
+
+    def test_lookup_by_name(self):
+        c = Circuit()
+        r = c.resistor("R1", "a", "0", 5.0)
+        assert c["R1"] is r
+        assert "R1" in c
+
+    def test_lookup_missing_raises(self):
+        c = Circuit()
+        with pytest.raises(NetlistError, match="no element"):
+            c["RX"]
+
+    def test_len_and_iter(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1.0)
+        c.capacitor("C1", "a", "0", 1e-12)
+        assert len(c) == 2
+        assert {e.name for e in c} == {"R1", "C1"}
+
+    def test_elements_of_type(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1.0)
+        c.vsource("V1", "a", "0", 1.0)
+        assert c.elements_of_type(Resistor)[0].name == "R1"
+        assert c.elements_of_type(VoltageSource)[0].name == "V1"
+
+    def test_has_node(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1.0)
+        assert c.has_node("a")
+        assert c.has_node("gnd")
+        assert not c.has_node("zz")
+
+
+class TestValidation:
+    def test_no_ground_rejected(self):
+        c = Circuit("floating")
+        c.resistor("R1", "a", "b", 1.0)
+        with pytest.raises(NetlistError, match="ground"):
+            c.validate()
+
+    def test_grounded_passes(self, divider_circuit):
+        divider_circuit.validate()
+
+
+class TestElementChecks:
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "0", 0.0)
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "0", -5.0)
+
+    def test_capacitor_rejects_nonpositive(self):
+        c = Circuit()
+        with pytest.raises(NetlistError):
+            c.capacitor("C1", "a", "0", -1e-12)
+
+    def test_inductor_rejects_nonpositive(self):
+        c = Circuit()
+        with pytest.raises(NetlistError):
+            c.inductor("L1", "a", "0", 0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("", "a", "0", 1.0)
+
+    def test_wrong_terminal_count(self):
+        from repro.circuit.elements import Element
+
+        class TwoTerminal(Element):
+            TERMINALS = 2
+
+            def load(self, ctx):
+                pass
+
+        with pytest.raises(NetlistError, match="terminals"):
+            TwoTerminal("X1", ("a",))
+
+
+class TestSummary:
+    def test_summary_mentions_elements(self, divider_circuit):
+        text = divider_circuit.summary()
+        assert "R1" in text and "R2" in text and "V1" in text
+        assert "3 elements" in text

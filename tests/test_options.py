@@ -1,0 +1,48 @@
+"""Tests for analysis option containers and defaults."""
+
+import pytest
+
+from repro.analysis.options import (
+    HomotopyOptions,
+    NewtonOptions,
+    TransientOptions,
+)
+
+
+class TestNewtonOptions:
+    def test_defaults_sane(self):
+        opts = NewtonOptions()
+        assert opts.max_iterations > 50
+        assert 0 < opts.reltol < 1e-3
+        assert 0 < opts.min_step_scale < opts.damping <= 1.0
+
+
+class TestTransientOptions:
+    def test_default_method_is_backward_euler(self):
+        assert TransientOptions().method == "be"
+
+    def test_trap_accepted(self):
+        assert TransientOptions(method="trap").method == "trap"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            TransientOptions(method="gear2")
+
+    def test_growth_and_shrink_consistent(self):
+        opts = TransientOptions()
+        assert opts.growth > 1.0
+        assert 0 < opts.shrink < 1.0
+        assert opts.max_dt_factor >= 1.0
+
+    def test_nested_newton_options_independent(self):
+        a = TransientOptions()
+        b = TransientOptions()
+        a.newton.max_iterations = 7
+        assert b.newton.max_iterations != 7
+
+
+class TestHomotopyOptions:
+    def test_gmin_schedule_descends(self):
+        opts = HomotopyOptions()
+        assert opts.gmin_start > opts.gmin_final
+        assert opts.source_steps >= 2

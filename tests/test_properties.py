@@ -1,0 +1,134 @@
+"""Cross-cutting property-based tests of physical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Circuit, Pulse, operating_point, transient
+from repro.analysis.audit import PowerAudit
+from repro.devices.mosfet import mosfet_current, nmos_90nm
+from repro.devices.nemfet import nemfet_90nm
+from repro.library.sram_metrics import seevinck_snm
+
+
+class TestLinearity:
+    @given(v1=st.floats(min_value=-2, max_value=2),
+           v2=st.floats(min_value=-2, max_value=2))
+    @settings(max_examples=20, deadline=None)
+    def test_superposition_two_sources(self, v1, v2):
+        """Node voltages of a linear network are additive in sources."""
+        def solve(a, b):
+            c = Circuit("sup")
+            c.vsource("V1", "n1", "0", a)
+            c.vsource("V2", "n2", "0", b)
+            c.resistor("R1", "n1", "mid", 1e3)
+            c.resistor("R2", "n2", "mid", 2e3)
+            c.resistor("R3", "mid", "0", 3e3)
+            return operating_point(c).voltage("mid")
+
+        combined = solve(v1, v2)
+        parts = solve(v1, 0.0) + solve(0.0, v2)
+        assert combined == pytest.approx(parts, abs=1e-9)
+
+    @given(r=st.floats(min_value=100.0, max_value=1e6))
+    @settings(max_examples=15, deadline=None)
+    def test_rc_energy_split_independent_of_r(self, r):
+        """Charging C through any R: source gives CV^2, R burns half."""
+        c = Circuit("split")
+        c.vsource("V1", "in", "0", Pulse(0, 1, td=0.1e-9, tr=1e-12,
+                                         pw=1.0))
+        c.resistor("R1", "in", "out", r)
+        c.capacitor("C1", "out", "0", 1e-13)
+        tau = r * 1e-13
+        res = transient(c, 0.1e-9 + 12 * tau, tau / 20)
+        audit = PowerAudit(res)
+        assert audit.energy("R1") == pytest.approx(0.5e-13, rel=0.1)
+        assert audit.energy("V1") == pytest.approx(-1e-13, rel=0.1)
+
+
+class TestDeviceInvariants:
+    @given(vg=st.floats(min_value=0, max_value=1.2),
+           vd=st.floats(min_value=0, max_value=1.2),
+           scale=st.floats(min_value=0.5, max_value=8.0))
+    @settings(max_examples=30)
+    def test_mosfet_width_linearity(self, vg, vd, scale):
+        p = nmos_90nm()
+        i1 = mosfet_current(p, 1e-6, vg, vd, 0.0)[0]
+        i2 = mosfet_current(p, scale * 1e-6, vg, vd, 0.0)[0]
+        assert i2 == pytest.approx(scale * i1, rel=1e-9, abs=1e-18)
+
+    @given(vgb=st.floats(min_value=0.0, max_value=1.2))
+    @settings(max_examples=20, deadline=None)
+    def test_nemfet_equilibria_count(self, vgb):
+        """A parallel-plate actuator has 1 or 3 equilibria, never 2
+        (away from the measure-zero fold points)."""
+        params = nemfet_90nm()
+        roots = params.equilibrium_positions(vgb)
+        assert len(roots) in (1, 2, 3)
+        # 2 only exactly at a fold; reject if clearly interior.
+        if len(roots) == 2:
+            v_pi = params.pull_in_voltage
+            v_po = params.pull_out_voltage
+            near_fold = (abs(vgb - v_pi) < 0.02
+                         or abs(vgb - v_po) < 0.05)
+            assert near_fold
+
+    @given(vgb=st.floats(min_value=0.0, max_value=1.4),
+           u=st.floats(min_value=0.0, max_value=1.05))
+    @settings(max_examples=40)
+    def test_electrostatic_force_nonnegative(self, vgb, u):
+        params = nemfet_90nm()
+        f, df_dv, _ = params.force_electrostatic_hat(vgb, u)
+        assert f >= 0.0
+        # Force grows with |V|.
+        assert df_dv >= 0.0 or vgb == 0.0
+
+    @given(u=st.floats(min_value=-0.2, max_value=1.3))
+    @settings(max_examples=40)
+    def test_coupling_bounded(self, u):
+        params = nemfet_90nm()
+        kappa, _ = params.coupling(u)
+        assert 0.0 < kappa <= 1.0
+
+
+class TestSnmProperties:
+    @given(trip=st.floats(min_value=0.35, max_value=0.85),
+           steep=st.floats(min_value=0.005, max_value=0.05))
+    @settings(max_examples=25)
+    def test_snm_symmetric_in_curve_order(self, trip, steep):
+        v = np.linspace(0, 1.2, 201)
+        inv_a = 1.2 / (1 + np.exp((v - trip) / steep))
+        inv_b = 1.2 / (1 + np.exp((v - 0.6) / 0.01))
+        assert seevinck_snm(v, inv_a, inv_b) == pytest.approx(
+            seevinck_snm(v, inv_b, inv_a), abs=0.01)
+
+    @given(steep=st.floats(min_value=0.005, max_value=0.08))
+    @settings(max_examples=20)
+    def test_steeper_inverters_more_margin(self, steep):
+        v = np.linspace(0, 1.2, 201)
+        sharp = 1.2 / (1 + np.exp((v - 0.6) / steep))
+        sharper = 1.2 / (1 + np.exp((v - 0.6) / (steep / 2)))
+        snm_1 = seevinck_snm(v, sharp, sharp)
+        snm_2 = seevinck_snm(v, sharper, sharper)
+        assert snm_2 >= snm_1 - 0.01
+
+
+class TestEmbedEquivalence:
+    @given(r1=st.floats(min_value=100, max_value=1e5),
+           r2=st.floats(min_value=100, max_value=1e5))
+    @settings(max_examples=15, deadline=None)
+    def test_embedded_divider_matches_flat(self, r1, r2):
+        flat = Circuit("flat")
+        flat.vsource("V1", "a", "0", 1.0)
+        flat.resistor("R1", "a", "m", r1)
+        flat.resistor("R2", "m", "0", r2)
+        v_flat = operating_point(flat).voltage("m")
+
+        sub = Circuit("div")
+        sub.resistor("R1", "x", "y", r1)
+        sub.resistor("R2", "y", "0", r2)
+        top = Circuit("top")
+        top.vsource("V1", "a", "0", 1.0)
+        top.embed(sub, "U_", {"x": "a"})
+        v_embedded = operating_point(top).voltage("U_y")
+        assert v_embedded == pytest.approx(v_flat, rel=1e-9)

@@ -1,0 +1,86 @@
+"""Tests for the cantilever/CNT nano-relay."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, Pulse, dc_sweep, operating_point, transient
+from repro.devices.relay import NanoRelay, nano_relay_default
+from repro.errors import DesignError
+
+VDD = 1.2
+
+
+@pytest.fixture(scope="module")
+def params():
+    return nano_relay_default()
+
+
+def _relay_circuit(p):
+    c = Circuit("relay")
+    c.vsource("VG", "g", "0", 0.0)
+    c.vsource("VD", "d", "0", 0.1)
+    c.add(NanoRelay("S1", "d", "g", "0", p))
+    return c
+
+
+class TestParameters:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DesignError):
+            nano_relay_default(gap=-1e-9)
+
+    def test_pull_in_below_vdd(self, params):
+        assert 0.2 < params.pull_in_voltage < 1.0
+
+    def test_hysteresis(self, params):
+        assert params.pull_out_voltage < params.pull_in_voltage
+
+    def test_conductance_switches_at_contact(self, params):
+        g_open = params.conductance(0.0)[0]
+        g_closed = params.conductance(1.05)[0]
+        assert g_closed / g_open > 1e6
+
+    def test_ron_parameter_respected(self):
+        p = nano_relay_default(r_on=1e4)
+        assert 1.0 / p.g_on == pytest.approx(1e4)
+
+
+class TestCircuit:
+    def test_open_relay_blocks(self, params):
+        c = _relay_circuit(params)
+        op = operating_point(c)
+        i = -op.branch_current("VD")
+        assert abs(i) < 1e-12
+
+    def test_closed_relay_conducts(self, params):
+        c = _relay_circuit(params)
+        c["VG"].value = VDD
+        # Start from the closed state to stay on the contact branch.
+        c["S1"].initial_contact = True
+        op = operating_point(c)
+        i = -op.branch_current("VD")
+        expected = 0.1 * params.g_on
+        assert i == pytest.approx(expected, rel=0.1)
+
+    def test_dc_sweep_shows_pull_in(self, params):
+        c = _relay_circuit(params)
+        vg = np.linspace(0.0, 1.2, 61)
+        sweep = dc_sweep(c, "VG", vg)
+        u = sweep.state("S1", "position")
+        assert u[0] < 0.1
+        assert u[-1] > 0.95
+
+    def test_transient_switching(self, params):
+        c = Circuit("relay_switch")
+        c.vsource("VG", "g", "0", Pulse(0, VDD, td=0.2e-9, tr=20e-12,
+                                        pw=3e-9))
+        c.vsource("VD", "d", "0", 0.1)
+        c.add(NanoRelay("S1", "d", "g", "0", params))
+        res = transient(c, 3e-9, 4e-12)
+        u = res.state("S1", "position")
+        assert u.max() > 0.95
+
+    def test_adhesion_widens_hysteresis(self):
+        base = nano_relay_default()
+        sticky = nano_relay_default(
+            adhesion_force=0.3 * base.stiffness * base.gap)
+        assert sticky.pull_out_voltage < base.pull_out_voltage

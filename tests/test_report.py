@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.report import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        x = np.linspace(0, 1, 11)
+        chart = ascii_chart(x, {"line": x ** 2}, title="parabola")
+        assert "parabola" in chart
+        assert "o" in chart
+        assert "o=line" in chart
+
+    def test_two_series_distinct_glyphs(self):
+        x = [0, 1, 2]
+        chart = ascii_chart(x, {"a": [0, 1, 2], "b": [2, 1, 0]})
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_log_axis(self):
+        x = [1, 10, 100]
+        chart = ascii_chart(x, {"s": [1e-12, 1e-9, 1e-6]}, logx=True,
+                            logy=True)
+        assert "1e" in chart
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [0.0, 1.0]}, logy=True)
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1, 2, 3]})
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"s": [1]})
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart([0, 1, 2], {"flat": [1.0, 1.0, 1.0]})
+        assert "o" in chart
+
+    def test_axis_labels_present(self):
+        chart = ascii_chart([0, 1], {"s": [0, 1]}, x_label="volts",
+                            y_label="amps")
+        assert "volts" in chart and "amps" in chart
+
+    def test_dimensions_respected(self):
+        chart = ascii_chart([0, 1], {"s": [0, 1]}, width=30, height=8)
+        plot_rows = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_rows) == 8

@@ -1,0 +1,63 @@
+"""Tests for the ExperimentResult container."""
+
+import pytest
+
+from repro.experiments.result import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="FigX",
+        title="demo",
+        columns=["style", "x", "y"],
+        rows=[("a", 1, 2.0), ("a", 2, 4.0), ("b", 1, 8.0)],
+        notes="a note")
+
+
+def test_column_access(result):
+    assert result.column("x") == [1, 2, 1]
+
+
+def test_column_missing(result):
+    with pytest.raises(KeyError):
+        result.column("z")
+
+
+def test_filtered(result):
+    rows = result.filtered(style="a")
+    assert len(rows) == 2
+    rows = result.filtered(style="b", x=1)
+    assert rows == [("b", 1, 8.0)]
+
+
+def test_to_text_contains_everything(result):
+    text = result.to_text()
+    assert "FigX" in text and "demo" in text
+    assert "style" in text and "a note" in text
+    assert str(result) == text
+
+
+def test_to_text_formats_floats():
+    r = ExperimentResult("T", "t", ["v"], [(1.23456789e-7,)])
+    assert "e-07" in r.to_text()
+
+
+def test_to_csv_roundtrips(result):
+    import csv
+    import io
+    rows = list(csv.reader(io.StringIO(result.to_csv())))
+    assert rows[0] == ["style", "x", "y"]
+    assert rows[1] == ["a", "1", "2.0"]
+    assert len(rows) == 4
+
+
+def test_to_csv_escapes_commas():
+    r = ExperimentResult("T", "t", ["name"], [("a,b",)])
+    assert '"a,b"' in r.to_csv()
+
+
+def test_save_csv(result, tmp_path):
+    path = tmp_path / "out.csv"
+    result.save_csv(str(path))
+    assert path.read_text().startswith("style,x,y")

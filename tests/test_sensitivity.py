@@ -1,0 +1,135 @@
+"""Tests for sensitivity analysis and the mid-node precharge option."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    element_width_metric,
+    relative_sensitivity,
+    sensitivity,
+    sensitivity_table,
+)
+from repro.errors import AnalysisError
+
+
+class TestSensitivityMath:
+    def test_linear_function(self):
+        assert sensitivity(lambda x: 3 * x + 1, 2.0) \
+            == pytest.approx(3.0, rel=1e-6)
+
+    def test_power_law_relative(self):
+        # f = x^2.5: dlnf/dlnx = 2.5 exactly.
+        assert relative_sensitivity(lambda x: x ** 2.5, 1.7) \
+            == pytest.approx(2.5, rel=1e-3)
+
+    def test_insensitive_metric(self):
+        assert relative_sensitivity(lambda x: 42.0, 3.0) \
+            == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_value_rejected(self):
+        with pytest.raises(AnalysisError):
+            sensitivity(lambda x: x, 0.0)
+
+    def test_zero_metric_rejected(self):
+        with pytest.raises(AnalysisError):
+            relative_sensitivity(lambda x: 0.0, 1.0)
+
+    def test_restores_nominal_point(self):
+        calls = []
+
+        def metric(x):
+            calls.append(x)
+            return x * x
+
+        sensitivity(metric, 2.0)
+        assert calls[-1] == 2.0  # last call re-establishes nominal
+
+    def test_table(self):
+        table = sensitivity_table(
+            {"square": lambda x: x ** 2, "cube": lambda x: x ** 3},
+            2.0)
+        assert table["square"] == pytest.approx(2.0, rel=1e-3)
+        assert table["cube"] == pytest.approx(3.0, rel=1e-3)
+
+
+class TestCircuitSensitivity:
+    def test_keeper_width_slows_evaluation(self):
+        from repro.library import gate_metrics
+        from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+
+        gate = build_dynamic_or(DynamicOrSpec(fan_in=4, fan_out=1,
+                                              style="cmos"))
+        gate.set_keeper_width(2e-6)
+
+        def delay_vs_keeper(width):
+            gate.set_keeper_width(width)
+            return gate_metrics.measure_worst_case_delay(gate)
+
+        s = relative_sensitivity(delay_vs_keeper, 2e-6, rel_step=0.2)
+        assert s > 0.05  # upsizing the keeper costs delay
+
+    def test_element_width_metric_wrapper(self):
+        from repro import Circuit, operating_point
+        from repro.devices.mosfet import Mosfet, nmos_90nm
+
+        c = Circuit("wrap")
+        c.vsource("VD", "d", "0", 1.2)
+        c.vsource("VG", "g", "0", 1.2)
+        c.add(Mosfet("M1", "d", "g", "0", nmos_90nm(), 1e-6))
+
+        metric = element_width_metric(
+            c, "M1", lambda: -operating_point(c).branch_current("VD"))
+        s = relative_sensitivity(metric, 1e-6)
+        assert s == pytest.approx(1.0, rel=1e-3)  # current ∝ width
+
+    def test_wrapper_requires_width(self):
+        from repro import Circuit
+        c = Circuit("r")
+        c.resistor("R1", "a", "0", 1e3)
+        with pytest.raises(AnalysisError):
+            element_width_metric(c, "R1", lambda: 0.0)
+
+
+class TestMidNodePrecharge:
+    def test_option_adds_devices(self):
+        from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+        gate = build_dynamic_or(DynamicOrSpec(
+            fan_in=4, style="hybrid", precharge_mid=True))
+        assert "MPREM0" in gate.circuit
+
+    def test_reduces_charge_sharing_droop(self):
+        """With inputs arriving mid-evaluation, discharged mid nodes
+        steal charge from the dynamic node; precharging them keeps the
+        droop smaller."""
+        from repro import transient
+        from repro.circuit.waveforms import Pulse
+        from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+
+        def droop(precharge_mid: bool) -> float:
+            spec = DynamicOrSpec(fan_in=8, fan_out=1, style="hybrid",
+                                 precharge_mid=precharge_mid)
+            gate = build_dynamic_or(spec)
+            # All inputs rise shortly after the evaluation edge, before
+            # the beams close: pure charge-sharing window.
+            rise = spec.t_precharge + 60e-12
+            for src in gate.input_sources:
+                src.value = Pulse(0.0, spec.vdd, td=rise, tr=30e-12,
+                                  pw=spec.t_eval, per=None)
+            result = transient(gate.circuit,
+                               rise + 0.22e-9, 2e-12)
+            window = result.t >= rise
+            return spec.vdd - float(
+                result.voltage("dyn")[window].min())
+
+        assert droop(True) < 0.7 * droop(False)
+
+    def test_functionality_preserved(self):
+        from repro import transient
+        from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+        spec = DynamicOrSpec(fan_in=4, fan_out=1, style="hybrid",
+                             precharge_mid=True)
+        gate = build_dynamic_or(spec)
+        gate.set_inputs_domino([0])
+        # Stop before the next precharge phase wipes the output.
+        res = transient(gate.circuit, spec.period - 0.1e-9, 5e-12)
+        assert res.voltage("out")[-1] > 1.0

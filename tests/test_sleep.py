@@ -1,0 +1,124 @@
+"""Tests for sleep-transistor devices and gated blocks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DesignError, MeasurementError
+from repro.library import sleep
+
+
+class TestSleepDevice:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(DesignError):
+            sleep.SleepDevice("bjt", 1.0)
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(DesignError):
+            sleep.SleepDevice("cmos", 0.0)
+
+    def test_cmos_width_from_area(self):
+        d = sleep.SleepDevice("cmos", 1.0)
+        assert d.width == pytest.approx(sleep.CMOS_UNIT_WIDTH)
+
+    def test_nems_width_smaller_at_equal_area(self):
+        """The beam footprint costs area, so NEMS buys less width."""
+        c = sleep.SleepDevice("cmos", 4.0)
+        n = sleep.SleepDevice("nems", 4.0)
+        assert n.width < c.width
+
+    @given(a=st.floats(min_value=0.5, max_value=64.0),
+           scale=st.floats(min_value=1.5, max_value=4.0))
+    @settings(max_examples=15, deadline=None)
+    def test_ron_inverse_in_area(self, a, scale):
+        r1 = sleep.SleepDevice("cmos", a).on_resistance()
+        r2 = sleep.SleepDevice("cmos", a * scale).on_resistance()
+        assert r1 / r2 == pytest.approx(scale, rel=1e-6)
+
+    @given(a=st.floats(min_value=0.5, max_value=64.0))
+    @settings(max_examples=15, deadline=None)
+    def test_ioff_linear_in_area(self, a):
+        i1 = sleep.SleepDevice("nems", a).off_current()
+        i2 = sleep.SleepDevice("nems", 2 * a).off_current()
+        assert i2 / i1 == pytest.approx(2.0, rel=1e-6)
+
+    def test_nems_three_orders_lower_leakage(self):
+        c = sleep.SleepDevice("cmos", 8.0)
+        n = sleep.SleepDevice("nems", 8.0)
+        assert c.off_current() / n.off_current() > 500
+
+    def test_nems_higher_ron_at_equal_area(self):
+        c = sleep.SleepDevice("cmos", 8.0)
+        n = sleep.SleepDevice("nems", 8.0)
+        assert n.on_resistance() > 3 * c.on_resistance()
+
+    def test_sweep_rows(self):
+        rows = sleep.sweep_sleep_devices([1.0, 2.0])
+        assert len(rows) == 2
+        a, rc, ic, rn, i_n = rows[0]
+        assert a == 1.0 and rc < rn and i_n < ic
+
+
+class TestGatedBlock:
+    def test_spec_validation(self):
+        with pytest.raises(DesignError):
+            sleep.GatedBlockSpec(n_stages=0)
+        with pytest.raises(DesignError):
+            sleep.GatedBlockSpec(grain="medium")
+        with pytest.raises(DesignError):
+            sleep.GatedBlockSpec(kind="relay")
+
+    def test_ungated_block_delay(self):
+        d = sleep.block_delay(sleep.GatedBlockSpec(kind="none"))
+        assert 1e-12 < d < 1e-9
+
+    def test_footer_adds_delay(self):
+        d0 = sleep.block_delay(sleep.GatedBlockSpec(kind="none"))
+        d1 = sleep.block_delay(sleep.GatedBlockSpec(kind="cmos",
+                                                    area_units=2.0))
+        assert d1 > d0
+
+    def test_bigger_switch_less_delay(self):
+        small = sleep.block_delay(sleep.GatedBlockSpec(kind="nems",
+                                                       area_units=4.0))
+        big = sleep.block_delay(sleep.GatedBlockSpec(kind="nems",
+                                                     area_units=32.0))
+        assert big < small
+
+    def test_fine_grain_slower_at_same_budget(self):
+        coarse = sleep.block_delay(sleep.GatedBlockSpec(
+            kind="cmos", area_units=4.0, grain="coarse"))
+        fine = sleep.block_delay(sleep.GatedBlockSpec(
+            kind="cmos", area_units=4.0, grain="fine"))
+        assert fine > coarse
+
+    def test_header_block_works(self):
+        d = sleep.block_delay(sleep.GatedBlockSpec(kind="cmos",
+                                                   area_units=8.0,
+                                                   header=True))
+        assert 1e-12 < d < 1e-9
+
+    def test_nems_sleep_leakage_orders_lower(self):
+        leak_c = sleep.block_sleep_leakage(
+            sleep.GatedBlockSpec(kind="cmos", area_units=8.0))
+        leak_n = sleep.block_sleep_leakage(
+            sleep.GatedBlockSpec(kind="nems", area_units=8.0))
+        assert leak_c / leak_n > 100
+
+    def test_delay_degradation_positive(self):
+        deg = sleep.delay_degradation("cmos", 4.0)
+        assert deg > 0
+
+
+class TestSizing:
+    def test_sizing_meets_budget(self):
+        area = sleep.size_for_delay_budget("nems", 0.10)
+        assert sleep.delay_degradation("nems", area) <= 0.101
+
+    def test_cmos_needs_less_area(self):
+        a_nems = sleep.size_for_delay_budget("nems", 0.10)
+        a_cmos = sleep.size_for_delay_budget("cmos", 0.10)
+        assert a_cmos < a_nems
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(DesignError):
+            sleep.size_for_delay_budget("cmos", 0.0)

@@ -1,0 +1,140 @@
+"""Tests for the damped Newton solver and homotopy strategies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.options import HomotopyOptions, NewtonOptions
+from repro.analysis.solver import newton_solve, solve_with_homotopy
+from repro.errors import ConvergenceError
+
+
+def _wrap(residual_fn):
+    """Adapt f(x) -> (F, J) into the assemble signature (adds q)."""
+    def assemble(x):
+        F, J = residual_fn(x)
+        return F, J, np.zeros(0)
+    return assemble
+
+
+def _tols(n, dx=1.0):
+    return np.full(n, 1e-9), np.full(n, dx)
+
+
+class TestNewton:
+    def test_linear_system_one_iteration(self):
+        A = np.array([[2.0, 1.0], [1.0, 3.0]])
+        b = np.array([1.0, 2.0])
+
+        def f(x):
+            return A @ x - b, A
+
+        tol, dx = _tols(2, dx=np.inf)
+        x, _, info = newton_solve(_wrap(f), np.zeros(2), row_tol=tol,
+                                  dx_limit=dx)
+        assert np.allclose(A @ x, b, atol=1e-9)
+        assert info.converged
+
+    def test_scalar_quadratic(self):
+        def f(x):
+            return np.array([x[0] ** 2 - 4.0]), np.array([[2 * x[0]]])
+
+        tol, dx = _tols(1)
+        x, _, info = newton_solve(_wrap(f), np.array([3.0]),
+                                  row_tol=tol * 1e3, dx_limit=dx)
+        assert x[0] == pytest.approx(2.0, abs=1e-5)
+
+    def test_exponential_needs_damping(self):
+        # f(x) = exp(x) - 1 diverges for undamped Newton from x >> 1.
+        def f(x):
+            e = np.exp(np.clip(x[0], -50, 50))
+            return np.array([e - 1.0]), np.array([[max(e, 1e-12)]])
+
+        tol, dx = _tols(1, dx=2.0)
+        x, _, _ = newton_solve(_wrap(f), np.array([10.0]),
+                               row_tol=np.array([1e-8]), dx_limit=dx)
+        assert x[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_respects_iteration_limit(self):
+        def f(x):
+            # No root: f = x^2 + 1.
+            return np.array([x[0] ** 2 + 1.0]), np.array([[2 * x[0] + 1e-3]])
+
+        tol, dx = _tols(1)
+        with pytest.raises(ConvergenceError) as exc_info:
+            newton_solve(_wrap(f), np.array([1.0]), row_tol=tol,
+                         dx_limit=dx,
+                         options=NewtonOptions(max_iterations=15))
+        assert exc_info.value.iterations <= 15
+
+    def test_nonfinite_residual_raises(self):
+        def f(x):
+            return np.array([np.nan]), np.array([[1.0]])
+
+        tol, dx = _tols(1)
+        with pytest.raises(ConvergenceError):
+            newton_solve(_wrap(f), np.array([0.0]), row_tol=tol,
+                         dx_limit=dx)
+
+    def test_dx_limit_clamps_steps(self):
+        seen = []
+
+        def f(x):
+            seen.append(float(x[0]))
+            return np.array([x[0] - 100.0]), np.array([[1.0]])
+
+        tol = np.array([1e-9])
+        newton_solve(_wrap(f), np.array([0.0]), row_tol=tol,
+                     dx_limit=np.array([1.0]),
+                     options=NewtonOptions(max_iterations=200))
+        steps = np.diff(seen)
+        assert np.max(np.abs(steps)) <= 1.0 + 1e-12
+
+    def test_singular_jacobian_regularised_or_fails_cleanly(self):
+        def f(x):
+            return np.array([0.0 * x[0] + 1.0]), np.array([[0.0]])
+
+        tol, dx = _tols(1)
+        with pytest.raises(ConvergenceError):
+            newton_solve(_wrap(f), np.array([0.0]), row_tol=tol,
+                         dx_limit=dx,
+                         options=NewtonOptions(max_iterations=10))
+
+
+class TestHomotopy:
+    def test_source_stepping_rescues_stiff_exponential(self):
+        # Diode-like node equation: (v - Vs)/R + Is(exp(v/vt) - 1) = 0.
+        # With a hopeless iteration budget for a cold start, ramping the
+        # source voltage (scale) lets each step converge in 1-2 tries.
+        vt, i_s, r, v_src = 0.0259, 1e-14, 1e2, 5.0
+
+        def make(gmin, scale):
+            def f(x):
+                v = x[0]
+                e = np.exp(np.clip(v / vt, -200, 200))
+                res = (v - scale * v_src) / r + i_s * (e - 1) + gmin * v
+                jac = 1 / r + i_s * e / vt + gmin
+                return np.array([res]), np.array([[jac]])
+            return _wrap(f)
+
+        tol = np.array([1e-10])
+        dx = np.array([np.inf])  # no clamp: direct Newton overshoots
+        x, _, _ = solve_with_homotopy(
+            make, np.array([0.0]), row_tol=tol, dx_limit=dx,
+            newton_options=NewtonOptions(max_iterations=60,
+                                         min_step_scale=1e-3))
+        F, _, _ = make(0.0, 1.0)(x)
+        assert abs(F[0]) < 1e-9
+        assert 0.5 < x[0] < 1.0  # a realistic diode drop
+
+    def test_unsolvable_reports_all_strategies(self):
+        def make(gmin, scale):
+            def f(x):
+                return np.array([np.nan]), np.array([[1.0]])
+            return _wrap(f)
+
+        tol, dx = _tols(1)
+        with pytest.raises(ConvergenceError, match="source stepping"):
+            solve_with_homotopy(make, np.array([0.0]), row_tol=tol,
+                                dx_limit=dx,
+                                newton_options=NewtonOptions(
+                                    max_iterations=5))

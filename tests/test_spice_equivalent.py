@@ -1,0 +1,100 @@
+"""Tests for the Figure 6(b) all-electrical macro-model."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, dc_sweep, operating_point
+from repro.devices.nemfet import nemfet_90nm
+from repro.devices.spice_equivalent import (
+    ForcePolynomial,
+    MacroNemfet,
+    fit_force_polynomial,
+)
+from repro.errors import CalibrationError, NetlistError
+
+VDD = 1.2
+
+
+@pytest.fixture(scope="module")
+def params():
+    return nemfet_90nm()
+
+
+@pytest.fixture(scope="module")
+def poly(params):
+    return fit_force_polynomial(params)
+
+
+class TestPolynomialFit:
+    def test_tracks_physical_force(self, params, poly):
+        # Compare along the followed branch at a few biases.
+        for v in (0.1, 0.3, 0.8, 1.2):
+            branch = "up" if v < params.pull_in_voltage else "down"
+            u = params.static_position(v, branch)
+            f_phys = params.force_electrostatic_hat(v, u)[0]
+            f_fit = poly.evaluate(v)[0]
+            assert f_fit == pytest.approx(f_phys,
+                                          abs=0.4 * max(f_phys, 1.0))
+
+    def test_even_symmetry(self, poly):
+        assert poly.evaluate(0.6)[0] == pytest.approx(
+            poly.evaluate(-0.6)[0])
+
+    def test_derivative_matches_fd(self, poly):
+        eps = 1e-6
+        f0, df = poly.evaluate(0.5)
+        f1, _ = poly.evaluate(0.5 + eps)
+        assert df == pytest.approx((f1 - f0) / eps, rel=1e-3, abs=1e-6)
+
+    def test_clamps_out_of_range(self, poly):
+        assert poly.evaluate(10.0)[0] == poly.evaluate(poly.v_max)[0]
+
+    def test_rejects_low_degree(self, params):
+        with pytest.raises(CalibrationError):
+            fit_force_polynomial(params, degree=1)
+
+
+class TestMacroModel:
+    def test_rejects_bad_width(self, params):
+        with pytest.raises(NetlistError):
+            MacroNemfet("M1", "d", "g", "s", params, width=0.0)
+
+    def test_dc_transfer_switches(self, params, poly):
+        c = Circuit("macro")
+        c.vsource("VG", "g", "0", 0.0)
+        c.vsource("VD", "d", "0", VDD)
+        c.add(MacroNemfet("M1", "d", "g", "0", params, 1e-6,
+                          force_poly=poly))
+        sweep = dc_sweep(c, "VG", np.linspace(0, VDD, 41))
+        i = np.abs(sweep.branch_current("VD"))
+        assert i[-1] > 1e-4       # strongly on at Vdd
+        assert i[0] < 1e-9        # off at zero bias
+
+    def test_macro_on_current_close_to_physical(self, params, poly):
+        c = Circuit("macro_on")
+        c.vsource("VG", "g", "0", VDD)
+        c.vsource("VD", "d", "0", VDD)
+        c.add(MacroNemfet("M1", "d", "g", "0", params, 1e-6,
+                          force_poly=poly))
+        op = operating_point(c)
+        i_macro = -op.branch_current("VD")
+        i_phys = params.static_current(1e-6, VDD, VDD, 0.0, "down")
+        assert i_macro == pytest.approx(i_phys, rel=0.15)
+
+    def test_macro_model_loses_hysteresis(self, params, poly):
+        """The ablation: f(Vg) without position feedback cannot hold
+        the contact branch on the way down."""
+        c = Circuit("macro_hyst")
+        c.vsource("VG", "g", "0", 0.0)
+        c.vsource("VD", "d", "0", VDD)
+        c.add(MacroNemfet("M1", "d", "g", "0", params, 1e-6,
+                          force_poly=poly))
+        vg_up = np.linspace(0, VDD, 41)
+        up = dc_sweep(c, "VG", vg_up)
+        down = dc_sweep(c, "VG", vg_up[::-1], x0=up.points[-1].x)
+        u_up = up.state("M1", "position")
+        u_dn = down.state("M1", "position")[::-1]
+        # Positions retrace: no bistable window (unlike the physical
+        # model, which holds u near 1 down to the pull-out voltage).
+        mid = len(vg_up) // 3
+        assert abs(u_dn[mid] - u_up[mid]) < 0.2

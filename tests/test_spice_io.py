@@ -1,0 +1,87 @@
+"""Tests for the SPICE netlist exporter."""
+
+import pytest
+
+from repro import Circuit, Pulse, Sine, PiecewiseLinear
+from repro.circuit.spice_io import to_spice, write_spice
+from repro.devices.mosfet import Mosfet, nmos_90nm, pmos_90nm
+from repro.devices.nemfet import Nemfet, nemfet_90nm
+
+
+@pytest.fixture
+def mixed_circuit():
+    c = Circuit("mixed")
+    c.vsource("VDD", "vdd", "0", 1.2)
+    c.vsource("VIN", "in", "0", Pulse(0, 1.2, td=1e-9, tr=10e-12,
+                                      pw=2e-9, per=5e-9))
+    c.resistor("R1", "in", "a", 1e3)
+    c.capacitor("C1", "a", "0", 1e-12)
+    c.inductor("L1", "a", "b", 1e-9)
+    c.isource("IB", "vdd", "b", 1e-6)
+    c.add(Mosfet("MP1", "out", "a", "vdd", pmos_90nm(), 2e-6))
+    c.add(Mosfet("MN1", "out", "a", "0", nmos_90nm(), 1e-6))
+    c.add(Nemfet("MX1", "out", "a", "0", nemfet_90nm(), 1e-6))
+    return c
+
+
+class TestExport:
+    def test_header_and_end(self, mixed_circuit):
+        deck = to_spice(mixed_circuit)
+        assert deck.startswith("* mixed")
+        assert deck.rstrip().endswith(".end")
+
+    def test_passives_exact(self, mixed_circuit):
+        deck = to_spice(mixed_circuit)
+        assert "RR1 in a 1000" in deck
+        assert "CC1 a 0 1e-12" in deck
+        assert "LL1 a b 1e-09" in deck
+
+    def test_pulse_card(self, mixed_circuit):
+        deck = to_spice(mixed_circuit)
+        assert "PULSE(0 1.2 1e-09" in deck
+
+    def test_mosfets_get_model_cards(self, mixed_circuit):
+        deck = to_spice(mixed_circuit)
+        assert ".model MN" in deck and ".model MP" in deck
+        assert "LEVEL=1" in deck
+        # PMOS threshold is negative in SPICE convention.
+        pmos_card = [l for l in deck.splitlines()
+                     if ".model" in l and "PMOS" in l][0]
+        assert "VTO=-" in pmos_card
+
+    def test_shared_params_share_model(self):
+        c = Circuit("pair")
+        c.vsource("V1", "a", "0", 1.0)
+        params = nmos_90nm()
+        c.add(Mosfet("M1", "a", "a", "0", params, 1e-6))
+        c.add(Mosfet("M2", "a", "a", "0", params, 2e-6))
+        deck = to_spice(c)
+        assert deck.count(".model") == 1
+
+    def test_nemfet_exports_as_subckt(self, mixed_circuit):
+        deck = to_spice(mixed_circuit)
+        assert "XMX1 out a 0 NEMFET" in deck
+        assert "Vpi=" in deck
+        assert ".subckt NEMFET" in deck  # external-requirement note
+
+    def test_ac_annotation(self):
+        c = Circuit("acdeck")
+        src = c.vsource("V1", "a", "0", 0.5)
+        src.ac = 1.0
+        c.resistor("R1", "a", "0", 1e3)
+        assert "AC 1" in to_spice(c)
+
+    def test_sine_and_pwl(self):
+        c = Circuit("waves")
+        c.vsource("V1", "a", "0", Sine(0.0, 1.0, 1e6))
+        c.vsource("V2", "b", "0", PiecewiseLinear([(0, 0), (1e-9, 1)]))
+        c.resistor("R1", "a", "b", 1.0)
+        c.resistor("R2", "b", "0", 1.0)
+        deck = to_spice(c)
+        assert "SIN(0 1 1e+06 0)" in deck
+        assert "PWL(0 0 1e-09 1)" in deck
+
+    def test_write_to_file(self, mixed_circuit, tmp_path):
+        path = tmp_path / "deck.sp"
+        write_spice(mixed_circuit, str(path))
+        assert path.read_text().startswith("* mixed")

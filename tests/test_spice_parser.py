@@ -1,0 +1,111 @@
+"""Tests for the SPICE importer, including round trips with the
+exporter."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, Pulse, Sine, operating_point, transient
+from repro.circuit.spice_io import to_spice
+from repro.circuit.spice_parser import from_spice, parse_number
+from repro.errors import NetlistError
+
+
+class TestNumbers:
+    def test_plain(self):
+        assert parse_number("1000") == 1000.0
+        assert parse_number("-2.5") == -2.5
+        assert parse_number("1e-9") == 1e-9
+
+    def test_suffixes(self):
+        assert parse_number("1k") == 1e3
+        assert parse_number("10MEG") == pytest.approx(1e7)
+        assert parse_number("3m") == pytest.approx(3e-3)
+        assert parse_number("100n") == pytest.approx(1e-7)
+        assert parse_number("5p") == pytest.approx(5e-12)
+        assert parse_number("2f") == pytest.approx(2e-15)
+
+    def test_unit_tail_ignored(self):
+        # SPICE tradition: trailing unit letters are noise after the
+        # scale suffix ("10pF" == 10e-12).
+        assert parse_number("10PF") == pytest.approx(10e-12)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(NetlistError):
+            parse_number("ohm10")
+
+
+class TestParsing:
+    def test_divider_deck(self):
+        deck = """* divider
+V1 in 0 DC 2
+R1 in mid 1k
+R2 mid 0 1k
+.end
+"""
+        report = from_spice(deck)
+        op = operating_point(report.circuit)
+        assert op.voltage("mid") == pytest.approx(1.0)
+        assert report.circuit.title == "divider"
+
+    def test_pulse_and_continuation_lines(self):
+        deck = """* pulse
+V1 a 0 PULSE(0 1.2 1n
++ 10p 10p 2n 5n)
+R1 a 0 1k
+"""
+        report = from_spice(deck)
+        src = report.circuit["V1"]
+        assert isinstance(src.waveform, Pulse)
+        assert src.waveform.td == pytest.approx(1e-9)
+        assert src.waveform.per == pytest.approx(5e-9)
+
+    def test_sin_source(self):
+        deck = "* s\nV1 a 0 SIN(0.5 0.2 1MEG)\nR1 a 0 1k\n"
+        src = from_spice(deck).circuit["V1"]
+        assert isinstance(src.waveform, Sine)
+        assert src.waveform.freq == pytest.approx(1e6)
+
+    def test_ac_annotation(self):
+        deck = "* ac\nV1 a 0 DC 0.5 AC 1\nR1 a 0 1k\n"
+        src = from_spice(deck).circuit["V1"]
+        assert src.ac == 1.0
+        assert src.waveform.level == pytest.approx(0.5)
+
+    def test_device_cards_reported_not_parsed(self):
+        deck = ("* d\nV1 a 0 1\nM1 a a 0 0 NM W=1u L=90n\n"
+                ".model NM NMOS (LEVEL=1)\nR1 a 0 1k\n")
+        report = from_spice(deck)
+        assert any(card.startswith("M1") for card in
+                   report.skipped_cards)
+        assert len(report.model_cards) == 1
+
+    def test_bad_card_raises(self):
+        with pytest.raises(NetlistError, match="cannot parse card"):
+            from_spice("* x\nR1 a 0\n")
+
+
+class TestRoundTrip:
+    def test_linear_circuit_round_trips(self):
+        original = Circuit("rt")
+        original.vsource("V1", "in", "0",
+                         Pulse(0, 1, td=1e-9, tr=10e-12, tf=10e-12,
+                               pw=2e-9, per=6e-9))
+        original.resistor("R1", "in", "out", 2.2e3)
+        original.capacitor("C1", "out", "0", 3e-12)
+        original.inductor("L1", "out", "tail", 1e-9)
+        original.resistor("R2", "tail", "0", 50.0)
+
+        recovered = from_spice(to_spice(original)).circuit
+        res_a = transient(original, 5e-9, 10e-12)
+        res_b = transient(recovered, 5e-9, 10e-12)
+        va = np.interp(4e-9, res_a.t, res_a.voltage("out"))
+        vb = np.interp(4e-9, res_b.t, res_b.voltage("out"))
+        assert vb == pytest.approx(va, rel=1e-6)
+
+    def test_round_trip_preserves_element_count(self):
+        original = Circuit("rt2")
+        original.vsource("V1", "a", "0", 1.0)
+        original.isource("I1", "a", "0", 1e-3)
+        original.resistor("R1", "a", "0", 1e3)
+        recovered = from_spice(to_spice(original)).circuit
+        assert len(recovered) == len(original)

@@ -1,0 +1,117 @@
+"""Tests for SRAM cell builders and flavour assignment."""
+
+import numpy as np
+import pytest
+
+from repro import dc_sweep, transient
+from repro.devices.mosfet import HVT_SHIFT
+from repro.errors import DesignError
+from repro.library.sram import (
+    SramSpec,
+    VARIANTS,
+    build_read_harness,
+    build_vtc_circuit,
+)
+
+
+class TestSpec:
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(DesignError):
+            SramSpec(variant="9T")
+
+    def test_rejects_unknown_transistor(self):
+        with pytest.raises(DesignError):
+            SramSpec().flavor("XX")
+
+    def test_widths(self):
+        spec = SramSpec()
+        assert spec.width_of("NL") == spec.w_pulldown
+        assert spec.width_of("PL") == spec.w_pullup
+        assert spec.width_of("AR") == spec.w_access
+
+
+class TestFlavors:
+    def test_conventional_all_mosfet_nominal(self):
+        spec = SramSpec(variant="conventional")
+        for name in ("NL", "NR", "PL", "PR", "AL", "AR"):
+            kind, params = spec.flavor(name)
+            assert kind == "mosfet"
+            assert abs(params.vth0 - spec.nmos.vth0) < 0.1 or \
+                abs(params.vth0 - spec.pmos.vth0) < 0.1
+
+    def test_dual_vt_inverters_hvt(self):
+        spec = SramSpec(variant="dual_vt")
+        for name in ("NL", "NR"):
+            _, params = spec.flavor(name)
+            assert params.vth0 == pytest.approx(
+                spec.nmos.vth0 + HVT_SHIFT)
+        _, access = spec.flavor("AL")
+        assert access.vth0 == pytest.approx(spec.nmos.vth0)
+
+    def test_asymmetric_protects_zero_state(self):
+        spec = SramSpec(variant="asymmetric")
+        _, nr = spec.flavor("NR")
+        _, pl = spec.flavor("PL")
+        assert nr.vth0 > spec.nmos.vth0
+        assert pl.vth0 > spec.pmos.vth0
+        # The frequent-zero read path stays nominal.
+        _, nl = spec.flavor("NL")
+        _, al = spec.flavor("AL")
+        assert nl.vth0 == pytest.approx(spec.nmos.vth0)
+        assert al.vth0 == pytest.approx(spec.nmos.vth0)
+
+    def test_hybrid_inverters_are_nemfets(self):
+        spec = SramSpec(variant="hybrid")
+        for name in ("NL", "NR", "PL", "PR"):
+            kind, _ = spec.flavor(name)
+            assert kind == "nemfet"
+        for name in ("AL", "AR"):
+            kind, _ = spec.flavor(name)
+            assert kind == "mosfet"
+
+
+class TestHarness:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_cell_settles_to_zero_state(self, variant):
+        spec = SramSpec(variant=variant)
+        cell = build_read_harness(spec)
+        cell.hold_wordline_low()
+        res = transient(cell.circuit, spec.t_precharge, 4e-12)
+        assert res.voltage("ql")[-1] < 0.25
+        assert res.voltage("qr")[-1] > 0.95
+
+    def test_bitlines_precharged(self):
+        spec = SramSpec()
+        cell = build_read_harness(spec)
+        cell.hold_wordline_low()
+        res = transient(cell.circuit, spec.t_precharge, 4e-12)
+        assert res.voltage("bl")[-1] > 1.1
+        assert res.voltage("blb")[-1] > 1.1
+
+    def test_write_pulse_validates_value(self):
+        cell = build_read_harness(SramSpec())
+        with pytest.raises(DesignError):
+            cell.write_pulse(2, 0.0, 1e-9)
+
+
+class TestVtcCircuit:
+    def test_rejects_bad_side(self):
+        with pytest.raises(DesignError):
+            build_vtc_circuit(SramSpec(), "middle")
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_vtc_is_inverting(self, variant):
+        spec = SramSpec(variant=variant)
+        c = build_vtc_circuit(spec, "right")
+        sweep = dc_sweep(c, "VIN", np.linspace(0, 1.2, 25))
+        q = sweep.voltage("q")
+        assert q[0] > 0.9      # output high at input low
+        assert q[-1] < 0.45    # output pulled down at input high
+
+    def test_read_condition_lifts_output_low(self):
+        """With the access device on, the output low level is a divider,
+        not zero — the read-disturb that erodes SNM."""
+        spec = SramSpec()
+        c = build_vtc_circuit(spec, "right")
+        sweep = dc_sweep(c, "VIN", [1.2])
+        assert 0.02 < sweep.voltage("q")[0] < 0.45

@@ -1,0 +1,69 @@
+"""Tests for array-level SRAM analysis and the NEMS-access ablation."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.library.sram import SramSpec
+from repro.library.sram_array import (
+    ArraySpec,
+    array_read_latency,
+    build_array_read_harness,
+    nems_access_spec,
+)
+from repro.library.sram_metrics import read_latency
+
+
+class TestArraySpec:
+    def test_rejects_zero_rows(self):
+        with pytest.raises(DesignError):
+            ArraySpec(rows=0)
+
+    def test_single_row_has_no_leakers(self):
+        cell = build_array_read_harness(ArraySpec(rows=1))
+        assert "MLEAKL" not in cell.circuit
+
+    def test_leakers_lumped_width(self):
+        spec = ArraySpec(rows=65)
+        cell = build_array_read_harness(spec)
+        leaker = cell.circuit["MLEAKL"]
+        assert leaker.width == pytest.approx(64 * spec.cell.w_access)
+
+    def test_bitline_capacitance_grows(self):
+        small = build_array_read_harness(ArraySpec(rows=2))
+        big = build_array_read_harness(ArraySpec(rows=256))
+        assert big.circuit["CBL"].capacitance \
+            > small.circuit["CBL"].capacitance
+
+
+class TestArrayLatency:
+    def test_latency_grows_with_rows(self):
+        lat32 = array_read_latency(ArraySpec(rows=32))
+        lat256 = array_read_latency(ArraySpec(rows=256))
+        assert lat256 > 1.5 * lat32
+
+    def test_leaky_corner_slower(self):
+        nominal = array_read_latency(ArraySpec(rows=256))
+        leaky = array_read_latency(ArraySpec(rows=256),
+                                   leaker_vth_shift=-0.085)
+        assert leaky > nominal
+
+    def test_hybrid_penalty_persists_at_array_level(self):
+        conv = array_read_latency(ArraySpec(cell=SramSpec(), rows=64))
+        hyb = array_read_latency(
+            ArraySpec(cell=SramSpec(variant="hybrid"), rows=64))
+        assert 1.05 * conv < hyb < 2.0 * conv
+
+
+class TestNemsAccess:
+    def test_flavor_override(self):
+        spec = nems_access_spec()
+        for device in ("AL", "AR", "NL", "PR"):
+            kind, _ = spec.flavor(device)
+            assert kind == "nemfet", device
+
+    def test_huge_latency_impact(self):
+        """Quantifies the paper's Section 5.3 rejection: NEMS access
+        devices put a mechanical actuation in every read."""
+        conv = read_latency(SramSpec())
+        rejected = read_latency(nems_access_spec())
+        assert rejected > 5 * conv

@@ -1,0 +1,134 @@
+"""Tests for SRAM metrics: SNM, read latency, leakage, write."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.library.sram import SramSpec
+from repro.library import sram_metrics as sm
+
+
+class TestSeevinck:
+    def test_ideal_step_inverters(self):
+        """Two ideal inverters switching at Vdd/2 give SNM = Vdd/2."""
+        vdd = 1.0
+        v = np.linspace(0, vdd, 401)
+        steep = vdd / (1 + np.exp((v - vdd / 2) / 0.002))
+        snm = sm.seevinck_snm(v, steep, steep)
+        assert snm == pytest.approx(vdd / 2, abs=0.02)
+
+    def test_shifted_trip_reduces_snm(self):
+        vdd = 1.0
+        v = np.linspace(0, vdd, 401)
+        inv_mid = vdd / (1 + np.exp((v - 0.5) / 0.002))
+        inv_low = vdd / (1 + np.exp((v - 0.3) / 0.002))
+        snm_sym = sm.seevinck_snm(v, inv_mid, inv_mid)
+        snm_skew = sm.seevinck_snm(v, inv_low, inv_low)
+        assert snm_skew < snm_sym
+
+    def test_degenerate_buffer_gives_zero(self):
+        """Non-inverting unity curves have no eye: SNM = 0."""
+        v = np.linspace(0, 1, 101)
+        assert sm.seevinck_snm(v, v.copy(), v.copy()) \
+            == pytest.approx(0.0, abs=0.02)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(MeasurementError):
+            sm.seevinck_snm(np.zeros(10), np.zeros(10), np.zeros(9))
+
+
+class TestSnm:
+    def test_conventional_snm_plausible(self):
+        snm, curves = sm.static_noise_margin(SramSpec())
+        assert 0.05 < snm < 0.6
+        assert len(curves.v_in) == 121
+
+    def test_weaker_pulldown_lowers_snm(self):
+        strong = SramSpec(w_pulldown=0.6e-6)
+        weak = SramSpec(w_pulldown=0.2e-6)
+        snm_strong, _ = sm.static_noise_margin(strong)
+        snm_weak, _ = sm.static_noise_margin(weak)
+        assert snm_weak < snm_strong
+
+    def test_butterfly_symmetric_for_conventional(self):
+        curves = sm.butterfly(SramSpec())
+        assert np.allclose(curves.v_right, curves.v_left, atol=1e-6)
+
+    def test_butterfly_asymmetric_for_asym_cell(self):
+        curves = sm.butterfly(SramSpec(variant="asymmetric"))
+        assert not np.allclose(curves.v_right, curves.v_left,
+                               atol=1e-3)
+
+
+class TestReadLatency:
+    def test_larger_bitline_slower(self):
+        fast = sm.read_latency(SramSpec(c_bitline=20e-15))
+        slow = sm.read_latency(SramSpec(c_bitline=80e-15))
+        assert slow > 2.5 * fast
+
+    def test_hybrid_slower_than_conventional(self):
+        conv = sm.read_latency(SramSpec())
+        hyb = sm.read_latency(SramSpec(variant="hybrid"))
+        assert 1.05 * conv < hyb < 2.0 * conv
+
+    def test_asym_states_differ(self):
+        """Stored-1 reads discharge through the high-Vt NR: slower.
+        The access transistor dominates the path at these sizes, so the
+        split is small but must be consistently resolvable."""
+        lat0, lat1 = sm.read_latencies_both(SramSpec(variant="asymmetric"))
+        assert lat1 > lat0 * 1.003
+
+    def test_symmetric_states_match(self):
+        lat0, lat1 = sm.read_latencies_both(SramSpec())
+        assert lat1 == pytest.approx(lat0, rel=0.02)
+
+
+class TestLeakage:
+    def test_ordering_conv_dualvt_hybrid(self):
+        conv = sm.standby_leakage(SramSpec())
+        dual = sm.standby_leakage(SramSpec(variant="dual_vt"))
+        hyb = sm.standby_leakage(SramSpec(variant="hybrid"))
+        assert conv > dual > hyb > 0
+
+    def test_hybrid_reduction_near_8x(self):
+        conv = sm.standby_leakage(SramSpec())
+        hyb = sm.standby_leakage(SramSpec(variant="hybrid"))
+        assert 5.0 < conv / hyb < 12.0
+
+
+class TestWrite:
+    def test_conventional_write_flips_cell(self):
+        lat = sm.write_latency(SramSpec())
+        assert 0 < lat < 1e-9
+
+    def test_hybrid_write_includes_mechanics(self):
+        """Flipping the hybrid cell actuates four NEMS beams, so the
+        write is slower than the conventional cell's."""
+        conv = sm.write_latency(SramSpec())
+        hyb = sm.write_latency(SramSpec(variant="hybrid"))
+        assert hyb > conv
+
+
+class TestWriteMargin:
+    def test_conventional_trip_in_band(self):
+        wtv = sm.write_margin(SramSpec())
+        assert 0.05 < wtv < 0.6
+
+    def test_hybrid_statically_easier_to_write(self):
+        """Weak NEMS pull-ups raise the write trip voltage — the
+        hybrid cell's write cost is the mechanical latency, not the
+        static margin."""
+        conv = sm.write_margin(SramSpec())
+        hyb = sm.write_margin(SramSpec(variant="hybrid"))
+        assert hyb > 1.2 * conv
+
+    def test_stronger_access_raises_trip(self):
+        strong = sm.write_margin(SramSpec(w_access=0.2e-6))
+        weak = sm.write_margin(SramSpec(w_access=0.1e-6))
+        assert strong > weak
+
+    def test_unwritable_cell_raises(self):
+        """An access device too weak to overpower the pull-up cannot
+        write the cell at any bitline level."""
+        with pytest.raises(MeasurementError):
+            sm.write_margin(SramSpec(w_access=0.02e-6))

@@ -1,0 +1,141 @@
+"""Tests for static OR gates, thermal coupling, and NEMS reliability."""
+
+import pytest
+
+from repro import Circuit, Pulse, transient
+from repro.devices.nemfet import Nemfet, nemfet_90nm
+from repro.devices.reliability import (
+    analyze_closing,
+    recommended_quality_factor_range,
+    release_overshoot,
+)
+from repro.errors import AnalysisError, DesignError, MeasurementError
+from repro.library.static_logic import StaticOrSpec, build_static_or
+from repro import thermal
+
+
+class TestStaticOr:
+    def test_spec_validation(self):
+        with pytest.raises(DesignError):
+            StaticOrSpec(fan_in=0)
+        with pytest.raises(DesignError):
+            StaticOrSpec(pmos_upsizing=0.0)
+
+    def test_or_truth_table_corners(self):
+        from repro.analysis.dc import operating_point
+        gate = build_static_or(StaticOrSpec(fan_in=3, fan_out=1))
+        gate.set_inputs_static([0.0, 0.0, 0.0])
+        assert operating_point(gate.circuit).voltage("out") < 0.1
+        gate.set_inputs_static([0.0, 1.2, 0.0])
+        assert operating_point(gate.circuit).voltage("out") > 1.1
+
+    def test_stack_width_grows_with_fan_in(self):
+        narrow = StaticOrSpec(fan_in=2)
+        wide = StaticOrSpec(fan_in=8)
+        assert wide.w_pmos_stack > 2 * narrow.w_pmos_stack
+
+    def test_delay_superlinear_in_fan_in(self):
+        d4 = build_static_or(
+            StaticOrSpec(fan_in=4, fan_out=3)).worst_case_delay()
+        d12 = build_static_or(
+            StaticOrSpec(fan_in=12, fan_out=3)).worst_case_delay()
+        assert d12 > 3 * d4
+
+    def test_wide_static_slower_than_dynamic(self):
+        """Section 4.1's premise."""
+        from repro.experiments.common import build_sized_gate
+        from repro.library import gate_metrics
+        d_static = build_static_or(
+            StaticOrSpec(fan_in=12, fan_out=3)).worst_case_delay()
+        gate = build_sized_gate(12, 3.0, "cmos")
+        d_dynamic = gate_metrics.measure_worst_case_delay(gate)
+        assert d_static > d_dynamic
+
+    def test_leakage_positive(self):
+        gate = build_static_or(StaticOrSpec(fan_in=4))
+        assert gate.leakage_power() > 0
+
+    def test_input_count_validated(self):
+        gate = build_static_or(StaticOrSpec(fan_in=4))
+        with pytest.raises(DesignError):
+            gate.set_inputs_static([0.0, 0.0])
+
+
+class TestThermal:
+    def test_fixed_point_converges(self):
+        t, p = thermal.solve_operating_temperature(
+            thermal.cmos_block_leakage(0.5))
+        env = thermal.ThermalEnvironment()
+        assert t == pytest.approx(env.t_ambient + env.r_thermal * p,
+                                  abs=0.05)
+
+    def test_hybrid_runs_cooler(self):
+        results = thermal.thermal_comparison(total_width=1.0)
+        t_cmos = results["cmos"][0]
+        t_hybrid = results["hybrid"][0]
+        assert t_hybrid < t_cmos
+
+    def test_runaway_detected(self):
+        env = thermal.ThermalEnvironment(r_thermal=600.0)
+        with pytest.raises(AnalysisError, match="runaway"):
+            thermal.solve_operating_temperature(
+                thermal.cmos_block_leakage(2.0), env)
+
+    def test_hybrid_survives_where_cmos_runs_away(self):
+        """The gated block's thermal feedback is ~20x weaker (only the
+        ungated 5% couples), so it finds a fixed point where the
+        all-CMOS block runs away — the ref [5] coupling, defused."""
+        env = thermal.ThermalEnvironment(r_thermal=600.0)
+        results = thermal.thermal_comparison(total_width=2.0, env=env)
+        assert results["cmos"] is None
+        assert results["hybrid"] is not None
+
+    def test_rejects_bad_gated_fraction(self):
+        with pytest.raises(AnalysisError):
+            thermal.hybrid_block_leakage(1.0, gated_fraction=1.5)
+
+
+def _closing_transient(q_factor: float):
+    c = Circuit("rel")
+    c.vsource("VG", "g", "0", Pulse(0, 1.2, td=0.1e-9, tr=20e-12,
+                                    pw=1.2e-9))
+    c.vsource("VD", "d", "0", 1.2)
+    c.add(Nemfet("M1", "d", "g", "0",
+                 nemfet_90nm(q_factor=q_factor), 1e-6))
+    return transient(c, 3e-9, 1e-12)
+
+
+class TestReliability:
+    @pytest.fixture(scope="class")
+    def nominal(self):
+        return _closing_transient(2.5)
+
+    def test_closing_event_extracted(self, nominal):
+        event = analyze_closing(nominal, "M1")
+        assert 0.1e-9 < event.t_first_contact < 1e-9
+        assert event.landing_velocity > 0.5
+        assert event.bounce_count >= 0
+
+    def test_higher_q_lands_harder(self, nominal):
+        soft = analyze_closing(nominal, "M1")
+        hard = analyze_closing(_closing_transient(20.0), "M1")
+        assert hard.landing_velocity > soft.landing_velocity
+
+    def test_higher_q_overshoots_more_on_release(self, nominal):
+        soft = release_overshoot(nominal, "M1", t_start=1.4e-9)
+        hard = release_overshoot(_closing_transient(20.0), "M1",
+                                 t_start=1.4e-9)
+        assert hard > soft > 0.0
+
+    def test_no_contact_raises(self):
+        c = Circuit("never")
+        c.vsource("VG", "g", "0", 0.2)  # below pull-in
+        c.vsource("VD", "d", "0", 1.2)
+        c.add(Nemfet("M1", "d", "g", "0", nemfet_90nm(), 1e-6))
+        res = transient(c, 1e-9, 2e-12)
+        with pytest.raises(MeasurementError, match="never reaches"):
+            analyze_closing(res, "M1")
+
+    def test_recommended_q_band(self):
+        lo, hi = recommended_quality_factor_range()
+        assert lo < 2.5 < hi

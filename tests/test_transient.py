@@ -1,0 +1,124 @@
+"""Tests for transient analysis against analytic solutions."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, Pulse, transient, TransientOptions
+from repro.analysis import measure
+from repro.errors import NetlistError
+
+
+def _rc_circuit(tau_r=1e3, tau_c=1e-12, td=1e-9):
+    c = Circuit("rc")
+    c.vsource("V1", "in", "0", Pulse(0.0, 1.0, td=td, tr=1e-12,
+                                     pw=1.0, per=None))
+    c.resistor("R1", "in", "out", tau_r)
+    c.capacitor("C1", "out", "0", tau_c)
+    return c
+
+
+class TestRC:
+    def test_step_response_backward_euler(self):
+        c = _rc_circuit()
+        res = transient(c, 6e-9, 5e-12)
+        v = np.interp(4e-9, res.t, res.voltage("out"))
+        assert v == pytest.approx(1 - np.exp(-3), abs=0.02)
+
+    def test_step_response_trapezoidal_more_accurate(self):
+        c_be = _rc_circuit()
+        res_be = transient(c_be, 6e-9, 20e-12,
+                           options=TransientOptions(method="be",
+                                                    adaptive=False))
+        c_tr = _rc_circuit()
+        res_tr = transient(c_tr, 6e-9, 20e-12,
+                           options=TransientOptions(method="trap",
+                                                    adaptive=False))
+        exact = 1 - np.exp(-3)
+        err_be = abs(np.interp(4e-9, res_be.t, res_be.voltage("out"))
+                     - exact)
+        err_tr = abs(np.interp(4e-9, res_tr.t, res_tr.voltage("out"))
+                     - exact)
+        assert err_tr < err_be
+
+    def test_steps_land_on_breakpoints(self):
+        c = _rc_circuit(td=1.234e-9)
+        res = transient(c, 3e-9, 0.3e-9)
+        assert np.min(np.abs(res.t - 1.234e-9)) < 1e-15
+
+    def test_supply_energy_matches_cv2(self):
+        """Charging a cap through a resistor draws C*V^2 from the source."""
+        c = _rc_circuit(td=0.5e-9)
+        res = transient(c, 15e-9, 5e-12)
+        energy = measure.supply_energy(res, "V1")
+        assert energy == pytest.approx(1e-12, rel=0.05)
+
+
+class TestRL:
+    def test_inductor_current_rise(self):
+        c = Circuit("rl")
+        c.vsource("V1", "in", "0", Pulse(0, 1.0, td=0.1e-9, tr=1e-12,
+                                         pw=1.0))
+        c.resistor("R1", "in", "out", 10.0)
+        c.inductor("L1", "out", "0", 10e-9)
+        res = transient(c, 5e-9, 5e-12)
+        # tau = L/R = 1 ns; at t = td + tau, i = (1/R)(1 - e^-1).
+        i = np.interp(1.1e-9, res.t, res.branch_current("L1"))
+        assert i == pytest.approx(0.1 * (1 - np.exp(-1)), rel=0.05)
+
+
+class TestInterface:
+    def test_rejects_bad_tstop(self):
+        c = _rc_circuit()
+        with pytest.raises(ValueError):
+            transient(c, -1e-9, 1e-12)
+        with pytest.raises(ValueError):
+            transient(c, 1e-9, 0.0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            TransientOptions(method="rk4")
+
+    def test_rejects_unknown_initial(self):
+        c = _rc_circuit()
+        with pytest.raises(ValueError):
+            transient(c, 1e-9, 1e-12, initial="random")
+
+    def test_result_access(self):
+        c = _rc_circuit()
+        res = transient(c, 1e-9, 50e-12)
+        assert len(res.voltage("out")) == len(res)
+        assert np.all(res.voltage("0") == 0.0)
+        with pytest.raises(NetlistError):
+            res.branch_current("R1")
+
+    def test_reuse_operating_point(self):
+        from repro.circuit.mna import SystemLayout
+        c = _rc_circuit()
+        res1 = transient(c, 1e-9, 50e-12)
+        res2 = transient(c, 1e-9, 50e-12, initial=res1.final(),
+                         layout=res1.layout)
+        assert len(res2) > 2
+
+    def test_foreign_operating_point_rejected(self):
+        c1 = _rc_circuit()
+        c2 = _rc_circuit()
+        res1 = transient(c1, 1e-9, 50e-12)
+        with pytest.raises(NetlistError):
+            transient(c2, 1e-9, 50e-12, initial=res1.final())
+
+    def test_adaptive_uses_fewer_steps(self):
+        c1 = _rc_circuit()
+        res_fixed = transient(c1, 10e-9, 10e-12,
+                              options=TransientOptions(adaptive=False))
+        c2 = _rc_circuit()
+        res_adapt = transient(c2, 10e-9, 10e-12,
+                              options=TransientOptions(adaptive=True))
+        assert len(res_adapt) < len(res_fixed)
+
+    def test_source_power_sign(self):
+        c = _rc_circuit(td=0.1e-9)
+        res = transient(c, 5e-9, 10e-12)
+        power = res.source_power("V1")
+        # While charging, the source delivers positive power.
+        assert power.max() > 0
+        assert power.min() >= -1e-9

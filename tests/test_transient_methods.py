@@ -1,0 +1,74 @@
+"""Integration-method cross-checks and remaining measure helpers."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, Pulse, TransientOptions, transient
+from repro.analysis import measure
+from repro.devices.nemfet import Nemfet, nemfet_90nm
+from repro.errors import MeasurementError
+
+
+class TestMethodAgreement:
+    def test_be_and_trap_agree_on_smooth_circuit(self):
+        def run(method):
+            c = Circuit(f"m_{method}")
+            c.vsource("V1", "in", "0", Pulse(0, 1, td=0.5e-9,
+                                             tr=0.2e-9, pw=5e-9))
+            c.resistor("R1", "in", "out", 1e3)
+            c.capacitor("C1", "out", "0", 2e-12)
+            res = transient(c, 6e-9, 20e-12,
+                            options=TransientOptions(method=method,
+                                                     adaptive=False))
+            return np.interp(4e-9, res.t, res.voltage("out"))
+
+        assert run("trap") == pytest.approx(run("be"), abs=0.02)
+
+    def test_trapezoidal_stays_finite_on_nemfet_switching(self):
+        """Trapezoidal is A- but not L-stable: it does not damp the
+        stiff contact numerically, so the beam bounces where backward
+        Euler (the default, for exactly this reason) settles.  The
+        integration must nevertheless stay finite and reach contact."""
+        def run(method):
+            c = Circuit(f"nems_{method}")
+            c.vsource("VG", "g", "0", Pulse(0, 1.2, td=0.2e-9,
+                                            tr=20e-12, pw=2e-9))
+            c.vsource("VD", "d", "0", 1.2)
+            c.add(Nemfet("M1", "d", "g", "0", nemfet_90nm(), 1e-6))
+            res = transient(c, 1.5e-9, 2e-12,
+                            options=TransientOptions(method=method))
+            return res.state("M1", "position")
+
+        u_trap = run("trap")
+        assert np.all(np.isfinite(u_trap))
+        assert u_trap.max() > 0.95      # contact reached
+        u_be = run("be")
+        assert u_be[-1] > 0.95          # BE settles in contact
+
+    def test_fixed_step_grid_regular(self):
+        c = Circuit("grid")
+        c.vsource("V1", "in", "0", 1.0)
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-12)
+        res = transient(c, 1e-9, 0.1e-9,
+                        options=TransientOptions(adaptive=False))
+        steps = np.diff(res.t)
+        assert steps.max() <= 0.1e-9 + 1e-18
+
+
+class TestSteadyStatePower:
+    def test_quiescent_source_power(self):
+        c = Circuit("quiet")
+        c.vsource("V1", "in", "0", 1.0)
+        c.resistor("R1", "in", "0", 1e6)  # 1 uW steady draw
+        res = transient(c, 5e-9, 0.2e-9)
+        p = measure.steady_state_power(res, "V1")
+        assert p == pytest.approx(1e-6, rel=1e-3)
+
+    def test_fraction_validated(self):
+        c = Circuit("quiet2")
+        c.vsource("V1", "in", "0", 1.0)
+        c.resistor("R1", "in", "0", 1e6)
+        res = transient(c, 1e-9, 0.2e-9)
+        with pytest.raises(MeasurementError):
+            measure.steady_state_power(res, "V1", fraction=0.0)

@@ -1,0 +1,63 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_thermal_voltage_room_temperature(self):
+        assert units.thermal_voltage(300.15) == pytest.approx(0.02586,
+                                                              rel=1e-3)
+
+    def test_thermal_voltage_scales_linearly(self):
+        assert units.thermal_voltage(600.3) == pytest.approx(
+            2 * units.thermal_voltage(300.15))
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            units.thermal_voltage(-10.0)
+
+    def test_eps0_value(self):
+        assert units.EPS0 == pytest.approx(8.854e-12, rel=1e-3)
+
+    def test_prefix_chain(self):
+        assert units.nm == pytest.approx(1e-9)
+        assert units.fF * 1000 == pytest.approx(units.pF)
+        assert units.uA / units.nA == pytest.approx(1000)
+
+
+class TestHelpers:
+    def test_db10(self):
+        assert units.db10(10.0) == pytest.approx(10.0)
+        assert units.db10(1.0) == pytest.approx(0.0)
+
+    def test_db10_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.db10(0.0)
+
+    def test_decades(self):
+        assert units.decades(1000.0) == pytest.approx(3.0)
+
+    def test_decades_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.decades(-1.0)
+
+    def test_format_si_basic(self):
+        assert units.format_si(3.2e-9, "A") == "3.2 nA"
+        assert units.format_si(1.5e3, "V") == "1.5 kV"
+        assert units.format_si(0.5, "W") == "500 mW"
+
+    def test_format_si_zero(self):
+        assert units.format_si(0.0, "A") == "0 A"
+
+    def test_format_si_nonfinite(self):
+        assert "inf" in units.format_si(math.inf, "A")
+
+    def test_format_si_tiny_value_uses_smallest_prefix(self):
+        out = units.format_si(5e-20, "F")
+        assert "a" in out  # atto

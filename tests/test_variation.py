@@ -1,0 +1,99 @@
+"""Tests for process-variation modelling."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit
+from repro.devices.mosfet import Mosfet, nmos_90nm
+from repro.devices.variation import (
+    VariationModel,
+    applied_shifts,
+    corner_shifts,
+    monte_carlo_shifts,
+)
+
+
+@pytest.fixture
+def devices():
+    c = Circuit("v")
+    m1 = c.add(Mosfet("M1", "a", "b", "0", nmos_90nm(), 1e-6))
+    m2 = c.add(Mosfet("M2", "a", "b", "0", nmos_90nm(), 1e-6))
+    return c, [m1, m2]
+
+
+class TestModel:
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            VariationModel(sigma_rel=-0.1)
+
+    def test_rejects_bad_nsigma(self):
+        with pytest.raises(ValueError):
+            VariationModel(sigma_rel=0.1, n_sigma=0.0)
+
+    def test_corner_signs(self, devices):
+        _, (m1, _) = devices
+        model = VariationModel(sigma_rel=0.1, n_sigma=3.0)
+        weak = model.corner_shift(m1, "weak")
+        leaky = model.corner_shift(m1, "leaky")
+        assert weak > 0 > leaky
+        assert weak == pytest.approx(0.3 * m1.params.vth0)
+
+    def test_unknown_direction(self, devices):
+        _, (m1, _) = devices
+        with pytest.raises(ValueError):
+            VariationModel(0.1).corner_shift(m1, "diagonal")
+
+    def test_corner_shifts_map(self, devices):
+        _, (m1, m2) = devices
+        model = VariationModel(sigma_rel=0.05)
+        shifts = corner_shifts(model, weak=[m1], leaky=[m2])
+        assert shifts["M1"] > 0 > shifts["M2"]
+
+
+class TestAppliedShifts:
+    def test_applies_and_restores(self, devices):
+        circuit, (m1, m2) = devices
+        with applied_shifts(circuit, {"M1": 0.05}):
+            assert m1.vth_shift == pytest.approx(0.05)
+            assert m2.vth_shift == 0.0
+        assert m1.vth_shift == 0.0
+
+    def test_restores_on_exception(self, devices):
+        circuit, (m1, _) = devices
+        with pytest.raises(RuntimeError):
+            with applied_shifts(circuit, {"M1": 0.05}):
+                raise RuntimeError("boom")
+        assert m1.vth_shift == 0.0
+
+    def test_stacks_with_existing_shift(self, devices):
+        circuit, (m1, _) = devices
+        m1.vth_shift = 0.02
+        with applied_shifts(circuit, {"M1": 0.05}):
+            assert m1.vth_shift == pytest.approx(0.07)
+        assert m1.vth_shift == pytest.approx(0.02)
+
+    def test_non_mosfet_rejected(self):
+        c = Circuit("r")
+        c.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(TypeError):
+            with applied_shifts(c, {"R1": 0.1}):
+                pass
+
+
+class TestMonteCarlo:
+    def test_sample_statistics(self, devices):
+        _, mosfets = devices
+        model = VariationModel(sigma_rel=0.1)
+        samples = monte_carlo_shifts(model, mosfets, samples=400,
+                                     seed=3)
+        values = np.array([s["M1"] for s in samples])
+        expected_sigma = 0.1 * mosfets[0].params.vth0
+        assert abs(values.mean()) < 0.2 * expected_sigma
+        assert values.std() == pytest.approx(expected_sigma, rel=0.2)
+
+    def test_deterministic_with_seed(self, devices):
+        _, mosfets = devices
+        model = VariationModel(sigma_rel=0.1)
+        s1 = monte_carlo_shifts(model, mosfets, 5, seed=42)
+        s2 = monte_carlo_shifts(model, mosfets, 5, seed=42)
+        assert s1 == s2

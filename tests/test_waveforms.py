@@ -1,0 +1,141 @@
+"""Tests for waveform generators, including hypothesis properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.waveforms import (
+    DC,
+    PiecewiseLinear,
+    Pulse,
+    Sine,
+    as_waveform,
+)
+
+
+class TestDC:
+    def test_constant(self):
+        w = DC(1.5)
+        assert w.value(0.0) == 1.5
+        assert w.value(1e9) == 1.5
+
+    def test_no_breakpoints(self):
+        assert DC(1.0).breakpoints(1e-6) == []
+
+    def test_callable(self):
+        assert DC(2.0)(0.3) == 2.0
+
+
+class TestPulse:
+    def test_levels(self):
+        w = Pulse(0.0, 1.2, td=1e-9, tr=0.1e-9, tf=0.1e-9, pw=2e-9)
+        assert w.value(0.0) == 0.0
+        assert w.value(2e-9) == 1.2
+        assert w.value(10e-9) == 0.0
+
+    def test_edges_interpolate(self):
+        w = Pulse(0.0, 1.0, td=0.0, tr=1e-9, tf=1e-9, pw=1e-9)
+        assert w.value(0.5e-9) == pytest.approx(0.5)
+        assert w.value(2.5e-9) == pytest.approx(0.5)
+
+    def test_periodic_repeats(self):
+        w = Pulse(0.0, 1.0, td=0.0, tr=0.1e-9, tf=0.1e-9, pw=1e-9,
+                  per=4e-9)
+        assert w.value(0.5e-9) == pytest.approx(w.value(4.5e-9))
+        assert w.value(2e-9) == pytest.approx(w.value(6e-9))
+
+    def test_single_shot_stays_low(self):
+        w = Pulse(0.2, 1.0, td=0.0, tr=0.1e-9, tf=0.1e-9, pw=1e-9)
+        assert w.value(100e-9) == pytest.approx(0.2)
+
+    def test_breakpoints_contain_edges(self):
+        w = Pulse(0.0, 1.0, td=1e-9, tr=0.1e-9, tf=0.2e-9, pw=1e-9)
+        bps = w.breakpoints(10e-9)
+        for expected in (1e-9, 1.1e-9, 2.1e-9, 2.3e-9):
+            assert any(abs(b - expected) < 1e-15 for b in bps)
+
+    def test_periodic_breakpoints_bounded(self):
+        w = Pulse(0.0, 1.0, per=1e-9, pw=0.4e-9, tr=0.1e-9, tf=0.1e-9)
+        bps = w.breakpoints(5e-9)
+        assert all(0.0 <= b <= 5e-9 for b in bps)
+        assert len(bps) >= 16
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Pulse(0, 1, tr=0.0)
+        with pytest.raises(ValueError):
+            Pulse(0, 1, pw=-1e-9)
+        with pytest.raises(ValueError):
+            Pulse(0, 1, tr=1e-9, tf=1e-9, pw=1e-9, per=1e-9)
+
+    @given(t=st.floats(min_value=0.0, max_value=1e-6,
+                       allow_nan=False))
+    def test_value_always_within_levels(self, t):
+        w = Pulse(0.0, 1.2, td=10e-9, tr=1e-9, tf=2e-9, pw=30e-9,
+                  per=100e-9)
+        assert -1e-12 <= w.value(t) <= 1.2 + 1e-12
+
+
+class TestPiecewiseLinear:
+    def test_interpolation(self):
+        w = PiecewiseLinear([(0.0, 0.0), (1.0, 2.0)])
+        assert w.value(0.5) == pytest.approx(1.0)
+
+    def test_clamping_outside_range(self):
+        w = PiecewiseLinear([(1.0, 3.0), (2.0, 5.0)])
+        assert w.value(0.0) == 3.0
+        assert w.value(10.0) == 5.0
+
+    def test_breakpoints(self):
+        w = PiecewiseLinear([(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)])
+        assert w.breakpoints(1.5) == [0.0, 1.0]
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([(1.0, 0.0), (1.0, 1.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([])
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=-10, max_value=10, allow_nan=False)),
+        min_size=2, max_size=8,
+        unique_by=lambda p: round(p[0], 6)))
+    def test_value_bounded_by_extremes(self, points):
+        points = sorted(points)
+        w = PiecewiseLinear(points)
+        values = [v for _, v in points]
+        lo, hi = min(values), max(values)
+        for t, _ in points:
+            assert lo - 1e-9 <= w.value(t + 0.25) <= hi + 1e-9
+
+
+class TestSine:
+    def test_offset_before_delay(self):
+        w = Sine(0.5, 0.2, 1e6, delay=1e-6)
+        assert w.value(0.0) == 0.5
+
+    def test_peak(self):
+        w = Sine(0.0, 1.0, 1.0)
+        assert w.value(0.25) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            Sine(0.0, 1.0, 0.0)
+
+    def test_breakpoint_at_delay(self):
+        assert Sine(0, 1, 1.0, delay=0.5).breakpoints(1.0) == [0.5]
+
+
+class TestCoercion:
+    def test_number_becomes_dc(self):
+        w = as_waveform(3)
+        assert isinstance(w, DC)
+        assert w.value(0) == 3.0
+
+    def test_waveform_passes_through(self):
+        w = Pulse(0, 1)
+        assert as_waveform(w) is w
