@@ -1,0 +1,34 @@
+"""Bench: warm result-cache replay of an engine-backed experiment.
+
+Runs the Figure 11 sweep once cold to populate a throwaway cache, then
+benchmarks the warm replay.  The warm pass must be all cache hits and
+dramatically faster than the cold pass — this is the speedup `--jobs`
+cannot buy on a single-core box.
+"""
+
+import time
+
+from repro.engine import EngineConfig, configured, telemetry
+from repro.experiments import fig11_fanin_sweep
+
+QUICK = {"fan_ins": (4, 8, 12), "fan_out": 3.0}
+
+
+def test_engine_cache_warm_replay(benchmark, show, tmp_path):
+    config = EngineConfig(cache_dir=str(tmp_path))
+    with configured(config):
+        started = time.perf_counter()
+        cold = fig11_fanin_sweep.run(**QUICK)
+        cold_wall = time.perf_counter() - started
+
+        telemetry.SESSION.reset()
+        warm = benchmark.pedantic(
+            fig11_fanin_sweep.run, kwargs=QUICK,
+            rounds=1, iterations=1)
+        warm_wall = benchmark.stats.stats.total
+
+    show(warm)
+    records = [r for r in telemetry.SESSION.records if r.group == "fig11"]
+    assert records and all(r.cache_hit for r in records)
+    assert warm.rows == cold.rows  # replay is bit-identical
+    assert warm_wall < cold_wall / 5

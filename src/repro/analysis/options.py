@@ -1,8 +1,20 @@
-"""Analysis option containers."""
+"""Analysis option containers.
+
+Besides the option dataclasses this module hosts the *option transform*
+stack: callers above the analysis layer (notably the retry ladder in
+:mod:`repro.engine.retry`) can push a transform that rewrites the
+effective :class:`NewtonOptions` / :class:`HomotopyOptions` of every DC
+solve entered while the transform is active.  The solver resolves its
+options through :func:`resolve_solver_options`, so relaxations reach
+solves buried arbitrarily deep inside an experiment without threading
+option arguments through every call site.
+"""
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
 
 
 @dataclass
@@ -38,6 +50,35 @@ class HomotopyOptions:
     gmin_final: float = 1e-12
     gmin_steps_per_decade: int = 1
     source_steps: int = 20
+
+
+#: Signature of an option transform: receives the effective options and
+#: returns (possibly replaced) ones.  Transforms compose in push order.
+OptionTransform = Callable[["NewtonOptions", "HomotopyOptions"],
+                           Tuple["NewtonOptions", "HomotopyOptions"]]
+
+_option_transforms: List[OptionTransform] = []
+
+
+@contextlib.contextmanager
+def option_transform(transform: OptionTransform) -> Iterator[None]:
+    """Apply ``transform`` to every DC solve entered in this block."""
+    _option_transforms.append(transform)
+    try:
+        yield
+    finally:
+        _option_transforms.remove(transform)
+
+
+def resolve_solver_options(newton: Optional["NewtonOptions"],
+                           homotopy: Optional["HomotopyOptions"]
+                           ) -> Tuple["NewtonOptions", "HomotopyOptions"]:
+    """Effective options after defaults and any active transforms."""
+    n = newton if newton is not None else NewtonOptions()
+    h = homotopy if homotopy is not None else HomotopyOptions()
+    for transform in _option_transforms:
+        n, h = transform(n, h)
+    return n, h
 
 
 @dataclass

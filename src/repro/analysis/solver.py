@@ -9,26 +9,79 @@ by the analyses in :mod:`repro.analysis.dc` and
   own, much smaller, limits;
 * residual-norm backtracking line search;
 * caller-driven gmin and source stepping (see :func:`solve_with_homotopy`).
+
+Observability: callers can register a *solve observer* via
+:func:`add_solve_observer` to receive one :class:`SolveEvent` per Newton
+solve (kind ``"newton"``) and one per DC homotopy solve (kind ``"dc"``,
+carrying the winning strategy and cumulative iteration count).  The
+telemetry layer in :mod:`repro.engine.telemetry` builds on this; when no
+observer is registered the hooks cost nothing.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.options import HomotopyOptions, NewtonOptions
+from repro.analysis.options import (
+    HomotopyOptions,
+    NewtonOptions,
+    resolve_solver_options,
+)
 from repro.errors import ConvergenceError
 
 
 @dataclass
 class NewtonInfo:
-    """Diagnostics returned alongside a converged solution."""
+    """Diagnostics returned alongside a converged solution.
+
+    ``strategy`` names how the solution was reached: ``"direct"`` for a
+    plain Newton solve, ``"gmin"`` / ``"source"`` when
+    :func:`solve_with_homotopy` needed the corresponding stepping
+    fallback.  For homotopy solves ``iterations`` is *cumulative* across
+    every Newton attempt made (including failed strategies), so it
+    measures the true cost of the solve.
+    """
 
     iterations: int
     residual_norm: float
     converged: bool
+    strategy: str = "direct"
+
+
+@dataclass(frozen=True)
+class SolveEvent:
+    """One observed solve, reported to registered solve observers."""
+
+    kind: str            #: ``"newton"`` or ``"dc"``
+    strategy: str        #: ``"direct"`` / ``"gmin"`` / ``"source"``
+    iterations: int
+    residual_norm: float
+    converged: bool
+    wall_time: float     #: [s]
+
+
+SolveObserver = Callable[[SolveEvent], None]
+
+_solve_observers: List[SolveObserver] = []
+
+
+def add_solve_observer(observer: SolveObserver) -> None:
+    """Register a callback invoked once per solve with a SolveEvent."""
+    _solve_observers.append(observer)
+
+
+def remove_solve_observer(observer: SolveObserver) -> None:
+    """Unregister a previously added solve observer."""
+    _solve_observers.remove(observer)
+
+
+def _notify(event: SolveEvent) -> None:
+    for observer in list(_solve_observers):
+        observer(event)
 
 
 def _scaled_residual_norm(F: np.ndarray, row_tol: np.ndarray) -> float:
@@ -46,6 +99,28 @@ def newton_solve(assemble: Callable, x0: np.ndarray, *,
     vector recorded at the accepted solution.  Raises
     :class:`ConvergenceError` when the iteration limit is exhausted.
     """
+    if not _solve_observers:
+        return _newton_iterate(assemble, x0, row_tol=row_tol,
+                               dx_limit=dx_limit, options=options)
+    started = time.perf_counter()
+    try:
+        x, q, info = _newton_iterate(assemble, x0, row_tol=row_tol,
+                                     dx_limit=dx_limit, options=options)
+    except ConvergenceError as err:
+        _notify(SolveEvent("newton", "direct", err.iterations,
+                           err.residual_norm, False,
+                           time.perf_counter() - started))
+        raise
+    _notify(SolveEvent("newton", "direct", info.iterations,
+                       info.residual_norm, True,
+                       time.perf_counter() - started))
+    return x, q, info
+
+
+def _newton_iterate(assemble: Callable, x0: np.ndarray, *,
+                    row_tol: np.ndarray, dx_limit: np.ndarray,
+                    options: Optional[NewtonOptions] = None
+                    ) -> Tuple[np.ndarray, np.ndarray, NewtonInfo]:
     opts = options or NewtonOptions()
     x = np.array(x0, dtype=float, copy=True)
     tol = row_tol * opts.residual_scale
@@ -61,7 +136,11 @@ def newton_solve(assemble: Callable, x0: np.ndarray, *,
             dx = np.linalg.solve(J, -F)
         except np.linalg.LinAlgError:
             # Regularise a singular Jacobian slightly and retry once.
-            reg = J + 1e-12 * np.eye(J.shape[0])
+            # The shift is scaled by the Jacobian's own magnitude: an
+            # absolute 1e-12 vanishes next to rows stamped in siemens
+            # times 1e9 and would leave the system numerically singular.
+            reg_scale = 1e-12 * max(1.0, float(np.linalg.norm(J, np.inf)))
+            reg = J + reg_scale * np.eye(J.shape[0])
             try:
                 dx = np.linalg.solve(reg, -F)
             except np.linalg.LinAlgError:
@@ -121,16 +200,39 @@ def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
     2. gmin stepping: solve with a large conductance to ground on every
        node, then reduce it decade by decade, warm-starting each solve;
     3. source stepping: ramp all independent sources from zero.
+
+    The returned :class:`NewtonInfo` carries the winning ``strategy``
+    and the *cumulative* iteration count across every attempt, failed
+    strategies included.
     """
-    hopt = homotopy or HomotopyOptions()
+    nopt, hopt = resolve_solver_options(newton_options, homotopy)
+    started = time.perf_counter() if _solve_observers else 0.0
+    total_iterations = 0
 
     def attempt(gmin: float, scale: float, guess: np.ndarray):
-        return newton_solve(
-            make_assemble(gmin, scale), guess,
-            row_tol=row_tol, dx_limit=dx_limit, options=newton_options)
+        nonlocal total_iterations
+        try:
+            x, q, info = newton_solve(
+                make_assemble(gmin, scale), guess,
+                row_tol=row_tol, dx_limit=dx_limit, options=nopt)
+        except ConvergenceError as err:
+            total_iterations += err.iterations
+            raise
+        total_iterations += info.iterations
+        return x, q, info
+
+    def finish(x, q, info: NewtonInfo, strategy: str):
+        final = NewtonInfo(total_iterations, info.residual_norm,
+                           True, strategy)
+        if _solve_observers:
+            _notify(SolveEvent("dc", strategy, total_iterations,
+                               info.residual_norm, True,
+                               time.perf_counter() - started))
+        return x, q, final
 
     try:
-        return attempt(0.0, 1.0, x0)
+        x, q, info = attempt(0.0, 1.0, x0)
+        return finish(x, q, info, "direct")
     except ConvergenceError:
         pass
 
@@ -141,7 +243,8 @@ def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
         while gmin > hopt.gmin_final:
             x, _, _ = attempt(gmin, 1.0, x)
             gmin /= 10.0 ** (1.0 / hopt.gmin_steps_per_decade)
-        return attempt(0.0, 1.0, x)
+        x, q, info = attempt(0.0, 1.0, x)
+        return finish(x, q, info, "gmin")
     except ConvergenceError:
         pass
 
@@ -151,9 +254,14 @@ def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
         for k in range(1, hopt.source_steps + 1):
             scale = k / hopt.source_steps
             x, _, _ = attempt(0.0, scale, x)
-        return attempt(0.0, 1.0, x)
+        x, q, info = attempt(0.0, 1.0, x)
+        return finish(x, q, info, "source")
     except ConvergenceError as err:
+        if _solve_observers:
+            _notify(SolveEvent("dc", "source", total_iterations,
+                               err.residual_norm, False,
+                               time.perf_counter() - started))
         raise ConvergenceError(
             f"DC solution failed after direct, gmin and source stepping: "
             f"{err}", residual_norm=err.residual_norm,
-            iterations=err.iterations) from err
+            iterations=total_iterations) from err

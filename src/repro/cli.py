@@ -4,17 +4,31 @@ Usage::
 
     python -m repro list
     python -m repro run fig11
-    python -m repro run fig09 --quick
+    python -m repro run fig11 --jobs 4
+    python -m repro run fig09 --quick --no-cache
     python -m repro run all --quick
+    python -m repro stats
+
+``run`` executes through :mod:`repro.engine`: ``--jobs N`` fans the
+sweeps of engine-aware experiments out over N worker processes,
+``--cache-dir``/``--no-cache`` control the content-addressed result
+cache (on by default, under ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro-nems-cmos``), and ``stats`` prints the solver/cache
+telemetry report of the most recent run.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 import time
-from typing import Dict, Optional, Tuple
+import traceback
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine import config as engine_config
+from repro.engine import telemetry
 
 #: experiment id -> (module, quick-mode kwargs).  Quick mode trades
 #: sweep density for runtime; both modes run real simulations.
@@ -99,6 +113,102 @@ def run_experiment(exp_id: str, quick: bool = False):
     return module.run(**kwargs)
 
 
+def _experiment_summary_table(rows: List[Tuple]) -> str:
+    """Align the per-experiment wall-time / cache summary of `run all`."""
+    header = ["experiment", "status", "wall [s]", "jobs", "cache hits",
+              "failed points"]
+    body = [[exp_id, status, f"{wall:.1f}", str(jobs), str(hits),
+             str(failed)]
+            for exp_id, status, wall, jobs, hits, failed in rows]
+    widths = [max(len(r[i]) for r in [header] + body)
+              for i in range(len(header))]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _save_report(cache_dir: str) -> None:
+    """Persist the session telemetry for `python -m repro stats`."""
+    try:
+        telemetry.save_report(
+            os.path.join(cache_dir, telemetry.REPORT_BASENAME))
+    except OSError as err:
+        print(f"warning: could not save telemetry report: {err}",
+              file=sys.stderr)
+
+
+def _run_command(args) -> int:
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    cache_dir = args.cache_dir or engine_config.default_cache_dir()
+    config = engine_config.EngineConfig(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else cache_dir)
+    run_all = args.experiment == "all"
+    targets = list(REGISTRY) if run_all else [args.experiment]
+
+    # The saved report describes *this* run only.
+    telemetry.SESSION.reset()
+    summary: List[Tuple] = []
+    failed_experiments: List[str] = []
+    with engine_config.configured(config):
+        for exp_id in targets:
+            snapshot = len(telemetry.SESSION.records)
+            started = time.time()
+            try:
+                result = run_experiment(exp_id, quick=args.quick)
+            except KeyError as err:
+                print(err.args[0], file=sys.stderr)
+                return 2
+            except Exception:
+                if not run_all:
+                    raise
+                # `run all` keeps going: one broken experiment must not
+                # cost the remaining results.
+                traceback.print_exc()
+                failed_experiments.append(exp_id)
+                records = telemetry.SESSION.records[snapshot:]
+                summary.append((exp_id, "ERROR",
+                                time.time() - started, len(records),
+                                sum(r.cache_hit for r in records),
+                                sum(not r.ok for r in records)))
+                continue
+            wall = time.time() - started
+            print(result.to_text())
+            print(f"   [{wall:.1f} s]\n")
+            records = telemetry.SESSION.records[snapshot:]
+            point_failures = sum(not r.ok for r in records)
+            summary.append((exp_id,
+                            "ok" if not point_failures else "partial",
+                            wall, len(records),
+                            sum(r.cache_hit for r in records),
+                            point_failures))
+    _save_report(cache_dir)
+    if run_all:
+        print(_experiment_summary_table(summary))
+        if failed_experiments:
+            print(f"\n{len(failed_experiments)} experiment(s) failed: "
+                  f"{', '.join(failed_experiments)}", file=sys.stderr)
+    return 1 if failed_experiments else 0
+
+
+def _stats_command(args) -> int:
+    cache_dir = args.cache_dir or engine_config.default_cache_dir()
+    path = os.path.join(cache_dir, telemetry.REPORT_BASENAME)
+    try:
+        report = telemetry.load_report(path)
+    except (OSError, ValueError):
+        print(f"no telemetry report at {path}; run an experiment "
+              f"first (python -m repro run <id>)", file=sys.stderr)
+        return 2
+    print(telemetry.report_to_text(report))
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -114,6 +224,20 @@ def main(argv: Optional[list] = None) -> int:
                         help="experiment id from 'list', or 'all'")
     runner.add_argument("--quick", action="store_true",
                         help="reduced sweeps (faster, same shapes)")
+    runner.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for engine-backed "
+                             "sweeps (default: 1, serial)")
+    runner.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed result "
+                             "cache")
+    runner.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or "
+                             "~/.cache/repro-nems-cmos)")
+    stats = sub.add_parser(
+        "stats", help="show solver/cache telemetry of the last run")
+    stats.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="where the last run saved its report")
 
     args = parser.parse_args(argv)
     if args.command == "verify":
@@ -126,18 +250,9 @@ def main(argv: Optional[list] = None) -> int:
             print(f"  {exp_id:<{width}}  {DESCRIPTIONS[exp_id]}")
         return 0
     if args.command == "run":
-        targets = (list(REGISTRY) if args.experiment == "all"
-                   else [args.experiment])
-        for exp_id in targets:
-            started = time.time()
-            try:
-                result = run_experiment(exp_id, quick=args.quick)
-            except KeyError as err:
-                print(err.args[0], file=sys.stderr)
-                return 2
-            print(result.to_text())
-            print(f"   [{time.time() - started:.1f} s]\n")
-        return 0
+        return _run_command(args)
+    if args.command == "stats":
+        return _stats_command(args)
     parser.print_help()
     return 1
 

@@ -1,0 +1,79 @@
+"""repro.engine — parallel simulation job engine.
+
+The standard way sweeps execute in this repository: pure, picklable
+tasks mapped over worker processes (or serially at ``jobs=1``), with a
+content-addressed disk cache in front of the solves, a retry ladder
+behind them, and solver telemetry throughout.
+
+    from repro.engine import EngineConfig, Job, configured, run_jobs
+
+    def point(width):          # module-level, pure, picklable
+        ...
+        return metrics
+
+    with configured(EngineConfig(jobs=4, cache_dir="/tmp/cache")):
+        results = run_jobs([Job(point, (w,)) for w in widths],
+                           group="my-sweep")
+
+See ``docs/engine.md`` for the job model, cache-key definition and
+telemetry fields.
+"""
+
+from repro.engine.cache import (
+    ResultCache,
+    job_key,
+    netlist_fingerprint,
+    stable_hash,
+)
+from repro.engine.config import (
+    EngineConfig,
+    configured,
+    default_cache_dir,
+    get_config,
+    set_config,
+)
+from repro.engine.retry import (
+    DEFAULT_LADDER,
+    JobFailure,
+    RetryRung,
+    solve_with_retry,
+)
+from repro.engine.runner import Job, JobResult, map_jobs, run_jobs
+from repro.engine.telemetry import (
+    SESSION,
+    JobRecord,
+    RunTelemetry,
+    SolveStats,
+    collecting,
+    load_report,
+    report_to_text,
+    save_report,
+)
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "EngineConfig",
+    "Job",
+    "JobFailure",
+    "JobRecord",
+    "JobResult",
+    "ResultCache",
+    "RetryRung",
+    "RunTelemetry",
+    "SESSION",
+    "SolveStats",
+    "collecting",
+    "configured",
+    "default_cache_dir",
+    "get_config",
+    "job_key",
+    "load_report",
+    "map_jobs",
+    "netlist_fingerprint",
+    "report_to_text",
+    "run_jobs",
+    "save_report",
+    "set_config",
+    "solve_with_retry",
+    "stable_hash",
+]

@@ -1,0 +1,183 @@
+"""Content-addressed disk cache for simulation results.
+
+A cache entry is keyed by a stable SHA-256 over the *content* of the
+job: the task function's qualified name, its canonicalised arguments
+(device parameters, analysis options, sweep coordinates — anything that
+determines the answer), an optional extra payload such as a netlist
+fingerprint, and a code-version salt.  Re-running an experiment with
+unchanged inputs is then a pure disk read; changing any parameter, the
+library version, or the cache schema changes the key and misses.
+
+Invalidation rules:
+
+* the salt embeds ``repro.__version__`` and :data:`CACHE_SCHEMA`, so a
+  library release or a cache format change invalidates everything;
+* failed jobs are never stored — a failure is always re-attempted;
+* a corrupted entry (truncated write, unreadable pickle) is deleted on
+  first read and treated as a miss, so the cache self-heals.
+
+Values are stored as pickles written atomically (temp file + rename) so
+concurrent writers — parallel workers, or two simultaneous runs sharing
+a cache directory — can never expose a half-written entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+import repro
+
+#: Bump to invalidate every existing cache entry after a format change.
+CACHE_SCHEMA = 1
+
+
+def code_salt() -> str:
+    """Version salt mixed into every cache key."""
+    return f"repro-{repro.__version__}-schema{CACHE_SCHEMA}"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic, repr-stable structure.
+
+    Raises :class:`TypeError` for objects with no canonical form — a
+    job whose arguments cannot be canonicalised must not be cached,
+    because its key would not be content-addressed.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)  # repr round-trips float64 exactly
+    if isinstance(obj, complex):
+        return ("complex", repr(obj.real), repr(obj.imag))
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", str(obj.dtype), obj.shape,
+                obj.tobytes())
+    if isinstance(obj, np.generic):
+        return ("npscalar", str(obj.dtype), obj.tobytes())
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(_canonical(v) for v in obj))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted(repr(_canonical(v)) for v in obj)))
+    if isinstance(obj, Mapping):
+        items = sorted((repr(_canonical(k)), _canonical(v))
+                       for k, v in obj.items())
+        return ("map", tuple(items))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = tuple(
+            (f.name, _canonical(getattr(obj, f.name)))
+            for f in dataclasses.fields(obj))
+        return ("dataclass", type(obj).__module__,
+                type(obj).__qualname__, fields)
+    token = getattr(obj, "cache_token", None)
+    if callable(token):
+        return ("token", type(obj).__qualname__, _canonical(token()))
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__qualname__!r} for a cache "
+        f"key; pass primitives/dataclasses or give it a cache_token()")
+
+
+def stable_hash(payload: Any) -> str:
+    """Hex SHA-256 of the canonical form of ``payload``."""
+    blob = repr(_canonical(payload)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def job_key(fn: Callable, args: Tuple = (), kwargs: Optional[Dict] = None,
+            extra: Any = None) -> str:
+    """Content-addressed cache key for one task invocation."""
+    return stable_hash((
+        code_salt(),
+        getattr(fn, "__module__", ""),
+        getattr(fn, "__qualname__", repr(fn)),
+        args,
+        kwargs or {},
+        extra,
+    ))
+
+
+def netlist_fingerprint(circuit) -> str:
+    """Stable digest of a circuit's canonical (SPICE) form.
+
+    Useful as the ``extra`` key component for tasks parameterised by a
+    whole netlist rather than by scalar arguments.
+    """
+    from repro.circuit.spice_io import to_spice
+    text = to_spice(circuit)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed pickle store under one directory."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    def _path(self, key: str) -> str:
+        # Shard by the first byte to keep directory listings sane.
+        return os.path.join(self.directory, key[:2], key + ".pkl")
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; corrupted entries are deleted and miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            # Truncated or unreadable entry: self-heal by dropping it.
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` atomically under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.directory):
+            return removed
+        for root, _dirs, files in os.walk(self.directory):
+            for name in files:
+                if name.endswith(".pkl"):
+                    try:
+                        os.remove(os.path.join(root, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

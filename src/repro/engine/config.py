@@ -1,0 +1,92 @@
+"""Process-wide configuration for the simulation job engine.
+
+The experiments call :func:`repro.engine.runner.run_jobs` without
+knowing how the current invocation wants them executed; the CLI (or a
+library caller) installs an :class:`EngineConfig` around the run.  The
+default configuration is deliberately conservative — serial execution,
+no caching — so importing the engine never changes behaviour or touches
+the filesystem unless a caller opts in.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """Cache location used when a caller enables caching without a path.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise a per-user directory under
+    ``$XDG_CACHE_HOME`` (or ``~/.cache``).
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME",
+                          os.path.join(os.path.expanduser("~"), ".cache"))
+    return os.path.join(base, "repro-nems-cmos")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How the job engine should execute sweeps.
+
+    Attributes
+    ----------
+    jobs:
+        Worker-process count; ``1`` runs jobs serially in-process (the
+        deterministic reference path).
+    cache_dir:
+        Directory for the content-addressed result cache, or ``None``
+        to disable caching entirely.
+    task_timeout:
+        Per-job wall-clock budget in seconds (parallel mode only);
+        ``None`` means unlimited.
+    collect_telemetry:
+        Record per-job solver statistics into the session telemetry.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    task_timeout: Optional[float] = None
+    collect_telemetry: bool = True
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def with_overrides(self, **kwargs) -> "EngineConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+_current = EngineConfig()
+
+
+def get_config() -> EngineConfig:
+    """The active engine configuration."""
+    return _current
+
+
+def set_config(config: EngineConfig) -> EngineConfig:
+    """Install ``config`` as the active configuration; returns the old."""
+    global _current
+    previous = _current
+    _current = config
+    return previous
+
+
+@contextlib.contextmanager
+def configured(config: EngineConfig) -> Iterator[EngineConfig]:
+    """Temporarily install ``config`` for the duration of the block."""
+    previous = set_config(config)
+    try:
+        yield config
+    finally:
+        set_config(previous)

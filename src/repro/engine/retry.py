@@ -1,0 +1,136 @@
+"""Robustness layer: retry ladders and structured failure records.
+
+A hard DC point should cost a retry, not the whole sweep.  Two levels
+of defence live here:
+
+* :func:`solve_with_retry` — a drop-in wrapper around
+  :func:`repro.analysis.solver.solve_with_homotopy` that walks a
+  configurable ladder of progressively more forgiving solver options
+  (relaxed Newton first, then denser gmin/source stepping);
+* the job runner applies the same ladder to whole tasks: when a task
+  raises :class:`~repro.errors.ConvergenceError`, it is re-run with the
+  next rung's option transform active (via
+  :func:`repro.analysis.options.option_transform`), so relaxations
+  reach solves buried deep inside gate measurements.  A task that
+  exhausts the ladder is recorded as a :class:`JobFailure` on its
+  :class:`~repro.engine.runner.JobResult` — the sweep continues.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.options import (
+    HomotopyOptions,
+    NewtonOptions,
+    option_transform,
+)
+from repro.errors import ConvergenceError
+
+
+@dataclass(frozen=True)
+class RetryRung:
+    """One step of the retry ladder: named option overrides."""
+
+    name: str
+    newton_overrides: Tuple[Tuple[str, object], ...] = ()
+    homotopy_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def adjust(self, newton: NewtonOptions, homotopy: HomotopyOptions
+               ) -> Tuple[NewtonOptions, HomotopyOptions]:
+        """Options with this rung's overrides applied."""
+        if self.newton_overrides:
+            newton = dataclasses.replace(newton,
+                                         **dict(self.newton_overrides))
+        if self.homotopy_overrides:
+            homotopy = dataclasses.replace(
+                homotopy, **dict(self.homotopy_overrides))
+        return newton, homotopy
+
+    def transform(self):
+        """Context manager applying this rung to nested DC solves."""
+        return option_transform(self.adjust)
+
+
+#: Default ladder: relax the Newton iteration budget and damping first
+#: (cheap, fixes most marginal points), then densify the homotopy
+#: stepping for genuinely hard continuation problems.
+DEFAULT_LADDER: Tuple[RetryRung, ...] = (
+    RetryRung(
+        "relaxed-newton",
+        newton_overrides=(("max_iterations", 300),
+                          ("damping", 0.7),
+                          ("min_step_scale", 1e-6))),
+    RetryRung(
+        "dense-gmin",
+        newton_overrides=(("max_iterations", 300),),
+        homotopy_overrides=(("gmin_steps_per_decade", 4),
+                            ("source_steps", 60))),
+)
+
+
+@dataclass
+class JobFailure:
+    """Structured record of one failed job (picklable, JSON-friendly)."""
+
+    tag: str
+    error_type: str
+    message: str
+    residual_norm: float = float("nan")
+    iterations: int = 0
+    attempts: int = 1
+    wall_time: float = 0.0
+
+    @classmethod
+    def from_exception(cls, tag: str, err: BaseException, *,
+                       attempts: int = 1,
+                       wall_time: float = 0.0) -> "JobFailure":
+        residual = getattr(err, "residual_norm", float("nan"))
+        iterations = getattr(err, "iterations", 0)
+        return cls(tag=tag, error_type=type(err).__name__,
+                   message=str(err), residual_norm=float(residual),
+                   iterations=int(iterations), attempts=attempts,
+                   wall_time=wall_time)
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+
+def solve_with_retry(make_assemble, x0: np.ndarray, *,
+                     row_tol: np.ndarray, dx_limit: np.ndarray,
+                     newton_options: Optional[NewtonOptions] = None,
+                     homotopy: Optional[HomotopyOptions] = None,
+                     ladder: Tuple[RetryRung, ...] = DEFAULT_LADDER):
+    """Homotopy solve with the retry ladder applied on failure.
+
+    Tries the caller's options first, then each rung in ``ladder``.
+    Returns ``(x, q, info, rung_name)`` where ``rung_name`` is ``None``
+    when the first attempt succeeded.  Raises the final
+    :class:`ConvergenceError` when every rung is exhausted.
+    """
+    from repro.analysis.solver import solve_with_homotopy
+
+    base_newton = newton_options or NewtonOptions()
+    base_homotopy = homotopy or HomotopyOptions()
+    last: Optional[ConvergenceError] = None
+    for rung in (None,) + tuple(ladder):
+        if rung is None:
+            nopt, hopt = base_newton, base_homotopy
+        else:
+            nopt, hopt = rung.adjust(base_newton, base_homotopy)
+        try:
+            x, q, info = solve_with_homotopy(
+                make_assemble, x0, row_tol=row_tol, dx_limit=dx_limit,
+                newton_options=nopt, homotopy=hopt)
+            return x, q, info, (rung.name if rung else None)
+        except ConvergenceError as err:
+            last = err
+    raise ConvergenceError(
+        f"solve failed after retry ladder "
+        f"({', '.join(r.name for r in ladder)}): {last}",
+        residual_norm=last.residual_norm,
+        iterations=last.iterations) from last

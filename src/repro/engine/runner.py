@@ -1,0 +1,222 @@
+"""Parallel job runner for embarrassingly parallel simulation sweeps.
+
+The unit of work is a :class:`Job`: a *pure*, module-level task
+function plus picklable arguments that fully determine its result
+(sweep coordinates, device parameters, analysis options).  Purity is
+what buys everything else: jobs can run in any order across worker
+processes, be retried under relaxed solver options, and have their
+results content-addressed in the disk cache.
+
+Execution model:
+
+* ``jobs=1`` (the default) runs tasks serially in-process, in input
+  order — the deterministic reference path with zero multiprocessing
+  machinery involved;
+* ``jobs=N`` maps tasks over a ``ProcessPoolExecutor``; results are
+  returned **in input order** regardless of completion order;
+* a per-task ``timeout`` (parallel mode only) turns a stuck solve into
+  a recorded failure instead of a hung sweep;
+* a task raising :class:`~repro.errors.ConvergenceError` is retried
+  under each rung of the retry ladder (see
+  :mod:`repro.engine.retry`); exhausting the ladder yields a
+  :class:`~repro.engine.retry.JobFailure` on the result, never an
+  exception out of :func:`run_jobs`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.engine import telemetry
+from repro.engine.cache import ResultCache, job_key
+from repro.engine.config import EngineConfig, get_config
+from repro.engine.retry import DEFAULT_LADDER, JobFailure, RetryRung
+from repro.errors import ConvergenceError
+
+#: Sentinel: resolve the cache from the active EngineConfig.
+_AUTO = object()
+
+
+@dataclass
+class Job:
+    """One pure task: ``fn(*args, **kwargs)`` must be deterministic."""
+
+    fn: Callable
+    args: Tuple = ()
+    kwargs: Dict = field(default_factory=dict)
+    tag: str = ""
+    #: Extra payload folded into the cache key (e.g. a netlist
+    #: fingerprint) when the arguments alone don't pin the content.
+    cache_extra: Any = None
+
+    def key(self) -> str:
+        """Content-addressed cache key for this job."""
+        return job_key(self.fn, self.args, self.kwargs,
+                       extra=self.cache_extra)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, in the same position as its input."""
+
+    index: int
+    tag: str
+    value: Any = None
+    failure: Optional[JobFailure] = None
+    wall_time: float = 0.0
+    cache_hit: bool = False
+    attempts: int = 1
+    rung: Optional[str] = None      #: retry rung that succeeded, if any
+    solves: telemetry.SolveStats = field(
+        default_factory=telemetry.SolveStats)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def _execute(index: int, job: Job,
+             ladder: Tuple[RetryRung, ...]) -> JobResult:
+    """Run one job with telemetry and the retry ladder (any process)."""
+    stats = telemetry.SolveStats()
+    started = time.perf_counter()
+    last_error: Optional[BaseException] = None
+    attempts = 0
+    with telemetry.collecting(stats):
+        for rung in (None,) + tuple(ladder):
+            attempts += 1
+            context = rung.transform() if rung else contextlib.nullcontext()
+            try:
+                with context:
+                    value = job.fn(*job.args, **job.kwargs)
+                return JobResult(
+                    index=index, tag=job.tag, value=value,
+                    wall_time=time.perf_counter() - started,
+                    attempts=attempts,
+                    rung=rung.name if rung else None, solves=stats)
+            except ConvergenceError as err:
+                last_error = err
+            except Exception as err:  # non-solver bug: do not retry
+                last_error = err
+                break
+    wall = time.perf_counter() - started
+    failure = JobFailure.from_exception(
+        job.tag, last_error, attempts=attempts, wall_time=wall)
+    return JobResult(index=index, tag=job.tag, failure=failure,
+                     wall_time=wall, attempts=attempts, solves=stats)
+
+
+def _pool_context():
+    """Prefer fork on platforms that have it: no re-import, fast start."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_jobs(tasks: Sequence[Job], *, group: str = "",
+             jobs: Optional[int] = None,
+             cache: Any = _AUTO,
+             ladder: Optional[Tuple[RetryRung, ...]] = None,
+             timeout: Optional[float] = None,
+             config: Optional[EngineConfig] = None) -> List[JobResult]:
+    """Execute ``tasks`` and return their results in input order.
+
+    ``group`` labels the batch in telemetry (typically the experiment
+    id).  ``jobs``, ``cache`` and ``timeout`` default to the active
+    :class:`~repro.engine.config.EngineConfig`; pass a
+    :class:`~repro.engine.cache.ResultCache` (or ``None`` to disable
+    caching) to override.  Failures are returned as
+    :class:`~repro.engine.retry.JobFailure` records on the affected
+    results — :func:`run_jobs` itself only raises for programming
+    errors (e.g. unpicklable jobs).
+    """
+    cfg = config or get_config()
+    workers = cfg.jobs if jobs is None else jobs
+    if workers < 1:
+        raise ValueError(f"jobs must be >= 1, got {workers}")
+    if cache is _AUTO:
+        cache = (ResultCache(cfg.cache_dir) if cfg.cache_dir else None)
+    rungs = DEFAULT_LADDER if ladder is None else tuple(ladder)
+    task_timeout = cfg.task_timeout if timeout is None else timeout
+
+    results: List[Optional[JobResult]] = [None] * len(tasks)
+    pending: List[Tuple[int, Job, Optional[str]]] = []
+    for index, job in enumerate(tasks):
+        key = None
+        if cache is not None:
+            key = job.key()
+            hit, value = cache.get(key)
+            if hit:
+                results[index] = JobResult(
+                    index=index, tag=job.tag, value=value,
+                    cache_hit=True)
+                continue
+        pending.append((index, job, key))
+
+    if workers <= 1 or len(pending) <= 1:
+        for index, job, key in pending:
+            results[index] = _execute(index, job, rungs)
+    else:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                mp_context=_pool_context()) as pool:
+            futures = [(index, job, key,
+                        pool.submit(_execute, index, job, rungs))
+                       for index, job, key in pending]
+            for index, job, key, future in futures:
+                try:
+                    results[index] = future.result(timeout=task_timeout)
+                except FutureTimeoutError:
+                    future.cancel()
+                    results[index] = JobResult(
+                        index=index, tag=job.tag,
+                        failure=JobFailure(
+                            tag=job.tag, error_type="Timeout",
+                            message=(f"job exceeded the "
+                                     f"{task_timeout:g} s budget"),
+                            wall_time=float(task_timeout)),
+                        wall_time=float(task_timeout))
+
+    for index, job, key in pending:
+        result = results[index]
+        if cache is not None and key is not None and result.ok:
+            cache.put(key, result.value)
+
+    if cfg.collect_telemetry:
+        for result in results:
+            telemetry.SESSION.record(telemetry.JobRecord(
+                tag=result.tag, group=group,
+                wall_time=result.wall_time, cache_hit=result.cache_hit,
+                ok=result.ok, attempts=result.attempts,
+                rung=result.rung,
+                error=result.failure.to_dict() if result.failure
+                else None,
+                solves=result.solves))
+    return results
+
+
+def map_jobs(fn: Callable, argument_lists: Sequence[Tuple], *,
+             tags: Optional[Sequence[str]] = None,
+             **run_kwargs) -> List[JobResult]:
+    """Convenience: one job per argument tuple of a single function."""
+    tasks = [
+        Job(fn, args=tuple(args),
+            tag=tags[i] if tags else f"{fn.__name__}[{i}]")
+        for i, args in enumerate(argument_lists)
+    ]
+    return run_jobs(tasks, **run_kwargs)

@@ -1,0 +1,249 @@
+"""Solver telemetry: per-job solve statistics and run reports.
+
+The solver layer emits one :class:`~repro.analysis.solver.SolveEvent`
+per Newton solve and per DC homotopy solve (see
+:func:`repro.analysis.solver.add_solve_observer`).  This module
+aggregates those events into bounded-size counters:
+
+* :class:`SolveStats` — counters for one scope (a single job, or a
+  whole run): solve counts, cumulative Newton iterations, homotopy
+  strategy histogram, solver wall time;
+* :class:`JobRecord` — one executed job: tag, group (experiment id),
+  wall time, cache hit/miss, retry rung, failure, and its SolveStats;
+* :class:`RunTelemetry` — the in-process session log the job runner
+  appends to, summarised by ``python -m repro stats``.
+
+Everything serialises to plain JSON so reports survive across
+processes and CLI invocations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis.solver import (
+    SolveEvent,
+    add_solve_observer,
+    remove_solve_observer,
+)
+
+#: File name of the persisted run report inside the cache directory.
+REPORT_BASENAME = "last_run.json"
+
+
+@dataclass
+class SolveStats:
+    """Aggregated solver counters for one scope."""
+
+    newton_solves: int = 0
+    newton_failures: int = 0
+    newton_iterations: int = 0
+    dc_solves: int = 0
+    dc_failures: int = 0
+    dc_iterations: int = 0
+    strategies: Dict[str, int] = field(default_factory=dict)
+    solver_time: float = 0.0
+    worst_residual: float = 0.0
+
+    def observe(self, event: SolveEvent) -> None:
+        """Fold one solve event into the counters."""
+        self.solver_time += event.wall_time
+        if event.kind == "newton":
+            self.newton_solves += 1
+            self.newton_iterations += event.iterations
+            if not event.converged:
+                self.newton_failures += 1
+        elif event.kind == "dc":
+            self.dc_solves += 1
+            self.dc_iterations += event.iterations
+            self.strategies[event.strategy] = \
+                self.strategies.get(event.strategy, 0) + 1
+            if not event.converged:
+                self.dc_failures += 1
+        if event.converged and event.residual_norm == event.residual_norm:
+            self.worst_residual = max(self.worst_residual,
+                                      event.residual_norm)
+
+    def merge(self, other: "SolveStats") -> None:
+        """Accumulate another scope's counters into this one."""
+        self.newton_solves += other.newton_solves
+        self.newton_failures += other.newton_failures
+        self.newton_iterations += other.newton_iterations
+        self.dc_solves += other.dc_solves
+        self.dc_failures += other.dc_failures
+        self.dc_iterations += other.dc_iterations
+        for name, count in other.strategies.items():
+            self.strategies[name] = self.strategies.get(name, 0) + count
+        self.solver_time += other.solver_time
+        self.worst_residual = max(self.worst_residual,
+                                  other.worst_residual)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SolveStats":
+        stats = cls()
+        for key, value in data.items():
+            if hasattr(stats, key):
+                setattr(stats, key, value)
+        return stats
+
+
+@contextlib.contextmanager
+def collecting(stats: SolveStats) -> Iterator[SolveStats]:
+    """Route solver events into ``stats`` for the duration of the block."""
+    add_solve_observer(stats.observe)
+    try:
+        yield stats
+    finally:
+        remove_solve_observer(stats.observe)
+
+
+@dataclass
+class JobRecord:
+    """Telemetry summary of one executed job."""
+
+    tag: str
+    group: str = ""
+    wall_time: float = 0.0
+    cache_hit: bool = False
+    ok: bool = True
+    attempts: int = 1
+    rung: Optional[str] = None
+    error: Optional[Dict] = None   #: JobFailure.to_dict() when failed
+    solves: SolveStats = field(default_factory=SolveStats)
+
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["solves"] = self.solves.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobRecord":
+        data = dict(data)
+        data["solves"] = SolveStats.from_dict(data.get("solves", {}))
+        return cls(**data)
+
+
+class RunTelemetry:
+    """In-process log of every job the engine executed this session."""
+
+    def __init__(self):
+        self.records: List[JobRecord] = []
+        self.started = time.time()
+
+    def record(self, record: JobRecord) -> None:
+        self.records.append(record)
+
+    def reset(self) -> None:
+        self.records.clear()
+        self.started = time.time()
+
+    # -- aggregation -------------------------------------------------
+
+    def groups(self) -> List[str]:
+        """Distinct group names in first-seen order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.group not in seen:
+                seen.append(record.group)
+        return seen
+
+    def group_summary(self, group: str) -> Dict:
+        """Aggregate counters for one group (experiment)."""
+        records = [r for r in self.records if r.group == group]
+        stats = SolveStats()
+        for record in records:
+            stats.merge(record.solves)
+        return {
+            "group": group,
+            "jobs": len(records),
+            "cache_hits": sum(r.cache_hit for r in records),
+            "failures": sum(not r.ok for r in records),
+            "retried": sum(r.attempts > 1 for r in records),
+            "wall_time": sum(r.wall_time for r in records),
+            "solves": stats.to_dict(),
+        }
+
+    def failures(self) -> List[Dict]:
+        return [r.error for r in self.records if r.error]
+
+    def to_report(self) -> Dict:
+        """JSON-serialisable report of the whole session."""
+        return {
+            "schema": 1,
+            "started": self.started,
+            "written": time.time(),
+            "groups": [self.group_summary(g) for g in self.groups()],
+            "jobs": [r.to_dict() for r in self.records],
+        }
+
+
+#: The session-wide telemetry log the job runner appends to.
+SESSION = RunTelemetry()
+
+
+def save_report(path: str,
+                telemetry: Optional[RunTelemetry] = None) -> str:
+    """Write the session report as JSON; returns the path written."""
+    telemetry = telemetry or SESSION
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".",
+                               suffix=".tmp")
+    with os.fdopen(fd, "w") as handle:
+        json.dump(telemetry.to_report(), handle, indent=1)
+    os.replace(tmp, path)
+    return path
+
+
+def load_report(path: str) -> Dict:
+    """Load a report written by :func:`save_report`."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def report_to_text(report: Dict) -> str:
+    """Render a saved report as an aligned summary table."""
+    groups = report.get("groups", [])
+    if not groups:
+        return "no engine jobs recorded"
+    header = ["experiment", "jobs", "hits", "fail", "retried",
+              "newton iters", "dc strategies", "solver [s]", "wall [s]"]
+    rows = []
+    for summary in groups:
+        solves = summary["solves"]
+        strategies = ",".join(
+            f"{k}:{v}" for k, v in sorted(solves["strategies"].items()))
+        rows.append([
+            summary["group"] or "(ungrouped)",
+            str(summary["jobs"]),
+            str(summary["cache_hits"]),
+            str(summary["failures"]),
+            str(summary["retried"]),
+            str(solves["newton_iterations"]),
+            strategies or "-",
+            f"{solves['solver_time']:.2f}",
+            f"{summary['wall_time']:.2f}",
+        ])
+    widths = [max(len(r[i]) for r in [header] + rows)
+              for i in range(len(header))]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    failures = [job for job in report.get("jobs", [])
+                if job.get("error")]
+    for job in failures:
+        err = job["error"]
+        lines.append(
+            f"!! {job['group'] or '(ungrouped)'}/{job['tag']}: "
+            f"{err['error_type']} after {err['attempts']} attempt(s): "
+            f"{err['message']}")
+    return "\n".join(lines)

@@ -6,10 +6,20 @@ a noise-margin target at the worst-case (3-sigma leaky pull-down)
 process corner, while the hybrid gate keeps a minimum-size keeper
 because its released NEMFETs cut the leakage path.  These constants pin
 the default operating point used by Figures 10-12.
+
+This module also hosts the *task functions* the fan-out-heavy
+experiments route through :mod:`repro.engine`: pure, module-level
+callables whose arguments fully determine their result, so they can be
+dispatched to worker processes and content-addressed in the result
+cache.
 """
 
 from __future__ import annotations
 
+import math
+from typing import List, Sequence, Tuple
+
+from repro.engine.runner import JobResult
 from repro.library.dynamic_logic import DynamicOrSpec, DynamicOrGate, build_dynamic_or
 from repro.library import gate_metrics
 
@@ -38,3 +48,41 @@ def build_sized_gate(fan_in: int, fan_out: float, style: str,
             gate, nm_target, pd_shift=leaky_corner_shift(spec))
         gate.set_keeper_width(width)
     return gate
+
+
+def gate_point_task(style: str, fan_in: int, fan_out: float,
+                    nm_target: float = NM_TARGET
+                    ) -> Tuple[float, float, float, float]:
+    """Characterise one sized gate: the engine task behind Figs 10/11.
+
+    Returns ``(delay, switching_power, switching_energy,
+    keeper_width)``.  Pure: builds the gate from its coordinates, so
+    identical arguments always produce the identical result — the
+    property the result cache keys on.
+    """
+    gate = build_sized_gate(fan_in, float(fan_out), style, nm_target)
+    delay = gate_metrics.measure_worst_case_delay(gate)
+    p_sw, e_sw = gate_metrics.measure_switching_power(gate)
+    return (delay, p_sw, e_sw, gate.keeper_width)
+
+
+def values_or_nans(result: JobResult, count: int) -> Tuple:
+    """A result's value tuple, or NaNs of the same arity on failure.
+
+    Failed sweep points degrade to NaN rows instead of aborting the
+    experiment; the failure itself is recorded in the run telemetry.
+    """
+    if result.ok:
+        return tuple(result.value)
+    return (math.nan,) * count
+
+
+def failure_note(results: Sequence[JobResult]) -> str:
+    """Sweep-note suffix describing failed points, or an empty string."""
+    failed: List[str] = [r.tag or f"#{r.index}" for r in results
+                         if not r.ok]
+    if not failed:
+        return ""
+    return (f" WARNING: {len(failed)} point(s) failed to solve and are "
+            f"reported as NaN ({', '.join(failed)}); see `python -m "
+            f"repro stats` for the failure records.")

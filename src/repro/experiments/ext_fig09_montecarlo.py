@@ -5,11 +5,17 @@ per-transistor Gaussian Vth variation and measures the distribution of
 worst-case delay and static noise margin, checking that the corner
 analysis brackets the sampled population — i.e. that the paper's
 methodology is conservative but not wildly so.
+
+The shift maps are drawn up-front from the seeded generator (so the
+population is identical regardless of execution order), then every
+sample becomes one engine job — the workload whose sample count users
+scale up first, and exactly the embarrassingly parallel shape the job
+runner exists for.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -19,9 +25,31 @@ from repro.devices.variation import (
     corner_shifts,
     monte_carlo_shifts,
 )
+from repro.engine.runner import Job, run_jobs
+from repro.experiments.common import failure_note
 from repro.experiments.result import ExperimentResult
 from repro.library import gate_metrics
 from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+
+
+def mc_sample_task(fan_in: int, fan_out: float, keeper_width: float,
+                   shifts: Dict[str, float]) -> Tuple[float, float]:
+    """Delay and noise margin of one Monte-Carlo Vth sample.
+
+    Pure engine task: rebuilds the gate, applies the sampled shifts and
+    returns ``(delay, noise_margin)``.  The static NM uses the sampled
+    mean pull-down shift as the population's common corner level.
+    """
+    spec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out, style="cmos")
+    gate = build_dynamic_or(spec)
+    gate.set_keeper_width(float(keeper_width))
+    with applied_shifts(gate.circuit, shifts):
+        delay = gate_metrics.measure_worst_case_delay(gate)
+    pd_mean = float(np.mean([shifts[m.name] for m in gate.pulldowns]))
+    margin = gate_metrics.noise_margin_static(
+        gate, pd_shift=pd_mean,
+        keeper_shift=shifts[gate.keeper.name])
+    return (delay, margin)
 
 
 def run(fan_in: int = 8, fan_out: float = 3.0, sigma_rel: float = 0.10,
@@ -32,22 +60,23 @@ def run(fan_in: int = 8, fan_out: float = 3.0, sigma_rel: float = 0.10,
     gate = build_dynamic_or(spec)
     gate.set_keeper_width(keeper_width)
     model = VariationModel(sigma_rel=sigma_rel, n_sigma=3.0)
-
     devices = list(gate.pulldowns) + [gate.keeper]
-    delays = []
-    margins = []
-    for shifts in monte_carlo_shifts(model, devices, samples, seed):
-        with applied_shifts(gate.circuit, shifts):
-            delays.append(gate_metrics.measure_worst_case_delay(gate))
-        # Static NM depends on the *common* pull-down corner; use the
-        # sampled mean pull-down shift as the population's level.
-        pd_mean = float(np.mean([shifts[m.name]
-                                 for m in gate.pulldowns]))
-        margins.append(gate_metrics.noise_margin_static(
-            gate, pd_shift=pd_mean,
-            keeper_shift=shifts[gate.keeper.name]))
-    delays = np.array(delays)
-    margins = np.array(margins)
+
+    sample_shifts = monte_carlo_shifts(model, devices, samples, seed)
+    tasks = [
+        Job(mc_sample_task,
+            args=(int(fan_in), float(fan_out), float(keeper_width),
+                  shifts),
+            tag=f"sample{k}")
+        for k, shifts in enumerate(sample_shifts)
+    ]
+    results = run_jobs(tasks, group="fig09-mc")
+    delays = np.array([r.value[0] for r in results if r.ok])
+    margins = np.array([r.value[1] for r in results if r.ok])
+    if delays.size == 0:
+        raise RuntimeError(
+            "every Monte-Carlo sample failed to solve; see "
+            "`python -m repro stats`")
 
     # Deterministic corners for comparison.
     corner = corner_shifts(model, weak=gate.pulldowns,
@@ -73,7 +102,7 @@ def run(fan_in: int = 8, fan_out: float = 3.0, sigma_rel: float = 0.10,
         rows=rows,
         notes="The corner values must bound the sampled worst cases "
               "(delay corner above the slowest sample; NM corner below "
-              "the smallest sampled margin).")
+              "the smallest sampled margin)." + failure_note(results))
 
 
 if __name__ == "__main__":

@@ -8,18 +8,47 @@ variation shifts the whole curve.  For each variation level
 evaluated at the 3-sigma *leaky* pull-down corner (where the keeper must
 hold hardest) and the worst-case delay at the opposite corner — *weak*
 pull-downs against a *strong* (low-Vt) keeper.
+
+Each ``(sigma, keeper width)`` point is an independent corner solve and
+runs through the :mod:`repro.engine` job runner.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.devices.variation import VariationModel, applied_shifts, corner_shifts
+from repro.engine.runner import Job, run_jobs
+from repro.experiments.common import failure_note, values_or_nans
 from repro.experiments.result import ExperimentResult
 from repro.library import gate_metrics
 from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+
+
+def keeper_point_task(fan_in: int, fan_out: float, sigma: float,
+                      n_sigma: float, width: float
+                      ) -> Tuple[float, float]:
+    """Noise margin and worst-case delay of one keeper-sizing point.
+
+    Pure engine task: rebuilds the gate from its coordinates, applies
+    the two corners of the Figure 9 methodology and returns
+    ``(noise_margin, delay)``.
+    """
+    spec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out, style="cmos")
+    gate = build_dynamic_or(spec)
+    gate.set_keeper_width(float(width))
+    model = VariationModel(sigma_rel=sigma, n_sigma=n_sigma)
+    # Noise margin at the leaky-PDN corner.
+    pd_leaky = model.corner_shift(gate.pulldowns[0], "leaky")
+    nm = gate_metrics.noise_margin_static(gate, pd_shift=pd_leaky)
+    # Worst-case delay: weak PDN, strong keeper.
+    shifts = corner_shifts(model, weak=gate.pulldowns,
+                           leaky=[gate.keeper])
+    with applied_shifts(gate.circuit, shifts):
+        delay = gate_metrics.measure_worst_case_delay(gate)
+    return (nm, delay)
 
 
 def run(fan_in: int = 8, fan_out: float = 3.0,
@@ -27,31 +56,32 @@ def run(fan_in: int = 8, fan_out: float = 3.0,
         keeper_widths: Optional[Sequence[float]] = None,
         n_sigma: float = 3.0) -> ExperimentResult:
     """Sweep keeper size at several variation levels (CMOS gate)."""
-    spec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out, style="cmos")
-    gate = build_dynamic_or(spec)
     if keeper_widths is None:
+        spec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out,
+                             style="cmos")
+        gate = build_dynamic_or(spec)
         w_hi = gate_metrics.max_functional_keeper_width(gate)
         keeper_widths = np.geomspace(0.3e-6, 0.95 * w_hi, 6)
 
+    points = [(float(sigma), float(width))
+              for sigma in sigma_levels for width in keeper_widths]
+    tasks = [
+        Job(keeper_point_task,
+            args=(int(fan_in), float(fan_out), sigma, float(n_sigma),
+                  width),
+            tag=f"s{sigma * 100:g}%/w{width * 1e6:.2f}um")
+        for sigma, width in points
+    ]
+    results = run_jobs(tasks, group="fig09")
+
     rows = []
     delay_ref = None
-    for sigma in sigma_levels:
-        model = VariationModel(sigma_rel=sigma, n_sigma=n_sigma)
-        for width in keeper_widths:
-            gate.set_keeper_width(float(width))
-            # Noise margin at the leaky-PDN corner.
-            pd_leaky = model.corner_shift(gate.pulldowns[0], "leaky")
-            nm = gate_metrics.noise_margin_static(gate,
-                                                  pd_shift=pd_leaky)
-            # Worst-case delay: weak PDN, strong keeper.
-            shifts = corner_shifts(model, weak=gate.pulldowns,
-                                   leaky=[gate.keeper])
-            with applied_shifts(gate.circuit, shifts):
-                delay = gate_metrics.measure_worst_case_delay(gate)
-            if delay_ref is None:
-                delay_ref = delay
-            rows.append((sigma * 100, float(width) * 1e6, nm,
-                         delay * 1e12, delay / delay_ref))
+    for (sigma, width), result in zip(points, results):
+        nm, delay = values_or_nans(result, 2)
+        if delay_ref is None and result.ok:
+            delay_ref = delay
+        rows.append((sigma * 100, width * 1e6, nm, delay * 1e12,
+                     delay / delay_ref if delay_ref else float("nan")))
     return ExperimentResult(
         experiment_id="Figure9",
         title=f"{fan_in}-input dynamic OR: delay vs noise margin under "
@@ -62,7 +92,7 @@ def run(fan_in: int = 8, fan_out: float = 3.0,
         notes="Each variation level traces one curve: delay rises "
               "monotonically with the noise margin bought by keeper "
               "upsizing; higher sigma shifts curves to larger delay at "
-              "equal noise margin.")
+              "equal noise margin." + failure_note(results))
 
 
 if __name__ == "__main__":

@@ -3,53 +3,65 @@ versus fan-out, CMOS vs hybrid NEMS-CMOS.
 
 Normalisation follows the paper's caption: switching power is normalised
 to the hybrid gate at fan-out 1; delay to the CMOS gate at fan-out 1.
+
+Sweep points run through the :mod:`repro.engine` job runner: parallel
+when configured, cached across runs, failed points degraded to NaN.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.common import build_sized_gate
+from repro.engine.runner import Job, run_jobs
+from repro.experiments.common import (
+    failure_note,
+    gate_point_task,
+    values_or_nans,
+)
 from repro.experiments.result import ExperimentResult
-from repro.library import gate_metrics
 
 
 def run(fan_in: int = 8,
         fan_outs: Sequence[float] = (1, 2, 3, 4, 5)) -> ExperimentResult:
     """Sweep output loading for both gate styles."""
-    raw = {}
-    for style in ("cmos", "hybrid"):
-        for fo in fan_outs:
-            gate = build_sized_gate(fan_in, fo, style)
-            delay = gate_metrics.measure_worst_case_delay(gate)
-            p_sw, e_sw = gate_metrics.measure_switching_power(gate)
-            raw[(style, fo)] = (delay, p_sw, e_sw,
-                                gate.keeper_width)
+    points = [(style, float(fo)) for style in ("cmos", "hybrid")
+              for fo in fan_outs]
+    tasks = [Job(gate_point_task, args=(style, int(fan_in), fo),
+                 tag=f"{style}/fo{fo:g}") for style, fo in points]
+    results = run_jobs(tasks, group="fig10")
 
-    p_ref = raw[("hybrid", fan_outs[0])][1]
-    d_ref = raw[("cmos", fan_outs[0])][0]
+    raw = {}
+    for (style, fo), result in zip(points, results):
+        delay, p_sw, e_sw, keeper = values_or_nans(result, 4)
+        raw[(style, fo)] = (delay, p_sw, e_sw, keeper)
+
+    p_ref = raw[("hybrid", float(fan_outs[0]))][1]
+    d_ref = raw[("cmos", float(fan_outs[0]))][0]
     rows = []
     for style in ("cmos", "hybrid"):
         for fo in fan_outs:
-            delay, p_sw, e_sw, keeper = raw[(style, fo)]
+            delay, p_sw, e_sw, keeper = raw[(style, float(fo))]
             rows.append((style, fo, delay * 1e12, delay / d_ref,
                          p_sw * 1e6, p_sw / p_ref, keeper * 1e6))
     savings = [
-        1.0 - raw[("hybrid", fo)][1] / raw[("cmos", fo)][1]
+        1.0 - raw[("hybrid", float(fo))][1] / raw[("cmos", float(fo))][1]
         for fo in fan_outs
     ]
+    fo_lo, fo_hi = float(fan_outs[0]), float(fan_outs[-1])
+    notes = (
+        f"Hybrid switching-power saving across fan-out: "
+        f"{min(savings) * 100:.0f}%..{max(savings) * 100:.0f}% "
+        f"(paper: 60-80%); hybrid delay penalty "
+        f"{(raw[('hybrid', fo_lo)][0] / raw[('cmos', fo_lo)][0] - 1) * 100:.0f}%"
+        f"..{(raw[('hybrid', fo_hi)][0] / raw[('cmos', fo_hi)][0] - 1) * 100:.0f}% "
+        f"(paper: 10-20%).")
     return ExperimentResult(
         experiment_id="Figure10",
         title=f"{fan_in}-input dynamic OR vs fan-out (CMOS vs hybrid)",
         columns=["style", "fan_out", "delay [ps]", "norm delay",
                  "P_sw [uW]", "norm P_sw", "keeper [um]"],
         rows=rows,
-        notes=f"Hybrid switching-power saving across fan-out: "
-              f"{min(savings) * 100:.0f}%..{max(savings) * 100:.0f}% "
-              f"(paper: 60-80%); hybrid delay penalty "
-              f"{(raw[('hybrid', fan_outs[0])][0] / raw[('cmos', fan_outs[0])][0] - 1) * 100:.0f}%"
-              f"..{(raw[('hybrid', fan_outs[-1])][0] / raw[('cmos', fan_outs[-1])][0] - 1) * 100:.0f}% "
-              f"(paper: 10-20%).")
+        notes=notes + failure_note(results))
 
 
 if __name__ == "__main__":

@@ -5,27 +5,40 @@ grow with fan-in to hold its noise margin against the summed pull-down
 leakage, so its delay and contention energy grow steeply, and beyond
 fan-in ~12 the hybrid gate wins on *both* delay and switching power.
 Normalisation per the paper: to the hybrid gate at the smallest fan-in.
+
+The sweep points are independent solves, so they are dispatched through
+:mod:`repro.engine` — parallel across worker processes when the engine
+is configured with ``jobs > 1``, cached across runs when a cache
+directory is set, and degrading failed points to NaN rows instead of
+aborting.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.common import build_sized_gate
+from repro.engine.runner import Job, run_jobs
+from repro.experiments.common import (
+    failure_note,
+    gate_point_task,
+    values_or_nans,
+)
 from repro.experiments.result import ExperimentResult
-from repro.library import gate_metrics
 
 
 def run(fan_ins: Sequence[int] = (4, 8, 12, 16),
         fan_out: float = 3.0) -> ExperimentResult:
     """Sweep fan-in for both gate styles at fixed fan-out."""
+    points = [(style, int(fi)) for style in ("cmos", "hybrid")
+              for fi in fan_ins]
+    tasks = [Job(gate_point_task, args=(style, fi, float(fan_out)),
+                 tag=f"{style}/fi{fi}") for style, fi in points]
+    results = run_jobs(tasks, group="fig11")
+
     raw = {}
-    for style in ("cmos", "hybrid"):
-        for fi in fan_ins:
-            gate = build_sized_gate(fi, fan_out, style)
-            delay = gate_metrics.measure_worst_case_delay(gate)
-            p_sw, _ = gate_metrics.measure_switching_power(gate)
-            raw[(style, fi)] = (delay, p_sw, gate.keeper_width)
+    for (style, fi), result in zip(points, results):
+        delay, p_sw, _e_sw, keeper = values_or_nans(result, 4)
+        raw[(style, fi)] = (delay, p_sw, keeper)
 
     d_ref, p_ref, _ = raw[("hybrid", fan_ins[0])]
     rows = []
@@ -40,6 +53,10 @@ def run(fan_ins: Sequence[int] = (4, 8, 12, 16),
         if raw[("hybrid", fi)][0] < raw[("cmos", fi)][0]:
             crossover = fi
             break
+    notes = (f"Hybrid wins both delay and power from fan-in "
+             f"{crossover} onward (paper: beyond 12)."
+             if crossover else
+             "No delay crossover within the swept fan-in range.")
     return ExperimentResult(
         experiment_id="Figure11",
         title=f"Dynamic OR vs fan-in at fan-out {fan_out:g} "
@@ -47,10 +64,7 @@ def run(fan_ins: Sequence[int] = (4, 8, 12, 16),
         columns=["style", "fan_in", "delay [ps]", "norm delay",
                  "P_sw [uW]", "norm P_sw", "keeper [um]"],
         rows=rows,
-        notes=(f"Hybrid wins both delay and power from fan-in "
-               f"{crossover} onward (paper: beyond 12)."
-               if crossover else
-               "No delay crossover within the swept fan-in range."))
+        notes=notes + failure_note(results))
 
 
 if __name__ == "__main__":

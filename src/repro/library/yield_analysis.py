@@ -71,37 +71,67 @@ class _SampledSpec(SramSpec):
         return (kind, params)
 
 
-def sample_snm_distribution(spec: SramSpec, sigma_rel: float = 0.05,
-                            samples: int = 25, seed: int = 11,
-                            points: int = 61) -> np.ndarray:
-    """Monte-Carlo read-SNM samples for one cell variant [V].
+def draw_shift_samples(spec: SramSpec, sigma_rel: float = 0.05,
+                       samples: int = 25,
+                       seed: int = 11) -> List[Dict[str, float]]:
+    """Draw the Monte-Carlo Vth shift maps for one cell variant.
 
-    Each sample draws an independent Vth shift for each of the six cell
+    Each sample holds an independent shift for each of the six cell
     transistors (NEMS devices are geometry-limited and left unshifted,
-    mirroring :mod:`repro.devices.corners`).
+    mirroring :mod:`repro.devices.corners`).  All randomness happens
+    here, sequentially from one seeded generator, so the population is
+    identical whether the per-sample evaluations then run serially or
+    fan out across engine workers.
     """
     if sigma_rel < 0:
         raise DesignError("sigma_rel must be non-negative")
     rng = np.random.default_rng(seed)
     devices = ("NL", "NR", "PL", "PR", "AL", "AR")
-    values = np.empty(samples)
-    for k in range(samples):
+    out: List[Dict[str, float]] = []
+    for _ in range(samples):
         shifts = {}
         for device in devices:
             kind, params = spec.flavor(device)
             if kind == "mosfet":
                 shifts[device] = float(
                     rng.normal(0.0, sigma_rel * params.vth0))
-        sampled = _SampledSpec(spec, shifts)
-        values[k] = static_noise_margin(sampled, points=points)[0]
-    return values
+        out.append(shifts)
+    return out
+
+
+def snm_for_shifts(spec: SramSpec, shifts: Dict[str, float],
+                   points: int = 61) -> float:
+    """Read SNM [V] of one sampled cell — pure, picklable engine task."""
+    sampled = _SampledSpec(spec, shifts)
+    return float(static_noise_margin(sampled, points=points)[0])
+
+
+def sample_snm_distribution(spec: SramSpec, sigma_rel: float = 0.05,
+                            samples: int = 25, seed: int = 11,
+                            points: int = 61) -> np.ndarray:
+    """Monte-Carlo read-SNM samples for one cell variant [V]."""
+    return np.array([
+        snm_for_shifts(spec, shifts, points)
+        for shifts in draw_shift_samples(spec, sigma_rel, samples, seed)
+    ])
+
+
+def estimate_from_samples(variant: str,
+                          snm_values: np.ndarray) -> YieldEstimate:
+    """Fit sampled SNM values into a yield estimate."""
+    snm = np.asarray(snm_values, dtype=float)
+    if snm.size < 2:
+        raise DesignError(
+            f"need at least two SNM samples to estimate yield, "
+            f"got {snm.size}")
+    return YieldEstimate(variant=variant,
+                         snm_mean=float(snm.mean()),
+                         snm_sigma=float(snm.std(ddof=1)),
+                         samples=int(snm.size))
 
 
 def estimate_yield(spec: SramSpec, sigma_rel: float = 0.05,
                    samples: int = 25, seed: int = 11) -> YieldEstimate:
     """Fit the sampled SNM distribution into a yield estimate."""
     snm = sample_snm_distribution(spec, sigma_rel, samples, seed)
-    return YieldEstimate(variant=spec.variant,
-                         snm_mean=float(snm.mean()),
-                         snm_sigma=float(snm.std(ddof=1)),
-                         samples=samples)
+    return estimate_from_samples(spec.variant, snm)

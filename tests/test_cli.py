@@ -2,8 +2,16 @@
 
 import pytest
 
+import repro.cli as cli
 from repro.cli import DESCRIPTIONS, REGISTRY, main, run_experiment
 from repro.experiments.result import ExperimentResult
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI runs from touching the user's real cache directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
 
 
 class TestRegistry:
@@ -58,3 +66,71 @@ class TestMain:
 
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 1
+
+    def test_run_accepts_engine_flags(self, capsys):
+        assert main(["run", "fig01", "--jobs", "2", "--no-cache"]) == 0
+        assert "ITRS" in capsys.readouterr().out
+
+
+def _fake_registry(monkeypatch, fail=()):
+    """Install a tiny registry whose experiments run instantly."""
+    monkeypatch.setattr(cli, "REGISTRY", {"good": ("x", {}),
+                                          "bad": ("y", {})})
+
+    def fake_run(exp_id, quick=False):
+        if exp_id in fail:
+            raise RuntimeError(f"{exp_id} exploded")
+        return ExperimentResult(
+            experiment_id=exp_id.upper(), title=f"{exp_id} title",
+            columns=["value"], rows=[(1.0,)])
+
+    monkeypatch.setattr(cli, "run_experiment", fake_run)
+
+
+class TestRunAll:
+    def test_summary_table_printed(self, monkeypatch, capsys):
+        _fake_registry(monkeypatch)
+        assert main(["run", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment" in out and "wall [s]" in out
+        assert "cache hits" in out
+        # Both registry entries appear as rows with an ok status.
+        assert out.count("ok") >= 2
+
+    def test_broken_experiment_does_not_stop_the_rest(
+            self, monkeypatch, capsys):
+        _fake_registry(monkeypatch, fail=("good",))
+        assert main(["run", "all"]) == 1
+        captured = capsys.readouterr()
+        assert "ERROR" in captured.out          # summary row
+        assert "bad title" in captured.out       # later experiment ran
+        assert "1 experiment(s) failed" in captured.err
+
+    def test_single_experiment_failure_propagates(self, monkeypatch):
+        _fake_registry(monkeypatch, fail=("good",))
+        with pytest.raises(RuntimeError):
+            main(["run", "good"])
+
+
+class TestStats:
+    def test_missing_report_exits_2(self, capsys):
+        assert main(["stats"]) == 2
+        assert "no telemetry report" in capsys.readouterr().err
+
+    def test_stats_after_run(self, monkeypatch, capsys):
+        _fake_registry(monkeypatch)
+        assert main(["run", "good"]) == 0
+        capsys.readouterr()
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        # The fake experiments schedule no engine jobs, so after the
+        # session reset the report is explicit about that.
+        assert "no engine jobs" in out
+
+    def test_explicit_cache_dir(self, tmp_path, monkeypatch, capsys):
+        _fake_registry(monkeypatch)
+        where = str(tmp_path / "elsewhere")
+        assert main(["run", "good", "--cache-dir", where]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--cache-dir", where]) == 0
+        assert main(["stats"]) == 2  # default location has no report

@@ -1,0 +1,131 @@
+"""Tests for the content-addressed result cache."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import (
+    ResultCache,
+    job_key,
+    netlist_fingerprint,
+    stable_hash,
+)
+
+
+def task_a(x, y=1.0):
+    return x * y
+
+
+def task_b(x, y=1.0):
+    return x + y
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        payload = {"a": 1, "b": (2.0, "three"), "c": [4, 5]}
+        assert stable_hash(payload) == stable_hash(payload)
+
+    def test_dict_order_irrelevant(self):
+        assert (stable_hash({"a": 1, "b": 2})
+                == stable_hash({"b": 2, "a": 1}))
+
+    def test_value_changes_change_hash(self):
+        assert stable_hash({"a": 1.0}) != stable_hash({"a": 1.0 + 1e-15})
+
+    def test_numpy_arrays_hash_by_content(self):
+        a = np.linspace(0.0, 1.0, 7)
+        assert stable_hash(a) == stable_hash(a.copy())
+        assert stable_hash(a) != stable_hash(a + 1e-12)
+
+    def test_dataclasses_supported(self):
+        from repro.devices.mosfet import nmos_90nm
+        assert stable_hash(nmos_90nm()) == stable_hash(nmos_90nm())
+
+    def test_unknown_types_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="canonicalise"):
+            stable_hash(Opaque())
+
+
+class TestJobKey:
+    def test_same_invocation_same_key(self):
+        assert job_key(task_a, (2,), {"y": 3.0}) == \
+            job_key(task_a, (2,), {"y": 3.0})
+
+    def test_key_changes_on_parameter_change(self):
+        base = job_key(task_a, (2,), {"y": 3.0})
+        assert job_key(task_a, (2,), {"y": 3.5}) != base
+        assert job_key(task_a, (3,), {"y": 3.0}) != base
+
+    def test_key_changes_with_function(self):
+        assert job_key(task_a, (2,)) != job_key(task_b, (2,))
+
+    def test_extra_payload_changes_key(self):
+        assert job_key(task_a, (2,), extra="fingerprint-1") != \
+            job_key(task_a, (2,), extra="fingerprint-2")
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = job_key(task_a, (2,))
+        hit, _ = cache.get(key)
+        assert not hit
+        cache.put(key, 42.0)
+        hit, value = cache.get(key)
+        assert hit and value == 42.0
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.stores == 1
+
+    def test_numpy_values_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        value = (np.arange(5.0), {"snm": 0.137})
+        cache.put("k" * 64, value)
+        hit, loaded = cache.get("k" * 64)
+        assert hit
+        np.testing.assert_array_equal(loaded[0], value[0])
+        assert loaded[1] == value[1]
+
+    def test_corrupted_entry_recovers_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = job_key(task_a, (5,))
+        cache.put(key, "good")
+        path = cache._path(key)
+        with open(path, "wb") as handle:
+            handle.write(b"\x80\x05 truncated garbage")
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.corrupt == 1
+        assert not os.path.exists(path)  # self-healed
+        # A fresh store works again.
+        cache.put(key, "repaired")
+        assert cache.get(key) == (True, "repaired")
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        for i in range(3):
+            cache.put(job_key(task_a, (i,)), i)
+        assert cache.clear() == 3
+        assert cache.get(job_key(task_a, (0,)))[0] is False
+
+
+class TestNetlistFingerprint:
+    def test_stable_and_sensitive(self):
+        from repro.library.dynamic_logic import (
+            DynamicOrSpec,
+            build_dynamic_or,
+        )
+        gate = build_dynamic_or(DynamicOrSpec(fan_in=2, fan_out=1.0,
+                                              style="cmos"))
+        same = build_dynamic_or(DynamicOrSpec(fan_in=2, fan_out=1.0,
+                                              style="cmos"))
+        other = build_dynamic_or(DynamicOrSpec(fan_in=3, fan_out=1.0,
+                                               style="cmos"))
+        assert netlist_fingerprint(gate.circuit) == \
+            netlist_fingerprint(same.circuit)
+        assert netlist_fingerprint(gate.circuit) != \
+            netlist_fingerprint(other.circuit)

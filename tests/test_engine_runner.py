@@ -1,0 +1,187 @@
+"""Tests for the parallel job runner and its retry/caching behaviour."""
+
+import time
+
+import pytest
+
+from repro.analysis.options import resolve_solver_options
+from repro.engine.cache import ResultCache
+from repro.engine.config import EngineConfig, configured, get_config
+from repro.engine.retry import DEFAULT_LADDER, RetryRung
+from repro.engine.runner import Job, map_jobs, run_jobs
+from repro.errors import ConvergenceError
+
+
+# Task functions must be module level so worker processes can unpickle
+# them by reference.
+
+def square(x):
+    return x * x
+
+
+def slow_square(x):
+    time.sleep(0.05)
+    return x * x
+
+
+def fails_on_two(x):
+    if x == 2:
+        raise ValueError("two is right out")
+    return x
+
+
+def converge_fail(x):
+    raise ConvergenceError("hopeless", residual_norm=7.5, iterations=42)
+
+
+def needs_relaxed_budget(x):
+    """Succeeds only once the retry ladder has relaxed the options."""
+    newton, _homotopy = resolve_solver_options(None, None)
+    if newton.max_iterations <= 120:
+        raise ConvergenceError("budget too tight", iterations=120)
+    return x + newton.max_iterations
+
+
+def sleeps_forever(x):
+    time.sleep(60.0)
+    return x
+
+
+class TestSerialRunner:
+    def test_preserves_input_order(self):
+        results = run_jobs([Job(square, (i,)) for i in range(8)],
+                           cache=None)
+        assert [r.value for r in results] == [i * i for i in range(8)]
+        assert [r.index for r in results] == list(range(8))
+
+    def test_failure_is_recorded_not_raised(self):
+        results = run_jobs([Job(fails_on_two, (i,), tag=f"t{i}")
+                            for i in range(4)], cache=None)
+        assert [r.ok for r in results] == [True, True, False, True]
+        failure = results[2].failure
+        assert failure.error_type == "ValueError"
+        assert failure.tag == "t2"
+        assert "two is right out" in failure.message
+
+    def test_convergence_failure_carries_diagnostics(self):
+        results = run_jobs([Job(converge_fail, (0,))], cache=None)
+        failure = results[0].failure
+        assert failure.error_type == "ConvergenceError"
+        assert failure.residual_norm == 7.5
+        assert failure.iterations == 42
+        # Exhausted the default ladder: initial try + every rung.
+        assert failure.attempts == 1 + len(DEFAULT_LADDER)
+
+    def test_non_solver_errors_are_not_retried(self):
+        results = run_jobs([Job(fails_on_two, (2,))], cache=None)
+        assert results[0].failure.attempts == 1
+
+    def test_retry_ladder_relaxes_solver_options(self):
+        results = run_jobs([Job(needs_relaxed_budget, (1,))],
+                           cache=None)
+        result = results[0]
+        assert result.ok
+        assert result.attempts == 2
+        assert result.rung == "relaxed-newton"
+        assert result.value == 1 + 300  # the rung's iteration budget
+
+    def test_custom_ladder(self):
+        rung = RetryRung("wide-open",
+                         newton_overrides=(("max_iterations", 1000),))
+        results = run_jobs([Job(needs_relaxed_budget, (0,))],
+                           cache=None, ladder=(rung,))
+        assert results[0].ok and results[0].rung == "wide-open"
+        assert results[0].value == 1000
+
+
+class TestParallelRunner:
+    def test_matches_serial_results_in_order(self):
+        tasks = [Job(square, (i,)) for i in range(10)]
+        serial = run_jobs(tasks, cache=None, jobs=1)
+        parallel = run_jobs(tasks, cache=None, jobs=4)
+        assert ([r.value for r in serial]
+                == [r.value for r in parallel]
+                == [i * i for i in range(10)])
+
+    def test_failures_degrade_gracefully_in_parallel(self):
+        results = run_jobs([Job(fails_on_two, (i,)) for i in range(5)],
+                           cache=None, jobs=2)
+        assert [r.ok for r in results] == [True, True, False, True,
+                                           True]
+        assert results[2].failure.error_type == "ValueError"
+
+    def test_per_task_timeout_records_failure(self):
+        tasks = [Job(square, (1,)), Job(sleeps_forever, (2,))]
+        results = run_jobs(tasks, cache=None, jobs=2, timeout=1.0)
+        assert results[0].ok
+        assert not results[1].ok
+        assert results[1].failure.error_type == "Timeout"
+
+
+class TestCachingRunner:
+    def test_second_run_hits_for_all_points(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        tasks = [Job(square, (i,)) for i in range(5)]
+        cold = run_jobs(tasks, cache=cache)
+        warm = run_jobs(tasks, cache=cache)
+        assert all(not r.cache_hit for r in cold)
+        assert all(r.cache_hit for r in warm)
+        assert [r.value for r in cold] == [r.value for r in warm]
+
+    def test_key_changes_on_parameter_change(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_jobs([Job(square, (3,))], cache=cache)
+        results = run_jobs([Job(square, (4,))], cache=cache)
+        assert not results[0].cache_hit
+        assert results[0].value == 16
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_jobs([Job(fails_on_two, (2,))], cache=cache)
+        results = run_jobs([Job(fails_on_two, (2,))], cache=cache)
+        assert not results[0].cache_hit  # re-attempted, not replayed
+        assert not results[0].ok
+
+    def test_cold_slow_then_warm_fast(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        tasks = [Job(slow_square, (i,)) for i in range(4)]
+        t0 = time.perf_counter()
+        run_jobs(tasks, cache=cache)
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_results = run_jobs(tasks, cache=cache)
+        warm = time.perf_counter() - t0
+        assert all(r.cache_hit for r in warm_results)
+        assert warm < cold / 2
+
+
+class TestConfig:
+    def test_default_is_serial_uncached(self):
+        config = get_config()
+        assert config.jobs == 1
+        assert config.cache_dir is None
+
+    def test_configured_scopes_and_restores(self, tmp_path):
+        with configured(EngineConfig(jobs=3,
+                                     cache_dir=str(tmp_path))):
+            assert get_config().jobs == 3
+            results = run_jobs([Job(square, (6,))])
+            assert results[0].value == 36
+        assert get_config().jobs == 1
+        # The configured cache directory was actually used.
+        with configured(EngineConfig(cache_dir=str(tmp_path))):
+            again = run_jobs([Job(square, (6,))])
+        assert again[0].cache_hit
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(jobs=0)
+        with pytest.raises(ValueError):
+            run_jobs([Job(square, (1,))], cache=None, jobs=0)
+
+
+class TestMapJobs:
+    def test_maps_argument_tuples(self):
+        results = map_jobs(square, [(1,), (2,), (3,)], cache=None)
+        assert [r.value for r in results] == [1, 4, 9]
+        assert results[1].tag == "square[1]"

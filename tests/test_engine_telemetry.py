@@ -1,0 +1,161 @@
+"""Tests for solver telemetry collection and run reports."""
+
+import numpy as np
+
+from repro.analysis.solver import SolveEvent, newton_solve
+from repro.engine import telemetry
+from repro.engine.runner import Job, run_jobs
+from repro.engine.telemetry import (
+    JobRecord,
+    RunTelemetry,
+    SolveStats,
+    collecting,
+    load_report,
+    report_to_text,
+    save_report,
+)
+from repro.errors import ConvergenceError
+
+
+def _linear_solve():
+    A = np.array([[2.0, 1.0], [1.0, 3.0]])
+    b = np.array([1.0, 2.0])
+
+    def assemble(x):
+        return A @ x - b, A, np.zeros(0)
+
+    return newton_solve(assemble, np.zeros(2),
+                        row_tol=np.full(2, 1e-9),
+                        dx_limit=np.full(2, np.inf))
+
+
+def solver_task(_index):
+    """Engine task that performs one real Newton solve."""
+    x, _, info = _linear_solve()
+    return float(x[0]), info.iterations
+
+
+class TestSolveStats:
+    def test_collects_newton_events(self):
+        stats = SolveStats()
+        with collecting(stats):
+            _, _, info = _linear_solve()
+        assert stats.newton_solves == 1
+        assert stats.newton_iterations == info.iterations
+        assert stats.newton_failures == 0
+        assert stats.solver_time > 0.0
+
+    def test_collects_failures(self):
+        stats = SolveStats()
+
+        def assemble(x):
+            return (np.array([x[0] ** 2 + 1.0]),
+                    np.array([[2 * x[0] + 1e-3]]), np.zeros(0))
+
+        with collecting(stats):
+            try:
+                newton_solve(assemble, np.array([1.0]),
+                             row_tol=np.array([1e-9]),
+                             dx_limit=np.array([1.0]))
+            except ConvergenceError:
+                pass
+        assert stats.newton_failures == 1
+
+    def test_observer_removed_after_block(self):
+        stats = SolveStats()
+        with collecting(stats):
+            _linear_solve()
+        count = stats.newton_solves
+        _linear_solve()  # outside the block: not collected
+        assert stats.newton_solves == count
+
+    def test_dc_events_update_strategy_histogram(self):
+        stats = SolveStats()
+        stats.observe(SolveEvent("dc", "gmin", 40, 0.5, True, 0.01))
+        stats.observe(SolveEvent("dc", "gmin", 10, 0.2, True, 0.01))
+        stats.observe(SolveEvent("dc", "direct", 3, 0.1, True, 0.01))
+        assert stats.dc_solves == 3
+        assert stats.strategies == {"gmin": 2, "direct": 1}
+        assert stats.dc_iterations == 53
+
+    def test_merge_accumulates(self):
+        a = SolveStats(newton_solves=2, newton_iterations=10,
+                       strategies={"direct": 1}, solver_time=0.5)
+        b = SolveStats(newton_solves=3, newton_iterations=7,
+                       strategies={"direct": 2, "gmin": 1},
+                       solver_time=0.25)
+        a.merge(b)
+        assert a.newton_solves == 5
+        assert a.newton_iterations == 17
+        assert a.strategies == {"direct": 3, "gmin": 1}
+        assert a.solver_time == 0.75
+
+    def test_round_trips_through_dict(self):
+        stats = SolveStats(newton_solves=4, dc_solves=2,
+                           strategies={"source": 2},
+                           worst_residual=0.9)
+        clone = SolveStats.from_dict(stats.to_dict())
+        assert clone == stats
+
+
+class TestRunnerTelemetry:
+    def test_jobs_capture_solver_stats(self):
+        telemetry.SESSION.reset()
+        results = run_jobs([Job(solver_task, (i,)) for i in range(3)],
+                           cache=None, group="unit")
+        assert all(r.ok for r in results)
+        assert all(r.solves.newton_solves == 1 for r in results)
+        records = [r for r in telemetry.SESSION.records
+                   if r.group == "unit"]
+        assert len(records) == 3
+        assert sum(r.solves.newton_iterations for r in records) > 0
+
+    def test_parallel_jobs_ship_stats_back(self):
+        telemetry.SESSION.reset()
+        results = run_jobs([Job(solver_task, (i,)) for i in range(4)],
+                           cache=None, jobs=2, group="par")
+        assert all(r.solves.newton_solves == 1 for r in results)
+
+
+class TestRunReport:
+    def _telemetry(self):
+        run = RunTelemetry()
+        run.record(JobRecord(tag="a0", group="figA", wall_time=1.0,
+                             solves=SolveStats(newton_solves=5,
+                                               newton_iterations=50)))
+        run.record(JobRecord(tag="a1", group="figA", cache_hit=True))
+        run.record(JobRecord(
+            tag="b0", group="figB", ok=False, attempts=3,
+            error={"tag": "b0", "error_type": "ConvergenceError",
+                   "message": "hopeless", "residual_norm": 2.0,
+                   "iterations": 9, "attempts": 3, "wall_time": 0.1}))
+        return run
+
+    def test_group_summary(self):
+        run = self._telemetry()
+        summary = run.group_summary("figA")
+        assert summary["jobs"] == 2
+        assert summary["cache_hits"] == 1
+        assert summary["failures"] == 0
+        assert summary["solves"]["newton_iterations"] == 50
+        assert run.group_summary("figB")["failures"] == 1
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        run = self._telemetry()
+        path = str(tmp_path / "report.json")
+        save_report(path, run)
+        report = load_report(path)
+        assert [g["group"] for g in report["groups"]] == ["figA",
+                                                          "figB"]
+        assert len(report["jobs"]) == 3
+
+    def test_report_text_mentions_failures(self, tmp_path):
+        run = self._telemetry()
+        text = report_to_text(run.to_report())
+        assert "figA" in text and "figB" in text
+        assert "ConvergenceError" in text
+        assert "hopeless" in text
+
+    def test_empty_report_text(self):
+        assert "no engine jobs" in report_to_text(
+            RunTelemetry().to_report())

@@ -99,6 +99,33 @@ class TestNewton:
                          dx_limit=dx,
                          options=NewtonOptions(max_iterations=10))
 
+    def test_regularisation_scales_with_jacobian_magnitude(self):
+        # Rank-deficient system stamped in nano-scale conductances
+        # (rows of magnitude 1e9): an absolute 1e-12 shift vanishes in
+        # float64 next to 1e9 and the system stays numerically
+        # singular; scaling the shift by norm(J, inf) makes the
+        # regularised solve meaningful.
+        def f(x):
+            r = 1e9 * (x[0] + x[1] - 2.0)
+            return (np.array([r, r]),
+                    np.array([[1e9, 1e9], [1e9, 1e9]]))
+
+        tol = np.full(2, 1.0)
+        dx = np.full(2, np.inf)
+        x, _, info = newton_solve(_wrap(f), np.zeros(2), row_tol=tol,
+                                  dx_limit=dx)
+        assert info.converged
+        assert x[0] + x[1] == pytest.approx(2.0, abs=1e-9)
+
+    def test_info_reports_direct_strategy(self):
+        def f(x):
+            return np.array([x[0] - 1.0]), np.array([[1.0]])
+
+        tol, dx = _tols(1)
+        _, _, info = newton_solve(_wrap(f), np.zeros(1), row_tol=tol,
+                                  dx_limit=dx)
+        assert info.strategy == "direct"
+
 
 class TestHomotopy:
     def test_source_stepping_rescues_stiff_exponential(self):
@@ -125,6 +152,67 @@ class TestHomotopy:
         F, _, _ = make(0.0, 1.0)(x)
         assert abs(F[0]) < 1e-9
         assert 0.5 < x[0] < 1.0  # a realistic diode drop
+
+    def test_gmin_stepping_reported_as_strategy(self):
+        # The unstabilised residual is only finite near the solution, so
+        # a cold direct solve dies immediately; any gmin > 0 keeps it
+        # finite everywhere, letting the gmin ladder walk the iterate to
+        # the target and the final polish succeed from a warm start.
+        def make(gmin, scale):
+            def f(x):
+                if gmin == 0.0 and abs(x[0] - 2.0) > 0.5:
+                    return np.array([np.nan]), np.array([[1.0]])
+                res = (x[0] - 2.0) + gmin * x[0]
+                return np.array([res]), np.array([[1.0 + gmin]])
+            return _wrap(f)
+
+        tol, dx = _tols(1, dx=np.inf)
+        x, _, info = solve_with_homotopy(make, np.array([0.0]),
+                                         row_tol=tol, dx_limit=dx)
+        assert x[0] == pytest.approx(2.0, abs=1e-8)
+        assert info.converged
+        assert info.strategy == "gmin"
+
+    def test_source_stepping_reported_as_strategy(self):
+        # Blow up at full source drive away from the solution: this
+        # kills the direct attempt AND every gmin stage (both run at
+        # scale == 1.0 from a cold start), so only the source ramp —
+        # which tracks x = 2*scale upward — can deliver a warm start.
+        def make(gmin, scale):
+            def f(x):
+                if scale == 1.0 and abs(x[0] - 2.0) > 0.5:
+                    return np.array([np.nan]), np.array([[1.0]])
+                res = (x[0] - 2.0 * scale) + gmin * x[0]
+                return np.array([res]), np.array([[1.0 + gmin]])
+            return _wrap(f)
+
+        tol, dx = _tols(1, dx=np.inf)
+        x, _, info = solve_with_homotopy(make, np.array([0.0]),
+                                         row_tol=tol, dx_limit=dx)
+        assert x[0] == pytest.approx(2.0, abs=1e-8)
+        assert info.strategy == "source"
+
+    def test_iterations_accumulate_across_failed_attempts(self):
+        # Target 50 away with unit step clamping: the direct attempt
+        # burns its whole 40-iteration budget and fails; the gmin ladder
+        # then closes the distance in affordable stages.  The reported
+        # count must include the failed direct attempt, not just the
+        # winning strategy's iterations.
+        def make(gmin, scale):
+            def f(x):
+                res = (x[0] - 50.0 * scale) + 50.0 * gmin * x[0]
+                return np.array([res]), np.array([[1.0 + 50.0 * gmin]])
+            return _wrap(f)
+
+        tol = np.array([1e-6])
+        dx = np.array([1.0])
+        x, _, info = solve_with_homotopy(
+            make, np.array([0.0]), row_tol=tol, dx_limit=dx,
+            newton_options=NewtonOptions(max_iterations=40))
+        assert x[0] == pytest.approx(50.0, abs=1e-5)
+        assert info.strategy == "gmin"
+        # 40 direct iterations were spent and must be accounted for.
+        assert info.iterations > 60
 
     def test_unsolvable_reports_all_strategies(self):
         def make(gmin, scale):
