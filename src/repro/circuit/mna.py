@@ -23,6 +23,18 @@ The context applies the active integration formula:
 Charge history slots are identified by call order, which is deterministic
 because elements are loaded in netlist order and must call ``add_dot`` an
 analysis-independent number of times.
+
+The Jacobian can be accumulated two ways, selected by the assembler's
+``matrix_mode``:
+
+* ``"dense"`` (default): stamps write straight into a dense
+  ``(n+1, n+1)`` array — the seed behaviour, optimal for tiny systems;
+* ``"sparse"``: stamps append COO triplets which the assembler folds
+  into a ``scipy.sparse`` CSC matrix through a :class:`SparsePattern`
+  cached on the layout.  Element ``load()`` code is identical in both
+  modes; in sparse mode ``add_dot`` appends its (zero-valued) entries
+  even under DC so the sparsity structure is analysis-invariant and the
+  cached pattern survives across DC, homotopy and transient assemblies.
 """
 
 from __future__ import annotations
@@ -86,6 +98,9 @@ class SystemLayout:
         self.n = cursor
         self.ground = cursor  # extended-vector slot pinned to zero
         self._state_names = state_names
+        #: Lazily built by sparse-mode assemblers; shared across every
+        #: assembler bound to this layout (sweeps, transient restarts).
+        self.sparse_pattern: Optional["SparsePattern"] = None
 
         # Per-row residual tolerances and per-unknown Newton clamps.
         tol = np.empty(self.n)
@@ -159,22 +174,37 @@ class StampContext:
         Evaluation time in seconds (0 for DC).
     source_scale:
         Homotopy multiplier applied by sources to their values.
+    matrix_mode:
+        ``"dense"`` accumulates the Jacobian in :attr:`J`; ``"sparse"``
+        appends COO triplets to :attr:`j_rows`/:attr:`j_cols`/
+        :attr:`j_vals` instead (:attr:`J` is ``None``).
     """
 
     __slots__ = ("x", "t", "source_scale", "F", "J", "c0", "d1",
-                 "q_now", "q_prev", "qdot_prev", "_qk")
+                 "q_now", "q_prev", "qdot_prev", "_qk",
+                 "matrix_mode", "j_rows", "j_cols", "j_vals")
 
     def __init__(self, n: int, x_ext: np.ndarray, t: float,
                  source_scale: float, c0: float, d1: float,
                  q_prev: Optional[np.ndarray],
                  qdot_prev: Optional[np.ndarray],
-                 q_capacity: int):
+                 q_capacity: int, matrix_mode: str = "dense"):
+        if matrix_mode not in ("dense", "sparse"):
+            raise ValueError(f"unknown matrix mode '{matrix_mode}'")
         self.x = x_ext
         self.t = t
         self.source_scale = source_scale
         # Extended residual/Jacobian; ground row/column discarded at solve.
         self.F = np.zeros(n + 1)
-        self.J = np.zeros((n + 1, n + 1))
+        self.matrix_mode = matrix_mode
+        if matrix_mode == "dense":
+            self.J = np.zeros((n + 1, n + 1))
+            self.j_rows = self.j_cols = self.j_vals = None
+        else:
+            self.J = None
+            self.j_rows: List[int] = []
+            self.j_cols: List[int] = []
+            self.j_vals: List[float] = []
         self.c0 = c0
         self.d1 = d1
         self.q_now = np.zeros(q_capacity) if q_capacity else None
@@ -185,16 +215,24 @@ class StampContext:
     def add(self, row: int, value: float, cols, derivs) -> None:
         """Add a static residual term and its partial derivatives."""
         self.F[row] += value
-        J_row = self.J[row]
-        for col, d in zip(cols, derivs):
-            J_row[col] += d
+        if self.J is not None:
+            J_row = self.J[row]
+            for col, d in zip(cols, derivs):
+                J_row[col] += d
+        else:
+            for col, d in zip(cols, derivs):
+                self.j_rows.append(row)
+                self.j_cols.append(col)
+                self.j_vals.append(d)
 
     def add_dot(self, row: int, q: float, cols, derivs) -> None:
         """Add ``d/dt`` of quantity ``q`` to residual row ``row``.
 
         ``cols``/``derivs`` are the partials of ``q`` with respect to
         unknowns.  Under DC (``c0 == 0``) nothing is added, but ``q`` is
-        recorded for transient initialisation.
+        recorded for transient initialisation.  In sparse mode the
+        (then zero-valued) Jacobian entries are still appended so the
+        sparsity pattern does not depend on the analysis.
         """
         k = self._qk
         self._qk = k + 1
@@ -208,15 +246,21 @@ class StampContext:
             self.q_now = grown
         self.q_now[k] = q
         c0 = self.c0
+        if self.J is None:
+            for col, d in zip(cols, derivs):
+                self.j_rows.append(row)
+                self.j_cols.append(col)
+                self.j_vals.append(c0 * d)
         if c0 == 0.0:
             return
         hist = -c0 * self.q_prev[k]
         if self.d1 != 0.0:
             hist += self.d1 * self.qdot_prev[k]
         self.F[row] += c0 * q + hist
-        J_row = self.J[row]
-        for col, d in zip(cols, derivs):
-            J_row[col] += c0 * d
+        if self.J is not None:
+            J_row = self.J[row]
+            for col, d in zip(cols, derivs):
+                J_row[col] += c0 * d
 
     @property
     def charge_count(self) -> int:
@@ -224,12 +268,78 @@ class StampContext:
         return self._qk
 
 
-class Assembler:
-    """Evaluates the MNA residual and Jacobian for a bound circuit."""
+class SparsePattern:
+    """Cached COO-triplet -> CSC scatter map for a fixed structure.
 
-    def __init__(self, circuit: Circuit, layout: Optional[SystemLayout] = None):
+    Element ``load()`` order is deterministic, so the triplet stream of
+    one circuit layout always has the same (row, col) sequence.  This
+    class does the symbolic work once — sort, dedup, CSC index arrays —
+    and every later assembly only scatter-adds the numeric values into
+    the fixed structure (:meth:`assemble`), the sparse analogue of
+    rewriting a preallocated dense array.
+    """
+
+    def __init__(self, rows: np.ndarray, cols: np.ndarray, size: int):
+        self.size = size
+        self.rows = rows
+        self.cols = cols
+        if len(rows) == 0:
+            self.slot = np.zeros(0, dtype=np.int64)
+            self.nnz = 0
+            self.indices = np.zeros(0, dtype=np.int32)
+            self.indptr = np.zeros(size + 1, dtype=np.int32)
+            return
+        # CSC order: column-major, rows ascending within a column.
+        order = np.lexsort((rows, cols))
+        r = rows[order]
+        c = cols[order]
+        first = np.empty(len(r), dtype=bool)
+        first[0] = True
+        first[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        slot_sorted = np.cumsum(first) - 1
+        slot = np.empty(len(r), dtype=np.int64)
+        slot[order] = slot_sorted
+        self.slot = slot
+        self.nnz = int(slot_sorted[-1]) + 1
+        self.indices = r[first].astype(np.int32)
+        counts = np.bincount(c[first], minlength=size)
+        self.indptr = np.concatenate(
+            ([0], np.cumsum(counts))).astype(np.int32)
+
+    def matches(self, rows: np.ndarray, cols: np.ndarray) -> bool:
+        """Whether a triplet stream has exactly this structure."""
+        return (len(rows) == len(self.rows)
+                and np.array_equal(rows, self.rows)
+                and np.array_equal(cols, self.cols))
+
+    def assemble(self, vals: np.ndarray):
+        """Sum ``vals`` into the cached structure; returns CSC."""
+        from scipy.sparse import csc_matrix
+        data = np.zeros(self.nnz)
+        np.add.at(data, self.slot, vals)
+        return csc_matrix((data, self.indices, self.indptr),
+                          shape=(self.size, self.size))
+
+
+class Assembler:
+    """Evaluates the MNA residual and Jacobian for a bound circuit.
+
+    ``matrix_mode`` selects the Jacobian representation returned by
+    :meth:`assemble`: a dense ``np.ndarray`` (``"dense"``, default) or
+    a ``scipy.sparse`` CSC matrix (``"sparse"``).  The residual is a
+    dense vector either way.  The sparse scatter pattern is cached on
+    the layout, so assemblers sharing a layout (a DC sweep, a transient
+    run) pay the symbolic analysis once.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 layout: Optional[SystemLayout] = None,
+                 matrix_mode: str = "dense"):
+        if matrix_mode not in ("dense", "sparse"):
+            raise ValueError(f"unknown matrix mode '{matrix_mode}'")
         self.circuit = circuit
         self.layout = layout if layout is not None else SystemLayout(circuit)
+        self.matrix_mode = matrix_mode
         self._q_capacity = 16
         self._q_count: Optional[int] = None
 
@@ -243,12 +353,15 @@ class Assembler:
         Returns ``(F, J, q_now)`` where ``F``/``J`` are restricted to the
         non-ground unknowns and ``q_now`` holds the charge-like quantities
         recorded by ``add_dot`` calls (for integrator history updates).
+        ``J`` is dense or CSC according to the assembler's
+        ``matrix_mode``.
         """
         layout = self.layout
         n = layout.n
         x_ext = layout.extend(x)
         ctx = StampContext(n, x_ext, t, source_scale, c0, d1,
-                           q_prev, qdot_prev, self._q_capacity)
+                           q_prev, qdot_prev, self._q_capacity,
+                           matrix_mode=self.matrix_mode)
         for element in self.circuit.elements:
             element.load(ctx)
         if self._q_count is None:
@@ -260,14 +373,46 @@ class Assembler:
                 f"{self._q_count}; element load() must be "
                 f"analysis-independent")
         F = ctx.F[:n].copy()
-        J = ctx.J[:n, :n].copy()
+        nn = layout.num_nodes
         if gmin > 0.0:
-            nn = layout.num_nodes
             F[:nn] += gmin * x[:nn]
-            J[:nn, :nn] += gmin * np.eye(nn)
+        if ctx.J is not None:
+            J = ctx.J[:n, :n].copy()
+            if gmin > 0.0:
+                J[:nn, :nn] += gmin * np.eye(nn)
+        else:
+            J = self._assemble_sparse(ctx, gmin)
         q_now = (ctx.q_now[:self._q_count].copy()
                  if ctx.q_now is not None else np.zeros(0))
         return F, J, q_now
+
+    def _assemble_sparse(self, ctx: StampContext, gmin: float):
+        """Fold the context's COO triplets into an ``n x n`` CSC matrix.
+
+        Ground-row/column triplets are dropped (the sparse equivalent of
+        the dense path's ``J[:n, :n]`` slice) and the node-diagonal gmin
+        entries are appended unconditionally — with value 0 when gmin is
+        off — so the structure is identical across homotopy strategies
+        and the cached :class:`SparsePattern` stays valid.
+        """
+        layout = self.layout
+        n = layout.n
+        nn = layout.num_nodes
+        rows = np.asarray(ctx.j_rows, dtype=np.int64)
+        cols = np.asarray(ctx.j_cols, dtype=np.int64)
+        vals = np.asarray(ctx.j_vals, dtype=float)
+        keep = (rows != n) & (cols != n)
+        if not np.all(keep):
+            rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        diag = np.arange(nn, dtype=np.int64)
+        rows = np.concatenate((rows, diag))
+        cols = np.concatenate((cols, diag))
+        vals = np.concatenate((vals, np.full(nn, gmin)))
+        pattern = getattr(layout, "sparse_pattern", None)
+        if pattern is None or not pattern.matches(rows, cols):
+            pattern = SparsePattern(rows, cols, n)
+            layout.sparse_pattern = pattern
+        return pattern.assemble(vals)
 
     @property
     def charge_count(self) -> int:

@@ -13,8 +13,11 @@ Usage::
 sweeps of engine-aware experiments out over N worker processes,
 ``--cache-dir``/``--no-cache`` control the content-addressed result
 cache (on by default, under ``$REPRO_CACHE_DIR`` or
-``~/.cache/repro-nems-cmos``), and ``stats`` prints the solver/cache
-telemetry report of the most recent run.
+``~/.cache/repro-nems-cmos``), ``--backend`` pins the linear-solver
+backend (default ``auto``: sparse for large netlists, dense otherwise),
+and ``stats`` prints the solver/cache telemetry report of the most
+recent run — including the backend histogram and factorisation/fill-in
+counters.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ import time
 import traceback
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.options import backend_override
 from repro.engine import config as engine_config
 from repro.engine import telemetry
 
@@ -155,7 +159,8 @@ def _run_command(args) -> int:
     telemetry.SESSION.reset()
     summary: List[Tuple] = []
     failed_experiments: List[str] = []
-    with engine_config.configured(config):
+    with engine_config.configured(config), \
+            backend_override(kind=args.backend):
         for exp_id in targets:
             snapshot = len(telemetry.SESSION.records)
             started = time.time()
@@ -230,6 +235,11 @@ def main(argv: Optional[list] = None) -> int:
     runner.add_argument("--no-cache", action="store_true",
                         help="disable the content-addressed result "
                              "cache")
+    runner.add_argument("--backend", default="auto",
+                        choices=("auto", "dense", "sparse"),
+                        help="linear-solver backend for all analyses "
+                             "(default: auto — sparse once a netlist "
+                             "reaches the size threshold)")
     runner.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result-cache directory (default: "
                              "$REPRO_CACHE_DIR or "

@@ -104,16 +104,25 @@ def solve_with_retry(make_assemble, x0: np.ndarray, *,
                      row_tol: np.ndarray, dx_limit: np.ndarray,
                      newton_options: Optional[NewtonOptions] = None,
                      homotopy: Optional[HomotopyOptions] = None,
-                     ladder: Tuple[RetryRung, ...] = DEFAULT_LADDER):
+                     ladder: Tuple[RetryRung, ...] = DEFAULT_LADDER,
+                     backend=None):
     """Homotopy solve with the retry ladder applied on failure.
 
     Tries the caller's options first, then each rung in ``ladder``.
     Returns ``(x, q, info, rung_name)`` where ``rung_name`` is ``None``
     when the first attempt succeeded.  Raises the final
     :class:`ConvergenceError` when every rung is exhausted.
+
+    ``backend`` is the linear-solver backend matching the caller's
+    assembler (see :mod:`repro.analysis.backends`); it is pinned before
+    the first attempt and reused by every rung — the ladder relaxes
+    solver *options*, it must never switch linear algebra mid-solve.
     """
+    from repro.analysis.backends import DenseSolver
     from repro.analysis.solver import solve_with_homotopy
 
+    if backend is None:
+        backend = DenseSolver()
     base_newton = newton_options or NewtonOptions()
     base_homotopy = homotopy or HomotopyOptions()
     last: Optional[ConvergenceError] = None
@@ -125,7 +134,7 @@ def solve_with_retry(make_assemble, x0: np.ndarray, *,
         try:
             x, q, info = solve_with_homotopy(
                 make_assemble, x0, row_tol=row_tol, dx_limit=dx_limit,
-                newton_options=nopt, homotopy=hopt)
+                newton_options=nopt, homotopy=hopt, backend=backend)
             return x, q, info, (rung.name if rung else None)
         except ConvergenceError as err:
             last = err

@@ -50,6 +50,14 @@ class SolveStats:
     strategies: Dict[str, int] = field(default_factory=dict)
     solver_time: float = 0.0
     worst_residual: float = 0.0
+    #: Newton solves per linear-solver backend name.
+    backends: Dict[str, int] = field(default_factory=dict)
+    #: Jacobian factorisations (dense or sparse LU) across all solves.
+    factorizations: int = 0
+    #: Summed Jacobian / L+U non-zeros of sparse factorisations; their
+    #: ratio is the mean fill-in of the sparse backend.
+    jacobian_nnz: int = 0
+    factor_nnz: int = 0
 
     def observe(self, event: SolveEvent) -> None:
         """Fold one solve event into the counters."""
@@ -59,6 +67,14 @@ class SolveStats:
             self.newton_iterations += event.iterations
             if not event.converged:
                 self.newton_failures += 1
+            # Backend counters ride on newton events only: the "dc"
+            # events aggregate their inner newton solves and would
+            # double-count.
+            self.backends[event.backend] = \
+                self.backends.get(event.backend, 0) + 1
+            self.factorizations += event.factorizations
+            self.jacobian_nnz += event.jacobian_nnz
+            self.factor_nnz += event.factor_nnz
         elif event.kind == "dc":
             self.dc_solves += 1
             self.dc_iterations += event.iterations
@@ -69,6 +85,13 @@ class SolveStats:
         if event.converged and event.residual_norm == event.residual_norm:
             self.worst_residual = max(self.worst_residual,
                                       event.residual_norm)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Mean L+U fill-in of the sparse backend (0 when unused)."""
+        if self.jacobian_nnz <= 0:
+            return 0.0
+        return self.factor_nnz / self.jacobian_nnz
 
     def merge(self, other: "SolveStats") -> None:
         """Accumulate another scope's counters into this one."""
@@ -83,6 +106,11 @@ class SolveStats:
         self.solver_time += other.solver_time
         self.worst_residual = max(self.worst_residual,
                                   other.worst_residual)
+        for name, count in other.backends.items():
+            self.backends[name] = self.backends.get(name, 0) + count
+        self.factorizations += other.factorizations
+        self.jacobian_nnz += other.jacobian_nnz
+        self.factor_nnz += other.factor_nnz
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -215,12 +243,19 @@ def report_to_text(report: Dict) -> str:
     if not groups:
         return "no engine jobs recorded"
     header = ["experiment", "jobs", "hits", "fail", "retried",
-              "newton iters", "dc strategies", "solver [s]", "wall [s]"]
+              "newton iters", "dc strategies", "backends", "factors",
+              "fill", "solver [s]", "wall [s]"]
     rows = []
     for summary in groups:
         solves = summary["solves"]
         strategies = ",".join(
             f"{k}:{v}" for k, v in sorted(solves["strategies"].items()))
+        backends = ",".join(
+            f"{k}:{v}"
+            for k, v in sorted(solves.get("backends", {}).items()))
+        jac_nnz = solves.get("jacobian_nnz", 0)
+        fill = (f"{solves.get('factor_nnz', 0) / jac_nnz:.1f}x"
+                if jac_nnz else "-")
         rows.append([
             summary["group"] or "(ungrouped)",
             str(summary["jobs"]),
@@ -229,6 +264,9 @@ def report_to_text(report: Dict) -> str:
             str(summary["retried"]),
             str(solves["newton_iterations"]),
             strategies or "-",
+            backends or "-",
+            str(solves.get("factorizations", 0)),
+            fill,
             f"{solves['solver_time']:.2f}",
             f"{summary['wall_time']:.2f}",
         ])

@@ -24,10 +24,16 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.circuit.mna import SystemLayout
+from repro.circuit.netlist import Circuit
 from repro.devices.mosfet import Mosfet
 from repro.devices.nemfet import Nemfet
 from repro.errors import DesignError
-from repro.library.sram import SramCell, SramSpec, build_read_harness
+from repro.library.sram import (
+    SramCell,
+    SramSpec,
+    _add_cell_transistor,
+    build_read_harness,
+)
 
 
 @dataclass
@@ -95,6 +101,76 @@ def array_read_latency(spec: ArraySpec, dt: float = 4e-12,
     t_sense = measure.first_cross(result.t, split, SENSE_THRESHOLD,
                                   "rise", after=t_wl)
     return t_sense - t_wl
+
+
+@dataclass
+class ExplicitColumn:
+    """An unlumped column: every cell instantiated, shared bitlines.
+
+    Unlike :func:`build_array_read_harness` (which lumps the unselected
+    rows into one wide leaker, keeping the unknown count tiny), this
+    netlist carries two storage nodes per row — the MNA system grows as
+    ``n ~ 2 * rows`` — which is what the linear-solver scaling work
+    (dense vs sparse backends) needs to measure.
+    """
+
+    circuit: Circuit
+    rows: int
+    n_unknowns: int
+
+
+def build_explicit_column(rows: int,
+                          spec: Optional[SramSpec] = None,
+                          r_precharge: float = 10e3) -> ExplicitColumn:
+    """Build a DC-solvable column of ``rows`` explicit cells.
+
+    Row 0 is the accessed row (wordline high); every other row's access
+    devices are gated off.  Each cell's stored bit alternates down the
+    column and is pinned by driving the cross-coupled pair open-loop
+    (the feedback gate sits on the driven data rail instead of the
+    opposite storage node), which keeps the DC problem single-valued:
+    the benchmark then times linear algebra, not bistability
+    continuation.  The bitlines see every row's access-device loading
+    plus a resistive precharge pull to VDD — the worst-case bitline
+    leakage picture of Section 5.1 at full array height.
+    """
+    if rows < 1:
+        raise DesignError(f"need at least one row, got {rows}")
+    spec = spec or SramSpec()
+    c = Circuit(f"column_{rows}x")
+    vdd = spec.vdd
+    c.vsource("VDD", "vdd", "0", vdd)
+    c.vsource("VWL", "wl", "0", vdd)      # row 0 selected
+    c.resistor("RPREL", "vdd", "bl", r_precharge)
+    c.resistor("RPRER", "vdd", "blb", r_precharge)
+    c.capacitor("CBL", "bl", "0", spec.c_bitline)
+    c.capacitor("CBLB", "blb", "0", spec.c_bitline)
+    def add_device(role: str, name: str, drain: str, gate: str,
+                   source: str) -> None:
+        # Resolve flavour/width from the canonical cell role, then
+        # instantiate under the per-row name.
+        kind, params = spec.flavor(role)
+        width = spec.width_of(role)
+        if kind == "nemfet":
+            c.add(Nemfet(name, drain, gate, source, params, width))
+        else:
+            c.add(Mosfet(name, drain, gate, source, params, width))
+
+    for i in range(rows):
+        stored_one = (i % 2 == 0)
+        q, qb = f"q{i}", f"qb{i}"
+        # Data rail feeding the open-loop inverter pair.
+        data = "vdd" if stored_one else "0"
+        data_b = "0" if stored_one else "vdd"
+        add_device("PL", f"PL{i}", q, data_b, "vdd")
+        add_device("NL", f"NL{i}", q, data_b, "0")
+        add_device("PR", f"PR{i}", qb, data, "vdd")
+        add_device("NR", f"NR{i}", qb, data, "0")
+        wl = "wl" if i == 0 else "0"
+        add_device("AL", f"AL{i}", "bl", wl, q)
+        add_device("AR", f"AR{i}", "blb", wl, qb)
+    layout = SystemLayout(c)
+    return ExplicitColumn(circuit=c, rows=rows, n_unknowns=layout.n)
 
 
 class NemsAccessSramSpec(SramSpec):

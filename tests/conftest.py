@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import json
+import math
+import os
+from typing import Dict, List
+
 import pytest
 
 from repro import Circuit
@@ -10,6 +15,90 @@ from repro.devices.nemfet import nemfet_90nm, pemfet_90nm
 
 #: Nominal supply of the 90 nm node [V].
 VDD = 1.2
+
+#: Where the golden-regression fixtures live.
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json from the current physics "
+             "instead of comparing against them")
+
+
+class GoldenStore:
+    """Load/compare/update the frozen figure values in tests/golden/.
+
+    ``check`` asserts the computed values match the stored fixture;
+    ``diff`` returns the mismatches without asserting (used by the
+    perturbation-sensitivity test).  With ``--update-golden`` the
+    fixture is rewritten and the comparison skipped.
+    """
+
+    def __init__(self, directory: str, update: bool):
+        self.directory = directory
+        self.update = update
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.directory, f"{name}.json")
+
+    def diff(self, name: str, data: Dict, rtol: float = 1e-6
+             ) -> List[str]:
+        with open(self._path(name)) as handle:
+            stored = json.load(handle)
+        mismatches: List[str] = []
+        self._compare(name, stored, data, rtol, mismatches)
+        return mismatches
+
+    def check(self, name: str, data: Dict, rtol: float = 1e-6) -> None:
+        if self.update:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(self._path(name), "w") as handle:
+                json.dump(data, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            return
+        if not os.path.exists(self._path(name)):
+            pytest.fail(
+                f"no golden fixture '{name}'; generate it with "
+                f"pytest --update-golden")
+        mismatches = self.diff(name, data, rtol)
+        assert not mismatches, (
+            f"golden fixture '{name}' mismatch (physics drift?); "
+            f"if intentional, regenerate with --update-golden:\n  "
+            + "\n  ".join(mismatches))
+
+    def _compare(self, path, stored, computed, rtol, out) -> None:
+        if isinstance(stored, dict):
+            if not isinstance(computed, dict) or \
+                    set(stored) != set(computed):
+                out.append(f"{path}: key sets differ")
+                return
+            for key in sorted(stored):
+                self._compare(f"{path}.{key}", stored[key],
+                              computed[key], rtol, out)
+        elif isinstance(stored, list):
+            if not isinstance(computed, (list, tuple)) or \
+                    len(stored) != len(computed):
+                out.append(f"{path}: lengths differ")
+                return
+            for i, (s, c) in enumerate(zip(stored, computed)):
+                self._compare(f"{path}[{i}]", s, c, rtol, out)
+        elif isinstance(stored, (int, float)) and \
+                not isinstance(stored, bool):
+            if not math.isclose(float(stored), float(computed),
+                                rel_tol=rtol, abs_tol=1e-300):
+                out.append(f"{path}: stored {stored!r} != "
+                           f"computed {computed!r} (rtol {rtol:g})")
+        elif stored != computed:
+            out.append(f"{path}: stored {stored!r} != "
+                       f"computed {computed!r}")
+
+
+@pytest.fixture
+def golden(request) -> GoldenStore:
+    return GoldenStore(GOLDEN_DIR,
+                       request.config.getoption("--update-golden"))
 
 
 @pytest.fixture

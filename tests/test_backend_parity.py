@@ -1,0 +1,167 @@
+"""Dense-vs-sparse backend parity across five circuit families.
+
+The sparse backend must be a pure implementation detail: for every
+family the solution vectors, the per-solve Newton iteration counts and
+homotopy strategies, and the measured circuit metrics must agree with
+the dense backend to 1e-9 relative tolerance (most agree to machine
+precision — both backends factorise the *same* assembled Jacobian).
+
+Families:
+
+1. keeper domino   — the Figure 9 dynamic OR gate with keeper;
+2. SRAM butterfly  — the Figure 14 VTC / static-noise-margin sweep;
+3. sleep network   — a NEMS-footed power-gated chain (Figure 16);
+4. RC/RLC transient — linear reactive network, full waveform parity;
+5. SRAM array slice — the explicit bitline column used by the
+   scaling benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Circuit, Pulse
+from repro.analysis.backends import scipy_sparse_available
+from repro.analysis.dc import operating_point
+from repro.analysis.options import backend_override
+from repro.analysis.solver import add_solve_observer, remove_solve_observer
+from repro.analysis.transient import transient
+from repro.library import gate_metrics
+from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+from repro.library.sleep import GatedBlock, GatedBlockSpec
+from repro.library.sram import SramSpec
+from repro.library.sram_array import build_explicit_column
+from repro.library.sram_metrics import static_noise_margin
+
+pytestmark = pytest.mark.skipif(
+    not scipy_sparse_available(),
+    reason="sparse backend needs scipy.sparse")
+
+RTOL = 1e-9
+ATOL = 1e-12
+
+
+def run_with_backend(kind, fn):
+    """Run ``fn`` under a forced backend, capturing every solve event."""
+    events = []
+    add_solve_observer(events.append)
+    try:
+        with backend_override(kind=kind):
+            value = fn()
+    finally:
+        remove_solve_observer(events.append)
+    return value, events
+
+
+def assert_event_parity(dense_events, sparse_events):
+    """Newton trajectories must be step-for-step identical."""
+    assert len(dense_events) == len(sparse_events)
+    for d, s in zip(dense_events, sparse_events):
+        assert (d.kind, d.strategy) == (s.kind, s.strategy)
+        assert d.iterations == s.iterations
+        assert d.converged == s.converged
+    dense_names = {e.backend for e in dense_events}
+    sparse_names = {e.backend for e in sparse_events}
+    assert dense_names == {"dense"}
+    assert sparse_names == {"sparse"}
+
+
+def both_backends(fn):
+    dense_value, dense_events = run_with_backend("dense", fn)
+    sparse_value, sparse_events = run_with_backend("sparse", fn)
+    assert_event_parity(dense_events, sparse_events)
+    return dense_value, sparse_value
+
+
+class TestKeeperDomino:
+    def test_noise_margin_and_operating_point(self):
+        spec = DynamicOrSpec(fan_in=4, fan_out=1.0, style="cmos")
+
+        def solve():
+            gate = build_dynamic_or(spec)
+            nm = gate_metrics.noise_margin_static(gate)
+            op = operating_point(gate.circuit)
+            return nm, op.x.copy()
+
+        (nm_d, x_d), (nm_s, x_s) = both_backends(solve)
+        assert nm_s == pytest.approx(nm_d, rel=RTOL)
+        np.testing.assert_allclose(x_s, x_d, rtol=RTOL, atol=ATOL)
+
+
+class TestSramButterfly:
+    @pytest.mark.parametrize("variant", ["conventional", "hybrid"])
+    def test_snm_and_curves(self, variant):
+        spec = SramSpec(variant=variant)
+
+        def solve():
+            snm, curves = static_noise_margin(spec, points=25)
+            return snm, curves
+
+        (snm_d, c_d), (snm_s, c_s) = both_backends(solve)
+        assert snm_s == pytest.approx(snm_d, rel=RTOL)
+        np.testing.assert_allclose(c_s.v_left, c_d.v_left,
+                                   rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(c_s.v_right, c_d.v_right,
+                                   rtol=RTOL, atol=ATOL)
+
+
+class TestSleepNetwork:
+    def test_gated_block_sleep_state(self):
+        spec = GatedBlockSpec(kind="nems", n_stages=2, area_units=2.0)
+
+        def solve():
+            block = GatedBlock(spec)
+            block.sleep_source.value = 0.0   # footer off: sleep mode
+            block.input_source.value = 0.0
+            op = operating_point(block.circuit)
+            return op.x.copy(), op.source_power("VDD")
+
+        (x_d, p_d), (x_s, p_s) = both_backends(solve)
+        np.testing.assert_allclose(x_s, x_d, rtol=RTOL, atol=ATOL)
+        assert p_s == pytest.approx(p_d, rel=RTOL)
+
+
+class TestReactiveTransient:
+    def rlc_circuit(self) -> Circuit:
+        c = Circuit("rlc")
+        c.vsource("V1", "in", "0",
+                  Pulse(0.0, 1.0, td=0.1e-9, tr=20e-12, pw=5e-9))
+        c.resistor("R1", "in", "a", 50.0)
+        c.inductor("L1", "a", "out", 10e-9)
+        c.capacitor("C1", "out", "0", 1e-12)
+        c.resistor("RL", "out", "0", 1e3)
+        return c
+
+    def test_waveform_parity(self):
+        def solve():
+            result = transient(self.rlc_circuit(), 2e-9, 20e-12)
+            return result.t.copy(), result.voltage("out").copy()
+
+        (t_d, v_d), (t_s, v_s) = both_backends(solve)
+        np.testing.assert_array_equal(t_s, t_d)  # same step sequence
+        np.testing.assert_allclose(v_s, v_d, rtol=RTOL, atol=ATOL)
+
+
+class TestSramArraySlice:
+    def test_column_operating_point(self):
+        def solve():
+            col = build_explicit_column(rows=6)
+            op = operating_point(col.circuit)
+            return op.x.copy(), op.voltage("bl"), op.voltage("blb")
+
+        (x_d, bl_d, blb_d), (x_s, bl_s, blb_s) = both_backends(solve)
+        np.testing.assert_allclose(x_s, x_d, rtol=RTOL, atol=ATOL)
+        assert bl_s == pytest.approx(bl_d, rel=RTOL)
+        assert blb_s == pytest.approx(blb_d, rel=RTOL)
+
+    def test_auto_threshold_picks_sparse_for_column(self):
+        col = build_explicit_column(rows=40)   # n = 86 > default 64
+        events = []
+        add_solve_observer(events.append)
+        try:
+            with backend_override(kind="auto"):
+                operating_point(col.circuit)
+        finally:
+            remove_solve_observer(events.append)
+        assert {e.backend for e in events} == {"sparse"}

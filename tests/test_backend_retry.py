@@ -1,0 +1,121 @@
+"""Retry ladder x linear-solver backend interaction.
+
+The retry machinery relaxes solver *options* — it must never switch the
+linear-algebra backend mid-solve.  Two levels are covered:
+
+* :func:`repro.engine.retry.solve_with_retry` with an explicit
+  :class:`SparseSolver`: a rung rescue must reuse the exact backend
+  instance on every attempt;
+* the job-runner ladder: a task that raises
+  :class:`~repro.errors.ConvergenceError` until the relaxed rung is
+  active, executed under ``backend_override(kind="sparse")`` — the
+  retried attempt must still run sparse, and the job's telemetry must
+  show only sparse Newton solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.sparse import csc_matrix
+
+from repro.analysis.backends import SparseSolver, scipy_sparse_available
+from repro.analysis.options import (
+    NewtonOptions,
+    backend_override,
+    resolve_solver_options,
+)
+from repro.analysis.solver import add_solve_observer, remove_solve_observer
+from repro.engine.config import EngineConfig, configured
+from repro.engine.retry import RetryRung, solve_with_retry
+from repro.engine.runner import Job, run_jobs
+from repro.errors import ConvergenceError
+
+pytestmark = pytest.mark.skipif(
+    not scipy_sparse_available(),
+    reason="sparse backend needs scipy.sparse")
+
+
+class TestSolveWithRetrySparse:
+    """Direct solve_with_retry with a pinned SparseSolver."""
+
+    @staticmethod
+    def make_assemble(gmin, source_scale):
+        # F(x) = x^3 + x - 8*scale = 0: a few Newton steps from x0=0.
+        def assemble(x):
+            v = x[0]
+            F = np.array([v ** 3 + v - 8.0 * source_scale])
+            J = csc_matrix(np.array([[3.0 * v ** 2 + 1.0 + gmin]]))
+            return F, J, np.zeros(0)
+        return assemble
+
+    def solve(self, backend, newton_options):
+        ladder = (RetryRung("relaxed",
+                            newton_overrides=(("max_iterations", 60),)),)
+        return solve_with_retry(
+            self.make_assemble, np.zeros(1),
+            row_tol=np.array([1e-12]), dx_limit=np.array([1.0]),
+            newton_options=newton_options, ladder=ladder,
+            backend=backend)
+
+    def test_rung_rescue_keeps_sparse_backend(self):
+        backend = SparseSolver()
+        events = []
+        add_solve_observer(events.append)
+        try:
+            # max_iterations=1 starves every homotopy strategy of the
+            # first attempt; the relaxed rung must succeed.
+            x, _, info, rung = self.solve(
+                backend, NewtonOptions(max_iterations=1))
+        finally:
+            remove_solve_observer(events.append)
+        assert rung == "relaxed"
+        assert x[0] == pytest.approx(1.83375, rel=1e-3)  # root of x^3+x=8
+        # Every solve of every attempt — failed ones included — ran on
+        # the pinned sparse instance.
+        assert {e.backend for e in events} == {"sparse"}
+        assert backend.counters["factorizations"] > 0
+        assert backend.counters["regularized"] == 0
+
+    def test_first_attempt_success_reports_no_rung(self):
+        backend = SparseSolver()
+        x, _, info, rung = self.solve(backend, None)
+        assert rung is None
+        assert x[0] == pytest.approx(1.83375, rel=1e-3)
+
+
+def stubborn_column_task() -> float:
+    """Engine task that 'converges' only under a relaxed rung.
+
+    Runs a real sparse operating point either way (so the telemetry
+    records genuine backend counters), then fakes a convergence failure
+    unless the ladder has raised the Newton iteration budget.
+    """
+    from repro.analysis.dc import operating_point
+    from repro.library.sram_array import build_explicit_column
+
+    col = build_explicit_column(rows=4)
+    op = operating_point(col.circuit)
+    nopt, _ = resolve_solver_options(None, None)
+    if nopt.max_iterations <= NewtonOptions().max_iterations:
+        raise ConvergenceError("marginal point (synthetic)",
+                               residual_norm=1.0, iterations=5)
+    return op.voltage("bl")
+
+
+class TestRunnerLadderSparse:
+    def test_retried_task_stays_sparse(self):
+        with configured(EngineConfig(jobs=1, cache_dir=None)), \
+                backend_override(kind="sparse"):
+            results = run_jobs([Job(stubborn_column_task, tag="hard")],
+                               group="retry-backend-test")
+        result = results[0]
+        assert result.ok
+        assert result.value == pytest.approx(1.2, rel=0.05)
+        assert result.attempts == 2
+        assert result.rung == "relaxed-newton"
+        # Both attempts solved — and both solved sparse: the ladder
+        # never silently fell back to the dense backend.
+        assert set(result.solves.backends) == {"sparse"}
+        assert result.solves.backends["sparse"] >= 2
+        assert result.solves.factor_nnz > result.solves.jacobian_nnz

@@ -1,0 +1,212 @@
+"""Unit tests of the pluggable linear-solver backends.
+
+Covers the backend registry (:func:`make_backend` /
+:func:`resolve_backend` / :class:`BackendOptions`), dense-vs-sparse
+Jacobian assembly equality, sparse-pattern caching, the shared
+norm-scaled regularisation of :func:`solve_linear`, and the
+floating-node singular-Jacobian regression in both backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Circuit
+from repro.analysis.backends import (
+    COUNTER_KEYS,
+    DenseSolver,
+    SparseSolver,
+    make_backend,
+    resolve_backend,
+    scipy_sparse_available,
+    solve_linear,
+)
+from repro.analysis.dc import operating_point
+from repro.analysis.options import (
+    BackendOptions,
+    backend_override,
+    get_backend_options,
+)
+from repro.circuit.mna import Assembler, SparsePattern, SystemLayout
+from repro.devices.mosfet import Mosfet, nmos_90nm, pmos_90nm
+from repro.errors import DesignError
+
+needs_scipy = pytest.mark.skipif(not scipy_sparse_available(),
+                                 reason="scipy.sparse unavailable")
+
+
+def inverter_circuit(vin: float = 0.6) -> Circuit:
+    c = Circuit("inv")
+    c.vsource("VDD", "vdd", "0", 1.2)
+    c.vsource("VIN", "in", "0", vin)
+    c.add(Mosfet("MP", "out", "in", "vdd", pmos_90nm(), 2e-6))
+    c.add(Mosfet("MN", "out", "in", "0", nmos_90nm(), 1e-6))
+    c.capacitor("CL", "out", "0", 5e-15)
+    return c
+
+
+class TestRegistry:
+    def test_make_backend_kinds(self):
+        assert make_backend("dense").name == "dense"
+        if scipy_sparse_available():
+            assert make_backend("sparse").name == "sparse"
+
+    def test_make_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("magma")
+
+    def test_resolve_instance_passthrough(self):
+        solver = DenseSolver()
+        assert resolve_backend(solver, 1000) is solver
+
+    def test_resolve_string(self):
+        assert resolve_backend("dense", 10).name == "dense"
+
+    @needs_scipy
+    def test_resolve_auto_by_size(self):
+        opts = BackendOptions(kind="auto", sparse_threshold=64)
+        assert resolve_backend(None, 63, opts).name == "dense"
+        assert resolve_backend(None, 64, opts).name == "sparse"
+
+    def test_resolve_forced_dense_ignores_size(self):
+        opts = BackendOptions(kind="dense", sparse_threshold=2)
+        assert resolve_backend(None, 10_000, opts).name == "dense"
+
+    def test_options_validate(self):
+        with pytest.raises(ValueError):
+            BackendOptions(kind="nope")
+        with pytest.raises(ValueError):
+            BackendOptions(sparse_threshold=0)
+
+    def test_backend_override_restores(self):
+        before = get_backend_options()
+        with backend_override(kind="dense", sparse_threshold=7):
+            inner = get_backend_options()
+            assert inner.kind == "dense"
+            assert inner.sparse_threshold == 7
+        assert get_backend_options() == before
+
+    def test_backend_override_partial(self):
+        with backend_override(sparse_threshold=3):
+            opts = get_backend_options()
+            assert opts.kind == "auto"
+            assert opts.sparse_threshold == 3
+
+
+@needs_scipy
+class TestAssemblyEquality:
+    def test_jacobians_match_on_nonlinear_circuit(self):
+        c = inverter_circuit()
+        lay = SystemLayout(c)
+        x = np.linspace(0.1, 0.9, lay.n)
+        dense = Assembler(c, lay, matrix_mode="dense")
+        lay2 = SystemLayout(c)
+        sparse = Assembler(c, lay2, matrix_mode="sparse")
+        for gmin in (0.0, 1e-9):
+            Fd, Jd, _ = dense.assemble(x, gmin=gmin)
+            Fs, Js, _ = sparse.assemble(x, gmin=gmin)
+            np.testing.assert_allclose(Fs, Fd, rtol=0, atol=0)
+            np.testing.assert_allclose(Js.toarray(), Jd,
+                                       rtol=0, atol=0)
+
+    def test_pattern_cached_and_reused(self):
+        c = inverter_circuit()
+        lay = SystemLayout(c)
+        asm = Assembler(c, lay, matrix_mode="sparse")
+        x = np.zeros(lay.n)
+        asm.assemble(x)
+        pattern = lay.sparse_pattern
+        assert pattern is not None
+        asm.assemble(x + 0.3, gmin=1e-8)
+        assert lay.sparse_pattern is pattern  # structure is invariant
+
+    def test_pattern_sums_duplicates(self):
+        rows = np.array([0, 1, 0, 1, 0])
+        cols = np.array([0, 1, 0, 0, 1])
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        pattern = SparsePattern(rows, cols, 2)
+        dense = pattern.assemble(vals).toarray()
+        expected = np.array([[4.0, 5.0], [4.0, 2.0]])
+        np.testing.assert_allclose(dense, expected)
+        assert pattern.matches(rows, cols)
+        assert not pattern.matches(rows, np.array([0, 1, 0, 0, 0]))
+
+
+class TestSolveLinear:
+    def backends(self):
+        yield DenseSolver()
+        if scipy_sparse_available():
+            yield SparseSolver()
+
+    def as_matrix(self, backend, dense_array):
+        if backend.name == "sparse":
+            from scipy.sparse import csc_matrix
+            return csc_matrix(dense_array)
+        return dense_array
+
+    def test_counters_start_zero(self):
+        for backend in self.backends():
+            assert set(backend.counters) == set(COUNTER_KEYS)
+            assert all(v == 0 for v in backend.counters.values())
+
+    def test_solves_well_conditioned(self):
+        A = np.array([[4.0, 1.0], [1.0, 3.0]])
+        b = np.array([1.0, 2.0])
+        expected = np.linalg.solve(A, b)
+        for backend in self.backends():
+            x = solve_linear(backend, self.as_matrix(backend, A), b)
+            np.testing.assert_allclose(x, expected, rtol=1e-12)
+            assert backend.counters["regularized"] == 0
+            assert backend.counters["factorizations"] == 1
+
+    def test_regularizes_singular_matrix(self):
+        # Rank-1 matrix with a consistent RHS: regularisation makes it
+        # solvable and the counter records the event.
+        A = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b = np.array([2.0, 2.0])
+        for backend in self.backends():
+            x = solve_linear(backend, self.as_matrix(backend, A), b)
+            assert backend.counters["regularized"] == 1
+            assert np.all(np.isfinite(x))
+            np.testing.assert_allclose(A @ x, b, atol=1e-5)
+
+
+class TestFloatingNodeRegression:
+    """A DC-floating node must not kill either backend.
+
+    The capacitor stamps nothing at DC, so the floating node's Jacobian
+    row is all zero: LU factorisation fails and the shared norm-scaled
+    regularisation has to step in.  Regression for the pre-backend
+    dense-only code path, now enforced on both backends.
+    """
+
+    def floating_circuit(self) -> Circuit:
+        c = Circuit("floating")
+        c.vsource("V1", "in", "0", 1.0)
+        c.resistor("R1", "in", "mid", 1e3)
+        c.resistor("R2", "mid", "0", 1e3)
+        c.capacitor("CF", "float", "mid", 1e-15)  # only connection
+        return c
+
+    @pytest.mark.parametrize("kind", ["dense", "sparse"])
+    def test_operating_point_survives(self, kind):
+        if kind == "sparse" and not scipy_sparse_available():
+            pytest.skip("scipy.sparse unavailable")
+        backend = make_backend(kind)
+        op = operating_point(self.floating_circuit(), backend=backend)
+        assert op.voltage("mid") == pytest.approx(0.5, rel=1e-9)
+        assert backend.counters["regularized"] > 0
+
+
+def test_explicit_column_validates_rows():
+    from repro.library.sram_array import build_explicit_column
+    with pytest.raises(DesignError):
+        build_explicit_column(0)
+
+
+def test_explicit_column_size_scaling():
+    from repro.library.sram_array import build_explicit_column
+    col = build_explicit_column(4)
+    # 2 storage nodes per row + vdd/wl/bl/blb + 2 source branch currents
+    assert col.n_unknowns == 2 * 4 + 6

@@ -1,0 +1,108 @@
+"""Golden-regression tests freezing the paper's headline figure values.
+
+Each test recomputes a reduced-size slice of a figure and compares it
+against the JSON fixture in ``tests/golden/``.  The fixtures pin the
+*physics*: any change to device models, MNA assembly, or the solver
+that shifts a result by more than ``rtol`` fails here, even if every
+behavioural test still passes.  Intentional physics changes are
+re-frozen with ``pytest --update-golden`` (CI requires that flag to be
+mentioned in the change description when these files move — see
+.github/workflows/ci.yml).
+
+The comparison tolerance (1e-6 relative) is loose enough to absorb
+BLAS/libm noise across platforms and tight enough to catch any real
+model drift: the perturbation test at the bottom demonstrates that a
+10 mV gate-voltage error — far below anything a reviewer would notice
+on the figures — is caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig09_keeper_tradeoff import keeper_point_task
+from repro.library.sleep import sweep_sleep_devices
+from repro.library.sram import SramSpec
+from repro.library.sram_metrics import (
+    standby_leakage,
+    static_noise_margin,
+)
+
+#: Reduced point count for the butterfly sweeps (full figure uses 121).
+SNM_POINTS = 41
+
+
+def fig09_point():
+    nm, delay = keeper_point_task(8, 3.0, 0.05, 3.0, 2e-6)
+    return {"fan_in": 8, "fan_out": 3.0, "sigma": 0.05,
+            "keeper_width_um": 2.0,
+            "noise_margin_v": nm, "delay_s": delay}
+
+
+def fig14_snm():
+    snm_conv, _ = static_noise_margin(SramSpec(variant="conventional"),
+                                      points=SNM_POINTS)
+    snm_hyb, _ = static_noise_margin(SramSpec(variant="hybrid"),
+                                     points=SNM_POINTS)
+    return {"points": SNM_POINTS, "snm_conventional_v": snm_conv,
+            "snm_hybrid_v": snm_hyb}
+
+
+def fig15_leakage():
+    leak_conv = standby_leakage(SramSpec(variant="conventional"))
+    leak_hyb = standby_leakage(SramSpec(variant="hybrid"))
+    return {"leakage_conventional_w": leak_conv,
+            "leakage_hybrid_w": leak_hyb,
+            "leakage_ratio": leak_conv / leak_hyb}
+
+
+def fig17_sleep():
+    rows = sweep_sleep_devices([1, 4, 16, 64])
+    return {"area_units": [r[0] for r in rows],
+            "ron_cmos_ohm": [r[1] for r in rows],
+            "ioff_cmos_a": [r[2] for r in rows],
+            "ron_nems_ohm": [r[3] for r in rows],
+            "ioff_nems_a": [r[4] for r in rows]}
+
+
+def test_fig09_keeper_point(golden):
+    golden.check("fig09", fig09_point())
+
+
+def test_fig14_static_noise_margin(golden):
+    golden.check("fig14", fig14_snm())
+
+
+def test_fig15_standby_leakage_ratio(golden):
+    golden.check("fig15", fig15_leakage())
+
+
+def test_fig17_sleep_off_currents(golden):
+    golden.check("fig17", fig17_sleep())
+
+
+def test_goldens_catch_physics_perturbation(golden, monkeypatch):
+    """A 10 mV device-model error must trip the golden comparison.
+
+    This is the sensitivity proof for the whole golden layer: if a
+    perturbation this small is detected, genuine model regressions
+    cannot slip through.  The patch shifts the effective gate voltage
+    seen by every MOSFET evaluation — a stand-in for a subtle
+    threshold-voltage calibration bug.
+    """
+    if golden.update:
+        pytest.skip("not meaningful while regenerating fixtures")
+    import repro.devices.mosfet as mosfet_mod
+    real = mosfet_mod.mosfet_current
+
+    def shifted(params, width, vgs, vds, vbs, *args, **kwargs):
+        return real(params, width, vgs + 0.010, vds, vbs,
+                    *args, **kwargs)
+
+    monkeypatch.setattr(mosfet_mod, "mosfet_current", shifted)
+    mismatches = golden.diff("fig17", fig17_sleep())
+    assert mismatches, \
+        "10 mV Vgs perturbation went undetected by the fig17 golden"
+    # The CMOS OFF current is exponential in Vgs, so it must be among
+    # the tripped entries.
+    assert any("ioff_cmos" in m for m in mismatches)

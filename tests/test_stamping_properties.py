@@ -1,0 +1,134 @@
+"""Property-based dense-vs-sparse parity of the stamping layer.
+
+Randomised stamp streams are replayed into a dense-mode and a
+sparse-mode :class:`StampContext`; the accumulated residual ``F`` and
+Jacobian (dense array vs :class:`SparsePattern`-assembled CSC) must be
+*identical* — both modes sum the same floating-point terms, duplicates
+included, so the comparison is exact, not approximate.
+
+``add_dot`` is exercised across DC (``c0 == 0``) and transient
+(``c0 > 0``) so the pattern-invariance contract is covered too: the
+sparse triplet *structure* must not depend on the integration
+coefficients, only the values may.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.backends import scipy_sparse_available
+from repro.circuit.mna import SparsePattern, StampContext
+
+pytestmark = pytest.mark.skipif(
+    not scipy_sparse_available(),
+    reason="sparse stamping needs scipy.sparse")
+
+#: System size for the randomised streams (n unknowns + ground slot).
+N = 6
+
+finite = st.floats(min_value=-1e3, max_value=1e3,
+                   allow_nan=False, allow_infinity=False)
+index = st.integers(min_value=0, max_value=N)  # includes ground slot N
+
+#: One `add` call: (row, value, [(col, deriv), ...]).
+add_call = st.tuples(
+    index, finite,
+    st.lists(st.tuples(index, finite), min_size=1, max_size=3))
+
+#: One `add_dot` call: (row, q, [(col, dq/dx), ...]).
+dot_call = st.tuples(
+    index, finite,
+    st.lists(st.tuples(index, finite), min_size=1, max_size=3))
+
+
+def make_context(mode: str, c0: float, d1: float, n_dots: int
+                 ) -> StampContext:
+    x_ext = np.zeros(N + 1)
+    q_prev = np.zeros(max(n_dots, 1))
+    qdot_prev = np.zeros(max(n_dots, 1))
+    return StampContext(N, x_ext, 0.0, 1.0, c0, d1, q_prev, qdot_prev,
+                        max(n_dots, 1), matrix_mode=mode)
+
+
+def replay(ctx: StampContext, adds, dots) -> None:
+    for row, value, pairs in adds:
+        cols = [c for c, _ in pairs]
+        derivs = [d for _, d in pairs]
+        ctx.add(row, value, cols, derivs)
+    for row, q, pairs in dots:
+        cols = [c for c, _ in pairs]
+        derivs = [d for _, d in pairs]
+        ctx.add_dot(row, q, cols, derivs)
+
+
+def sparse_to_dense(ctx: StampContext) -> np.ndarray:
+    rows = np.asarray(ctx.j_rows, dtype=np.int64)
+    cols = np.asarray(ctx.j_cols, dtype=np.int64)
+    vals = np.asarray(ctx.j_vals, dtype=float)
+    pattern = SparsePattern(rows, cols, N + 1)
+    return pattern.assemble(vals).toarray()
+
+
+class TestStampParity:
+    @given(adds=st.lists(add_call, min_size=1, max_size=25))
+    @settings(max_examples=50, deadline=None)
+    def test_add_dense_sparse_identical(self, adds):
+        dense = make_context("dense", 0.0, 0.0, 0)
+        sparse = make_context("sparse", 0.0, 0.0, 0)
+        replay(dense, adds, [])
+        replay(sparse, adds, [])
+        np.testing.assert_array_equal(sparse.F, dense.F)
+        np.testing.assert_array_equal(sparse_to_dense(sparse), dense.J)
+
+    @given(adds=st.lists(add_call, min_size=0, max_size=10),
+           dots=st.lists(dot_call, min_size=1, max_size=10),
+           c0=st.one_of(st.just(0.0),
+                        st.floats(min_value=1e3, max_value=1e12)),
+           d1=st.floats(min_value=-2.0, max_value=2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_add_dot_dense_sparse_identical(self, adds, dots, c0, d1):
+        dense = make_context("dense", c0, d1, len(dots))
+        sparse = make_context("sparse", c0, d1, len(dots))
+        replay(dense, adds, dots)
+        replay(sparse, adds, dots)
+        np.testing.assert_array_equal(sparse.F, dense.F)
+        np.testing.assert_array_equal(sparse_to_dense(sparse), dense.J)
+        # Both modes record the same charge history.
+        np.testing.assert_array_equal(
+            sparse.q_now[:sparse.charge_count],
+            dense.q_now[:dense.charge_count])
+
+    @given(adds=st.lists(add_call, min_size=1, max_size=10),
+           dots=st.lists(dot_call, min_size=1, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_sparsity_pattern_independent_of_c0(self, adds, dots):
+        """DC and transient assemblies must emit the same structure."""
+        dc = make_context("sparse", 0.0, 0.0, len(dots))
+        tr = make_context("sparse", 1e9, 0.5, len(dots))
+        replay(dc, adds, dots)
+        replay(tr, adds, dots)
+        assert dc.j_rows == tr.j_rows
+        assert dc.j_cols == tr.j_cols
+        pattern = SparsePattern(np.asarray(dc.j_rows),
+                                np.asarray(dc.j_cols), N + 1)
+        assert pattern.matches(np.asarray(tr.j_rows),
+                               np.asarray(tr.j_cols))
+
+    @given(vals=st.lists(finite, min_size=1, max_size=30),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_pattern_assemble_matches_coo_sum(self, vals, seed):
+        """SparsePattern.assemble == scipy's own COO duplicate-summing."""
+        from scipy.sparse import coo_matrix
+        rng = np.random.default_rng(seed)
+        k = len(vals)
+        rows = rng.integers(0, N + 1, size=k)
+        cols = rng.integers(0, N + 1, size=k)
+        vals = np.asarray(vals)
+        pattern = SparsePattern(rows, cols, N + 1)
+        ours = pattern.assemble(vals).toarray()
+        theirs = coo_matrix((vals, (rows, cols)),
+                            shape=(N + 1, N + 1)).toarray()
+        np.testing.assert_array_equal(ours, theirs)
