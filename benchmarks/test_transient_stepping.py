@@ -1,0 +1,101 @@
+"""Bench: transient step counts, LTE control vs the legacy heuristic.
+
+Re-runs the Figure 9 keeper delay sweep (the hottest transient path in
+the reproduction) under both step controls and counts accepted /
+rejected steps per control via the ``kind="transient"`` solve events.
+The LTE controller must cover the sweep in at most half the accepted
+steps of the iteration-count heuristic while tracking the heuristic's
+delays — its accuracy against a dense reference is locked down
+separately in ``tests/test_transient_stepping.py``.
+
+Set ``REPRO_BENCH_JSON`` to a path to get the measurements as a JSON
+artifact (CI uploads it), so step-count regressions are visible
+run-over-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.analysis.options import step_control_override
+from repro.analysis.solver import (
+    add_solve_observer,
+    remove_solve_observer,
+)
+from repro.experiments.fig09_keeper_tradeoff import keeper_point_task
+
+#: Keeper widths of the benchmark sweep [m] (fig09 x-axis slice).
+WIDTHS = (0.3e-6, 0.63e-6, 1.3e-6, 2.0e-6, 2.8e-6)
+
+
+def _run_sweep(control: str) -> dict:
+    counters = {"accepted": 0, "rejected_lte": 0, "rejected_newton": 0,
+                "runs": 0}
+
+    def observe(event):
+        if event.kind == "transient":
+            counters["runs"] += 1
+            counters["accepted"] += event.steps_accepted
+            counters["rejected_lte"] += event.steps_rejected_lte
+            counters["rejected_newton"] += event.steps_rejected_newton
+
+    delays = []
+    add_solve_observer(observe)
+    started = time.perf_counter()
+    try:
+        with step_control_override(control):
+            for width in WIDTHS:
+                _nm, delay = keeper_point_task(8, 3.0, 0.05, 3.0,
+                                               width)
+                delays.append(delay)
+    finally:
+        remove_solve_observer(observe)
+    counters["wall_s"] = time.perf_counter() - started
+    counters["control"] = control
+    counters["delays_s"] = delays
+    return counters
+
+
+def test_transient_stepping(record_property):
+    results = {control: _run_sweep(control)
+               for control in ("iter", "lte")}
+    reduction = (results["iter"]["accepted"]
+                 / results["lte"]["accepted"])
+    worst_delay_shift = max(
+        abs(a - b) / b
+        for a, b in zip(results["lte"]["delays_s"],
+                        results["iter"]["delays_s"]))
+
+    for control, r in results.items():
+        print(f"\n{control:4s}: accepted={r['accepted']:4d}  "
+              f"rejected lte={r['rejected_lte']:3d} "
+              f"newton={r['rejected_newton']:3d}  "
+              f"runs={r['runs']}  wall={r['wall_s']:.2f} s")
+    print(f"step reduction: {reduction:.2f}x, "
+          f"worst delay shift vs iter: {worst_delay_shift * 100:.2f}%")
+    record_property("step_reduction", round(reduction, 2))
+    record_property("accepted_iter", results["iter"]["accepted"])
+    record_property("accepted_lte", results["lte"]["accepted"])
+
+    artifact = os.environ.get("REPRO_BENCH_JSON")
+    if artifact:
+        with open(artifact, "w") as handle:
+            json.dump({"benchmark": "transient_stepping",
+                       "widths_m": list(WIDTHS),
+                       "controls": results,
+                       "step_reduction": reduction}, handle, indent=1)
+
+    # The tentpole acceptance bar: half the steps, same waveforms.
+    # (Measured 660 -> ~306 accepted, 2.16x, on the reference box; the
+    # delay shift is bounded by the heuristic's own ~2.5% error against
+    # a dense reference, not by LTE inaccuracy.)
+    assert reduction >= 2.0, (
+        f"LTE control should at least halve the accepted steps on the "
+        f"fig09 sweep, got {reduction:.2f}x "
+        f"({results['iter']['accepted']} -> "
+        f"{results['lte']['accepted']})")
+    assert worst_delay_shift < 0.05, (
+        f"LTE delays drifted {worst_delay_shift * 100:.1f}% from the "
+        f"heuristic's — accuracy, not just step count, must hold")

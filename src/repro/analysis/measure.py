@@ -40,22 +40,27 @@ def cross_times(t, y, level: float, edge: str = "any") -> List[float]:
         raise MeasurementError(f"unknown edge type '{edge}'")
     t = np.asarray(t, dtype=float)
     d = np.asarray(y, dtype=float) - level
-    crossings: List[float] = []
-    for i in range(len(d) - 1):
-        d0, d1 = d[i], d[i + 1]
-        if d0 == d1:
-            continue
-        if d0 < 0.0 <= d1:
-            direction = "rise"
-        elif d0 >= 0.0 > d1:
-            direction = "fall"
-        else:
-            continue
-        if edge != "any" and direction != edge:
-            continue
-        frac = -d0 / (d1 - d0)
-        crossings.append(float(t[i] + frac * (t[i + 1] - t[i])))
-    return crossings
+    d0, d1 = d[:-1], d[1:]
+    # A segment starting exactly at the level only counts as a rise when
+    # the previous sample was not below it — a below-level predecessor
+    # means the preceding segment already recorded this crossing.  The
+    # first segment has no predecessor and always counts.
+    prev_nonneg = np.empty(len(d0), dtype=bool)
+    prev_nonneg[0] = True
+    prev_nonneg[1:] = d[:-2] >= 0.0
+    rise = ((d0 < 0.0) & (d1 >= 0.0)) | \
+        ((d0 == 0.0) & (d1 > 0.0) & prev_nonneg)
+    fall = (d0 >= 0.0) & (d1 < 0.0)
+    if edge == "rise":
+        mask = rise
+    elif edge == "fall":
+        mask = fall
+    else:
+        mask = rise | fall
+    idx = np.nonzero(mask)[0]
+    # Every selected segment has d1 != d0, so the interpolation is safe.
+    frac = -d0[idx] / (d1[idx] - d0[idx])
+    return [float(v) for v in t[idx] + frac * (t[idx + 1] - t[idx])]
 
 
 def first_cross(t, y, level: float, edge: str = "any",

@@ -153,6 +153,48 @@ def backend_override(kind: Optional[str] = None,
         set_backend_options(previous)
 
 
+#: Session-wide default transient step control ("lte" or "iter"); see
+#: :func:`set_default_step_control` / :func:`step_control_override`.
+_default_step_control = "lte"
+
+_STEP_CONTROLS = ("lte", "iter")
+
+
+def get_default_step_control() -> str:
+    """The step-control mode used when TransientOptions leaves it None."""
+    return _default_step_control
+
+
+def set_default_step_control(kind: str) -> str:
+    """Install a new default step control; returns the previous one."""
+    if kind not in _STEP_CONTROLS:
+        raise ValueError(
+            f"unknown step control '{kind}' (expected one of "
+            f"{', '.join(_STEP_CONTROLS)})")
+    global _default_step_control
+    previous = _default_step_control
+    _default_step_control = kind
+    return previous
+
+
+@contextlib.contextmanager
+def step_control_override(kind: Optional[str]) -> Iterator[None]:
+    """Temporarily change the default transient step control.
+
+    ``None`` is a no-op, so callers (the CLI) can pass an optional flag
+    straight through.  Every transient entered inside the block whose
+    options leave ``step_control`` unset resolves to ``kind``.
+    """
+    if kind is None:
+        yield
+        return
+    previous = set_default_step_control(kind)
+    try:
+        yield
+    finally:
+        set_default_step_control(previous)
+
+
 @dataclass
 class TransientOptions:
     """Controls for transient analysis.
@@ -165,9 +207,52 @@ class TransientOptions:
         Smallest step accepted before raising
         :class:`~repro.errors.TimestepError`.
     adaptive:
-        When true the step grows by ``growth`` after each easy solve and
-        shrinks on Newton failures; when false a fixed step is used
-        (except for breakpoint alignment).
+        When true the step size is controlled automatically (see
+        ``step_control``); when false a fixed step is used (except for
+        breakpoint alignment).
+    step_control:
+        ``"lte"`` (local-truncation-error control, the default) sizes
+        steps from a per-step error estimate: steps whose estimated LTE
+        exceeds ``trtol * (lte_reltol*|x| + lte_abstol)`` are rejected
+        and re-solved with a smaller step, and accepted steps grow by
+        the error ratio.  ``"iter"`` is the legacy Newton-iteration
+        heuristic (grow by ``growth`` after easy solves, halve after
+        hard ones).  ``None`` defers to the session default
+        (:func:`get_default_step_control`), so the CLI's
+        ``--step-control`` flag reaches solves buried inside
+        experiments.
+    growth:
+        Step growth factor of the ``"iter"`` heuristic; also the
+        bootstrap growth used by ``"lte"`` while the divided-difference
+        history is too short for an estimate (first steps of a run and
+        after each breakpoint).
+    shrink:
+        Step shrink factor applied after a Newton convergence failure
+        (both controls; distinct from an LTE rejection).
+    max_dt_factor:
+        Cap on the step as a multiple of the nominal ``dt`` for the
+        ``"iter"`` heuristic.
+    trtol:
+        HSPICE-style divisor of the LTE tolerance (the raw estimate is
+        conservative; larger values accept larger steps).
+    lte_reltol / lte_abstol:
+        Relative/absolute per-unknown truncation-error tolerance.
+    lte_max_growth:
+        Largest step growth per accepted step under LTE control.
+    lte_safety:
+        Safety factor on the error-ratio step predictor.
+    lte_max_dt_factor:
+        Cap on the step as a multiple of the nominal ``dt`` under LTE
+        control.  Much larger than ``max_dt_factor``: with a real error
+        bound the blunt cap is no longer the safety net.
+    lte_min_dt_factor:
+        Floor on LTE-driven shrink as a fraction of the nominal ``dt``.
+        At a genuine solution corner (NEMFET contact, hard clamps) the
+        divided-difference error estimate diverges and pure LTE control
+        would grind the step toward ``dtmin``; once the step reaches
+        ``dt * lte_min_dt_factor`` it is accepted instead of rejected,
+        bounding the work spent resolving the corner.  Newton-failure
+        shrink still goes all the way down to ``dtmin``.
     """
 
     method: str = "be"
@@ -176,8 +261,41 @@ class TransientOptions:
     growth: float = 1.4
     shrink: float = 0.25
     max_dt_factor: float = 8.0
+    step_control: Optional[str] = None
+    trtol: float = 7.0
+    lte_reltol: float = 1e-3
+    lte_abstol: float = 1e-6
+    lte_max_growth: float = 4.0
+    lte_safety: float = 0.9
+    lte_max_dt_factor: float = 64.0
+    lte_min_dt_factor: float = 1e-2
     newton: NewtonOptions = field(default_factory=NewtonOptions)
 
     def __post_init__(self):
         if self.method not in ("be", "trap"):
             raise ValueError(f"unknown integration method '{self.method}'")
+        if self.step_control is not None and \
+                self.step_control not in _STEP_CONTROLS:
+            raise ValueError(
+                f"unknown step control '{self.step_control}' (expected "
+                f"one of {', '.join(_STEP_CONTROLS)})")
+        if self.trtol <= 0:
+            raise ValueError(f"trtol must be positive, got {self.trtol}")
+        if self.lte_reltol <= 0 or self.lte_abstol < 0:
+            raise ValueError(
+                f"lte tolerances must be positive, got reltol="
+                f"{self.lte_reltol}, abstol={self.lte_abstol}")
+        if self.lte_max_growth <= 1.0:
+            raise ValueError(
+                f"lte_max_growth must exceed 1, got {self.lte_max_growth}")
+        if not 0.0 < self.lte_safety <= 1.0:
+            raise ValueError(
+                f"lte_safety must be in (0, 1], got {self.lte_safety}")
+        if not 0.0 < self.lte_min_dt_factor <= 1.0:
+            raise ValueError(
+                f"lte_min_dt_factor must be in (0, 1], got "
+                f"{self.lte_min_dt_factor}")
+
+    def resolve_step_control(self) -> str:
+        """Effective step control after the session default."""
+        return self.step_control or get_default_step_control()

@@ -63,8 +63,9 @@ class NewtonInfo:
 class SolveEvent:
     """One observed solve, reported to registered solve observers."""
 
-    kind: str            #: ``"newton"`` or ``"dc"``
-    strategy: str        #: ``"direct"`` / ``"gmin"`` / ``"source"``
+    kind: str            #: ``"newton"``, ``"dc"`` or ``"transient"``
+    strategy: str        #: ``"direct"`` / ``"gmin"`` / ``"source"``,
+                         #: or the step control of a transient run
     iterations: int
     residual_norm: float
     converged: bool
@@ -73,6 +74,18 @@ class SolveEvent:
     factorizations: int = 0  #: Jacobian factorisations in this solve
     jacobian_nnz: int = 0    #: summed Jacobian non-zeros (sparse only)
     factor_nnz: int = 0      #: summed L+U non-zeros (sparse only)
+    # -- transient-run step statistics (kind == "transient" only).
+    # One event is emitted per transient() run; its per-step Newton
+    # solves have already been reported as their own "newton" events,
+    # so aggregators must not re-count iterations or wall time.
+    steps_accepted: int = 0      #: accepted time steps
+    steps_rejected_lte: int = 0  #: steps re-solved after an LTE reject
+    steps_rejected_newton: int = 0  #: steps re-solved after Newton fail
+    h_min: float = 0.0           #: smallest accepted step [s]
+    h_max: float = 0.0           #: largest accepted step [s]
+    #: Log-binned histogram of LTE error ratios of *attempted* steps
+    #: (see :data:`repro.analysis.transient.ERROR_RATIO_EDGES`).
+    error_ratio_hist: Tuple[int, ...] = ()
 
 
 SolveObserver = Callable[[SolveEvent], None]
@@ -93,6 +106,17 @@ def remove_solve_observer(observer: SolveObserver) -> None:
 def _notify(event: SolveEvent) -> None:
     for observer in list(_solve_observers):
         observer(event)
+
+
+def emit_solve_event(event: SolveEvent) -> None:
+    """Report a composite solve (e.g. a whole transient run) to the
+    registered observers.  No-op when nothing is listening."""
+    _notify(event)
+
+
+def have_solve_observers() -> bool:
+    """Whether any solve observer is currently registered."""
+    return bool(_solve_observers)
 
 
 def _scaled_residual_norm(F: np.ndarray, row_tol: np.ndarray) -> float:

@@ -1,32 +1,131 @@
-"""Implicit transient analysis with breakpoint-aware adaptive stepping."""
+"""Implicit transient analysis with breakpoint-aware adaptive stepping.
+
+Step-size control
+-----------------
+With ``options.adaptive`` (the default) the step size is governed by the
+resolved ``options.step_control``:
+
+* ``"lte"`` (default) — true local-truncation-error control.  After each
+  converged implicit solve the LTE of the candidate step is estimated
+  from a divided-difference predictor (second divided difference for
+  backward Euler, third for the trapezoidal rule), scaled against the
+  HSPICE-style tolerance ``trtol * (lte_reltol*|x| + lte_abstol)``.
+  Steps whose error ratio exceeds one are *rejected* and re-solved with
+  a smaller step — a distinct path from the Newton-failure shrink — and
+  accepted steps grow proportionally to ``ratio**(-1/(p+1))``, so smooth
+  stretches take the largest step the tolerance allows instead of
+  creeping up by a fixed factor.
+
+* ``"iter"`` — the legacy Newton-iteration-count heuristic (grow by
+  ``growth`` after easy solves, halve after hard ones), kept for
+  comparison benchmarks and for callers that want the old trajectories.
+
+Breakpoints (source corners) are always landed on exactly, using
+*relative* time tolerances so detection keeps working at ``t`` large
+enough that the float64 ulp exceeds any absolute epsilon.  The step
+after every breakpoint is forced to backward Euler (trapezoidal rule
+rings on discontinuous source slopes) and the LTE history restarts
+there, since divided differences spanning a slope discontinuity are
+meaningless.
+
+Each run records a :class:`StepStats` (accepted / LTE-rejected /
+Newton-rejected steps, step-size extrema, an error-ratio histogram)
+exposed as ``TransientResult.stats`` and reported to the solver
+observers as a ``kind="transient"`` :class:`~repro.analysis.solver.
+SolveEvent`, which :mod:`repro.engine.telemetry` folds into
+``python -m repro stats``.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.analysis.backends import LinearSolver, resolve_backend
 from repro.analysis.dc import OperatingPoint, operating_point
-from repro.analysis.options import NewtonOptions, TransientOptions
-from repro.analysis.solver import newton_solve
+from repro.analysis.options import TransientOptions
+from repro.analysis.solver import (
+    SolveEvent,
+    emit_solve_event,
+    have_solve_observers,
+    newton_solve,
+)
 from repro.circuit.mna import Assembler, SystemLayout
 from repro.circuit.netlist import Circuit, is_ground
 from repro.errors import ConvergenceError, NetlistError, TimestepError
+
+#: Relative tolerance for aligning times with breakpoints and the stop
+#: time.  Scaled by max(|t|, h): at t ~ 1e-4 s (thermal / reliability
+#: runs) the float64 ulp is ~1e-20 s, far above any fixed epsilon that
+#: would be appropriate at t ~ 1e-12 s.
+_TIME_RTOL = 1e-12
+
+#: Upper bin edges of the LTE error-ratio histogram; the last bin is
+#: open-ended.  Ratios <= 1 are accepted steps, > 1 rejected ones.
+ERROR_RATIO_EDGES = (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+@dataclass
+class StepStats:
+    """Stepping statistics of one transient run."""
+
+    control: str = "lte"        #: "lte", "iter" or "fixed"
+    accepted: int = 0           #: accepted time steps
+    rejected_lte: int = 0       #: steps re-solved after an LTE reject
+    rejected_newton: int = 0    #: steps re-solved after a Newton fail
+    newton_iterations: int = 0  #: cumulative Newton iterations
+    h_min: float = 0.0          #: smallest accepted step [s]
+    h_max: float = 0.0          #: largest accepted step [s]
+    #: Counts of LTE error ratios per bin of :data:`ERROR_RATIO_EDGES`
+    #: (one extra open-ended bin at the end).
+    error_ratio_hist: List[int] = field(
+        default_factory=lambda: [0] * (len(ERROR_RATIO_EDGES) + 1))
+
+    @property
+    def attempts(self) -> int:
+        """Total implicit solves attempted (accepted + rejected)."""
+        return self.accepted + self.rejected_lte + self.rejected_newton
+
+    def record_ratio(self, ratio: float) -> None:
+        self.error_ratio_hist[
+            int(np.searchsorted(ERROR_RATIO_EDGES, ratio, "right"))] += 1
+
+    def record_accept(self, h: float) -> None:
+        self.accepted += 1
+        self.h_min = h if self.h_min == 0.0 else min(self.h_min, h)
+        self.h_max = max(self.h_max, h)
+
+    def to_event(self, wall_time: float, backend: str) -> SolveEvent:
+        """The run summary as a ``kind="transient"`` solve event."""
+        return SolveEvent(
+            kind="transient", strategy=self.control,
+            iterations=self.newton_iterations, residual_norm=0.0,
+            converged=True, wall_time=wall_time, backend=backend,
+            steps_accepted=self.accepted,
+            steps_rejected_lte=self.rejected_lte,
+            steps_rejected_newton=self.rejected_newton,
+            h_min=self.h_min, h_max=self.h_max,
+            error_ratio_hist=tuple(self.error_ratio_hist))
 
 
 class TransientResult:
     """Time-series solution of a transient run.
 
     Provides named access to node voltages, branch currents and device
-    internal states as numpy arrays over the accepted time points.
+    internal states as numpy arrays over the accepted time points, plus
+    the run's :class:`StepStats` as ``stats``.
     """
 
     def __init__(self, layout: SystemLayout, times: np.ndarray,
-                 solutions: np.ndarray):
+                 solutions: np.ndarray,
+                 stats: Optional[StepStats] = None):
         self.layout = layout
         self.t = times
         self._X = solutions  # shape (len(t), layout.n)
+        self.stats = stats if stats is not None else StepStats()
 
     def voltage(self, node: str) -> np.ndarray:
         """Voltage waveform of ``node`` (zeros for ground)."""
@@ -75,6 +174,57 @@ def _collect_breakpoints(circuit: Circuit, tstop: float) -> np.ndarray:
     return np.array(sorted(points))
 
 
+def _lte_estimate(hist_t: List[float], hist_x: List[np.ndarray],
+                  t_new: float, x_new: np.ndarray,
+                  trap: bool) -> Optional[Tuple[np.ndarray, int]]:
+    """Divided-difference LTE estimate of the candidate step.
+
+    Backward Euler has local error ``(h^2/2) x''``; the second divided
+    difference over the last two accepted points and the candidate
+    approximates ``x''/2``.  The trapezoidal rule has local error
+    ``-(h^3/12) x'''``; the third divided difference approximates
+    ``x'''/6``.  Returns ``(estimate, order)`` where ``order`` is the
+    step-size power of the estimate (2 for the BE bound, 3 for trap),
+    or None while the history since the last discontinuity is too short
+    for the required difference order.
+    """
+    if len(hist_t) < 2:
+        return None
+    t_n, x_n = hist_t[-1], hist_x[-1]
+    t_m, x_m = hist_t[-2], hist_x[-2]
+    h = t_new - t_n
+    if t_n <= t_m or h <= 0.0:
+        # Degenerate history (should not happen; a duplicated point
+        # would 0/0-poison the divided differences) — no estimate.
+        return None
+    dd1_new = (x_new - x_n) / h
+    dd1_old = (x_n - x_m) / (t_n - t_m)
+    dd2 = (dd1_new - dd1_old) / (t_new - t_m)
+    if not trap:
+        return h * h * dd2, 2
+    if len(hist_t) < 3:
+        return None
+    t_k, x_k = hist_t[-3], hist_x[-3]
+    if t_m <= t_k:
+        return None
+    dd1_older = (x_m - x_k) / (t_m - t_k)
+    dd2_old = (dd1_old - dd1_older) / (t_n - t_k)
+    dd3 = (dd2 - dd2_old) / (t_new - t_k)
+    return 0.5 * h ** 3 * dd3, 3
+
+
+def _error_ratio(lte: np.ndarray, x_new: np.ndarray, x_old: np.ndarray,
+                 opts: TransientOptions) -> float:
+    """Max over unknowns of |LTE| / tolerance; accept when <= 1."""
+    tol = opts.trtol * (
+        opts.lte_reltol * np.maximum(np.abs(x_new), np.abs(x_old))
+        + opts.lte_abstol)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.abs(lte) / tol
+    # 0/0 (zero error against a zero tolerance) carries no information.
+    return float(np.max(np.where(np.isnan(ratio), 0.0, ratio)))
+
+
 def transient(circuit: Circuit, tstop: float, dt: float, *,
               options: Optional[TransientOptions] = None,
               initial: Union[str, OperatingPoint] = "dc",
@@ -88,9 +238,11 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
     tstop:
         End time in seconds.
     dt:
-        Nominal time step.  With ``options.adaptive`` the step may grow
-        to ``options.max_dt_factor * dt`` and shrinks automatically on
-        Newton failures; steps always land exactly on source breakpoints.
+        Nominal time step.  With ``options.adaptive`` the step is sized
+        automatically (LTE control by default — see
+        :class:`~repro.analysis.options.TransientOptions`), restarting
+        from ``dt`` after every source breakpoint; steps always land
+        exactly on breakpoints.
     initial:
         ``"dc"`` computes a DC operating point at ``t=0`` (sources at
         their initial values); an :class:`OperatingPoint` re-uses a
@@ -134,27 +286,49 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
 
     t = 0.0
     h = dt
-    h_max = dt * opts.max_dt_factor if opts.adaptive else dt
     x = op.x.copy()
+    control = opts.resolve_step_control() if opts.adaptive else "fixed"
+    use_lte = opts.adaptive and control == "lte"
+    h_cap = dt * ((opts.lte_max_dt_factor if use_lte
+                   else opts.max_dt_factor) if opts.adaptive else 1.0)
+    # LTE rejections stop shrinking at this floor (solution corners
+    # would otherwise grind the step toward dtmin); Newton failures may
+    # still shrink all the way to dtmin.
+    h_floor = (max(opts.dtmin, dt * opts.lte_min_dt_factor) if use_lte
+               else opts.dtmin)
+    stats = StepStats(control=control)
+    # LTE history: accepted (t, x) points since the last discontinuity.
+    hist_t: List[float] = [0.0]
+    hist_x: List[np.ndarray] = [x.copy()]
     # Force backward Euler for the step right after every breakpoint:
     # trapezoidal rule rings on discontinuous source slopes.
     force_be = True
+    wall_started = time.perf_counter()
 
-    while t < tstop - 1e-21:
-        # Clip the step to the next breakpoint and the stop time.
-        while bp_index < len(breakpoints) and breakpoints[bp_index] <= t + 1e-21:
+    stop_tol = _TIME_RTOL * tstop
+    while t < tstop - stop_tol:
+        # Advance past breakpoints already reached (relative tolerance:
+        # an absolute epsilon misfires once t outgrows it) and clip the
+        # step to the next one.  ``tstop`` is itself a breakpoint.
+        t_tol = _TIME_RTOL * max(abs(t), h)
+        while bp_index < len(breakpoints) and \
+                breakpoints[bp_index] <= t + t_tol:
             bp_index += 1
         next_bp = (breakpoints[bp_index]
                    if bp_index < len(breakpoints) else tstop)
-        h_try = min(h, tstop - t, next_bp - t)
-        hit_bp = abs((t + h_try) - next_bp) < 1e-21
+        limit = next_bp - t
+        # Floor the step against dtmin — but never past the breakpoint:
+        # a forced landing may be shorter than dtmin, a free step not.
+        h_try = min(max(h, opts.dtmin), limit)
+        hit_bp = (limit - h_try) <= _TIME_RTOL * max(abs(next_bp), h_try)
+        t_new = next_bp if hit_bp else t + h_try
+        h_step = t_new - t
 
         use_trap = opts.method == "trap" and not force_be
         if use_trap:
-            c0, d1 = 2.0 / h_try, -1.0
+            c0, d1 = 2.0 / h_step, -1.0
         else:
-            c0, d1 = 1.0 / h_try, 0.0
-        t_new = t + h_try
+            c0, d1 = 1.0 / h_step, 0.0
 
         def assemble(x_try, _t=t_new, _c0=c0, _d1=d1):
             return assembler.assemble(
@@ -166,12 +340,34 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
                 assemble, x, row_tol=lay.row_tol, dx_limit=lay.dx_limit,
                 options=opts.newton, backend=solver)
         except ConvergenceError:
-            h *= opts.shrink
-            if h < opts.dtmin:
+            stats.rejected_newton += 1
+            if h_step <= opts.dtmin * (1.0 + 1e-9):
                 raise TimestepError(
                     f"transient step fell below dtmin={opts.dtmin} at "
                     f"t={t:.3e}s") from None
+            h = max(h_step * opts.shrink, opts.dtmin)
             continue
+        stats.newton_iterations += info.iterations
+
+        # LTE accept/reject test (needs enough post-discontinuity
+        # history for the divided-difference derivative estimate).
+        ratio = None
+        order = 2
+        if use_lte:
+            estimate = _lte_estimate(hist_t, hist_x, t_new, x_new,
+                                     use_trap)
+            if estimate is not None:
+                lte, order = estimate
+                ratio = _error_ratio(lte, x_new, x, opts)
+                stats.record_ratio(ratio)
+                if ratio > 1.0 and h_step > h_floor * (1.0 + 1e-9):
+                    # Too inaccurate: reject and re-solve smaller.
+                    # Distinct from the Newton-failure shrink above.
+                    stats.rejected_lte += 1
+                    factor = opts.lte_safety * ratio ** (-1.0 / order)
+                    h = max(h_step * min(max(factor, 0.1), 0.9),
+                            h_floor)
+                    continue
 
         # Accept the step.
         qdot_prev = c0 * (q_new - q_prev) + (d1 * qdot_prev if d1 else 0.0)
@@ -180,12 +376,60 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
         t = t_new
         times.append(t)
         solutions.append(x.copy())
+        stats.record_accept(h_step)
         force_be = hit_bp
+        if hit_bp:
+            # Source slopes may jump across a breakpoint; divided
+            # differences spanning it are meaningless.  Restart the
+            # history and rein in the step — the breakpoint may start a
+            # transition the controller cannot see yet.  The restart
+            # step is the one step no estimate supervises (and it is
+            # forced to first-order BE), so under LTE control its size
+            # scales with sqrt(lte_reltol): at the figure-level 2e-2
+            # protocols it restarts at 2*dt, while tight-tolerance runs
+            # restart small enough that the blind step's O(h^2) error
+            # stays in line with what the controller permits elsewhere.
+            hist_t = [t]
+            hist_x = [x.copy()]
+            if opts.adaptive:
+                if use_lte:
+                    factor = 2.0 * (opts.lte_reltol / 2e-2) ** 0.5
+                    h = min(h, dt * min(2.0, max(0.25, factor)))
+                else:
+                    h = min(h, dt)
+        else:
+            hist_t.append(t)
+            hist_x.append(x.copy())
+            if len(hist_t) > 3:
+                hist_t.pop(0)
+                hist_x.pop(0)
 
-        if opts.adaptive:
+        if not opts.adaptive or hit_bp:
+            continue
+        if control == "iter":
             if info.iterations <= 8:
-                h = min(h * opts.growth, h_max)
+                h = min(h * opts.growth, h_cap)
             elif info.iterations > 20:
                 h = max(h * 0.5, opts.dtmin)
+        elif ratio is not None:
+            # Grow (or shrink) from the measured error ratio so the
+            # next step rides the tolerance instead of a fixed factor.
+            factor = opts.lte_safety * max(ratio, 1e-12) ** (-1.0 / order)
+            factor = min(max(factor, 0.2), opts.lte_max_growth)
+            grown = h_step * factor
+            if h_step < h * (1.0 - 1e-9):
+                # The step was clipped for breakpoint alignment; do not
+                # let the clip, rather than the error, shrink h.
+                grown = max(grown, h)
+            h = min(max(grown, h_floor), h_cap)
+        else:
+            # No estimate yet (the step right after a discontinuity):
+            # grow cautiously — the solution may be entering a fast
+            # transition the history cannot see yet.
+            h = min(max(h_step, h) * opts.growth, h_cap)
 
-    return TransientResult(lay, np.asarray(times), np.asarray(solutions))
+    if have_solve_observers():
+        emit_solve_event(stats.to_event(
+            time.perf_counter() - wall_started, solver.name))
+    return TransientResult(lay, np.asarray(times), np.asarray(solutions),
+                           stats=stats)

@@ -15,9 +15,10 @@ sweeps of engine-aware experiments out over N worker processes,
 cache (on by default, under ``$REPRO_CACHE_DIR`` or
 ``~/.cache/repro-nems-cmos``), ``--backend`` pins the linear-solver
 backend (default ``auto``: sparse for large netlists, dense otherwise),
-and ``stats`` prints the solver/cache telemetry report of the most
-recent run — including the backend histogram and factorisation/fill-in
-counters.
+``--step-control`` pins the transient step control (default ``lte``,
+see :doc:`docs/transient`), and ``stats`` prints the solver/cache
+telemetry report of the most recent run — including the backend
+histogram, factorisation/fill-in counters and transient step counters.
 """
 
 from __future__ import annotations
@@ -30,7 +31,7 @@ import time
 import traceback
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.options import backend_override
+from repro.analysis.options import backend_override, step_control_override
 from repro.engine import config as engine_config
 from repro.engine import telemetry
 
@@ -160,7 +161,8 @@ def _run_command(args) -> int:
     summary: List[Tuple] = []
     failed_experiments: List[str] = []
     with engine_config.configured(config), \
-            backend_override(kind=args.backend):
+            backend_override(kind=args.backend), \
+            step_control_override(args.step_control):
         for exp_id in targets:
             snapshot = len(telemetry.SESSION.records)
             started = time.time()
@@ -240,6 +242,12 @@ def main(argv: Optional[list] = None) -> int:
                         help="linear-solver backend for all analyses "
                              "(default: auto — sparse once a netlist "
                              "reaches the size threshold)")
+    runner.add_argument("--step-control", default=None,
+                        choices=("lte", "iter"),
+                        help="transient step control for all analyses "
+                             "(default: lte — local-truncation-error "
+                             "control; iter is the legacy Newton-"
+                             "iteration heuristic)")
     runner.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result-cache directory (default: "
                              "$REPRO_CACHE_DIR or "

@@ -16,9 +16,15 @@ implicitly together with the circuit by the same Newton iteration.
 Equations (normalised, ``omega0 = sqrt(k/m)``)::
 
     d(u)/dt / omega0 = w
-    d(w)/dt / omega0 = -w/Q - u - F_pen(u) + F_e(V_GS, u)     (x k g0)
+    d(w)/dt / omega0 = -w/Q - B_c(u) w - u - F_pen(u) + F_e(V_GS, u)
 
-with a smooth stiff-penalty contact force ``F_pen`` and the parallel-plate
+with a smooth stiff-penalty contact force ``F_pen``, a contact-localised
+damping ``B_c(u) = contact_damping * logistic((u - 1)/s_penalty)``
+(squeeze-film and impact dissipation at the dielectric surface — sized
+to the penalty spring's impedance so the beam latches on first touch
+instead of rebounding elastically, matching the latched down-branch the
+static hysteresis model assumes; it vanishes mid-gap, leaving resonant
+and pull-in dynamics untouched), and the parallel-plate
 electrostatic force ``F_e = eps0 A V^2 / (2 (g_gap + g_d)^2)`` where
 ``g_d`` is the dielectric's equivalent air thickness.  The channel uses
 the same smooth MOSFET core with the gate drive scaled by the capacitive
@@ -66,6 +72,13 @@ class NemfetParams:
         OFF-state floor leakage per metre of width [A/m].
     k_penalty / s_penalty:
         Normalised contact-penalty stiffness and smoothing width.
+    contact_damping:
+        Normalised damping coefficient active only at the contact
+        surface (same logistic window as the penalty force).  The
+        default matches the penalty spring's impedance
+        (``sqrt(k_penalty)``), absorbing the impact energy so the beam
+        latches on first touch — the behaviour the static down-branch
+        model assumes.  Set to 0 for a lossless (bouncing) contact.
     s_gap:
         Normalised smoothing of the gap clamp (keeps ``g_gap > 0``).
     """
@@ -80,6 +93,7 @@ class NemfetParams:
     i_floor_per_width: float
     k_penalty: float = 2000.0
     s_penalty: float = 0.01
+    contact_damping: float = 45.0
     s_gap: float = 0.02
     c_junction_per_width: float = 0.4e-9
 
@@ -90,6 +104,10 @@ class NemfetParams:
                          ("dielectric_gap", self.dielectric_gap)):
             if v <= 0:
                 raise DesignError(f"NEMFET {label} must be positive, got {v}")
+        if self.contact_damping < 0:
+            raise DesignError(
+                f"NEMFET contact_damping must be non-negative, got "
+                f"{self.contact_damping}")
 
     @property
     def polarity(self) -> int:
@@ -157,6 +175,12 @@ class NemfetParams:
         s = self.s_penalty
         sp, dsp = softplus((u - 1.0) / s)
         return self.k_penalty * s * sp, self.k_penalty * dsp
+
+    def contact_damping_hat(self, u: float) -> Tuple[float, float]:
+        """Normalised contact damping coefficient B_c(u) and d/du."""
+        s = self.s_penalty
+        sg, dsg = sigmoid((u - 1.0) / s)
+        return self.contact_damping * sg, self.contact_damping * dsg / s
 
     # -- static characterisation --------------------------------------------
 
@@ -313,10 +337,12 @@ class Nemfet(Element):
 
         f_e, df_dv, df_du = p.force_electrostatic_hat(vgb, u)
         f_pen, dfp_du = p.force_penalty_hat(u)
+        b_c, dbc_du = p.contact_damping_hat(u)
         ctx.add_dot(sw, w * inv_w0, (sw,), (inv_w0,))
-        resid = w / p.q_factor + u + f_pen - f_e
+        resid = (1.0 / p.q_factor + b_c) * w + u + f_pen - f_e
         ctx.add(sw, resid, (sw, su, g, s),
-                (1.0 / p.q_factor, 1.0 + dfp_du - df_du,
+                (1.0 / p.q_factor + b_c,
+                 1.0 + dfp_du - df_du + dbc_du * w,
                  -df_dv, df_dv))
 
         # Gate charge through the moving air-gap capacitor.

@@ -4,9 +4,11 @@ A cache entry is keyed by a stable SHA-256 over the *content* of the
 job: the task function's qualified name, its canonicalised arguments
 (device parameters, analysis options, sweep coordinates — anything that
 determines the answer), an optional extra payload such as a netlist
-fingerprint, and a code-version salt.  Re-running an experiment with
-unchanged inputs is then a pure disk read; changing any parameter, the
-library version, or the cache schema changes the key and misses.
+fingerprint, a code-version salt, and the ambient analysis policy
+(linear-solver backend selection, default transient step control).
+Re-running an experiment with unchanged inputs is then a pure disk
+read; changing any parameter, the session policy, the library version,
+or the cache schema changes the key and misses.
 
 Invalidation rules:
 
@@ -28,6 +30,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
@@ -41,6 +44,23 @@ CACHE_SCHEMA = 1
 def code_salt() -> str:
     """Version salt mixed into every cache key."""
     return f"repro-{repro.__version__}-schema{CACHE_SCHEMA}"
+
+
+def ambient_salt() -> Tuple:
+    """Session-wide analysis policy folded into every job key.
+
+    Task functions are pure in their *arguments*, but two session-scoped
+    defaults — the linear-solver backend policy and the transient
+    step-control mode — change the numbers a task produces without
+    appearing in its signature.  Folding the active policy into the key
+    keeps a warm cache honest when a caller flips ``--backend`` or
+    ``--step-control``: each policy addresses its own entries instead of
+    silently replaying another policy's results.
+    """
+    from repro.analysis import options as analysis_options
+    backend = analysis_options.get_backend_options()
+    return ("ambient", backend.kind, backend.sparse_threshold,
+            analysis_options.get_default_step_control())
 
 
 def _canonical(obj: Any) -> Any:
@@ -94,6 +114,7 @@ def job_key(fn: Callable, args: Tuple = (), kwargs: Optional[Dict] = None,
     """Content-addressed cache key for one task invocation."""
     return stable_hash((
         code_salt(),
+        ambient_salt(),
         getattr(fn, "__module__", ""),
         getattr(fn, "__qualname__", repr(fn)),
         args,
@@ -113,15 +134,45 @@ def netlist_fingerprint(circuit) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+#: A ``.tmp`` file older than this is considered abandoned by a crashed
+#: writer; younger ones may belong to a live concurrent :meth:`put`.
+STALE_TMP_AGE = 3600.0
+
+
 class ResultCache:
     """Content-addressed pickle store under one directory."""
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str,
+                 stale_tmp_age: float = STALE_TMP_AGE):
         self.directory = directory
+        self.stale_tmp_age = stale_tmp_age
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        # Crashed writers leave ``.tmp`` files behind (the atomic-write
+        # protocol only cleans up on normal exception paths); sweep the
+        # stale ones so they cannot accumulate across sessions.
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        """Delete abandoned ``.tmp`` files; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.directory):
+            return removed
+        cutoff = time.time() - self.stale_tmp_age
+        for root, _dirs, files in os.walk(self.directory):
+            for name in files:
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(root, name)
+                try:
+                    if os.path.getmtime(path) <= cutoff:
+                        os.remove(path)
+                        removed += 1
+                except OSError:
+                    pass
+        return removed
 
     def _path(self, key: str) -> str:
         # Shard by the first byte to keep directory listings sane.
@@ -168,16 +219,27 @@ class ResultCache:
         self.stores += 1
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number of entries removed.
+
+        Also removes every ``.tmp`` leftover regardless of age (a
+        cleared cache has no live writers worth protecting); the count
+        covers real entries only.
+        """
         removed = 0
         if not os.path.isdir(self.directory):
             return removed
         for root, _dirs, files in os.walk(self.directory):
             for name in files:
+                path = os.path.join(root, name)
                 if name.endswith(".pkl"):
                     try:
-                        os.remove(os.path.join(root, name))
+                        os.remove(path)
                         removed += 1
+                    except OSError:
+                        pass
+                elif name.endswith(".tmp"):
+                    try:
+                        os.remove(path)
                     except OSError:
                         pass
         return removed

@@ -58,9 +58,32 @@ class SolveStats:
     #: ratio is the mean fill-in of the sparse backend.
     jacobian_nnz: int = 0
     factor_nnz: int = 0
+    #: Transient step-control counters (one "transient" event per run).
+    transient_runs: int = 0
+    steps_accepted: int = 0
+    steps_rejected_lte: int = 0
+    steps_rejected_newton: int = 0
+    min_step: float = 0.0
+    max_step: float = 0.0
+    #: Summed log-binned LTE error-ratio histogram across runs.
+    error_ratio_hist: List[int] = field(default_factory=list)
 
     def observe(self, event: SolveEvent) -> None:
         """Fold one solve event into the counters."""
+        if event.kind == "transient":
+            # A transient event summarises a whole run whose inner
+            # Newton solves already reported their own events — fold in
+            # the step counters only, never wall time or iterations.
+            self.transient_runs += 1
+            self.steps_accepted += event.steps_accepted
+            self.steps_rejected_lte += event.steps_rejected_lte
+            self.steps_rejected_newton += event.steps_rejected_newton
+            if event.steps_accepted:
+                self.min_step = (min(self.min_step, event.h_min)
+                                 if self.min_step else event.h_min)
+                self.max_step = max(self.max_step, event.h_max)
+            self._merge_hist(event.error_ratio_hist)
+            return
         self.solver_time += event.wall_time
         if event.kind == "newton":
             self.newton_solves += 1
@@ -85,6 +108,14 @@ class SolveStats:
         if event.converged and event.residual_norm == event.residual_norm:
             self.worst_residual = max(self.worst_residual,
                                       event.residual_norm)
+
+    def _merge_hist(self, hist) -> None:
+        hist = list(hist)
+        if len(self.error_ratio_hist) < len(hist):
+            self.error_ratio_hist += \
+                [0] * (len(hist) - len(self.error_ratio_hist))
+        for i, count in enumerate(hist):
+            self.error_ratio_hist[i] += count
 
     @property
     def fill_ratio(self) -> float:
@@ -111,6 +142,15 @@ class SolveStats:
         self.factorizations += other.factorizations
         self.jacobian_nnz += other.jacobian_nnz
         self.factor_nnz += other.factor_nnz
+        self.transient_runs += other.transient_runs
+        self.steps_accepted += other.steps_accepted
+        self.steps_rejected_lte += other.steps_rejected_lte
+        self.steps_rejected_newton += other.steps_rejected_newton
+        if other.min_step:
+            self.min_step = (min(self.min_step, other.min_step)
+                             if self.min_step else other.min_step)
+        self.max_step = max(self.max_step, other.max_step)
+        self._merge_hist(other.error_ratio_hist)
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -243,8 +283,8 @@ def report_to_text(report: Dict) -> str:
     if not groups:
         return "no engine jobs recorded"
     header = ["experiment", "jobs", "hits", "fail", "retried",
-              "newton iters", "dc strategies", "backends", "factors",
-              "fill", "solver [s]", "wall [s]"]
+              "newton iters", "steps acc/rej", "dc strategies",
+              "backends", "factors", "fill", "solver [s]", "wall [s]"]
     rows = []
     for summary in groups:
         solves = summary["solves"]
@@ -256,6 +296,11 @@ def report_to_text(report: Dict) -> str:
         jac_nnz = solves.get("jacobian_nnz", 0)
         fill = (f"{solves.get('factor_nnz', 0) / jac_nnz:.1f}x"
                 if jac_nnz else "-")
+        # Old reports predate transient step counters; default to zero.
+        rejected = (solves.get("steps_rejected_lte", 0)
+                    + solves.get("steps_rejected_newton", 0))
+        steps = (f"{solves.get('steps_accepted', 0)}/{rejected}"
+                 if solves.get("transient_runs", 0) else "-")
         rows.append([
             summary["group"] or "(ungrouped)",
             str(summary["jobs"]),
@@ -263,6 +308,7 @@ def report_to_text(report: Dict) -> str:
             str(summary["failures"]),
             str(summary["retried"]),
             str(solves["newton_iterations"]),
+            steps,
             strategies or "-",
             backends or "-",
             str(solves.get("factorizations", 0)),

@@ -27,6 +27,7 @@ from scipy import optimize
 
 from repro.analysis import measure
 from repro.analysis.dc import operating_point
+from repro.analysis.options import TransientOptions
 from repro.analysis.transient import transient
 from repro.circuit.netlist import Circuit
 from repro.circuit.waveforms import Pulse
@@ -241,10 +242,13 @@ class GatedBlock:
         return f"n{self.spec.n_stages}"
 
 
-def block_delay(spec: GatedBlockSpec, dt: float = 4e-12) -> float:
+def block_delay(spec: GatedBlockSpec, dt: float = 4e-12,
+                options: Optional[TransientOptions] = None) -> float:
     """Active-mode propagation delay through the gated chain [s]."""
     block = GatedBlock(spec)
-    result = transient(block.circuit, spec.t_stop, dt)
+    if options is None:
+        options = _block_transient_options(spec)
+    result = transient(block.circuit, spec.t_stop, dt, options=options)
     half = spec.vdd / 2
     edge_out = "rise" if spec.n_stages % 2 == 0 else "fall"
     return measure.propagation_delay(
@@ -253,7 +257,9 @@ def block_delay(spec: GatedBlockSpec, dt: float = 4e-12) -> float:
         edge_to=edge_out)
 
 
-def block_sleep_leakage(spec: GatedBlockSpec, dt: float = 4e-12) -> float:
+def block_sleep_leakage(spec: GatedBlockSpec, dt: float = 4e-12,
+                        options: Optional[TransientOptions] = None
+                        ) -> float:
     """Sleep-mode leakage power of the gated block [W].
 
     The sleep control is low; inputs are held low.  The NEMS switch
@@ -263,20 +269,43 @@ def block_sleep_leakage(spec: GatedBlockSpec, dt: float = 4e-12) -> float:
     block = GatedBlock(spec)
     block.sleep_source.value = spec.vdd if spec.header else 0.0
     block.input_source.value = 0.0
-    result = transient(block.circuit, 1.5e-9, dt)
+    if options is None:
+        options = _block_transient_options(spec)
+    result = transient(block.circuit, 1.5e-9, dt, options=options)
     op = operating_point(block.circuit, x0=result.final().x,
                          layout=result.layout)
     return op.source_power("VDD")
 
 
+def _block_transient_options(spec: GatedBlockSpec) -> TransientOptions:
+    """Step-control defaults for block-level transients.
+
+    Mirrors :func:`repro.library.gate_metrics.default_transient_options`:
+    second-order trapezoidal integration for pure-CMOS blocks, L-stable
+    backward Euler when a NEMS sleep switch brings pull-in/release
+    corners into the waveforms.
+    """
+    if spec.kind == "nems":
+        return TransientOptions(lte_reltol=1e-2)
+    return TransientOptions(method="trap", lte_reltol=2e-2,
+                            lte_max_dt_factor=256.0)
+
+
 def delay_degradation(kind: str, area_units: float,
                       base: Optional[GatedBlockSpec] = None) -> float:
-    """Fractional delay increase versus the ungated chain."""
+    """Fractional delay increase versus the ungated chain.
+
+    Both chains are integrated with the *gated* spec's step-control
+    options: the degradation is a few-percent delay ratio, and mixing
+    methods (trapezoidal baseline vs backward-Euler NEMS chain) would
+    leak their differing integration biases into it.
+    """
     template = base or GatedBlockSpec()
     ungated = replace_spec(template, kind="none", area_units=1.0)
     gated = replace_spec(template, kind=kind, area_units=area_units)
-    d0 = block_delay(ungated)
-    d1 = block_delay(gated)
+    options = _block_transient_options(gated)
+    d0 = block_delay(ungated, options=options)
+    d1 = block_delay(gated, options=options)
     return (d1 - d0) / d0
 
 
@@ -296,14 +325,21 @@ def size_for_delay_budget(kind: str, max_degradation: float,
     Returns the area in paper units.  This is the sizing loop behind the
     paper's claim that an (up-sized) NEMS sleep switch matches CMOS block
     performance while keeping its leakage advantage.
+
+    The degradation is not monotone in area: around the minimum size the
+    virtual-rail bounce of a switching event can give the single-edge
+    delay metric a transient head start (degradation even goes negative),
+    and the rail's junction-cap RC adds a mid-range hump.  Sizing
+    therefore bisects down from the known-good large-area side and
+    returns the crossing of the ON-resistance-dominated descending
+    branch — the branch the paper's sizing methodology reasons about —
+    rather than trusting small-area points.
     """
     if max_degradation <= 0:
         raise DesignError("delay budget must be positive")
     if delay_degradation(kind, a_max, base) > max_degradation:
         raise DesignError(
             f"even area {a_max} units exceeds the delay budget")
-    if delay_degradation(kind, a_min, base) <= max_degradation:
-        return a_min
     lo, hi = a_min, a_max
     for _ in range(24):
         mid = math.sqrt(lo * hi)

@@ -2,6 +2,7 @@
 
 import os
 import pickle
+import time
 
 import numpy as np
 import pytest
@@ -68,6 +69,25 @@ class TestJobKey:
         assert job_key(task_a, (2,), extra="fingerprint-1") != \
             job_key(task_a, (2,), extra="fingerprint-2")
 
+    def test_step_control_override_changes_key(self):
+        # A warm cache must not replay LTE-control results for an
+        # --step-control iter run (or vice versa): the ambient policy
+        # is part of the content the key addresses.
+        from repro.analysis.options import step_control_override
+        base = job_key(task_a, (2,))
+        with step_control_override("iter"):
+            assert job_key(task_a, (2,)) != base
+        assert job_key(task_a, (2,)) == base
+
+    def test_backend_override_changes_key(self):
+        from repro.analysis.options import backend_override
+        base = job_key(task_a, (2,))
+        with backend_override(kind="dense"):
+            assert job_key(task_a, (2,)) != base
+        with backend_override(sparse_threshold=8):
+            assert job_key(task_a, (2,)) != base
+        assert job_key(task_a, (2,)) == base
+
 
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path):
@@ -111,6 +131,36 @@ class TestResultCache:
             cache.put(job_key(task_a, (i,)), i)
         assert cache.clear() == 3
         assert cache.get(job_key(task_a, (0,)))[0] is False
+
+    def test_clear_sweeps_tmp_leftovers(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(job_key(task_a, (1,)), 1)
+        shard = os.path.dirname(cache._path(job_key(task_a, (1,))))
+        leftover = os.path.join(shard, "crashed-writer.tmp")
+        with open(leftover, "w") as handle:
+            handle.write("partial")
+        # The count covers real entries only, but the .tmp goes too.
+        assert cache.clear() == 1
+        assert not os.path.exists(leftover)
+
+    def test_construction_sweeps_stale_tmp(self, tmp_path):
+        first = ResultCache(str(tmp_path))
+        first.put(job_key(task_a, (1,)), 1)
+        shard = os.path.dirname(first._path(job_key(task_a, (1,))))
+        stale = os.path.join(shard, "stale.tmp")
+        fresh = os.path.join(shard, "fresh.tmp")
+        for path in (stale, fresh):
+            with open(path, "w") as handle:
+                handle.write("partial")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        cache = ResultCache(str(tmp_path))
+        # Only the stale leftover is swept: the fresh one may belong to
+        # a live writer in another process.
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh)
+        # The real entry survives the sweep.
+        assert cache.get(job_key(task_a, (1,))) == (True, 1)
 
 
 class TestNetlistFingerprint:

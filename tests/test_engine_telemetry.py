@@ -97,6 +97,71 @@ class TestSolveStats:
         clone = SolveStats.from_dict(stats.to_dict())
         assert clone == stats
 
+    def test_transient_events_fold_step_counters(self):
+        stats = SolveStats()
+        stats.observe(SolveEvent(
+            "transient", "lte", 55, 0.0, True, 0.2,
+            steps_accepted=40, steps_rejected_lte=3,
+            steps_rejected_newton=1, h_min=1e-12, h_max=6e-11,
+            error_ratio_hist=(1, 2, 3, 0, 0, 0, 0)))
+        stats.observe(SolveEvent(
+            "transient", "lte", 30, 0.0, True, 0.1,
+            steps_accepted=20, steps_rejected_lte=0,
+            steps_rejected_newton=0, h_min=4e-12, h_max=2e-11,
+            error_ratio_hist=(0, 1, 1, 1, 0, 0, 0)))
+        assert stats.transient_runs == 2
+        assert stats.steps_accepted == 60
+        assert stats.steps_rejected_lte == 3
+        assert stats.steps_rejected_newton == 1
+        assert stats.min_step == 1e-12
+        assert stats.max_step == 6e-11
+        assert stats.error_ratio_hist == [1, 3, 4, 1, 0, 0, 0]
+        # A run summary must not double-count its inner newton solves.
+        assert stats.newton_solves == 0
+        assert stats.newton_iterations == 0
+        assert stats.solver_time == 0.0
+
+    def test_merge_accumulates_transient_counters(self):
+        a = SolveStats(transient_runs=1, steps_accepted=10,
+                       min_step=2e-12, max_step=1e-11,
+                       error_ratio_hist=[1, 0])
+        b = SolveStats(transient_runs=2, steps_accepted=30,
+                       steps_rejected_lte=4, min_step=1e-12,
+                       max_step=3e-11, error_ratio_hist=[0, 2])
+        a.merge(b)
+        assert a.transient_runs == 3
+        assert a.steps_accepted == 40
+        assert a.steps_rejected_lte == 4
+        assert a.min_step == 1e-12
+        assert a.max_step == 3e-11
+        assert a.error_ratio_hist == [1, 2]
+
+    def test_report_text_shows_step_counters(self):
+        record = JobRecord(tag="t", group="g")
+        record.solves.observe(SolveEvent(
+            "transient", "lte", 10, 0.0, True, 0.1,
+            steps_accepted=25, steps_rejected_lte=2,
+            error_ratio_hist=(0, 0, 1)))
+        session = RunTelemetry()
+        session.record(record)
+        text = report_to_text(session.to_report())
+        assert "steps acc/rej" in text
+        assert "25/2" in text
+
+    def test_report_text_tolerates_old_reports(self):
+        """Reports written before step counters existed still render."""
+        record = JobRecord(tag="t", group="g")
+        report = RunTelemetry()
+        report.record(record)
+        data = report.to_report()
+        for group in data["groups"]:
+            for key in ("transient_runs", "steps_accepted",
+                        "steps_rejected_lte", "steps_rejected_newton",
+                        "min_step", "max_step", "error_ratio_hist"):
+                group["solves"].pop(key, None)
+        text = report_to_text(data)
+        assert "steps acc/rej" in text
+
 
 class TestRunnerTelemetry:
     def test_jobs_capture_solver_stats(self):

@@ -66,7 +66,13 @@ def fig17_sleep():
 
 
 def test_fig09_keeper_point(golden):
-    golden.check("fig09", fig09_point())
+    # The delay rides the adaptive LTE step sequence: a borderline
+    # accept/reject near ratio == 1 may flip across FP environments and
+    # shift the measured delay by a fraction of the LTE tolerance, so
+    # it gets a looser (but still sub-percent) comparison than the
+    # discretisation-free DC noise margin.
+    golden.check("fig09", fig09_point(),
+                 rtol_overrides={"delay_s": 5e-3})
 
 
 def test_fig14_static_noise_margin(golden):

@@ -59,6 +59,62 @@ class TestCrossings:
         with pytest.raises(MeasurementError):
             measure.cross_times(np.zeros(3), np.zeros(4), 0.0)
 
+    def test_rise_starting_exactly_at_level(self):
+        """A signal that starts on the level and rises is a crossing."""
+        t = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.5, 1.0, 1.5])
+        assert measure.cross_times(t, y, 0.5, "rise") == [0.0]
+        assert measure.cross_times(t, y, 0.5, "any") == [0.0]
+        assert measure.cross_times(t, y, 0.5, "fall") == []
+
+    def test_fall_starting_exactly_at_level(self):
+        t = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.5, 0.0, -0.5])
+        assert measure.cross_times(t, y, 0.5, "fall") == [0.0]
+        assert measure.cross_times(t, y, 0.5, "rise") == []
+
+    def test_sample_on_level_not_double_counted(self):
+        """A rise whose middle sample lands on the level counts once."""
+        t = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 0.5, 1.0])
+        assert measure.cross_times(t, y, 0.5, "rise") == [1.0]
+        assert measure.cross_times(t, y, 0.5, "any") == [1.0]
+
+    def test_touch_from_below_counts_rise_and_fall(self):
+        """Touching the level from below is a rise then a fall."""
+        t = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 0.5, 0.0])
+        assert measure.cross_times(t, y, 0.5, "rise") == [1.0]
+        assert measure.cross_times(t, y, 0.5, "fall") == [1.0]
+
+    def test_flat_stretch_at_level_then_rise(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        y = np.array([0.5, 0.5, 0.5, 1.0])
+        assert measure.cross_times(t, y, 0.5, "rise") == [2.0]
+
+    def test_vectorised_matches_reference_loop(self):
+        """The numpy implementation agrees with the obvious O(n) loop."""
+        rng = np.random.default_rng(7)
+        t = np.linspace(0.0, 1.0, 400)
+        y = np.round(np.cumsum(rng.normal(size=400)) * 0.3, 1)
+        for edge in ("rise", "fall", "any"):
+            expected = []
+            d = y - 0.0
+            for i in range(len(d) - 1):
+                d0, d1 = d[i], d[i + 1]
+                prev_nonneg = i == 0 or d[i - 1] >= 0.0
+                rise = (d0 < 0.0 <= d1) or \
+                    (d0 == 0.0 and d1 > 0.0 and prev_nonneg)
+                fall = d0 >= 0.0 > d1
+                if (edge == "rise" and not rise) or \
+                        (edge == "fall" and not fall) or \
+                        (edge == "any" and not (rise or fall)):
+                    continue
+                frac = -d0 / (d1 - d0)
+                expected.append(float(t[i] + frac * (t[i + 1] - t[i])))
+            assert measure.cross_times(t, y, 0.0, edge) == \
+                pytest.approx(expected)
+
     @given(level=st.floats(min_value=0.05, max_value=0.95))
     @settings(max_examples=20)
     def test_ramp_crossing_matches_level(self, level):

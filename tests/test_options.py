@@ -40,6 +40,58 @@ class TestTransientOptions:
         a.newton.max_iterations = 7
         assert b.newton.max_iterations != 7
 
+    def test_lte_knob_defaults_sane(self):
+        opts = TransientOptions()
+        assert opts.step_control is None
+        assert opts.trtol > 0
+        assert 0 < opts.lte_reltol < 1
+        assert opts.lte_abstol >= 0
+        assert opts.lte_max_growth > 1.0
+        assert 0 < opts.lte_safety <= 1.0
+        assert opts.lte_max_dt_factor >= opts.max_dt_factor
+        assert 0 < opts.lte_min_dt_factor <= 1.0
+
+    def test_unknown_step_control_rejected(self):
+        with pytest.raises(ValueError):
+            TransientOptions(step_control="magic")
+
+    def test_bad_lte_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            TransientOptions(trtol=0.0)
+        with pytest.raises(ValueError):
+            TransientOptions(lte_reltol=0.0)
+        with pytest.raises(ValueError):
+            TransientOptions(lte_abstol=-1.0)
+        with pytest.raises(ValueError):
+            TransientOptions(lte_max_growth=1.0)
+        with pytest.raises(ValueError):
+            TransientOptions(lte_safety=1.5)
+        with pytest.raises(ValueError):
+            TransientOptions(lte_min_dt_factor=0.0)
+
+    def test_resolve_step_control_follows_session_default(self):
+        from repro.analysis.options import step_control_override
+        opts = TransientOptions()
+        assert opts.resolve_step_control() == "lte"
+        with step_control_override("iter"):
+            assert opts.resolve_step_control() == "iter"
+            pinned = TransientOptions(step_control="lte")
+            assert pinned.resolve_step_control() == "lte"
+        assert opts.resolve_step_control() == "lte"
+
+    def test_override_rejects_unknown_and_restores(self):
+        from repro.analysis.options import (
+            get_default_step_control,
+            step_control_override,
+        )
+        with pytest.raises(ValueError):
+            with step_control_override("magic"):
+                pass
+        assert get_default_step_control() == "lte"
+        # None is a pass-through no-op for optional CLI flags.
+        with step_control_override(None):
+            assert get_default_step_control() == "lte"
+
 
 class TestHomotopyOptions:
     def test_gmin_schedule_descends(self):

@@ -1,0 +1,266 @@
+"""LTE step control: convergence order, statistics, golden regression.
+
+The convergence tests integrate an RC low-pass driven by a *smooth*
+(breakpoint-free) sine so the measured error isolates the integrator:
+backward Euler must converge at O(h) and the trapezoidal rule at
+O(h^2).  The control tests exercise the accept/reject machinery, the
+per-run :class:`~repro.analysis.transient.StepStats`, and the
+``kind="transient"`` solve event.  The regression test at the bottom
+re-runs the golden Figure 9 keeper point under both step controls and
+asserts LTE control reproduces the frozen value with at least half the
+accepted steps of the legacy iteration heuristic.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro import Circuit, Pulse, transient, TransientOptions
+from repro.circuit.waveforms import Waveform
+from repro.analysis.options import (
+    get_default_step_control,
+    step_control_override,
+)
+from repro.analysis.solver import (
+    add_solve_observer,
+    remove_solve_observer,
+)
+from repro.analysis.transient import ERROR_RATIO_EDGES, _lte_estimate
+
+TAU = 1e-9          # RC time constant [s]
+OMEGA = 2 * math.pi / 4e-9
+
+
+class _Sine(Waveform):
+    """Smooth drive with no interior breakpoints."""
+
+    def value(self, t: float) -> float:
+        return math.sin(OMEGA * t)
+
+
+def _sine_rc() -> Circuit:
+    c = Circuit("sine_rc")
+    c.vsource("V1", "in", "0", _Sine())
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 1e-12)
+    return c
+
+
+def _sine_rc_exact(t: np.ndarray) -> np.ndarray:
+    """Response of the RC to sin(wt) from a discharged start."""
+    wt = OMEGA * TAU
+    return (np.sin(OMEGA * t) - wt * np.cos(OMEGA * t)
+            + wt * np.exp(-t / TAU)) / (1 + wt * wt)
+
+
+def _pulse_rc(td: float = 0.2e-9) -> Circuit:
+    c = Circuit("pulse_rc")
+    c.vsource("V1", "in", "0", Pulse(0.0, 1.0, td=td, tr=1e-12,
+                                     pw=1.0, per=None))
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 1e-12)
+    return c
+
+
+def _fixed_step_error(method: str, h: float, tm: float = 2.4e-9) -> float:
+    res = transient(_sine_rc(), 2.5e-9, h,
+                    options=TransientOptions(method=method,
+                                             adaptive=False))
+    # Compare at the accepted sample nearest ``tm``: interpolating
+    # between samples would add an O(h^2) error of its own and mask the
+    # trapezoidal order.
+    i = int(np.argmin(np.abs(res.t - tm)))
+    return abs(float(res.voltage("out")[i])
+               - float(_sine_rc_exact(res.t[i : i + 1])[0]))
+
+
+class TestConvergenceOrder:
+    def test_backward_euler_is_first_order(self):
+        errs = [_fixed_step_error("be", h)
+                for h in (80e-12, 40e-12, 20e-12)]
+        for coarse, fine in zip(errs, errs[1:]):
+            assert 1.6 < coarse / fine < 2.5
+
+    def test_trapezoidal_is_second_order(self):
+        errs = [_fixed_step_error("trap", h)
+                for h in (80e-12, 40e-12, 20e-12)]
+        for coarse, fine in zip(errs, errs[1:]):
+            assert 3.2 < coarse / fine < 4.9
+
+    def test_orders_separate_clearly(self):
+        assert _fixed_step_error("trap", 40e-12) < \
+            0.1 * _fixed_step_error("be", 40e-12)
+
+
+class TestLteControl:
+    def test_lte_is_session_default(self):
+        assert get_default_step_control() == "lte"
+        res = transient(_pulse_rc(), 4e-9, 5e-12)
+        assert res.stats.control == "lte"
+
+    def test_fixed_step_records_fixed_control(self):
+        res = transient(_pulse_rc(), 1e-9, 20e-12,
+                        options=TransientOptions(adaptive=False))
+        assert res.stats.control == "fixed"
+        assert res.stats.rejected_lte == 0
+
+    def test_override_reaches_nested_solves(self):
+        with step_control_override("iter"):
+            res = transient(_pulse_rc(), 1e-9, 20e-12)
+        assert res.stats.control == "iter"
+        assert res.stats.error_ratio_hist == \
+            [0] * (len(ERROR_RATIO_EDGES) + 1)
+
+    def test_explicit_option_beats_session_default(self):
+        with step_control_override("iter"):
+            res = transient(
+                _pulse_rc(), 1e-9, 20e-12,
+                options=TransientOptions(step_control="lte"))
+        assert res.stats.control == "lte"
+
+    def test_lte_uses_fewer_steps_at_same_accuracy(self):
+        """On the smooth settling tail LTE outruns the fixed heuristic."""
+        with step_control_override("iter"):
+            res_iter = transient(_pulse_rc(), 10e-9, 5e-12)
+        res_lte = transient(
+            _pulse_rc(), 10e-9, 5e-12,
+            options=TransientOptions(step_control="lte",
+                                     lte_max_dt_factor=256.0))
+        assert res_lte.stats.accepted < 0.7 * res_iter.stats.accepted
+        exact = 1 - np.exp(-(9e-9 - 0.2e-9 - 1e-12) / TAU)
+        v = float(np.interp(9e-9, res_lte.t, res_lte.voltage("out")))
+        assert v == pytest.approx(exact, abs=2e-3)
+
+    def test_tight_tolerance_rejects_steps(self):
+        res = transient(
+            _pulse_rc(), 6e-9, 40e-12,
+            options=TransientOptions(step_control="lte", trtol=1.0,
+                                     lte_reltol=1e-5,
+                                     lte_max_growth=8.0,
+                                     lte_max_dt_factor=256.0))
+        assert res.stats.rejected_lte > 0
+        assert res.stats.attempts == (res.stats.accepted
+                                      + res.stats.rejected_lte
+                                      + res.stats.rejected_newton)
+
+    def test_tighter_tolerance_takes_more_steps(self):
+        counts = []
+        for reltol in (1e-2, 1e-4):
+            res = transient(
+                _pulse_rc(), 6e-9, 5e-12,
+                options=TransientOptions(step_control="lte",
+                                         lte_reltol=reltol))
+            counts.append(res.stats.accepted)
+        assert counts[1] > counts[0]
+
+    def test_stats_step_extrema_and_histogram(self):
+        res = transient(_pulse_rc(), 6e-9, 5e-12)
+        stats = res.stats
+        assert 0.0 < stats.h_min <= stats.h_max
+        assert stats.h_max <= 6e-9
+        # Every ratio measurement lands in exactly one histogram bin.
+        assert sum(stats.error_ratio_hist) <= stats.attempts
+        assert len(stats.error_ratio_hist) == len(ERROR_RATIO_EDGES) + 1
+
+    def test_steps_still_land_on_breakpoints(self):
+        res = transient(_pulse_rc(td=1.234e-9), 3e-9, 0.3e-9)
+        assert np.min(np.abs(res.t - 1.234e-9)) < 1e-15
+
+    def test_transient_solve_event_emitted(self):
+        events = []
+        add_solve_observer(events.append)
+        try:
+            res = transient(_pulse_rc(), 1e-9, 20e-12)
+        finally:
+            remove_solve_observer(events.append)
+        summaries = [e for e in events if e.kind == "transient"]
+        assert len(summaries) == 1
+        event = summaries[0]
+        assert event.strategy == "lte"
+        assert event.steps_accepted == res.stats.accepted
+        assert event.steps_accepted == len(res) - 1
+        assert event.h_min == res.stats.h_min
+        assert tuple(res.stats.error_ratio_hist) == \
+            event.error_ratio_hist
+
+    def test_lte_estimate_guards_degenerate_history(self):
+        x = np.ones(2)
+        # Too little history.
+        assert _lte_estimate([0.0], [x], 1e-12, x, False) is None
+        # Duplicated time point: refusing the estimate beats the 0/0
+        # that would otherwise NaN-poison the step controller.
+        assert _lte_estimate([1e-12, 1e-12], [x, x], 2e-12, x,
+                             False) is None
+        # Trap needs three increasing points.
+        assert _lte_estimate([0.0, 1e-12], [x, x], 2e-12, x,
+                             True) is None
+        assert _lte_estimate([1e-12, 1e-12, 2e-12], [x, x, x], 3e-12,
+                             x, True) is None
+        estimate = _lte_estimate([0.0, 1e-12], [x, 2 * x], 2e-12,
+                                 4 * x, False)
+        assert estimate is not None
+        lte, order = estimate
+        assert order == 2
+        assert np.all(np.isfinite(lte))
+
+
+def _golden_fig09():
+    path = os.path.join(os.path.dirname(__file__), "golden",
+                        "fig09.json")
+    with open(path) as handle:
+        return json.load(handle)
+
+
+class TestGoldenRegression:
+    def test_fig09_lte_halves_steps_at_golden_accuracy(self):
+        """LTE reproduces the frozen fig09 point with >= 2x fewer steps.
+
+        This is the acceptance benchmark of the step-control change in
+        miniature: same circuit, same measurement, both controls, and
+        the frozen golden value as the accuracy referee.
+        """
+        from repro.experiments.fig09_keeper_tradeoff import (
+            keeper_point_task,
+        )
+        golden = _golden_fig09()
+        counts = {}
+        delays = {}
+        for control in ("iter", "lte"):
+            accepted = []
+
+            def observe(event, accepted=accepted):
+                if event.kind == "transient":
+                    accepted.append(event.steps_accepted)
+
+            add_solve_observer(observe)
+            try:
+                with step_control_override(control):
+                    _nm, delay = keeper_point_task(8, 3.0, 0.05, 3.0,
+                                                   2e-6)
+            finally:
+                remove_solve_observer(observe)
+            counts[control] = sum(accepted)
+            delays[control] = delay
+        assert counts["lte"] * 2 <= counts["iter"]
+        assert delays["lte"] == pytest.approx(golden["delay_s"],
+                                              rel=5e-3)
+
+    def test_fig17_sleep_golden_is_step_control_invariant(self):
+        """The fig17 Ron/Ioff sweep must not drift with step control."""
+        from repro.library.sleep import sweep_sleep_devices
+        path = os.path.join(os.path.dirname(__file__), "golden",
+                            "fig17.json")
+        with open(path) as handle:
+            golden = json.load(handle)
+        with step_control_override("lte"):
+            rows = sweep_sleep_devices([1, 4])
+        for i, row in enumerate(rows):
+            assert row[1] == pytest.approx(
+                golden["ron_cmos_ohm"][i], rel=1e-6)
+            assert row[3] == pytest.approx(
+                golden["ron_nems_ohm"][i], rel=1e-6)
