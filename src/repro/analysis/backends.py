@@ -35,9 +35,12 @@ solves) that the solver folds into its
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Optional, Union
 
 import numpy as np
+
+from repro import profiling
 
 from repro.analysis.options import BackendOptions, get_backend_options
 
@@ -154,12 +157,15 @@ def solve_linear(backend, J, b: np.ndarray) -> np.ndarray:
     :class:`numpy.linalg.LinAlgError` for the Newton loop to convert
     into a :class:`~repro.errors.ConvergenceError`.
     """
+    started = perf_counter()
     try:
         return backend.solve(J, b)
     except np.linalg.LinAlgError:
         shift = REGULARIZATION_SCALE * max(1.0, backend.inf_norm(J))
         backend.counters["regularized"] += 1
         return backend.solve(backend.regularize(J, shift), b)
+    finally:
+        profiling.COUNTERS["solve_time"] += perf_counter() - started
 
 
 def scipy_sparse_available() -> bool:

@@ -16,6 +16,17 @@ import contextlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
+# Device-evaluation policy (batched/scalar mode and SPICE-style
+# bypass).  It lives in repro.circuit.batch — the assembler needs it
+# below the analysis layer — and is re-exported here so callers find
+# every session-wide analysis policy in one module.
+from repro.circuit.batch import (  # noqa: F401
+    EvalOptions,
+    eval_override,
+    get_eval_options,
+    set_eval_options,
+)
+
 
 @dataclass
 class NewtonOptions:

@@ -32,6 +32,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import profiling
 from repro.analysis.backends import DenseSolver, LinearSolver, solve_linear
 from repro.analysis.options import (
     HomotopyOptions,
@@ -86,6 +87,15 @@ class SolveEvent:
     #: Log-binned histogram of LTE error ratios of *attempted* steps
     #: (see :data:`repro.analysis.transient.ERROR_RATIO_EDGES`).
     error_ratio_hist: Tuple[int, ...] = ()
+    # -- per-phase wall-time split and device-bypass counters, from
+    # :mod:`repro.profiling` deltas over the solve.  Like the backend
+    # counters, aggregators should fold these from "newton" events only
+    # ("dc" events cover the same work again).
+    eval_time: float = 0.0      #: device/model evaluation [s]
+    assemble_time: float = 0.0  #: matrix/residual fold [s]
+    solve_time: float = 0.0     #: linear solves [s]
+    bypass_hits: int = 0        #: device evals skipped by bypass
+    bypass_evals: int = 0       #: device evals performed under bypass
 
 
 SolveObserver = Callable[[SolveEvent], None]
@@ -127,16 +137,24 @@ def _scaled_residual_norm(F: np.ndarray, row_tol: np.ndarray) -> float:
 def _backend_event(kind: str, strategy: str, iterations: int,
                    residual_norm: float, converged: bool,
                    wall_time: float, backend,
-                   counters_before: dict) -> SolveEvent:
-    """A SolveEvent carrying the backend's counter deltas."""
+                   counters_before: dict,
+                   phases_before: Optional[dict] = None) -> SolveEvent:
+    """A SolveEvent carrying the backend counter and phase deltas."""
     after = backend.counters
+    phases = (profiling.delta(phases_before)
+              if phases_before is not None else {})
     return SolveEvent(
         kind, strategy, iterations, residual_norm, converged, wall_time,
         backend=backend.name,
         factorizations=(after["factorizations"]
                         - counters_before["factorizations"]),
         jacobian_nnz=after["jacobian_nnz"] - counters_before["jacobian_nnz"],
-        factor_nnz=after["factor_nnz"] - counters_before["factor_nnz"])
+        factor_nnz=after["factor_nnz"] - counters_before["factor_nnz"],
+        eval_time=phases.get("eval_time", 0.0),
+        assemble_time=phases.get("assemble_time", 0.0),
+        solve_time=phases.get("solve_time", 0.0),
+        bypass_hits=int(phases.get("bypass_hits", 0)),
+        bypass_evals=int(phases.get("bypass_evals", 0)))
 
 
 def newton_solve(assemble: Callable, x0: np.ndarray, *,
@@ -162,6 +180,7 @@ def newton_solve(assemble: Callable, x0: np.ndarray, *,
                                backend=backend)
     started = time.perf_counter()
     before = dict(backend.counters)
+    phases_before = profiling.snapshot()
     try:
         x, q, info = _newton_iterate(assemble, x0, row_tol=row_tol,
                                      dx_limit=dx_limit, options=options,
@@ -170,12 +189,12 @@ def newton_solve(assemble: Callable, x0: np.ndarray, *,
         _notify(_backend_event("newton", "direct", err.iterations,
                                err.residual_norm, False,
                                time.perf_counter() - started,
-                               backend, before))
+                               backend, before, phases_before))
         raise
     _notify(_backend_event("newton", "direct", info.iterations,
                            info.residual_norm, True,
                            time.perf_counter() - started,
-                           backend, before))
+                           backend, before, phases_before))
     return x, q, info
 
 
@@ -271,6 +290,7 @@ def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
         backend = DenseSolver()
     started = time.perf_counter() if _solve_observers else 0.0
     counters_before = dict(backend.counters) if _solve_observers else {}
+    phases_before = profiling.snapshot() if _solve_observers else None
     total_iterations = 0
 
     def attempt(gmin: float, scale: float, guess: np.ndarray):
@@ -293,7 +313,8 @@ def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
             _notify(_backend_event("dc", strategy, total_iterations,
                                    info.residual_norm, True,
                                    time.perf_counter() - started,
-                                   backend, counters_before))
+                                   backend, counters_before,
+                                   phases_before))
         return x, q, final
 
     try:
@@ -327,7 +348,8 @@ def solve_with_homotopy(make_assemble: Callable, x0: np.ndarray, *,
             _notify(_backend_event("dc", "source", total_iterations,
                                    err.residual_norm, False,
                                    time.perf_counter() - started,
-                                   backend, counters_before))
+                                   backend, counters_before,
+                                   phases_before))
         raise ConvergenceError(
             f"DC solution failed after direct, gmin and source stepping: "
             f"{err}", residual_norm=err.residual_norm,

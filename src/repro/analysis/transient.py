@@ -346,6 +346,8 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
                     f"transient step fell below dtmin={opts.dtmin} at "
                     f"t={t:.3e}s") from None
             h = max(h_step * opts.shrink, opts.dtmin)
+            # Device-bypass caches describe the failed trajectory.
+            assembler.notify_discontinuity()
             continue
         stats.newton_iterations += info.iterations
 
@@ -367,6 +369,7 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
                     factor = opts.lte_safety * ratio ** (-1.0 / order)
                     h = max(h_step * min(max(factor, 0.1), 0.9),
                             h_floor)
+                    assembler.notify_discontinuity()
                     continue
 
         # Accept the step.
@@ -391,6 +394,9 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
             # stays in line with what the controller permits elsewhere.
             hist_t = [t]
             hist_x = [x.copy()]
+            # Source slopes may jump here; force the next step's device
+            # evaluation to be a full one.
+            assembler.notify_discontinuity()
             if opts.adaptive:
                 if use_lte:
                     factor = 2.0 * (opts.lte_reltol / 2e-2) ** 0.5

@@ -1,0 +1,448 @@
+"""Batched device evaluation: group-wise stamping for the MNA hot path.
+
+The scalar assembly path loops over elements in Python and each element
+makes scalar :meth:`StampContext.add`/:meth:`~StampContext.add_dot`
+calls — at a few microseconds of interpreter overhead per stamp, that
+loop dominates every Newton iteration once the linear solve is sparse.
+This module provides the machinery the :class:`~repro.circuit.mna.
+Assembler` uses to replace it:
+
+* :class:`BatchPlan` partitions a circuit's elements into homogeneous
+  groups (all resistors, all capacitors, all voltage/current sources,
+  all MOSFETs of *any* model card, all NEMFETs sharing a model card)
+  via the :meth:`Element.batch_key` hook.  Elements that do not
+  declare a group (inductors, user-defined devices) stay on the scalar
+  reference path.
+* Each :class:`BatchGroup` precomputes its *stamp structure* once —
+  flat row/column index arrays describing where every residual and
+  Jacobian contribution lands — so a per-iteration evaluation is a
+  handful of numpy gathers, one vectorised model evaluation, and a
+  scatter through frozen indices.  This extends the ``SparsePattern``
+  idea (symbolic once, numeric every iteration) upstream from the
+  matrix fold into the stamping phase itself.
+* :class:`EvalOptions` is the session-wide evaluation policy: the mode
+  (``"batched"`` default, ``"scalar"`` reference) and the SPICE-style
+  device bypass.  With bypass on, a group caches the terminal voltages
+  and model outputs of its last evaluation and skips instances whose
+  terminals moved less than ``bypass_reltol``/``bypass_abstol``; the
+  assembler's :meth:`~repro.circuit.mna.Assembler.notify_discontinuity`
+  guard forces a full evaluation on the first iteration after a
+  rejected step or a source breakpoint, when the cached point is known
+  to be far away.
+
+Charge bookkeeping: the plan runs a one-off discovery pass with a
+:class:`_ProbeContext` to count every element's ``add_dot`` calls, and
+assigns each element the same contiguous global charge slots the scalar
+path would discover, so ``q_prev`` vectors are interchangeable between
+modes and parity can be asserted slot by slot.
+
+Bypass tolerances are deliberately *tighter* than the Newton update
+tolerances (``reltol=1e-8``, ``abstol=1e-11`` volts): a bypassed
+device contributes a residual error of roughly ``g * dv``
+(transconductance times the un-tracked voltage motion), and that error
+does not shrink as Newton iterates — it floors the achievable residual
+norm.  With gm up to ~10 mS the defaults bound it near 1e-10 A, an
+order of magnitude under the 1 nA node-current tolerance, so
+convergence checks remain trustworthy.  Loosening the tolerances
+trades accuracy (and, past ~1e-7, convergence itself) for hit rate.
+Devices whose residuals are stiffer than a transconductance — the
+NEMFET's contact-penalty force — opt out of bypass entirely.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.waveforms import DC
+from repro.errors import AnalysisError
+
+__all__ = [
+    "EvalOptions", "get_eval_options", "set_eval_options",
+    "eval_override", "PlanStale", "BatchGroup", "BatchPlan",
+    "companion_values",
+]
+
+#: Evaluation modes understood by the assembler.
+EVAL_MODES = ("batched", "scalar")
+
+
+@dataclass(frozen=True)
+class EvalOptions:
+    """Device-evaluation policy (how stamps are computed, not what).
+
+    Attributes
+    ----------
+    mode:
+        ``"batched"`` (default) evaluates homogeneous device groups
+        with numpy; ``"scalar"`` runs every element's reference
+        ``load`` path.  Both produce the same system to ~1e-12.
+    bypass:
+        Enable SPICE-style device bypass (batched mode only).  Off by
+        default so golden results are bit-stable.
+    bypass_reltol / bypass_abstol:
+        Per-terminal voltage-change thresholds below which a device's
+        cached evaluation is reused.  Defaults are tighter than the
+        Newton tolerances; see the module docstring for the error
+        budget.
+    """
+
+    mode: str = "batched"
+    bypass: bool = False
+    bypass_reltol: float = 1e-8
+    bypass_abstol: float = 1e-11
+
+    def __post_init__(self):
+        if self.mode not in EVAL_MODES:
+            raise ValueError(
+                f"unknown eval mode {self.mode!r} "
+                f"(expected one of {EVAL_MODES})")
+        if self.bypass_reltol < 0.0 or self.bypass_abstol < 0.0:
+            raise ValueError("bypass tolerances must be >= 0")
+
+
+_eval_options = EvalOptions()
+
+
+def get_eval_options() -> EvalOptions:
+    """The session-wide evaluation policy new assemblers snapshot."""
+    return _eval_options
+
+
+def set_eval_options(options: EvalOptions) -> EvalOptions:
+    """Install ``options`` as the session policy; returns the previous."""
+    global _eval_options
+    if not isinstance(options, EvalOptions):
+        raise TypeError(f"expected EvalOptions, got {type(options)!r}")
+    previous = _eval_options
+    _eval_options = options
+    return previous
+
+
+@contextmanager
+def eval_override(mode: Optional[str] = None,
+                  bypass: Optional[bool] = None,
+                  bypass_reltol: Optional[float] = None,
+                  bypass_abstol: Optional[float] = None
+                  ) -> Iterator[EvalOptions]:
+    """Scoped evaluation-policy override (same pattern as the backend
+    and step-control overrides); ``None`` fields inherit the current
+    policy."""
+    current = get_eval_options()
+    overridden = EvalOptions(
+        mode=current.mode if mode is None else mode,
+        bypass=current.bypass if bypass is None else bypass,
+        bypass_reltol=(current.bypass_reltol if bypass_reltol is None
+                       else bypass_reltol),
+        bypass_abstol=(current.bypass_abstol if bypass_abstol is None
+                       else bypass_abstol))
+    previous = set_eval_options(overridden)
+    try:
+        yield overridden
+    finally:
+        set_eval_options(previous)
+
+
+class PlanStale(AnalysisError):
+    """A batch plan no longer describes its circuit (an element's model
+    card was replaced, or elements were added/removed); the assembler
+    rebuilds the plan and retries."""
+
+
+def companion_values(q: np.ndarray, slots: np.ndarray, c0: float,
+                     d1: float, q_prev: Optional[np.ndarray],
+                     qdot_prev: Optional[np.ndarray],
+                     q_now: np.ndarray):
+    """Record charges and return their companion residual contribution.
+
+    Vector counterpart of ``StampContext.add_dot``'s F-side arithmetic:
+    writes ``q`` into the global charge vector at ``slots`` and returns
+    ``c0*q - c0*q_prev[slots] (+ d1*qdot_prev[slots])`` — zero under DC
+    (``c0 == 0``), where charges are recorded but contribute nothing.
+    """
+    q_now[slots] = q
+    if c0 == 0.0:
+        return 0.0
+    hist = (-c0) * q_prev[slots]
+    if d1 != 0.0:
+        hist += d1 * qdot_prev[slots]
+    return c0 * q + hist
+
+
+class _ProbeContext:
+    """Minimal stand-in for ``StampContext`` used by the discovery pass.
+
+    Duck-types exactly what element ``load`` implementations touch —
+    ``x``/``t``/``source_scale`` and the two stamping methods — while
+    recording only the number of ``add_dot`` calls, which is all the
+    plan needs to assign global charge slots.
+    """
+
+    def __init__(self, layout):
+        self.x = layout.extend(layout.x_default)
+        self.t = 0.0
+        self.source_scale = 1.0
+        self.dot_calls = 0
+
+    def add(self, row, value, cols=(), derivs=()):
+        pass
+
+    def add_dot(self, row, q, cols=(), derivs=()):
+        self.dot_calls += 1
+
+
+class BatchGroup:
+    """Base class for a homogeneous element group.
+
+    Subclasses set, in ``_build``:
+
+    * ``f_rows`` — int64 row index per residual contribution; the
+      matching values are written into ``self.fvals`` by ``eval`` in
+      the same fixed block order every iteration.
+    * ``j_rows``/``j_cols`` — int64 COO indices per Jacobian
+      contribution, matching ``self.jvals``.
+
+    Indices refer to the *extended* system (ground pinned at index n);
+    the assembler filters ground entries when it folds the streams.
+    """
+
+    #: ``add_dot`` calls each member makes per load.
+    q_slots_per_member = 0
+
+    def __init__(self, members: Sequence, q_bases: np.ndarray, layout):
+        self.members = list(members)
+        self.m = len(self.members)
+        self.q_bases = np.asarray(q_bases, dtype=np.int64)
+        self.f_rows: np.ndarray
+        self.j_rows: np.ndarray
+        self.j_cols: np.ndarray
+        self.fvals: np.ndarray
+        self.jvals: np.ndarray
+        self._build(layout)
+
+    def _terminals(self) -> Tuple[np.ndarray, ...]:
+        """Per-terminal extended-index arrays, one per TERMINALS slot."""
+        idx = np.array([el._n for el in self.members], dtype=np.int64)
+        return tuple(np.ascontiguousarray(idx[:, k])
+                     for k in range(idx.shape[1]))
+
+    def _build(self, layout) -> None:
+        raise NotImplementedError
+
+    def eval(self, x: np.ndarray, t: float, source_scale: float,
+             c0: float, d1: float, q_prev: Optional[np.ndarray],
+             qdot_prev: Optional[np.ndarray], q_now: np.ndarray,
+             options: EvalOptions, bypass: bool) -> None:
+        """Fill ``fvals``/``jvals`` for the operating point ``x``.
+
+        ``bypass`` is the *effective* flag: ``options.bypass`` with the
+        assembler's discontinuity guard already applied, so a subclass
+        only consults its cache when ``bypass`` is true (but should keep
+        the cache warm whenever ``options.bypass`` is).
+        """
+        raise NotImplementedError
+
+
+class ResistorGroup(BatchGroup):
+    """All linear two-terminal resistors, any value."""
+
+    def _build(self, layout) -> None:
+        a, b = self._terminals()
+        self.a, self.b = a, b
+        self.f_rows = np.concatenate((a, b))
+        self.j_rows = np.concatenate((a, a, b, b))
+        self.j_cols = np.concatenate((a, b, a, b))
+        self.fvals = np.empty(2 * self.m)
+        self.jvals = np.empty(4 * self.m)
+        self._r_list = None
+        self._g = None
+
+    def eval(self, x, t, source_scale, c0, d1, q_prev, qdot_prev,
+             q_now, options, bypass) -> None:
+        m = self.m
+        # Re-probed every iteration (sweeps mutate values in place),
+        # but the conductance array is only rebuilt on a change.
+        r = [el.resistance for el in self.members]
+        if r != self._r_list:
+            self._r_list = r
+            self._g = 1.0 / np.array(r)
+        g = self._g
+        i = g * (x[self.a] - x[self.b])
+        fv, jv = self.fvals, self.jvals
+        fv[:m] = i
+        fv[m:] = -i
+        jv[:m] = g
+        jv[m:2 * m] = -g
+        jv[2 * m:3 * m] = -g
+        jv[3 * m:] = g
+
+
+class CapacitorGroup(BatchGroup):
+    """All linear two-terminal capacitors, any value."""
+
+    q_slots_per_member = 2
+
+    def _build(self, layout) -> None:
+        a, b = self._terminals()
+        self.a, self.b = a, b
+        self.f_rows = np.concatenate((a, b))
+        self.j_rows = np.concatenate((a, a, b, b))
+        self.j_cols = np.concatenate((a, b, a, b))
+        self.fvals = np.empty(2 * self.m)
+        self.jvals = np.empty(4 * self.m)
+        self.q_slot_mat = (self.q_bases[None, :]
+                           + np.arange(2, dtype=np.int64)[:, None])
+        self._q_stack = np.empty((2, self.m))
+        self._c_list = None
+        self._c = None
+
+    def eval(self, x, t, source_scale, c0, d1, q_prev, qdot_prev,
+             q_now, options, bypass) -> None:
+        m = self.m
+        c_now = [el.capacitance for el in self.members]
+        if c_now != self._c_list:
+            self._c_list = c_now
+            self._c = np.array(c_now)
+        c = self._c
+        q = c * (x[self.a] - x[self.b])
+        fv, jv = self.fvals, self.jvals
+        qs = self._q_stack
+        qs[0] = q
+        qs[1] = -q
+        fv[:2 * m] = np.ravel(companion_values(
+            qs, self.q_slot_mat, c0, d1, q_prev, qdot_prev, q_now))
+        cc = c0 * c
+        jv[:m] = cc
+        jv[m:2 * m] = -cc
+        jv[2 * m:3 * m] = -cc
+        jv[3 * m:] = cc
+
+
+class VsourceGroup(BatchGroup):
+    """All independent voltage sources, any waveform.
+
+    The Jacobian entries are the constant ``+/-1`` incidence pattern,
+    written once at build time; per iteration only the residual blocks
+    move.  Waveforms are sampled per member — a plain attribute read
+    for DC (the common case), ``value(t)`` otherwise — so reassigning
+    a member's waveform (metrics code swaps input sources) needs no
+    plan rebuild.
+    """
+
+    def _build(self, layout) -> None:
+        a, b = self._terminals()
+        self.a, self.b = a, b
+        br = np.fromiter((el._branch0 for el in self.members),
+                         dtype=np.int64, count=self.m)
+        self.br = br
+        self.f_rows = np.concatenate((a, b, br))
+        self.j_rows = np.concatenate((a, b, br, br))
+        self.j_cols = np.concatenate((br, br, a, b))
+        self.fvals = np.empty(3 * self.m)
+        self.jvals = np.empty(4 * self.m)
+        m = self.m
+        self.jvals[:m] = 1.0
+        self.jvals[m:2 * m] = -1.0
+        self.jvals[2 * m:3 * m] = 1.0
+        self.jvals[3 * m:] = -1.0
+
+    def eval(self, x, t, source_scale, c0, d1, q_prev, qdot_prev,
+             q_now, options, bypass) -> None:
+        m = self.m
+        levels = [wf.level if type(wf) is DC else wf.value(t)
+                  for wf in (el.waveform for el in self.members)]
+        i = x[self.br]
+        fv = self.fvals
+        fv[:m] = i
+        fv[m:2 * m] = -i
+        fv[2 * m:] = x[self.a] - x[self.b] - source_scale * np.array(levels)
+
+
+class IsourceGroup(BatchGroup):
+    """All independent current sources, any waveform."""
+
+    def _build(self, layout) -> None:
+        a, b = self._terminals()
+        self.a, self.b = a, b
+        self.f_rows = np.concatenate((a, b))
+        self.j_rows = np.empty(0, dtype=np.int64)
+        self.j_cols = np.empty(0, dtype=np.int64)
+        self.fvals = np.empty(2 * self.m)
+        self.jvals = np.empty(0)
+
+    def eval(self, x, t, source_scale, c0, d1, q_prev, qdot_prev,
+             q_now, options, bypass) -> None:
+        m = self.m
+        levels = [wf.level if type(wf) is DC else wf.value(t)
+                  for wf in (el.waveform for el in self.members)]
+        i = source_scale * np.array(levels)
+        self.fvals[:m] = i
+        self.fvals[m:] = -i
+
+
+class BatchPlan:
+    """Frozen partition of a circuit into batched groups + leftovers.
+
+    Built once per (circuit, layout) pair and cached on the layout;
+    rebuilding is cheap (one probe pass) and happens whenever the
+    element count changes or a group detects a stale model card.
+    """
+
+    def __init__(self, circuit, layout):
+        elements = list(circuit.elements)
+        self.n_elements = len(elements)
+        counts: List[int] = []
+        for element in elements:
+            probe = _ProbeContext(layout)
+            element.load(probe)
+            counts.append(probe.dot_calls)
+        bases = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        self.q_count = int(bases[-1])
+
+        grouped = {}
+        leftover: List = []
+        leftover_slots: List[int] = []
+        for element, base, count in zip(elements, bases[:-1], counts):
+            key = element.batch_key()
+            if key is None:
+                leftover.append(element)
+                leftover_slots.extend(range(base, base + count))
+                continue
+            members, member_bases, member_counts = grouped.setdefault(
+                key, ([], [], []))
+            members.append(element)
+            member_bases.append(base)
+            member_counts.append(count)
+        self.leftover = leftover
+        self.leftover_q_slots = np.asarray(leftover_slots,
+                                           dtype=np.int64)
+        self.groups: List[BatchGroup] = []
+        for members, member_bases, member_counts in grouped.values():
+            group = members[0].make_batch_group(
+                members, np.asarray(member_bases, dtype=np.int64),
+                layout)
+            expected = group.q_slots_per_member
+            for count_i, el in zip(member_counts, members):
+                if count_i != expected:
+                    raise PlanStale(
+                        f"element {el.name!r} makes {count_i} add_dot "
+                        f"calls but its group expects {expected}")
+            self.groups.append(group)
+        #: Concatenated residual rows of every group, for a single
+        #: bincount-based fold of all group fvals per assembly.
+        self.f_rows_all = (np.concatenate([g.f_rows for g in self.groups])
+                           if self.groups else np.empty(0, dtype=np.int64))
+        #: Node-diagonal indices for the gmin stamp.
+        self.diag = np.arange(layout.num_nodes, dtype=np.int64)
+        #: Lazily built (pattern, flat-position) pair for the dense
+        #: scatter (see ``Assembler._dense_from_pattern``).
+        self.dense_scatter = None
+        #: Lazily built Jacobian fold fast-path state (see
+        #: ``Assembler._fold_plan``): the group (row, col) streams are
+        #: frozen here, so after one symbolic fold the whole
+        #: drop-ground/dedup/gmin-diagonal scatter collapses to a
+        #: single cached slot map.
+        self.fold_cache = None

@@ -91,6 +91,24 @@ class Element:
         """Add this element's residual and Jacobian contributions."""
         raise NotImplementedError
 
+    # -- batched evaluation --------------------------------------------------
+
+    def batch_key(self):
+        """Grouping key for batched evaluation, or ``None``.
+
+        Elements returning the same (hashable) key are evaluated
+        together by the group :meth:`make_batch_group` builds; ``None``
+        (the default) keeps the element on the scalar ``load`` path.
+        See :mod:`repro.circuit.batch`.
+        """
+        return None
+
+    @staticmethod
+    def make_batch_group(members, q_bases, layout):
+        """Build the :class:`~repro.circuit.batch.BatchGroup` for a set
+        of elements that share this element's ``batch_key``."""
+        raise NotImplementedError
+
     def breakpoints(self, tstop: float):
         """Transient breakpoints contributed by this element."""
         return ()
@@ -119,6 +137,14 @@ class Resistor(Element):
         ctx.add(a, i, (a, b), (g, -g))
         ctx.add(b, -i, (a, b), (-g, g))
 
+    def batch_key(self):
+        return ("resistor",)
+
+    @staticmethod
+    def make_batch_group(members, q_bases, layout):
+        from repro.circuit.batch import ResistorGroup
+        return ResistorGroup(members, q_bases, layout)
+
 
 class Capacitor(Element):
     """Linear capacitor between two nodes.
@@ -145,6 +171,14 @@ class Capacitor(Element):
         q = c * (ctx.x[a] - ctx.x[b])
         ctx.add_dot(a, q, (a, b), (c, -c))
         ctx.add_dot(b, -q, (a, b), (-c, c))
+
+    def batch_key(self):
+        return ("capacitor",)
+
+    @staticmethod
+    def make_batch_group(members, q_bases, layout):
+        from repro.circuit.batch import CapacitorGroup
+        return CapacitorGroup(members, q_bases, layout)
 
 
 class Inductor(Element):
@@ -218,6 +252,16 @@ class VoltageSource(Element):
         vs = ctx.source_scale * self.waveform.value(ctx.t)
         ctx.add(j, ctx.x[a] - ctx.x[b] - vs, (a, b), (1.0, -1.0))
 
+    def batch_key(self):
+        # The group samples each member's waveform at eval time, so one
+        # group covers every source regardless of waveform type.
+        return ("vsource",)
+
+    @staticmethod
+    def make_batch_group(members, q_bases, layout):
+        from repro.circuit.batch import VsourceGroup
+        return VsourceGroup(members, q_bases, layout)
+
     def breakpoints(self, tstop: float):
         return self.waveform.breakpoints(tstop)
 
@@ -248,6 +292,14 @@ class CurrentSource(Element):
         # Current i flows out of node a (leaving), into node b.
         ctx.add(a, i, (), ())
         ctx.add(b, -i, (), ())
+
+    def batch_key(self):
+        return ("isource",)
+
+    @staticmethod
+    def make_batch_group(members, q_bases, layout):
+        from repro.circuit.batch import IsourceGroup
+        return IsourceGroup(members, q_bases, layout)
 
     def breakpoints(self, tstop: float):
         return self.waveform.breakpoints(tstop)

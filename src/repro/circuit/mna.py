@@ -39,12 +39,19 @@ The Jacobian can be accumulated two ways, selected by the assembler's
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import profiling
+from repro.circuit.batch import BatchPlan, PlanStale, get_eval_options
 from repro.circuit.netlist import Circuit, is_ground
 from repro.errors import NetlistError
+
+#: Shared empties for the no-leftover batched assembly path.
+_EMPTY_INT = np.empty(0, dtype=np.int64)
+_EMPTY_FLOAT = np.empty(0)
 
 #: Default KCL residual tolerance for node rows [A].
 NODE_TOL = 1e-9
@@ -101,6 +108,8 @@ class SystemLayout:
         #: Lazily built by sparse-mode assemblers; shared across every
         #: assembler bound to this layout (sweeps, transient restarts).
         self.sparse_pattern: Optional["SparsePattern"] = None
+        #: Lazily built by batched-mode assemblers (same sharing).
+        self.batch_plan: Optional[BatchPlan] = None
 
         # Per-row residual tolerances and per-unknown Newton clamps.
         tol = np.empty(self.n)
@@ -163,6 +172,11 @@ class SystemLayout:
         return out
 
 
+class _SlotMismatch(RuntimeError):
+    """An element's ``add_dot`` call count differs from the batch plan's
+    discovery pass — element ``load()`` is not analysis-independent."""
+
+
 class StampContext:
     """Mutable accumulation target passed to :meth:`Element.load`.
 
@@ -181,24 +195,38 @@ class StampContext:
     """
 
     __slots__ = ("x", "t", "source_scale", "F", "J", "c0", "d1",
-                 "q_now", "q_prev", "qdot_prev", "_qk",
+                 "q_now", "q_prev", "qdot_prev", "_qk", "q_slots",
                  "matrix_mode", "j_rows", "j_cols", "j_vals")
 
     def __init__(self, n: int, x_ext: np.ndarray, t: float,
                  source_scale: float, c0: float, d1: float,
                  q_prev: Optional[np.ndarray],
                  qdot_prev: Optional[np.ndarray],
-                 q_capacity: int, matrix_mode: str = "dense"):
+                 q_capacity: int, matrix_mode: str = "dense",
+                 q_slots: Optional[np.ndarray] = None,
+                 q_buffer: Optional[np.ndarray] = None,
+                 F_buffer: Optional[np.ndarray] = None,
+                 J_buffer: Optional[np.ndarray] = None):
         if matrix_mode not in ("dense", "sparse"):
             raise ValueError(f"unknown matrix mode '{matrix_mode}'")
         self.x = x_ext
         self.t = t
         self.source_scale = source_scale
         # Extended residual/Jacobian; ground row/column discarded at solve.
-        self.F = np.zeros(n + 1)
+        # Callers may lend reusable buffers (zeroed here) to avoid the
+        # per-iteration allocations; the assembler returns copies.
+        if F_buffer is not None:
+            F_buffer.fill(0.0)
+            self.F = F_buffer
+        else:
+            self.F = np.zeros(n + 1)
         self.matrix_mode = matrix_mode
         if matrix_mode == "dense":
-            self.J = np.zeros((n + 1, n + 1))
+            if J_buffer is not None:
+                J_buffer.fill(0.0)
+                self.J = J_buffer
+            else:
+                self.J = np.zeros((n + 1, n + 1))
             self.j_rows = self.j_cols = self.j_vals = None
         else:
             self.J = None
@@ -207,7 +235,14 @@ class StampContext:
             self.j_vals: List[float] = []
         self.c0 = c0
         self.d1 = d1
-        self.q_now = np.zeros(q_capacity) if q_capacity else None
+        # ``q_slots`` remaps the k-th add_dot call to a caller-assigned
+        # global charge slot (the batched assembler's leftover path);
+        # without it slots are assigned by call order, 0, 1, 2, ...
+        self.q_slots = q_slots
+        if q_buffer is not None:
+            self.q_now = q_buffer
+        else:
+            self.q_now = np.zeros(q_capacity) if q_capacity else None
         self.q_prev = q_prev
         self.qdot_prev = qdot_prev
         self._qk = 0
@@ -239,12 +274,21 @@ class StampContext:
         if self.q_now is None:
             # Discovery pass: grow implicitly via list-free double buffer.
             raise RuntimeError("StampContext created without charge slots")
-        if k >= self.q_now.shape[0]:
-            # Grow during the discovery assembly.
-            grown = np.zeros(max(16, 2 * self.q_now.shape[0]))
-            grown[:self.q_now.shape[0]] = self.q_now
-            self.q_now = grown
-        self.q_now[k] = q
+        if self.q_slots is not None:
+            if k >= self.q_slots.shape[0]:
+                raise _SlotMismatch(
+                    f"add_dot call #{k} exceeds the {self.q_slots.shape[0]} "
+                    f"charge slots assigned to this context; element "
+                    f"load() must be analysis-independent")
+            slot = int(self.q_slots[k])
+        else:
+            slot = k
+            if k >= self.q_now.shape[0]:
+                # Grow during the discovery assembly.
+                grown = np.zeros(max(16, 2 * self.q_now.shape[0]))
+                grown[:self.q_now.shape[0]] = self.q_now
+                self.q_now = grown
+        self.q_now[slot] = q
         c0 = self.c0
         if self.J is None:
             for col, d in zip(cols, derivs):
@@ -253,9 +297,9 @@ class StampContext:
                 self.j_vals.append(c0 * d)
         if c0 == 0.0:
             return
-        hist = -c0 * self.q_prev[k]
+        hist = -c0 * self.q_prev[slot]
         if self.d1 != 0.0:
-            hist += self.d1 * self.qdot_prev[k]
+            hist += self.d1 * self.qdot_prev[slot]
         self.F[row] += c0 * q + hist
         if self.J is not None:
             J_row = self.J[row]
@@ -312,12 +356,19 @@ class SparsePattern:
                 and np.array_equal(rows, self.rows)
                 and np.array_equal(cols, self.cols))
 
+    def fold(self, vals: np.ndarray) -> np.ndarray:
+        """Sum ``vals`` into the deduplicated CSC ``data`` array.
+
+        ``bincount`` accumulates in input order, like ``np.add.at``, so
+        the floating-point result is identical — it is just much faster
+        for large streams.
+        """
+        return np.bincount(self.slot, weights=vals, minlength=self.nnz)
+
     def assemble(self, vals: np.ndarray):
         """Sum ``vals`` into the cached structure; returns CSC."""
         from scipy.sparse import csc_matrix
-        data = np.zeros(self.nnz)
-        np.add.at(data, self.slot, vals)
-        return csc_matrix((data, self.indices, self.indptr),
+        return csc_matrix((self.fold(vals), self.indices, self.indptr),
                           shape=(self.size, self.size))
 
 
@@ -330,18 +381,53 @@ class Assembler:
     dense vector either way.  The sparse scatter pattern is cached on
     the layout, so assemblers sharing a layout (a DC sweep, a transient
     run) pay the symbolic analysis once.
+
+    ``eval_options`` selects the device-evaluation policy (see
+    :mod:`repro.circuit.batch`); when omitted, the session-wide policy
+    at construction time is snapshotted.  In ``"batched"`` mode (the
+    default policy) homogeneous element groups are evaluated with numpy
+    through a :class:`~repro.circuit.batch.BatchPlan` cached on the
+    layout, and ungrouped elements run the scalar reference path into
+    the same triplet/charge streams.  Both modes return the same system
+    to ~1e-12 (enforced by the parity suite).
+
+    Wall time spent in the element/model evaluation and the matrix fold
+    is attributed to the ``eval_time``/``assemble_time`` counters of
+    :mod:`repro.profiling`.
     """
 
     def __init__(self, circuit: Circuit,
                  layout: Optional[SystemLayout] = None,
-                 matrix_mode: str = "dense"):
+                 matrix_mode: str = "dense",
+                 eval_options=None):
         if matrix_mode not in ("dense", "sparse"):
             raise ValueError(f"unknown matrix mode '{matrix_mode}'")
         self.circuit = circuit
         self.layout = layout if layout is not None else SystemLayout(circuit)
         self.matrix_mode = matrix_mode
+        self.eval_options = (eval_options if eval_options is not None
+                             else get_eval_options())
         self._q_capacity = 16
         self._q_count: Optional[int] = None
+        # Device bypass is suppressed for one assembly after any
+        # discontinuity (and on the very first one, when caches are
+        # cold by construction).
+        self._force_full = True
+        # Reusable extended residual / dense Jacobian buffers.
+        self._F_buf: Optional[np.ndarray] = None
+        self._J_buf: Optional[np.ndarray] = None
+        self._gdiag: Optional[np.ndarray] = None
+
+    def notify_discontinuity(self) -> None:
+        """Force full device evaluation on the next assembly.
+
+        Transient analysis calls this after a rejected step and at
+        waveform breakpoints: the bypass caches describe an operating
+        point the solver is no longer near, so reusing them could let a
+        stale device linger within tolerance of the *wrong* point.
+        A no-op when bypass is off.
+        """
+        self._force_full = True
 
     def assemble(self, x: np.ndarray, *, t: float = 0.0,
                  source_scale: float = 1.0, c0: float = 0.0, d1: float = 0.0,
@@ -354,14 +440,34 @@ class Assembler:
         non-ground unknowns and ``q_now`` holds the charge-like quantities
         recorded by ``add_dot`` calls (for integrator history updates).
         ``J`` is dense or CSC according to the assembler's
-        ``matrix_mode``.
+        ``matrix_mode``.  The returned arrays are freshly allocated —
+        callers may hold them across later assemblies.
         """
+        if self.eval_options.mode == "batched":
+            return self._assemble_batched(x, t, source_scale, c0, d1,
+                                          q_prev, qdot_prev, gmin)
+        return self._assemble_scalar(x, t, source_scale, c0, d1,
+                                     q_prev, qdot_prev, gmin)
+
+    # -- scalar reference path ----------------------------------------------
+
+    def _assemble_scalar(self, x, t, source_scale, c0, d1, q_prev,
+                         qdot_prev, gmin):
         layout = self.layout
         n = layout.n
+        started = perf_counter()
         x_ext = layout.extend(x)
+        if self._F_buf is None:
+            self._F_buf = np.empty(n + 1)
+        J_buf = None
+        if self.matrix_mode == "dense":
+            if self._J_buf is None:
+                self._J_buf = np.empty((n + 1, n + 1))
+            J_buf = self._J_buf
         ctx = StampContext(n, x_ext, t, source_scale, c0, d1,
                            q_prev, qdot_prev, self._q_capacity,
-                           matrix_mode=self.matrix_mode)
+                           matrix_mode=self.matrix_mode,
+                           F_buffer=self._F_buf, J_buffer=J_buf)
         for element in self.circuit.elements:
             element.load(ctx)
         if self._q_count is None:
@@ -372,6 +478,7 @@ class Assembler:
                 f"inconsistent add_dot call count: {ctx.charge_count} vs "
                 f"{self._q_count}; element load() must be "
                 f"analysis-independent")
+        mid = perf_counter()
         F = ctx.F[:n].copy()
         nn = layout.num_nodes
         if gmin > 0.0:
@@ -379,28 +486,193 @@ class Assembler:
         if ctx.J is not None:
             J = ctx.J[:n, :n].copy()
             if gmin > 0.0:
-                J[:nn, :nn] += gmin * np.eye(nn)
+                if self._gdiag is None:
+                    self._gdiag = np.arange(nn)
+                J[self._gdiag, self._gdiag] += gmin
         else:
-            J = self._assemble_sparse(ctx, gmin)
+            J = self._fold_triplets(ctx.j_rows, ctx.j_cols, ctx.j_vals,
+                                    gmin, dense=False)
         q_now = (ctx.q_now[:self._q_count].copy()
                  if ctx.q_now is not None else np.zeros(0))
+        done = perf_counter()
+        profiling.COUNTERS["eval_time"] += mid - started
+        profiling.COUNTERS["assemble_time"] += done - mid
+        self._force_full = False
         return F, J, q_now
 
-    def _assemble_sparse(self, ctx: StampContext, gmin: float):
-        """Fold the context's COO triplets into an ``n x n`` CSC matrix.
+    # -- batched path --------------------------------------------------------
 
-        Ground-row/column triplets are dropped (the sparse equivalent of
-        the dense path's ``J[:n, :n]`` slice) and the node-diagonal gmin
-        entries are appended unconditionally — with value 0 when gmin is
-        off — so the structure is identical across homotopy strategies
-        and the cached :class:`SparsePattern` stays valid.
+    def _assemble_batched(self, x, t, source_scale, c0, d1, q_prev,
+                          qdot_prev, gmin):
+        layout = self.layout
+        plan = getattr(layout, "batch_plan", None)
+        if plan is None or plan.n_elements != len(self.circuit.elements):
+            plan = BatchPlan(self.circuit, layout)
+            layout.batch_plan = plan
+        try:
+            return self._assemble_batched_with(
+                plan, x, t, source_scale, c0, d1, q_prev, qdot_prev,
+                gmin)
+        except PlanStale:
+            # A group saw a changed model card: re-partition and retry
+            # (fresh groups have cold caches, so this is a full eval).
+            plan = BatchPlan(self.circuit, layout)
+            layout.batch_plan = plan
+            return self._assemble_batched_with(
+                plan, x, t, source_scale, c0, d1, q_prev, qdot_prev,
+                gmin)
+        except _SlotMismatch:
+            # An element's add_dot count disagrees with the discovery
+            # pass.  Before this assembler has a baseline count, fall
+            # back to the scalar path (which establishes one) so the
+            # inconsistency is diagnosed on a *subsequent* assembly,
+            # matching the scalar path's contract.
+            if self._q_count is not None:
+                raise
+            return self._assemble_scalar(x, t, source_scale, c0, d1,
+                                         q_prev, qdot_prev, gmin)
+
+    def _assemble_batched_with(self, plan, x, t, source_scale, c0, d1,
+                               q_prev, qdot_prev, gmin):
+        layout = self.layout
+        n = layout.n
+        nn = layout.num_nodes
+        started = perf_counter()
+        x_ext = layout.extend(x)
+        if self._F_buf is None:
+            self._F_buf = np.empty(n + 1)
+        q_now = np.zeros(plan.q_count)
+        if plan.leftover:
+            # Ungrouped elements stamp through the reference path into
+            # the shared charge vector and a triplet stream.
+            ctx = StampContext(n, x_ext, t, source_scale, c0, d1,
+                               q_prev, qdot_prev, 0, matrix_mode="sparse",
+                               q_slots=plan.leftover_q_slots,
+                               q_buffer=q_now, F_buffer=self._F_buf)
+            for element in plan.leftover:
+                element.load(ctx)
+            if ctx.charge_count != plan.leftover_q_slots.shape[0]:
+                raise _SlotMismatch(
+                    f"inconsistent add_dot call count on the "
+                    f"scalar-leftover path: {ctx.charge_count} vs "
+                    f"{plan.leftover_q_slots.shape[0]}; element load() "
+                    f"must be analysis-independent")
+            F_ext = ctx.F
+            lr = np.asarray(ctx.j_rows, dtype=np.int64)
+            lc = np.asarray(ctx.j_cols, dtype=np.int64)
+            lv = np.asarray(ctx.j_vals, dtype=float)
+        else:
+            F_ext = self._F_buf
+            F_ext.fill(0.0)
+            lr = lc = _EMPTY_INT
+            lv = _EMPTY_FLOAT
+        if self._q_count is None:
+            self._q_count = plan.q_count
+        options = self.eval_options
+        bypass = options.bypass and not self._force_full
+        for group in plan.groups:
+            group.eval(x_ext, t, source_scale, c0, d1, q_prev,
+                       qdot_prev, q_now, options, bypass)
+        mid = perf_counter()
+
+        if plan.groups:
+            fvals = np.concatenate([g.fvals for g in plan.groups])
+            F_ext += np.bincount(plan.f_rows_all, weights=fvals,
+                                 minlength=n + 1)
+        F = F_ext[:n].copy()
+        if gmin > 0.0:
+            F[:nn] += gmin * x[:nn]
+
+        J = self._fold_plan(plan, lr, lc, lv, gmin)
+        done = perf_counter()
+        profiling.COUNTERS["eval_time"] += mid - started
+        profiling.COUNTERS["assemble_time"] += done - mid
+        self._force_full = False
+        return F, J, q_now
+
+    # -- shared matrix fold --------------------------------------------------
+
+    def _fold_plan(self, plan, lr, lc, lv, gmin: float):
+        """Fold the plan's group triplets plus the scalar leftovers.
+
+        Group (row, col) streams are frozen at plan build time, so
+        after one symbolic fold the whole pipeline — drop ground
+        entries, dedup into CSC slots, append the gmin diagonal — is
+        captured in a single slot map cached on the plan (ground
+        entries route to a trash bin past ``nnz``).  A steady-state
+        fold is then one value concatenate and one ``bincount``, which
+        preserves the slow path's per-slot summation order and hence
+        its bit-exact result.  The cache is revalidated against the
+        leftover-element stream (the only part that could move) and
+        the layout's shared pattern object each call.
+        """
+        layout = self.layout
+        pattern = getattr(layout, "sparse_pattern", None)
+        dense = self.matrix_mode == "dense"
+        cache = plan.fold_cache
+        if (cache is not None and cache[0] is pattern
+                and lr.shape[0] == cache[1].shape[0]
+                and np.array_equal(lr, cache[1])
+                and np.array_equal(lc, cache[2])):
+            full_slot, diag_vals = cache[3], cache[4]
+            diag_vals.fill(gmin)
+            vals = np.concatenate(
+                [g.jvals for g in plan.groups] + [lv, diag_vals])
+            data = np.bincount(full_slot, weights=vals,
+                               minlength=pattern.nnz + 1)[:pattern.nnz]
+            return self._matrix_from_pattern(plan, pattern, data, dense)
+        rows = np.concatenate([g.j_rows for g in plan.groups] + [lr])
+        cols = np.concatenate([g.j_cols for g in plan.groups] + [lc])
+        vals = np.concatenate([g.jvals for g in plan.groups] + [lv])
+        J = self._fold_triplets(rows, cols, vals, gmin, dense=dense,
+                                plan=plan)
+        n = layout.n
+        nn = layout.num_nodes
+        pattern = layout.sparse_pattern
+        keep = np.concatenate(((rows != n) & (cols != n),
+                               np.ones(nn, dtype=bool)))
+        full_slot = np.full(keep.shape[0], pattern.nnz, dtype=np.int64)
+        full_slot[keep] = pattern.slot
+        plan.fold_cache = (pattern, lr, lc, full_slot, np.empty(nn))
+        return J
+
+    def _matrix_from_pattern(self, plan, pattern, data, dense: bool):
+        """Wrap pre-folded CSC data as the requested matrix type."""
+        n = self.layout.n
+        if not dense:
+            from scipy.sparse import csc_matrix
+            return csc_matrix((data, pattern.indices, pattern.indptr),
+                              shape=(n, n))
+        scatter = plan.dense_scatter
+        if scatter is None or scatter[0] is not pattern:
+            flat_cols = np.repeat(np.arange(n, dtype=np.int64),
+                                  np.diff(pattern.indptr))
+            scatter = (pattern,
+                       pattern.indices.astype(np.int64) * n + flat_cols)
+            plan.dense_scatter = scatter
+        J = np.zeros((n, n))
+        J.ravel()[scatter[1]] = data
+        return J
+
+    def _fold_triplets(self, j_rows, j_cols, j_vals, gmin: float,
+                       dense: bool, plan=None):
+        """Fold a COO triplet stream into the ``n x n`` Jacobian.
+
+        Ground-row/column triplets are dropped (the sparse equivalent
+        of the dense path's ``J[:n, :n]`` slice) and the node-diagonal
+        gmin entries are appended unconditionally — with value 0 when
+        gmin is off — so the structure is identical across homotopy
+        strategies and the cached :class:`SparsePattern` stays valid.
+        With ``dense=True`` the deduplicated values are scattered into
+        a fresh dense array through flat positions cached on the plan,
+        so the dense and sparse batched Jacobians are bit-identical.
         """
         layout = self.layout
         n = layout.n
         nn = layout.num_nodes
-        rows = np.asarray(ctx.j_rows, dtype=np.int64)
-        cols = np.asarray(ctx.j_cols, dtype=np.int64)
-        vals = np.asarray(ctx.j_vals, dtype=float)
+        rows = np.asarray(j_rows, dtype=np.int64)
+        cols = np.asarray(j_cols, dtype=np.int64)
+        vals = np.asarray(j_vals, dtype=float)
         keep = (rows != n) & (cols != n)
         if not np.all(keep):
             rows, cols, vals = rows[keep], cols[keep], vals[keep]
@@ -412,7 +684,17 @@ class Assembler:
         if pattern is None or not pattern.matches(rows, cols):
             pattern = SparsePattern(rows, cols, n)
             layout.sparse_pattern = pattern
-        return pattern.assemble(vals)
+        if not dense:
+            return pattern.assemble(vals)
+        if plan is not None:
+            return self._matrix_from_pattern(plan, pattern,
+                                             pattern.fold(vals), dense)
+        flat_cols = np.repeat(np.arange(n, dtype=np.int64),
+                              np.diff(pattern.indptr))
+        flat = pattern.indices.astype(np.int64) * n + flat_cols
+        J = np.zeros((n, n))
+        J.ravel()[flat] = pattern.fold(vals)
+        return J
 
     @property
     def charge_count(self) -> int:

@@ -16,9 +16,14 @@ cache (on by default, under ``$REPRO_CACHE_DIR`` or
 ``~/.cache/repro-nems-cmos``), ``--backend`` pins the linear-solver
 backend (default ``auto``: sparse for large netlists, dense otherwise),
 ``--step-control`` pins the transient step control (default ``lte``,
-see :doc:`docs/transient`), and ``stats`` prints the solver/cache
-telemetry report of the most recent run — including the backend
-histogram, factorisation/fill-in counters and transient step counters.
+see :doc:`docs/transient`), ``--eval`` selects the device-evaluation
+mode (default ``batched``; ``scalar`` is the per-element reference
+path), ``--bypass`` enables SPICE-style device bypass on top of
+batched evaluation, ``--profile`` prints a per-experiment phase
+breakdown (eval/assemble/solve/other), and ``stats`` prints the
+solver/cache telemetry report of the most recent run — including the
+backend histogram, factorisation/fill-in counters, transient step
+counters, the per-phase time split and the bypass hit rate.
 """
 
 from __future__ import annotations
@@ -31,7 +36,11 @@ import time
 import traceback
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.options import backend_override, step_control_override
+from repro.analysis.options import (
+    backend_override,
+    eval_override,
+    step_control_override,
+)
 from repro.engine import config as engine_config
 from repro.engine import telemetry
 
@@ -134,6 +143,31 @@ def _experiment_summary_table(rows: List[Tuple]) -> str:
     return "\n".join(lines)
 
 
+def _profile_table(rows: List[Tuple]) -> str:
+    """Align the per-experiment phase breakdown of ``--profile``.
+
+    ``other`` is everything outside the instrumented phases: netlist
+    construction, waveform bookkeeping, engine overhead, and (for
+    parallel runs) time the parent spent waiting on workers.
+    """
+    header = ["experiment", "wall [s]", "eval [s]", "assemble [s]",
+              "solve [s]", "other [s]", "bypass"]
+    body = []
+    for exp_id, wall, ev, asm, sol, hits, evals in rows:
+        other = max(wall - ev - asm - sol, 0.0)
+        bypass = (f"{100.0 * hits / (hits + evals):.0f}%"
+                  if hits + evals else "-")
+        body.append([exp_id, f"{wall:.2f}", f"{ev:.2f}", f"{asm:.2f}",
+                     f"{sol:.2f}", f"{other:.2f}", bypass])
+    widths = [max(len(r[i]) for r in [header] + body)
+              for i in range(len(header))]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
 def _save_report(cache_dir: str) -> None:
     """Persist the session telemetry for `python -m repro stats`."""
     try:
@@ -159,10 +193,22 @@ def _run_command(args) -> int:
     # The saved report describes *this* run only.
     telemetry.SESSION.reset()
     summary: List[Tuple] = []
+    profile_rows: List[Tuple] = []
     failed_experiments: List[str] = []
+
+    def profile_row(exp_id, wall, records):
+        merged = telemetry.SolveStats()
+        for record in records:
+            merged.merge(record.solves)
+        profile_rows.append((exp_id, wall, merged.eval_time,
+                             merged.assemble_time, merged.solve_time,
+                             merged.bypass_hits, merged.bypass_evals))
+
     with engine_config.configured(config), \
             backend_override(kind=args.backend), \
-            step_control_override(args.step_control):
+            step_control_override(args.step_control), \
+            eval_override(mode=args.eval_mode,
+                          bypass=args.bypass or None):
         for exp_id in targets:
             snapshot = len(telemetry.SESSION.records)
             started = time.time()
@@ -194,7 +240,13 @@ def _run_command(args) -> int:
                             wall, len(records),
                             sum(r.cache_hit for r in records),
                             point_failures))
+            if args.profile:
+                profile_row(exp_id, wall, records)
     _save_report(cache_dir)
+    if args.profile and profile_rows:
+        print(_profile_table(profile_rows))
+        if run_all:
+            print()
     if run_all:
         print(_experiment_summary_table(summary))
         if failed_experiments:
@@ -248,6 +300,20 @@ def main(argv: Optional[list] = None) -> int:
                              "(default: lte — local-truncation-error "
                              "control; iter is the legacy Newton-"
                              "iteration heuristic)")
+    runner.add_argument("--eval", dest="eval_mode", default=None,
+                        choices=("batched", "scalar"),
+                        help="device-evaluation mode (default: batched "
+                             "— numpy group evaluation; scalar is the "
+                             "per-element reference path)")
+    runner.add_argument("--bypass", action="store_true",
+                        help="enable SPICE-style device bypass: reuse "
+                             "a device's cached evaluation while its "
+                             "terminal voltages are unchanged within "
+                             "tolerance (batched mode only)")
+    runner.add_argument("--profile", action="store_true",
+                        help="print a per-experiment phase breakdown "
+                             "(eval/assemble/solve/other) after the "
+                             "run")
     runner.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result-cache directory (default: "
                              "$REPRO_CACHE_DIR or "

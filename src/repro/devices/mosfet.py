@@ -25,8 +25,23 @@ import math
 from dataclasses import dataclass, replace
 from typing import Tuple
 
+import numpy as np
+
+from repro import profiling
+from repro.circuit.batch import (
+    BatchGroup,
+    PlanStale,
+    companion_values,
+)
 from repro.circuit.elements import Element
-from repro.devices.base import power, smooth_tanh, softplus
+from repro.devices.base import (
+    power,
+    power_vec,
+    smooth_tanh,
+    smooth_tanh_vec,
+    softplus,
+    softplus_vec,
+)
 from repro.errors import NetlistError
 from repro.units import thermal_voltage
 
@@ -173,6 +188,95 @@ def mosfet_current(p: MosfetParams, width: float, vg: float, vd: float,
     return id_total, d_vg, d_vd, d_vs
 
 
+def _mosfet_current_core(width, vth0, vg, vd, vs, pol, nvt, eta_dibl,
+                         kappa_sat, vdsat_floor, lambda_clm, alpha,
+                         k_trans, gmin_pw
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                    np.ndarray]:
+    """Vectorised drain-current kernel over instance arrays.
+
+    Every card-derived parameter after ``vs`` may be a scalar (all
+    instances share one card) *or* a per-instance array — this is what
+    lets :class:`MosfetGroup` evaluate MOSFETs of *different* model
+    cards in a single kernel call.  The V_DS polarity branch becomes a
+    masked terminal-role swap: both polarities share one
+    ``_core``-equivalent evaluation of ``(vgs, |vds|)`` and the
+    derivative chain is mapped back per the active role, reproducing
+    the scalar arithmetic op-for-op.
+    """
+    vds_p = pol * (vd - vs)
+    fwd = vds_p >= 0.0
+    vref = np.where(fwd, vs, vd)
+    vgs = pol * (vg - vref)
+    vds = np.abs(vds_p)
+
+    # _core, vectorised (vds >= 0 by construction).
+    vth = vth0 - eta_dibl * vds
+    u = (vgs - vth) / nvt
+    sp, dsp = softplus_vec(u)
+    vov = nvt * sp
+    dvov_dvgs = dsp
+    dvov_dvds = dsp * eta_dibl
+
+    vdsat = kappa_sat * vov + vdsat_floor
+    r = vds / vdsat
+    f, df_dr = smooth_tanh_vec(r)
+    df_dvds = df_dr / vdsat
+    df_dvov = -(df_dvds * r * kappa_sat)
+
+    clm = 1.0 + lambda_clm * vds
+    vov_a, dvov_a = power_vec(vov, alpha)
+    kva = k_trans * vov_a
+
+    i = kva * f * clm
+    di_dvov = clm * (k_trans * dvov_a * f + kva * df_dvov)
+    dig = di_dvov * dvov_dvgs
+    did = (di_dvov * dvov_dvds
+           + kva * (df_dvds * clm + f * lambda_clm))
+
+    # Map the (vgs, vds) derivatives back to terminal derivatives for
+    # the active role assignment, then restore the external sign.
+    swap = -pol * (dig + did)
+    pold = pol * did
+    di_dvd = np.where(fwd, pold, swap)
+    di_dvs = np.where(fwd, swap, pold)
+
+    # The common factor sign*pol*width (sign = +-1 per the role swap)
+    # is applied once; pol enters the terminal derivatives twice and
+    # pol**2 == 1, so the result equals the scalar chain up to
+    # reassociation.
+    spw = np.where(fwd, pol, -pol) * width
+    id_total = i * spw
+    d_vg = dig * pol * spw
+    d_vd = di_dvd * spw
+    d_vs = di_dvs * spw
+
+    g_min = gmin_pw * width
+    id_total += g_min * (vd - vs)
+    d_vd += g_min
+    d_vs -= g_min
+    return id_total, d_vg, d_vd, d_vs
+
+
+def mosfet_current_vec(p: MosfetParams, width: np.ndarray,
+                       vth0: np.ndarray, vg: np.ndarray, vd: np.ndarray,
+                       vs: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                  np.ndarray]:
+    """Vectorised :func:`mosfet_current` over instances of one card.
+
+    ``vth0`` is per-instance (the model-card threshold plus any
+    ``vth_shift``); all other parameters come from the shared card
+    ``p``.  Thin wrapper over :func:`_mosfet_current_core` with the
+    card parameters as scalars.
+    """
+    nvt = p.n_sub * thermal_voltage(p.temperature)
+    return _mosfet_current_core(
+        width, vth0, vg, vd, vs, p.polarity, nvt, p.eta_dibl,
+        p.kappa_sat, p.vdsat_floor, p.lambda_clm, p.alpha, p.k_trans,
+        p.gds_min_per_width)
+
+
 class Mosfet(Element):
     """Three-terminal MOSFET (drain, gate, source); body tied to source.
 
@@ -225,6 +329,18 @@ class Mosfet(Element):
         ctx.add_dot(d, qdb, (d, s), (cj, -cj))
         ctx.add_dot(s, -qdb, (d, s), (-cj, cj))
 
+    # -- batched evaluation ------------------------------------------------
+
+    def batch_key(self):
+        # Every MOSFET shares one group regardless of model card: the
+        # kernel takes card parameters as per-instance arrays, so one
+        # vectorised call covers NMOS/PMOS/HVT mixes.
+        return ("mosfet",)
+
+    @staticmethod
+    def make_batch_group(members, q_bases, layout) -> "MosfetGroup":
+        return MosfetGroup(members, q_bases, layout)
+
     # -- characterisation helpers -------------------------------------------
 
     def drain_current(self, vg: float, vd: float, vs: float) -> float:
@@ -235,6 +351,183 @@ class Mosfet(Element):
     def gate_capacitance(self) -> float:
         """Total gate capacitance [F]."""
         return self.params.c_gate_per_width * self.width
+
+
+class MosfetGroup(BatchGroup):
+    """Every MOSFET in the circuit (any card / width / vth_shift).
+
+    Model-card parameters are gathered into per-instance arrays at
+    build time, so NMOS, PMOS and HVT devices all evaluate in one
+    :func:`_mosfet_current_core` call.  Stamp structure per member: 8
+    residual contributions (current into d and s, six charge
+    companions) and 18 Jacobian entries (2x3 conduction block + three
+    2x2 capacitor blocks), laid out in fixed blocks of ``m`` so
+    evaluation is pure array assignment.
+    """
+
+    q_slots_per_member = 6
+
+    def _build(self, layout) -> None:
+        d, g, s = self._terminals()
+        self.d, self.g, self.s = d, g, s
+        self.f_rows = np.concatenate((d, s, g, s, g, d, d, s))
+        self.j_rows = np.concatenate(
+            (d, d, d, s, s, s,           # conduction
+             g, g, s, s,                 # qgs
+             g, g, d, d,                 # qgd
+             d, d, s, s))                # qdb
+        self.j_cols = np.concatenate(
+            (g, d, s, g, d, s,
+             g, s, g, s,
+             g, d, g, d,
+             d, s, d, s))
+        self.fvals = np.empty(8 * self.m)
+        self.jvals = np.empty(18 * self.m)
+        m = self.m
+        # Charge slots for the merged companion call: row k holds the
+        # k-th add_dot slot of every member.
+        self.q_slot_mat = (self.q_bases[None, :]
+                           + np.arange(6, dtype=np.int64)[:, None])
+        self._q_stack = np.empty((6, m))
+        # One group serves every model card: card parameters become
+        # per-instance arrays for the kernel.  The card *objects* are
+        # remembered so a swapped card (even an equal one — dataclass
+        # equality cannot tell) invalidates the plan and rebuilds these
+        # arrays.
+        cards = self._member_params = [el.params for el in self.members]
+
+        def per_card(get):
+            return np.fromiter((get(c) for c in cards), dtype=float,
+                               count=m)
+
+        self._pol = per_card(lambda c: c.polarity)
+        self._nvt = per_card(
+            lambda c: c.n_sub * thermal_voltage(c.temperature))
+        self._eta = per_card(lambda c: c.eta_dibl)
+        self._kappa = per_card(lambda c: c.kappa_sat)
+        self._vfloor = per_card(lambda c: c.vdsat_floor)
+        self._lam = per_card(lambda c: c.lambda_clm)
+        self._alpha = per_card(lambda c: c.alpha)
+        self._ktrans = per_card(lambda c: c.k_trans)
+        self._gmin_pw = per_card(lambda c: c.gds_min_per_width)
+        self._cg_pw = per_card(lambda c: 0.5 * c.c_gate_per_width)
+        self._cj_pw = per_card(lambda c: c.c_junction_per_width)
+        self._vth0_card = per_card(lambda c: c.vth0)
+        self._w_list = None
+        self._vsh_list = None
+        self._w = None
+        self._vth0 = None
+        self._cache = None
+
+    def _gather_instances(self) -> None:
+        """Refresh width/vth arrays; sweeps mutate these in place.
+
+        The probe is a plain-list comparison — far cheaper per
+        iteration than rebuilding numpy arrays — and the arrays (and
+        the bypass cache, which keys on them) are only regenerated on
+        an actual change.
+        """
+        w = [el.width for el in self.members]
+        vsh = [el.vth_shift for el in self.members]
+        if w != self._w_list or vsh != self._vsh_list:
+            self._w_list = w
+            self._vsh_list = vsh
+            self._w = np.array(w)
+            self._vth0 = self._vth0_card + np.array(vsh)
+            self._cache = None
+
+    def eval(self, x, t, source_scale, c0, d1, q_prev, qdot_prev,
+             q_now, options, bypass) -> None:
+        for el, recorded in zip(self.members, self._member_params):
+            if el.params is not recorded:
+                raise PlanStale(
+                    f"mosfet {el.name!r} changed its model card")
+        self._gather_instances()
+        m = self.m
+        w = self._w
+        vg, vd, vs = x[self.g], x[self.d], x[self.s]
+
+        cache = self._cache
+        if bypass and cache is not None:
+            cvg, cvd, cvs, ci, cdg, cdd, cds = cache
+            rtol = options.bypass_reltol
+            atol = options.bypass_abstol
+            stale = (np.abs(vg - cvg)
+                     > rtol * np.maximum(np.abs(vg), np.abs(cvg)) + atol)
+            stale |= (np.abs(vd - cvd)
+                      > rtol * np.maximum(np.abs(vd), np.abs(cvd)) + atol)
+            stale |= (np.abs(vs - cvs)
+                      > rtol * np.maximum(np.abs(vs), np.abs(cvs)) + atol)
+            idx = np.nonzero(stale)[0]
+            if idx.size:
+                i_f, dg_f, dd_f, ds_f = _mosfet_current_core(
+                    w[idx], self._vth0[idx],
+                    vg[idx], vd[idx], vs[idx],
+                    self._pol[idx], self._nvt[idx], self._eta[idx],
+                    self._kappa[idx], self._vfloor[idx],
+                    self._lam[idx], self._alpha[idx],
+                    self._ktrans[idx], self._gmin_pw[idx])
+                cvg[idx] = vg[idx]
+                cvd[idx] = vd[idx]
+                cvs[idx] = vs[idx]
+                ci[idx] = i_f
+                cdg[idx] = dg_f
+                cdd[idx] = dd_f
+                cds[idx] = ds_f
+            profiling.COUNTERS["bypass_hits"] += int(m - idx.size)
+            profiling.COUNTERS["bypass_evals"] += int(idx.size)
+            i, dig, did, dis = ci, cdg, cdd, cds
+        else:
+            i, dig, did, dis = _mosfet_current_core(
+                w, self._vth0, vg, vd, vs,
+                self._pol, self._nvt, self._eta, self._kappa,
+                self._vfloor, self._lam, self._alpha, self._ktrans,
+                self._gmin_pw)
+            if options.bypass:
+                self._cache = [vg, vd, vs, i, dig, did, dis]
+                profiling.COUNTERS["bypass_evals"] += m
+
+        # Charges are linear and cheap: always recomputed exactly.
+        cg = self._cg_pw * w
+        qgs = cg * (vg - vs)
+        qgd = cg * (vg - vd)
+        cj = self._cj_pw * w
+        qdb = cj * (vd - vs)
+
+        fv = self.fvals
+        fv[:m] = i
+        fv[m:2 * m] = -i
+        qs = self._q_stack
+        qs[0] = qgs
+        qs[1] = -qgs
+        qs[2] = qgd
+        qs[3] = -qgd
+        qs[4] = qdb
+        qs[5] = -qdb
+        fv[2 * m:8 * m] = np.ravel(companion_values(
+            qs, self.q_slot_mat, c0, d1, q_prev, qdot_prev, q_now))
+
+        cgc = c0 * cg
+        cjc = c0 * cj
+        jv = self.jvals
+        jv[:m] = dig
+        jv[m:2 * m] = did
+        jv[2 * m:3 * m] = dis
+        jv[3 * m:4 * m] = -dig
+        jv[4 * m:5 * m] = -did
+        jv[5 * m:6 * m] = -dis
+        jv[6 * m:7 * m] = cgc
+        jv[7 * m:8 * m] = -cgc
+        jv[8 * m:9 * m] = -cgc
+        jv[9 * m:10 * m] = cgc
+        jv[10 * m:11 * m] = cgc
+        jv[11 * m:12 * m] = -cgc
+        jv[12 * m:13 * m] = -cgc
+        jv[13 * m:14 * m] = cgc
+        jv[14 * m:15 * m] = cjc
+        jv[15 * m:16 * m] = -cjc
+        jv[16 * m:17 * m] = -cjc
+        jv[17 * m:] = cjc
 
 
 # ---------------------------------------------------------------------------

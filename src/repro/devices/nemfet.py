@@ -41,10 +41,28 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import profiling
+from repro.circuit.batch import (
+    BatchGroup,
+    PlanStale,
+    companion_values,
+)
 from repro.circuit.elements import Element
 from repro.devices import mechanics
-from repro.devices.base import sigmoid, smooth_tanh, softplus
-from repro.devices.mosfet import MosfetParams, mosfet_current, nmos_90nm
+from repro.devices.base import (
+    sigmoid,
+    sigmoid_vec,
+    smooth_tanh,
+    smooth_tanh_vec,
+    softplus,
+    softplus_vec,
+)
+from repro.devices.mosfet import (
+    MosfetParams,
+    mosfet_current,
+    mosfet_current_vec,
+    nmos_90nm,
+)
 from repro.errors import DesignError, NetlistError
 from repro.units import EPS0, EPS_SIO2
 
@@ -278,6 +296,114 @@ def _channel_current(p: NemfetParams, width: float, vg: float, vd: float,
     return i, di_dvg, di_dvd, di_dvs, di_du
 
 
+# -- vectorised model kernels (batched evaluation path) ---------------------
+#
+# Array counterparts of the normalised-force methods above, reproducing
+# the scalar arithmetic op-for-op so the parity suite can hold the two
+# paths to 1e-12.
+
+def _gap_distance_vec(p: NemfetParams, u: np.ndarray):
+    s = p.s_gap
+    sp, dsp = softplus_vec((1.0 - u) / s)
+    return p.gap * s * sp, -p.gap * dsp
+
+
+def _coupling_vec(p: NemfetParams, u: np.ndarray):
+    g_gap, dg = _gap_distance_vec(p, u)
+    g_d = p.dielectric_gap
+    g_eff = g_gap + g_d
+    kappa = g_d / g_eff
+    dkappa = -g_d / (g_eff * g_eff) * dg
+    return kappa, dkappa
+
+
+def _force_electrostatic_vec(p: NemfetParams, vgb: np.ndarray,
+                             u: np.ndarray):
+    g_gap, dg = _gap_distance_vec(p, u)
+    g_eff = g_gap + p.dielectric_gap
+    norm = p.stiffness * p.gap
+    pref = EPS0 * p.area / (2.0 * g_eff * g_eff * norm)
+    f = pref * vgb * vgb
+    df_dv = 2.0 * pref * vgb
+    df_du = -2.0 * f / g_eff * dg
+    return f, df_dv, df_du
+
+
+def _force_penalty_vec(p: NemfetParams, u: np.ndarray):
+    s = p.s_penalty
+    sp, dsp = softplus_vec((u - 1.0) / s)
+    return p.k_penalty * s * sp, p.k_penalty * dsp
+
+
+def _contact_damping_vec(p: NemfetParams, u: np.ndarray):
+    s = p.s_penalty
+    sg, dsg = sigmoid_vec((u - 1.0) / s)
+    return p.contact_damping * sg, p.contact_damping * dsg / s
+
+
+def _channel_current_vec(p: NemfetParams, width: np.ndarray,
+                         vg: np.ndarray, vd: np.ndarray, vs: np.ndarray,
+                         u: np.ndarray, kappa: np.ndarray = None,
+                         dkappa: np.ndarray = None):
+    """Vectorised :func:`_channel_current`.
+
+    ``kappa``/``dkappa`` may be passed in when the caller has already
+    evaluated the gap coupling (the :func:`_nemfet_nonlinear` hot path
+    shares one gap evaluation across every gap-dependent quantity).
+    """
+    if kappa is None:
+        kappa, dkappa = _coupling_vec(p, u)
+    vg_virtual = vs + kappa * (vg - vs)
+    i, di_dvgv, di_dvd, di_dvs_v = mosfet_current_vec(
+        p.channel, width, p.channel.vth0, vg_virtual, vd, vs)
+    di_dvg = di_dvgv * kappa
+    di_dvs = di_dvs_v + di_dvgv * (1.0 - kappa)
+    di_du = di_dvgv * (vg - vs) * dkappa
+
+    v_scale = 0.1
+    th, dth = smooth_tanh_vec((vd - vs) / v_scale)
+    i_fl = p.i_floor_per_width * width
+    i = i + i_fl * th
+    di_dvd = di_dvd + i_fl * dth / v_scale
+    di_dvs = di_dvs - i_fl * dth / v_scale
+    return i, di_dvg, di_dvd, di_dvs, di_du
+
+
+def _nemfet_nonlinear(p: NemfetParams, width: np.ndarray, vg: np.ndarray,
+                      vd: np.ndarray, vs: np.ndarray, u: np.ndarray):
+    """Every bypassable nonlinear output at one operating point.
+
+    Returns the 14-tuple ``(i, di_dvg, di_dvd, di_dvs, di_du, f_e,
+    df_dv, df_du, f_pen, dfp_du, b_c, dbc_du, c_air, dc_du)``.  All of
+    it depends only on ``(vg, vd, vs, u)`` and the per-instance width —
+    the beam velocity enters the residual linearly and is always applied
+    live, so caching this tuple is exact up to the bypass tolerance.
+    """
+    # One gap evaluation feeds the coupling, the electrostatic force
+    # and the air-gap capacitance (the standalone _*_vec helpers each
+    # recompute it; the values are identical, this just skips the
+    # repeated softplus).
+    g_gap, dg_du = _gap_distance_vec(p, u)
+    g_d = p.dielectric_gap
+    g_eff = g_gap + g_d
+    kappa = g_d / g_eff
+    dkappa = -g_d / (g_eff * g_eff) * dg_du
+    i, di_g, di_d, di_s, di_u = _channel_current_vec(
+        p, width, vg, vd, vs, u, kappa, dkappa)
+    vgb = vg - vs
+    norm = p.stiffness * p.gap
+    pref = EPS0 * p.area / (2.0 * g_eff * g_eff * norm)
+    f_e = pref * vgb * vgb
+    df_dv = 2.0 * pref * vgb
+    df_du = -2.0 * f_e / g_eff * dg_du
+    f_pen, dfp_du = _force_penalty_vec(p, u)
+    b_c, dbc_du = _contact_damping_vec(p, u)
+    c_air = EPS0 * p.area / g_eff
+    dc_du = -c_air / g_eff * dg_du
+    return (i, di_g, di_d, di_s, di_u, f_e, df_dv, df_du,
+            f_pen, dfp_du, b_c, dbc_du, c_air, dc_du)
+
+
 class Nemfet(Element):
     """Three-terminal suspended-gate NEMFET (drain, gate, source).
 
@@ -360,6 +486,15 @@ class Nemfet(Element):
         ctx.add_dot(d, q_db, (d, s), (cj, -cj))
         ctx.add_dot(s, -q_db, (d, s), (-cj, cj))
 
+    # -- batched evaluation ------------------------------------------------
+
+    def batch_key(self):
+        return ("nemfet", self.params)
+
+    @staticmethod
+    def make_batch_group(members, q_bases, layout) -> "NemfetGroup":
+        return NemfetGroup(members, q_bases, layout)
+
     # -- characterisation helpers -------------------------------------------
 
     def gate_capacitance(self, u: float = 0.0) -> float:
@@ -367,6 +502,144 @@ class Nemfet(Element):
         g_gap, _ = self.params.gap_distance(u)
         return EPS0 * self.params.area / (g_gap +
                                           self.params.dielectric_gap)
+
+
+class NemfetGroup(BatchGroup):
+    """All NEMFETs sharing one parameter set (any width).
+
+    Stamp structure per member: 10 residual blocks (channel current
+    into d/s, the two mechanical equations, six charge companions) and
+    25 Jacobian entries.  The bypass cache keys on ``(vg, vd, vs, u)``
+    and stores the full nonlinear output tuple; the beam velocity ``w``
+    enters the residual and Jacobian linearly through cached
+    coefficients (``b_c``, ``dbc_du``), so it is always applied live.
+    """
+
+    q_slots_per_member = 6
+
+    def _build(self, layout) -> None:
+        d, g, s = self._terminals()
+        self.d, self.g, self.s = d, g, s
+        su = np.array([el._state0 for el in self.members],
+                      dtype=np.int64)
+        sw = su + 1
+        self.su, self.sw = su, sw
+        self.f_rows = np.concatenate(
+            (d, s, su, sw,            # current + mechanical statics
+             su, sw, g, s, d, s))     # charge companions
+        self.j_rows = np.concatenate(
+            (d, d, d, d,              # channel current, row d
+             s, s, s, s,              # channel current, row s
+             su,                      # position equation: -w
+             sw, sw, sw, sw,          # force-balance statics
+             su, sw,                  # mechanical d/dt terms
+             g, g, g, s, s, s,        # air-gap charge
+             d, d, s, s))             # junction charge
+        self.j_cols = np.concatenate(
+            (g, d, s, su,
+             g, d, s, su,
+             sw,
+             sw, su, g, s,
+             su, sw,
+             g, s, su, g, s, su,
+             d, s, d, s))
+        self.fvals = np.empty(10 * self.m)
+        self.jvals = np.empty(25 * self.m)
+        self.q_slot_mat = (self.q_bases[None, :]
+                           + np.arange(6, dtype=np.int64)[:, None])
+        self._q_stack = np.empty((6, self.m))
+        self.params = self.members[0].params
+        # Grouping is by parameter-set *equality*; remember each
+        # member's object to detect a swap (identity change) later.
+        self._member_params = [el.params for el in self.members]
+        self._w_list = None
+        self._w_dev = None
+
+    def _gather_instances(self) -> None:
+        w = [el.width for el in self.members]
+        if w != self._w_list:
+            self._w_list = w
+            self._w_dev = np.array(w)
+
+    def eval(self, x, t, source_scale, c0, d1, q_prev, qdot_prev,
+             q_now, options, bypass) -> None:
+        p = self.params
+        for el, recorded in zip(self.members, self._member_params):
+            if el.params is not recorded:
+                raise PlanStale(
+                    f"nemfet {el.name!r} changed its parameter set")
+        self._gather_instances()
+        m = self.m
+        w_dev = self._w_dev
+        vg, vd, vs = x[self.g], x[self.d], x[self.s]
+        u, wvel = x[self.su], x[self.sw]
+        vgb = vg - vs
+
+        # NEMFETs are exempt from bypass: the contact-penalty force is
+        # so stiff in ``u`` that reusing a cached force under even a
+        # sub-nanometre gap change injects residual error orders of
+        # magnitude above the state-row tolerance, stalling Newton.
+        # Under a bypass-enabled run their evaluations are still
+        # counted (as misses) so the reported hit rate stays honest.
+        out = _nemfet_nonlinear(p, w_dev, vg, vd, vs, u)
+        if options.bypass:
+            profiling.COUNTERS["bypass_evals"] += m
+        (i, dig, did, dis, diu, f_e, df_dv, df_du,
+         f_pen, dfp_du, b_c, dbc_du, c_air, dc_du) = out
+
+        inv_w0 = 1.0 / p.omega0
+        resid = (1.0 / p.q_factor + b_c) * wvel + u + f_pen - f_e
+        q_g = c_air * vgb
+        dcv = dc_du * vgb
+        cj = p.c_junction_per_width * w_dev
+        q_db = cj * (vd - vs)
+
+        qb = self.q_bases
+        fv = self.fvals
+        fv[:m] = i
+        fv[m:2 * m] = -i
+        fv[2 * m:3 * m] = -wvel
+        fv[3 * m:4 * m] = resid
+        qs = self._q_stack
+        qs[0] = u * inv_w0
+        qs[1] = wvel * inv_w0
+        qs[2] = q_g
+        qs[3] = -q_g
+        qs[4] = q_db
+        qs[5] = -q_db
+        fv[4 * m:] = np.ravel(companion_values(
+            qs, self.q_slot_mat, c0, d1, q_prev, qdot_prev, q_now))
+
+        c0w0 = c0 * inv_w0
+        cac = c0 * c_air
+        cdv = c0 * dcv
+        cjc = c0 * cj
+        jv = self.jvals
+        jv[:m] = dig
+        jv[m:2 * m] = did
+        jv[2 * m:3 * m] = dis
+        jv[3 * m:4 * m] = diu
+        jv[4 * m:5 * m] = -dig
+        jv[5 * m:6 * m] = -did
+        jv[6 * m:7 * m] = -dis
+        jv[7 * m:8 * m] = -diu
+        jv[8 * m:9 * m] = -1.0
+        jv[9 * m:10 * m] = 1.0 / p.q_factor + b_c
+        jv[10 * m:11 * m] = 1.0 + dfp_du - df_du + dbc_du * wvel
+        jv[11 * m:12 * m] = -df_dv
+        jv[12 * m:13 * m] = df_dv
+        jv[13 * m:14 * m] = c0w0
+        jv[14 * m:15 * m] = c0w0
+        jv[15 * m:16 * m] = cac
+        jv[16 * m:17 * m] = -cac
+        jv[17 * m:18 * m] = cdv
+        jv[18 * m:19 * m] = -cac
+        jv[19 * m:20 * m] = cac
+        jv[20 * m:21 * m] = -cdv
+        jv[21 * m:22 * m] = cjc
+        jv[22 * m:23 * m] = -cjc
+        jv[23 * m:24 * m] = -cjc
+        jv[24 * m:] = cjc
 
 
 # ---------------------------------------------------------------------------

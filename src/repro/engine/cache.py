@@ -49,18 +49,22 @@ def code_salt() -> str:
 def ambient_salt() -> Tuple:
     """Session-wide analysis policy folded into every job key.
 
-    Task functions are pure in their *arguments*, but two session-scoped
-    defaults — the linear-solver backend policy and the transient
-    step-control mode — change the numbers a task produces without
-    appearing in its signature.  Folding the active policy into the key
-    keeps a warm cache honest when a caller flips ``--backend`` or
-    ``--step-control``: each policy addresses its own entries instead of
+    Task functions are pure in their *arguments*, but session-scoped
+    defaults — the linear-solver backend policy, the transient
+    step-control mode and the device-evaluation policy — change the
+    numbers a task produces without appearing in its signature.  Folding
+    the active policy into the key keeps a warm cache honest when a
+    caller flips ``--backend``, ``--step-control``, ``--eval`` or
+    ``--bypass``: each policy addresses its own entries instead of
     silently replaying another policy's results.
     """
     from repro.analysis import options as analysis_options
     backend = analysis_options.get_backend_options()
+    ev = analysis_options.get_eval_options()
     return ("ambient", backend.kind, backend.sparse_threshold,
-            analysis_options.get_default_step_control())
+            analysis_options.get_default_step_control(),
+            ev.mode, ev.bypass, repr(ev.bypass_reltol),
+            repr(ev.bypass_abstol))
 
 
 def _canonical(obj: Any) -> Any:

@@ -67,6 +67,15 @@ class SolveStats:
     max_step: float = 0.0
     #: Summed log-binned LTE error-ratio histogram across runs.
     error_ratio_hist: List[int] = field(default_factory=list)
+    #: Per-phase wall-time split (folded from "newton" events only —
+    #: the "dc" events cover the same assemblies again).
+    eval_time: float = 0.0
+    assemble_time: float = 0.0
+    solve_time: float = 0.0
+    #: Device-bypass counters: skipped vs performed evaluations while
+    #: bypass was enabled.
+    bypass_hits: int = 0
+    bypass_evals: int = 0
 
     def observe(self, event: SolveEvent) -> None:
         """Fold one solve event into the counters."""
@@ -98,6 +107,11 @@ class SolveStats:
             self.factorizations += event.factorizations
             self.jacobian_nnz += event.jacobian_nnz
             self.factor_nnz += event.factor_nnz
+            self.eval_time += event.eval_time
+            self.assemble_time += event.assemble_time
+            self.solve_time += event.solve_time
+            self.bypass_hits += event.bypass_hits
+            self.bypass_evals += event.bypass_evals
         elif event.kind == "dc":
             self.dc_solves += 1
             self.dc_iterations += event.iterations
@@ -151,6 +165,11 @@ class SolveStats:
                              if self.min_step else other.min_step)
         self.max_step = max(self.max_step, other.max_step)
         self._merge_hist(other.error_ratio_hist)
+        self.eval_time += other.eval_time
+        self.assemble_time += other.assemble_time
+        self.solve_time += other.solve_time
+        self.bypass_hits += other.bypass_hits
+        self.bypass_evals += other.bypass_evals
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -284,7 +303,8 @@ def report_to_text(report: Dict) -> str:
         return "no engine jobs recorded"
     header = ["experiment", "jobs", "hits", "fail", "retried",
               "newton iters", "steps acc/rej", "dc strategies",
-              "backends", "factors", "fill", "solver [s]", "wall [s]"]
+              "backends", "factors", "fill",
+              "eval/asm/sol [s]", "bypass", "solver [s]", "wall [s]"]
     rows = []
     for summary in groups:
         solves = summary["solves"]
@@ -301,6 +321,16 @@ def report_to_text(report: Dict) -> str:
                     + solves.get("steps_rejected_newton", 0))
         steps = (f"{solves.get('steps_accepted', 0)}/{rejected}"
                  if solves.get("transient_runs", 0) else "-")
+        # Phase split and bypass hit rate (absent in old reports).
+        phases = (solves.get("eval_time", 0.0),
+                  solves.get("assemble_time", 0.0),
+                  solves.get("solve_time", 0.0))
+        phase_split = ("/".join(f"{p:.2f}" for p in phases)
+                       if any(phases) else "-")
+        hits = solves.get("bypass_hits", 0)
+        evals = solves.get("bypass_evals", 0)
+        bypass = (f"{100.0 * hits / (hits + evals):.0f}%"
+                  if hits + evals else "-")
         rows.append([
             summary["group"] or "(ungrouped)",
             str(summary["jobs"]),
@@ -313,6 +343,8 @@ def report_to_text(report: Dict) -> str:
             backends or "-",
             str(solves.get("factorizations", 0)),
             fill,
+            phase_split,
+            bypass,
             f"{solves['solver_time']:.2f}",
             f"{summary['wall_time']:.2f}",
         ])

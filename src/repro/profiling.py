@@ -1,0 +1,54 @@
+"""Process-wide phase counters for the simulation hot path.
+
+The assembler and the linear-solver wrapper attribute their wall time
+to one of three phases — device *eval* (model evaluation: currents,
+charges, derivatives), *assemble* (folding stamps into the matrix and
+RHS), and *solve* (the linear solve) — and the batched evaluator counts
+how many per-device evaluations the SPICE-style bypass skipped.  The
+counters are plain module globals so the instrumented code stays free
+of object plumbing; consumers (``SolveEvent`` emission, the ``--profile``
+CLI flag, benchmarks) take a :func:`snapshot` before a region of
+interest and read the :func:`delta` afterwards.
+
+Counters are cumulative for the life of the process and are never reset
+behind a reader's back; :func:`reset` exists for tests that want a clean
+zero to assert against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+#: Cumulative per-process phase counters.  Times are seconds; the two
+#: bypass counters tally device-model evaluations skipped vs performed
+#: while bypass was active.
+COUNTERS: Dict[str, Number] = {
+    "eval_time": 0.0,
+    "assemble_time": 0.0,
+    "solve_time": 0.0,
+    "bypass_hits": 0,
+    "bypass_evals": 0,
+}
+
+
+def snapshot() -> Dict[str, Number]:
+    """Copy of the current counter values."""
+    return dict(COUNTERS)
+
+
+def delta(before: Dict[str, Number]) -> Dict[str, Number]:
+    """Per-key growth of the counters since ``before``.
+
+    Keys absent from ``before`` (an older snapshot, or the empty dict
+    used when observers are off) count from zero.
+    """
+    return {key: value - before.get(key, 0)
+            for key, value in COUNTERS.items()}
+
+
+def reset() -> None:
+    """Zero every counter (test helper)."""
+    for key in COUNTERS:
+        COUNTERS[key] = 0.0 if key.endswith("_time") else 0

@@ -1,0 +1,395 @@
+"""Batched-vs-scalar evaluation parity and SPICE-bypass semantics.
+
+The batched evaluation layer (:mod:`repro.circuit.batch`) must produce
+the same residual, Jacobian and charge vector as the scalar reference
+path to ~1e-12 on randomized circuits mixing every grouped device kind
+(resistors, capacitors, MOSFETs across model cards, NEMFETs) with
+scalar-path leftovers (sources, inductors).  The bypass tests pin the
+operational semantics: no bypass on a cold cache, full hits on a
+repeated operating point, a forced full evaluation after
+``notify_discontinuity`` (and therefore after transient breakpoints
+and rejected steps), and bounded error on accepted hits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import profiling
+from repro.analysis.transient import transient
+from repro.circuit.batch import (
+    EvalOptions,
+    eval_override,
+    get_eval_options,
+    set_eval_options,
+)
+from repro.circuit.mna import Assembler, SystemLayout
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Pulse
+from repro.devices.mosfet import Mosfet, nmos_90nm, pmos_90nm
+from repro.devices.nemfet import Nemfet, nemfet_90nm
+
+NODES = ("a", "b", "c", "d", "e")
+
+SCALAR = EvalOptions(mode="scalar")
+BATCHED = EvalOptions(mode="batched")
+
+
+def _build_circuit(draw_spec) -> Circuit:
+    """Materialise a circuit from a drawn element specification."""
+    (n_res, n_cap, n_nmos, n_pmos, n_nem, with_ind, vth_shifts) = draw_spec
+    c = Circuit("parity")
+    c.vsource("V1", "a", "0", 1.2)
+    # Keep every node grounded through something so validate() passes
+    # regardless of the random wiring.
+    for k, node in enumerate(NODES):
+        c.resistor(f"Rg{k}", node, "0", 1e5 + 1e4 * k)
+    pick = lambda i: NODES[i % len(NODES)]
+    for k in range(n_res):
+        c.resistor(f"R{k}", pick(k), pick(k + 2), 1e3 * (k + 1))
+    for k in range(n_cap):
+        c.capacitor(f"C{k}", pick(k + 1), pick(k + 3), 1e-14 * (k + 1))
+    nmos = nmos_90nm()
+    pmos = pmos_90nm()
+    for k in range(n_nmos):
+        c.add(Mosfet(f"MN{k}", pick(k), pick(k + 1), pick(k + 2),
+                     nmos, width=(0.5 + 0.3 * k) * 1e-6,
+                     vth_shift=vth_shifts[k % len(vth_shifts)]))
+    for k in range(n_pmos):
+        c.add(Mosfet(f"MP{k}", pick(k + 2), pick(k + 3), "a",
+                     pmos, width=(0.8 + 0.2 * k) * 1e-6))
+    nem = nemfet_90nm()
+    for k in range(n_nem):
+        c.add(Nemfet(f"XN{k}", pick(k + 1), pick(k + 2), "0",
+                     nem, width=(1.0 + 0.5 * k) * 1e-6))
+    if with_ind:
+        c.inductor("L1", "b", "c", 1e-9)
+        c.isource("I1", "d", "0", 1e-6)
+    return c
+
+
+circuit_spec = st.tuples(
+    st.integers(0, 4),          # extra resistors
+    st.integers(0, 4),          # capacitors
+    st.integers(0, 5),          # NMOS count
+    st.integers(0, 3),          # PMOS count
+    st.integers(0, 3),          # NEMFET count
+    st.booleans(),              # inductor + current source
+    st.lists(st.floats(-0.05, 0.05), min_size=1, max_size=3),
+)
+
+operating_point_spec = st.tuples(
+    st.integers(0, 2 ** 31 - 1),                    # x seed
+    st.sampled_from([(0.0, 0.0),                    # DC
+                     (1.0 / 1e-11, 0.0),            # BE
+                     (2.0 / 1e-11, -1.0)]),         # trapezoidal
+    st.sampled_from([0.0, 1e-6]),                   # gmin
+)
+
+
+def _random_state(layout: SystemLayout, seed: int):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1.4, 1.4, layout.n)
+    # Keep mechanical states in their physical range so the penalty
+    # force stays finite-ish.
+    x[layout.num_nodes + layout.num_branches:] = \
+        rng.uniform(-0.2, 1.1, layout.num_states)
+    return x, rng
+
+
+def _assemble_pair(circuit, x, c0, d1, gmin, matrix_mode, seed):
+    scalar = Assembler(circuit, SystemLayout(circuit),
+                       matrix_mode=matrix_mode, eval_options=SCALAR)
+    batched = Assembler(circuit, SystemLayout(circuit),
+                        matrix_mode=matrix_mode, eval_options=BATCHED)
+    nq = scalar.charge_count
+    rng = np.random.default_rng(seed + 1)
+    q_prev = rng.uniform(-1e-14, 1e-14, nq)
+    qdot_prev = rng.uniform(-1e-5, 1e-5, nq)
+    out_s = scalar.assemble(x, t=1e-10, c0=c0, d1=d1, q_prev=q_prev,
+                            qdot_prev=qdot_prev, gmin=gmin)
+    out_b = batched.assemble(x, t=1e-10, c0=c0, d1=d1, q_prev=q_prev,
+                             qdot_prev=qdot_prev, gmin=gmin)
+    return out_s, out_b
+
+
+def _assert_parity(out_scalar, out_batched, matrix_mode):
+    F_s, J_s, q_s = out_scalar
+    F_b, J_b, q_b = out_batched
+    # Summation *order* differs between the paths, so the comparison is
+    # scale-aware: 1e-12 relative to the largest entry (cancellation can
+    # make individual entries tiny relative to the terms that formed
+    # them).
+    f_scale = max(float(np.max(np.abs(F_s))), 1e-12)
+    np.testing.assert_allclose(F_b, F_s, rtol=0, atol=1e-12 * f_scale)
+    if matrix_mode == "sparse":
+        J_s = J_s.toarray()
+        J_b = J_b.toarray()
+    j_scale = max(float(np.max(np.abs(J_s))), 1e-12)
+    np.testing.assert_allclose(J_b, J_s, rtol=0, atol=1e-12 * j_scale)
+    assert q_b.shape == q_s.shape
+    np.testing.assert_allclose(q_b, q_s, rtol=1e-12, atol=1e-30)
+
+
+class TestBatchedScalarParity:
+    @given(spec=circuit_spec, op=operating_point_spec)
+    @settings(max_examples=40, deadline=None)
+    def test_dense_parity(self, spec, op):
+        seed, (c0, d1), gmin = op
+        circuit = _build_circuit(spec)
+        layout = SystemLayout(circuit)
+        x, _ = _random_state(layout, seed)
+        out_s, out_b = _assemble_pair(circuit, x, c0, d1, gmin,
+                                      "dense", seed)
+        _assert_parity(out_s, out_b, "dense")
+
+    @given(spec=circuit_spec, op=operating_point_spec)
+    @settings(max_examples=20, deadline=None)
+    def test_sparse_parity(self, spec, op):
+        pytest.importorskip("scipy.sparse")
+        seed, (c0, d1), gmin = op
+        circuit = _build_circuit(spec)
+        layout = SystemLayout(circuit)
+        x, _ = _random_state(layout, seed)
+        out_s, out_b = _assemble_pair(circuit, x, c0, d1, gmin,
+                                      "sparse", seed)
+        _assert_parity(out_s, out_b, "sparse")
+
+    @given(spec=circuit_spec, seed=st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_batched_dense_sparse_bitwise_identical(self, spec, seed):
+        """The batched dense Jacobian scatters the same folded data as
+        the CSC assembly, so the two representations agree exactly."""
+        pytest.importorskip("scipy.sparse")
+        circuit = _build_circuit(spec)
+        layout = SystemLayout(circuit)
+        x, _ = _random_state(layout, seed)
+        dense = Assembler(circuit, SystemLayout(circuit),
+                          matrix_mode="dense", eval_options=BATCHED)
+        sparse = Assembler(circuit, SystemLayout(circuit),
+                           matrix_mode="sparse", eval_options=BATCHED)
+        c0 = 1.0 / 1e-11
+        nq = dense.charge_count
+        q_prev = np.zeros(nq)
+        F_d, J_d, _ = dense.assemble(x, c0=c0, q_prev=q_prev,
+                                     gmin=1e-9)
+        F_s, J_s, _ = sparse.assemble(x, c0=c0, q_prev=q_prev,
+                                      gmin=1e-9)
+        np.testing.assert_array_equal(F_d, F_s)
+        np.testing.assert_array_equal(J_d, J_s.toarray())
+
+    def test_plan_rebuilt_after_model_card_swap(self):
+        circuit = _build_circuit((1, 1, 3, 0, 0, False, [0.0]))
+        layout = SystemLayout(circuit)
+        batched = Assembler(circuit, layout, eval_options=BATCHED)
+        x = layout.x_default
+        batched.assemble(x)
+        # Swap one transistor's card: the group detects the identity
+        # change, the plan is rebuilt, and parity holds again.
+        circuit["MN1"].params = nmos_90nm(vth0=0.5)
+        scalar = Assembler(circuit, SystemLayout(circuit),
+                           eval_options=SCALAR)
+        out_b = batched.assemble(x)
+        out_s = scalar.assemble(x)
+        _assert_parity(out_s, out_b, "dense")
+
+    def test_plan_rebuilt_after_element_addition(self):
+        circuit = _build_circuit((1, 1, 2, 0, 0, False, [0.0]))
+        layout = SystemLayout(circuit)
+        batched = Assembler(circuit, layout, eval_options=BATCHED)
+        batched.assemble(layout.x_default)
+        circuit.resistor("Rnew", "a", "b", 4.7e3)
+        layout2 = SystemLayout(circuit)
+        batched2 = Assembler(circuit, layout2, eval_options=BATCHED)
+        scalar2 = Assembler(circuit, SystemLayout(circuit),
+                            eval_options=SCALAR)
+        x = layout2.x_default
+        _assert_parity(scalar2.assemble(x), batched2.assemble(x),
+                       "dense")
+
+
+def _mosfet_testbench():
+    """A MOSFET-only circuit (bypass applies to every grouped device)."""
+    c = Circuit("bypass")
+    c.vsource("VDD", "vdd", "0", 1.2)
+    c.vsource("VIN", "in", "0", 0.6)
+    c.resistor("RL", "vdd", "out", 1e4)
+    nmos = nmos_90nm()
+    for k in range(4):
+        c.add(Mosfet(f"MN{k}", "out", "in", "0", nmos,
+                     width=(1.0 + k) * 1e-6))
+    return c
+
+
+class TestBypassSemantics:
+    def test_no_bypass_on_cold_cache(self):
+        circuit = _mosfet_testbench()
+        layout = SystemLayout(circuit)
+        asm = Assembler(circuit, layout,
+                        eval_options=EvalOptions(bypass=True))
+        before = profiling.snapshot()
+        asm.assemble(layout.x_default)
+        delta = profiling.delta(before)
+        assert delta["bypass_hits"] == 0
+        assert delta["bypass_evals"] == 4
+
+    def test_full_hits_on_repeated_operating_point(self):
+        circuit = _mosfet_testbench()
+        layout = SystemLayout(circuit)
+        asm = Assembler(circuit, layout,
+                        eval_options=EvalOptions(bypass=True))
+        x = layout.x_default
+        asm.assemble(x)
+        before = profiling.snapshot()
+        asm.assemble(x)
+        delta = profiling.delta(before)
+        assert delta["bypass_hits"] == 4
+        assert delta["bypass_evals"] == 0
+
+    def test_notify_discontinuity_forces_full_eval(self):
+        circuit = _mosfet_testbench()
+        layout = SystemLayout(circuit)
+        asm = Assembler(circuit, layout,
+                        eval_options=EvalOptions(bypass=True))
+        x = layout.x_default
+        asm.assemble(x)
+        asm.notify_discontinuity()
+        before = profiling.snapshot()
+        asm.assemble(x)
+        delta = profiling.delta(before)
+        assert delta["bypass_hits"] == 0
+        assert delta["bypass_evals"] == 4
+        # The guard is one-shot: the next assembly bypasses again.
+        before = profiling.snapshot()
+        asm.assemble(x)
+        assert profiling.delta(before)["bypass_hits"] == 4
+
+    def test_partial_staleness_reevaluates_only_moved_devices(self):
+        circuit = _mosfet_testbench()
+        layout = SystemLayout(circuit)
+        asm = Assembler(circuit, layout,
+                        eval_options=EvalOptions(bypass=True))
+        x = np.array(layout.x_default)
+        asm.assemble(x)
+        # Move one node well past tolerance: every transistor shares
+        # in/out/ground, so all four go stale together — then move
+        # nothing and confirm all four hit.
+        x[layout.node_index("out")] += 0.1
+        before = profiling.snapshot()
+        asm.assemble(x)
+        assert profiling.delta(before)["bypass_evals"] == 4
+        before = profiling.snapshot()
+        asm.assemble(x)
+        assert profiling.delta(before)["bypass_hits"] == 4
+
+    def test_bypassed_assembly_matches_full_within_tolerance(self):
+        circuit = _mosfet_testbench()
+        layout = SystemLayout(circuit)
+        opts = EvalOptions(bypass=True)
+        asm = Assembler(circuit, layout, eval_options=opts)
+        x = np.array(layout.x_default)
+        asm.assemble(x)
+        # A sub-tolerance nudge: the bypassed residual must stay within
+        # the documented gm*dv error budget of the exact one.
+        x[layout.node_index("in")] += 0.5 * opts.bypass_abstol
+        F_b, _, _ = asm.assemble(x)
+        exact = Assembler(circuit, SystemLayout(circuit),
+                          eval_options=BATCHED)
+        F_e, _, _ = exact.assemble(x)
+        assert np.max(np.abs(F_b - F_e)) < 1e-9
+
+    def test_bypass_only_when_enabled(self):
+        circuit = _mosfet_testbench()
+        layout = SystemLayout(circuit)
+        asm = Assembler(circuit, layout, eval_options=BATCHED)
+        x = layout.x_default
+        before = profiling.snapshot()
+        asm.assemble(x)
+        asm.assemble(x)
+        delta = profiling.delta(before)
+        assert delta["bypass_hits"] == 0
+        assert delta["bypass_evals"] == 0
+
+
+class TestTransientGuard:
+    def test_discontinuities_force_full_eval(self, monkeypatch):
+        """Transient must disarm bypass at breakpoints and rejected
+        steps — count the notifications against the step stats."""
+        calls = {"n": 0}
+        original = Assembler.notify_discontinuity
+
+        def spy(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(Assembler, "notify_discontinuity", spy)
+        c = Circuit("guard")
+        c.vsource("V1", "in", "0",
+                  Pulse(0.0, 1.2, td=1e-10, tr=5e-11, pw=4e-10,
+                        tf=5e-11, per=1e-9))
+        c.resistor("R1", "in", "out", 1e4)
+        c.capacitor("C1", "out", "0", 1e-14)
+        with eval_override(bypass=True):
+            result = transient(c, tstop=1e-9, dt=1e-11)
+        stats = result.stats
+        expected = (stats.rejected_lte + stats.rejected_newton)
+        # Every rejection notifies, plus one per breakpoint landing
+        # (the pulse has several edges inside tstop).
+        assert calls["n"] >= expected + 2
+
+    def test_bypass_transient_matches_full(self):
+        c = Circuit("acc")
+        c.vsource("VDD", "vdd", "0", 1.2)
+        c.vsource("V1", "in", "0",
+                  Pulse(0.0, 1.2, td=1e-10, tr=5e-11, pw=4e-10,
+                        tf=5e-11, per=2e-9))
+        nmos = nmos_90nm()
+        pmos = pmos_90nm()
+        c.add(Mosfet("MP", "out", "in", "vdd", pmos, width=2e-6))
+        c.add(Mosfet("MN", "out", "in", "0", nmos, width=1e-6))
+        c.capacitor("CL", "out", "0", 5e-15)
+        with eval_override(bypass=False):
+            ref = transient(c, tstop=1e-9, dt=1e-12)
+        with eval_override(bypass=True):
+            byp = transient(c, tstop=1e-9, dt=1e-12)
+        v_ref = np.interp(np.linspace(0, 1e-9, 200), ref.t,
+                          ref.voltage("out"))
+        v_byp = np.interp(np.linspace(0, 1e-9, 200), byp.t,
+                          byp.voltage("out"))
+        assert np.max(np.abs(v_byp - v_ref)) < 1e-3 * 1.2
+
+
+class TestEvalPolicy:
+    def test_defaults(self):
+        opts = get_eval_options()
+        assert opts.mode == "batched"
+        assert opts.bypass is False
+
+    def test_override_restores(self):
+        base = get_eval_options()
+        with eval_override(mode="scalar", bypass=True) as opts:
+            assert opts.mode == "scalar"
+            assert opts.bypass is True
+            assert get_eval_options() is opts
+        assert get_eval_options() is base
+
+    def test_set_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            set_eval_options("batched")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            EvalOptions(mode="vectorised")
+        with pytest.raises(ValueError):
+            EvalOptions(bypass_reltol=-1.0)
+
+    def test_ambient_salt_tracks_eval_policy(self):
+        from repro.engine.cache import ambient_salt
+        base = ambient_salt()
+        with eval_override(bypass=True):
+            assert ambient_salt() != base
+        with eval_override(mode="scalar"):
+            assert ambient_salt() != base
+        assert ambient_salt() == base
