@@ -1,0 +1,117 @@
+"""Bench: stacked ensemble Monte-Carlo vs sequential per-sample runs.
+
+Times the Figure 9 Monte-Carlo workload — worst-case evaluation delay
+of the fan-in-8 CMOS dynamic OR gate under per-transistor Vth samples —
+through the lock-step stacked ensemble path
+(:mod:`repro.analysis.ensemble`) at S in {8, 64, 256}, against the
+sequential per-sample reference (``ensemble_override(False)``, the
+exact pre-ensemble numerics).  The sequential cost is measured on
+min(S, 32) samples and extrapolated linearly — it has no cross-sample
+amortisation, so per-sample cost is flat and the extrapolation is safe
+(and avoids a ~30 s reference run per repetition).
+
+The acceptance bar for this PR: the stacked path must beat sequential
+by >= 5x at S = 256 (measured ~10x at S = 64 on the reference box;
+batched-LU amortisation grows with S).  Set ``REPRO_BENCH_JSON`` to a
+path to get the measurements as a JSON artifact (CI uploads it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.ensemble import EnsembleSpec
+from repro.analysis.options import ensemble_override
+from repro.devices.variation import VariationModel, monte_carlo_shifts
+from repro.library import gate_metrics
+from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
+
+SAMPLE_COUNTS = (8, 64, 256)
+#: Sequential reference cap: enough samples to average out per-sample
+#: cost, cheap enough to keep the bench under a minute.
+SEQ_CAP = 32
+SIGMA_REL = 0.10
+SEED = 7
+
+
+def _gate():
+    gate = build_dynamic_or(
+        DynamicOrSpec(fan_in=8, fan_out=3.0, style="cmos"))
+    gate.set_keeper_width(3e-6)
+    return gate
+
+
+def test_ensemble_scaling(record_property):
+    gate = _gate()
+    model = VariationModel(sigma_rel=SIGMA_REL)
+    devices = list(gate.pulldowns) + [gate.keeper]
+    # One warm-up run so layout/plan construction is off the clock for
+    # stacked and sequential alike.
+    warm = EnsembleSpec.from_shift_maps(
+        monte_carlo_shifts(model, devices, 2, SEED))
+    gate_metrics.measure_worst_case_delays(gate, warm)
+    with ensemble_override(False):
+        gate_metrics.measure_worst_case_delays(gate, warm)
+
+    points = []
+    print(f"\nfig09 fan-in-8 CMOS gate, Monte-Carlo delay ensembles:")
+    for samples in SAMPLE_COUNTS:
+        maps = monte_carlo_shifts(model, devices, samples, SEED)
+        spec = EnsembleSpec.from_shift_maps(maps)
+        started = time.perf_counter()
+        delays = gate_metrics.measure_worst_case_delays(gate, spec)
+        stacked_s = time.perf_counter() - started
+        assert np.isfinite(delays).all(), (
+            f"{np.isnan(delays).sum()} of {samples} samples fell off "
+            f"the stacked path")
+
+        n_seq = min(samples, SEQ_CAP)
+        seq_spec = EnsembleSpec.from_shift_maps(maps[:n_seq])
+        with ensemble_override(False):
+            started = time.perf_counter()
+            seq_delays = gate_metrics.measure_worst_case_delays(
+                gate, seq_spec)
+            seq_measured_s = time.perf_counter() - started
+        assert np.isfinite(seq_delays).all()
+        sequential_s = seq_measured_s * samples / n_seq
+        speedup = sequential_s / stacked_s
+        # The two paths share circuit and population; distributions
+        # must agree at the LTE (figure) level even though the stacked
+        # run shares one adaptive grid across samples.
+        rel = (np.abs(delays[:n_seq] - seq_delays)
+               / np.abs(seq_delays))
+        assert np.max(rel) < 0.05
+        points.append({
+            "samples": samples,
+            "stacked_s": stacked_s,
+            "sequential_s": sequential_s,
+            "sequential_measured": n_seq,
+            "speedup": speedup,
+            "max_rel_delay_diff": float(np.max(rel)),
+        })
+        print(f"  S={samples:4d}: stacked {stacked_s:6.2f} s, "
+              f"sequential {sequential_s:6.2f} s "
+              f"(measured on {n_seq}), speedup {speedup:.2f}x")
+
+    final = points[-1]
+    record_property("speedup_s256", round(final["speedup"], 2))
+
+    artifact = os.environ.get("REPRO_BENCH_JSON")
+    if artifact:
+        with open(artifact, "w") as handle:
+            json.dump({"benchmark": "ensemble_scaling",
+                       "circuit": "dynamic_or_cmos_fi8",
+                       "sigma_rel": SIGMA_REL,
+                       "points": points},
+                      handle, indent=1)
+
+    # The acceptance bar: >= 5x at the 256-sample default of
+    # ext_fig09_montecarlo (measured well above; the floor leaves
+    # room for runner noise).
+    assert final["speedup"] >= 5.0, (
+        f"stacked ensemble should be >= 5x faster than sequential at "
+        f"S=256, got {final['speedup']:.2f}x")

@@ -5,6 +5,7 @@ from repro.analysis.options import (
     NewtonOptions,
     TransientOptions,
     backend_override,
+    ensemble_override,
 )
 from repro.analysis.backends import (
     DenseSolver,
@@ -15,6 +16,15 @@ from repro.analysis.backends import (
 from repro.analysis.dc import operating_point, dc_sweep, OperatingPoint, DCSweepResult
 from repro.analysis.transient import transient, TransientResult
 from repro.analysis.ac import ac_analysis, ACResult
+from repro.analysis.ensemble import (
+    EnsembleOperatingPoint,
+    EnsembleSpec,
+    EnsembleSweepResult,
+    EnsembleTransientResult,
+    ensemble_dc,
+    ensemble_sweep,
+    ensemble_transient,
+)
 from repro.analysis import measure
 
 __all__ = [
@@ -22,6 +32,14 @@ __all__ = [
     "NewtonOptions",
     "TransientOptions",
     "backend_override",
+    "ensemble_override",
+    "EnsembleSpec",
+    "EnsembleOperatingPoint",
+    "EnsembleSweepResult",
+    "EnsembleTransientResult",
+    "ensemble_dc",
+    "ensemble_sweep",
+    "ensemble_transient",
     "DenseSolver",
     "SparseSolver",
     "make_backend",

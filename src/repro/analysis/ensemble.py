@@ -1,0 +1,1090 @@
+"""Stacked ensemble analyses: lock-step multi-sample DC and transient.
+
+Monte-Carlo and corner studies solve the *same* circuit at many
+parameter points.  The classic loop re-runs the scalar analyses once
+per sample; this module instead stacks all ``S`` samples into arrays
+of shape ``(S, n)`` and advances them in lock-step:
+
+* device groups evaluate once per iteration over the whole stack
+  (their kernels are shape-polymorphic, see :mod:`repro.circuit.batch`),
+  with per-sample threshold shifts / transconductance scales installed
+  as ``(S, m)`` parameter arrays on the MOSFET group;
+* the stacked dense Jacobians ``(S, n, n)`` are factorised in one
+  batched-LU call (``numpy.linalg.solve``), amortising LAPACK and
+  Python overhead across the ensemble;
+* Newton runs under a per-sample *active mask*: converged samples
+  freeze, diverged samples drop out and are re-solved on the scalar
+  reference path (``fallback``), so one hard sample cannot poison its
+  neighbours;
+* the lock-step transient shares one time grid across samples —
+  steps are accepted on the max-over-samples LTE ratio and rejected
+  when any live sample's Newton fails, which keeps every sample on the
+  trusted region of the shared step controller.
+
+The stacked path is numerically the *same algorithm* as the scalar
+one — same damped-Newton update, clamping, line search and LTE control
+— so per-sample results agree with the sequential loop to solver
+tolerance (locked down by ``tests/test_ensemble_parity.py``).  The
+session-wide toggle :func:`repro.analysis.options.ensemble_override`
+forces the sequential reference path for A/B comparison; it is folded
+into the engine cache's ambient salt so the two modes never alias.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import profiling
+from repro.analysis.dc import (
+    DCSweepResult,
+    OperatingPoint,
+    operating_point,
+)
+from repro.analysis.options import (
+    EvalOptions,
+    HomotopyOptions,
+    NewtonOptions,
+    TransientOptions,
+    get_ensemble_mode,
+    get_eval_options,
+    resolve_solver_options,
+)
+from repro.analysis.solver import (
+    SolveEvent,
+    emit_solve_event,
+    have_solve_observers,
+)
+from repro.analysis.transient import (
+    _TIME_RTOL,
+    _collect_breakpoints,
+    _lte_estimate,
+    StepStats,
+    TransientResult,
+    transient,
+)
+from repro.circuit.batch import BatchPlan, PlanStale
+from repro.circuit.mna import Assembler, SystemLayout
+from repro.circuit.netlist import Circuit, is_ground
+from repro.devices.corners import CORNERS, CornerModel
+from repro.devices.mosfet import Mosfet
+from repro.devices.variation import applied_shifts
+from repro.errors import (
+    AnalysisError,
+    ConvergenceError,
+    NetlistError,
+    TimestepError,
+)
+
+__all__ = [
+    "EnsembleSpec",
+    "EnsembleOperatingPoint",
+    "EnsembleSweepResult",
+    "EnsembleTransientResult",
+    "corner_ensemble_spec",
+    "ensemble_dc",
+    "ensemble_sweep",
+    "ensemble_transient",
+]
+
+
+def _use_stacked() -> bool:
+    """Whether the stacked lock-step path is active for this session.
+
+    The stacked kernels ride on the batched evaluation plan, so scalar
+    evaluation mode also forces the sequential reference path.
+    """
+    return get_ensemble_mode() and get_eval_options().mode == "batched"
+
+
+class EnsembleSpec:
+    """Per-sample device-parameter overrides for an ensemble run.
+
+    ``vth_shift`` maps MOSFET element names to additive threshold
+    shifts [V], one value per sample; ``k_scale`` maps names to
+    multiplicative transconductance scales.  Devices not named keep
+    their nominal parameters in every sample.  Only batched MOSFETs can
+    be targeted — naming a NEMFET (whose stochastic model the paper
+    does not vary) or an unknown element raises
+    :class:`~repro.errors.AnalysisError` when the spec is installed.
+    """
+
+    def __init__(self, samples: int,
+                 vth_shift: Optional[Mapping[str, Sequence[float]]] = None,
+                 k_scale: Optional[Mapping[str, Sequence[float]]] = None):
+        self.samples = int(samples)
+        if self.samples < 1:
+            raise ValueError(
+                f"an ensemble needs at least one sample, got {samples}")
+        self.vth_shift = self._validated(vth_shift, "vth_shift")
+        self.k_scale = self._validated(k_scale, "k_scale")
+
+    def _validated(self, mapping, label) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for name, values in (mapping or {}).items():
+            arr = np.asarray(values, dtype=float)
+            if arr.shape != (self.samples,):
+                raise ValueError(
+                    f"{label}[{name!r}] must have shape "
+                    f"({self.samples},), got {arr.shape}")
+            out[str(name)] = arr
+        return out
+
+    @classmethod
+    def from_shift_maps(cls, shift_maps: Sequence[Mapping[str, float]],
+                        k_scale_maps: Optional[
+                            Sequence[Mapping[str, float]]] = None
+                        ) -> "EnsembleSpec":
+        """Build a spec from per-sample ``{name: shift}`` dicts (the
+        :func:`~repro.devices.variation.monte_carlo_shifts` format).
+
+        Missing names default to a 0.0 shift / 1.0 scale in that
+        sample, so ragged corner maps stack cleanly.
+        """
+        samples = len(shift_maps)
+        names: List[str] = []
+        for m in shift_maps:
+            for n in m:
+                if n not in names:
+                    names.append(n)
+        vth = {n: np.array([float(m.get(n, 0.0)) for m in shift_maps])
+               for n in names}
+        ks = None
+        if k_scale_maps is not None:
+            if len(k_scale_maps) != samples:
+                raise ValueError(
+                    f"k_scale_maps has {len(k_scale_maps)} entries for "
+                    f"{samples} samples")
+            knames: List[str] = []
+            for m in k_scale_maps:
+                for n in m:
+                    if n not in knames:
+                        knames.append(n)
+            ks = {n: np.array([float(m.get(n, 1.0))
+                               for m in k_scale_maps])
+                  for n in knames}
+        return cls(samples, vth_shift=vth, k_scale=ks)
+
+    def shift_map(self, s: int) -> Dict[str, float]:
+        """Sample ``s`` as a scalar ``{name: vth_shift}`` map."""
+        return {n: float(a[s]) for n, a in self.vth_shift.items()}
+
+    def scale_map(self, s: int) -> Dict[str, float]:
+        """Sample ``s`` as a scalar ``{name: k_scale}`` map."""
+        return {n: float(a[s]) for n, a in self.k_scale.items()}
+
+    @property
+    def device_names(self) -> Tuple[str, ...]:
+        """Every device name the spec perturbs, sorted."""
+        return tuple(sorted(set(self.vth_shift) | set(self.k_scale)))
+
+    def cache_token(self):
+        """Stable content token for the engine result cache."""
+        return ("EnsembleSpec", self.samples,
+                tuple((n, tuple(map(float, a)))
+                      for n, a in sorted(self.vth_shift.items())),
+                tuple((n, tuple(map(float, a)))
+                      for n, a in sorted(self.k_scale.items())))
+
+    def __repr__(self) -> str:
+        return (f"EnsembleSpec(samples={self.samples}, "
+                f"devices={list(self.device_names)!r})")
+
+
+@contextlib.contextmanager
+def _applied_sample(circuit: Circuit, spec: EnsembleSpec,
+                    s: int) -> Iterator[None]:
+    """Apply one sample's parameters to the circuit (scalar fallback).
+
+    Threshold shifts go through the mutable ``vth_shift`` attribute;
+    transconductance scales swap the (immutable) model card and restore
+    the original object afterwards — the card swap invalidates the
+    batch plan, which the stacked problem rebuilds on its next use.
+    """
+    scales = {n: v for n, v in spec.scale_map(s).items() if v != 1.0}
+    saved: Dict[str, object] = {}
+    try:
+        for name, scale in scales.items():
+            element = circuit[name]
+            if not isinstance(element, Mosfet):
+                raise TypeError(
+                    f"element '{name}' is not a Mosfet; cannot scale "
+                    f"k_trans")
+            saved[name] = element.params
+            element.params = dataclasses.replace(
+                element.params, k_trans=element.params.k_trans * scale)
+        with applied_shifts(circuit, spec.shift_map(s)):
+            yield
+    finally:
+        for name, card in saved.items():
+            circuit[name].params = card
+
+
+def corner_ensemble_spec(circuit: Circuit,
+                         corners: Sequence[str] = CORNERS,
+                         model: Optional[CornerModel] = None
+                         ) -> EnsembleSpec:
+    """Global process corners of a circuit as one ensemble.
+
+    Each corner becomes one sample: every MOSFET in the circuit gets
+    the :class:`~repro.devices.corners.CornerModel` threshold shift and
+    transconductance scale for its polarity (NEMS devices are
+    geometry-set and stay nominal, as in
+    :func:`~repro.devices.corners.corner_params`).  The five classic
+    corners then solve in one lock-step stacked run instead of five
+    rebuilt-netlist analyses.
+    """
+    if model is None:
+        model = CornerModel()
+    for corner in corners:
+        if corner.upper() not in CORNERS:
+            raise AnalysisError(
+                f"unknown corner '{corner}' (choose from {CORNERS})")
+    mosfets = [el for el in circuit.elements if isinstance(el, Mosfet)]
+    if not mosfets:
+        raise AnalysisError(
+            "corner_ensemble_spec needs at least one MOSFET in the "
+            "circuit")
+    S = len(corners)
+    vth: Dict[str, np.ndarray] = {}
+    ks: Dict[str, np.ndarray] = {}
+    for el in mosfets:
+        is_n = el.params.polarity > 0
+        shifts = np.zeros(S)
+        scales = np.ones(S)
+        for i, corner in enumerate(corners):
+            c = corner.upper()
+            if c == "TT":
+                continue
+            fast = (c[0] if is_n else c[1]) == "F"
+            sign = -1.0 if fast else +1.0
+            shifts[i] = sign * model.dvth
+            scales[i] = 1.0 - sign * model.dk_rel
+        vth[el.name] = shifts
+        ks[el.name] = scales
+    return EnsembleSpec(S, vth_shift=vth, k_scale=ks)
+
+
+@dataclass
+class _EnsembleCounters:
+    """Mutable telemetry accumulator threaded through one analysis."""
+
+    samples: int = 0
+    fallbacks: int = 0
+    active_iterations: int = 0
+    sample_iterations: int = 0
+    stacked_solve_time: float = 0.0
+    total_iterations: int = 0
+
+
+class _StackedProblem:
+    """Binds a circuit + layout + spec to the stacked assembler.
+
+    Owns a dense batched-mode :class:`~repro.circuit.mna.Assembler`
+    (device bypass off: its caches describe one trajectory, not S of
+    them) and the per-sample parameter matrices, re-derived whenever
+    the layout's batch plan is rebuilt underneath us (element edits,
+    model-card swaps by the scalar fallback path).
+    """
+
+    def __init__(self, circuit: Circuit, layout: SystemLayout,
+                 spec: EnsembleSpec):
+        self.circuit = circuit
+        self.layout = layout
+        self.spec = spec
+        self.assembler = Assembler(
+            circuit, layout, matrix_mode="dense",
+            eval_options=EvalOptions(mode="batched", bypass=False))
+        self._plan = None
+        self._entries: List[tuple] = []
+
+    def _ensure_plan(self) -> None:
+        plan = getattr(self.layout, "batch_plan", None)
+        if plan is None or plan.n_elements != len(self.circuit.elements):
+            plan = BatchPlan(self.circuit, self.layout)
+            self.layout.batch_plan = plan
+        if plan is self._plan:
+            return
+        S = self.spec.samples
+        covered = set()
+        entries: List[tuple] = []
+        for group in plan.groups:
+            # Duck-typed: any group carrying ensemble override slots
+            # (today the MOSFET group) can take per-sample parameters.
+            if not hasattr(group, "ens_vth_shift"):
+                continue
+            names = [el.name for el in group.members]
+            vth = None
+            hits = [n for n in names if n in self.spec.vth_shift]
+            if hits:
+                vth = np.zeros((S, group.m))
+                for j, n in enumerate(names):
+                    col = self.spec.vth_shift.get(n)
+                    if col is not None:
+                        vth[:, j] = col
+                covered.update(hits)
+            ks = None
+            hits = [n for n in names if n in self.spec.k_scale]
+            if hits:
+                ks = np.ones((S, group.m))
+                for j, n in enumerate(names):
+                    col = self.spec.k_scale.get(n)
+                    if col is not None:
+                        ks[:, j] = col
+                covered.update(hits)
+            entries.append((group, vth, ks))
+        missing = set(self.spec.device_names) - covered
+        if missing:
+            raise AnalysisError(
+                f"ensemble parameters target {sorted(missing)} which "
+                f"are not batched MOSFETs of this circuit")
+        self._plan = plan
+        self._entries = entries
+
+    def install(self, idx: np.ndarray) -> None:
+        """Install the parameter rows for global sample indices ``idx``."""
+        self._ensure_plan()
+        for group, vth, ks in self._entries:
+            group.ens_vth_shift = None if vth is None else vth[idx]
+            group.ens_k_scale = None if ks is None else ks[idx]
+
+    def uninstall(self) -> None:
+        """Clear every override so scalar callers see nominal devices."""
+        if self._plan is None:
+            return
+        for group, _, _ in self._entries:
+            group.ens_vth_shift = None
+            group.ens_k_scale = None
+
+    def assemble_stacked(self, idx: np.ndarray, X: np.ndarray, **kw):
+        """Stacked assembly of samples ``idx`` at points ``X`` (k, n).
+
+        Retries once across a plan rebuild (a scalar fallback may have
+        swapped a model card between stacked calls).
+        """
+        self.install(idx)
+        try:
+            return self.assembler.assemble_ensemble(X, **kw)
+        except PlanStale:
+            self._plan = None
+            self.install(idx)
+            return self.assembler.assemble_ensemble(X, **kw)
+
+
+def _row_error_ratios(lte: np.ndarray, X_new: np.ndarray,
+                      X_old: np.ndarray,
+                      opts: TransientOptions) -> np.ndarray:
+    """Per-sample max of |LTE| / tolerance over the unknowns."""
+    tol = opts.trtol * (
+        opts.lte_reltol * np.maximum(np.abs(X_new), np.abs(X_old))
+        + opts.lte_abstol)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.abs(lte) / tol
+    return np.max(np.where(np.isnan(ratio), 0.0, ratio), axis=1)
+
+
+def _ensemble_newton(problem: _StackedProblem, X0: np.ndarray,
+                     idx: np.ndarray, *,
+                     options: Optional[NewtonOptions] = None,
+                     t: float = 0.0, source_scale: float = 1.0,
+                     c0: float = 0.0, d1: float = 0.0,
+                     Q_prev: Optional[np.ndarray] = None,
+                     Qdot_prev: Optional[np.ndarray] = None,
+                     gmin: float = 0.0,
+                     counters: Optional[_EnsembleCounters] = None):
+    """Masked lock-step Newton over the sample stack.
+
+    A per-sample mirror of the scalar ``_newton_iterate``: same
+    update clamping, residual-norm backtracking and convergence test,
+    applied row-wise under an active mask.  Converged samples freeze;
+    samples hitting a non-finite system, a singular Jacobian or the
+    iteration cap are marked failed (the caller re-solves them on the
+    scalar path).  Returns ``(X, Q, converged, iterations)`` with one
+    entry per row of ``X0``.
+    """
+    opts = options or NewtonOptions()
+    lay = problem.layout
+    tol = lay.row_tol * opts.residual_scale
+    dx_limit = lay.dx_limit
+    idx = np.asarray(idx, dtype=np.int64)
+    k, n = X0.shape
+    X = np.array(X0, dtype=float)
+    observing = have_solve_observers()
+    wall_started = time.perf_counter() if observing else 0.0
+    phases_before = profiling.snapshot() if observing else None
+
+    def assemble(rows: np.ndarray, Xr: np.ndarray):
+        qp = Q_prev[rows] if Q_prev is not None else None
+        qd = Qdot_prev[rows] if Qdot_prev is not None else None
+        return problem.assemble_stacked(
+            idx[rows], Xr, t=t, source_scale=source_scale, c0=c0, d1=d1,
+            Q_prev=qp, Qdot_prev=qd, gmin=gmin)
+
+    F, J, Q = assemble(np.arange(k), X)
+    with np.errstate(invalid="ignore"):
+        fnorm = np.max(np.abs(F) / tol, axis=1)
+    converged = np.zeros(k, dtype=bool)
+    failed = np.zeros(k, dtype=bool)
+    iters = np.zeros(k, dtype=np.int64)
+    stacked_time = 0.0
+    active_iter_sum = 0
+    lockstep = 0
+
+    for _ in range(opts.max_iterations):
+        act = ~(converged | failed)
+        if not act.any():
+            break
+        lockstep += 1
+        active_iter_sum += int(act.sum())
+        iters[act] += 1
+
+        finite = (np.isfinite(F).all(axis=1)
+                  & np.isfinite(J).all(axis=(1, 2)))
+        failed |= act & ~finite
+        act &= finite
+        if not act.any():
+            continue
+        ai = np.nonzero(act)[0]
+
+        solve_started = time.perf_counter()
+        try:
+            # One batched-LU call factorises every active sample.
+            dX = np.linalg.solve(J[ai], -F[ai][..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            # Isolate the singular sample(s); the rest keep going.
+            dX = np.empty((ai.size, n))
+            keep = np.ones(ai.size, dtype=bool)
+            for j, row in enumerate(ai):
+                try:
+                    dX[j] = np.linalg.solve(J[row], -F[row])
+                except np.linalg.LinAlgError:
+                    keep[j] = False
+            failed[ai[~keep]] = True
+            ai = ai[keep]
+            dX = dX[keep]
+            act = np.zeros(k, dtype=bool)
+            act[ai] = True
+        solve_elapsed = time.perf_counter() - solve_started
+        stacked_time += solve_elapsed
+        profiling.COUNTERS["solve_time"] += solve_elapsed
+        if not ai.size:
+            continue
+
+        clip = np.minimum(np.abs(dX), dx_limit)
+        dX_full = np.zeros_like(X)
+        dX_full[ai] = np.sign(dX) * clip
+
+        # Lock-step backtracking line search: every still-searching
+        # sample assembles at its own scale in one stacked call.
+        scale = np.full(k, opts.damping)
+        searching = act & (opts.damping >= opts.min_step_scale)
+        have_best = np.zeros(k, dtype=bool)
+        best_f = np.zeros(k)
+        best_scale = np.zeros(k)
+        best_X = np.zeros_like(X)
+        best_F = np.zeros_like(F)
+        best_J = np.zeros_like(J)
+        best_Q = np.zeros_like(Q)
+        while searching.any():
+            si = np.nonzero(searching)[0]
+            X_try = X[si] + scale[si, None] * dX_full[si]
+            F_t, J_t, Q_t = assemble(si, X_try)
+            finite_t = np.isfinite(F_t).all(axis=1)
+            with np.errstate(invalid="ignore"):
+                f_t = np.max(np.abs(F_t) / tol, axis=1)
+            better = finite_t & (~have_best[si] | (f_t < best_f[si]))
+            rows = si[better]
+            have_best[rows] = True
+            best_f[rows] = f_t[better]
+            best_scale[rows] = scale[rows]
+            best_X[rows] = X_try[better]
+            best_F[rows] = F_t[better]
+            best_J[rows] = J_t[better]
+            best_Q[rows] = Q_t[better]
+            done = finite_t & ((f_t < fnorm[si]) | (f_t < 1.0))
+            searching[si[done]] = False
+            halve = si[~done]
+            scale[halve] *= 0.5
+            searching[halve] = scale[halve] >= opts.min_step_scale
+
+        failed |= act & ~have_best
+        ub = act & have_best
+        if not ub.any():
+            continue
+        ui = np.nonzero(ub)[0]
+        step = np.abs(best_X[ui] - X[ui])
+        X[ui] = best_X[ui]
+        F[ui] = best_F[ui]
+        J[ui] = best_J[ui]
+        Q[ui] = best_Q[ui]
+        fnorm[ui] = best_f[ui]
+        small = np.all(
+            step <= opts.reltol * np.abs(X[ui]) + opts.abstol_v, axis=1)
+        conv_now = (best_f[ui] < 1.0) & (
+            small | (best_scale[ui] == opts.damping))
+        converged[ui[conv_now]] = True
+
+    failed |= ~(converged | failed)  # iteration cap exhausted
+
+    if counters is not None:
+        counters.active_iterations += active_iter_sum
+        counters.sample_iterations += lockstep * k
+        counters.stacked_solve_time += stacked_time
+        counters.total_iterations += int(iters.sum())
+    if observing:
+        phases = profiling.delta(phases_before)
+        residual = float(np.max(
+            np.where(np.isfinite(fnorm), fnorm, 0.0), initial=0.0))
+        emit_solve_event(SolveEvent(
+            "newton", "ensemble", lockstep, residual,
+            bool(converged.all()),
+            time.perf_counter() - wall_started, backend="stacked",
+            eval_time=phases.get("eval_time", 0.0),
+            assemble_time=phases.get("assemble_time", 0.0),
+            solve_time=phases.get("solve_time", 0.0),
+            ensemble_samples=k,
+            ensemble_active_iterations=active_iter_sum,
+            ensemble_sample_iterations=lockstep * k,
+            stacked_solve_time=stacked_time))
+    return X, Q, converged, iters
+
+
+class EnsembleOperatingPoint:
+    """Stacked DC solutions, one row per sample.
+
+    ``converged`` flags the samples that reached a solution (stacked or
+    scalar fallback); non-converged rows of ``X`` are NaN.  ``fallback``
+    lists the samples that were re-solved on the scalar path.
+    """
+
+    def __init__(self, layout: SystemLayout, X: np.ndarray,
+                 Q: np.ndarray, converged: np.ndarray,
+                 fallback: Sequence[int]):
+        self.layout = layout
+        self.X = X
+        self.Q = Q
+        self.converged = converged
+        self.fallback = tuple(int(s) for s in fallback)
+
+    @property
+    def samples(self) -> int:
+        return self.X.shape[0]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Node voltage across the ensemble, shape ``(S,)``."""
+        if is_ground(node):
+            return np.zeros(self.samples)
+        return self.X[:, self.layout.node_index(node)].copy()
+
+    def state(self, element_name: str, state_name: str) -> np.ndarray:
+        """A device internal state across the ensemble, shape ``(S,)``."""
+        return self.X[:, self.layout.state_index(
+            element_name, state_name)].copy()
+
+    def sample(self, s: int) -> OperatingPoint:
+        """Sample ``s`` as a scalar :class:`OperatingPoint`."""
+        if not self.converged[s]:
+            raise ConvergenceError(
+                f"ensemble sample {s} did not converge")
+        return OperatingPoint(self.layout, self.X[s].copy(),
+                              self.Q[s].copy())
+
+    def __len__(self) -> int:
+        return self.samples
+
+
+class EnsembleSweepResult:
+    """A DC sweep of a whole ensemble: one stacked point per value."""
+
+    def __init__(self, parameter: str, values: np.ndarray,
+                 points: List[EnsembleOperatingPoint]):
+        self.parameter = parameter
+        self.values = values
+        self.points = points
+
+    @property
+    def samples(self) -> int:
+        return self.points[0].samples if self.points else 0
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Node voltages over the sweep, shape ``(P, S)``."""
+        return np.stack([p.voltage(node) for p in self.points])
+
+    def converged(self) -> np.ndarray:
+        """Per-sample all-points convergence flags, shape ``(S,)``."""
+        return np.all([p.converged for p in self.points], axis=0)
+
+    def sample(self, s: int) -> DCSweepResult:
+        """Sample ``s`` as a scalar :class:`DCSweepResult`."""
+        return DCSweepResult(self.parameter, self.values,
+                             [p.sample(s) for p in self.points])
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class EnsembleTransientResult:
+    """Lock-step transient waveforms on one shared time grid.
+
+    ``t`` has shape ``(T,)`` and the solutions ``(T, S, n)``.  Samples
+    that left the lock-step run (DC failure or a Newton failure at the
+    minimum step) were re-integrated on the scalar path: their results
+    live in ``fallback`` (own adaptive grids) and irrecoverable ones in
+    ``failures``.  :meth:`sample` dispatches transparently.
+    """
+
+    def __init__(self, layout: SystemLayout, times: np.ndarray,
+                 solutions: np.ndarray, stats: StepStats,
+                 newton_iterations: np.ndarray,
+                 fallback: Dict[int, TransientResult],
+                 failures: Dict[int, Exception]):
+        self.layout = layout
+        self.t = times
+        self._X = solutions
+        self.stats = stats
+        self.newton_iterations = newton_iterations
+        self.fallback = fallback
+        self.failures = failures
+
+    @property
+    def samples(self) -> int:
+        return self._X.shape[1]
+
+    def converged(self, s: int) -> bool:
+        """Whether sample ``s`` produced a full waveform."""
+        return s not in self.failures
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Lock-step voltage waveforms, shape ``(T, S)``.
+
+        Columns of samples that fell back to the scalar path hold the
+        values up to their demotion; use :meth:`sample` for those.
+        """
+        if is_ground(node):
+            return np.zeros((len(self.t), self.samples))
+        return self._X[:, :, self.layout.node_index(node)].copy()
+
+    def sample(self, s: int) -> TransientResult:
+        """Sample ``s`` as a scalar :class:`TransientResult`."""
+        if s in self.failures:
+            raise self.failures[s]
+        if s in self.fallback:
+            return self.fallback[s]
+        st = self.stats
+        per = StepStats(
+            control=st.control, accepted=st.accepted,
+            rejected_lte=st.rejected_lte,
+            rejected_newton=st.rejected_newton,
+            newton_iterations=int(self.newton_iterations[s]),
+            h_min=st.h_min, h_max=st.h_max,
+            error_ratio_hist=list(st.error_ratio_hist))
+        return TransientResult(self.layout, self.t.copy(),
+                               self._X[:, s, :].copy(), stats=per)
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+
+def _initial_stack(lay: SystemLayout, S: int, x0) -> np.ndarray:
+    if x0 is None:
+        return np.tile(lay.x_default, (S, 1))
+    arr = np.asarray(x0, dtype=float)
+    if arr.ndim == 1:
+        return np.tile(arr, (S, 1))
+    X0 = np.array(arr)
+    if X0.shape != (S, lay.n):
+        raise ValueError(
+            f"x0 must have shape ({S}, {lay.n}), got {X0.shape}")
+    return X0
+
+
+def _sequential_dc(circuit: Circuit, spec: EnsembleSpec,
+                   lay: SystemLayout, X0: np.ndarray,
+                   newton_options, homotopy) -> EnsembleOperatingPoint:
+    """Per-sample scalar reference path (ensemble mode off)."""
+    S = spec.samples
+    X = np.empty((S, lay.n))
+    conv = np.zeros(S, dtype=bool)
+    qs: List[Optional[np.ndarray]] = [None] * S
+    for s in range(S):
+        guess = X0[s] if np.all(np.isfinite(X0[s])) else None
+        try:
+            with _applied_sample(circuit, spec, s):
+                op = operating_point(
+                    circuit, x0=guess, layout=lay,
+                    newton_options=newton_options, homotopy=homotopy)
+        except (ConvergenceError, TimestepError):
+            X[s] = np.nan
+            continue
+        X[s] = op.x
+        qs[s] = op.q
+        conv[s] = True
+    qn = next((len(q) for q in qs if q is not None), 0)
+    Q = np.zeros((S, qn))
+    for s, q in enumerate(qs):
+        if q is not None and len(q) == qn:
+            Q[s] = q
+    return EnsembleOperatingPoint(lay, X, Q, conv, [])
+
+
+def ensemble_dc(circuit: Circuit, spec: EnsembleSpec, *,
+                x0=None, layout: Optional[SystemLayout] = None,
+                newton_options: Optional[NewtonOptions] = None,
+                homotopy: Optional[HomotopyOptions] = None,
+                problem: Optional[_StackedProblem] = None
+                ) -> EnsembleOperatingPoint:
+    """Stacked DC operating points for every sample of ``spec``.
+
+    Strategy ladder, each rung operating only on the samples the
+    previous one left unconverged:
+
+    1. direct lock-step Newton from ``x0`` (default: the layout's
+       initial guess, tiled; a ``(S, n)`` array warm-starts per
+       sample);
+    2. lock-step gmin stepping with the scalar homotopy schedule —
+       samples failing a rung drop out, survivors continue;
+    3. scalar fallback: each remaining sample runs the full scalar
+       :func:`operating_point` (homotopies, pseudo-transient and all)
+       under its own parameters.  Samples that still fail get NaN rows
+       and ``converged[s] = False`` — one diverging sample never sinks
+       the ensemble.
+    """
+    lay = layout if layout is not None else (
+        problem.layout if problem is not None else SystemLayout(circuit))
+    S = spec.samples
+    X0 = _initial_stack(lay, S, x0)
+    if not _use_stacked():
+        return _sequential_dc(circuit, spec, lay, X0,
+                              newton_options, homotopy)
+
+    nopt, hopt = resolve_solver_options(newton_options, homotopy)
+    prob = problem if problem is not None else _StackedProblem(
+        circuit, lay, spec)
+    counters = _EnsembleCounters(samples=S)
+    observing = have_solve_observers()
+    wall_started = time.perf_counter() if observing else 0.0
+
+    Xd, Q, conv, _ = _ensemble_newton(
+        prob, X0, np.arange(S), options=nopt, counters=counters)
+    X = np.where(conv[:, None], Xd, X0)
+
+    rem = np.nonzero(~conv)[0]
+    if rem.size:
+        # Lock-step gmin ladder over the direct failures.
+        Xg = X0[rem].copy()
+        live = np.ones(rem.size, dtype=bool)
+        gmin = hopt.gmin_start
+        while gmin > hopt.gmin_final and live.any():
+            li = np.nonzero(live)[0]
+            Xn, _, cn, _ = _ensemble_newton(
+                prob, Xg[li], rem[li], options=nopt, gmin=gmin,
+                counters=counters)
+            Xg[li[cn]] = Xn[cn]
+            live[li[~cn]] = False
+            gmin /= 10.0 ** (1.0 / hopt.gmin_steps_per_decade)
+        li = np.nonzero(live)[0]
+        if li.size:
+            Xn, Qn, cn, _ = _ensemble_newton(
+                prob, Xg[li], rem[li], options=nopt, counters=counters)
+            ok = rem[li[cn]]
+            X[ok] = Xn[cn]
+            Q[ok] = Qn[cn]
+            conv[ok] = True
+    prob.uninstall()
+
+    fallback: List[int] = []
+    for s in np.nonzero(~conv)[0]:
+        fallback.append(int(s))
+        counters.fallbacks += 1
+        guess = X0[s] if np.all(np.isfinite(X0[s])) else None
+        try:
+            with _applied_sample(circuit, spec, int(s)):
+                op = operating_point(
+                    circuit, x0=guess, layout=lay,
+                    newton_options=newton_options, homotopy=homotopy)
+        except (ConvergenceError, TimestepError):
+            X[s] = np.nan
+            continue
+        X[s] = op.x
+        Q[s] = op.q
+        conv[s] = True
+
+    if observing:
+        emit_solve_event(SolveEvent(
+            "dc", "ensemble", counters.total_iterations, 0.0,
+            bool(conv.all()), time.perf_counter() - wall_started,
+            backend="stacked", ensemble_samples=S,
+            ensemble_fallbacks=counters.fallbacks,
+            ensemble_active_iterations=counters.active_iterations,
+            ensemble_sample_iterations=counters.sample_iterations,
+            stacked_solve_time=counters.stacked_solve_time))
+    return EnsembleOperatingPoint(lay, X, Q, conv, fallback)
+
+
+def ensemble_sweep(circuit: Circuit, spec: EnsembleSpec,
+                   source_name: str, values: Sequence[float], *,
+                   layout: Optional[SystemLayout] = None,
+                   newton_options: Optional[NewtonOptions] = None,
+                   homotopy: Optional[HomotopyOptions] = None
+                   ) -> EnsembleSweepResult:
+    """Sweep a source's DC value across the whole ensemble at once.
+
+    The continuation semantics of the scalar :func:`dc_sweep` hold per
+    sample: each sample warm-starts every point from its own previous
+    solution, so hysteretic devices follow the branch of the sweep
+    direction in every sample.  The source value is restored afterwards.
+    """
+    source = circuit[source_name]
+    if not hasattr(source, "value"):
+        raise NetlistError(
+            f"'{source_name}' is not a source with a settable value")
+    lay = layout if layout is not None else SystemLayout(circuit)
+    prob = (_StackedProblem(circuit, lay, spec)
+            if _use_stacked() else None)
+
+    original = source.value
+    points: List[EnsembleOperatingPoint] = []
+    guess = None
+    try:
+        for v in values:
+            source.value = float(v)
+            op = ensemble_dc(
+                circuit, spec, x0=guess, layout=lay,
+                newton_options=newton_options, homotopy=homotopy,
+                problem=prob)
+            points.append(op)
+            guess = op.X
+    finally:
+        source.value = original
+    return EnsembleSweepResult(source_name,
+                               np.asarray(values, dtype=float), points)
+
+
+def _sequential_transient(circuit: Circuit, spec: EnsembleSpec,
+                          lay: SystemLayout, tstop: float, dt: float,
+                          options) -> EnsembleTransientResult:
+    """Per-sample scalar reference path (ensemble mode off).
+
+    Every sample integrates on its own grid; results all live in the
+    ``fallback`` dict and :meth:`EnsembleTransientResult.sample`
+    dispatches to them.
+    """
+    results: Dict[int, TransientResult] = {}
+    failures: Dict[int, Exception] = {}
+    iters = np.zeros(spec.samples, dtype=np.int64)
+    for s in range(spec.samples):
+        try:
+            with _applied_sample(circuit, spec, s):
+                res = transient(circuit, tstop, dt, options=options,
+                                layout=lay)
+        except (ConvergenceError, TimestepError) as err:
+            failures[s] = err
+            continue
+        results[s] = res
+        iters[s] = res.stats.newton_iterations
+    return EnsembleTransientResult(
+        lay, np.zeros(0), np.zeros((0, spec.samples, lay.n)),
+        StepStats(control="sequential"), iters, results, failures)
+
+
+def ensemble_transient(circuit: Circuit, spec: EnsembleSpec,
+                       tstop: float, dt: float, *,
+                       options: Optional[TransientOptions] = None,
+                       layout: Optional[SystemLayout] = None
+                       ) -> EnsembleTransientResult:
+    """Integrate every sample of ``spec`` in lock-step from 0 to
+    ``tstop`` on one shared adaptive time grid.
+
+    Step control mirrors the scalar :func:`~repro.analysis.transient.
+    transient` exactly, driven by the worst sample: a step is rejected
+    when any live sample's Newton fails, and under LTE control when the
+    max-over-samples error ratio exceeds one.  Samples whose Newton
+    still fails at the minimum step are demoted out of the lock-step
+    run and re-integrated on the scalar path afterwards (``fallback``),
+    as are samples whose initial DC failed.
+    """
+    if tstop <= 0:
+        raise ValueError(f"tstop must be positive, got {tstop}")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    opts = options or TransientOptions()
+    lay = layout if layout is not None else SystemLayout(circuit)
+    S = spec.samples
+    if not _use_stacked():
+        return _sequential_transient(circuit, spec, lay, tstop, dt,
+                                     opts)
+
+    counters = _EnsembleCounters(samples=S)
+    prob = _StackedProblem(circuit, lay, spec)
+    op = ensemble_dc(circuit, spec, layout=lay,
+                     newton_options=opts.newton, problem=prob)
+    live = op.converged.copy()
+    dead = set(int(s) for s in np.nonzero(~live)[0])
+    X = np.where(live[:, None], op.X, 0.0)
+    Q_prev = op.Q.copy()
+    Qdot_prev = np.zeros_like(Q_prev)
+
+    breakpoints = _collect_breakpoints(circuit, tstop)
+    bp_index = 1  # breakpoints[0] == 0.0
+
+    times: List[float] = [0.0]
+    solutions: List[np.ndarray] = [X.copy()]
+
+    t = 0.0
+    h = dt
+    control = opts.resolve_step_control() if opts.adaptive else "fixed"
+    use_lte = opts.adaptive and control == "lte"
+    h_cap = dt * ((opts.lte_max_dt_factor if use_lte
+                   else opts.max_dt_factor) if opts.adaptive else 1.0)
+    h_floor = (max(opts.dtmin, dt * opts.lte_min_dt_factor) if use_lte
+               else opts.dtmin)
+    stats = StepStats(control=control)
+    hist_t: List[float] = [0.0]
+    hist_x: List[np.ndarray] = [X.copy()]
+    force_be = True
+    newton_iters = np.zeros(S, dtype=np.int64)
+    wall_started = time.perf_counter()
+
+    stop_tol = _TIME_RTOL * tstop
+    while t < tstop - stop_tol and live.any():
+        t_tol = _TIME_RTOL * max(abs(t), h)
+        while bp_index < len(breakpoints) and \
+                breakpoints[bp_index] <= t + t_tol:
+            bp_index += 1
+        next_bp = (breakpoints[bp_index]
+                   if bp_index < len(breakpoints) else tstop)
+        limit = next_bp - t
+        h_try = min(max(h, opts.dtmin), limit)
+        hit_bp = (limit - h_try) <= _TIME_RTOL * max(abs(next_bp), h_try)
+        t_new = next_bp if hit_bp else t + h_try
+        h_step = t_new - t
+
+        use_trap = opts.method == "trap" and not force_be
+        if use_trap:
+            c0, d1 = 2.0 / h_step, -1.0
+        else:
+            c0, d1 = 1.0 / h_step, 0.0
+
+        li = np.nonzero(live)[0]
+        X_rows, Q_rows, conv_rows, it_rows = _ensemble_newton(
+            prob, X[li], li, options=opts.newton, t=t_new, c0=c0, d1=d1,
+            Q_prev=Q_prev[li], Qdot_prev=Qdot_prev[li],
+            counters=counters)
+        if not conv_rows.all():
+            stats.rejected_newton += 1
+            if h_step > opts.dtmin * (1.0 + 1e-9):
+                h = max(h_step * opts.shrink, opts.dtmin)
+                prob.assembler.notify_discontinuity()
+                continue
+            # At dtmin the scalar path raises TimestepError; here the
+            # failing samples are demoted to the scalar fallback and
+            # the converged subset's step is accepted.
+            failing = li[~conv_rows]
+            live[failing] = False
+            dead.update(int(s) for s in failing)
+            li = li[conv_rows]
+            X_rows = X_rows[conv_rows]
+            Q_rows = Q_rows[conv_rows]
+            it_rows = it_rows[conv_rows]
+            if li.size == 0:
+                prob.assembler.notify_discontinuity()
+                break
+        newton_iters[li] += it_rows
+        iter_count = int(it_rows.max()) if it_rows.size else 0
+        stats.newton_iterations += iter_count
+
+        X_new = X.copy()
+        X_new[li] = X_rows
+
+        ratio = None
+        order = 2
+        if use_lte:
+            estimate = _lte_estimate(hist_t, hist_x, t_new, X_new,
+                                     use_trap)
+            if estimate is not None:
+                lte, order = estimate
+                ratio = float(np.max(_row_error_ratios(
+                    lte[li], X_new[li], X[li], opts)))
+                stats.record_ratio(ratio)
+                if ratio > 1.0 and h_step > h_floor * (1.0 + 1e-9):
+                    stats.rejected_lte += 1
+                    factor = opts.lte_safety * ratio ** (-1.0 / order)
+                    h = max(h_step * min(max(factor, 0.1), 0.9),
+                            h_floor)
+                    prob.assembler.notify_discontinuity()
+                    continue
+
+        # Accept the step (for every live sample at once).
+        Qdot_prev[li] = c0 * (Q_rows - Q_prev[li]) + (
+            d1 * Qdot_prev[li] if d1 else 0.0)
+        Q_prev[li] = Q_rows
+        X = X_new
+        t = t_new
+        times.append(t)
+        solutions.append(X.copy())
+        stats.record_accept(h_step)
+        force_be = hit_bp
+        if hit_bp:
+            hist_t = [t]
+            hist_x = [X.copy()]
+            prob.assembler.notify_discontinuity()
+            if opts.adaptive:
+                if use_lte:
+                    factor = 2.0 * (opts.lte_reltol / 2e-2) ** 0.5
+                    h = min(h, dt * min(2.0, max(0.25, factor)))
+                else:
+                    h = min(h, dt)
+        else:
+            hist_t.append(t)
+            hist_x.append(X.copy())
+            if len(hist_t) > 3:
+                hist_t.pop(0)
+                hist_x.pop(0)
+
+        if not opts.adaptive or hit_bp:
+            continue
+        if control == "iter":
+            if iter_count <= 8:
+                h = min(h * opts.growth, h_cap)
+            elif iter_count > 20:
+                h = max(h * 0.5, opts.dtmin)
+        elif ratio is not None:
+            factor = opts.lte_safety * max(ratio, 1e-12) ** (-1.0 / order)
+            factor = min(max(factor, 0.2), opts.lte_max_growth)
+            grown = h_step * factor
+            if h_step < h * (1.0 - 1e-9):
+                grown = max(grown, h)
+            h = min(max(grown, h_floor), h_cap)
+        else:
+            h = min(max(h_step, h) * opts.growth, h_cap)
+
+    prob.uninstall()
+    wall = time.perf_counter() - wall_started
+
+    fallback: Dict[int, TransientResult] = {}
+    failures: Dict[int, Exception] = {}
+    for s in sorted(dead):
+        counters.fallbacks += 1
+        try:
+            with _applied_sample(circuit, spec, s):
+                fallback[s] = transient(circuit, tstop, dt,
+                                        options=opts, layout=lay)
+        except (ConvergenceError, TimestepError) as err:
+            failures[s] = err
+
+    if have_solve_observers():
+        event = stats.to_event(wall, "stacked")
+        emit_solve_event(dataclasses.replace(
+            event, ensemble_samples=S,
+            ensemble_fallbacks=counters.fallbacks,
+            ensemble_active_iterations=counters.active_iterations,
+            ensemble_sample_iterations=counters.sample_iterations,
+            stacked_solve_time=counters.stacked_solve_time))
+    return EnsembleTransientResult(lay, np.asarray(times),
+                                   np.asarray(solutions), stats,
+                                   newton_iters, fallback, failures)

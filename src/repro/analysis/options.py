@@ -206,6 +206,40 @@ def step_control_override(kind: Optional[str]) -> Iterator[None]:
         set_default_step_control(previous)
 
 
+#: Session-wide toggle for the stacked ensemble path: when off, the
+#: ``ensemble_*`` analyses run their per-sample sequential reference
+#: path instead (identical numerics to the pre-ensemble code).  Folded
+#: into the engine cache's ambient salt so stacked and sequential runs
+#: never alias.
+_ensemble_mode = True
+
+
+def get_ensemble_mode() -> bool:
+    """Whether the ensemble analyses use the stacked lock-step path."""
+    return _ensemble_mode
+
+
+def set_ensemble_mode(enabled: bool) -> bool:
+    """Enable/disable the stacked ensemble path; returns the previous."""
+    global _ensemble_mode
+    previous = _ensemble_mode
+    _ensemble_mode = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def ensemble_override(enabled: Optional[bool]) -> Iterator[None]:
+    """Temporarily toggle the stacked ensemble path (``None`` no-op)."""
+    if enabled is None:
+        yield
+        return
+    previous = set_ensemble_mode(enabled)
+    try:
+        yield
+    finally:
+        set_ensemble_mode(previous)
+
+
 @dataclass
 class TransientOptions:
     """Controls for transient analysis.

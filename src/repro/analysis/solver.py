@@ -96,6 +96,17 @@ class SolveEvent:
     solve_time: float = 0.0     #: linear solves [s]
     bypass_hits: int = 0        #: device evals skipped by bypass
     bypass_evals: int = 0       #: device evals performed under bypass
+    # -- ensemble (stacked multi-sample) solve statistics, carried on
+    # "newton" events emitted by the lock-step ensemble solver
+    # (strategy "ensemble").  ``ensemble_active_iterations`` sums the
+    # active-sample count over every lock-step iteration while
+    # ``ensemble_sample_iterations`` is iterations x samples, so their
+    # ratio is the active-mask occupancy.
+    ensemble_samples: int = 0       #: samples in the stacked solve
+    ensemble_fallbacks: int = 0     #: samples re-run on the scalar path
+    ensemble_active_iterations: int = 0
+    ensemble_sample_iterations: int = 0
+    stacked_solve_time: float = 0.0  #: batched-LU wall time [s]
 
 
 SolveObserver = Callable[[SolveEvent], None]

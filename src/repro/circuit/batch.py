@@ -162,14 +162,34 @@ def companion_values(q: np.ndarray, slots: np.ndarray, c0: float,
     writes ``q`` into the global charge vector at ``slots`` and returns
     ``c0*q - c0*q_prev[slots] (+ d1*qdot_prev[slots])`` — zero under DC
     (``c0 == 0``), where charges are recorded but contribute nothing.
+
+    Shape-polymorphic: ``q``/``q_now``/``q_prev``/``qdot_prev`` may all
+    carry a leading ensemble axis ``S`` (stacked evaluation), in which
+    case ``slots`` indexes the trailing charge axis of every sample.
     """
-    q_now[slots] = q
+    q_now[..., slots] = q
     if c0 == 0.0:
         return 0.0
-    hist = (-c0) * q_prev[slots]
+    hist = (-c0) * q_prev[..., slots]
     if d1 != 0.0:
-        hist += d1 * qdot_prev[slots]
+        hist += d1 * qdot_prev[..., slots]
     return c0 * q + hist
+
+
+def _flatten_charges(vals):
+    """Flatten a ``companion_values`` result to the fvals block layout.
+
+    ``companion_values`` returns ``0.0`` under DC, a ``(k, m)`` array
+    for a scalar evaluation, or ``(S, k, m)`` stacked.  The fvals block
+    write wants the charge axes raveled in C order (per-``k`` blocks of
+    ``m`` values), which for the stacked case means flattening only the
+    trailing two axes.
+    """
+    if not isinstance(vals, np.ndarray):
+        return vals
+    if vals.ndim <= 2:
+        return np.ravel(vals)
+    return vals.reshape(vals.shape[0], -1)
 
 
 class _ProbeContext:
@@ -221,6 +241,12 @@ class BatchGroup:
         self.j_cols: np.ndarray
         self.fvals: np.ndarray
         self.jvals: np.ndarray
+        #: Stacked (ensemble) counterparts of the evaluation buffers,
+        #: allocated lazily on the first stacked ``eval`` and resized
+        #: when the ensemble size changes.
+        self.fvals_s: Optional[np.ndarray] = None
+        self.jvals_s: Optional[np.ndarray] = None
+        self._q_stack_s: Optional[np.ndarray] = None
         self._build(layout)
 
     def _terminals(self) -> Tuple[np.ndarray, ...]:
@@ -231,6 +257,35 @@ class BatchGroup:
 
     def _build(self, layout) -> None:
         raise NotImplementedError
+
+    def _buffers(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """fvals/jvals buffers matching the rank of ``x``.
+
+        A 1-D ``x`` gets the ordinary scalar buffers; a stacked
+        ``(S, n+1)`` point gets per-sample ``(S, ...)`` buffers.  On
+        (re)allocation the stacked Jacobian buffer is initialised by
+        broadcasting the scalar ``jvals`` — this hands constant-valued
+        groups (the voltage-source incidence pattern) their entries for
+        free and is harmless for groups that overwrite every entry.
+        """
+        if x.ndim == 1:
+            return self.fvals, self.jvals
+        s = x.shape[0]
+        if self.fvals_s is None or self.fvals_s.shape[0] != s:
+            self.fvals_s = np.empty((s,) + self.fvals.shape)
+            self.jvals_s = np.empty((s,) + self.jvals.shape)
+            self.jvals_s[...] = self.jvals
+        return self.fvals_s, self.jvals_s
+
+    def _charge_stack(self, x: np.ndarray) -> np.ndarray:
+        """Scratch charge matrix matching the rank of ``x`` (groups
+        that record charges allocate ``self._q_stack`` in ``_build``)."""
+        if x.ndim == 1:
+            return self._q_stack
+        s = x.shape[0]
+        if self._q_stack_s is None or self._q_stack_s.shape[0] != s:
+            self._q_stack_s = np.empty((s,) + self._q_stack.shape)
+        return self._q_stack_s
 
     def eval(self, x: np.ndarray, t: float, source_scale: float,
              c0: float, d1: float, q_prev: Optional[np.ndarray],
@@ -270,14 +325,14 @@ class ResistorGroup(BatchGroup):
             self._r_list = r
             self._g = 1.0 / np.array(r)
         g = self._g
-        i = g * (x[self.a] - x[self.b])
-        fv, jv = self.fvals, self.jvals
-        fv[:m] = i
-        fv[m:] = -i
-        jv[:m] = g
-        jv[m:2 * m] = -g
-        jv[2 * m:3 * m] = -g
-        jv[3 * m:] = g
+        i = g * (x[..., self.a] - x[..., self.b])
+        fv, jv = self._buffers(x)
+        fv[..., :m] = i
+        fv[..., m:] = -i
+        jv[..., :m] = g
+        jv[..., m:2 * m] = -g
+        jv[..., 2 * m:3 * m] = -g
+        jv[..., 3 * m:] = g
 
 
 class CapacitorGroup(BatchGroup):
@@ -307,18 +362,18 @@ class CapacitorGroup(BatchGroup):
             self._c_list = c_now
             self._c = np.array(c_now)
         c = self._c
-        q = c * (x[self.a] - x[self.b])
-        fv, jv = self.fvals, self.jvals
-        qs = self._q_stack
-        qs[0] = q
-        qs[1] = -q
-        fv[:2 * m] = np.ravel(companion_values(
+        q = c * (x[..., self.a] - x[..., self.b])
+        fv, jv = self._buffers(x)
+        qs = self._charge_stack(x)
+        qs[..., 0, :] = q
+        qs[..., 1, :] = -q
+        fv[..., :2 * m] = _flatten_charges(companion_values(
             qs, self.q_slot_mat, c0, d1, q_prev, qdot_prev, q_now))
         cc = c0 * c
-        jv[:m] = cc
-        jv[m:2 * m] = -cc
-        jv[2 * m:3 * m] = -cc
-        jv[3 * m:] = cc
+        jv[..., :m] = cc
+        jv[..., m:2 * m] = -cc
+        jv[..., 2 * m:3 * m] = -cc
+        jv[..., 3 * m:] = cc
 
 
 class VsourceGroup(BatchGroup):
@@ -354,11 +409,12 @@ class VsourceGroup(BatchGroup):
         m = self.m
         levels = [wf.level if type(wf) is DC else wf.value(t)
                   for wf in (el.waveform for el in self.members)]
-        i = x[self.br]
-        fv = self.fvals
-        fv[:m] = i
-        fv[m:2 * m] = -i
-        fv[2 * m:] = x[self.a] - x[self.b] - source_scale * np.array(levels)
+        i = x[..., self.br]
+        fv, _ = self._buffers(x)
+        fv[..., :m] = i
+        fv[..., m:2 * m] = -i
+        fv[..., 2 * m:] = (x[..., self.a] - x[..., self.b]
+                           - source_scale * np.array(levels))
 
 
 class IsourceGroup(BatchGroup):
@@ -379,8 +435,9 @@ class IsourceGroup(BatchGroup):
         levels = [wf.level if type(wf) is DC else wf.value(t)
                   for wf in (el.waveform for el in self.members)]
         i = source_scale * np.array(levels)
-        self.fvals[:m] = i
-        self.fvals[m:] = -i
+        fv, _ = self._buffers(x)
+        fv[..., :m] = i
+        fv[..., m:] = -i
 
 
 class BatchPlan:

@@ -590,6 +590,161 @@ class Assembler:
         self._force_full = False
         return F, J, q_now
 
+    # -- stacked ensemble path -----------------------------------------------
+
+    def assemble_ensemble(self, X: np.ndarray, *, t: float = 0.0,
+                          source_scale: float = 1.0, c0: float = 0.0,
+                          d1: float = 0.0,
+                          Q_prev: Optional[np.ndarray] = None,
+                          Qdot_prev: Optional[np.ndarray] = None,
+                          gmin: float = 0.0):
+        """Evaluate ``S`` stacked samples of the same circuit at once.
+
+        ``X`` is ``(S, n)``; returns ``(F, J, Q_now)`` of shapes
+        ``(S, n)``, ``(S, n, n)`` dense, and ``(S, q_count)``.  Sample
+        ``s`` of the result is bit-identical to a scalar ``assemble``
+        at ``X[s]`` with the same per-sample device parameters
+        installed: the grouped kernels broadcast over the leading
+        ensemble axis, and both folds run ``bincount`` with per-sample
+        row offsets, which preserves the scalar fold's per-bin input
+        order exactly.  Ungrouped (leftover) elements stamp through the
+        scalar reference path once per sample.
+
+        ``PlanStale`` propagates to the caller (the ensemble solver
+        owns the per-sample parameter arrays installed on the plan's
+        groups, so only it can rebuild and re-install consistently).
+        """
+        layout = self.layout
+        n = layout.n
+        nn = layout.num_nodes
+        plan = getattr(layout, "batch_plan", None)
+        if plan is None or plan.n_elements != len(self.circuit.elements):
+            plan = BatchPlan(self.circuit, layout)
+            layout.batch_plan = plan
+        if layout.sparse_pattern is None or plan.fold_cache is None:
+            # One scalar warm-up assembly builds the shared symbolic
+            # state (sparse pattern, fold slot map); values discarded.
+            self.assemble(X[0], t=t, source_scale=source_scale)
+            if layout.batch_plan is not plan:
+                raise PlanStale(
+                    "batch plan rebuilt during the ensemble warm-up "
+                    "assembly; re-install per-sample parameters and "
+                    "retry")
+        S = X.shape[0]
+        started = perf_counter()
+        X_ext = np.zeros((S, n + 1))
+        X_ext[:, :n] = X
+        Q_now = np.zeros((S, plan.q_count))
+        F_ext = np.zeros((S, n + 1))
+        if plan.leftover:
+            lr = lc = None
+            lv_rows = []
+            for s in range(S):
+                ctx = StampContext(
+                    n, X_ext[s], t, source_scale, c0, d1,
+                    Q_prev[s] if Q_prev is not None else None,
+                    Qdot_prev[s] if Qdot_prev is not None else None,
+                    0, matrix_mode="sparse",
+                    q_slots=plan.leftover_q_slots,
+                    q_buffer=Q_now[s], F_buffer=F_ext[s])
+                for element in plan.leftover:
+                    element.load(ctx)
+                if ctx.charge_count != plan.leftover_q_slots.shape[0]:
+                    raise _SlotMismatch(
+                        f"inconsistent add_dot call count on the "
+                        f"ensemble leftover path: {ctx.charge_count} vs "
+                        f"{plan.leftover_q_slots.shape[0]}")
+                if lr is None:
+                    lr = np.asarray(ctx.j_rows, dtype=np.int64)
+                    lc = np.asarray(ctx.j_cols, dtype=np.int64)
+                lv_rows.append(np.asarray(ctx.j_vals, dtype=float))
+            LV = np.asarray(lv_rows)
+        else:
+            lr = lc = _EMPTY_INT
+            LV = np.zeros((S, 0))
+        if self._q_count is None:
+            self._q_count = plan.q_count
+        options = self.eval_options
+        for group in plan.groups:
+            group.eval(X_ext, t, source_scale, c0, d1, Q_prev,
+                       Qdot_prev, Q_now, options, False)
+        mid = perf_counter()
+
+        if plan.groups:
+            fvals = np.concatenate([g.fvals_s for g in plan.groups],
+                                   axis=1)
+            rows = (plan.f_rows_all[None, :]
+                    + (n + 1) * np.arange(S)[:, None]).ravel()
+            F_ext += np.bincount(
+                rows, weights=fvals.ravel(),
+                minlength=S * (n + 1)).reshape(S, n + 1)
+        F = F_ext[:, :n].copy()
+        if gmin > 0.0:
+            F[:, :nn] += gmin * X[:, :nn]
+
+        J = self._fold_plan_ensemble(plan, lr, lc, LV, gmin, S)
+        done = perf_counter()
+        profiling.COUNTERS["eval_time"] += mid - started
+        profiling.COUNTERS["assemble_time"] += done - mid
+        return F, J, Q_now
+
+    def _fold_plan_ensemble(self, plan, lr, lc, LV, gmin: float,
+                            S: int) -> np.ndarray:
+        """Stacked counterpart of :meth:`_fold_plan`.
+
+        The warm path reuses the scalar fold cache's slot map with a
+        per-sample offset and scatters every sample's deduplicated CSC
+        data through the cached dense positions in one fancy-index
+        write.  If the cache does not match (leftover stream moved),
+        each sample folds through the reference triplet path and the
+        cache is rebuilt for the next call.
+        """
+        layout = self.layout
+        n = layout.n
+        nn = layout.num_nodes
+        pattern = getattr(layout, "sparse_pattern", None)
+        cache = plan.fold_cache
+        if (cache is not None and cache[0] is pattern
+                and lr.shape[0] == cache[1].shape[0]
+                and np.array_equal(lr, cache[1])
+                and np.array_equal(lc, cache[2])):
+            full_slot = cache[3]
+            width = pattern.nnz + 1
+            gdiag = np.full((S, nn), gmin)
+            vals = np.concatenate(
+                [g.jvals_s for g in plan.groups] + [LV, gdiag], axis=1)
+            slots = (full_slot[None, :]
+                     + width * np.arange(S)[:, None]).ravel()
+            data = np.bincount(
+                slots, weights=vals.ravel(),
+                minlength=S * width).reshape(S, width)[:, :pattern.nnz]
+            scatter = plan.dense_scatter
+            if scatter is None or scatter[0] is not pattern:
+                flat_cols = np.repeat(np.arange(n, dtype=np.int64),
+                                      np.diff(pattern.indptr))
+                scatter = (pattern,
+                           pattern.indices.astype(np.int64) * n
+                           + flat_cols)
+                plan.dense_scatter = scatter
+            J = np.zeros((S, n, n))
+            J.reshape(S, n * n)[:, scatter[1]] = data
+            return J
+        rows = np.concatenate([g.j_rows for g in plan.groups] + [lr])
+        cols = np.concatenate([g.j_cols for g in plan.groups] + [lc])
+        J = np.empty((S, n, n))
+        for s in range(S):
+            vals = np.concatenate([g.jvals_s[s] for g in plan.groups]
+                                  + [LV[s]])
+            J[s] = self._fold_triplets(rows, cols, vals, gmin,
+                                       dense=True, plan=plan)
+        pattern = layout.sparse_pattern
+        keep = np.concatenate(((rows != n) & (cols != n),
+                               np.ones(nn, dtype=bool)))
+        full_slot = np.full(keep.shape[0], pattern.nnz, dtype=np.int64)
+        full_slot[keep] = pattern.slot
+        plan.fold_cache = (pattern, lr, lc, full_slot, np.empty(nn))
+        return J
+
     # -- shared matrix fold --------------------------------------------------
 
     def _fold_plan(self, plan, lr, lc, lv, gmin: float):

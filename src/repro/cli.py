@@ -19,17 +19,22 @@ backend (default ``auto``: sparse for large netlists, dense otherwise),
 see :doc:`docs/transient`), ``--eval`` selects the device-evaluation
 mode (default ``batched``; ``scalar`` is the per-element reference
 path), ``--bypass`` enables SPICE-style device bypass on top of
-batched evaluation, ``--profile`` prints a per-experiment phase
-breakdown (eval/assemble/solve/other), and ``stats`` prints the
-solver/cache telemetry report of the most recent run — including the
-backend histogram, factorisation/fill-in counters, transient step
-counters, the per-phase time split and the bypass hit rate.
+batched evaluation, ``--no-ensemble`` disables the stacked
+lock-step ensemble path (Monte-Carlo/corner analyses then run their
+sequential per-sample reference), ``--profile`` prints a
+per-experiment phase breakdown (eval/assemble/solve/other), and
+``stats`` prints the solver/cache telemetry report of the most recent
+run — including the backend histogram, factorisation/fill-in counters,
+transient step counters, the per-phase time split, the bypass hit rate
+and the ensemble occupancy/fallback counters (``stats --json`` emits
+the raw machine-readable report).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import os
 import sys
 import time
@@ -38,6 +43,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.options import (
     backend_override,
+    ensemble_override,
     eval_override,
     step_control_override,
 )
@@ -67,7 +73,7 @@ REGISTRY: Dict[str, Tuple[str, dict]] = {
                   {"biases": (0.15, 0.40), "points": 61}),
     "cond-keeper": ("repro.experiments.ext_conditional_keeper", {}),
     "fig09-mc": ("repro.experiments.ext_fig09_montecarlo",
-                 {"samples": 10}),
+                 {"samples": 32}),
     "temperature": ("repro.experiments.ext_temperature", {}),
     "sram-array": ("repro.experiments.ext_sram_array",
                    {"row_counts": (32, 128),
@@ -208,7 +214,8 @@ def _run_command(args) -> int:
             backend_override(kind=args.backend), \
             step_control_override(args.step_control), \
             eval_override(mode=args.eval_mode,
-                          bypass=args.bypass or None):
+                          bypass=args.bypass or None), \
+            ensemble_override(False if args.no_ensemble else None):
         for exp_id in targets:
             snapshot = len(telemetry.SESSION.records)
             started = time.time()
@@ -264,7 +271,11 @@ def _stats_command(args) -> int:
         print(f"no telemetry report at {path}; run an experiment "
               f"first (python -m repro run <id>)", file=sys.stderr)
         return 2
-    print(telemetry.report_to_text(report))
+    if args.json:
+        json.dump(report, sys.stdout, indent=1)
+        print()
+    else:
+        print(telemetry.report_to_text(report))
     return 0
 
 
@@ -310,6 +321,12 @@ def main(argv: Optional[list] = None) -> int:
                              "a device's cached evaluation while its "
                              "terminal voltages are unchanged within "
                              "tolerance (batched mode only)")
+    runner.add_argument("--no-ensemble", action="store_true",
+                        help="disable the stacked lock-step ensemble "
+                             "path: Monte-Carlo/corner analyses fall "
+                             "back to the sequential per-sample "
+                             "reference (A/B numerics check; cached "
+                             "separately from ensemble-mode results)")
     runner.add_argument("--profile", action="store_true",
                         help="print a per-experiment phase breakdown "
                              "(eval/assemble/solve/other) after the "
@@ -322,6 +339,11 @@ def main(argv: Optional[list] = None) -> int:
         "stats", help="show solver/cache telemetry of the last run")
     stats.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="where the last run saved its report")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw JSON report instead of the "
+                            "summary table (machine-readable; feeds "
+                            "dashboards and the CI benchmark "
+                            "artifacts)")
 
     args = parser.parse_args(argv)
     if args.command == "verify":

@@ -31,6 +31,7 @@ from repro import profiling
 from repro.circuit.batch import (
     BatchGroup,
     PlanStale,
+    _flatten_charges,
     companion_values,
 )
 from repro.circuit.elements import Element
@@ -418,6 +419,13 @@ class MosfetGroup(BatchGroup):
         self._w = None
         self._vth0 = None
         self._cache = None
+        #: Ensemble per-sample parameter overrides, installed by the
+        #: ensemble solver as ``(S, m)`` arrays (or ``None``): an
+        #: additive threshold shift and a multiplicative k_trans scale
+        #: per (sample, instance).  Consulted only for stacked ``x``,
+        #: so the scalar path is untouched by a live ensemble.
+        self.ens_vth_shift = None
+        self.ens_k_scale = None
 
     def _gather_instances(self) -> None:
         """Refresh width/vth arrays; sweeps mutate these in place.
@@ -445,10 +453,19 @@ class MosfetGroup(BatchGroup):
         self._gather_instances()
         m = self.m
         w = self._w
-        vg, vd, vs = x[self.g], x[self.d], x[self.s]
+        vg, vd, vs = x[..., self.g], x[..., self.d], x[..., self.s]
+        vth0 = self._vth0
+        ktrans = self._ktrans
+        if x.ndim == 2:
+            # Ensemble evaluation: per-sample overrides are (S, m)
+            # arrays that broadcast straight through the kernel.
+            if self.ens_vth_shift is not None:
+                vth0 = vth0 + self.ens_vth_shift
+            if self.ens_k_scale is not None:
+                ktrans = ktrans * self.ens_k_scale
 
         cache = self._cache
-        if bypass and cache is not None:
+        if bypass and cache is not None and x.ndim == 1:
             cvg, cvd, cvs, ci, cdg, cdd, cds = cache
             rtol = options.bypass_reltol
             atol = options.bypass_abstol
@@ -479,11 +496,11 @@ class MosfetGroup(BatchGroup):
             i, dig, did, dis = ci, cdg, cdd, cds
         else:
             i, dig, did, dis = _mosfet_current_core(
-                w, self._vth0, vg, vd, vs,
+                w, vth0, vg, vd, vs,
                 self._pol, self._nvt, self._eta, self._kappa,
-                self._vfloor, self._lam, self._alpha, self._ktrans,
+                self._vfloor, self._lam, self._alpha, ktrans,
                 self._gmin_pw)
-            if options.bypass:
+            if options.bypass and x.ndim == 1:
                 self._cache = [vg, vd, vs, i, dig, did, dis]
                 profiling.COUNTERS["bypass_evals"] += m
 
@@ -494,40 +511,39 @@ class MosfetGroup(BatchGroup):
         cj = self._cj_pw * w
         qdb = cj * (vd - vs)
 
-        fv = self.fvals
-        fv[:m] = i
-        fv[m:2 * m] = -i
-        qs = self._q_stack
-        qs[0] = qgs
-        qs[1] = -qgs
-        qs[2] = qgd
-        qs[3] = -qgd
-        qs[4] = qdb
-        qs[5] = -qdb
-        fv[2 * m:8 * m] = np.ravel(companion_values(
+        fv, jv = self._buffers(x)
+        fv[..., :m] = i
+        fv[..., m:2 * m] = -i
+        qs = self._charge_stack(x)
+        qs[..., 0, :] = qgs
+        qs[..., 1, :] = -qgs
+        qs[..., 2, :] = qgd
+        qs[..., 3, :] = -qgd
+        qs[..., 4, :] = qdb
+        qs[..., 5, :] = -qdb
+        fv[..., 2 * m:8 * m] = _flatten_charges(companion_values(
             qs, self.q_slot_mat, c0, d1, q_prev, qdot_prev, q_now))
 
         cgc = c0 * cg
         cjc = c0 * cj
-        jv = self.jvals
-        jv[:m] = dig
-        jv[m:2 * m] = did
-        jv[2 * m:3 * m] = dis
-        jv[3 * m:4 * m] = -dig
-        jv[4 * m:5 * m] = -did
-        jv[5 * m:6 * m] = -dis
-        jv[6 * m:7 * m] = cgc
-        jv[7 * m:8 * m] = -cgc
-        jv[8 * m:9 * m] = -cgc
-        jv[9 * m:10 * m] = cgc
-        jv[10 * m:11 * m] = cgc
-        jv[11 * m:12 * m] = -cgc
-        jv[12 * m:13 * m] = -cgc
-        jv[13 * m:14 * m] = cgc
-        jv[14 * m:15 * m] = cjc
-        jv[15 * m:16 * m] = -cjc
-        jv[16 * m:17 * m] = -cjc
-        jv[17 * m:] = cjc
+        jv[..., :m] = dig
+        jv[..., m:2 * m] = did
+        jv[..., 2 * m:3 * m] = dis
+        jv[..., 3 * m:4 * m] = -dig
+        jv[..., 4 * m:5 * m] = -did
+        jv[..., 5 * m:6 * m] = -dis
+        jv[..., 6 * m:7 * m] = cgc
+        jv[..., 7 * m:8 * m] = -cgc
+        jv[..., 8 * m:9 * m] = -cgc
+        jv[..., 9 * m:10 * m] = cgc
+        jv[..., 10 * m:11 * m] = cgc
+        jv[..., 11 * m:12 * m] = -cgc
+        jv[..., 12 * m:13 * m] = -cgc
+        jv[..., 13 * m:14 * m] = cgc
+        jv[..., 14 * m:15 * m] = cjc
+        jv[..., 15 * m:16 * m] = -cjc
+        jv[..., 16 * m:17 * m] = -cjc
+        jv[..., 17 * m:] = cjc
 
 
 # ---------------------------------------------------------------------------

@@ -45,6 +45,7 @@ from repro import profiling
 from repro.circuit.batch import (
     BatchGroup,
     PlanStale,
+    _flatten_charges,
     companion_values,
 )
 from repro.circuit.elements import Element
@@ -571,8 +572,8 @@ class NemfetGroup(BatchGroup):
         self._gather_instances()
         m = self.m
         w_dev = self._w_dev
-        vg, vd, vs = x[self.g], x[self.d], x[self.s]
-        u, wvel = x[self.su], x[self.sw]
+        vg, vd, vs = x[..., self.g], x[..., self.d], x[..., self.s]
+        u, wvel = x[..., self.su], x[..., self.sw]
         vgb = vg - vs
 
         # NEMFETs are exempt from bypass: the contact-penalty force is
@@ -594,52 +595,50 @@ class NemfetGroup(BatchGroup):
         cj = p.c_junction_per_width * w_dev
         q_db = cj * (vd - vs)
 
-        qb = self.q_bases
-        fv = self.fvals
-        fv[:m] = i
-        fv[m:2 * m] = -i
-        fv[2 * m:3 * m] = -wvel
-        fv[3 * m:4 * m] = resid
-        qs = self._q_stack
-        qs[0] = u * inv_w0
-        qs[1] = wvel * inv_w0
-        qs[2] = q_g
-        qs[3] = -q_g
-        qs[4] = q_db
-        qs[5] = -q_db
-        fv[4 * m:] = np.ravel(companion_values(
+        fv, jv = self._buffers(x)
+        fv[..., :m] = i
+        fv[..., m:2 * m] = -i
+        fv[..., 2 * m:3 * m] = -wvel
+        fv[..., 3 * m:4 * m] = resid
+        qs = self._charge_stack(x)
+        qs[..., 0, :] = u * inv_w0
+        qs[..., 1, :] = wvel * inv_w0
+        qs[..., 2, :] = q_g
+        qs[..., 3, :] = -q_g
+        qs[..., 4, :] = q_db
+        qs[..., 5, :] = -q_db
+        fv[..., 4 * m:] = _flatten_charges(companion_values(
             qs, self.q_slot_mat, c0, d1, q_prev, qdot_prev, q_now))
 
         c0w0 = c0 * inv_w0
         cac = c0 * c_air
         cdv = c0 * dcv
         cjc = c0 * cj
-        jv = self.jvals
-        jv[:m] = dig
-        jv[m:2 * m] = did
-        jv[2 * m:3 * m] = dis
-        jv[3 * m:4 * m] = diu
-        jv[4 * m:5 * m] = -dig
-        jv[5 * m:6 * m] = -did
-        jv[6 * m:7 * m] = -dis
-        jv[7 * m:8 * m] = -diu
-        jv[8 * m:9 * m] = -1.0
-        jv[9 * m:10 * m] = 1.0 / p.q_factor + b_c
-        jv[10 * m:11 * m] = 1.0 + dfp_du - df_du + dbc_du * wvel
-        jv[11 * m:12 * m] = -df_dv
-        jv[12 * m:13 * m] = df_dv
-        jv[13 * m:14 * m] = c0w0
-        jv[14 * m:15 * m] = c0w0
-        jv[15 * m:16 * m] = cac
-        jv[16 * m:17 * m] = -cac
-        jv[17 * m:18 * m] = cdv
-        jv[18 * m:19 * m] = -cac
-        jv[19 * m:20 * m] = cac
-        jv[20 * m:21 * m] = -cdv
-        jv[21 * m:22 * m] = cjc
-        jv[22 * m:23 * m] = -cjc
-        jv[23 * m:24 * m] = -cjc
-        jv[24 * m:] = cjc
+        jv[..., :m] = dig
+        jv[..., m:2 * m] = did
+        jv[..., 2 * m:3 * m] = dis
+        jv[..., 3 * m:4 * m] = diu
+        jv[..., 4 * m:5 * m] = -dig
+        jv[..., 5 * m:6 * m] = -did
+        jv[..., 6 * m:7 * m] = -dis
+        jv[..., 7 * m:8 * m] = -diu
+        jv[..., 8 * m:9 * m] = -1.0
+        jv[..., 9 * m:10 * m] = 1.0 / p.q_factor + b_c
+        jv[..., 10 * m:11 * m] = 1.0 + dfp_du - df_du + dbc_du * wvel
+        jv[..., 11 * m:12 * m] = -df_dv
+        jv[..., 12 * m:13 * m] = df_dv
+        jv[..., 13 * m:14 * m] = c0w0
+        jv[..., 14 * m:15 * m] = c0w0
+        jv[..., 15 * m:16 * m] = cac
+        jv[..., 16 * m:17 * m] = -cac
+        jv[..., 17 * m:18 * m] = cdv
+        jv[..., 18 * m:19 * m] = -cac
+        jv[..., 19 * m:20 * m] = cac
+        jv[..., 20 * m:21 * m] = -cdv
+        jv[..., 21 * m:22 * m] = cjc
+        jv[..., 22 * m:23 * m] = -cjc
+        jv[..., 23 * m:24 * m] = -cjc
+        jv[..., 24 * m:] = cjc
 
 
 # ---------------------------------------------------------------------------

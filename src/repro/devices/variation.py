@@ -61,13 +61,32 @@ class VariationModel:
             return -self.n_sigma * sigma
         raise ValueError(f"unknown corner direction '{direction}'")
 
+    def sigma_row(self, devices: Sequence[Mosfet]) -> np.ndarray:
+        """Per-device shift standard deviations [V], shape ``(D,)``."""
+        return np.array([self.sigma_rel * d.params.vth0
+                         for d in devices])
+
     def sample_shifts(self, devices: Sequence[Mosfet],
                       rng: np.random.Generator) -> Dict[str, float]:
         """Independent Gaussian Vth shifts for each device [V]."""
-        return {
-            d.name: float(rng.normal(0.0, self.sigma_rel * d.params.vth0))
-            for d in devices
-        }
+        values = self.sample_shift_matrix(devices, 1, rng)[0]
+        return {d.name: float(v) for d, v in zip(devices, values)}
+
+    def sample_shift_matrix(self, devices: Sequence[Mosfet],
+                            samples: int,
+                            rng: np.random.Generator) -> np.ndarray:
+        """``(samples, len(devices))`` matrix of Gaussian Vth shifts.
+
+        One vectorised draw.  ``Generator.normal(0, sigma)`` is
+        ``sigma * standard_normal()`` on the same bit stream, and numpy
+        fills arrays in C order, so row-major ``standard_normal`` times
+        the per-device sigma row consumes the stream exactly like the
+        historical nested loop (sample-major, device-minor) — seeded
+        shift sequences are bit-identical to the scalar path (locked
+        down by the draw-order regression test).
+        """
+        return rng.standard_normal(
+            (samples, len(devices))) * self.sigma_row(devices)
 
 
 @contextlib.contextmanager
@@ -104,9 +123,23 @@ def corner_shifts(model: VariationModel, weak: Iterable[Mosfet] = (),
     return shifts
 
 
+def monte_carlo_shift_matrix(model: VariationModel,
+                             devices: Sequence[Mosfet], samples: int,
+                             seed: int = 0) -> np.ndarray:
+    """Seeded Monte-Carlo Vth shifts as a ``(samples, D)`` matrix.
+
+    The array-of-shifts form feeds the stacked ensemble analyses
+    directly (one column per device, in ``devices`` order); the draw
+    is bit-identical to :func:`monte_carlo_shifts` at the same seed.
+    """
+    rng = np.random.default_rng(seed)
+    return model.sample_shift_matrix(devices, samples, rng)
+
+
 def monte_carlo_shifts(model: VariationModel, devices: Sequence[Mosfet],
                        samples: int, seed: int = 0
                        ) -> List[Dict[str, float]]:
     """A list of independent Monte-Carlo shift maps."""
-    rng = np.random.default_rng(seed)
-    return [model.sample_shifts(devices, rng) for _ in range(samples)]
+    matrix = monte_carlo_shift_matrix(model, devices, samples, seed)
+    return [{d.name: float(v) for d, v in zip(devices, row)}
+            for row in matrix]

@@ -54,9 +54,13 @@ def ambient_salt() -> Tuple:
     step-control mode and the device-evaluation policy — change the
     numbers a task produces without appearing in its signature.  Folding
     the active policy into the key keeps a warm cache honest when a
-    caller flips ``--backend``, ``--step-control``, ``--eval`` or
-    ``--bypass``: each policy addresses its own entries instead of
-    silently replaying another policy's results.
+    caller flips ``--backend``, ``--step-control``, ``--eval``,
+    ``--bypass`` or the stacked-ensemble mode: each policy addresses
+    its own entries instead of silently replaying another policy's
+    results.  The ensemble flag matters because the stacked lock-step
+    transient shares one adaptive grid across samples — numerically
+    equivalent at figure level but not bit-identical to the sequential
+    per-sample path, so the two modes must never alias.
     """
     from repro.analysis import options as analysis_options
     backend = analysis_options.get_backend_options()
@@ -64,7 +68,8 @@ def ambient_salt() -> Tuple:
     return ("ambient", backend.kind, backend.sparse_threshold,
             analysis_options.get_default_step_control(),
             ev.mode, ev.bypass, repr(ev.bypass_reltol),
-            repr(ev.bypass_abstol))
+            repr(ev.bypass_abstol),
+            analysis_options.get_ensemble_mode())
 
 
 def _canonical(obj: Any) -> Any:

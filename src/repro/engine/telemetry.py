@@ -76,6 +76,16 @@ class SolveStats:
     #: bypass was enabled.
     bypass_hits: int = 0
     bypass_evals: int = 0
+    #: Stacked-ensemble counters: total samples solved in lock-step,
+    #: samples demoted to the scalar fallback path, and active-mask
+    #: occupancy (active iterations / lock-step iterations x samples).
+    ensemble_solves: int = 0
+    ensemble_samples: int = 0
+    ensemble_fallbacks: int = 0
+    ensemble_active_iterations: int = 0
+    ensemble_sample_iterations: int = 0
+    #: Wall time inside the batched numpy LU solves.
+    stacked_solve_time: float = 0.0
 
     def observe(self, event: SolveEvent) -> None:
         """Fold one solve event into the counters."""
@@ -92,6 +102,7 @@ class SolveStats:
                                  if self.min_step else event.h_min)
                 self.max_step = max(self.max_step, event.h_max)
             self._merge_hist(event.error_ratio_hist)
+            self._observe_ensemble_scope(event)
             return
         self.solver_time += event.wall_time
         if event.kind == "newton":
@@ -112,6 +123,14 @@ class SolveStats:
             self.solve_time += event.solve_time
             self.bypass_hits += event.bypass_hits
             self.bypass_evals += event.bypass_evals
+            # Lock-step occupancy rides on the per-solve newton events;
+            # the analysis-scope "dc"/"transient" events would
+            # double-count the iterations.
+            self.ensemble_active_iterations += \
+                event.ensemble_active_iterations
+            self.ensemble_sample_iterations += \
+                event.ensemble_sample_iterations
+            self.stacked_solve_time += event.stacked_solve_time
         elif event.kind == "dc":
             self.dc_solves += 1
             self.dc_iterations += event.iterations
@@ -119,9 +138,18 @@ class SolveStats:
                 self.strategies.get(event.strategy, 0) + 1
             if not event.converged:
                 self.dc_failures += 1
+            self._observe_ensemble_scope(event)
         if event.converged and event.residual_norm == event.residual_norm:
             self.worst_residual = max(self.worst_residual,
                                       event.residual_norm)
+
+    def _observe_ensemble_scope(self, event: SolveEvent) -> None:
+        """Fold an analysis-scope ("dc"/"transient") ensemble summary."""
+        if not event.ensemble_samples:
+            return
+        self.ensemble_solves += 1
+        self.ensemble_samples += event.ensemble_samples
+        self.ensemble_fallbacks += event.ensemble_fallbacks
 
     def _merge_hist(self, hist) -> None:
         hist = list(hist)
@@ -170,6 +198,14 @@ class SolveStats:
         self.solve_time += other.solve_time
         self.bypass_hits += other.bypass_hits
         self.bypass_evals += other.bypass_evals
+        self.ensemble_solves += other.ensemble_solves
+        self.ensemble_samples += other.ensemble_samples
+        self.ensemble_fallbacks += other.ensemble_fallbacks
+        self.ensemble_active_iterations += \
+            other.ensemble_active_iterations
+        self.ensemble_sample_iterations += \
+            other.ensemble_sample_iterations
+        self.stacked_solve_time += other.stacked_solve_time
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -304,7 +340,8 @@ def report_to_text(report: Dict) -> str:
     header = ["experiment", "jobs", "hits", "fail", "retried",
               "newton iters", "steps acc/rej", "dc strategies",
               "backends", "factors", "fill",
-              "eval/asm/sol [s]", "bypass", "solver [s]", "wall [s]"]
+              "eval/asm/sol [s]", "bypass", "ensemble",
+              "solver [s]", "wall [s]"]
     rows = []
     for summary in groups:
         solves = summary["solves"]
@@ -331,6 +368,20 @@ def report_to_text(report: Dict) -> str:
         evals = solves.get("bypass_evals", 0)
         bypass = (f"{100.0 * hits / (hits + evals):.0f}%"
                   if hits + evals else "-")
+        # Stacked-ensemble column (absent in old reports): samples
+        # solved in lock-step, scalar fallbacks, mask occupancy.
+        ens_samples = solves.get("ensemble_samples", 0)
+        sample_iters = solves.get("ensemble_sample_iterations", 0)
+        if ens_samples:
+            ensemble = (f"S:{ens_samples} "
+                        f"fb:{solves.get('ensemble_fallbacks', 0)}")
+            if sample_iters:
+                occ = (100.0
+                       * solves.get("ensemble_active_iterations", 0)
+                       / sample_iters)
+                ensemble += f" occ:{occ:.0f}%"
+        else:
+            ensemble = "-"
         rows.append([
             summary["group"] or "(ungrouped)",
             str(summary["jobs"]),
@@ -345,6 +396,7 @@ def report_to_text(report: Dict) -> str:
             fill,
             phase_split,
             bypass,
+            ensemble,
             f"{solves['solver_time']:.2f}",
             f"{summary['wall_time']:.2f}",
         ])

@@ -6,12 +6,20 @@ pull-in is geometric), so the hybrid gate's noise margin is *corner
 invariant* while the CMOS gate's margin and delay swing — the
 robustness argument behind the hybrid technology, at the global-corner
 level the paper's per-device analysis (Figure 9) does not cover.
+
+The per-corner delays of each style come from *one* lock-step stacked
+transient (:func:`~repro.analysis.ensemble.corner_ensemble_spec` turns
+the corner table into per-sample parameter rows), replacing the five
+rebuilt-netlist solves per style.  The static noise margins stay
+analytic and keep the rebuilt-netlist corner cards, since they need no
+circuit solve.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.analysis.ensemble import corner_ensemble_spec
 from repro.devices.corners import CORNERS, corner_params
 from repro.devices.mosfet import nmos_90nm, pmos_90nm
 from repro.experiments.common import NM_TARGET, leaky_corner_shift
@@ -31,20 +39,34 @@ def run(corners: Sequence[str] = CORNERS, fan_in: int = 8,
     keeper_width = gate_metrics.size_keeper_for_noise_margin(
         tt_gate, NM_TARGET, pd_shift=leaky_corner_shift(tt_spec))
 
-    rows = []
+    delays = {}
     margins = {"cmos": [], "hybrid": []}
-    for corner in corners:
-        nmos, pmos = corner_params(nmos_90nm(), pmos_90nm(), corner)
-        for style in ("cmos", "hybrid"):
-            spec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out,
-                                 style=style, nmos=nmos, pmos=pmos)
-            gate = build_dynamic_or(spec)
+    for style in ("cmos", "hybrid"):
+        spec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out,
+                             style=style)
+        gate = build_dynamic_or(spec)
+        if style == "cmos":
+            gate.set_keeper_width(keeper_width)
+        espec = corner_ensemble_spec(gate.circuit, corners)
+        delays[style] = gate_metrics.measure_worst_case_delays(
+            gate, espec)
+        for corner in corners:
+            # Analytic NM at the corner's device cards (cheap; no
+            # circuit solve).
+            nmos, pmos = corner_params(nmos_90nm(), pmos_90nm(), corner)
+            cspec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out,
+                                  style=style, nmos=nmos, pmos=pmos)
+            cgate = build_dynamic_or(cspec)
             if style == "cmos":
-                gate.set_keeper_width(keeper_width)
-            nm = gate_metrics.noise_margin_static(gate)
-            delay = gate_metrics.measure_worst_case_delay(gate)
-            margins[style].append(nm)
-            rows.append((corner, style, nm, delay * 1e12))
+                cgate.set_keeper_width(keeper_width)
+            margins[style].append(
+                gate_metrics.noise_margin_static(cgate))
+
+    rows = []
+    for i, corner in enumerate(corners):
+        for style in ("cmos", "hybrid"):
+            rows.append((corner, style, margins[style][i],
+                         float(delays[style][i]) * 1e12))
 
     def spread(values):
         return (max(values) - min(values)) * 1e3

@@ -7,21 +7,25 @@ analysis brackets the sampled population — i.e. that the paper's
 methodology is conservative but not wildly so.
 
 The shift maps are drawn up-front from the seeded generator (so the
-population is identical regardless of execution order), then every
-sample becomes one engine job — the workload whose sample count users
-scale up first, and exactly the embarrassingly parallel shape the job
-runner exists for.
+population is identical regardless of execution order), then the
+samples are sharded into engine jobs.  Each shard builds its gate once
+and solves all of its samples in one lock-step stacked transient (see
+:mod:`repro.analysis.ensemble`) — the batched-LU path that makes the
+256-sample default affordable where the old one-job-per-sample layout
+re-built the gate and re-integrated the clock period 256 times.  The
+3-sigma corner rides along as one extra sample of the last shard, so
+the corner/population comparison shares a single integration grid.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
+from repro.analysis.ensemble import EnsembleSpec
 from repro.devices.variation import (
     VariationModel,
-    applied_shifts,
     corner_shifts,
     monte_carlo_shifts,
 )
@@ -32,29 +36,25 @@ from repro.library import gate_metrics
 from repro.library.dynamic_logic import DynamicOrSpec, build_dynamic_or
 
 
-def mc_sample_task(fan_in: int, fan_out: float, keeper_width: float,
-                   shifts: Dict[str, float]) -> Tuple[float, float]:
-    """Delay and noise margin of one Monte-Carlo Vth sample.
+def mc_shard_task(fan_in: int, fan_out: float, keeper_width: float,
+                  shift_maps: List[dict]) -> np.ndarray:
+    """Worst-case delays of one shard of Monte-Carlo Vth samples [s].
 
-    Pure engine task: rebuilds the gate, applies the sampled shifts and
-    returns ``(delay, noise_margin)``.  The static NM uses the sampled
-    mean pull-down shift as the population's common corner level.
+    Pure engine task: builds the gate *once*, stacks the shard's shift
+    maps into an :class:`~repro.analysis.ensemble.EnsembleSpec` and
+    runs a single lock-step ensemble transient.  Returns one delay per
+    sample; samples that failed to solve come back as NaN.
     """
     spec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out, style="cmos")
     gate = build_dynamic_or(spec)
     gate.set_keeper_width(float(keeper_width))
-    with applied_shifts(gate.circuit, shifts):
-        delay = gate_metrics.measure_worst_case_delay(gate)
-    pd_mean = float(np.mean([shifts[m.name] for m in gate.pulldowns]))
-    margin = gate_metrics.noise_margin_static(
-        gate, pd_shift=pd_mean,
-        keeper_shift=shifts[gate.keeper.name])
-    return (delay, margin)
+    espec = EnsembleSpec.from_shift_maps(shift_maps)
+    return gate_metrics.measure_worst_case_delays(gate, espec)
 
 
 def run(fan_in: int = 8, fan_out: float = 3.0, sigma_rel: float = 0.10,
-        samples: int = 30, keeper_width: float = 3e-6,
-        seed: int = 7) -> ExperimentResult:
+        samples: int = 256, keeper_width: float = 3e-6,
+        seed: int = 7, shard_size: int = 64) -> ExperimentResult:
     """Monte-Carlo delay/NM distribution vs the 3-sigma corners."""
     spec = DynamicOrSpec(fan_in=fan_in, fan_out=fan_out, style="cmos")
     gate = build_dynamic_or(spec)
@@ -63,26 +63,47 @@ def run(fan_in: int = 8, fan_out: float = 3.0, sigma_rel: float = 0.10,
     devices = list(gate.pulldowns) + [gate.keeper]
 
     sample_shifts = monte_carlo_shifts(model, devices, samples, seed)
+    corner = corner_shifts(model, weak=gate.pulldowns,
+                           leaky=[gate.keeper])
+    # The deterministic corner becomes the final sample of the last
+    # shard: same stacked solve, same grid as the population it must
+    # bound.
+    maps = sample_shifts + [corner]
+    shards = [maps[i:i + shard_size]
+              for i in range(0, len(maps), shard_size)]
     tasks = [
-        Job(mc_sample_task,
+        Job(mc_shard_task,
             args=(int(fan_in), float(fan_out), float(keeper_width),
-                  shifts),
-            tag=f"sample{k}")
-        for k, shifts in enumerate(sample_shifts)
+                  shard),
+            tag=f"shard{j}")
+        for j, shard in enumerate(shards)
     ]
     results = run_jobs(tasks, group="fig09-mc")
-    delays = np.array([r.value[0] for r in results if r.ok])
-    margins = np.array([r.value[1] for r in results if r.ok])
+    parts = [np.asarray(r.value, dtype=float) if r.ok
+             else np.full(len(shard), np.nan)
+             for r, shard in zip(results, shards)]
+    all_delays = np.concatenate(parts)
+    delay_corner = float(all_delays[-1])
+    delays = all_delays[:samples]
+    delays = delays[np.isfinite(delays)]
     if delays.size == 0:
         raise RuntimeError(
             "every Monte-Carlo sample failed to solve; see "
             "`python -m repro stats`")
+    if not np.isfinite(delay_corner):
+        raise RuntimeError(
+            "the 3-sigma corner sample failed to solve; see "
+            "`python -m repro stats`")
 
-    # Deterministic corners for comparison.
-    corner = corner_shifts(model, weak=gate.pulldowns,
-                           leaky=[gate.keeper])
-    with applied_shifts(gate.circuit, corner):
-        delay_corner = gate_metrics.measure_worst_case_delay(gate)
+    # Noise margins are analytic (no circuit solve), so the per-sample
+    # loop is cheap even at the 256-sample default.
+    margins = np.array([
+        gate_metrics.noise_margin_static(
+            gate,
+            pd_shift=float(np.mean([m[d.name]
+                                    for d in gate.pulldowns])),
+            keeper_shift=m[gate.keeper.name])
+        for m in sample_shifts])
     nm_corner = gate_metrics.noise_margin_static(
         gate, pd_shift=model.corner_shift(gate.pulldowns[0], "leaky"))
 

@@ -8,10 +8,13 @@ its six transistors are NEMS devices whose pull-in is set by geometry,
 not threshold voltage — read stability becomes variation-immune where
 it matters.
 
-The per-sample SNM evaluations are independent butterfly solves, so
-every (variant, sample) pair is one engine job: shift maps are drawn
-up-front from the seeded generator, making the sampled population
-identical at any worker count.
+Shift maps are drawn up-front from the seeded generator (so the
+population is identical at any worker count), then sharded into engine
+jobs.  Each shard traces every sample's butterfly curves in one
+lock-step stacked VTC sweep
+(:func:`~repro.library.yield_analysis.snm_for_shift_batch`), replacing
+the old scalar sweep per (variant, sample) pair with a batched-LU
+solve per (variant, shard).
 """
 
 from __future__ import annotations
@@ -27,31 +30,36 @@ from repro.library.sram import SramSpec
 from repro.library.yield_analysis import (
     draw_shift_samples,
     estimate_from_samples,
-    snm_for_shifts,
+    snm_for_shift_batch,
 )
 
 
 def run(variants: Sequence[str] = ("conventional", "dual_vt",
                                    "hybrid"),
         sigma_rel: float = 0.08, samples: int = 10,
-        array_bits: int = 2 ** 20, seed: int = 11) -> ExperimentResult:
+        array_bits: int = 2 ** 20, seed: int = 11,
+        shard_size: int = 64) -> ExperimentResult:
     """Sampled SNM statistics and array yield per cell variant."""
     tasks = []
     owners = []
     for variant in variants:
         spec = SramSpec(variant=variant)
-        for k, shifts in enumerate(
-                draw_shift_samples(spec, sigma_rel, samples, seed)):
-            tasks.append(Job(snm_for_shifts, args=(spec, shifts),
-                             tag=f"{variant}/s{k}"))
+        maps = draw_shift_samples(spec, sigma_rel, samples, seed)
+        for j in range(0, len(maps), shard_size):
+            shard = maps[j:j + shard_size]
+            tasks.append(Job(snm_for_shift_batch, args=(spec, shard),
+                             tag=f"{variant}/s{j}-{j + len(shard) - 1}"))
             owners.append(variant)
     results = run_jobs(tasks, group="yield")
 
     rows = []
     estimates = {}
     for variant in variants:
-        values = np.array([r.value for r, owner in zip(results, owners)
-                           if owner == variant and r.ok])
+        parts = [np.asarray(r.value, dtype=float)
+                 for r, owner in zip(results, owners)
+                 if owner == variant and r.ok]
+        values = (np.concatenate(parts) if parts else np.zeros(0))
+        values = values[np.isfinite(values)]
         est = estimate_from_samples(variant, values)
         estimates[variant] = est
         rows.append((variant, est.snm_mean * 1e3,

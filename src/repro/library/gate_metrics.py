@@ -26,15 +26,17 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
 from scipy import optimize
 
 from repro.analysis import measure
+from repro.analysis.ensemble import EnsembleSpec, ensemble_transient
 from repro.analysis.options import TransientOptions
 from repro.analysis.transient import transient
 from repro.circuit.waveforms import Pulse
 from repro.devices.mosfet import MosfetParams, mosfet_current
 from repro.devices.nemfet import NemfetParams
-from repro.errors import DesignError, MeasurementError
+from repro.errors import AnalysisError, DesignError, MeasurementError
 from repro.library.dynamic_logic import DynamicOrGate
 
 #: Default transient step for gate simulations [s].
@@ -223,6 +225,42 @@ def measure_worst_case_delay(gate: DynamicOrGate,
         raise MeasurementError(
             f"gate '{gate.circuit.title}' failed to evaluate: {err}"
         ) from err
+
+
+def measure_worst_case_delays(gate: DynamicOrGate,
+                              espec: EnsembleSpec,
+                              dt: float = DEFAULT_DT,
+                              options: Optional[TransientOptions] = None
+                              ) -> np.ndarray:
+    """Worst-case evaluation delays of a whole ensemble [s].
+
+    One lock-step stacked transient (see
+    :mod:`repro.analysis.ensemble`) replaces ``espec.samples`` scalar
+    runs of :func:`measure_worst_case_delay`; returns one delay per
+    sample, NaN for samples that failed to solve or never evaluated
+    (callers filter, mirroring the engine's per-job failure handling).
+    """
+    spec = gate.spec
+    if options is None:
+        options = default_transient_options(spec.style)
+    gate.set_inputs_domino([0])
+    try:
+        result = ensemble_transient(gate.circuit, espec, spec.period,
+                                    dt, options=options)
+    finally:
+        gate.set_inputs_static([0.0] * spec.fan_in)
+    half = spec.vdd / 2
+    delays = np.full(espec.samples, np.nan)
+    for s in range(espec.samples):
+        try:
+            res = result.sample(s)
+            delays[s] = measure.propagation_delay(
+                res.t, res.voltage("clk"), res.voltage("out"),
+                level_from=half, level_to=half, edge_from="rise",
+                edge_to="rise")
+        except (AnalysisError, MeasurementError):
+            continue
+    return delays
 
 
 def measure_switching_power(gate: DynamicOrGate,

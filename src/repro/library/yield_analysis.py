@@ -20,10 +20,11 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.analysis.ensemble import EnsembleSpec, ensemble_sweep
 from repro.devices.mosfet import MosfetParams
 from repro.errors import DesignError
-from repro.library.sram import SramSpec
-from repro.library.sram_metrics import static_noise_margin
+from repro.library.sram import SramSpec, build_vtc_circuit
+from repro.library.sram_metrics import seevinck_snm, static_noise_margin
 
 
 @dataclass
@@ -85,18 +86,19 @@ def draw_shift_samples(spec: SramSpec, sigma_rel: float = 0.05,
     """
     if sigma_rel < 0:
         raise DesignError("sigma_rel must be non-negative")
+    names: List[str] = []
+    sigmas: List[float] = []
+    for device in ("NL", "NR", "PL", "PR", "AL", "AR"):
+        kind, params = spec.flavor(device)
+        if kind == "mosfet":
+            names.append(device)
+            sigmas.append(sigma_rel * params.vth0)
+    # One vectorised draw; row-major standard_normal consumes the
+    # stream exactly like the historical per-sample/per-device loop
+    # (NEMS flavours never drew), so seeded populations are unchanged.
     rng = np.random.default_rng(seed)
-    devices = ("NL", "NR", "PL", "PR", "AL", "AR")
-    out: List[Dict[str, float]] = []
-    for _ in range(samples):
-        shifts = {}
-        for device in devices:
-            kind, params = spec.flavor(device)
-            if kind == "mosfet":
-                shifts[device] = float(
-                    rng.normal(0.0, sigma_rel * params.vth0))
-        out.append(shifts)
-    return out
+    matrix = rng.standard_normal((samples, len(names))) * np.array(sigmas)
+    return [{n: float(v) for n, v in zip(names, row)} for row in matrix]
 
 
 def snm_for_shifts(spec: SramSpec, shifts: Dict[str, float],
@@ -106,14 +108,40 @@ def snm_for_shifts(spec: SramSpec, shifts: Dict[str, float],
     return float(static_noise_margin(sampled, points=points)[0])
 
 
+def snm_for_shift_batch(spec: SramSpec,
+                        shift_maps: List[Dict[str, float]],
+                        points: int = 61) -> np.ndarray:
+    """Read SNMs of a batch of sampled cells [V].
+
+    The whole batch traces each inverter side in *one* stacked
+    ensemble VTC sweep (see :mod:`repro.analysis.ensemble`) instead of
+    a scalar sweep per (sample, side): the per-device shifts of each
+    sample become per-sample threshold rows of the stacked solve.
+    Pure and picklable, so engine jobs shard over it.
+    """
+    if not shift_maps:
+        return np.zeros(0)
+    v_in = np.linspace(0.0, spec.vdd, points)
+    curves = {}
+    for side in ("right", "left"):
+        circuit = build_vtc_circuit(spec, side)
+        present = {el.name for el in circuit.elements}
+        maps = [{n: v for n, v in m.items() if n in present}
+                for m in shift_maps]
+        espec = EnsembleSpec.from_shift_maps(maps)
+        sweep = ensemble_sweep(circuit, espec, "VIN", v_in)
+        curves[side] = sweep.voltage("q")  # (points, samples)
+    return np.array([
+        seevinck_snm(v_in, curves["right"][:, s], curves["left"][:, s])
+        for s in range(len(shift_maps))])
+
+
 def sample_snm_distribution(spec: SramSpec, sigma_rel: float = 0.05,
                             samples: int = 25, seed: int = 11,
                             points: int = 61) -> np.ndarray:
     """Monte-Carlo read-SNM samples for one cell variant [V]."""
-    return np.array([
-        snm_for_shifts(spec, shifts, points)
-        for shifts in draw_shift_samples(spec, sigma_rel, samples, seed)
-    ])
+    shift_maps = draw_shift_samples(spec, sigma_rel, samples, seed)
+    return snm_for_shift_batch(spec, shift_maps, points)
 
 
 def estimate_from_samples(variant: str,

@@ -88,6 +88,27 @@ class TestJobKey:
             assert job_key(task_a, (2,)) != base
         assert job_key(task_a, (2,)) == base
 
+    def test_ensemble_override_changes_key(self):
+        # Stacked lock-step results share one adaptive grid across
+        # samples, so they are not bit-identical to the sequential
+        # per-sample path: a --no-ensemble run must never replay an
+        # ensemble-mode cache entry (or vice versa).
+        from repro.analysis.options import ensemble_override
+        base = job_key(task_a, (2,))
+        with ensemble_override(False):
+            assert job_key(task_a, (2,)) != base
+        assert job_key(task_a, (2,)) == base
+
+    def test_ensemble_spec_has_content_addressed_token(self):
+        from repro.analysis.ensemble import EnsembleSpec
+        spec = EnsembleSpec(2, vth_shift={"M1": [0.01, -0.02]})
+        same = EnsembleSpec(2, vth_shift={"M1": [0.01, -0.02]})
+        other = EnsembleSpec(2, vth_shift={"M1": [0.01, -0.03]})
+        assert (job_key(task_a, (spec,))
+                == job_key(task_a, (same,)))
+        assert (job_key(task_a, (spec,))
+                != job_key(task_a, (other,)))
+
 
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path):

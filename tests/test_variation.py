@@ -9,6 +9,7 @@ from repro.devices.variation import (
     VariationModel,
     applied_shifts,
     corner_shifts,
+    monte_carlo_shift_matrix,
     monte_carlo_shifts,
 )
 
@@ -97,3 +98,28 @@ class TestMonteCarlo:
         s1 = monte_carlo_shifts(model, mosfets, 5, seed=42)
         s2 = monte_carlo_shifts(model, mosfets, 5, seed=42)
         assert s1 == s2
+
+    def test_draw_order_matches_historical_scalar_loop(self, devices):
+        # The vectorised (samples, devices) draw must consume the
+        # seeded Generator stream exactly like the original nested
+        # loop — sample-major, device-minor, sigma applied per device —
+        # so every seed reproduces its historical shift population
+        # bit for bit.
+        _, mosfets = devices
+        model = VariationModel(sigma_rel=0.1)
+        matrix = monte_carlo_shift_matrix(model, mosfets, 7, seed=42)
+        rng = np.random.default_rng(42)
+        for row in matrix:
+            for device, value in zip(mosfets, row):
+                expected = rng.normal(
+                    0.0, model.sigma_rel * device.params.vth0)
+                assert value == expected
+
+    def test_matrix_and_maps_agree(self, devices):
+        _, mosfets = devices
+        model = VariationModel(sigma_rel=0.1)
+        matrix = monte_carlo_shift_matrix(model, mosfets, 4, seed=9)
+        maps = monte_carlo_shifts(model, mosfets, 4, seed=9)
+        for row, shifts in zip(matrix, maps):
+            assert shifts == {d.name: v
+                              for d, v in zip(mosfets, row)}
