@@ -1,0 +1,122 @@
+"""Bench: the HTTP job service against the direct engine path.
+
+Boots a real service (ephemeral port, temp data dir) and measures
+
+* **cold vs warm submit-to-result latency** for a small Figure 9
+  sweep — the warm pass replays every point from the shared result
+  cache, so the gap is the service's answer to "what does a repeat
+  submission cost?";
+* **concurrent-client throughput** — several clients hammering tiny
+  analytic jobs (fig01) through one worker, measuring jobs/s end to
+  end through HTTP, the sqlite store and the queue.
+
+Set ``REPRO_BENCH_JSON`` to a path to get the measurements as a JSON
+artifact (CI uploads it).  The acceptance floors are deliberately
+loose — they catch order-of-magnitude regressions (a service stuck
+polling, a cache that stopped hitting), not scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+from repro.service import ServiceClient, ServiceConfig, ServiceServer
+
+FIG09_PARAMS = {"sigma_levels": [0.05, 0.15],
+                "keeper_widths": [8e-07, 2e-06]}
+N_CLIENTS = 4
+JOBS_PER_CLIENT = 10
+
+
+def _timed_run(client, experiment, **kwargs):
+    started = time.perf_counter()
+    record = client.submit(experiment, **kwargs)
+    final = client.wait(record["id"], timeout=600, poll=0.02)
+    elapsed = time.perf_counter() - started
+    assert final["state"] == "succeeded", final
+    return elapsed, final
+
+
+def test_service_throughput(record_property):
+    tmp = tempfile.mkdtemp(prefix="repro-service-bench-")
+    # Open the per-tenant throttles: the bench measures the pipeline,
+    # not the rate limiter (which has its own tests).
+    config = ServiceConfig(data_dir=os.path.join(tmp, "svc"),
+                           cache_dir=os.path.join(tmp, "cache"),
+                           submissions_per_minute=100000.0,
+                           submission_burst=1000,
+                           max_running_per_tenant=1000)
+    points = {}
+    with ServiceServer(config) as server:
+        client = ServiceClient(server.host, server.port)
+
+        # -- cold vs warm latency on a real engine sweep -------------
+        cold_s, cold = _timed_run(client, "fig09",
+                                  params=FIG09_PARAMS)
+        warm_s, warm = _timed_run(client, "fig09",
+                                  params=FIG09_PARAMS)
+        assert warm["summary"]["cache_hits"] \
+            == warm["summary"]["engine_jobs"], (
+                "warm resubmission must replay entirely from cache")
+        points["fig09_cold_s"] = cold_s
+        points["fig09_warm_s"] = warm_s
+        points["warm_speedup"] = cold_s / warm_s
+        print(f"\nfig09 via service: cold {cold_s:.3f} s, "
+              f"warm {warm_s:.3f} s "
+              f"({points['warm_speedup']:.1f}x)")
+
+        # -- concurrent clients, tiny jobs ---------------------------
+        errors = []
+
+        def hammer():
+            mine = ServiceClient(server.host, server.port)
+            for _ in range(JOBS_PER_CLIENT):
+                try:
+                    _timed_run(mine, "fig01", quick=True)
+                except Exception as err:  # noqa: BLE001 - recorded
+                    errors.append(err)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(N_CLIENTS)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        assert not errors, errors[:3]
+        total = N_CLIENTS * JOBS_PER_CLIENT
+        points["concurrent_clients"] = N_CLIENTS
+        points["concurrent_jobs"] = total
+        points["concurrent_wall_s"] = wall
+        points["jobs_per_s"] = total / wall
+        print(f"{total} fig01 jobs from {N_CLIENTS} clients: "
+              f"{wall:.2f} s ({points['jobs_per_s']:.1f} jobs/s)")
+
+        stats = client.stats()
+        assert stats["jobs"] == total + 2
+
+    record_property("warm_speedup",
+                    round(points["warm_speedup"], 2))
+    record_property("jobs_per_s", round(points["jobs_per_s"], 2))
+
+    artifact = os.environ.get("REPRO_BENCH_JSON")
+    if artifact:
+        with open(artifact, "w") as handle:
+            json.dump({"benchmark": "service_throughput",
+                       "fig09_params": FIG09_PARAMS,
+                       "points": points}, handle, indent=1)
+
+    # Order-of-magnitude floors: a warm resubmission must clearly beat
+    # the cold solve, and the tiny-job pipeline must not be dominated
+    # by per-job service overhead.
+    assert points["warm_speedup"] >= 2.0, (
+        f"warm-cache resubmission only "
+        f"{points['warm_speedup']:.2f}x faster than cold")
+    assert points["jobs_per_s"] >= 2.0, (
+        f"service pipeline slower than 2 jobs/s on analytic jobs: "
+        f"{points['jobs_per_s']:.2f}")

@@ -8,6 +8,8 @@ Usage::
     python -m repro run fig09 --quick --no-cache
     python -m repro run all --quick
     python -m repro stats
+    python -m repro serve --port 8451
+    python -m repro cache prune --max-bytes 512M
 
 ``run`` executes through :mod:`repro.engine`: ``--jobs N`` fans the
 sweeps of engine-aware experiments out over N worker processes,
@@ -28,18 +30,23 @@ run — including the backend histogram, factorisation/fill-in counters,
 transient step counters, the per-phase time split, the bypass hit rate
 and the ensemble occupancy/fallback counters (``stats --json`` emits
 the raw machine-readable report).
+
+``serve`` exposes every registered experiment over an HTTP job API
+(submit → job id → poll/tail events → fetch result) backed by a
+persistent SQLite job store — see :mod:`repro.service` and
+``docs/service.md``.  ``cache prune`` evicts least-recently-used
+result-cache entries down to a byte budget.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import json
 import os
 import sys
 import time
 import traceback
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.options import (
     backend_override,
@@ -50,87 +57,14 @@ from repro.analysis.options import (
 from repro.engine import config as engine_config
 from repro.engine import telemetry
 
-#: experiment id -> (module, quick-mode kwargs).  Quick mode trades
-#: sweep density for runtime; both modes run real simulations.
-REGISTRY: Dict[str, Tuple[str, dict]] = {
-    "table1": ("repro.experiments.table1_devices", {}),
-    "fig01": ("repro.experiments.fig01_itrs_trend", {}),
-    "fig02": ("repro.experiments.fig02_swing_survey", {}),
-    "fig09": ("repro.experiments.fig09_keeper_tradeoff",
-              {"sigma_levels": (0.05, 0.15),
-               "keeper_widths": (0.8e-6, 2e-6, 4e-6)}),
-    "fig10": ("repro.experiments.fig10_fanout_sweep",
-              {"fan_outs": (1, 3, 5)}),
-    "fig11": ("repro.experiments.fig11_fanin_sweep",
-              {"fan_ins": (4, 8, 12)}),
-    "fig12": ("repro.experiments.fig12_pdp",
-              {"loads": (1.0,), "activities": (0.0, 0.5, 1.0)}),
-    "fig14": ("repro.experiments.fig14_butterfly", {"points": 81}),
-    "fig15": ("repro.experiments.fig15_sram_comparison", {}),
-    "fig17": ("repro.experiments.fig17_sleep_transistors",
-              {"area_units": (1, 4, 16, 64), "delay_budget": None}),
-    "resonator": ("repro.experiments.ext_resonator",
-                  {"biases": (0.15, 0.40), "points": 61}),
-    "cond-keeper": ("repro.experiments.ext_conditional_keeper", {}),
-    "fig09-mc": ("repro.experiments.ext_fig09_montecarlo",
-                 {"samples": 32}),
-    "temperature": ("repro.experiments.ext_temperature", {}),
-    "sram-array": ("repro.experiments.ext_sram_array",
-                   {"row_counts": (32, 128),
-                    "include_nems_access": False}),
-    "power-breakdown": ("repro.experiments.ext_power_breakdown",
-                        {"fan_in": 4, "fan_out": 1.0}),
-    "write": ("repro.experiments.ext_write_analysis",
-              {"variants": ("conventional", "hybrid")}),
-    "yield": ("repro.experiments.ext_yield",
-              {"variants": ("conventional", "hybrid"), "samples": 5}),
-    "corners": ("repro.experiments.ext_corners",
-                {"corners": ("TT", "SS", "FF")}),
-    "static": ("repro.experiments.ext_static_comparison",
-               {"fan_ins": (4, 12)}),
-    "thermal": ("repro.experiments.ext_thermal_runaway",
-                {"r_thermals": (20.0, 600.0)}),
-    "domino": ("repro.experiments.ext_domino",
-               {"stage_counts": (1, 2)}),
-}
-
-#: Descriptions shown by `list`.
-DESCRIPTIONS = {
-    "table1": "device I_ON/I_OFF calibration (Table 1)",
-    "fig01": "ITRS scaling vs subthreshold leakage (Figure 1)",
-    "fig02": "subthreshold swing survey (Figure 2)",
-    "fig09": "keeper delay/noise-margin trade-off (Figure 9)",
-    "fig10": "8-input OR vs fan-out (Figure 10)",
-    "fig11": "OR vs fan-in: the crossover (Figure 11)",
-    "fig12": "power-delay product vs activity (Figure 12)",
-    "fig14": "SRAM butterfly curves / SNM (Figure 14)",
-    "fig15": "SRAM latency & leakage comparison (Figure 15)",
-    "fig17": "sleep transistor Ron/Ioff vs area (Figure 17)",
-    "resonator": "[ext] RSG-MOSFET resonator (ref [22])",
-    "cond-keeper": "[ext] conditional keeper at iso-NM (ref [24])",
-    "fig09-mc": "[ext] Monte-Carlo check of the Figure 9 corners",
-    "temperature": "[ext] leakage advantage vs temperature",
-    "sram-array": "[ext] array-height reads + NEMS-access ablation",
-    "power-breakdown": "[ext] itemised switching-energy audit",
-    "write": "[ext] SRAM write margin & latency (hidden hybrid costs)",
-    "yield": "[ext] Monte-Carlo read-stability yield per cell",
-    "corners": "[ext] global corners: hybrid NM is corner-invariant",
-    "static": "[ext] static vs dynamic vs hybrid OR (Section 4.1)",
-    "thermal": "[ext] leakage-temperature feedback & runaway (ref [5])",
-    "domino": "[ext] pipeline latency: the per-stage mechanical cost",
-}
-
-
-def run_experiment(exp_id: str, quick: bool = False):
-    """Run one experiment by id and return its ExperimentResult."""
-    if exp_id not in REGISTRY:
-        raise KeyError(
-            f"unknown experiment '{exp_id}' "
-            f"(known: {', '.join(sorted(REGISTRY))})")
-    module_name, quick_kwargs = REGISTRY[exp_id]
-    module = importlib.import_module(module_name)
-    kwargs = quick_kwargs if quick else {}
-    return module.run(**kwargs)
+# The experiment registry lives in repro.experiments.registry so the
+# HTTP service dispatches from the same table; re-exported here for
+# backwards compatibility (tests and scripts monkeypatch cli.REGISTRY).
+from repro.experiments.registry import (  # noqa: F401
+    DESCRIPTIONS,
+    REGISTRY,
+    run_experiment,
+)
 
 
 def _experiment_summary_table(rows: List[Tuple]) -> str:
@@ -262,6 +196,77 @@ def _run_command(args) -> int:
     return 1 if failed_experiments else 0
 
 
+#: Size-suffix multipliers accepted by ``--max-bytes`` style flags.
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30,
+                  "t": 1 << 40}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human byte size: ``250000``, ``64M``, ``1.5G``."""
+    raw = text.strip().lower().removesuffix("b")
+    factor = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"cannot parse size '{text}' "
+                         f"(examples: 250000, 64M, 1.5G)") from None
+    if value < 0:
+        raise ValueError(f"size must be >= 0, got '{text}'")
+    return int(value * factor)
+
+
+def _cache_command(args) -> int:
+    from repro.engine.cache import ResultCache
+    cache_dir = args.cache_dir or engine_config.default_cache_dir()
+    if args.cache_command == "prune":
+        try:
+            budget = parse_size(args.max_bytes)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        pruned = ResultCache(cache_dir).prune(budget)
+        print(f"pruned {pruned.removed} entr"
+              f"{'y' if pruned.removed == 1 else 'ies'} "
+              f"({pruned.freed_bytes} bytes) from {cache_dir}; "
+              f"{pruned.remaining} left ({pruned.remaining_bytes} "
+              f"bytes)")
+        return 0
+    print("usage: repro cache prune --max-bytes SIZE", file=sys.stderr)
+    return 2
+
+
+def _serve_command(args) -> int:
+    from repro.service import ServiceConfig, serve
+    cache_dir = (None if args.no_cache
+                 else args.cache_dir or engine_config.default_cache_dir())
+    data_dir = args.data_dir or os.path.join(
+        args.cache_dir or engine_config.default_cache_dir(), "service")
+    try:
+        cache_max = (parse_size(args.cache_max_bytes)
+                     if args.cache_max_bytes else None)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        data_dir=data_dir,
+        cache_dir=cache_dir,
+        cache_max_bytes=cache_max,
+        engine_jobs=args.jobs,
+        workers=args.workers,
+        submissions_per_minute=args.rate,
+        submission_burst=args.burst,
+        max_running_per_tenant=args.tenant_concurrency,
+    )
+    try:
+        serve(config, host=args.host, port=args.port)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 def _stats_command(args) -> int:
     cache_dir = args.cache_dir or engine_config.default_cache_dir()
     path = os.path.join(cache_dir, telemetry.REPORT_BASENAME)
@@ -335,6 +340,60 @@ def main(argv: Optional[list] = None) -> int:
                         help="result-cache directory (default: "
                              "$REPRO_CACHE_DIR or "
                              "~/.cache/repro-nems-cmos)")
+    server = sub.add_parser(
+        "serve",
+        help="serve experiments over HTTP: submit jobs, poll status, "
+             "fetch results (see docs/service.md)")
+    server.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    server.add_argument("--port", type=int, default=8451,
+                        help="TCP port (default: 8451; 0 picks an "
+                             "ephemeral port)")
+    server.add_argument("--data-dir", default=None, metavar="DIR",
+                        help="service state: job store + artifacts "
+                             "(default: <cache-dir>/service)")
+    server.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="engine worker processes per running job "
+                             "(default: 1)")
+    server.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="concurrent experiment executor threads "
+                             "(default: 1; per-job telemetry "
+                             "attribution is exact only at 1)")
+    server.add_argument("--no-cache", action="store_true",
+                        help="disable the shared result cache")
+    server.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="shared result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or "
+                             "~/.cache/repro-nems-cmos)")
+    server.add_argument("--cache-max-bytes", default=None,
+                        metavar="SIZE",
+                        help="bound the shared cache: LRU-evict down "
+                             "to SIZE (e.g. 512M, 2G; default: "
+                             "unbounded)")
+    server.add_argument("--rate", type=float, default=120.0,
+                        metavar="N",
+                        help="submissions per minute per tenant "
+                             "(default: 120)")
+    server.add_argument("--burst", type=int, default=20, metavar="N",
+                        help="submission burst budget per tenant "
+                             "(default: 20)")
+    server.add_argument("--tenant-concurrency", type=int, default=2,
+                        metavar="N",
+                        help="max concurrently running jobs per "
+                             "tenant (default: 2)")
+
+    cache = sub.add_parser("cache", help="manage the result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command")
+    prune = cache_sub.add_parser(
+        "prune",
+        help="evict least-recently-used entries down to a size budget")
+    prune.add_argument("--max-bytes", required=True, metavar="SIZE",
+                       help="target size, e.g. 250000, 64M, 1.5G")
+    prune.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: "
+                            "$REPRO_CACHE_DIR or "
+                            "~/.cache/repro-nems-cmos)")
+
     stats = sub.add_parser(
         "stats", help="show solver/cache telemetry of the last run")
     stats.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -357,6 +416,10 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "run":
         return _run_command(args)
+    if args.command == "serve":
+        return _serve_command(args)
+    if args.command == "cache":
+        return _cache_command(args)
     if args.command == "stats":
         return _stats_command(args)
     parser.print_help()

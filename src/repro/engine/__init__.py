@@ -20,6 +20,7 @@ telemetry fields.
 """
 
 from repro.engine.cache import (
+    PruneResult,
     ResultCache,
     job_key,
     netlist_fingerprint,
@@ -38,7 +39,16 @@ from repro.engine.retry import (
     RetryRung,
     solve_with_retry,
 )
-from repro.engine.runner import Job, JobResult, map_jobs, run_jobs
+from repro.engine.runner import (
+    Job,
+    JobResult,
+    add_progress_observer,
+    cancel_scope,
+    map_jobs,
+    observing_progress,
+    remove_progress_observer,
+    run_jobs,
+)
 from repro.engine.telemetry import (
     SESSION,
     JobRecord,
@@ -57,11 +67,14 @@ __all__ = [
     "JobFailure",
     "JobRecord",
     "JobResult",
+    "PruneResult",
     "ResultCache",
     "RetryRung",
     "RunTelemetry",
     "SESSION",
     "SolveStats",
+    "add_progress_observer",
+    "cancel_scope",
     "collecting",
     "configured",
     "default_cache_dir",
@@ -70,6 +83,8 @@ __all__ = [
     "load_report",
     "map_jobs",
     "netlist_fingerprint",
+    "observing_progress",
+    "remove_progress_observer",
     "report_to_text",
     "run_jobs",
     "save_report",

@@ -148,21 +148,44 @@ def netlist_fingerprint(circuit) -> str:
 STALE_TMP_AGE = 3600.0
 
 
+@dataclasses.dataclass
+class PruneResult:
+    """Outcome of one :meth:`ResultCache.prune` pass."""
+
+    removed: int = 0            #: entries deleted
+    freed_bytes: int = 0        #: bytes those entries occupied
+    remaining: int = 0          #: entries left after the pass
+    remaining_bytes: int = 0    #: bytes left after the pass
+
+
 class ResultCache:
-    """Content-addressed pickle store under one directory."""
+    """Content-addressed pickle store under one directory.
+
+    ``max_bytes`` turns the store into a size-bounded LRU: every
+    :meth:`get` hit refreshes the entry's mtime, and :meth:`put`
+    triggers a :meth:`prune` pass once enough new bytes have landed
+    since the last one.  Multiple tenants (or long-running services)
+    sharing one directory then cannot grow it without bound.
+    """
 
     def __init__(self, directory: str,
-                 stale_tmp_age: float = STALE_TMP_AGE):
+                 stale_tmp_age: float = STALE_TMP_AGE,
+                 max_bytes: Optional[int] = None):
         self.directory = directory
         self.stale_tmp_age = stale_tmp_age
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.evicted = 0
+        self._written_since_prune = 0
         # Crashed writers leave ``.tmp`` files behind (the atomic-write
         # protocol only cleans up on normal exception paths); sweep the
         # stale ones so they cannot accumulate across sessions.
         self._sweep_stale_tmp()
+        if max_bytes is not None:
+            self.prune(max_bytes)
 
     def _sweep_stale_tmp(self) -> int:
         """Delete abandoned ``.tmp`` files; returns the number removed."""
@@ -206,6 +229,13 @@ class ResultCache:
                 pass
             return False, None
         self.hits += 1
+        # Refresh the access time so a bounded cache evicts in LRU
+        # order rather than insertion order.  Best-effort: a read-only
+        # filesystem must not turn a hit into a failure.
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
         return True, value
 
     def put(self, key: str, value: Any) -> None:
@@ -226,6 +256,67 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        if self.max_bytes is not None:
+            try:
+                self._written_since_prune += os.path.getsize(path)
+            except OSError:
+                pass
+            # Re-walking the store on every put would make small writes
+            # O(entries); amortise by pruning only once ~10% of the
+            # budget has landed since the last pass.
+            if self._written_since_prune > max(self.max_bytes // 10, 1):
+                self.prune(self.max_bytes)
+
+    def _entries(self):
+        """Every ``(path, mtime, size)`` entry currently on disk."""
+        entries = []
+        if not os.path.isdir(self.directory):
+            return entries
+        for root, _dirs, files in os.walk(self.directory):
+            for name in files:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(root, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue  # deleted by a concurrent pruner
+                entries.append((path, stat.st_mtime, stat.st_size))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Bytes currently occupied by real entries (``.tmp`` excluded)."""
+        return sum(size for _path, _mtime, size in self._entries())
+
+    def prune(self, max_bytes: int) -> PruneResult:
+        """Evict least-recently-used entries until <= ``max_bytes``.
+
+        Eviction order is ascending mtime — :meth:`get` refreshes the
+        mtime of every hit, so mtime order *is* LRU order.  Each
+        eviction is a single :func:`os.remove`, so a concurrent reader
+        either wins the race (and refreshes the entry) or misses and
+        recomputes; no entry is ever observed half-deleted.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = sorted(self._entries(), key=lambda e: (e[1], e[0]))
+        total = sum(size for _path, _mtime, size in entries)
+        result = PruneResult(remaining=len(entries),
+                             remaining_bytes=total)
+        for path, _mtime, size in entries:
+            if result.remaining_bytes <= max_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue  # a concurrent pruner got there first
+            result.removed += 1
+            result.freed_bytes += size
+            result.remaining -= 1
+            result.remaining_bytes -= size
+        self.evicted += result.removed
+        self._written_since_prune = 0
+        return result
 
     def clear(self) -> int:
         """Delete every entry; returns the number of entries removed.

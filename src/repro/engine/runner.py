@@ -21,12 +21,28 @@ Execution model:
   :mod:`repro.engine.retry`); exhausting the ladder yields a
   :class:`~repro.engine.retry.JobFailure` on the result, never an
   exception out of :func:`run_jobs`.
+
+Two hooks serve callers that drive the engine on behalf of someone
+else (the HTTP service, long-running orchestration):
+
+* **cancellation** — ``run_jobs(..., cancel=callable)`` (or an ambient
+  :func:`cancel_scope` wrapping code that calls ``run_jobs`` deep
+  inside an experiment) checks the callable between jobs and between
+  retry rungs; a job observed cancelled lands as an explicit
+  ``cancelled`` terminal state on its result — *not* as a
+  retries-exhausted failure;
+* **progress observers** — :func:`add_progress_observer` registers a
+  thread-local callback receiving every :class:`JobResult` (cache hits
+  included) as it lands, so a caller can stream per-point progress
+  without polling telemetry.  Thread-local registration keeps two
+  orchestrating threads from seeing each other's sweeps.
 """
 
 from __future__ import annotations
 
 import contextlib
 import multiprocessing
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -35,6 +51,7 @@ from typing import (
     Any,
     Callable,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -81,16 +98,89 @@ class JobResult:
     cache_hit: bool = False
     attempts: int = 1
     rung: Optional[str] = None      #: retry rung that succeeded, if any
+    cancelled: bool = False         #: explicit terminal state: the job
+                                    #: was cancelled, it did not fail
     solves: telemetry.SolveStats = field(
         default_factory=telemetry.SolveStats)
 
     @property
     def ok(self) -> bool:
-        return self.failure is None
+        return self.failure is None and not self.cancelled
 
 
-def _execute(index: int, job: Job,
-             ladder: Tuple[RetryRung, ...]) -> JobResult:
+#: Thread-local registries: the ambient cancel callable installed by
+#: :func:`cancel_scope` and the progress observers of this thread.
+_local = threading.local()
+
+
+def add_progress_observer(observer: Callable[[JobResult, str], None]
+                          ) -> None:
+    """Register a per-result callback for this thread's ``run_jobs``.
+
+    The observer receives ``(result, group)`` for every job — cache
+    hits, failures and cancellations included — *as each result
+    lands* (cache hits first, then executed jobs in input order), so
+    a streaming consumer reports points while the sweep is still
+    running.  Registration is thread-local: an orchestrator thread
+    only sees the sweeps it runs itself.
+    """
+    observers = getattr(_local, "observers", None)
+    if observers is None:
+        observers = _local.observers = []
+    observers.append(observer)
+
+
+def remove_progress_observer(observer: Callable[[JobResult, str], None]
+                             ) -> None:
+    """Unregister a previously added progress observer."""
+    _local.observers.remove(observer)
+
+
+@contextlib.contextmanager
+def observing_progress(observer: Callable[[JobResult, str], None]
+                       ) -> Iterator[None]:
+    """Route this thread's job results into ``observer`` for the block."""
+    add_progress_observer(observer)
+    try:
+        yield
+    finally:
+        remove_progress_observer(observer)
+
+
+def _notify_progress(result: JobResult, group: str) -> None:
+    for observer in list(getattr(_local, "observers", ()) or ()):
+        observer(result, group)
+
+
+@contextlib.contextmanager
+def cancel_scope(cancel: Callable[[], bool]) -> Iterator[None]:
+    """Make ``cancel`` the ambient cancellation check for this thread.
+
+    Every ``run_jobs`` call in the block (however deep inside an
+    experiment) polls the callable between jobs and between retry
+    rungs, so a service can stop an in-flight experiment without
+    threading a cancel argument through the experiment API.
+    """
+    previous = getattr(_local, "cancel", None)
+    _local.cancel = cancel
+    try:
+        yield
+    finally:
+        _local.cancel = previous
+
+
+def _ambient_cancel() -> Optional[Callable[[], bool]]:
+    return getattr(_local, "cancel", None)
+
+
+def _cancelled_result(index: int, job: Job, *, attempts: int = 0,
+                      wall_time: float = 0.0) -> JobResult:
+    return JobResult(index=index, tag=job.tag, cancelled=True,
+                     attempts=attempts, wall_time=wall_time)
+
+
+def _execute(index: int, job: Job, ladder: Tuple[RetryRung, ...],
+             cancel: Optional[Callable[[], bool]] = None) -> JobResult:
     """Run one job with telemetry and the retry ladder (any process)."""
     stats = telemetry.SolveStats()
     started = time.perf_counter()
@@ -98,6 +188,12 @@ def _execute(index: int, job: Job,
     attempts = 0
     with telemetry.collecting(stats):
         for rung in (None,) + tuple(ladder):
+            # A cancellation observed mid-ladder is a cancellation, not
+            # a retries-exhausted failure: stop relaxing and say so.
+            if cancel is not None and cancel():
+                return _cancelled_result(
+                    index, job, attempts=attempts,
+                    wall_time=time.perf_counter() - started)
             attempts += 1
             context = rung.transform() if rung else contextlib.nullcontext()
             try:
@@ -133,6 +229,7 @@ def run_jobs(tasks: Sequence[Job], *, group: str = "",
              cache: Any = _AUTO,
              ladder: Optional[Tuple[RetryRung, ...]] = None,
              timeout: Optional[float] = None,
+             cancel: Optional[Callable[[], bool]] = None,
              config: Optional[EngineConfig] = None) -> List[JobResult]:
     """Execute ``tasks`` and return their results in input order.
 
@@ -144,6 +241,13 @@ def run_jobs(tasks: Sequence[Job], *, group: str = "",
     :class:`~repro.engine.retry.JobFailure` records on the affected
     results — :func:`run_jobs` itself only raises for programming
     errors (e.g. unpicklable jobs).
+
+    ``cancel`` (default: the ambient :func:`cancel_scope` callable, if
+    any) is polled between jobs and between retry rungs; once it
+    returns true every not-yet-finished job lands as an explicit
+    ``cancelled`` result.  In parallel mode a task already running in a
+    worker process finishes (its result stands); tasks not yet started
+    are cancelled.
     """
     cfg = config or get_config()
     workers = cfg.jobs if jobs is None else jobs
@@ -153,44 +257,74 @@ def run_jobs(tasks: Sequence[Job], *, group: str = "",
         cache = (ResultCache(cfg.cache_dir) if cfg.cache_dir else None)
     rungs = DEFAULT_LADDER if ladder is None else tuple(ladder)
     task_timeout = cfg.task_timeout if timeout is None else timeout
+    if cancel is None:
+        cancel = _ambient_cancel()
 
     results: List[Optional[JobResult]] = [None] * len(tasks)
     pending: List[Tuple[int, Job, Optional[str]]] = []
+
+    # Results are announced to progress observers *as they land* (a
+    # streaming consumer sees each point when it completes, not the
+    # whole sweep afterwards): cache hits first, then executed jobs
+    # in input order.
+    def _land(index: int, result: JobResult) -> None:
+        results[index] = result
+        _notify_progress(result, group)
+
     for index, job in enumerate(tasks):
         key = None
         if cache is not None:
             key = job.key()
             hit, value = cache.get(key)
             if hit:
-                results[index] = JobResult(
+                _land(index, JobResult(
                     index=index, tag=job.tag, value=value,
-                    cache_hit=True)
+                    cache_hit=True))
                 continue
         pending.append((index, job, key))
 
     if workers <= 1 or len(pending) <= 1:
         for index, job, key in pending:
-            results[index] = _execute(index, job, rungs)
+            if cancel is not None and cancel():
+                _land(index, _cancelled_result(index, job))
+            else:
+                _land(index, _execute(index, job, rungs, cancel))
     else:
         with ProcessPoolExecutor(
                 max_workers=min(workers, len(pending)),
                 mp_context=_pool_context()) as pool:
+            # The cancel callable stays in the parent: it is typically
+            # a closure over live state (a job store, an event) that
+            # must not cross the process boundary.
             futures = [(index, job, key,
                         pool.submit(_execute, index, job, rungs))
                        for index, job, key in pending]
+            sweep_cancelled = False
             for index, job, key, future in futures:
+                if (not sweep_cancelled and cancel is not None
+                        and cancel()):
+                    # Kill everything still pending in one pass, so
+                    # queued work stops feeding the pool the moment
+                    # the cancel is observed (not one future per
+                    # collection step later).
+                    sweep_cancelled = True
+                    for _, _, _, pending_future in futures:
+                        pending_future.cancel()
+                if future.cancelled():
+                    _land(index, _cancelled_result(index, job))
+                    continue
                 try:
-                    results[index] = future.result(timeout=task_timeout)
+                    _land(index, future.result(timeout=task_timeout))
                 except FutureTimeoutError:
                     future.cancel()
-                    results[index] = JobResult(
+                    _land(index, JobResult(
                         index=index, tag=job.tag,
                         failure=JobFailure(
                             tag=job.tag, error_type="Timeout",
                             message=(f"job exceeded the "
                                      f"{task_timeout:g} s budget"),
                             wall_time=float(task_timeout)),
-                        wall_time=float(task_timeout))
+                        wall_time=float(task_timeout)))
 
     for index, job, key in pending:
         result = results[index]
@@ -203,7 +337,7 @@ def run_jobs(tasks: Sequence[Job], *, group: str = "",
                 tag=result.tag, group=group,
                 wall_time=result.wall_time, cache_hit=result.cache_hit,
                 ok=result.ok, attempts=result.attempts,
-                rung=result.rung,
+                rung=result.rung, cancelled=result.cancelled,
                 error=result.failure.to_dict() if result.failure
                 else None,
                 solves=result.solves))

@@ -240,6 +240,10 @@ class JobRecord:
     ok: bool = True
     attempts: int = 1
     rung: Optional[str] = None
+    #: Explicit terminal state: the job was cancelled mid-run (or
+    #: before starting).  Distinct from a failure — a cancelled job
+    #: exhausted nothing and must not count as retries-exhausted.
+    cancelled: bool = False
     error: Optional[Dict] = None   #: JobFailure.to_dict() when failed
     solves: SolveStats = field(default_factory=SolveStats)
 
@@ -289,7 +293,9 @@ class RunTelemetry:
             "group": group,
             "jobs": len(records),
             "cache_hits": sum(r.cache_hit for r in records),
-            "failures": sum(not r.ok for r in records),
+            "failures": sum(not r.ok and not r.cancelled
+                            for r in records),
+            "cancelled": sum(r.cancelled for r in records),
             "retried": sum(r.attempts > 1 for r in records),
             "wall_time": sum(r.wall_time for r in records),
             "solves": stats.to_dict(),
@@ -414,4 +420,12 @@ def report_to_text(report: Dict) -> str:
             f"!! {job['group'] or '(ungrouped)'}/{job['tag']}: "
             f"{err['error_type']} after {err['attempts']} attempt(s): "
             f"{err['message']}")
+    # Cancellations are a terminal state of their own (absent in old
+    # reports): surface them, but never as failures.
+    cancelled = [job for job in report.get("jobs", [])
+                 if job.get("cancelled")]
+    for job in cancelled:
+        lines.append(
+            f"-- {job['group'] or '(ungrouped)'}/{job['tag']}: "
+            f"cancelled after {job.get('attempts', 0)} attempt(s)")
     return "\n".join(lines)

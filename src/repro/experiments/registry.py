@@ -1,0 +1,162 @@
+"""The experiment registry: every runnable experiment, by name.
+
+One table maps an experiment id to its module and quick-mode kwargs.
+The CLI lists and runs from it; the HTTP service
+(:mod:`repro.service`) validates and dispatches submitted jobs
+against it.  Anything registered here is submittable by name plus a
+JSON dictionary of ``run()`` keyword arguments.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from typing import Any, Dict, List, Optional, Tuple
+
+#: experiment id -> (module, quick-mode kwargs).  Quick mode trades
+#: sweep density for runtime; both modes run real simulations.
+REGISTRY: Dict[str, Tuple[str, dict]] = {
+    "table1": ("repro.experiments.table1_devices", {}),
+    "fig01": ("repro.experiments.fig01_itrs_trend", {}),
+    "fig02": ("repro.experiments.fig02_swing_survey", {}),
+    "fig09": ("repro.experiments.fig09_keeper_tradeoff",
+              {"sigma_levels": (0.05, 0.15),
+               "keeper_widths": (0.8e-6, 2e-6, 4e-6)}),
+    "fig10": ("repro.experiments.fig10_fanout_sweep",
+              {"fan_outs": (1, 3, 5)}),
+    "fig11": ("repro.experiments.fig11_fanin_sweep",
+              {"fan_ins": (4, 8, 12)}),
+    "fig12": ("repro.experiments.fig12_pdp",
+              {"loads": (1.0,), "activities": (0.0, 0.5, 1.0)}),
+    "fig14": ("repro.experiments.fig14_butterfly", {"points": 81}),
+    "fig15": ("repro.experiments.fig15_sram_comparison", {}),
+    "fig17": ("repro.experiments.fig17_sleep_transistors",
+              {"area_units": (1, 4, 16, 64), "delay_budget": None}),
+    "resonator": ("repro.experiments.ext_resonator",
+                  {"biases": (0.15, 0.40), "points": 61}),
+    "cond-keeper": ("repro.experiments.ext_conditional_keeper", {}),
+    "fig09-mc": ("repro.experiments.ext_fig09_montecarlo",
+                 {"samples": 32}),
+    "temperature": ("repro.experiments.ext_temperature", {}),
+    "sram-array": ("repro.experiments.ext_sram_array",
+                   {"row_counts": (32, 128),
+                    "include_nems_access": False}),
+    "power-breakdown": ("repro.experiments.ext_power_breakdown",
+                        {"fan_in": 4, "fan_out": 1.0}),
+    "write": ("repro.experiments.ext_write_analysis",
+              {"variants": ("conventional", "hybrid")}),
+    "yield": ("repro.experiments.ext_yield",
+              {"variants": ("conventional", "hybrid"), "samples": 5}),
+    "corners": ("repro.experiments.ext_corners",
+                {"corners": ("TT", "SS", "FF")}),
+    "static": ("repro.experiments.ext_static_comparison",
+               {"fan_ins": (4, 12)}),
+    "thermal": ("repro.experiments.ext_thermal_runaway",
+                {"r_thermals": (20.0, 600.0)}),
+    "domino": ("repro.experiments.ext_domino",
+               {"stage_counts": (1, 2)}),
+}
+
+#: Descriptions shown by `list` and `GET /api/experiments`.
+DESCRIPTIONS = {
+    "table1": "device I_ON/I_OFF calibration (Table 1)",
+    "fig01": "ITRS scaling vs subthreshold leakage (Figure 1)",
+    "fig02": "subthreshold swing survey (Figure 2)",
+    "fig09": "keeper delay/noise-margin trade-off (Figure 9)",
+    "fig10": "8-input OR vs fan-out (Figure 10)",
+    "fig11": "OR vs fan-in: the crossover (Figure 11)",
+    "fig12": "power-delay product vs activity (Figure 12)",
+    "fig14": "SRAM butterfly curves / SNM (Figure 14)",
+    "fig15": "SRAM latency & leakage comparison (Figure 15)",
+    "fig17": "sleep transistor Ron/Ioff vs area (Figure 17)",
+    "resonator": "[ext] RSG-MOSFET resonator (ref [22])",
+    "cond-keeper": "[ext] conditional keeper at iso-NM (ref [24])",
+    "fig09-mc": "[ext] Monte-Carlo check of the Figure 9 corners",
+    "temperature": "[ext] leakage advantage vs temperature",
+    "sram-array": "[ext] array-height reads + NEMS-access ablation",
+    "power-breakdown": "[ext] itemised switching-energy audit",
+    "write": "[ext] SRAM write margin & latency (hidden hybrid costs)",
+    "yield": "[ext] Monte-Carlo read-stability yield per cell",
+    "corners": "[ext] global corners: hybrid NM is corner-invariant",
+    "static": "[ext] static vs dynamic vs hybrid OR (Section 4.1)",
+    "thermal": "[ext] leakage-temperature feedback & runaway (ref [5])",
+    "domino": "[ext] pipeline latency: the per-stage mechanical cost",
+}
+
+
+def experiment_ids() -> List[str]:
+    """Every registered experiment id, in registry order."""
+    return list(REGISTRY)
+
+
+def _run_signature(exp_id: str) -> inspect.Signature:
+    module_name, _ = REGISTRY[exp_id]
+    module = importlib.import_module(module_name)
+    return inspect.signature(module.run)
+
+
+def experiment_parameters(exp_id: str) -> Dict[str, Any]:
+    """The ``run()`` parameters of one experiment with their defaults.
+
+    Values are the defaults rendered via ``repr`` so the mapping is
+    JSON-safe (tuples, floats and ``None`` all survive); parameters
+    without a default map to ``"<required>"``.
+    """
+    if exp_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment '{exp_id}' "
+            f"(known: {', '.join(sorted(REGISTRY))})")
+    params = {}
+    for name, parameter in _run_signature(exp_id).parameters.items():
+        if parameter.kind in (inspect.Parameter.VAR_POSITIONAL,
+                              inspect.Parameter.VAR_KEYWORD):
+            continue
+        params[name] = ("<required>"
+                        if parameter.default is inspect.Parameter.empty
+                        else repr(parameter.default))
+    return params
+
+
+def validate_params(exp_id: str, params: Optional[Dict[str, Any]]
+                    ) -> List[str]:
+    """Problems with a submitted parameter dictionary (empty = valid).
+
+    Checks the experiment exists and every key names a real ``run()``
+    keyword — catching typos at submission time rather than as a
+    ``TypeError`` deep inside a worker.
+    """
+    if exp_id not in REGISTRY:
+        return [f"unknown experiment '{exp_id}' "
+                f"(known: {', '.join(sorted(REGISTRY))})"]
+    errors = []
+    if params:
+        if not isinstance(params, dict):
+            return [f"params must be an object, got "
+                    f"{type(params).__name__}"]
+        valid = set(_run_signature(exp_id).parameters)
+        for key in params:
+            if key not in valid:
+                errors.append(
+                    f"experiment '{exp_id}' has no parameter '{key}' "
+                    f"(has: {', '.join(sorted(valid))})")
+    return errors
+
+
+def run_experiment(exp_id: str, quick: bool = False,
+                   params: Optional[Dict[str, Any]] = None):
+    """Run one experiment by id and return its ExperimentResult.
+
+    ``quick`` starts from the registry's reduced-sweep kwargs;
+    ``params`` overrides on top (so a submitted job can request quick
+    mode and still pin, say, a specific sample count).
+    """
+    if exp_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment '{exp_id}' "
+            f"(known: {', '.join(sorted(REGISTRY))})")
+    module_name, quick_kwargs = REGISTRY[exp_id]
+    module = importlib.import_module(module_name)
+    kwargs = dict(quick_kwargs) if quick else {}
+    if params:
+        kwargs.update(params)
+    return module.run(**kwargs)

@@ -1,0 +1,63 @@
+"""Simulation-as-a-service over :mod:`repro.engine`.
+
+The service turns experiment runs into *jobs*: submit over HTTP (or
+in-process), poll status, tail progress events, fetch results and
+artifacts, cancel — all backed by a persistent sqlite job store so a
+server restart resumes queued work instead of losing it.
+
+Layers, bottom-up:
+
+* :mod:`repro.service.schemas` — job specs, validation, lifecycle
+  state machine;
+* :mod:`repro.service.store` — the :class:`JobStore` interface and
+  its sqlite implementation;
+* :mod:`repro.service.limits` — per-tenant token-bucket rate limits
+  and running-job concurrency caps;
+* :mod:`repro.service.app` — :class:`ServiceApp`: worker threads,
+  dispatch through the engine runner, cancellation, artifacts;
+* :mod:`repro.service.http` — the stdlib HTTP surface and
+  ``repro serve`` entry point;
+* :mod:`repro.service.client` — a small polling client for tests,
+  benchmarks, and scripts.
+"""
+
+from repro.service.app import JobNotDone, ServiceApp, ServiceConfig
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import ServiceServer, serve
+from repro.service.limits import RateLimited, TenantGovernor, TokenBucket
+from repro.service.schemas import (
+    CANCELLED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    JobSpec,
+    ValidationError,
+)
+from repro.service.store import JobStore, SqliteJobStore
+
+__all__ = [
+    "CANCELLED",
+    "FAILED",
+    "JobNotDone",
+    "JobSpec",
+    "JobStore",
+    "QUEUED",
+    "RUNNING",
+    "RateLimited",
+    "STATES",
+    "SUCCEEDED",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "SqliteJobStore",
+    "TERMINAL_STATES",
+    "TenantGovernor",
+    "TokenBucket",
+    "ValidationError",
+    "serve",
+]

@@ -1,0 +1,361 @@
+"""The service core: queue workers, artifacts, recovery, stats.
+
+:class:`ServiceApp` owns everything behind the HTTP surface:
+
+* the persistent :class:`~repro.service.store.JobStore` (submissions,
+  states, events);
+* a pool of worker threads claiming queued jobs and running them
+  through :func:`repro.experiments.registry.run_experiment` — which
+  dispatches every sweep through :mod:`repro.engine` with the shared
+  result cache, retry ladder and telemetry;
+* per-job progress streaming: the engine's thread-local progress
+  observer forwards each :class:`~repro.engine.runner.JobResult`
+  (cache hits included) into the job's event log as it lands;
+* cooperative cancellation: an ambient
+  :func:`~repro.engine.runner.cancel_scope` polls the store's
+  cancel flag between engine jobs and retry rungs;
+* artifacts: the finished ``ExperimentResult`` is pickled (exact) and
+  rendered to JSON/CSV next to it, under ``<data_dir>/artifacts/``;
+* cache eviction: a background loop prunes the shared result cache to
+  ``cache_max_bytes`` (LRU) so tenants cannot grow it unboundedly.
+
+On :meth:`start` the app recovers the store: jobs a dead server left
+``running`` are requeued, so a kill/reboot mid-queue resumes instead of
+stranding work.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.engine import telemetry
+from repro.engine.cache import ResultCache
+from repro.engine.config import EngineConfig, set_config
+from repro.engine.runner import JobResult, cancel_scope, observing_progress
+from repro.experiments.registry import (
+    DESCRIPTIONS,
+    REGISTRY,
+    experiment_parameters,
+    run_experiment,
+)
+from repro.service.limits import TenantGovernor
+from repro.service.schemas import (
+    CANCELLED,
+    FAILED,
+    SUCCEEDED,
+    JobSpec,
+)
+from repro.service.store import JobStore, SqliteJobStore
+
+
+class JobNotDone(RuntimeError):
+    """Result requested before the job reached ``succeeded`` (409)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything `repro serve` (or a test) needs to boot a service.
+
+    ``data_dir`` holds the durable state: ``jobs.sqlite3`` (the job
+    store) and ``artifacts/<job-id>/`` (results).  ``cache_dir`` is
+    the *shared* engine result cache — warm across jobs, tenants and
+    server restarts; ``cache_max_bytes`` bounds it with LRU eviction.
+    """
+
+    data_dir: str
+    cache_dir: Optional[str] = None
+    cache_max_bytes: Optional[int] = None
+    engine_jobs: int = 1
+    workers: int = 1
+    submissions_per_minute: float = 120.0
+    submission_burst: int = 20
+    max_running_per_tenant: int = 2
+    eviction_interval: float = 60.0
+
+    @property
+    def db_path(self) -> str:
+        return os.path.join(self.data_dir, "jobs.sqlite3")
+
+    @property
+    def artifact_dir(self) -> str:
+        return os.path.join(self.data_dir, "artifacts")
+
+
+def _json_safe(value: Any) -> Any:
+    """Reduce an experiment row value to a JSON-representable one."""
+    if isinstance(value, (str, bool, int)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item"):        # numpy scalar
+        return value.item()
+    return str(value)
+
+
+class ServiceApp:
+    """The long-lived service: store + workers + limits + artifacts."""
+
+    def __init__(self, config: ServiceConfig,
+                 store: Optional[JobStore] = None):
+        self.config = config
+        os.makedirs(config.artifact_dir, exist_ok=True)
+        self.store = store or SqliteJobStore(config.db_path)
+        self.governor = TenantGovernor(
+            submissions_per_minute=config.submissions_per_minute,
+            submission_burst=config.submission_burst,
+            max_running_per_tenant=config.max_running_per_tenant)
+        self.cache = (ResultCache(config.cache_dir,
+                                  max_bytes=config.cache_max_bytes)
+                      if config.cache_dir else None)
+        self.started_at: Optional[float] = None
+        self.recovered = 0
+        self._stop = threading.Event()
+        self._wake = threading.Condition()
+        self._threads: List[threading.Thread] = []
+        self._previous_engine_config: Optional[EngineConfig] = None
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> "ServiceApp":
+        """Recover the store and start the worker/eviction threads."""
+        if self.started_at is not None:
+            return self
+        self.recovered = self.store.recover()
+        self.started_at = time.time()
+        # Workers execute experiments through the process-global engine
+        # config; install the service's once, restore on stop.
+        self._previous_engine_config = set_config(EngineConfig(
+            jobs=self.config.engine_jobs,
+            cache_dir=self.config.cache_dir))
+        for index in range(max(1, self.config.workers)):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{index}",
+                daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        if self.cache is not None and self.config.cache_max_bytes:
+            thread = threading.Thread(
+                target=self._eviction_loop, name="repro-cache-evict",
+                daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, join: bool = True, timeout: float = 10.0) -> None:
+        """Stop the workers (finishing nothing new) and close the store."""
+        if self.started_at is None:
+            return
+        self._stop.set()
+        with self._wake:
+            self._wake.notify_all()
+        if join:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+        self._threads.clear()
+        if self._previous_engine_config is not None:
+            set_config(self._previous_engine_config)
+            self._previous_engine_config = None
+        self.started_at = None
+        self.store.close()
+
+    # -- API surface (called by the HTTP layer and the test client) --
+
+    def submit(self, payload: Any,
+               tenant: Optional[str] = None) -> Dict[str, Any]:
+        """Validate, rate-limit and enqueue one submission."""
+        spec = JobSpec.from_payload(payload, tenant=tenant)
+        self.governor.admit_submission(spec.tenant)
+        record = self.store.create(spec)
+        with self._wake:
+            self._wake.notify()
+        return record
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self.store.get(job_id)
+
+    def list_jobs(self, tenant: Optional[str] = None,
+                  state: Optional[str] = None,
+                  limit: int = 100) -> List[Dict[str, Any]]:
+        return self.store.list_jobs(tenant=tenant, state=state,
+                                    limit=limit)
+
+    def events(self, job_id: str, after: int = 0,
+               limit: int = 500) -> List[Dict[str, Any]]:
+        self.store.get(job_id)  # 404 for unknown ids
+        return self.store.events(job_id, after=after, limit=limit)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.store.request_cancel(job_id)
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's result rendered as JSON."""
+        record = self._finished(job_id)
+        with open(os.path.join(record["result_path"], "result.pkl"),
+                  "rb") as handle:
+            result = pickle.load(handle)
+        return {
+            "job_id": job_id,
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "columns": list(result.columns),
+            "rows": [[_json_safe(v) for v in row]
+                     for row in result.rows],
+            "notes": result.notes,
+            "extras": sorted(result.extras),
+        }
+
+    def artifact_path(self, job_id: str, name: str = "result.pkl"
+                      ) -> str:
+        """Filesystem path of one artifact of a finished job."""
+        record = self._finished(job_id)
+        if os.path.basename(name) != name:
+            raise KeyError(f"unknown artifact '{name}'")
+        path = os.path.join(record["result_path"], name)
+        if not os.path.isfile(path):
+            raise KeyError(f"unknown artifact '{name}'")
+        return path
+
+    def artifacts(self, job_id: str) -> List[str]:
+        record = self._finished(job_id)
+        return sorted(os.listdir(record["result_path"]))
+
+    def _finished(self, job_id: str) -> Dict[str, Any]:
+        record = self.store.get(job_id)
+        if record["state"] != SUCCEEDED or not record["result_path"]:
+            raise JobNotDone(
+                f"job '{job_id}' is {record['state']}, not succeeded")
+        return record
+
+    def experiments(self) -> List[Dict[str, Any]]:
+        """Every submittable experiment with parameters and defaults."""
+        return [{
+            "id": exp_id,
+            "description": DESCRIPTIONS[exp_id],
+            "parameters": experiment_parameters(exp_id),
+            "quick_params": {k: repr(v) for k, v in
+                             REGISTRY[exp_id][1].items()},
+        } for exp_id in REGISTRY]
+
+    def stats(self) -> Dict[str, Any]:
+        """Store aggregates plus live service counters."""
+        stats = self.store.stats()
+        stats["service"] = {
+            "uptime_s": (time.time() - self.started_at
+                         if self.started_at else 0.0),
+            "workers": self.config.workers,
+            "engine_jobs": self.config.engine_jobs,
+            "recovered_on_start": self.recovered,
+        }
+        if self.cache is not None:
+            stats["cache"] = {
+                "directory": self.cache.directory,
+                "max_bytes": self.cache.max_bytes,
+                "total_bytes": self.cache.total_bytes(),
+                "evicted": self.cache.evicted,
+            }
+        return stats
+
+    # -- workers -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            record = self.store.claim_next(
+                self.governor.saturated_tenants())
+            if record is None:
+                with self._wake:
+                    self._wake.wait(timeout=0.2)
+                continue
+            tenant = record["tenant"]
+            self.governor.job_started(tenant)
+            try:
+                self._run_job(record)
+            finally:
+                self.governor.job_finished(tenant)
+                with self._wake:
+                    self._wake.notify_all()  # capacity freed
+
+    def _run_job(self, record: Dict[str, Any]) -> None:
+        job_id = record["id"]
+        spec = JobSpec.from_dict(record["spec"])
+
+        def cancelled() -> bool:
+            return self.store.cancel_requested(job_id)
+
+        counters = {"engine_jobs": 0, "cache_hits": 0,
+                    "point_failures": 0, "points_cancelled": 0}
+        solves = telemetry.SolveStats()
+
+        def observe(result: JobResult, group: str) -> None:
+            counters["engine_jobs"] += 1
+            counters["cache_hits"] += result.cache_hit
+            counters["point_failures"] += (not result.ok
+                                           and not result.cancelled)
+            counters["points_cancelled"] += result.cancelled
+            solves.merge(result.solves)
+            self.store.append_event(job_id, "point", {
+                "group": group, "tag": result.tag, "ok": result.ok,
+                "cache_hit": result.cache_hit,
+                "cancelled": result.cancelled,
+                "attempts": result.attempts,
+                "wall_time": round(result.wall_time, 6),
+            })
+
+        def summary(wall: float) -> Dict[str, Any]:
+            return {
+                **counters,
+                "wall_time": round(wall, 6),
+                "newton_iterations": solves.newton_iterations,
+                "solver_time": round(solves.solver_time, 6),
+                "steps_accepted": solves.steps_accepted,
+            }
+
+        started = time.perf_counter()
+        if cancelled():
+            self.store.finish(job_id, CANCELLED, summary=summary(0.0))
+            return
+        try:
+            with cancel_scope(cancelled), observing_progress(observe):
+                result = run_experiment(spec.experiment,
+                                        quick=spec.quick,
+                                        params=spec.params)
+        except Exception as err:  # a failed job, never a dead worker
+            self.store.finish(
+                job_id, FAILED,
+                error=f"{type(err).__name__}: {err}",
+                summary=summary(time.perf_counter() - started))
+            return
+        wall = time.perf_counter() - started
+        if cancelled() or counters["points_cancelled"]:
+            # The experiment ran to completion structurally, but some
+            # points were skipped by the cancel: the job is cancelled,
+            # its partial result is not stored.
+            self.store.finish(job_id, CANCELLED,
+                              summary=summary(wall))
+            return
+        result_path = self._store_artifacts(job_id, result)
+        self.store.finish(job_id, SUCCEEDED, result_path=result_path,
+                          summary=summary(wall))
+
+    def _store_artifacts(self, job_id: str, result) -> str:
+        directory = os.path.join(self.config.artifact_dir, job_id)
+        os.makedirs(directory, exist_ok=True)
+        # The pickle is the exact object (numpy extras included); the
+        # CSV and text renderings are the human/spreadsheet views.
+        with open(os.path.join(directory, "result.pkl"), "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        result.save_csv(os.path.join(directory, "result.csv"))
+        with open(os.path.join(directory, "result.txt"), "w") as fh:
+            fh.write(result.to_text() + "\n")
+        return directory
+
+    def _eviction_loop(self) -> None:
+        while not self._stop.wait(timeout=self.config.eviction_interval):
+            try:
+                self.cache.prune(self.config.cache_max_bytes)
+            except OSError:
+                pass  # transient filesystem trouble; retry next tick

@@ -1,0 +1,160 @@
+"""A small stdlib client for the service, used by tests and scripts.
+
+``ServiceClient`` wraps ``http.client`` — one method per endpoint,
+JSON in/out, and a :class:`ServiceError` carrying the HTTP status and
+server-reported message on any non-2xx response.  ``wait()`` polls a
+job to a terminal state with a deadline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Dict, List, Optional
+
+from repro.service.schemas import TERMINAL_STATES
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str,
+                 payload: Optional[Dict[str, Any]] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Talks JSON to a running service at ``host:port``.
+
+    A fresh connection per request keeps the client trivially
+    thread-safe (benchmarks spawn one client per thread anyway).
+    """
+
+    def __init__(self, host: str, port: int,
+                 tenant: Optional[str] = None, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 raw: bool = False) -> Any:
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+        headers = {"Content-Type": "application/json"}
+        if self.tenant:
+            headers["X-Repro-Tenant"] = self.tenant
+        try:
+            conn.request(method, path,
+                         body=json.dumps(body) if body is not None
+                         else None,
+                         headers=headers)
+            response = conn.getresponse()
+            blob = response.read()
+            if not 200 <= response.status < 300:
+                try:
+                    payload = json.loads(blob)
+                except (ValueError, UnicodeDecodeError):
+                    payload = {"error": blob.decode("utf-8",
+                                                    "replace")}
+                raise ServiceError(response.status,
+                                   payload.get("error", "unknown"),
+                                   payload)
+            if raw:
+                return blob
+            return json.loads(blob) if blob else {}
+        finally:
+            conn.close()
+
+    # -- endpoints ---------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/api/health")
+
+    def experiments(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/api/experiments")["experiments"]
+
+    def submit(self, experiment: str,
+               params: Optional[Dict[str, Any]] = None,
+               quick: bool = False) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"experiment": experiment,
+                                "quick": quick}
+        if params:
+            body["params"] = params
+        return self._request("POST", "/api/jobs", body=body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/api/jobs/{job_id}")
+
+    def jobs(self, tenant: Optional[str] = None,
+             state: Optional[str] = None,
+             limit: int = 100) -> List[Dict[str, Any]]:
+        query = [f"limit={limit}"]
+        if tenant:
+            query.append(f"tenant={tenant}")
+        if state:
+            query.append(f"state={state}")
+        return self._request(
+            "GET", f"/api/jobs?{'&'.join(query)}")["jobs"]
+
+    def events(self, job_id: str, after: int = 0,
+               limit: int = 500) -> Dict[str, Any]:
+        return self._request(
+            "GET",
+            f"/api/jobs/{job_id}/events?after={after}&limit={limit}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/api/jobs/{job_id}/result")
+
+    def artifacts(self, job_id: str) -> List[str]:
+        return self._request(
+            "GET", f"/api/jobs/{job_id}/artifacts")["artifacts"]
+
+    def artifact(self, job_id: str, name: str) -> bytes:
+        return self._request(
+            "GET", f"/api/jobs/{job_id}/artifacts/{name}", raw=True)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/api/jobs/{job_id}/cancel")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/api/stats")
+
+    # -- conveniences ------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final job record; raises ``TimeoutError`` if the
+        deadline passes first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after "
+                    f"{timeout:.0f} s")
+            time.sleep(poll)
+
+    def run(self, experiment: str,
+            params: Optional[Dict[str, Any]] = None,
+            quick: bool = False,
+            timeout: float = 120.0) -> Dict[str, Any]:
+        """Submit, wait, and return the result payload (or raise)."""
+        record = self.submit(experiment, params=params, quick=quick)
+        final = self.wait(record["id"], timeout=timeout)
+        if final["state"] != "succeeded":
+            raise ServiceError(
+                500, f"job {record['id']} ended {final['state']}: "
+                     f"{final.get('error')}", final)
+        return self.result(record["id"])

@@ -1,0 +1,276 @@
+"""The HTTP surface: stdlib-only JSON API over :class:`ServiceApp`.
+
+Endpoints (all JSON unless noted)::
+
+    GET  /api/health                      liveness + queue counters
+    GET  /api/experiments                 submittable experiments
+    POST /api/jobs                        submit → 202 {id, state}
+    GET  /api/jobs?tenant=&state=&limit=  recent jobs, newest first
+    GET  /api/jobs/<id>                   job record (poll this)
+    GET  /api/jobs/<id>/events?after=N    progress events (tail by seq)
+    GET  /api/jobs/<id>/result            finished result as JSON
+    GET  /api/jobs/<id>/artifacts         artifact names
+    GET  /api/jobs/<id>/artifacts/<name>  artifact bytes (octet-stream)
+    POST /api/jobs/<id>/cancel            request cancellation
+    GET  /api/stats                       store + service aggregates
+
+The tenant is taken from the ``X-Repro-Tenant`` header (falling back
+to the submission body's ``tenant`` field, then ``"default"``).
+Error mapping: validation → 400, unknown id/artifact → 404, result
+before completion → 409, rate limit → 429 with ``Retry-After``.
+
+Threading model: ``ThreadingHTTPServer`` serves each request on its
+own thread; every handler call is a short store/filesystem read or a
+queue insert — experiments themselves run on the app's worker
+threads, never on request threads.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.app import JobNotDone, ServiceApp, ServiceConfig
+from repro.service.limits import RateLimited
+from repro.service.schemas import ValidationError
+
+_ID = r"(?P<job_id>[0-9a-f]{1,32})"
+_ROUTES = [
+    ("GET", re.compile(r"^/api/health$"), "health"),
+    ("GET", re.compile(r"^/api/experiments$"), "experiments"),
+    ("POST", re.compile(r"^/api/jobs$"), "submit"),
+    ("GET", re.compile(r"^/api/jobs$"), "list_jobs"),
+    ("GET", re.compile(rf"^/api/jobs/{_ID}$"), "job"),
+    ("GET", re.compile(rf"^/api/jobs/{_ID}/events$"), "events"),
+    ("GET", re.compile(rf"^/api/jobs/{_ID}/result$"), "result"),
+    ("GET", re.compile(rf"^/api/jobs/{_ID}/artifacts$"), "artifacts"),
+    ("GET", re.compile(
+        rf"^/api/jobs/{_ID}/artifacts/(?P<name>[\w.-]+)$"),
+     "artifact"),
+    ("POST", re.compile(rf"^/api/jobs/{_ID}/cancel$"), "cancel"),
+    ("GET", re.compile(r"^/api/stats$"), "stats"),
+]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to ``_ep_*`` endpoint methods."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # The server is quiet by default; `serve(verbose=True)` re-enables
+    # the stdlib per-request log line.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    @property
+    def app(self) -> ServiceApp:
+        return self.server.app
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        url = urlparse(self.path)
+        self.query = {k: v[-1] for k, v in
+                      parse_qs(url.query).items()}
+        path_matched = False
+        for verb, pattern, name in _ROUTES:
+            match = pattern.match(url.path)
+            if match is None:
+                continue
+            # A path can carry several verbs (POST/GET /api/jobs):
+            # keep looking for a verb match before concluding 405.
+            path_matched = True
+            if verb != method:
+                continue
+            try:
+                getattr(self, f"_ep_{name}")(**match.groupdict())
+            except ValidationError as err:
+                self._send_json(400, {"error": str(err),
+                                      "details": err.errors})
+            except RateLimited as err:
+                self._send_json(
+                    429, {"error": str(err),
+                          "retry_after": err.retry_after},
+                    headers=[("Retry-After",
+                              f"{max(1, int(err.retry_after + 1))}")])
+            except JobNotDone as err:
+                self._send_json(409, {"error": str(err)})
+            except KeyError as err:
+                self._send_json(404, {"error": err.args[0]
+                                      if err.args else "not found"})
+            except ValueError as err:
+                self._send_json(400, {"error": str(err)})
+            except Exception as err:  # pragma: no cover - last resort
+                self._send_json(500, {"error": f"{type(err).__name__}: "
+                                               f"{err}"})
+            return
+        if path_matched:
+            self._send_json(405, {"error": f"{method} not allowed "
+                                           f"on {url.path}"})
+        else:
+            self._send_json(404, {"error": f"no route for {url.path}"})
+
+    # -- plumbing ----------------------------------------------------
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as err:
+            raise ValidationError([f"request body is not valid JSON: "
+                                   f"{err}"]) from None
+
+    def _tenant(self) -> Optional[str]:
+        return self.headers.get("X-Repro-Tenant") or None
+
+    def _send_json(self, status: int, payload: Any,
+                   headers: Tuple = ()) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- endpoints ---------------------------------------------------
+
+    def _ep_health(self) -> None:
+        stats = self.app.store.stats()
+        self._send_json(200, {"status": "ok",
+                              "queue_depth": stats["queue_depth"],
+                              "running": stats["running"]})
+
+    def _ep_experiments(self) -> None:
+        self._send_json(200, {"experiments": self.app.experiments()})
+
+    def _ep_submit(self) -> None:
+        record = self.app.submit(self._read_body(),
+                                 tenant=self._tenant())
+        self._send_json(202, record)
+
+    def _ep_list_jobs(self) -> None:
+        self._send_json(200, {"jobs": self.app.list_jobs(
+            tenant=self.query.get("tenant"),
+            state=self.query.get("state"),
+            limit=int(self.query.get("limit", 100)))})
+
+    def _ep_job(self, job_id: str) -> None:
+        self._send_json(200, self.app.job(job_id))
+
+    def _ep_events(self, job_id: str) -> None:
+        after = int(self.query.get("after", 0))
+        events = self.app.events(
+            job_id, after=after,
+            limit=int(self.query.get("limit", 500)))
+        self._send_json(200, {
+            "events": events,
+            "next_after": events[-1]["seq"] if events else after,
+        })
+
+    def _ep_result(self, job_id: str) -> None:
+        self._send_json(200, self.app.result(job_id))
+
+    def _ep_artifacts(self, job_id: str) -> None:
+        self._send_json(200, {"artifacts": self.app.artifacts(job_id)})
+
+    def _ep_artifact(self, job_id: str, name: str) -> None:
+        path = self.app.artifact_path(job_id, name)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _ep_cancel(self, job_id: str) -> None:
+        self._send_json(200, self.app.cancel(job_id))
+
+    def _ep_stats(self) -> None:
+        self._send_json(200, self.app.stats())
+
+
+class ServiceServer:
+    """A started app plus its HTTP server, as one handle.
+
+    ``with ServiceServer(config) as server:`` boots the workers and
+    the listener (port 0 picks an ephemeral port — read it back from
+    ``server.port``), serves on a background thread, and tears
+    everything down on exit.  The CLI uses the same object in the
+    foreground via :meth:`serve_forever`.
+    """
+
+    def __init__(self, config: ServiceConfig,
+                 host: str = "127.0.0.1", port: int = 0,
+                 verbose: bool = False,
+                 app: Optional[ServiceApp] = None):
+        self.app = app or ServiceApp(config)
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.app = self.app
+        self.httpd.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    def start(self) -> "ServiceServer":
+        self.app.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-http",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Foreground mode (the CLI): blocks until interrupted."""
+        self.app.start()
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.app.stop()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(config: ServiceConfig, host: str = "127.0.0.1",
+          port: int = 8451, verbose: bool = True) -> None:
+    """Boot the service and serve until interrupted (the CLI entry)."""
+    server = ServiceServer(config, host=host, port=port,
+                           verbose=verbose)
+    print(f"repro service listening on "
+          f"http://{server.host}:{server.port}/api/ "
+          f"(store: {config.db_path})")
+    server.serve_forever()

@@ -1,0 +1,113 @@
+"""Rate and concurrency limits: one tenant cannot starve the rest.
+
+Two mechanisms, both tenant-scoped:
+
+* a :class:`TokenBucket` per tenant throttles *submissions* — a burst
+  budget refilled at a steady rate, so an aggressive client gets 429s
+  instead of flooding the queue;
+* :class:`TenantGovernor` also bounds how many of a tenant's jobs may
+  *run* concurrently, so the worker pool keeps serving other tenants
+  while one tenant's campaign is in flight.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, FrozenSet
+
+
+class RateLimited(RuntimeError):
+    """A submission rejected by the rate limiter (HTTP 429)."""
+
+    def __init__(self, tenant: str, retry_after: float):
+        super().__init__(
+            f"tenant '{tenant}' is over its submission rate; retry "
+            f"in {retry_after:.1f} s")
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity, ``rate``/s refill."""
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be > 0")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self, now: float) -> None:
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._updated) * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            now = time.monotonic()
+            self._refill_locked(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def wait_time(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` would be available (0 if now)."""
+        with self._lock:
+            self._refill_locked(time.monotonic())
+            deficit = tokens - self._tokens
+            return max(0.0, deficit / self.rate)
+
+
+class TenantGovernor:
+    """Per-tenant submission rate + running-job concurrency limits."""
+
+    def __init__(self, *, submissions_per_minute: float = 120.0,
+                 submission_burst: int = 20,
+                 max_running_per_tenant: int = 2):
+        if max_running_per_tenant < 1:
+            raise ValueError("max_running_per_tenant must be >= 1")
+        self.submissions_per_minute = float(submissions_per_minute)
+        self.submission_burst = int(submission_burst)
+        self.max_running = int(max_running_per_tenant)
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._running: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.submissions_per_minute / 60.0,
+                    self.submission_burst)
+            return bucket
+
+    def admit_submission(self, tenant: str) -> None:
+        """Charge one submission; raises :class:`RateLimited` when the
+        tenant's bucket is dry."""
+        bucket = self._bucket(tenant)
+        if not bucket.try_acquire():
+            raise RateLimited(tenant, bucket.wait_time())
+
+    def job_started(self, tenant: str) -> None:
+        with self._lock:
+            self._running[tenant] = self._running.get(tenant, 0) + 1
+
+    def job_finished(self, tenant: str) -> None:
+        with self._lock:
+            count = self._running.get(tenant, 0) - 1
+            if count <= 0:
+                self._running.pop(tenant, None)
+            else:
+                self._running[tenant] = count
+
+    def saturated_tenants(self) -> FrozenSet[str]:
+        """Tenants at their running-job cap (skipped by claim_next)."""
+        with self._lock:
+            return frozenset(t for t, n in self._running.items()
+                             if n >= self.max_running)

@@ -1,0 +1,143 @@
+"""Job specifications and the job lifecycle state machine.
+
+A submitted job is a :class:`JobSpec`: which experiment to run, with
+which ``run()`` keyword arguments, for which tenant.  Validation
+happens here, at the submission boundary — a spec that validates is
+guaranteed dispatchable by a worker, so a typo costs a 400 response
+instead of a failed job minutes later.
+
+States form a small explicit machine::
+
+                 submit            claim
+    (created) ─────────> queued ─────────> running ──> succeeded
+                           │                  │  │
+                           │ cancel           │  └───> failed
+                           │                  │ cancel
+                           └──> cancelled <───┘
+                           ▲
+              restart      │
+    running ──────────> queued   (recovery: in-flight work resumes)
+
+``queued → running → succeeded | failed | cancelled`` is the normal
+life; a server restart demotes ``running`` back to ``queued`` so
+in-flight work resumes instead of stranding.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.registry import validate_params
+
+#: Every job state, in lifecycle order.
+QUEUED = "queued"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+
+#: States a job never leaves (except ``running → queued`` on restart,
+#: which is recovery, not a transition the API exposes).
+TERMINAL_STATES = frozenset({SUCCEEDED, FAILED, CANCELLED})
+
+#: Legal transitions of the lifecycle machine.
+TRANSITIONS = {
+    QUEUED: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({SUCCEEDED, FAILED, CANCELLED, QUEUED}),
+    SUCCEEDED: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+DEFAULT_TENANT = "default"
+
+
+class ValidationError(ValueError):
+    """A submission that cannot become a job; carries every problem."""
+
+    def __init__(self, errors: List[str]):
+        super().__init__("; ".join(errors))
+        self.errors = list(errors)
+
+
+def check_transition(current: str, target: str) -> None:
+    """Raise ``ValueError`` unless ``current → target`` is legal."""
+    if target not in TRANSITIONS.get(current, frozenset()):
+        raise ValueError(
+            f"illegal job state transition {current!r} -> {target!r}")
+
+
+@dataclass
+class JobSpec:
+    """What to run: the validated, persistable submission payload."""
+
+    experiment: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    quick: bool = False
+    tenant: str = DEFAULT_TENANT
+
+    @classmethod
+    def from_payload(cls, payload: Any,
+                     tenant: Optional[str] = None) -> "JobSpec":
+        """Validate a decoded JSON submission body into a spec.
+
+        ``tenant`` (e.g. from a header) wins over the body's field.
+        Raises :class:`ValidationError` listing *every* problem.
+        """
+        errors: List[str] = []
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                [f"submission body must be a JSON object, got "
+                 f"{type(payload).__name__}"])
+        unknown = set(payload) - {"experiment", "params", "quick",
+                                  "tenant"}
+        if unknown:
+            errors.append(f"unknown field(s): "
+                          f"{', '.join(sorted(unknown))}")
+        experiment = payload.get("experiment")
+        if not isinstance(experiment, str) or not experiment:
+            errors.append("'experiment' must be a non-empty string")
+            experiment = ""
+        params = payload.get("params") or {}
+        quick = payload.get("quick", False)
+        if not isinstance(quick, bool):
+            errors.append("'quick' must be a boolean")
+            quick = False
+        tenant = tenant or payload.get("tenant") or DEFAULT_TENANT
+        if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+            errors.append(
+                "'tenant' must match [A-Za-z0-9._-]{1,64}")
+            tenant = DEFAULT_TENANT
+        if experiment:
+            errors.extend(validate_params(experiment, params))
+        if isinstance(params, dict):
+            try:
+                json.dumps(params)
+            except (TypeError, ValueError):
+                errors.append("'params' must be JSON-serialisable")
+        else:
+            errors.append(f"'params' must be an object, got "
+                          f"{type(params).__name__}")
+            params = {}
+        if errors:
+            raise ValidationError(errors)
+        return cls(experiment=experiment, params=dict(params),
+                   quick=quick, tenant=tenant)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"experiment": self.experiment, "params": self.params,
+                "quick": self.quick, "tenant": self.tenant}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        return cls(experiment=data["experiment"],
+                   params=dict(data.get("params") or {}),
+                   quick=bool(data.get("quick", False)),
+                   tenant=data.get("tenant") or DEFAULT_TENANT)

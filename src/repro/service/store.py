@@ -1,0 +1,378 @@
+"""Persistent job store: the service's source of truth.
+
+:class:`JobStore` is the thin interface the service layer programs
+against; :class:`SqliteJobStore` is the first implementation.  The
+interface is deliberately small and value-oriented (dict in, dict out,
+JSON-safe) so a different backing store — Postgres, Redis, a cloud
+queue — can swap in without touching the app or HTTP layers.
+
+Two tables::
+
+    jobs(id PRIMARY KEY, tenant, experiment, spec, state,
+         created, started, finished, cancel_requested,
+         error, result_path, summary)
+    events(job_id, seq, ts, kind, payload, PRIMARY KEY(job_id, seq))
+
+``spec`` and ``summary`` are JSON blobs; ``events`` is the append-only
+progress log (state transitions, per-point engine results, telemetry
+summaries) that the tail endpoint serves incrementally by ``seq``.
+
+Every mutation happens inside one lock-guarded transaction on a single
+WAL-mode connection, so the store is safe to share between the HTTP
+threads and the worker threads of one server process, and crash-safe
+across server restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.service.schemas import (
+    CANCELLED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobSpec,
+    check_transition,
+)
+
+
+class JobStore:
+    """Interface every job-store backend implements."""
+
+    def create(self, spec: JobSpec) -> Dict[str, Any]:
+        """Persist a new queued job; returns its record."""
+        raise NotImplementedError
+
+    def get(self, job_id: str) -> Dict[str, Any]:
+        """The record of one job; raises ``KeyError`` if unknown."""
+        raise NotImplementedError
+
+    def list_jobs(self, tenant: Optional[str] = None,
+                  state: Optional[str] = None,
+                  limit: int = 100) -> List[Dict[str, Any]]:
+        """Recent job records, newest first, optionally filtered."""
+        raise NotImplementedError
+
+    def claim_next(self, exclude_tenants: Iterable[str] = ()
+                   ) -> Optional[Dict[str, Any]]:
+        """Atomically move the oldest eligible queued job to running."""
+        raise NotImplementedError
+
+    def finish(self, job_id: str, state: str, *,
+               error: Optional[str] = None,
+               result_path: Optional[str] = None,
+               summary: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
+        """Move a running job to a terminal state."""
+        raise NotImplementedError
+
+    def request_cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a queued job now; flag a running one for its worker."""
+        raise NotImplementedError
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """Whether a cancel has been requested for this job."""
+        raise NotImplementedError
+
+    def append_event(self, job_id: str, kind: str,
+                     payload: Optional[Dict[str, Any]] = None) -> int:
+        """Append one progress event; returns its sequence number."""
+        raise NotImplementedError
+
+    def events(self, job_id: str, after: int = 0,
+               limit: int = 500) -> List[Dict[str, Any]]:
+        """Events of one job with ``seq > after``, oldest first."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate statistics across every job ever stored."""
+        raise NotImplementedError
+
+    def recover(self) -> int:
+        """Requeue jobs left ``running`` by a dead server; returns
+        how many were requeued."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class SqliteJobStore(JobStore):
+    """SQLite-backed job store (one file, WAL mode, thread-safe)."""
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS jobs (
+        id               TEXT PRIMARY KEY,
+        tenant           TEXT NOT NULL,
+        experiment       TEXT NOT NULL,
+        spec             TEXT NOT NULL,
+        state            TEXT NOT NULL,
+        created          REAL NOT NULL,
+        started          REAL,
+        finished         REAL,
+        cancel_requested INTEGER NOT NULL DEFAULT 0,
+        error            TEXT,
+        result_path      TEXT,
+        summary          TEXT
+    );
+    CREATE INDEX IF NOT EXISTS jobs_state_created
+        ON jobs(state, created);
+    CREATE INDEX IF NOT EXISTS jobs_tenant ON jobs(tenant);
+    CREATE TABLE IF NOT EXISTS events (
+        job_id  TEXT NOT NULL,
+        seq     INTEGER NOT NULL,
+        ts      REAL NOT NULL,
+        kind    TEXT NOT NULL,
+        payload TEXT,
+        PRIMARY KEY (job_id, seq)
+    );
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # One shared connection under a lock: simple, correct, and
+        # plenty for a store whose transactions are all sub-millisecond
+        # metadata writes (results live on the filesystem, not here).
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=5000")
+            self._conn.executescript(self._SCHEMA)
+            self._conn.commit()
+
+    # -- helpers -----------------------------------------------------
+
+    @staticmethod
+    def _record(row: sqlite3.Row) -> Dict[str, Any]:
+        record = dict(row)
+        record["spec"] = json.loads(record["spec"])
+        record["summary"] = (json.loads(record["summary"])
+                             if record["summary"] else None)
+        record["cancel_requested"] = bool(record["cancel_requested"])
+        return record
+
+    def _get_locked(self, job_id: str) -> Dict[str, Any]:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+        if row is None:
+            raise KeyError(f"unknown job '{job_id}'")
+        return self._record(row)
+
+    def _append_event_locked(self, job_id: str, kind: str,
+                             payload: Optional[Dict[str, Any]]) -> int:
+        seq = self._conn.execute(
+            "SELECT COALESCE(MAX(seq), 0) + 1 FROM events "
+            "WHERE job_id = ?", (job_id,)).fetchone()[0]
+        self._conn.execute(
+            "INSERT INTO events (job_id, seq, ts, kind, payload) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (job_id, seq, time.time(), kind,
+             json.dumps(payload) if payload is not None else None))
+        return seq
+
+    # -- JobStore interface ------------------------------------------
+
+    def create(self, spec: JobSpec) -> Dict[str, Any]:
+        job_id = uuid.uuid4().hex[:16]
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO jobs (id, tenant, experiment, spec, "
+                "state, created) VALUES (?, ?, ?, ?, ?, ?)",
+                (job_id, spec.tenant, spec.experiment,
+                 json.dumps(spec.to_dict()), QUEUED, time.time()))
+            self._append_event_locked(
+                job_id, "submitted",
+                {"experiment": spec.experiment, "tenant": spec.tenant})
+            self._conn.commit()
+            return self._get_locked(job_id)
+
+    def get(self, job_id: str) -> Dict[str, Any]:
+        with self._lock:
+            return self._get_locked(job_id)
+
+    def list_jobs(self, tenant: Optional[str] = None,
+                  state: Optional[str] = None,
+                  limit: int = 100) -> List[Dict[str, Any]]:
+        clauses, args = [], []
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            args.append(tenant)
+        if state is not None:
+            clauses.append("state = ?")
+            args.append(state)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        args.append(max(1, int(limit)))
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT * FROM jobs {where} "
+                f"ORDER BY created DESC, id DESC LIMIT ?",
+                args).fetchall()
+            return [self._record(row) for row in rows]
+
+    def claim_next(self, exclude_tenants: Iterable[str] = ()
+                   ) -> Optional[Dict[str, Any]]:
+        excluded = sorted(set(exclude_tenants))
+        holes = ",".join("?" for _ in excluded)
+        not_in = f"AND tenant NOT IN ({holes})" if excluded else ""
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT id FROM jobs WHERE state = ? {not_in} "
+                f"ORDER BY created, id LIMIT 1",
+                [QUEUED, *excluded]).fetchone()
+            if row is None:
+                return None
+            job_id = row["id"]
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, started = ? "
+                "WHERE id = ? AND state = ?",
+                (RUNNING, time.time(), job_id, QUEUED))
+            self._append_event_locked(job_id, "started", None)
+            self._conn.commit()
+            return self._get_locked(job_id)
+
+    def finish(self, job_id: str, state: str, *,
+               error: Optional[str] = None,
+               result_path: Optional[str] = None,
+               summary: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"finish() needs a terminal state, "
+                             f"got {state!r}")
+        with self._lock:
+            record = self._get_locked(job_id)
+            check_transition(record["state"], state)
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, finished = ?, error = ?, "
+                "result_path = ?, summary = ? WHERE id = ?",
+                (state, time.time(), error, result_path,
+                 json.dumps(summary) if summary is not None else None,
+                 job_id))
+            self._append_event_locked(
+                job_id, state,
+                {"error": error} if error else None)
+            self._conn.commit()
+            return self._get_locked(job_id)
+
+    def request_cancel(self, job_id: str) -> Dict[str, Any]:
+        with self._lock:
+            record = self._get_locked(job_id)
+            state = record["state"]
+            if state in TERMINAL_STATES:
+                return record  # nothing to cancel; idempotent
+            if state == QUEUED:
+                # Never started: cancel immediately.
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, finished = ?, "
+                    "cancel_requested = 1 WHERE id = ? AND state = ?",
+                    (CANCELLED, time.time(), job_id, QUEUED))
+                self._append_event_locked(job_id, CANCELLED, None)
+            else:
+                # Running: flag it; the worker's cancel_scope observes
+                # the flag between engine jobs / retry rungs.
+                self._conn.execute(
+                    "UPDATE jobs SET cancel_requested = 1 "
+                    "WHERE id = ?", (job_id,))
+                self._append_event_locked(job_id, "cancel-requested",
+                                          None)
+            self._conn.commit()
+            return self._get_locked(job_id)
+
+    def cancel_requested(self, job_id: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT cancel_requested FROM jobs WHERE id = ?",
+                (job_id,)).fetchone()
+            return bool(row and row["cancel_requested"])
+
+    def append_event(self, job_id: str, kind: str,
+                     payload: Optional[Dict[str, Any]] = None) -> int:
+        with self._lock:
+            seq = self._append_event_locked(job_id, kind, payload)
+            self._conn.commit()
+            return seq
+
+    def events(self, job_id: str, after: int = 0,
+               limit: int = 500) -> List[Dict[str, Any]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT seq, ts, kind, payload FROM events "
+                "WHERE job_id = ? AND seq > ? ORDER BY seq LIMIT ?",
+                (job_id, int(after), max(1, int(limit)))).fetchall()
+        return [{"seq": row["seq"], "ts": row["ts"],
+                 "kind": row["kind"],
+                 "payload": (json.loads(row["payload"])
+                             if row["payload"] else {})}
+                for row in rows]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            by_state = dict(self._conn.execute(
+                "SELECT state, COUNT(*) FROM jobs "
+                "GROUP BY state").fetchall())
+            by_experiment = dict(self._conn.execute(
+                "SELECT experiment, COUNT(*) FROM jobs "
+                "GROUP BY experiment").fetchall())
+            summaries = [json.loads(row[0]) for row in
+                         self._conn.execute(
+                             "SELECT summary FROM jobs "
+                             "WHERE summary IS NOT NULL").fetchall()]
+        totals = {"engine_jobs": 0, "cache_hits": 0,
+                  "point_failures": 0, "wall_time": 0.0}
+        for summary in summaries:
+            for key in totals:
+                totals[key] = (totals[key]
+                               + summary.get(key, 0))
+        return {
+            "jobs": sum(by_state.values()),
+            "by_state": {state: by_state.get(state, 0)
+                         for state in sorted(by_state)},
+            "by_experiment": by_experiment,
+            "queue_depth": by_state.get(QUEUED, 0),
+            "running": by_state.get(RUNNING, 0),
+            "totals": totals,
+        }
+
+    def recover(self) -> int:
+        """Requeue every ``running`` job (the server that claimed them
+        is gone).  Cancel-requested ones complete their cancellation
+        instead of restarting."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id, cancel_requested FROM jobs "
+                "WHERE state = ?", (RUNNING,)).fetchall()
+            requeued = 0
+            for row in rows:
+                job_id = row["id"]
+                if row["cancel_requested"]:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ?, finished = ? "
+                        "WHERE id = ?",
+                        (CANCELLED, time.time(), job_id))
+                    self._append_event_locked(job_id, CANCELLED, None)
+                    continue
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, started = NULL "
+                    "WHERE id = ?", (QUEUED, job_id))
+                self._append_event_locked(
+                    job_id, "requeued",
+                    {"reason": "server restart"})
+                requeued += 1
+            self._conn.commit()
+            return requeued
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

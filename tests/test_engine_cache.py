@@ -184,6 +184,164 @@ class TestResultCache:
         assert cache.get(job_key(task_a, (1,))) == (True, 1)
 
 
+class TestPrune:
+    def _fill(self, cache, n, age_step=10.0):
+        """Store n entries with strictly increasing mtimes."""
+        keys = [job_key(task_a, (i,)) for i in range(n)]
+        now = time.time()
+        for i, key in enumerate(keys):
+            cache.put(key, list(range(50)))
+            when = now - age_step * (n - i)
+            os.utime(cache._path(key), (when, when))
+        return keys
+
+    def test_prune_evicts_least_recently_used_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        keys = self._fill(cache, 4)
+        per_entry = cache.total_bytes() // 4
+        result = cache.prune(2 * per_entry)
+        assert result.removed == 2
+        # The two oldest are gone; the two newest survive.
+        assert cache.get(keys[0])[0] is False
+        assert cache.get(keys[1])[0] is False
+        assert cache.get(keys[2])[0] is True
+        assert cache.get(keys[3])[0] is True
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        keys = self._fill(cache, 4)
+        # Touch the oldest entry via a hit: it becomes the newest.
+        assert cache.get(keys[0])[0] is True
+        per_entry = cache.total_bytes() // 4
+        cache.prune(2 * per_entry)
+        assert cache.get(keys[0])[0] is True   # survived: recently used
+        assert cache.get(keys[1])[0] is False  # now the LRU, evicted
+
+    def test_prune_zero_budget_empties_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        self._fill(cache, 3)
+        result = cache.prune(0)
+        assert result.removed == 3
+        assert result.remaining == 0
+        assert result.remaining_bytes == 0
+        assert cache.total_bytes() == 0
+
+    def test_prune_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(str(tmp_path)).prune(-1)
+
+    def test_prune_under_budget_is_noop(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        self._fill(cache, 3)
+        total = cache.total_bytes()
+        result = cache.prune(total)
+        assert result.removed == 0 and result.freed_bytes == 0
+        assert result.remaining == 3
+        assert result.remaining_bytes == total
+
+    def test_prune_result_accounts_bytes(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        self._fill(cache, 4)
+        before = cache.total_bytes()
+        result = cache.prune(before // 2)
+        assert result.freed_bytes + result.remaining_bytes == before
+        assert result.remaining_bytes <= before // 2
+        assert cache.evicted == result.removed
+
+    def test_max_bytes_bounds_cache_across_puts(self, tmp_path):
+        # A budget of roughly two entries: hammer in twenty and the
+        # store must stay near the budget (auto-prune fires every
+        # max_bytes//10 written, so transient overshoot is bounded).
+        probe = ResultCache(str(tmp_path) + "-probe")
+        probe.put(job_key(task_a, (0,)), list(range(50)))
+        per_entry = probe.total_bytes()
+        cache = ResultCache(str(tmp_path), max_bytes=2 * per_entry)
+        for i in range(20):
+            cache.put(job_key(task_a, (i,)), list(range(50)))
+        assert cache.evicted > 0
+        assert cache.total_bytes() <= 3 * per_entry
+        # The most recent entry is always retained.
+        assert cache.get(job_key(task_a, (19,)))[0] is True
+
+    def test_construction_prunes_oversized_store(self, tmp_path):
+        grower = ResultCache(str(tmp_path))
+        self._fill(grower, 6)
+        budget = cache_budget = grower.total_bytes() // 2
+        bounded = ResultCache(str(tmp_path), max_bytes=budget)
+        assert bounded.total_bytes() <= cache_budget
+
+
+class TestConcurrentAccess:
+    def test_readers_never_see_torn_writes(self, tmp_path):
+        """Writers and readers race on the same keys; every hit must
+        deserialise to the exact value for that key (atomic
+        tmp+rename means a reader sees old, new, or nothing)."""
+        import threading
+
+        keys = [job_key(task_a, (i,)) for i in range(8)]
+        expected = {key: {"key": key, "blob": list(range(200))}
+                    for key in keys}
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            cache = ResultCache(str(tmp_path))
+            for _ in range(30):
+                for key in keys:
+                    cache.put(key, expected[key])
+
+        def reader():
+            cache = ResultCache(str(tmp_path))
+            while not stop.is_set():
+                for key in keys:
+                    hit, value = cache.get(key)
+                    if hit and value != expected[key]:
+                        errors.append((key, value))
+            if cache.corrupt:
+                errors.append(("corrupt-entries", cache.corrupt))
+
+        writers = [threading.Thread(target=writer) for _ in range(2)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert errors == []
+
+    def test_tmp_sweep_leaves_live_writer_alone(self, tmp_path):
+        """Constructing a cache (which sweeps stale .tmp files) while
+        another runner is mid-write must not lose the write: only
+        *old* leftovers are swept, so a concurrent writer's fresh
+        temp file always survives to be renamed."""
+        import threading
+
+        key = job_key(task_a, (1,))
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            cache = ResultCache(str(tmp_path))
+            while not stop.is_set():
+                cache.put(key, "live")
+                hit, value = cache.get(key)
+                if not hit or value != "live":
+                    failures.append(value)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        # Re-construct caches in a tight loop: every construction runs
+        # the stale-.tmp sweep against the writer's directory.
+        for _ in range(50):
+            ResultCache(str(tmp_path))
+        stop.set()
+        thread.join()
+        assert failures == []
+        assert ResultCache(str(tmp_path)).get(key) == (True, "live")
+
+
 class TestNetlistFingerprint:
     def test_stable_and_sensitive(self):
         from repro.library.dynamic_logic import (

@@ -180,6 +180,148 @@ class TestConfig:
             run_jobs([Job(square, (1,))], cache=None, jobs=0)
 
 
+class TestCancellation:
+    def test_cancel_before_start_marks_cancelled(self):
+        results = run_jobs([Job(square, (i,)) for i in range(3)],
+                           cache=None, cancel=lambda: True)
+        assert all(r.cancelled for r in results)
+        assert all(not r.ok for r in results)
+        # Cancelled is its own terminal state, not a failure.
+        assert all(r.failure is None for r in results)
+        assert all(r.attempts == 0 for r in results)
+
+    def test_cancel_mid_sweep_stops_remaining(self):
+        ran = []
+
+        def record(x):
+            ran.append(x)
+            return x
+
+        results = run_jobs([Job(record, (i,)) for i in range(6)],
+                           cache=None, cancel=lambda: len(ran) >= 2)
+        assert ran == [0, 1]
+        assert [r.ok for r in results] == [True, True] + [False] * 4
+        assert [r.cancelled for r in results] == [False] * 2 + [True] * 4
+
+    def test_cancel_mid_ladder_is_not_retries_exhausted(self):
+        """A job cancelled between retry rungs must land as cancelled
+        with the attempts made so far — never as a failure that looks
+        like the ladder was exhausted."""
+        attempts = []
+
+        def flaky(x):
+            attempts.append(x)
+            raise ConvergenceError("still settling")
+
+        results = run_jobs([Job(flaky, (0,), tag="mid-ladder")],
+                           cache=None, cancel=lambda: len(attempts) >= 1)
+        result = results[0]
+        assert result.cancelled
+        assert result.failure is None
+        assert result.attempts == 1
+        assert result.attempts < 1 + len(DEFAULT_LADDER)
+
+    def test_cancel_scope_is_ambient_and_restored(self):
+        from repro.engine.runner import cancel_scope
+        with cancel_scope(lambda: True):
+            inside = run_jobs([Job(square, (2,))], cache=None)
+        after = run_jobs([Job(square, (2,))], cache=None)
+        assert inside[0].cancelled
+        assert after[0].ok and after[0].value == 4
+
+    def test_cancelled_results_are_not_cached(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_jobs([Job(square, (3,))], cache=cache, cancel=lambda: True)
+        results = run_jobs([Job(square, (3,))], cache=cache)
+        assert not results[0].cache_hit  # nothing was stored
+        assert results[0].ok and results[0].value == 9
+
+    def test_parallel_mode_cancels_unstarted_tasks(self):
+        # The cancel callable stays in the parent process; with the
+        # flag already set, every future still pending (beyond the
+        # pool's small call queue) is cancelled in one pass.
+        results = run_jobs([Job(slow_square, (i,)) for i in range(8)],
+                           cache=None, jobs=2, cancel=lambda: True)
+        assert any(r.cancelled for r in results)
+        assert all(r.failure is None for r in results if r.cancelled)
+
+    def test_telemetry_separates_cancelled_from_failures(self):
+        from repro.engine import telemetry
+        telemetry.SESSION.reset()
+        ran = []
+
+        def record(x):
+            ran.append(x)
+            return x
+
+        run_jobs([Job(record, (i,)) for i in range(4)], cache=None,
+                 group="cancelled-sweep", cancel=lambda: len(ran) >= 1)
+        summary = telemetry.SESSION.group_summary("cancelled-sweep")
+        assert summary["jobs"] == 4
+        assert summary["failures"] == 0       # nothing *failed*
+        assert summary["cancelled"] == 3
+        telemetry.SESSION.reset()
+
+
+class TestProgressObservers:
+    def test_observer_sees_every_result_in_order(self, tmp_path):
+        from repro.engine.runner import observing_progress
+        cache = ResultCache(str(tmp_path))
+        seen = []
+        tasks = [Job(square, (i,), tag=f"p{i}") for i in range(3)]
+        with observing_progress(lambda r, g: seen.append((g, r.tag,
+                                                          r.cache_hit))):
+            run_jobs(tasks, cache=cache, group="sweep")
+            run_jobs(tasks, cache=cache, group="sweep")
+        assert seen[:3] == [("sweep", "p0", False),
+                            ("sweep", "p1", False),
+                            ("sweep", "p2", False)]
+        # Cache hits are reported too — a service streaming progress
+        # sees warm points, not a silent fast-forward.
+        assert seen[3:] == [("sweep", "p0", True),
+                            ("sweep", "p1", True),
+                            ("sweep", "p2", True)]
+
+    def test_observer_sees_failures_and_cancellations(self):
+        from repro.engine.runner import observing_progress
+        seen = []
+        with observing_progress(lambda r, g: seen.append(r)):
+            run_jobs([Job(fails_on_two, (2,))], cache=None)
+            run_jobs([Job(square, (1,))], cache=None,
+                     cancel=lambda: True)
+        assert not seen[0].ok and seen[0].failure is not None
+        assert seen[1].cancelled
+
+    def test_observer_removed_after_context(self):
+        from repro.engine.runner import observing_progress
+        seen = []
+        with observing_progress(lambda r, g: seen.append(r)):
+            run_jobs([Job(square, (1,))], cache=None)
+        run_jobs([Job(square, (2,))], cache=None)
+        assert len(seen) == 1
+
+    def test_observers_are_thread_local(self):
+        """An observer registered in one thread must not fire for
+        sweeps run by another thread (two service workers must not
+        see each other's progress)."""
+        import threading
+
+        from repro.engine.runner import observing_progress
+        mine, theirs = [], []
+
+        def other_thread():
+            with observing_progress(lambda r, g: theirs.append(r.tag)):
+                run_jobs([Job(square, (9,), tag="theirs")], cache=None)
+
+        with observing_progress(lambda r, g: mine.append(r.tag)):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+            run_jobs([Job(square, (1,), tag="mine")], cache=None)
+        assert mine == ["mine"]
+        assert theirs == ["theirs"]
+
+
 class TestMapJobs:
     def test_maps_argument_tuples(self):
         results = map_jobs(square, [(1,), (2,), (3,)], cache=None)

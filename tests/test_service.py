@@ -1,0 +1,528 @@
+"""Tests for the simulation service: schemas, store, limits, HTTP."""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.engine.runner import Job, run_jobs
+from repro.experiments.registry import run_experiment
+from repro.experiments.result import ExperimentResult
+from repro.service import (
+    CANCELLED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    JobSpec,
+    RateLimited,
+    ServiceApp,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceServer,
+    SqliteJobStore,
+    TenantGovernor,
+    TokenBucket,
+    ValidationError,
+)
+from repro.service.schemas import check_transition
+
+#: Small but real fig09 sweep: 2 sigma levels x 2 keeper widths.
+FIG09_PARAMS = {"sigma_levels": [0.05, 0.15],
+                "keeper_widths": [8e-07, 2e-06]}
+
+
+def service_config(tmp_path, **overrides):
+    defaults = dict(data_dir=str(tmp_path / "svc"),
+                    cache_dir=str(tmp_path / "cache"))
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+class TestJobSpec:
+    def test_minimal_payload_validates(self):
+        spec = JobSpec.from_payload({"experiment": "fig01"})
+        assert spec.experiment == "fig01"
+        assert spec.params == {} and spec.quick is False
+        assert spec.tenant == "default"
+
+    def test_full_payload_round_trips(self):
+        payload = {"experiment": "fig09", "params": FIG09_PARAMS,
+                   "quick": True, "tenant": "team-a"}
+        spec = JobSpec.from_payload(payload)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_header_tenant_wins_over_body(self):
+        spec = JobSpec.from_payload(
+            {"experiment": "fig01", "tenant": "body"}, tenant="header")
+        assert spec.tenant == "header"
+
+    def test_unknown_experiment_rejected_with_known_list(self):
+        with pytest.raises(ValidationError, match="fig01"):
+            JobSpec.from_payload({"experiment": "not-a-figure"})
+
+    def test_unknown_run_parameter_rejected(self):
+        with pytest.raises(ValidationError, match="fan_in"):
+            JobSpec.from_payload({"experiment": "fig09",
+                                  "params": {"fan_innn": 8}})
+
+    def test_every_problem_reported_at_once(self):
+        try:
+            JobSpec.from_payload({"experiment": "", "quick": "yes",
+                                  "bogus": 1})
+        except ValidationError as err:
+            assert len(err.errors) == 3
+        else:
+            pytest.fail("expected ValidationError")
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            JobSpec.from_payload(["fig01"])
+
+    def test_bad_tenant_rejected(self):
+        with pytest.raises(ValidationError, match="tenant"):
+            JobSpec.from_payload({"experiment": "fig01",
+                                  "tenant": "no spaces allowed"})
+
+    def test_unserialisable_params_rejected(self):
+        with pytest.raises(ValidationError, match="serialisable"):
+            JobSpec.from_payload({"experiment": "fig09",
+                                  "params": {"fan_in": {1, 2}}})
+
+
+class TestStateMachine:
+    def test_normal_lifecycle_is_legal(self):
+        check_transition(QUEUED, RUNNING)
+        check_transition(RUNNING, SUCCEEDED)
+        check_transition(RUNNING, FAILED)
+        check_transition(RUNNING, CANCELLED)
+        check_transition(QUEUED, CANCELLED)
+        check_transition(RUNNING, QUEUED)  # restart recovery
+
+    def test_terminal_states_are_sinks(self):
+        for terminal in (SUCCEEDED, FAILED, CANCELLED):
+            for target in (QUEUED, RUNNING, SUCCEEDED):
+                with pytest.raises(ValueError, match="illegal"):
+                    check_transition(terminal, target)
+
+    def test_queued_cannot_jump_to_succeeded(self):
+        with pytest.raises(ValueError, match="illegal"):
+            check_transition(QUEUED, SUCCEEDED)
+
+
+class TestSqliteJobStore:
+    @pytest.fixture
+    def store(self, tmp_path):
+        store = SqliteJobStore(str(tmp_path / "jobs.sqlite3"))
+        yield store
+        store.close()
+
+    def test_create_and_get(self, store):
+        record = store.create(JobSpec(experiment="fig01", quick=True))
+        loaded = store.get(record["id"])
+        assert loaded["state"] == QUEUED
+        assert loaded["experiment"] == "fig01"
+        assert loaded["spec"]["quick"] is True
+
+    def test_get_unknown_raises_keyerror(self, store):
+        with pytest.raises(KeyError):
+            store.get("feedface")
+
+    def test_claim_is_fifo(self, store):
+        first = store.create(JobSpec(experiment="fig01"))
+        second = store.create(JobSpec(experiment="fig02"))
+        assert store.claim_next()["id"] == first["id"]
+        assert store.claim_next()["id"] == second["id"]
+        assert store.claim_next() is None
+
+    def test_claim_skips_excluded_tenants(self, store):
+        store.create(JobSpec(experiment="fig01", tenant="busy"))
+        other = store.create(JobSpec(experiment="fig01", tenant="idle"))
+        claimed = store.claim_next(exclude_tenants={"busy"})
+        assert claimed["id"] == other["id"]
+
+    def test_finish_success_records_result(self, store):
+        record = store.create(JobSpec(experiment="fig01"))
+        store.claim_next()
+        done = store.finish(record["id"], SUCCEEDED,
+                            result_path="/tmp/x",
+                            summary={"engine_jobs": 3})
+        assert done["state"] == SUCCEEDED
+        assert done["result_path"] == "/tmp/x"
+        assert done["summary"]["engine_jobs"] == 3
+
+    def test_finish_requires_legal_transition(self, store):
+        record = store.create(JobSpec(experiment="fig01"))
+        with pytest.raises(ValueError, match="illegal"):
+            store.finish(record["id"], SUCCEEDED)  # still queued
+
+    def test_cancel_queued_is_immediate(self, store):
+        record = store.create(JobSpec(experiment="fig01"))
+        cancelled = store.request_cancel(record["id"])
+        assert cancelled["state"] == CANCELLED
+        assert store.claim_next() is None
+
+    def test_cancel_running_sets_flag_for_worker(self, store):
+        record = store.create(JobSpec(experiment="fig01"))
+        store.claim_next()
+        flagged = store.request_cancel(record["id"])
+        assert flagged["state"] == RUNNING  # worker finishes it
+        assert store.cancel_requested(record["id"])
+        done = store.finish(record["id"], CANCELLED)
+        assert done["state"] == CANCELLED
+
+    def test_cancel_terminal_is_idempotent(self, store):
+        record = store.create(JobSpec(experiment="fig01"))
+        store.request_cancel(record["id"])
+        again = store.request_cancel(record["id"])
+        assert again["state"] == CANCELLED
+
+    def test_events_tail_incrementally(self, store):
+        record = store.create(JobSpec(experiment="fig01"))
+        job_id = record["id"]
+        for i in range(5):
+            store.append_event(job_id, "point", {"i": i})
+        head = store.events(job_id, limit=3)
+        assert [e["payload"].get("i") for e in head][-2:] == [0, 1]
+        tail = store.events(job_id, after=head[-1]["seq"])
+        assert [e["payload"]["i"] for e in tail] == [2, 3, 4]
+
+    def test_recover_requeues_running_jobs(self, store):
+        record = store.create(JobSpec(experiment="fig01"))
+        store.claim_next()
+        assert store.recover() == 1
+        assert store.get(record["id"])["state"] == QUEUED
+        kinds = [e["kind"] for e in store.events(record["id"])]
+        assert "requeued" in kinds
+
+    def test_recover_honours_pending_cancel(self, store):
+        record = store.create(JobSpec(experiment="fig01"))
+        store.claim_next()
+        store.request_cancel(record["id"])
+        assert store.recover() == 0
+        assert store.get(record["id"])["state"] == CANCELLED
+
+    def test_records_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "jobs.sqlite3")
+        first = SqliteJobStore(path)
+        record = first.create(JobSpec(experiment="fig01"))
+        first.append_event(record["id"], "note", {"x": 1})
+        first.close()
+        second = SqliteJobStore(path)
+        assert second.get(record["id"])["state"] == QUEUED
+        assert [e["kind"] for e in second.events(record["id"])] \
+            == ["submitted", "note"]
+        second.close()
+
+    def test_stats_aggregates(self, store):
+        a = store.create(JobSpec(experiment="fig01"))
+        store.create(JobSpec(experiment="fig09"))
+        store.claim_next()
+        store.finish(a["id"], SUCCEEDED,
+                     summary={"engine_jobs": 4, "cache_hits": 3,
+                              "point_failures": 0, "wall_time": 1.5})
+        stats = store.stats()
+        assert stats["jobs"] == 2
+        assert stats["by_state"][QUEUED] == 1
+        assert stats["by_state"][SUCCEEDED] == 1
+        assert stats["by_experiment"] == {"fig01": 1, "fig09": 1}
+        assert stats["totals"]["engine_jobs"] == 4
+        assert stats["totals"]["cache_hits"] == 3
+
+
+class TestLimits:
+    def test_token_bucket_drains_and_refills(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        third = bucket.try_acquire()
+        if not third:  # burst exhausted before refill
+            assert bucket.wait_time() > 0
+            time.sleep(0.05)
+            assert bucket.try_acquire()
+
+    def test_governor_rejects_over_rate(self):
+        governor = TenantGovernor(submissions_per_minute=0.6,
+                                  submission_burst=1)
+        governor.admit_submission("t")
+        with pytest.raises(RateLimited) as info:
+            governor.admit_submission("t")
+        assert info.value.tenant == "t"
+        assert info.value.retry_after > 0
+
+    def test_governor_rate_is_per_tenant(self):
+        governor = TenantGovernor(submissions_per_minute=0.6,
+                                  submission_burst=1)
+        governor.admit_submission("a")
+        governor.admit_submission("b")  # unaffected by a's burst
+
+    def test_saturated_tenants_tracks_running_jobs(self):
+        governor = TenantGovernor(max_running_per_tenant=2)
+        governor.job_started("t")
+        assert governor.saturated_tenants() == frozenset()
+        governor.job_started("t")
+        assert governor.saturated_tenants() == {"t"}
+        governor.job_finished("t")
+        assert governor.saturated_tenants() == frozenset()
+
+
+def _stub_result(exp_id="stub"):
+    return ExperimentResult(experiment_id=exp_id, title="Stub",
+                            columns=("x",), rows=[(1.0,)])
+
+
+def slow_point(i):
+    time.sleep(0.1)
+    return i
+
+
+class TestServiceApp:
+    def test_result_before_completion_is_conflict(self, tmp_path):
+        from repro.service import JobNotDone
+        app = ServiceApp(service_config(tmp_path))  # no workers
+        record = app.submit({"experiment": "fig01", "quick": True})
+        with pytest.raises(JobNotDone):
+            app.result(record["id"])
+        app.store.close()
+
+    def test_cancel_running_job_lands_cancelled(self, tmp_path,
+                                                monkeypatch):
+        """Cancelling mid-run must end `cancelled`, not `failed`:
+        the ambient cancel scope stops the engine sweep between
+        points and the partial result is discarded."""
+        from repro.service import app as app_module
+
+        def slow_experiment(exp_id, quick=False, params=None):
+            run_jobs([Job(slow_point, (i,)) for i in range(50)],
+                     cache=None, group="stub")
+            return _stub_result(exp_id)
+
+        monkeypatch.setattr(app_module, "run_experiment",
+                            slow_experiment)
+        app = ServiceApp(service_config(tmp_path))
+        app.start()
+        try:
+            record = app.submit({"experiment": "fig01"})
+            job_id = record["id"]
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                if any(e["kind"] == "point"
+                       for e in app.events(job_id)):
+                    break
+                time.sleep(0.02)
+            app.cancel(job_id)
+            while time.monotonic() < deadline:
+                state = app.job(job_id)["state"]
+                if state in (SUCCEEDED, FAILED, CANCELLED):
+                    break
+                time.sleep(0.02)
+            final = app.job(job_id)
+            assert final["state"] == CANCELLED
+            assert final["error"] is None
+            assert final["summary"]["points_cancelled"] > 0
+            assert final["result_path"] is None
+        finally:
+            app.stop()
+
+    def test_failed_experiment_is_failed_not_dead_worker(
+            self, tmp_path, monkeypatch):
+        from repro.service import app as app_module
+
+        def broken(exp_id, quick=False, params=None):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(app_module, "run_experiment", broken)
+        app = ServiceApp(service_config(tmp_path))
+        app.start()
+        try:
+            record = app.submit({"experiment": "fig01"})
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                final = app.job(record["id"])
+                if final["state"] != QUEUED and \
+                        final["state"] != RUNNING:
+                    break
+                time.sleep(0.02)
+            assert final["state"] == FAILED
+            assert "RuntimeError: boom" in final["error"]
+            # The worker survives a failed job and serves the next.
+            again = app.submit({"experiment": "fig01"})
+            while time.monotonic() < deadline:
+                if app.job(again["id"])["state"] == FAILED:
+                    break
+                time.sleep(0.02)
+            assert app.job(again["id"])["state"] == FAILED
+        finally:
+            app.stop()
+
+    def test_restart_resumes_queued_work(self, tmp_path):
+        """Kill a server with work in flight; a new server on the same
+        data dir requeues and finishes it."""
+        config = service_config(tmp_path)
+        first = ServiceApp(config)  # never started: no workers
+        record = first.store.create(JobSpec(experiment="fig01",
+                                            quick=True))
+        first.store.claim_next()  # simulate a crash mid-run
+        first.store.close()
+
+        second = ServiceApp(config)
+        second.start()
+        try:
+            assert second.recovered == 1
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                state = second.job(record["id"])["state"]
+                if state == SUCCEEDED:
+                    break
+                time.sleep(0.05)
+            assert second.job(record["id"])["state"] == SUCCEEDED
+            kinds = [e["kind"] for e in second.events(record["id"])]
+            assert "requeued" in kinds
+        finally:
+            second.stop()
+
+
+class TestServiceHTTP:
+    def test_fig09_submit_poll_fetch_matches_direct_run(self, tmp_path):
+        """The acceptance path: an experiment fetched over HTTP is
+        bit-identical to calling the engine directly."""
+        config = service_config(tmp_path)
+        with ServiceServer(config) as server:
+            client = ServiceClient(server.host, server.port)
+            record = client.submit("fig09", params=FIG09_PARAMS)
+            final = client.wait(record["id"], timeout=300)
+            assert final["state"] == SUCCEEDED
+            assert final["summary"]["engine_jobs"] == 4
+            assert final["summary"]["point_failures"] == 0
+            via_http = pickle.loads(
+                client.artifact(record["id"], "result.pkl"))
+            rendered = client.result(record["id"])
+            assert client.artifacts(record["id"]) == [
+                "result.csv", "result.pkl", "result.txt"]
+        direct = run_experiment("fig09", params=FIG09_PARAMS)
+        assert via_http.columns == direct.columns
+        assert via_http.rows == direct.rows  # bit-identical floats
+        assert rendered["rows"] == [list(row) for row in direct.rows]
+
+    def test_warm_resubmission_hits_cache_in_job_record(self, tmp_path):
+        config = service_config(tmp_path)
+        with ServiceServer(config) as server:
+            client = ServiceClient(server.host, server.port)
+            cold = client.submit("fig09", params=FIG09_PARAMS)
+            client.wait(cold["id"], timeout=300)
+            warm = client.submit("fig09", params=FIG09_PARAMS)
+            final = client.wait(warm["id"], timeout=300)
+            # The job store records that every point replayed from the
+            # shared cache; progress events say so per point.
+            assert final["summary"]["cache_hits"] == 4
+            assert final["summary"]["engine_jobs"] == 4
+            events = client.events(warm["id"])["events"]
+            points = [e for e in events if e["kind"] == "point"]
+            assert len(points) == 4
+            assert all(e["payload"]["cache_hit"] for e in points)
+
+    def test_progress_events_tail_by_seq(self, tmp_path):
+        with ServiceServer(service_config(tmp_path)) as server:
+            client = ServiceClient(server.host, server.port)
+            record = client.submit("fig01", quick=True)
+            client.wait(record["id"], timeout=60)
+            first = client.events(record["id"], limit=2)
+            rest = client.events(record["id"],
+                                 after=first["next_after"])
+            kinds = ([e["kind"] for e in first["events"]]
+                     + [e["kind"] for e in rest["events"]])
+            assert kinds[0] == "submitted"
+            assert kinds[-1] == "succeeded"
+
+    def test_cancel_queued_job_via_http(self, tmp_path):
+        # One slow job occupies the single worker; the one behind it
+        # in the queue is cancelled before it ever runs.
+        config = service_config(tmp_path, max_running_per_tenant=1)
+        with ServiceServer(config) as server:
+            client = ServiceClient(server.host, server.port)
+            blocker = client.submit("fig09", params=FIG09_PARAMS)
+            queued = client.submit("fig01", quick=True)
+            cancelled = client.cancel(queued["id"])
+            assert cancelled["state"] == CANCELLED
+            final = client.wait(queued["id"], timeout=10)
+            assert final["state"] == CANCELLED
+            client.wait(blocker["id"], timeout=300)
+
+    def test_validation_errors_are_400_with_details(self, tmp_path):
+        with ServiceServer(service_config(tmp_path)) as server:
+            client = ServiceClient(server.host, server.port)
+            with pytest.raises(ServiceError) as info:
+                client.submit("no-such-experiment")
+            assert info.value.status == 400
+            assert any("unknown experiment" in detail
+                       for detail in info.value.payload["details"])
+
+    def test_unknown_job_is_404(self, tmp_path):
+        with ServiceServer(service_config(tmp_path)) as server:
+            client = ServiceClient(server.host, server.port)
+            for call in (lambda: client.job("deadbeef"),
+                         lambda: client.events("deadbeef"),
+                         lambda: client.cancel("deadbeef")):
+                with pytest.raises(ServiceError) as info:
+                    call()
+                assert info.value.status == 404
+
+    def test_result_before_done_is_409(self, tmp_path):
+        with ServiceServer(service_config(tmp_path)) as server:
+            client = ServiceClient(server.host, server.port)
+            record = client.submit("fig09", params=FIG09_PARAMS)
+            try:
+                client.result(record["id"])
+            except ServiceError as err:
+                assert err.status == 409
+            client.wait(record["id"], timeout=300)
+
+    def test_rate_limit_is_429_with_retry_after(self, tmp_path):
+        config = service_config(tmp_path,
+                                submissions_per_minute=0.6,
+                                submission_burst=1)
+        with ServiceServer(config) as server:
+            client = ServiceClient(server.host, server.port,
+                                   tenant="greedy")
+            client.submit("fig01", quick=True)
+            with pytest.raises(ServiceError) as info:
+                client.submit("fig01", quick=True)
+            assert info.value.status == 429
+            assert info.value.payload["retry_after"] > 0
+            # Another tenant is not throttled by the greedy one.
+            other = ServiceClient(server.host, server.port,
+                                  tenant="patient")
+            other.submit("fig01", quick=True)
+
+    def test_list_jobs_and_verb_mismatch(self, tmp_path):
+        # GET and POST share the /api/jobs path: listing must not 405
+        # just because the submit route is declared first.
+        with ServiceServer(service_config(tmp_path)) as server:
+            client = ServiceClient(server.host, server.port)
+            record = client.submit("fig01", quick=True)
+            client.wait(record["id"], timeout=60)
+            jobs = client.jobs()
+            assert [j["id"] for j in jobs] == [record["id"]]
+            assert client.jobs(state="failed") == []
+            with pytest.raises(ServiceError) as info:
+                client._request("POST", "/api/stats", body={})
+            assert info.value.status == 405
+
+    def test_experiments_and_stats_endpoints(self, tmp_path):
+        with ServiceServer(service_config(tmp_path)) as server:
+            client = ServiceClient(server.host, server.port)
+            experiments = client.experiments()
+            ids = {e["id"] for e in experiments}
+            assert {"fig01", "fig09", "table1"} <= ids
+            fig09 = next(e for e in experiments if e["id"] == "fig09")
+            assert "sigma_levels" in fig09["parameters"]
+            record = client.submit("fig01", quick=True)
+            client.wait(record["id"], timeout=60)
+            stats = client.stats()
+            assert stats["jobs"] == 1
+            assert stats["by_state"][SUCCEEDED] == 1
+            assert stats["service"]["workers"] == 1
+            assert stats["cache"]["directory"].endswith("cache")
+            assert client.health()["status"] == "ok"
