@@ -1,0 +1,97 @@
+"""Bench (extension): trimmed bank access at memory-compiler scale.
+
+Two measurements:
+
+* the full ``ext_sram_bank`` experiment table at a small geometry
+  (timed by pytest-benchmark, printed like the other figure benches);
+* the headline trimming win — wall time of a trimmed 256x256 read on
+  the sparse backend against the cost of the flat netlist
+  *extrapolated* from a flat 32x32 solve.  The extrapolation scales
+  linearly in bitcell count (device stamping dominates), which is a
+  deliberate *underestimate* of the true flat cost: the dense phases
+  of a 130k-unknown flat solve grow superlinearly.  Beating the
+  underestimate by a wide margin is therefore a conservative bar.
+
+Set ``REPRO_BENCH_JSON`` to a path to get the measurements as a JSON
+artifact (CI uploads it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis.backends import scipy_sparse_available
+from repro.experiments import ext_sram_bank
+from repro.library.sram_bank import BankSpec
+from repro.library.sram_bank_metrics import measure_bank_read
+
+pytestmark = pytest.mark.skipif(
+    not scipy_sparse_available(),
+    reason="sparse backend needs scipy.sparse")
+
+FLAT_GEOM = dict(rows=32, cols=32, mux_ratio=4)
+TRIM_GEOM = dict(rows=256, cols=256, mux_ratio=8)
+
+
+def test_ext_sram_bank_table(benchmark, show):
+    result = benchmark.pedantic(
+        ext_sram_bank.run,
+        kwargs={"styles": ("cmos", "nems_sleep"), "rows": 16,
+                "cols": 8, "mux_ratio": 2},
+        rounds=1, iterations=1)
+    show(result)
+    leakage = {r[0]: r[5] for r in result.rows if r[1] == "retention"}
+    # The sleep footer must buy a real retention-leakage reduction.
+    assert leakage["nems_sleep"] < 0.7 * leakage["cmos"]
+
+
+def test_trimmed_bank_beats_flat_extrapolation(record_property):
+    flat_spec = BankSpec(style="cmos", **FLAT_GEOM)
+    started = time.perf_counter()
+    flat = measure_bank_read(flat_spec, trim=False, backend="sparse")
+    flat_s = time.perf_counter() - started
+
+    trim_spec = BankSpec(style="cmos", **TRIM_GEOM)
+    started = time.perf_counter()
+    trimmed = measure_bank_read(trim_spec, trim=True,
+                                backend="sparse")
+    trimmed_s = time.perf_counter() - started
+
+    cells_ratio = (TRIM_GEOM["rows"] * TRIM_GEOM["cols"]) \
+        / (FLAT_GEOM["rows"] * FLAT_GEOM["cols"])
+    flat_extrapolated_s = flat_s * cells_ratio
+    speedup = flat_extrapolated_s / trimmed_s
+    print(f"\nflat 32x32 read: {flat_s:6.1f} s "
+          f"(n={flat.n_unknowns})\n"
+          f"trimmed 256x256 read: {trimmed_s:6.1f} s "
+          f"(n={trimmed.n_unknowns})\n"
+          f"flat 256x256, linear extrapolation: "
+          f"{flat_extrapolated_s:6.1f} s -> trimming buys >= "
+          f"{speedup:.0f}x")
+    record_property("flat_32x32_s", round(flat_s, 2))
+    record_property("trimmed_256x256_s", round(trimmed_s, 2))
+    record_property("extrapolated_speedup", round(speedup, 1))
+
+    artifact = os.environ.get("REPRO_BENCH_JSON")
+    if artifact:
+        with open(artifact, "w") as handle:
+            json.dump({"benchmark": "sram_bank_trimming",
+                       "flat_32x32_s": flat_s,
+                       "flat_32x32_n": flat.n_unknowns,
+                       "trimmed_256x256_s": trimmed_s,
+                       "trimmed_256x256_n": trimmed.n_unknowns,
+                       "flat_256x256_extrapolated_s":
+                           flat_extrapolated_s,
+                       "extrapolated_speedup": speedup},
+                      handle, indent=1)
+
+    # The acceptance bar: a trimmed full-scale bank access must be
+    # decisively cheaper than even the most charitable flat estimate.
+    assert trimmed.n_unknowns < flat.n_unknowns
+    assert speedup > 5.0, (
+        f"trimmed 256x256 should beat the linear flat extrapolation "
+        f"decisively, got {speedup:.1f}x")

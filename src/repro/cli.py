@@ -64,6 +64,7 @@ from repro.experiments.registry import (  # noqa: F401
     DESCRIPTIONS,
     REGISTRY,
     run_experiment,
+    validate_params,
 )
 
 
@@ -118,11 +119,46 @@ def _save_report(cache_dir: str) -> None:
               file=sys.stderr)
 
 
+def _parse_params(pairs: List[str]) -> dict:
+    """Parse repeated ``--param KEY=VALUE`` overrides into a dict.
+
+    Values are decoded as JSON (so numbers, booleans, lists and null
+    arrive typed) with a fallback to the raw string.
+    """
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"--param expects KEY=VALUE, got '{pair}'")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
 def _run_command(args) -> int:
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
               file=sys.stderr)
         return 2
+    try:
+        params = _parse_params(args.param)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if params:
+        if args.experiment == "all":
+            print("error: --param applies to a single experiment, "
+                  "not 'all'", file=sys.stderr)
+            return 2
+        problems = validate_params(args.experiment, params,
+                                   quick=args.quick)
+        if problems:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 2
     cache_dir = args.cache_dir or engine_config.default_cache_dir()
     config = engine_config.EngineConfig(
         jobs=args.jobs,
@@ -153,8 +189,10 @@ def _run_command(args) -> int:
         for exp_id in targets:
             snapshot = len(telemetry.SESSION.records)
             started = time.time()
+            run_kwargs = {"params": params} if params else {}
             try:
-                result = run_experiment(exp_id, quick=args.quick)
+                result = run_experiment(exp_id, quick=args.quick,
+                                        **run_kwargs)
             except KeyError as err:
                 print(err.args[0], file=sys.stderr)
                 return 2
@@ -297,6 +335,11 @@ def main(argv: Optional[list] = None) -> int:
     runner = sub.add_parser("run", help="run an experiment")
     runner.add_argument("experiment",
                         help="experiment id from 'list', or 'all'")
+    runner.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="override one run() parameter "
+                             "(repeatable; VALUE is parsed as JSON, "
+                             "falling back to a plain string)")
     runner.add_argument("--quick", action="store_true",
                         help="reduced sweeps (faster, same shapes)")
     runner.add_argument("--jobs", type=int, default=1, metavar="N",

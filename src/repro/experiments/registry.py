@@ -41,6 +41,9 @@ REGISTRY: Dict[str, Tuple[str, dict]] = {
     "sram-array": ("repro.experiments.ext_sram_array",
                    {"row_counts": (32, 128),
                     "include_nems_access": False}),
+    "sram-bank": ("repro.experiments.ext_sram_bank",
+                  {"styles": ("cmos", "nems_sleep"), "rows": 16,
+                   "cols": 8, "mux_ratio": 2}),
     "power-breakdown": ("repro.experiments.ext_power_breakdown",
                         {"fan_in": 4, "fan_out": 1.0}),
     "write": ("repro.experiments.ext_write_analysis",
@@ -74,6 +77,7 @@ DESCRIPTIONS = {
     "fig09-mc": "[ext] Monte-Carlo check of the Figure 9 corners",
     "temperature": "[ext] leakage advantage vs temperature",
     "sram-array": "[ext] array-height reads + NEMS-access ablation",
+    "sram-bank": "[ext] trimmed banked arrays: read/write/retention",
     "power-breakdown": "[ext] itemised switching-energy audit",
     "write": "[ext] SRAM write margin & latency (hidden hybrid costs)",
     "yield": "[ext] Monte-Carlo read-stability yield per cell",
@@ -117,13 +121,19 @@ def experiment_parameters(exp_id: str) -> Dict[str, Any]:
     return params
 
 
-def validate_params(exp_id: str, params: Optional[Dict[str, Any]]
-                    ) -> List[str]:
+def validate_params(exp_id: str, params: Optional[Dict[str, Any]],
+                    quick: bool = False) -> List[str]:
     """Problems with a submitted parameter dictionary (empty = valid).
 
     Checks the experiment exists and every key names a real ``run()``
     keyword — catching typos at submission time rather than as a
-    ``TypeError`` deep inside a worker.
+    ``TypeError`` deep inside a worker.  Experiments that define a
+    module-level ``validate(params)`` hook get it called on top, so
+    value-level problems (a bad bank geometry, an out-of-range
+    address) are also rejected at submission time.  The hook sees the
+    *effective* parameters — with ``quick`` the registry's quick-mode
+    kwargs underlie the submission, exactly as ``run_experiment``
+    merges them — so cross-field checks judge what would actually run.
     """
     if exp_id not in REGISTRY:
         return [f"unknown experiment '{exp_id}' "
@@ -139,6 +149,14 @@ def validate_params(exp_id: str, params: Optional[Dict[str, Any]]
                 errors.append(
                     f"experiment '{exp_id}' has no parameter '{key}' "
                     f"(has: {', '.join(sorted(valid))})")
+        if not errors:
+            module_name, quick_kwargs = REGISTRY[exp_id]
+            module = importlib.import_module(module_name)
+            hook = getattr(module, "validate", None)
+            if hook is not None:
+                effective = dict(quick_kwargs) if quick else {}
+                effective.update(params)
+                errors.extend(hook(effective))
     return errors
 
 

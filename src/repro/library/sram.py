@@ -166,26 +166,19 @@ class SramCell:
             Pulse(0.0, vdd, td=spec.t_precharge, tr=20e-12, tf=20e-12,
                   pw=1.0, per=None))
 
-        # Cross-coupled inverters.  The devices that hold the initial
-        # QL=0 / QR=1 state start in contact (NL gate high, PR gate low).
-        _add_cell_transistor(c, spec, "PL", "ql", "qr", "vdd")
-        _add_cell_transistor(c, spec, "NL", "ql", "qr", "0",
-                             initial_contact=True)
-        _add_cell_transistor(c, spec, "PR", "qr", "ql", "vdd",
-                             initial_contact=True)
-        _add_cell_transistor(c, spec, "NR", "qr", "ql", "0")
-
-        # Access transistors: bitline side is the drain terminal.
-        _add_cell_transistor(c, spec, "AL", "bl", "wl", "ql")
-        _add_cell_transistor(c, spec, "AR", "blb", "wl", "qr")
+        # Six-transistor cell storing QL=0 / QR=1: the devices that hold
+        # that state (NL, PR) start in contact for NEMS flavours.  The
+        # shared builder is the single source of truth for the cell
+        # topology across the read harness, the explicit column and the
+        # hierarchical bank.
+        from repro.library.sram_cells import add_bitcell, add_precharge
+        add_bitcell(c, spec, q="ql", qb="qr", bl="bl", blb="blb",
+                    wl="wl", stored_one=False)
 
         # Bitlines: capacitance plus precharge PMOS pair.
         c.capacitor("CBL", "bl", "0", spec.c_bitline)
         c.capacitor("CBLB", "blb", "0", spec.c_bitline)
-        c.add(Mosfet("MPREL", "bl", "pre", "vdd", spec.pmos,
-                     spec.w_precharge))
-        c.add(Mosfet("MPRER", "blb", "pre", "vdd", spec.pmos,
-                     spec.w_precharge))
+        add_precharge(c, spec, bl="bl", blb="blb")
 
         # State-setting pull: drags QL low while the cell powers up, then
         # releases well before the wordline event.

@@ -26,14 +26,13 @@ from typing import Optional
 from repro.circuit.mna import SystemLayout
 from repro.circuit.netlist import Circuit
 from repro.devices.mosfet import Mosfet
-from repro.devices.nemfet import Nemfet
 from repro.errors import DesignError
 from repro.library.sram import (
     SramCell,
     SramSpec,
-    _add_cell_transistor,
     build_read_harness,
 )
+from repro.library.sram_cells import add_bitcell, add_precharge
 
 
 @dataclass
@@ -141,34 +140,18 @@ def build_explicit_column(rows: int,
     vdd = spec.vdd
     c.vsource("VDD", "vdd", "0", vdd)
     c.vsource("VWL", "wl", "0", vdd)      # row 0 selected
-    c.resistor("RPREL", "vdd", "bl", r_precharge)
-    c.resistor("RPRER", "vdd", "blb", r_precharge)
+    add_precharge(c, spec, bl="bl", blb="blb",
+                  name=lambda side: f"RPRE{side}",
+                  r_resistive=r_precharge)
     c.capacitor("CBL", "bl", "0", spec.c_bitline)
     c.capacitor("CBLB", "blb", "0", spec.c_bitline)
-    def add_device(role: str, name: str, drain: str, gate: str,
-                   source: str) -> None:
-        # Resolve flavour/width from the canonical cell role, then
-        # instantiate under the per-row name.
-        kind, params = spec.flavor(role)
-        width = spec.width_of(role)
-        if kind == "nemfet":
-            c.add(Nemfet(name, drain, gate, source, params, width))
-        else:
-            c.add(Mosfet(name, drain, gate, source, params, width))
-
     for i in range(rows):
-        stored_one = (i % 2 == 0)
-        q, qb = f"q{i}", f"qb{i}"
-        # Data rail feeding the open-loop inverter pair.
-        data = "vdd" if stored_one else "0"
-        data_b = "0" if stored_one else "vdd"
-        add_device("PL", f"PL{i}", q, data_b, "vdd")
-        add_device("NL", f"NL{i}", q, data_b, "0")
-        add_device("PR", f"PR{i}", qb, data, "vdd")
-        add_device("NR", f"NR{i}", qb, data, "0")
-        wl = "wl" if i == 0 else "0"
-        add_device("AL", f"AL{i}", "bl", wl, q)
-        add_device("AR", f"AR{i}", "blb", wl, qb)
+        # Each cell's stored bit alternates down the column; the
+        # open-loop form pins the inverter gates to the data rails.
+        add_bitcell(c, spec, q=f"q{i}", qb=f"qb{i}", bl="bl",
+                    blb="blb", wl="wl" if i == 0 else "0",
+                    name=lambda role, i=i: f"{role}{i}",
+                    stored_one=(i % 2 == 0), open_loop=True)
     layout = SystemLayout(c)
     return ExplicitColumn(circuit=c, rows=rows, n_unknowns=layout.n)
 

@@ -1,0 +1,605 @@
+"""Hierarchical SRAM bank builder with exact netlist trimming.
+
+Memory-compiler-scale composition of the paper's Figure 13 bitcells:
+a ``rows x cols`` bitcell array with per-column precharge, write
+drivers, an NMOS column mux into per-word sense nodes, a replica
+bitline for timing, and a wordline driver — assembled by
+:func:`build_bank` for three styles:
+
+* ``cmos`` — conventional 6T cells throughout;
+* ``hybrid`` — the paper's NEMS cross-coupled cell (Figure 13d);
+* ``nems_sleep`` — conventional cells on a virtual ground rail gated
+  by a NEMS sleep footer (Section 6 applied to memory retention).
+
+**Trimming.** A flat 256x256 bank carries ~130k unknowns — far past
+what a transient solve should touch for one access.  Following the
+OpenRAM characterizer trick (simulate the accessed row/column, lump
+everything else into loading), :func:`plan_bank` reduces the netlist
+to:
+
+* the **accessed column**, every cell explicit (the wordline event,
+  the developing differential and the probed cell's bistability are
+  exact);
+* aggregate columns — the mux-off columns of the accessed word-bit
+  group, the mux-on columns of the other groups, and the remaining
+  off/off columns — each represented by one column whose devices and
+  capacitances are scaled by the number of columns merged;
+* within each aggregate column, the half-selected row cell plus one
+  aggregate cell per stored value for the unselected rows.
+
+Because ``k`` identical parallel subcircuits sharing boundary nodes
+are *exactly* equivalent to one copy with conductances and
+capacitances scaled by ``k`` (see :mod:`repro.library.sram_cells` for
+the NEMFET area/stiffness/mass substitution), trimming is not an
+approximation: the trimmed and flat netlists integrate the same
+equations, which is what ``tests/test_sram_bank_parity.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.elements import Capacitor
+from repro.circuit.mna import SystemLayout
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Pulse
+from repro.devices.mosfet import Mosfet
+from repro.devices.nemfet import Nemfet
+from repro.errors import DesignError
+from repro.library.sleep import SleepDevice
+from repro.library.sram import SramSpec
+from repro.library.sram_cells import (
+    add_bitcell,
+    add_precharge,
+    scale_nemfet_params,
+)
+
+#: Bank styles understood by :func:`build_bank`.
+STYLES = ("cmos", "hybrid", "nems_sleep")
+
+#: Access modes: the source waveforms built into the bank netlist.
+MODES = ("read", "write", "retention")
+
+#: Background data patterns for the unaccessed cells.
+BACKGROUNDS = ("rowstripe", "zeros")
+
+#: Virtual-ground node used by the ``nems_sleep`` style.
+VIRTUAL_GROUND = "vssv"
+
+
+@dataclass
+class BankSpec:
+    """Bank geometry, style, and periphery sizing."""
+
+    rows: int = 256
+    cols: int = 256
+    mux_ratio: int = 8
+    style: str = "cmos"
+    #: Cell spec; derived from ``style`` when omitted.
+    cell: Optional[SramSpec] = None
+    #: Column-mux NMOS width per column [m].
+    w_mux: float = 0.4e-6
+    #: Write-driver pull-down width per column [m].
+    w_write: float = 4e-6
+    #: Wordline driver (inverter) widths [m] — sized for a full row of
+    #: access gates, harmlessly overdriven for small banks.
+    w_wl_driver_n: float = 6e-6
+    w_wl_driver_p: float = 12e-6
+    #: Bitline wire + junction capacitance per row [F].
+    c_bl_per_row: float = 0.25e-15
+    #: Fixed per-bitline capacitance (periphery junctions, vias) [F].
+    c_bl_fixed: float = 2e-15
+    #: Wordline wire capacitance per column [F].
+    c_wl_per_col: float = 0.15e-15
+    #: Sense-node capacitance per word bit [F].
+    c_sense: float = 8e-15
+    #: NEMS sleep footer area (``nems_sleep`` style) [CMOS units].
+    sleep_area_units: float = 16.0
+    data_background: str = "rowstripe"
+
+    def __post_init__(self):
+        if self.style not in STYLES:
+            raise DesignError(f"unknown bank style '{self.style}' "
+                              f"(choose from {STYLES})")
+        if self.data_background not in BACKGROUNDS:
+            raise DesignError(
+                f"unknown data background '{self.data_background}' "
+                f"(choose from {BACKGROUNDS})")
+        if self.rows < 1:
+            raise DesignError(f"need at least one row, got {self.rows}")
+        if self.mux_ratio < 1:
+            raise DesignError(
+                f"mux_ratio must be >= 1, got {self.mux_ratio}")
+        if self.cols < self.mux_ratio:
+            raise DesignError(
+                f"need at least mux_ratio={self.mux_ratio} columns, "
+                f"got {self.cols}")
+        if self.cols % self.mux_ratio != 0:
+            raise DesignError(
+                f"cols ({self.cols}) must be a multiple of mux_ratio "
+                f"({self.mux_ratio})")
+        if self.cell is None:
+            variant = "hybrid" if self.style == "hybrid" \
+                else "conventional"
+            self.cell = SramSpec(variant=variant)
+
+    @property
+    def words(self) -> int:
+        """Word width: columns sharing one mux offset."""
+        return self.cols // self.mux_ratio
+
+    def stored_background(self, row: int) -> bool:
+        """Background bit stored at ``row`` (before the probe override)."""
+        if self.data_background == "rowstripe":
+            return row % 2 == 1
+        return False
+
+
+class AddressDecoder:
+    """Row + column-offset decode for a ``rows x mux_ratio`` space.
+
+    ``address = row * mux_ratio + col_offset``; the decoder exposes
+    the one-hot wordline vector and the column-select vector the bank
+    wires into its netlist (selected wordline driven, every other row
+    tied off; mux gates on where the offset matches).
+    """
+
+    def __init__(self, rows: int, mux_ratio: int):
+        if rows < 1 or mux_ratio < 1:
+            raise DesignError("decoder needs rows >= 1 and "
+                              "mux_ratio >= 1")
+        self.rows = rows
+        self.mux_ratio = mux_ratio
+
+    @property
+    def n_addresses(self) -> int:
+        return self.rows * self.mux_ratio
+
+    def decode(self, address: int) -> Tuple[int, int]:
+        """``(row, col_offset)`` of an access address."""
+        if not 0 <= address < self.n_addresses:
+            raise DesignError(
+                f"address {address} out of range "
+                f"[0, {self.n_addresses})")
+        return address // self.mux_ratio, address % self.mux_ratio
+
+    def one_hot(self, address: int) -> Tuple[int, ...]:
+        """Wordline select vector (exactly one element is 1)."""
+        row, _ = self.decode(address)
+        return tuple(1 if r == row else 0 for r in range(self.rows))
+
+    def column_select(self, address: int) -> Tuple[int, ...]:
+        """Mux-gate vector over the ``mux_ratio`` offsets."""
+        _, offset = self.decode(address)
+        return tuple(1 if m == offset else 0
+                     for m in range(self.mux_ratio))
+
+
+# ---------------------------------------------------------------------------
+# Bank plan: which cells are explicit, which are aggregated.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellGroup:
+    """One (possibly aggregate) cell position within a column group."""
+
+    tag: str
+    rows: Tuple[int, ...]
+    stored_one: bool
+    selected: bool
+    probed: bool = False
+
+    @property
+    def scale(self) -> int:
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class ColumnGroup:
+    """One (possibly aggregate) column of the planned netlist."""
+
+    label: str
+    columns: Tuple[int, ...]
+    mux_on: bool
+    sense: str
+    cells: Tuple[CellGroup, ...]
+
+    @property
+    def scale(self) -> int:
+        return len(self.columns)
+
+    @property
+    def cells_represented(self) -> int:
+        return self.scale * sum(cg.scale for cg in self.cells)
+
+
+@dataclass(frozen=True)
+class BankPlan:
+    """The netlist plan :func:`build_bank` emits."""
+
+    rows: int
+    cols: int
+    mux_ratio: int
+    address: int
+    row: int
+    col_offset: int
+    probe_bit: int
+    col: int
+    trimmed: bool
+    columns: Tuple[ColumnGroup, ...]
+
+    @property
+    def cells_represented(self) -> int:
+        """Total bitcells the plan stands for (must equal rows*cols)."""
+        return sum(g.cells_represented for g in self.columns)
+
+    @property
+    def accessed_column(self) -> ColumnGroup:
+        for g in self.columns:
+            if g.label == "sel":
+                return g
+        raise DesignError("plan has no accessed column")  # pragma: no cover
+
+
+def _cell_rows(spec: BankSpec, col: int, probed_col: bool, row: int
+               ) -> Tuple[CellGroup, ...]:
+    """Explicit per-row cell groups for one column."""
+    groups = []
+    for r in range(spec.rows):
+        probed = probed_col and r == row
+        # Probed cell always stores 0: the read protocol senses the
+        # falling bitline, the write protocol flips it to 1.
+        stored = False if probed else spec.stored_background(r)
+        groups.append(CellGroup(tag=f"r{r}", rows=(r,),
+                                stored_one=stored,
+                                selected=(r == row), probed=probed))
+    return tuple(groups)
+
+
+def _aggregate_rows(spec: BankSpec, row: int) -> Tuple[CellGroup, ...]:
+    """Half-selected + per-stored-value aggregate cell groups."""
+    groups = [CellGroup(tag="hs", rows=(row,),
+                        stored_one=spec.stored_background(row),
+                        selected=True)]
+    zeros = tuple(r for r in range(spec.rows)
+                  if r != row and not spec.stored_background(r))
+    ones = tuple(r for r in range(spec.rows)
+                 if r != row and spec.stored_background(r))
+    if zeros:
+        groups.append(CellGroup(tag="a0", rows=zeros, stored_one=False,
+                                selected=False))
+    if ones:
+        groups.append(CellGroup(tag="a1", rows=ones, stored_one=True,
+                                selected=False))
+    return tuple(groups)
+
+
+def plan_bank(spec: BankSpec, address: int, *, probe_bit: int = 0,
+              trim: bool = True) -> BankPlan:
+    """Plan the (flat or trimmed) netlist for one access address.
+
+    ``probe_bit`` picks which word bit's column is observed; the
+    accessed column is always labelled ``sel`` so flat and trimmed
+    builds share node names.  The trimmed plan keeps the accessed
+    column fully explicit and merges the rest into three aggregate
+    columns (same-group mux-off, other-group mux-on, other-group
+    mux-off), each scaled by the column count it represents.
+    """
+    decoder = AddressDecoder(spec.rows, spec.mux_ratio)
+    row, offset = decoder.decode(address)
+    if not 0 <= probe_bit < spec.words:
+        raise DesignError(f"probe_bit {probe_bit} out of range "
+                          f"[0, {spec.words})")
+    col = probe_bit * spec.mux_ratio + offset
+
+    columns = []
+    if not trim:
+        for j in range(spec.cols):
+            group = j // spec.mux_ratio
+            accessed = j == col
+            columns.append(ColumnGroup(
+                label="sel" if accessed else f"c{j}",
+                columns=(j,),
+                mux_on=(j % spec.mux_ratio == offset),
+                sense="sel" if group == probe_bit else f"g{group}",
+                cells=_cell_rows(spec, j, accessed, row)))
+    else:
+        agg = _aggregate_rows(spec, row)
+        columns.append(ColumnGroup(
+            label="sel", columns=(col,), mux_on=True, sense="sel",
+            cells=_cell_rows(spec, col, True, row)))
+        same_group = tuple(j for j in range(probe_bit * spec.mux_ratio,
+                                            (probe_bit + 1)
+                                            * spec.mux_ratio)
+                           if j != col)
+        if same_group:
+            columns.append(ColumnGroup(
+                label="mux", columns=same_group, mux_on=False,
+                sense="sel", cells=agg))
+        other_on = tuple(j for j in range(spec.cols)
+                         if j // spec.mux_ratio != probe_bit
+                         and j % spec.mux_ratio == offset)
+        if other_on:
+            columns.append(ColumnGroup(
+                label="on", columns=other_on, mux_on=True,
+                sense="agg", cells=agg))
+        other_off = tuple(j for j in range(spec.cols)
+                          if j // spec.mux_ratio != probe_bit
+                          and j % spec.mux_ratio != offset)
+        if other_off:
+            columns.append(ColumnGroup(
+                label="off", columns=other_off, mux_on=False,
+                sense="agg", cells=agg))
+
+    plan = BankPlan(rows=spec.rows, cols=spec.cols,
+                    mux_ratio=spec.mux_ratio, address=address,
+                    row=row, col_offset=offset, probe_bit=probe_bit,
+                    col=col, trimmed=trim, columns=tuple(columns))
+    assert plan.cells_represented == spec.rows * spec.cols
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Netlist emission.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SramBank:
+    """A built bank netlist plus its warm-start solve context.
+
+    ``x0`` pins every storage node to its stored rail value and the
+    bitlines to VDD, so the damped-Newton DC solve lands on the
+    intended member of the bistable solution family — the protocol
+    :func:`repro.analysis.dc.operating_point` + ``transient(initial=
+    op)`` expect (the layout object must be reused for both).
+    """
+
+    spec: BankSpec
+    plan: BankPlan
+    mode: str
+    circuit: Circuit
+    layout: SystemLayout
+    x0: np.ndarray
+    nodes: Dict[str, str]
+
+    @property
+    def n_unknowns(self) -> int:
+        return self.layout.n
+
+    def operating_point(self, backend=None):
+        from repro.analysis.dc import operating_point
+        return operating_point(self.circuit, x0=self.x0,
+                               layout=self.layout, backend=backend)
+
+
+def _emit_access_device(circuit: Circuit, cell: SramSpec, name: str,
+                        drain: str, gate: str, source: str,
+                        scale: float = 1.0) -> None:
+    """One (possibly aggregate) access-flavoured device (replica rows)."""
+    kind, params = cell.flavor("AL")
+    width = cell.w_access * scale
+    if kind == "nemfet":
+        circuit.add(Nemfet(name, drain, gate, source,
+                           scale_nemfet_params(params, scale), width))
+    else:
+        circuit.add(Mosfet(name, drain, gate, source, params, width))
+
+
+def build_bank(spec: BankSpec, address: Optional[int] = None, *,
+               mode: str = "read", trim: bool = True,
+               write_value: int = 1, probe_bit: int = 0) -> SramBank:
+    """Build the bank netlist for one access.
+
+    ``mode`` selects the source waveforms: ``read`` precharges then
+    raises the selected wordline; ``write`` additionally fires the
+    accessed column's write driver to store ``write_value`` into the
+    probed cell (which starts at 0); ``retention`` holds every control
+    static (wordline low, precharge on, sleep footer released for the
+    ``nems_sleep`` style) for leakage measurement.
+    """
+    if mode not in MODES:
+        raise DesignError(f"unknown bank mode '{mode}' "
+                          f"(choose from {MODES})")
+    if write_value not in (0, 1):
+        raise DesignError(
+            f"write value must be 0 or 1, got {write_value}")
+    if address is None:
+        address = (spec.rows // 2) * spec.mux_ratio
+    plan = plan_bank(spec, address, probe_bit=probe_bit, trim=trim)
+
+    cell = spec.cell
+    vdd = cell.vdd
+    c = Circuit(f"bank_{spec.style}_{spec.rows}x{spec.cols}"
+                f"_{'trim' if trim else 'flat'}_{mode}")
+    c.vsource("VDD", "vdd", "0", vdd)
+
+    # Precharge control: low (PMOS on) until t_precharge.  In read mode
+    # it re-engages after the wordline window so the post-access bitline
+    # recharge energy is measurable; in write mode it stays off (the
+    # write driver owns the bitlines); in retention the bitlines are
+    # held at VDD throughout.
+    if mode == "retention":
+        c.vsource("VPRE", "pre", "0", 0.0)
+    elif mode == "read":
+        c.vsource("VPRE", "pre", "0",
+                  Pulse(0.0, vdd, td=cell.t_precharge, tr=20e-12,
+                        tf=20e-12,
+                        pw=cell.t_wordline + cell.t_read
+                        - cell.t_precharge, per=None))
+    else:
+        c.vsource("VPRE", "pre", "0",
+                  Pulse(0.0, vdd, td=cell.t_precharge, tr=20e-12,
+                        tf=20e-12, pw=1.0, per=None))
+
+    # Wordline: active-low driver input into a sized inverter, loaded
+    # by the full row's wire capacitance.
+    if mode == "retention":
+        c.vsource("VWLIN", "wlin", "0", vdd)
+    else:
+        c.vsource("VWLIN", "wlin", "0",
+                  Pulse(vdd, 0.0, td=cell.t_wordline, tr=20e-12,
+                        tf=20e-12, pw=cell.t_read, per=None))
+    c.add(Mosfet("MWLDRVP", "wl", "wlin", "vdd", cell.pmos,
+                 spec.w_wl_driver_p))
+    c.add(Mosfet("MWLDRVN", "wl", "wlin", "0", cell.nmos,
+                 spec.w_wl_driver_n))
+    c.capacitor("CWL", "wl", "0", spec.c_wl_per_col * spec.cols)
+
+    # Write enable (write mode only; drivers elsewhere stay gated off).
+    if mode == "write":
+        c.vsource("VWEN", "wen", "0",
+                  Pulse(0.0, vdd, td=cell.t_wordline - 0.1e-9,
+                        tr=20e-12, pw=cell.t_read + 0.2e-9, per=None))
+
+    # Virtual ground + NEMS sleep footer for the sleep-gated style.
+    vss_rail = "0"
+    if spec.style == "nems_sleep":
+        vss_rail = VIRTUAL_GROUND
+        sleep = SleepDevice("nems", spec.sleep_area_units, vdd=vdd,
+                            nems=cell.nems_n)
+        asleep = mode == "retention"
+        c.vsource("VSLP", "slp", "0", 0.0 if asleep else vdd)
+        c.add(Nemfet("XSLEEP", vss_rail, "slp", "0", cell.nems_n,
+                     sleep.width, initial_contact=not asleep))
+
+    # Sense nodes: one pair per distinct sense label, capacitance
+    # scaled by the number of word bits the label represents.
+    sense_labels: Dict[str, int] = {}
+    for group in plan.columns:
+        sense_labels[group.sense] = (sense_labels.get(group.sense, 0)
+                                     + group.scale)
+    for sense, n_cols in sense_labels.items():
+        sense_scale = n_cols / spec.mux_ratio
+        c.capacitor(f"CSAL_{sense}", f"sa_bl_{sense}", "0",
+                    spec.c_sense * sense_scale)
+        c.capacitor(f"CSAR_{sense}", f"sa_blb_{sense}", "0",
+                    spec.c_sense * sense_scale)
+
+    c_bl = spec.c_bl_fixed + spec.rows * spec.c_bl_per_row
+    for group in plan.columns:
+        label, k = group.label, group.scale
+        bl, blb = f"bl_{label}", f"blb_{label}"
+        c.capacitor(f"CBL_{label}", bl, "0", c_bl * k)
+        c.capacitor(f"CBLB_{label}", blb, "0", c_bl * k)
+        add_precharge(c, cell, bl=bl, blb=blb,
+                      name=lambda side, lb=label: f"MPRE{side}_{lb}",
+                      pre="pre", scale=k)
+        mux_gate = "vdd" if group.mux_on else "0"
+        c.add(Mosfet(f"MMUXL_{label}", f"sa_bl_{group.sense}",
+                     mux_gate, bl, cell.nmos, spec.w_mux * k))
+        c.add(Mosfet(f"MMUXR_{label}", f"sa_blb_{group.sense}",
+                     mux_gate, blb, cell.nmos, spec.w_mux * k))
+        # Write drivers: enabled only on the accessed column in write
+        # mode, on the side that must go low for the written value.
+        gate_l = gate_r = "0"
+        if mode == "write" and label == "sel":
+            if write_value == 1:
+                gate_r = "wen"
+            else:
+                gate_l = "wen"
+        c.add(Mosfet(f"MWDL_{label}", bl, gate_l, "0", cell.nmos,
+                     spec.w_write * k))
+        c.add(Mosfet(f"MWDR_{label}", blb, gate_r, "0", cell.nmos,
+                     spec.w_write * k))
+        for cg in group.cells:
+            suffix = f"{cg.tag}_{label}"
+            add_bitcell(c, cell,
+                        q=f"q_{suffix}", qb=f"qb_{suffix}",
+                        bl=bl, blb=blb,
+                        wl="wl" if cg.selected else "0",
+                        vss=vss_rail,
+                        name=lambda role, s=suffix: f"{role}_{s}",
+                        scale=k * cg.scale,
+                        stored_one=cg.stored_one)
+
+    # Replica bitline: a full-height dummy column whose always-storing-
+    # zero replica cell discharges it once the wordline rises — the
+    # sense-timing reference.  Off-row access loads are explicit in
+    # the flat build and one aggregate device in the trimmed build.
+    c.capacitor("CRBL", "rbl", "0", c_bl)
+    c.add(Mosfet("MPRE_rep", "rbl", "pre", "vdd", cell.pmos,
+                 cell.w_precharge))
+    _emit_access_device(c, cell, "MREP_on", "rbl", "wl", "0")
+    n_off = spec.rows - 1
+    if n_off > 0:
+        if trim:
+            _emit_access_device(c, cell, "MREP_off", "rbl", "0", "0",
+                                scale=n_off)
+        else:
+            for r in range(1, spec.rows):
+                _emit_access_device(c, cell, f"MREP_off{r}", "rbl",
+                                    "0", "0")
+
+    layout = SystemLayout(c)
+    x0 = layout.x_default.copy()
+
+    def setv(node: str, value: float) -> None:
+        x0[layout.node_index(node)] = value
+
+    setv("vdd", vdd)
+    setv("wlin", vdd)
+    if mode == "write":
+        setv("wen", 0.0)
+    if spec.style == "nems_sleep":
+        setv("slp", 0.0 if mode == "retention" else vdd)
+    setv("rbl", vdd)
+    for sense in sense_labels:
+        setv(f"sa_bl_{sense}", vdd)
+        setv(f"sa_blb_{sense}", vdd)
+    for group in plan.columns:
+        setv(f"bl_{group.label}", vdd)
+        setv(f"blb_{group.label}", vdd)
+        for cg in group.cells:
+            suffix = f"{cg.tag}_{group.label}"
+            setv(f"q_{suffix}", vdd if cg.stored_one else 0.0)
+            setv(f"qb_{suffix}", 0.0 if cg.stored_one else vdd)
+
+    nodes = {"bl": "bl_sel", "blb": "blb_sel",
+             "sa_bl": "sa_bl_sel", "sa_blb": "sa_blb_sel",
+             "wl": "wl", "rbl": "rbl",
+             "q": f"q_r{plan.row}_sel", "qb": f"qb_r{plan.row}_sel"}
+    return SramBank(spec=spec, plan=plan, mode=mode, circuit=c,
+                    layout=layout, x0=x0, nodes=nodes)
+
+
+# ---------------------------------------------------------------------------
+# Trimming invariants (used by the property tests and docs).
+# ---------------------------------------------------------------------------
+
+def bitline_capacitance(circuit: Circuit, node: str) -> float:
+    """Total small-signal capacitance hanging on a bitline node [F].
+
+    Sums explicit capacitors plus the junction capacitance of every
+    MOSFET/NEMFET terminal (drain or source) attached to ``node`` —
+    the width-linear loading terms the trimmer must preserve exactly.
+    """
+    total = 0.0
+    for el in circuit.elements:
+        if isinstance(el, Capacitor):
+            if node in el.nodes:
+                total += el.capacitance
+        elif isinstance(el, (Mosfet, Nemfet)):
+            drain, _, source = el.nodes
+            for term in (drain, source):
+                if term == node:
+                    total += el.params.c_junction_per_width * el.width
+    return total
+
+
+def wordline_access_width(circuit: Circuit, wl: str = "wl") -> float:
+    """Summed width of devices gated by the wordline [m].
+
+    The wordline load (and hence its rise time) depends on the total
+    gated width; the trimmer keeps the selected row's access devices
+    explicit, so this must match between flat and trimmed builds.
+    """
+    total = 0.0
+    for el in circuit.elements:
+        if isinstance(el, (Mosfet, Nemfet)):
+            _, gate, _ = el.nodes
+            if gate == wl:
+                total += el.width
+    return total

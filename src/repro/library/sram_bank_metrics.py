@@ -1,0 +1,178 @@
+"""Bank-level SRAM metrics: read/write timing, energy, retention.
+
+Each measurement builds a bank netlist via
+:func:`repro.library.sram_bank.build_bank`, warm-starts the DC solve
+from the bank's stored-state vector, and runs the access transient.
+All delays are referenced to the 50% rising wordline edge, matching
+the single-cell conventions of :mod:`repro.library.sram_metrics`.
+
+The ``options`` parameter reaches the transient solver directly; the
+parity suite passes a fixed-step :class:`TransientOptions` so the flat
+and trimmed banks integrate on the *same time grid* — since trimming
+is exact (see :mod:`repro.library.sram_bank`), the two solutions then
+agree to Newton tolerance rather than merely to LTE tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis import measure
+from repro.analysis.options import TransientOptions
+from repro.analysis.transient import transient
+from repro.errors import MeasurementError
+from repro.library.sram_bank import BankSpec, SramBank, build_bank
+from repro.library.sram_metrics import DEFAULT_DT, SENSE_THRESHOLD
+
+
+@dataclass(frozen=True)
+class BankReadMetrics:
+    """One read access of a bank."""
+
+    read_delay: float        #: wordline edge -> 100 mV bitline split [s]
+    sense_delay: float       #: wordline edge -> 100 mV sense-node split [s]
+    replica_delay: float     #: wordline edge -> replica bitline at Vdd/2 [s]
+    bitline_swing: float     #: bitline split at the end of the read window [V]
+    precharge_energy: float  #: supply energy of the post-read recharge [J]
+    access_energy: float     #: total supply energy over the window [J]
+    n_unknowns: int
+
+
+@dataclass(frozen=True)
+class BankWriteMetrics:
+    """One write access of a bank (flipping the probed cell 0 -> 1)."""
+
+    write_delay: float       #: wordline edge -> storage node at 95% Vdd [s]
+    bitline_swing: float     #: bitline split at the end of the window [V]
+    access_energy: float     #: total supply energy over the window [J]
+    n_unknowns: int
+
+
+@dataclass(frozen=True)
+class BankRetentionMetrics:
+    """Static retention state of a bank (no access)."""
+
+    leakage_power: float     #: supply power in standby [W]
+    n_unknowns: int
+
+
+def solve_bank(bank: SramBank, tstop: float, *,
+               dt: float = DEFAULT_DT,
+               options: Optional[TransientOptions] = None,
+               backend=None):
+    """Warm-started operating point + access transient for a bank."""
+    op = bank.operating_point(backend=backend)
+    return transient(bank.circuit, tstop, dt, options=options,
+                     initial=op, layout=bank.layout, backend=backend)
+
+
+def _wordline_edge(result, bank: SramBank) -> float:
+    return measure.first_cross(result.t, result.voltage("wl"),
+                               bank.spec.cell.vdd / 2, "rise")
+
+
+def measure_bank_read(spec: BankSpec, address: Optional[int] = None, *,
+                      trim: bool = True, probe_bit: int = 0,
+                      dt: float = DEFAULT_DT,
+                      options: Optional[TransientOptions] = None,
+                      backend=None) -> BankReadMetrics:
+    """Read-access metrics of the probed column.
+
+    The probed cell stores 0, so the read discharges ``bl_sel``; the
+    transient runs one precharge period past the wordline window to
+    capture the bitline recharge energy.
+    """
+    bank = build_bank(spec, address, mode="read", trim=trim,
+                      probe_bit=probe_bit)
+    cell = spec.cell
+    t_window = cell.t_wordline + cell.t_read
+    tstop = t_window + cell.t_precharge
+    result = solve_bank(bank, tstop, dt=dt, options=options,
+                        backend=backend)
+    t_wl = _wordline_edge(result, bank)
+
+    split = np.abs(result.voltage(bank.nodes["blb"])
+                   - result.voltage(bank.nodes["bl"]))
+    try:
+        t_bl = measure.first_cross(result.t, split, SENSE_THRESHOLD,
+                                   "rise", after=t_wl)
+    except MeasurementError as err:
+        raise MeasurementError(
+            f"bank ({spec.style}, {spec.rows}x{spec.cols}) never "
+            f"develops a {SENSE_THRESHOLD * 1e3:.0f} mV bitline "
+            f"split: {err}") from err
+    sa_split = np.abs(result.voltage(bank.nodes["sa_blb"])
+                      - result.voltage(bank.nodes["sa_bl"]))
+    t_sa = measure.first_cross(result.t, sa_split, SENSE_THRESHOLD,
+                               "rise", after=t_wl)
+    t_rep = measure.first_cross(result.t,
+                                result.voltage(bank.nodes["rbl"]),
+                                cell.vdd / 2, "fall", after=t_wl)
+
+    power = result.source_power("VDD")
+    return BankReadMetrics(
+        read_delay=t_bl - t_wl,
+        sense_delay=t_sa - t_wl,
+        replica_delay=t_rep - t_wl,
+        bitline_swing=float(np.interp(t_window, result.t, split)),
+        precharge_energy=measure.integrate(result.t, power, t_window,
+                                           tstop),
+        access_energy=measure.integrate(result.t, power, 0.0, tstop),
+        n_unknowns=bank.n_unknowns)
+
+
+def measure_bank_write(spec: BankSpec, address: Optional[int] = None, *,
+                       trim: bool = True, probe_bit: int = 0,
+                       dt: float = DEFAULT_DT,
+                       options: Optional[TransientOptions] = None,
+                       backend=None) -> BankWriteMetrics:
+    """Write-access metrics: flip the probed cell from 0 to 1.
+
+    The settle criterion is the full-rail 95% Vdd level on the rising
+    storage node, so for the hybrid style the NEMS pull-up actuation
+    time is included (the hidden mechanical write cost).
+    """
+    bank = build_bank(spec, address, mode="write", trim=trim,
+                      write_value=1, probe_bit=probe_bit)
+    cell = spec.cell
+    tstop = cell.t_wordline + cell.t_read
+    result = solve_bank(bank, tstop, dt=dt, options=options,
+                        backend=backend)
+    t_wl = _wordline_edge(result, bank)
+    try:
+        t_flip = measure.first_cross(result.t,
+                                     result.voltage(bank.nodes["q"]),
+                                     0.95 * cell.vdd, "rise",
+                                     after=t_wl)
+    except MeasurementError as err:
+        raise MeasurementError(
+            f"bank ({spec.style}, {spec.rows}x{spec.cols}) failed to "
+            f"write within {cell.t_read * 1e9:.1f} ns: {err}") from err
+    split = np.abs(result.voltage(bank.nodes["blb"])
+                   - result.voltage(bank.nodes["bl"]))
+    power = result.source_power("VDD")
+    return BankWriteMetrics(
+        write_delay=t_flip - t_wl,
+        bitline_swing=float(split[-1]),
+        access_energy=measure.integrate(result.t, power, 0.0, tstop),
+        n_unknowns=bank.n_unknowns)
+
+
+def measure_bank_retention(spec: BankSpec, *, trim: bool = True,
+                           backend=None) -> BankRetentionMetrics:
+    """Standby leakage power of the whole (represented) bank.
+
+    Every source is static in retention mode, so the warm-started DC
+    operating point *is* the standby state — no transient needed.  For
+    the ``nems_sleep`` style the footer beam is released, so the
+    virtual ground floats to its equilibrium and the figure reflects
+    the sleep-mode leakage floor.
+    """
+    bank = build_bank(spec, mode="retention", trim=trim)
+    op = bank.operating_point(backend=backend)
+    return BankRetentionMetrics(
+        leakage_power=float(op.source_power("VDD")),
+        n_unknowns=bank.n_unknowns)

@@ -1,0 +1,148 @@
+"""Shared six-transistor bitcell and precharge construction.
+
+Single source of truth for instantiating the Figure 13 cell topology
+anywhere it appears — the single-cell read harness
+(:mod:`repro.library.sram`), the explicit benchmark column
+(:mod:`repro.library.sram_array`) and the hierarchical bank builder
+(:mod:`repro.library.sram_bank`) all emit their transistors through
+:func:`add_bitcell` / :func:`add_precharge`, so a sizing or flavour
+change propagates to every harness at once.
+
+The builders carry a ``scale`` factor because the bank's netlist
+trimmer represents ``k`` *identical* unaccessed cells as one aggregate
+cell.  ``k`` parallel identical subcircuits whose boundary nodes are
+shared are exactly equivalent to a single copy with every conductance
+and capacitance multiplied by ``k``:
+
+* MOSFETs — every current and charge term is linear in the drawn
+  width, so the aggregate device just has width ``k * W``;
+* NEMFETs — channel current, floor leakage and junction charge scale
+  with width, but the beam mechanics and the air-gap gate charge scale
+  with the actuation *area*.  :func:`scale_nemfet_params` therefore
+  multiplies ``area``, ``stiffness`` and ``mass`` together by ``k``:
+  the normalised beam dynamics (``omega0``, the force balance, pull-in
+  and pull-out voltages) are invariant under that substitution while
+  the gate charge ``eps0 * area / g_eff`` picks up the factor ``k`` —
+  ``k`` beams moving in lock-step are replaced by one ``k``-fold beam
+  with machine-precision equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.circuit.netlist import Circuit
+from repro.devices.mosfet import Mosfet
+from repro.devices.nemfet import Nemfet, NemfetParams
+from repro.errors import DesignError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids a cycle)
+    from repro.library.sram import SramSpec
+
+#: Cell transistor emission order (stable node-discovery order).
+CELL_ROLES = ("PL", "NL", "PR", "NR", "AL", "AR")
+
+
+def scale_nemfet_params(params: NemfetParams,
+                        scale: float) -> NemfetParams:
+    """Parameter set of a ``scale``-fold aggregate NEMFET.
+
+    Multiplying ``area``, ``stiffness`` and ``mass`` by the same factor
+    leaves every normalised quantity (``omega0``, the electrostatic /
+    penalty force balance, pull-in and pull-out voltages) unchanged
+    while the absolute gate charge scales — exactly the behaviour of
+    ``scale`` identical beams actuating in lock-step.
+    """
+    if scale == 1.0:
+        return params
+    if scale <= 0:
+        raise DesignError(f"aggregate scale must be positive, "
+                          f"got {scale}")
+    return replace(params, area=params.area * scale,
+                   stiffness=params.stiffness * scale,
+                   mass=params.mass * scale)
+
+
+def contact_devices(stored_one: bool) -> frozenset:
+    """Cell transistors whose beams start in contact for a stored bit.
+
+    The devices that *hold* the state conduct: storing a zero
+    (``QL = 0, QR = 1``) keeps NL (gate at QR, high) and PR (PMOS gate
+    at QL, low) on; storing a one mirrors to NR and PL.
+    """
+    return frozenset({"NR", "PL"} if stored_one else {"NL", "PR"})
+
+
+def add_bitcell(circuit: Circuit, spec: SramSpec, *,
+                q: str, qb: str, bl: str, blb: str, wl: str,
+                vdd: str = "vdd", vss: str = "0",
+                name: Callable[[str], str] = lambda role: role,
+                scale: float = 1.0,
+                stored_one: bool = False,
+                open_loop: bool = False,
+                set_contacts: bool = True) -> None:
+    """Emit one (possibly aggregate) six-transistor cell.
+
+    ``name`` maps a device role (PL/NL/PR/NR/AL/AR) to the instance
+    name.  ``scale`` builds the ``scale``-fold aggregate cell (see the
+    module docstring).  ``open_loop`` pins the cross-coupled pair by
+    driving each inverter from the *data rail* of the stored value
+    instead of the opposite storage node — the single-valued DC
+    configuration the explicit benchmark column uses; closed-loop cells
+    are genuinely bistable and rely on a warm-started solve (plus
+    ``set_contacts`` beam initialisation for NEMS flavours) to select
+    the stored state.
+    """
+    if open_loop:
+        data = vdd if stored_one else vss
+        data_b = vss if stored_one else vdd
+        gate_left, gate_right = data_b, data
+        contacts = frozenset()
+    else:
+        gate_left, gate_right = qb, q
+        contacts = (contact_devices(stored_one) if set_contacts
+                    else frozenset())
+
+    def emit(role: str, drain: str, gate: str, source: str) -> None:
+        kind, params = spec.flavor(role)
+        width = spec.width_of(role) * scale
+        if kind == "nemfet":
+            circuit.add(Nemfet(name(role), drain, gate, source,
+                               scale_nemfet_params(params, scale),
+                               width,
+                               initial_contact=role in contacts))
+        else:
+            circuit.add(Mosfet(name(role), drain, gate, source,
+                               params, width))
+
+    emit("PL", q, gate_left, vdd)
+    emit("NL", q, gate_left, vss)
+    emit("PR", qb, gate_right, vdd)
+    emit("NR", qb, gate_right, vss)
+    emit("AL", bl, wl, q)
+    emit("AR", blb, wl, qb)
+
+
+def add_precharge(circuit: Circuit, spec: SramSpec, *,
+                  bl: str, blb: str,
+                  name: Callable[[str], str] = lambda side: f"MPRE{side}",
+                  vdd: str = "vdd",
+                  pre: str = "pre",
+                  scale: float = 1.0,
+                  r_resistive: Optional[float] = None) -> None:
+    """Emit a bitline precharge pair.
+
+    The default is the active form: a PMOS pair of width
+    ``spec.w_precharge * scale`` gated by ``pre`` (low = precharging).
+    ``r_resistive`` selects the passive form instead — a resistive pull
+    to VDD per bitline (value divided by ``scale``), which is what the
+    DC-only explicit column uses to keep its system single-valued.
+    """
+    if r_resistive is not None:
+        circuit.resistor(name("L"), vdd, bl, r_resistive / scale)
+        circuit.resistor(name("R"), vdd, blb, r_resistive / scale)
+        return
+    width = spec.w_precharge * scale
+    circuit.add(Mosfet(name("L"), bl, pre, vdd, spec.pmos, width))
+    circuit.add(Mosfet(name("R"), blb, pre, vdd, spec.pmos, width))

@@ -116,7 +116,8 @@ class JobSpec:
                 "'tenant' must match [A-Za-z0-9._-]{1,64}")
             tenant = DEFAULT_TENANT
         if experiment:
-            errors.extend(validate_params(experiment, params))
+            errors.extend(validate_params(experiment, params,
+                                          quick=quick))
         if isinstance(params, dict):
             try:
                 json.dumps(params)

@@ -1,0 +1,156 @@
+"""Property tests for address decode and bank-trimming invariants.
+
+Randomised geometries exercise corners the example-based tests don't
+(single-row banks, mux_ratio 1, single-word banks, every address):
+
+* the decoder is one-hot for *every* address and partitions the
+  address space;
+* the trimmed plan never drops the accessed cell, represents every
+  bitcell of the array exactly once, and partitions rows/columns;
+* the trimmed netlist preserves the accessed column's bitline loading
+  and the total wordline-gated width — the width-linear quantities
+  the aggregation argument says must be invariant.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.library.sram_bank import (
+    AddressDecoder,
+    BankSpec,
+    bitline_capacitance,
+    build_bank,
+    plan_bank,
+    wordline_access_width,
+)
+
+#: Small-but-irregular geometries: rows x (mux * words) up to 12x12.
+geometries = st.tuples(st.integers(1, 12),          # rows
+                       st.integers(1, 4),           # mux_ratio
+                       st.integers(1, 3))           # words
+
+
+def draw_bank(draw, style="cmos"):
+    rows, mux, words = draw(geometries)
+    spec = BankSpec(rows=rows, cols=mux * words, mux_ratio=mux,
+                    style=style)
+    address = draw(st.integers(0, rows * mux - 1))
+    probe_bit = draw(st.integers(0, words - 1))
+    return spec, address, probe_bit
+
+
+@st.composite
+def banks(draw, style="cmos"):
+    return draw_bank(draw, style)
+
+
+@st.composite
+def styled_banks(draw):
+    style = draw(st.sampled_from(("cmos", "hybrid", "nems_sleep")))
+    return (*draw_bank(draw, style), style)
+
+
+class TestDecoderProperties:
+    @given(st.integers(1, 32), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_one_hot_for_every_address(self, rows, mux):
+        dec = AddressDecoder(rows, mux)
+        for address in range(dec.n_addresses):
+            wl = dec.one_hot(address)
+            cs = dec.column_select(address)
+            assert sum(wl) == 1 and len(wl) == rows
+            assert sum(cs) == 1 and len(cs) == mux
+            row, offset = dec.decode(address)
+            assert wl[row] == 1 and cs[offset] == 1
+            assert row * mux + offset == address
+
+    @given(st.integers(1, 32), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_decode_partitions_the_address_space(self, rows, mux):
+        dec = AddressDecoder(rows, mux)
+        seen = {dec.decode(a) for a in range(dec.n_addresses)}
+        assert len(seen) == dec.n_addresses
+
+
+class TestPlanProperties:
+    @given(banks(), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_every_cell_represented_exactly_once(self, bank, trim):
+        spec, address, probe_bit = bank
+        plan = plan_bank(spec, address, probe_bit=probe_bit, trim=trim)
+        # Columns partition range(cols) ...
+        cols = [j for g in plan.columns for j in g.columns]
+        assert sorted(cols) == list(range(spec.cols))
+        # ... and each column group's cells partition range(rows).
+        for g in plan.columns:
+            rows = [r for cg in g.cells for r in cg.rows]
+            assert sorted(rows) == list(range(spec.rows))
+        assert plan.cells_represented == spec.rows * spec.cols
+
+    @given(banks())
+    @settings(max_examples=40, deadline=None)
+    def test_accessed_cell_never_dropped(self, bank):
+        spec, address, probe_bit = bank
+        plan = plan_bank(spec, address, probe_bit=probe_bit, trim=True)
+        sel = plan.accessed_column
+        assert sel.columns == (plan.col,) and sel.mux_on
+        assert plan.col // spec.mux_ratio == probe_bit
+        assert plan.col % spec.mux_ratio == plan.col_offset
+        probed = [cg for cg in sel.cells if cg.probed]
+        assert len(probed) == 1
+        assert probed[0].rows == (plan.row,)
+        assert probed[0].scale == 1 and probed[0].selected
+        assert not probed[0].stored_one
+        # Exactly one selected (wordline-gated) cell group per column
+        # group, always standing for the accessed row alone.
+        for g in plan.columns:
+            selected = [cg for cg in g.cells if cg.selected]
+            assert len(selected) == 1
+            assert selected[0].rows == (plan.row,)
+
+    @given(banks())
+    @settings(max_examples=40, deadline=None)
+    def test_flat_and_trimmed_plans_agree_on_the_access(self, bank):
+        spec, address, probe_bit = bank
+        flat = plan_bank(spec, address, probe_bit=probe_bit,
+                         trim=False)
+        trimmed = plan_bank(spec, address, probe_bit=probe_bit,
+                            trim=True)
+        assert (flat.row, flat.col, flat.col_offset) \
+            == (trimmed.row, trimmed.col, trimmed.col_offset)
+        assert flat.cells_represented == trimmed.cells_represented
+
+
+class TestNetlistProperties:
+    @given(styled_banks())
+    @settings(max_examples=15, deadline=None)
+    def test_trimming_preserves_accessed_bitline_loading(self, bank):
+        spec, address, probe_bit, style = bank
+        flat = build_bank(spec, address, probe_bit=probe_bit,
+                          trim=False)
+        trimmed = build_bank(spec, address, probe_bit=probe_bit,
+                             trim=True)
+        assert trimmed.n_unknowns <= flat.n_unknowns
+        for node in ("bl_sel", "blb_sel"):
+            c_flat = bitline_capacitance(flat.circuit, node)
+            c_trim = bitline_capacitance(trimmed.circuit, node)
+            assert abs(c_trim - c_flat) <= 1e-12 * c_flat
+        w_flat = wordline_access_width(flat.circuit)
+        w_trim = wordline_access_width(trimmed.circuit)
+        assert abs(w_trim - w_flat) <= 1e-12 * w_flat
+
+    @given(styled_banks())
+    @settings(max_examples=15, deadline=None)
+    def test_accessed_cell_devices_are_unit_scale(self, bank):
+        spec, address, probe_bit, style = bank
+        bank_built = build_bank(spec, address, probe_bit=probe_bit,
+                                trim=True)
+        plan = bank_built.plan
+        cell = spec.cell
+        probed = [cg for cg in plan.accessed_column.cells
+                  if cg.probed][0]
+        for role, width in (("AL", cell.w_access),
+                            ("NL", cell.w_pulldown),
+                            ("PL", cell.w_pullup)):
+            device = bank_built.circuit[
+                f"{role}_{probed.tag}_sel"]
+            assert device.width == width
