@@ -1,0 +1,113 @@
+"""Bench: multi-worker service throughput on a mixed sweep load.
+
+Boots the job service twice on the same mixed fig09/fig11 quick load —
+once with one executor thread, once with four — and measures
+submit-everything-then-drain wall time.  With every ambient solver
+registry thread-local (observers, option transforms, policies, phase
+counters) the four-worker run is *safe*: results stay bit-identical to
+the sequential run and each job's summary attributes exactly its own
+solves, which this bench asserts alongside the timing.
+
+The speedup bar is deliberately conservative: the engine's inner loops
+are numpy-on-small-matrices, so Python holds the GIL for much of a
+job and thread-level overlap buys far less than 4x.  The bar catches
+the failure modes that matter — a serialised pool (lock contention
+returning the service to one-at-a-time) or a crashed worker — not
+scheduler noise.
+
+Set ``REPRO_BENCH_JSON`` to a path to get the measurements as a JSON
+artifact (CI uploads it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from repro.service import ServiceClient, ServiceConfig, ServiceServer
+
+#: Mixed load: three distinct fig09 keeper sweeps and one fig11
+#: delay sweep, all quick-mode.  Distinct parameter sets keep every
+#: job a real solve (no intra-run cache aliasing).
+JOB_MIX = [
+    ("fig09", {"sigma_levels": [0.05], "keeper_widths": [8e-07]}),
+    ("fig09", {"sigma_levels": [0.15], "keeper_widths": [2e-06]}),
+    ("fig09", {"sigma_levels": [0.05, 0.15],
+               "keeper_widths": [1.2e-06]}),
+    ("fig11", None),
+]
+
+
+def _drain(server, mix):
+    client = ServiceClient(server.host, server.port)
+    started = time.perf_counter()
+    records = []
+    for experiment, params in mix:
+        kwargs = {"params": params} if params else {}
+        records.append(client.submit(experiment, quick=True,
+                                     **kwargs))
+    finals = [client.wait(record["id"], timeout=600, poll=0.02)
+              for record in records]
+    wall = time.perf_counter() - started
+    for final in finals:
+        assert final["state"] == "succeeded", final
+    rows = [client.result(record["id"])["rows"] for record in records]
+    return wall, finals, rows
+
+
+def _boot_and_drain(workers):
+    tmp = tempfile.mkdtemp(prefix=f"repro-mw{workers}-")
+    config = ServiceConfig(data_dir=os.path.join(tmp, "svc"),
+                           cache_dir=None,  # time solves, not replays
+                           workers=workers,
+                           submissions_per_minute=100000.0,
+                           submission_burst=1000,
+                           max_running_per_tenant=1000)
+    with ServiceServer(config) as server:
+        wall, finals, rows = _drain(server, JOB_MIX)
+        alive = server.app.stats()["service"]["workers_alive"]
+    assert alive == workers, (
+        f"worker pool degraded: {alive}/{workers} alive")
+    return wall, finals, rows
+
+
+def test_multiworker_throughput(record_property):
+    solo_wall, solo_finals, solo_rows = _boot_and_drain(workers=1)
+    quad_wall, quad_finals, quad_rows = _boot_and_drain(workers=4)
+
+    # Safety before speed: concurrent execution must change nothing
+    # about the answers or their attribution.
+    assert quad_rows == solo_rows, (
+        "workers=4 results differ from workers=1")
+    for solo, quad in zip(solo_finals, quad_finals):
+        for key in ("engine_jobs", "newton_iterations",
+                    "steps_accepted", "point_failures"):
+            assert quad["summary"][key] == solo["summary"][key], (
+                f"per-job {key} attribution differs under workers=4")
+
+    speedup = solo_wall / quad_wall
+    points = {
+        "jobs": len(JOB_MIX),
+        "workers1_wall_s": solo_wall,
+        "workers4_wall_s": quad_wall,
+        "speedup": speedup,
+    }
+    print(f"\nmixed load x{len(JOB_MIX)}: workers=1 {solo_wall:.2f} s, "
+          f"workers=4 {quad_wall:.2f} s ({speedup:.2f}x)")
+    record_property("multiworker_speedup", round(speedup, 2))
+
+    artifact = os.environ.get("REPRO_BENCH_JSON")
+    if artifact:
+        with open(artifact, "w") as handle:
+            json.dump({"benchmark": "service_multiworker",
+                       "job_mix": [list(job) for job in JOB_MIX],
+                       "points": points}, handle, indent=1)
+
+    # GIL-bound work: require only that four workers are not *slower*
+    # than one beyond scheduler noise.  Real overlap (numpy/LAPACK
+    # sections release the GIL) typically lands well above 1x.
+    assert speedup >= 0.75, (
+        f"workers=4 slower than workers=1: {speedup:.2f}x — "
+        f"worker pool is serialising or thrashing")

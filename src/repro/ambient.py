@@ -1,0 +1,148 @@
+"""Thread-local ambient-state primitives.
+
+Several session-wide policies influence or observe a solve without
+appearing in any function signature: the solve-observer and
+option-transform stacks, the linear-solver backend policy, the default
+transient step control, the stacked-ensemble toggle and the
+device-evaluation policy.  Historically these were process-global
+module variables — correct for a single-threaded CLI run, silently
+corrupting for the job service, where two worker threads would merge
+each other's Newton telemetry and apply each other's solver-option
+transforms.
+
+This module provides the two storage primitives every ambient policy
+now uses:
+
+* :class:`ThreadLocalStack` — an ordered per-thread registration stack
+  (observers, transforms).  Exit pops by *identity from the tail*, so
+  re-entering a block with the same object unwinds correctly, and
+  removal is idempotent so a cancel-during-cleanup path can never turn
+  a double-removal into a worker crash.
+* :class:`ThreadLocalValue` — a single per-thread policy value over a
+  shared process-wide default.  ``get`` returns the thread's value if
+  one was ever set in this thread, else the default; ``set`` installs
+  a thread-local value and returns the previously *effective* one, so
+  the usual ``previous = set(x) ... set(previous)`` restore idiom
+  keeps working unchanged.
+
+Threads therefore start from the shared defaults and diverge only
+through their own ``set_*`` calls or ``*_override`` context managers.
+Cross-thread (and cross-process) propagation is explicit: see
+:class:`repro.analysis.context.AmbientContext`, which snapshots every
+policy in the submitting thread and reinstalls it inside engine pool
+workers.
+
+This module intentionally has no ``repro`` imports — it sits below
+both the circuit and analysis layers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class ThreadLocalStack:
+    """Ordered, per-thread stack of registrations.
+
+    Iteration yields the current thread's items in push order (a
+    snapshot, so observers may deregister themselves mid-notification).
+    """
+
+    def __init__(self, name: str):
+        self._name = name
+        self._local = threading.local()
+
+    def _items(self, create: bool = False) -> Optional[List[Any]]:
+        items = getattr(self._local, "items", None)
+        if items is None and create:
+            items = self._local.items = []
+        return items
+
+    def push(self, item: Any) -> None:
+        """Register ``item`` at the tail of this thread's stack."""
+        self._items(create=True).append(item)
+
+    def pop(self, item: Any) -> bool:
+        """Unregister the *most recent* matching registration.
+
+        The search walks from the tail and prefers identity over
+        equality, so pushing the same object twice (a re-entered
+        context manager) unwinds innermost-first instead of dropping
+        the outer registration and reordering the composition.  Equal
+        but non-identical callables (e.g. two ``obj.method`` bound
+        methods) still match, which the add/remove function pairs rely
+        on.  A missing item is a no-op: teardown paths may run twice.
+        """
+        items = self._items()
+        if not items:
+            return False
+        equal_at = -1
+        for i in range(len(items) - 1, -1, -1):
+            if items[i] is item:
+                del items[i]
+                return True
+            if equal_at < 0 and items[i] == item:
+                equal_at = i
+        if equal_at >= 0:
+            del items[equal_at]
+            return True
+        return False
+
+    def snapshot(self) -> Tuple[Any, ...]:
+        """This thread's registrations, oldest first."""
+        items = self._items()
+        return tuple(items) if items else ()
+
+    def replace(self, items: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Swap this thread's whole stack; returns the previous one."""
+        previous = self.snapshot()
+        self._local.items = list(items)
+        return previous
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.snapshot())
+
+    def __len__(self) -> int:
+        items = self._items()
+        return len(items) if items else 0
+
+    def __bool__(self) -> bool:
+        return bool(self._items())
+
+    def __repr__(self) -> str:
+        return (f"ThreadLocalStack({self._name!r}, "
+                f"depth={len(self)})")
+
+
+class ThreadLocalValue:
+    """One ambient policy value: a per-thread override of a default.
+
+    The default is shared by every thread that never called
+    :meth:`set`; a thread's own value shadows it from the first ``set``
+    on.  The default itself is fixed at construction — mutating policy
+    is always a per-thread act, which is exactly what makes concurrent
+    service workers safe.
+    """
+
+    def __init__(self, name: str, default: Any):
+        self._name = name
+        self._default = default
+        self._local = threading.local()
+
+    @property
+    def default(self) -> Any:
+        return self._default
+
+    def get(self) -> Any:
+        """This thread's value, or the shared default."""
+        return getattr(self._local, "value", self._default)
+
+    def set(self, value: Any) -> Any:
+        """Install a thread-local value; returns the one it shadows."""
+        previous = self.get()
+        self._local.value = value
+        return previous
+
+    def __repr__(self) -> str:
+        return f"ThreadLocalValue({self._name!r}, {self.get()!r})"

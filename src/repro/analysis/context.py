@@ -1,0 +1,109 @@
+"""Explicit ambient-context propagation across threads and processes.
+
+Every session policy that influences a solve — the linear-solver
+backend policy, the default transient step control, the stacked
+ensemble toggle, the device-evaluation policy and the active
+option-transform stack — lives in thread-local storage (see
+:mod:`repro.ambient` and :mod:`repro.analysis.options`).  That makes
+concurrent orchestration safe, but it also means a worker thread or a
+pool worker process starts from the shared defaults rather than from
+whatever the submitting thread had configured.
+
+:class:`AmbientContext` is the explicit hand-off: :meth:`capture` in
+the submitting thread, ship the (picklable) snapshot to the worker,
+and run the task inside :meth:`applied`.  The engine's job runner does
+this for its ``jobs=N`` pool (see
+:func:`repro.engine.runner.run_jobs`), so a ``backend_override`` or a
+retry-ladder relaxation wrapped around a sweep reaches solves executed
+by pool workers exactly as it reaches in-thread solves — and the
+cache's :func:`~repro.engine.cache.ambient_salt` (computed from the
+same policies in the submitting thread) stays truthful for the results
+they produce.
+
+``applied`` also gives the worker a *fresh observation scope*: any
+solve observers inherited from the parent (via ``fork``) are masked
+for the duration, because attribution flows back to the submitter
+explicitly — as :class:`~repro.engine.telemetry.SolveStats` on each
+:class:`~repro.engine.runner.JobResult` — never through ambient
+callbacks crossing a thread or process boundary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from repro.analysis import options as _options
+from repro.analysis import solver as _solver
+from repro.analysis.options import (
+    BackendOptions,
+    EvalOptions,
+    OptionTransform,
+    get_backend_options,
+    get_default_step_control,
+    get_ensemble_mode,
+    get_eval_options,
+    set_backend_options,
+    set_default_step_control,
+    set_ensemble_mode,
+    set_eval_options,
+)
+
+
+@dataclass(frozen=True)
+class AmbientContext:
+    """Snapshot of every thread-local solve policy, ready to reinstall.
+
+    The scalar policies are plain dataclasses/strings/bools and always
+    pickle; the option transforms are whatever callables were pushed —
+    module-level functions and the retry ladder's bound
+    ``RetryRung.adjust`` methods pickle fine, ad-hoc lambdas do not
+    (the same restriction the job runner already places on task
+    functions).
+    """
+
+    backend: BackendOptions = field(default_factory=BackendOptions)
+    step_control: str = "lte"
+    ensemble_mode: bool = True
+    eval_options: EvalOptions = field(default_factory=EvalOptions)
+    option_transforms: Tuple[OptionTransform, ...] = ()
+
+    @classmethod
+    def capture(cls) -> "AmbientContext":
+        """The calling thread's effective ambient solve policies."""
+        return cls(
+            backend=get_backend_options(),
+            step_control=get_default_step_control(),
+            ensemble_mode=get_ensemble_mode(),
+            eval_options=get_eval_options(),
+            option_transforms=_options._option_transforms.snapshot())
+
+    @contextlib.contextmanager
+    def applied(self) -> Iterator["AmbientContext"]:
+        """Install this snapshot for the calling thread.
+
+        The policy values are set thread-locally, the option-transform
+        stack is *replaced* (not appended to) with the captured one,
+        and the solve-observer stack is cleared — so the block behaves
+        identically whether the thread inherited state (a forked pool
+        worker) or started clean (a spawned one).  Everything is
+        restored on exit; pool workers are reused across jobs and must
+        not accumulate state.
+        """
+        prev_backend = set_backend_options(self.backend)
+        prev_step = set_default_step_control(self.step_control)
+        prev_ensemble = set_ensemble_mode(self.ensemble_mode)
+        prev_eval = set_eval_options(self.eval_options)
+        prev_transforms = _options._option_transforms.replace(
+            self.option_transforms)
+        prev_observers = _solver._solve_observers.replace(())
+        try:
+            yield self
+        finally:
+            _solver._solve_observers.replace(prev_observers)
+            _options._option_transforms.replace(prev_transforms)
+            set_eval_options(prev_eval)
+            set_ensemble_mode(prev_ensemble)
+            set_default_step_control(prev_step)
+            set_backend_options(prev_backend)

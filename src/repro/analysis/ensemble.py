@@ -25,9 +25,11 @@ The stacked path is numerically the *same algorithm* as the scalar
 one — same damped-Newton update, clamping, line search and LTE control
 — so per-sample results agree with the sequential loop to solver
 tolerance (locked down by ``tests/test_ensemble_parity.py``).  The
-session-wide toggle :func:`repro.analysis.options.ensemble_override`
-forces the sequential reference path for A/B comparison; it is folded
-into the engine cache's ambient salt so the two modes never alias.
+*thread-local* toggle :func:`repro.analysis.options.ensemble_override`
+forces the sequential reference path for A/B comparison — each thread
+resolves its own mode, so one service worker's A/B run never flips a
+neighbour's path — and it is folded into the engine cache's ambient
+salt so the two modes never alias.
 """
 
 from __future__ import annotations

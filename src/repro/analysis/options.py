@@ -8,13 +8,23 @@ solve entered while the transform is active.  The solver resolves its
 options through :func:`resolve_solver_options`, so relaxations reach
 solves buried arbitrarily deep inside an experiment without threading
 option arguments through every call site.
+
+Every session policy in this module — the transform stack, the backend
+policy, the default step control and the ensemble toggle — is stored
+**thread-locally** (see :mod:`repro.ambient`): a ``set_*`` call or an
+``*_override`` block affects only the calling thread, so concurrent
+service workers resolve their own policies.  New threads start from
+the shared defaults; explicit cross-thread propagation goes through
+:class:`repro.analysis.context.AmbientContext`.
 """
 
 from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.ambient import ThreadLocalStack, ThreadLocalValue
 
 # Device-evaluation policy (batched/scalar mode and SPICE-style
 # bypass).  It lives in repro.circuit.batch — the assembler needs it
@@ -68,17 +78,25 @@ class HomotopyOptions:
 OptionTransform = Callable[["NewtonOptions", "HomotopyOptions"],
                            Tuple["NewtonOptions", "HomotopyOptions"]]
 
-_option_transforms: List[OptionTransform] = []
+#: Per-thread transform registrations: a transform pushed here rewrites
+#: only solves entered by the pushing thread.
+_option_transforms = ThreadLocalStack("option-transforms")
 
 
 @contextlib.contextmanager
 def option_transform(transform: OptionTransform) -> Iterator[None]:
-    """Apply ``transform`` to every DC solve entered in this block."""
-    _option_transforms.append(transform)
+    """Apply ``transform`` to every DC solve entered in this block.
+
+    Blocks nest, including with the *same* transform object: exit pops
+    the innermost matching registration (identity first, from the
+    tail), so re-entering a shared transform never removes the outer
+    registration or reorders the composition.
+    """
+    _option_transforms.push(transform)
     try:
         yield
     finally:
-        _option_transforms.remove(transform)
+        _option_transforms.pop(transform)
 
 
 def resolve_solver_options(newton: Optional["NewtonOptions"],
@@ -125,20 +143,18 @@ class BackendOptions:
                 f"{self.sparse_threshold}")
 
 
-_backend_options = BackendOptions()
+_backend_options = ThreadLocalValue("backend-options", BackendOptions())
 
 
 def get_backend_options() -> BackendOptions:
-    """The active backend-selection policy."""
-    return _backend_options
+    """The calling thread's active backend-selection policy."""
+    return _backend_options.get()
 
 
 def set_backend_options(options: BackendOptions) -> BackendOptions:
-    """Install a new backend policy; returns the previous one."""
-    global _backend_options
-    previous = _backend_options
-    _backend_options = options
-    return previous
+    """Install a new backend policy for this thread; returns the
+    previously effective one."""
+    return _backend_options.set(options)
 
 
 @contextlib.contextmanager
@@ -164,28 +180,26 @@ def backend_override(kind: Optional[str] = None,
         set_backend_options(previous)
 
 
-#: Session-wide default transient step control ("lte" or "iter"); see
+#: Per-thread default transient step control ("lte" or "iter"); see
 #: :func:`set_default_step_control` / :func:`step_control_override`.
-_default_step_control = "lte"
+_default_step_control = ThreadLocalValue("step-control", "lte")
 
 _STEP_CONTROLS = ("lte", "iter")
 
 
 def get_default_step_control() -> str:
     """The step-control mode used when TransientOptions leaves it None."""
-    return _default_step_control
+    return _default_step_control.get()
 
 
 def set_default_step_control(kind: str) -> str:
-    """Install a new default step control; returns the previous one."""
+    """Install this thread's default step control; returns the
+    previously effective one."""
     if kind not in _STEP_CONTROLS:
         raise ValueError(
             f"unknown step control '{kind}' (expected one of "
             f"{', '.join(_STEP_CONTROLS)})")
-    global _default_step_control
-    previous = _default_step_control
-    _default_step_control = kind
-    return previous
+    return _default_step_control.set(kind)
 
 
 @contextlib.contextmanager
@@ -211,20 +225,18 @@ def step_control_override(kind: Optional[str]) -> Iterator[None]:
 #: path instead (identical numerics to the pre-ensemble code).  Folded
 #: into the engine cache's ambient salt so stacked and sequential runs
 #: never alias.
-_ensemble_mode = True
+_ensemble_mode = ThreadLocalValue("ensemble-mode", True)
 
 
 def get_ensemble_mode() -> bool:
     """Whether the ensemble analyses use the stacked lock-step path."""
-    return _ensemble_mode
+    return _ensemble_mode.get()
 
 
 def set_ensemble_mode(enabled: bool) -> bool:
-    """Enable/disable the stacked ensemble path; returns the previous."""
-    global _ensemble_mode
-    previous = _ensemble_mode
-    _ensemble_mode = bool(enabled)
-    return previous
+    """Enable/disable the stacked ensemble path for this thread;
+    returns the previously effective setting."""
+    return _ensemble_mode.set(bool(enabled))
 
 
 @contextlib.contextmanager

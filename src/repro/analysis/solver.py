@@ -22,17 +22,25 @@ solve (kind ``"newton"``) and one per DC homotopy solve (kind ``"dc"``,
 carrying the winning strategy and cumulative iteration count).  The
 telemetry layer in :mod:`repro.engine.telemetry` builds on this; when no
 observer is registered the hooks cost nothing.
+
+The observer stack is **thread-local** (a
+:class:`repro.ambient.ThreadLocalStack`): a thread only sees events
+from solves it performed itself, so concurrent service workers or
+engine orchestrators never merge each other's telemetry.  Deregistering
+an observer that is already gone is a tolerated no-op, so teardown
+paths (cancel during cleanup) can never crash a worker.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from repro import profiling
+from repro.ambient import ThreadLocalStack
 from repro.analysis.backends import DenseSolver, LinearSolver, solve_linear
 from repro.analysis.options import (
     HomotopyOptions,
@@ -111,21 +119,31 @@ class SolveEvent:
 
 SolveObserver = Callable[[SolveEvent], None]
 
-_solve_observers: List[SolveObserver] = []
+#: Per-thread observer registrations (see the module docstring).
+_solve_observers = ThreadLocalStack("solve-observers")
 
 
 def add_solve_observer(observer: SolveObserver) -> None:
-    """Register a callback invoked once per solve with a SolveEvent."""
-    _solve_observers.append(observer)
+    """Register a callback invoked once per solve with a SolveEvent.
+
+    Registration is thread-local: only solves performed by the calling
+    thread are reported to ``observer``.
+    """
+    _solve_observers.push(observer)
 
 
 def remove_solve_observer(observer: SolveObserver) -> None:
-    """Unregister a previously added solve observer."""
-    _solve_observers.remove(observer)
+    """Unregister a previously added solve observer.
+
+    Removes the most recent matching registration; removing an
+    observer that was never registered (or was already removed) is a
+    no-op, so cleanup paths are safe to run twice.
+    """
+    _solve_observers.pop(observer)
 
 
 def _notify(event: SolveEvent) -> None:
-    for observer in list(_solve_observers):
+    for observer in _solve_observers.snapshot():
         observer(event)
 
 

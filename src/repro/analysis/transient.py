@@ -3,7 +3,10 @@
 Step-size control
 -----------------
 With ``options.adaptive`` (the default) the step size is governed by the
-resolved ``options.step_control``:
+resolved ``options.step_control`` (``None`` resolves through the
+*thread-local* session default — see
+:func:`repro.analysis.options.step_control_override` — so concurrent
+service workers can run different controllers without interfering):
 
 * ``"lte"`` (default) — true local-truncation-error control.  After each
   converged implicit solve the LTE of the candidate step is estimated

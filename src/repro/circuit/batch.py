@@ -57,6 +57,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.ambient import ThreadLocalValue
 from repro.circuit.waveforms import DC
 from repro.errors import AnalysisError
 
@@ -104,22 +105,23 @@ class EvalOptions:
             raise ValueError("bypass tolerances must be >= 0")
 
 
-_eval_options = EvalOptions()
+#: Per-thread evaluation policy over the shared default (see
+#: :mod:`repro.ambient`): concurrent orchestrating threads each get
+#: their own eval/bypass policy.
+_eval_options = ThreadLocalValue("eval-options", EvalOptions())
 
 
 def get_eval_options() -> EvalOptions:
-    """The session-wide evaluation policy new assemblers snapshot."""
-    return _eval_options
+    """The calling thread's evaluation policy new assemblers snapshot."""
+    return _eval_options.get()
 
 
 def set_eval_options(options: EvalOptions) -> EvalOptions:
-    """Install ``options`` as the session policy; returns the previous."""
-    global _eval_options
+    """Install ``options`` as this thread's policy; returns the
+    previously effective one."""
     if not isinstance(options, EvalOptions):
         raise TypeError(f"expected EvalOptions, got {type(options)!r}")
-    previous = _eval_options
-    _eval_options = options
-    return previous
+    return _eval_options.set(options)
 
 
 @contextmanager

@@ -400,8 +400,9 @@ def main(argv: Optional[list] = None) -> int:
                              "(default: 1)")
     server.add_argument("--workers", type=int, default=1, metavar="N",
                         help="concurrent experiment executor threads "
-                             "(default: 1; per-job telemetry "
-                             "attribution is exact only at 1)")
+                             "(default: 1; solver policy and telemetry "
+                             "are thread-local, so per-job attribution "
+                             "stays exact at any N)")
     server.add_argument("--no-cache", action="store_true",
                         help="disable the shared result cache")
     server.add_argument("--cache-dir", default=None, metavar="DIR",

@@ -36,6 +36,17 @@ else (the HTTP service, long-running orchestration):
   included) as it lands, so a caller can stream per-point progress
   without polling telemetry.  Thread-local registration keeps two
   orchestrating threads from seeing each other's sweeps.
+
+Ambient-context propagation: the submitting thread's solve policies —
+backend selection, default step control, ensemble mode, eval/bypass
+policy and any active option transforms, all thread-local (see
+:mod:`repro.analysis.context`) — are captured when a parallel sweep is
+submitted and reinstalled inside each pool worker around every task.
+A ``backend_override`` (or a retry relaxation) wrapped around
+``run_jobs`` therefore reaches solves executed by pool workers exactly
+as it reaches in-thread solves, and nested parallelism keeps exact
+attribution: a worker's telemetry scope is its own, with results
+flowing back only on the :class:`JobResult`.
 """
 
 from __future__ import annotations
@@ -58,6 +69,8 @@ from typing import (
     Tuple,
 )
 
+from repro.ambient import ThreadLocalStack
+from repro.analysis.context import AmbientContext
 from repro.engine import telemetry
 from repro.engine.cache import ResultCache, job_key
 from repro.engine.config import EngineConfig, get_config
@@ -112,6 +125,8 @@ class JobResult:
 #: :func:`cancel_scope` and the progress observers of this thread.
 _local = threading.local()
 
+_progress_observers = ThreadLocalStack("progress-observers")
+
 
 def add_progress_observer(observer: Callable[[JobResult, str], None]
                           ) -> None:
@@ -124,16 +139,17 @@ def add_progress_observer(observer: Callable[[JobResult, str], None]
     running.  Registration is thread-local: an orchestrator thread
     only sees the sweeps it runs itself.
     """
-    observers = getattr(_local, "observers", None)
-    if observers is None:
-        observers = _local.observers = []
-    observers.append(observer)
+    _progress_observers.push(observer)
 
 
 def remove_progress_observer(observer: Callable[[JobResult, str], None]
                              ) -> None:
-    """Unregister a previously added progress observer."""
-    _local.observers.remove(observer)
+    """Unregister a previously added progress observer.
+
+    Removing an observer that is already gone is a tolerated no-op,
+    so a cancel-during-cleanup path can never crash its worker.
+    """
+    _progress_observers.pop(observer)
 
 
 @contextlib.contextmanager
@@ -148,7 +164,7 @@ def observing_progress(observer: Callable[[JobResult, str], None]
 
 
 def _notify_progress(result: JobResult, group: str) -> None:
-    for observer in list(getattr(_local, "observers", ()) or ()):
+    for observer in _progress_observers.snapshot():
         observer(result, group)
 
 
@@ -180,13 +196,31 @@ def _cancelled_result(index: int, job: Job, *, attempts: int = 0,
 
 
 def _execute(index: int, job: Job, ladder: Tuple[RetryRung, ...],
-             cancel: Optional[Callable[[], bool]] = None) -> JobResult:
-    """Run one job with telemetry and the retry ladder (any process)."""
+             cancel: Optional[Callable[[], bool]] = None,
+             ambient: Optional[AmbientContext] = None) -> JobResult:
+    """Run one job with telemetry and the retry ladder (any process).
+
+    ``ambient`` is set on the pool path only: it reinstalls the
+    submitting thread's solve policies in the worker and gives it a
+    clean observation scope (a forked worker inherits the submitter's
+    thread-local observers and ambient cancel; they belong to the
+    parent and must not fire here — progress and cancellation are
+    driven from the parent, attribution returns on the result).
+    """
+    if ambient is not None:
+        _progress_observers.replace(())
+        _local.cancel = None
+        ambient_ctx = ambient.applied()
+    else:
+        ambient_ctx = contextlib.nullcontext()
     stats = telemetry.SolveStats()
     started = time.perf_counter()
     last_error: Optional[BaseException] = None
     attempts = 0
-    with telemetry.collecting(stats):
+    # ``exclusive``: the job's solves attribute to this job only —
+    # enclosing collectors see them via ``JobResult.solves``, never as
+    # raw events, so nested parallelism cannot double-count.
+    with ambient_ctx, telemetry.collecting(stats, exclusive=True):
         for rung in (None,) + tuple(ladder):
             # A cancellation observed mid-ladder is a cancellation, not
             # a retries-exhausted failure: stop relaxing and say so.
@@ -295,9 +329,13 @@ def run_jobs(tasks: Sequence[Job], *, group: str = "",
                 mp_context=_pool_context()) as pool:
             # The cancel callable stays in the parent: it is typically
             # a closure over live state (a job store, an event) that
-            # must not cross the process boundary.
+            # must not cross the process boundary.  The submitting
+            # thread's ambient solve policies DO cross it, explicitly:
+            # each worker reinstalls this snapshot around its task.
+            ambient = AmbientContext.capture()
             futures = [(index, job, key,
-                        pool.submit(_execute, index, job, rungs))
+                        pool.submit(_execute, index, job, rungs,
+                                    None, ambient))
                        for index, job, key in pending]
             sweep_cancelled = False
             for index, job, key, future in futures:

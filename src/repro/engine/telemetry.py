@@ -15,6 +15,11 @@ aggregates those events into bounded-size counters:
 
 Everything serialises to plain JSON so reports survive across
 processes and CLI invocations.
+
+Collection is thread-local end to end: the solve-observer stack lives
+in per-thread storage, so a :func:`collecting` block only sees solves
+performed by its own thread — two service workers running jobs
+concurrently each aggregate exactly their own events.
 """
 
 from __future__ import annotations
@@ -220,13 +225,33 @@ class SolveStats:
 
 
 @contextlib.contextmanager
-def collecting(stats: SolveStats) -> Iterator[SolveStats]:
-    """Route solver events into ``stats`` for the duration of the block."""
+def collecting(stats: SolveStats,
+               exclusive: bool = False) -> Iterator[SolveStats]:
+    """Route solver events into ``stats`` for the duration of the block.
+
+    Observation is thread-local: only solves performed by the calling
+    thread land in ``stats``, so concurrent collectors (two service
+    workers, two orchestrating threads) never merge each other's
+    telemetry.
+
+    With ``exclusive=True`` the block *replaces* this thread's
+    observer stack instead of stacking on top of it: enclosing
+    collectors see nothing while the block runs.  The engine's
+    per-job execution uses this so a job's solves attribute to that
+    job exactly once — outer scopes receive them as the aggregated
+    :class:`SolveStats` on the job's result, not as raw events.
+    """
+    from repro.analysis.solver import _solve_observers
+    previous = None
+    if exclusive:
+        previous = _solve_observers.replace(())
     add_solve_observer(stats.observe)
     try:
         yield stats
     finally:
         remove_solve_observer(stats.observe)
+        if previous is not None:
+            _solve_observers.replace(previous)
 
 
 @dataclass

@@ -1,30 +1,34 @@
-"""Process-wide phase counters for the simulation hot path.
+"""Per-thread phase counters for the simulation hot path.
 
 The assembler and the linear-solver wrapper attribute their wall time
 to one of three phases — device *eval* (model evaluation: currents,
 charges, derivatives), *assemble* (folding stamps into the matrix and
 RHS), and *solve* (the linear solve) — and the batched evaluator counts
 how many per-device evaluations the SPICE-style bypass skipped.  The
-counters are plain module globals so the instrumented code stays free
-of object plumbing; consumers (``SolveEvent`` emission, the ``--profile``
-CLI flag, benchmarks) take a :func:`snapshot` before a region of
-interest and read the :func:`delta` afterwards.
+counters keep their dict-like ``COUNTERS["key"] += x`` interface so the
+instrumented code stays free of object plumbing; consumers
+(``SolveEvent`` emission, the ``--profile`` CLI flag, benchmarks) take
+a :func:`snapshot` before a region of interest and read the
+:func:`delta` afterwards.
 
-Counters are cumulative for the life of the process and are never reset
-behind a reader's back; :func:`reset` exists for tests that want a clean
-zero to assert against.
+The counters are **thread-local**: each thread accumulates only the
+work it performed itself, so two service workers (or any two threads
+driving solves concurrently) never bleed eval/assemble/solve time or
+bypass hits into each other's :class:`~repro.analysis.solver.
+SolveEvent` deltas.  Within a thread they are cumulative for the life
+of the thread and never reset behind a reader's back; :func:`reset`
+exists for tests that want a clean zero to assert against.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Union
+import threading
+from typing import Dict, Iterator, Union
 
 Number = Union[int, float]
 
-#: Cumulative per-process phase counters.  Times are seconds; the two
-#: bypass counters tally device-model evaluations skipped vs performed
-#: while bypass was active.
-COUNTERS: Dict[str, Number] = {
+#: Counter names and their zero values.
+_ZEROS: Dict[str, Number] = {
     "eval_time": 0.0,
     "assemble_time": 0.0,
     "solve_time": 0.0,
@@ -33,13 +37,50 @@ COUNTERS: Dict[str, Number] = {
 }
 
 
+class _ThreadLocalCounters:
+    """Dict-shaped facade over per-thread counter storage."""
+
+    def __init__(self):
+        self._local = threading.local()
+
+    def _dict(self) -> Dict[str, Number]:
+        counters = getattr(self._local, "counters", None)
+        if counters is None:
+            counters = self._local.counters = dict(_ZEROS)
+        return counters
+
+    def __getitem__(self, key: str) -> Number:
+        return self._dict()[key]
+
+    def __setitem__(self, key: str, value: Number) -> None:
+        self._dict()[key] = value
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._dict())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._dict()
+
+    def items(self):
+        return self._dict().items()
+
+    def keys(self):
+        return self._dict().keys()
+
+
+#: Cumulative per-thread phase counters.  Times are seconds; the two
+#: bypass counters tally device-model evaluations skipped vs performed
+#: while bypass was active.
+COUNTERS = _ThreadLocalCounters()
+
+
 def snapshot() -> Dict[str, Number]:
-    """Copy of the current counter values."""
-    return dict(COUNTERS)
+    """Copy of the calling thread's current counter values."""
+    return dict(COUNTERS.items())
 
 
 def delta(before: Dict[str, Number]) -> Dict[str, Number]:
-    """Per-key growth of the counters since ``before``.
+    """Per-key growth of this thread's counters since ``before``.
 
     Keys absent from ``before`` (an older snapshot, or the empty dict
     used when observers are off) count from zero.
@@ -49,6 +90,6 @@ def delta(before: Dict[str, Number]) -> Dict[str, Number]:
 
 
 def reset() -> None:
-    """Zero every counter (test helper)."""
-    for key in COUNTERS:
-        COUNTERS[key] = 0.0 if key.endswith("_time") else 0
+    """Zero the calling thread's counters (test helper)."""
+    for key, zero in _ZEROS.items():
+        COUNTERS[key] = zero

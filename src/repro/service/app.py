@@ -7,10 +7,21 @@
 * a pool of worker threads claiming queued jobs and running them
   through :func:`repro.experiments.registry.run_experiment` — which
   dispatches every sweep through :mod:`repro.engine` with the shared
-  result cache, retry ladder and telemetry;
+  result cache, retry ladder and telemetry.  ``workers > 1`` is safe:
+  every ambient registry a solve touches (solve observers, option
+  transforms, backend/step/ensemble/eval policies, phase counters,
+  progress observers) is thread-local, so each worker's
+  ``telemetry.collecting()`` and progress observer see exactly the
+  jobs that worker ran — concurrent jobs never merge telemetry or
+  swap solver policies;
 * per-job progress streaming: the engine's thread-local progress
   observer forwards each :class:`~repro.engine.runner.JobResult`
   (cache hits included) into the job's event log as it lands;
+* worker resilience: an unexpected exception from the store or the
+  governor is logged as a *service event* (surfaced under
+  ``/api/stats`` and ``/api/service/events``) and the worker loop
+  continues — a storage hiccup degrades one claim, it never silently
+  shrinks the worker pool;
 * cooperative cancellation: an ambient
   :func:`~repro.engine.runner.cancel_scope` polls the store's
   cancel flag between engine jobs and retry rungs;
@@ -26,12 +37,16 @@ stranding work.
 
 from __future__ import annotations
 
+import collections
+import logging
 import os
 import pickle
 import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
+
+logger = logging.getLogger("repro.service")
 
 from repro.engine import telemetry
 from repro.engine.cache import ResultCache
@@ -117,7 +132,15 @@ class ServiceApp:
         self._stop = threading.Event()
         self._wake = threading.Condition()
         self._threads: List[threading.Thread] = []
+        self._workers: List[threading.Thread] = []
         self._previous_engine_config: Optional[EngineConfig] = None
+        # Service-level (not job-level) incidents: worker-loop errors,
+        # recoveries.  Bounded so a flapping store cannot grow it.
+        self._events_lock = threading.Lock()
+        self._service_events: collections.deque = collections.deque(
+            maxlen=200)
+        self._event_seq = 0
+        self.worker_errors = 0
 
     # -- lifecycle ---------------------------------------------------
 
@@ -138,6 +161,7 @@ class ServiceApp:
                 daemon=True)
             thread.start()
             self._threads.append(thread)
+            self._workers.append(thread)
         if self.cache is not None and self.config.cache_max_bytes:
             thread = threading.Thread(
                 target=self._eviction_loop, name="repro-cache-evict",
@@ -157,6 +181,7 @@ class ServiceApp:
             for thread in self._threads:
                 thread.join(timeout=timeout)
         self._threads.clear()
+        self._workers.clear()
         if self._previous_engine_config is not None:
             set_config(self._previous_engine_config)
             self._previous_engine_config = None
@@ -241,6 +266,31 @@ class ServiceApp:
                              REGISTRY[exp_id][1].items()},
         } for exp_id in REGISTRY]
 
+    def service_events(self, after: int = 0,
+                       limit: int = 100) -> List[Dict[str, Any]]:
+        """Recent service-level incidents (worker errors, recoveries).
+
+        ``after`` is the last event ``seq`` the caller has seen, so a
+        monitoring poller can tail the log the same way job events are
+        tailed.
+        """
+        with self._events_lock:
+            events = [e for e in self._service_events
+                      if e["seq"] > after]
+        return events[:max(0, limit)]
+
+    def _service_event(self, kind: str, detail: str) -> None:
+        logger.warning("service event [%s]: %s", kind, detail)
+        with self._events_lock:
+            self._event_seq += 1
+            self._service_events.append({
+                "seq": self._event_seq,
+                "time": time.time(),
+                "worker": threading.current_thread().name,
+                "kind": kind,
+                "detail": detail,
+            })
+
     def stats(self) -> Dict[str, Any]:
         """Store aggregates plus live service counters."""
         stats = self.store.stats()
@@ -248,8 +298,10 @@ class ServiceApp:
             "uptime_s": (time.time() - self.started_at
                          if self.started_at else 0.0),
             "workers": self.config.workers,
+            "workers_alive": sum(t.is_alive() for t in self._workers),
             "engine_jobs": self.config.engine_jobs,
             "recovered_on_start": self.recovered,
+            "worker_errors": self.worker_errors,
         }
         if self.cache is not None:
             stats["cache"] = {
@@ -263,21 +315,44 @@ class ServiceApp:
     # -- workers -----------------------------------------------------
 
     def _worker_loop(self) -> None:
+        # A worker thread must survive anything short of process
+        # death: an unexpected exception from the store or the
+        # governor is a degraded claim, not a permanently smaller
+        # worker pool.  Errors are logged as service events and the
+        # loop backs off briefly before retrying.
         while not self._stop.is_set():
-            record = self.store.claim_next(
-                self.governor.saturated_tenants())
-            if record is None:
-                with self._wake:
-                    self._wake.wait(timeout=0.2)
-                continue
-            tenant = record["tenant"]
-            self.governor.job_started(tenant)
             try:
-                self._run_job(record)
-            finally:
-                self.governor.job_finished(tenant)
+                claimed = self._claim_and_run()
+            except Exception as err:  # noqa: BLE001 - worker survives
+                self.worker_errors += 1
+                self._service_event(
+                    "worker-error",
+                    f"{type(err).__name__}: {err}")
+                self._stop.wait(timeout=0.5)
+                continue
+            if not claimed:
+                # Idle: block on the wake condition.  Submissions and
+                # freed tenant capacity notify it, so the timeout is
+                # only a backstop (store edits made behind the
+                # service's back), not a polling cadence.
                 with self._wake:
-                    self._wake.notify_all()  # capacity freed
+                    self._wake.wait(timeout=1.0)
+
+    def _claim_and_run(self) -> bool:
+        """Claim one queued job and run it; False when none claimable."""
+        record = self.store.claim_next(
+            self.governor.saturated_tenants())
+        if record is None:
+            return False
+        tenant = record["tenant"]
+        self.governor.job_started(tenant)
+        try:
+            self._run_job(record)
+        finally:
+            self.governor.job_finished(tenant)
+            with self._wake:
+                self._wake.notify_all()  # capacity freed
+        return True
 
     def _run_job(self, record: Dict[str, Any]) -> None:
         job_id = record["id"]
@@ -288,7 +363,13 @@ class ServiceApp:
 
         counters = {"engine_jobs": 0, "cache_hits": 0,
                     "point_failures": 0, "points_cancelled": 0}
+        # Engine-executed solves arrive aggregated on each JobResult;
+        # ``direct_solves`` catches any analysis the experiment runs
+        # outside the engine.  Both collectors are thread-local, so
+        # with several workers running concurrently each job's numbers
+        # are exactly its own.
         solves = telemetry.SolveStats()
+        direct_solves = telemetry.SolveStats()
 
         def observe(result: JobResult, group: str) -> None:
             counters["engine_jobs"] += 1
@@ -306,12 +387,15 @@ class ServiceApp:
             })
 
         def summary(wall: float) -> Dict[str, Any]:
+            total = telemetry.SolveStats()
+            total.merge(solves)
+            total.merge(direct_solves)
             return {
                 **counters,
                 "wall_time": round(wall, 6),
-                "newton_iterations": solves.newton_iterations,
-                "solver_time": round(solves.solver_time, 6),
-                "steps_accepted": solves.steps_accepted,
+                "newton_iterations": total.newton_iterations,
+                "solver_time": round(total.solver_time, 6),
+                "steps_accepted": total.steps_accepted,
             }
 
         started = time.perf_counter()
@@ -319,7 +403,8 @@ class ServiceApp:
             self.store.finish(job_id, CANCELLED, summary=summary(0.0))
             return
         try:
-            with cancel_scope(cancelled), observing_progress(observe):
+            with cancel_scope(cancelled), observing_progress(observe), \
+                    telemetry.collecting(direct_solves):
                 result = run_experiment(spec.experiment,
                                         quick=spec.quick,
                                         params=spec.params)

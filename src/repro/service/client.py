@@ -126,6 +126,12 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/api/stats")
 
+    def service_events(self, after: int = 0,
+                       limit: int = 100) -> Dict[str, Any]:
+        """Service-level incidents (worker errors), tailed by seq."""
+        return self._request(
+            "GET", f"/api/service/events?after={after}&limit={limit}")
+
     # -- conveniences ------------------------------------------------
 
     def wait(self, job_id: str, timeout: float = 120.0,

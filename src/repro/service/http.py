@@ -13,6 +13,7 @@ Endpoints (all JSON unless noted)::
     GET  /api/jobs/<id>/artifacts/<name>  artifact bytes (octet-stream)
     POST /api/jobs/<id>/cancel            request cancellation
     GET  /api/stats                       store + service aggregates
+    GET  /api/service/events?after=N      service incidents (tail by seq)
 
 The tenant is taken from the ``X-Repro-Tenant`` header (falling back
 to the submission body's ``tenant`` field, then ``"default"``).
@@ -53,6 +54,7 @@ _ROUTES = [
      "artifact"),
     ("POST", re.compile(rf"^/api/jobs/{_ID}/cancel$"), "cancel"),
     ("GET", re.compile(r"^/api/stats$"), "stats"),
+    ("GET", re.compile(r"^/api/service/events$"), "service_events"),
 ]
 
 
@@ -203,6 +205,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _ep_stats(self) -> None:
         self._send_json(200, self.app.stats())
+
+    def _ep_service_events(self) -> None:
+        after = int(self.query.get("after", 0))
+        events = self.app.service_events(
+            after=after, limit=int(self.query.get("limit", 100)))
+        self._send_json(200, {
+            "events": events,
+            "next_after": events[-1]["seq"] if events else after,
+        })
 
 
 class ServiceServer:

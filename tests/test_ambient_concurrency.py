@@ -1,0 +1,394 @@
+"""Cross-thread isolation of the ambient solver registries.
+
+Every test here fails on a process-global implementation of the
+observer stacks / policy values: two barrier-synced threads install
+their own observers, transforms and policy overrides *simultaneously*
+and assert that neither sees the other's.  The barriers force the
+overlap — without them the threads could run back-to-back and a global
+registry would pass by accident.
+"""
+
+import dataclasses
+import threading
+
+import numpy as np
+import pytest
+
+from repro.ambient import ThreadLocalStack, ThreadLocalValue
+from repro.analysis.context import AmbientContext
+from repro.analysis.options import (
+    BackendOptions,
+    EvalOptions,
+    backend_override,
+    ensemble_override,
+    eval_override,
+    get_backend_options,
+    get_default_step_control,
+    get_ensemble_mode,
+    get_eval_options,
+    option_transform,
+    resolve_solver_options,
+    step_control_override,
+)
+from repro.analysis.solver import (
+    SolveEvent,
+    add_solve_observer,
+    emit_solve_event,
+    newton_solve,
+    remove_solve_observer,
+)
+from repro.engine import telemetry
+from repro.engine.runner import (
+    Job,
+    JobResult,
+    add_progress_observer,
+    remove_progress_observer,
+    run_jobs,
+)
+
+DEFAULT_MAX_ITER = 120  # NewtonOptions().max_iterations
+
+
+def _add10(newton, homotopy):
+    return (dataclasses.replace(
+        newton, max_iterations=newton.max_iterations + 10), homotopy)
+
+
+def _double(newton, homotopy):
+    return (dataclasses.replace(
+        newton, max_iterations=newton.max_iterations * 2), homotopy)
+
+
+def _linear_solve():
+    A = np.array([[2.0, 1.0], [1.0, 3.0]])
+    b = np.array([1.0, 2.0])
+
+    def assemble(x):
+        return A @ x - b, A, np.zeros(0)
+
+    return newton_solve(assemble, np.zeros(2),
+                        row_tol=np.full(2, 1e-9),
+                        dx_limit=np.full(2, np.inf))
+
+
+def _run_threads(*targets):
+    """Run targets concurrently; re-raise the first failure."""
+    errors = []
+
+    def wrap(fn):
+        def run():
+            try:
+                fn()
+            except BaseException as err:  # noqa: BLE001 - test harness
+                errors.append(err)
+        return run
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not any(t.is_alive() for t in threads), "test thread hung"
+    if errors:
+        raise errors[0]
+
+
+class TestThreadLocalPrimitives:
+    def test_stack_is_per_thread(self):
+        stack = ThreadLocalStack("test")
+        stack.push("main")
+        seen = {}
+
+        def other():
+            seen["before"] = list(stack)
+            stack.push("other")
+            seen["after"] = list(stack)
+
+        _run_threads(other)
+        assert seen["before"] == []          # no inheritance
+        assert seen["after"] == ["other"]
+        assert list(stack) == ["main"]       # untouched by the thread
+        stack.pop("main")
+
+    def test_stack_pop_prefers_identity_from_tail(self):
+        stack = ThreadLocalStack("test")
+        a1, a2 = [1], [1]  # equal but distinct
+        stack.push(a1)
+        stack.push(a2)
+        stack.pop(a1)
+        assert stack.snapshot() == (a2,)
+
+    def test_stack_pop_missing_is_noop(self):
+        stack = ThreadLocalStack("test")
+        assert stack.pop(object()) is False
+
+    def test_value_set_is_per_thread(self):
+        value = ThreadLocalValue("test", "default")
+        value.set("main")
+        seen = {}
+
+        def other():
+            seen["initial"] = value.get()   # shared default, not "main"
+            value.set("other")
+            seen["set"] = value.get()
+
+        _run_threads(other)
+        assert seen == {"initial": "default", "set": "other"}
+        assert value.get() == "main"
+
+
+class TestOptionTransformReentrancy:
+    def test_reentrant_same_transform_pops_innermost(self):
+        # Pre-PR, exit used list.remove() which drops the *first*
+        # equal entry: exiting the inner _add10 block removed the
+        # outer registration, leaving [_double, _add10] — order 250
+        # instead of the correct [_add10, _double] — order 260.
+        with option_transform(_add10):
+            with option_transform(_double):
+                with option_transform(_add10):
+                    n, _ = resolve_solver_options(None, None)
+                    assert n.max_iterations == \
+                        (DEFAULT_MAX_ITER + 10) * 2 + 10
+                n, _ = resolve_solver_options(None, None)
+                assert n.max_iterations == (DEFAULT_MAX_ITER + 10) * 2
+            n, _ = resolve_solver_options(None, None)
+            assert n.max_iterations == DEFAULT_MAX_ITER + 10
+        n, _ = resolve_solver_options(None, None)
+        assert n.max_iterations == DEFAULT_MAX_ITER
+
+    def test_exception_exit_unwinds_correctly(self):
+        with pytest.raises(RuntimeError):
+            with option_transform(_add10):
+                with option_transform(_add10):
+                    raise RuntimeError("boom")
+        n, _ = resolve_solver_options(None, None)
+        assert n.max_iterations == DEFAULT_MAX_ITER
+
+
+class TestIdempotentRemoval:
+    def test_remove_solve_observer_twice(self):
+        events = []
+        add_solve_observer(events.append)
+        remove_solve_observer(events.append)
+        remove_solve_observer(events.append)  # no ValueError
+        emit_solve_event(SolveEvent("dc", "direct", 1, 0.0, True, 0.0))
+        assert events == []
+
+    def test_remove_never_registered_solve_observer(self):
+        remove_solve_observer(lambda event: None)
+
+    def test_remove_progress_observer_twice(self):
+        seen = []
+
+        def observer(result, group):
+            seen.append(result)
+
+        add_progress_observer(observer)
+        remove_progress_observer(observer)
+        remove_progress_observer(observer)  # no ValueError
+
+    def test_remove_bound_method_observer(self):
+        # stats.observe is a fresh (equal, non-identical) object on
+        # every attribute access; removal must still find it.
+        stats = telemetry.SolveStats()
+        add_solve_observer(stats.observe)
+        remove_solve_observer(stats.observe)
+        emit_solve_event(SolveEvent("dc", "direct", 1, 0.0, True, 0.0))
+        assert stats.dc_solves == 0
+
+
+class TestCrossThreadIsolation:
+    def test_solve_observers_see_only_own_thread(self):
+        barrier = threading.Barrier(2, timeout=10.0)
+
+        def worker(tag, out):
+            events = []
+            add_solve_observer(events.append)
+            try:
+                barrier.wait()  # both observers registered
+                emit_solve_event(SolveEvent(
+                    "dc", tag, 1, 0.0, True, 0.0))
+                barrier.wait()  # both have emitted
+            finally:
+                remove_solve_observer(events.append)
+            out.extend(events)
+
+        a_events, b_events = [], []
+        _run_threads(lambda: worker("thread-a", a_events),
+                     lambda: worker("thread-b", b_events))
+        assert [e.strategy for e in a_events] == ["thread-a"]
+        assert [e.strategy for e in b_events] == ["thread-b"]
+
+    def test_policies_are_per_thread(self):
+        barrier = threading.Barrier(2, timeout=10.0)
+
+        def overriding():
+            with backend_override(kind="dense"), \
+                    step_control_override("iter"), \
+                    ensemble_override(False), \
+                    eval_override(mode="scalar"):
+                barrier.wait()  # overrides active
+                barrier.wait()  # reader done observing
+            barrier.wait()      # overrides restored
+
+        def reading():
+            barrier.wait()
+            # The sibling's overrides must be invisible here.
+            assert get_backend_options().kind == "auto"
+            assert get_default_step_control() == "lte"
+            assert get_ensemble_mode() is True
+            assert get_eval_options().mode == "batched"
+            barrier.wait()
+            barrier.wait()
+
+        _run_threads(overriding, reading)
+
+    def test_combined_collecting_transform_override_stress(self):
+        # Satellite: two barrier-synced threads each running
+        # telemetry.collecting() + option_transform() +
+        # backend_override() around real Newton solves must each see
+        # exactly their own events and options.
+        barrier = threading.Barrier(2, timeout=10.0)
+        solves_per_thread = 5
+
+        def worker(kind, transform, expected_iter, out):
+            stats = telemetry.SolveStats()
+            with backend_override(kind=kind), \
+                    option_transform(transform), \
+                    telemetry.collecting(stats):
+                barrier.wait()  # everyone's ambient context is live
+                for _ in range(solves_per_thread):
+                    _linear_solve()
+                    n, _ = resolve_solver_options(None, None)
+                    assert n.max_iterations == expected_iter
+                    assert get_backend_options().kind == kind
+                barrier.wait()  # all solves done while both collect
+            out.append(stats)
+
+        a_out, b_out = [], []
+        _run_threads(
+            lambda: worker("dense", _add10, DEFAULT_MAX_ITER + 10,
+                           a_out),
+            lambda: worker("sparse", _double, DEFAULT_MAX_ITER * 2,
+                           b_out))
+        # A global observer list would have fed both threads' events
+        # to both collectors (10 each); thread-local stacks give each
+        # exactly its own 5.
+        assert a_out[0].newton_solves == solves_per_thread
+        assert b_out[0].newton_solves == solves_per_thread
+
+    def test_progress_observers_see_only_own_thread(self):
+        barrier = threading.Barrier(2, timeout=10.0)
+
+        def worker(tag, out):
+            def observer(result, group):
+                out.append((group, result.index))
+
+            add_progress_observer(observer)
+            try:
+                barrier.wait()
+                run_jobs([Job(_task_identity, (index,))
+                          for index in range(3)],
+                         group=tag, cache=None, jobs=1)
+                barrier.wait()
+            finally:
+                remove_progress_observer(observer)
+
+        a_seen, b_seen = [], []
+        _run_threads(lambda: worker("group-a", a_seen),
+                     lambda: worker("group-b", b_seen))
+        assert {group for group, _ in a_seen} == {"group-a"}
+        assert {group for group, _ in b_seen} == {"group-b"}
+        assert len(a_seen) == len(b_seen) == 3
+
+
+def _task_identity(index):
+    return index
+
+
+def _task_report_policies(index):
+    """Pool task reporting the ambient policies it resolved."""
+    n, _ = resolve_solver_options(None, None)
+    return {
+        "backend": get_backend_options().kind,
+        "step_control": get_default_step_control(),
+        "ensemble": get_ensemble_mode(),
+        "eval_mode": get_eval_options().mode,
+        "max_iterations": n.max_iterations,
+    }
+
+
+class TestAmbientContext:
+    def test_capture_and_apply_across_threads(self):
+        with backend_override(kind="dense"), \
+                step_control_override("iter"), \
+                option_transform(_add10):
+            context = AmbientContext.capture()
+        seen = {}
+
+        def other():
+            with context.applied():
+                n, _ = resolve_solver_options(None, None)
+                seen["backend"] = get_backend_options().kind
+                seen["step_control"] = get_default_step_control()
+                seen["max_iterations"] = n.max_iterations
+            seen["restored"] = get_backend_options().kind
+
+        _run_threads(other)
+        assert seen == {"backend": "dense", "step_control": "iter",
+                        "max_iterations": DEFAULT_MAX_ITER + 10,
+                        "restored": "auto"}
+
+    def test_pool_workers_inherit_submitting_thread_context(self):
+        # The engine's --jobs pool must propagate the submitting
+        # thread's ambient context into its worker processes.
+        with backend_override(kind="dense"), \
+                step_control_override("iter"), \
+                ensemble_override(False), \
+                eval_override(mode="scalar"), \
+                option_transform(_add10):
+            results = run_jobs(
+                [Job(_task_report_policies, (index,))
+                 for index in range(4)],
+                cache=None, jobs=2)
+        assert all(result.ok for result in results)
+        for result in results:
+            assert result.value == {
+                "backend": "dense", "step_control": "iter",
+                "ensemble": False, "eval_mode": "scalar",
+                "max_iterations": DEFAULT_MAX_ITER + 10,
+            }
+
+    def test_pool_results_match_serial_under_overrides(self):
+        jobs = [Job(_task_report_policies, (index,))
+                for index in range(3)]
+        with backend_override(kind="sparse"), option_transform(_double):
+            serial = run_jobs(jobs, cache=None, jobs=1)
+            parallel = run_jobs(jobs, cache=None, jobs=2)
+        assert [r.value for r in serial] == [r.value for r in parallel]
+
+
+class TestTelemetryExclusiveCollection:
+    def test_exclusive_shadows_outer_collectors(self):
+        outer, inner = telemetry.SolveStats(), telemetry.SolveStats()
+        with telemetry.collecting(outer):
+            with telemetry.collecting(inner, exclusive=True):
+                _linear_solve()
+            _linear_solve()
+        assert inner.newton_solves == 1   # only the shadowed solve
+        assert outer.newton_solves == 1   # resumes after the block
+
+    def test_engine_jobs_not_double_counted(self):
+        # Job-level exclusive collection means an outer collector sees
+        # engine solves only through JobResult.solves, never raw.
+        outer = telemetry.SolveStats()
+        with telemetry.collecting(outer):
+            results = run_jobs([Job(_solver_task, (0,))],
+                               cache=None, jobs=1)
+        assert outer.newton_solves == 0
+        assert results[0].solves.newton_solves == 1
+
+
+def _solver_task(_index):
+    x, _, info = _linear_solve()
+    return float(x[0]), info.iterations

@@ -320,18 +320,26 @@ class TestConcurrentAccess:
 
         key = job_key(task_a, (1,))
         stop = threading.Event()
+        writing = threading.Event()
         failures = []
 
         def writer():
             cache = ResultCache(str(tmp_path))
             while not stop.is_set():
                 cache.put(key, "live")
+                writing.set()
                 hit, value = cache.get(key)
                 if not hit or value != "live":
                     failures.append(value)
 
         thread = threading.Thread(target=writer)
         thread.start()
+        # Wait for the first write before sweeping, so the writer is
+        # genuinely live during the construction loop (without this,
+        # the main thread can finish all 50 constructions before the
+        # writer thread is ever scheduled, and the final assertion
+        # reads an entry nobody wrote).
+        assert writing.wait(timeout=30.0), "writer thread never ran"
         # Re-construct caches in a tight loop: every construction runs
         # the stale-.tmp sweep against the writer's directory.
         for _ in range(50):

@@ -1,0 +1,175 @@
+"""Multi-worker service tests: parity, attribution, resilience.
+
+The tentpole guarantee under test: with every ambient solver registry
+thread-local, ``workers > 1`` produces results bit-identical to
+``workers=1`` and each job's summary (engine jobs, cache hits,
+SolveStats aggregates) counts exactly that job's work — concurrent
+neighbours never leak events into it.
+"""
+
+import os
+import time
+
+from repro.service import (
+    FAILED,
+    SUCCEEDED,
+    ServiceApp,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    SqliteJobStore,
+)
+
+#: Distinct quick sweeps so no job aliases another in the cache and
+#: every job has a unique, recognisable workload.
+JOB_MIX = [
+    ("fig01", True, None),
+    ("fig09", True, {"sigma_levels": [0.05],
+                     "keeper_widths": [8e-07, 2e-06]}),
+    ("fig09", True, {"sigma_levels": [0.15],
+                     "keeper_widths": [8e-07]}),
+    ("fig09", True, {"sigma_levels": [0.05, 0.15],
+                     "keeper_widths": [1.2e-06]}),
+]
+
+#: Summary fields that must attribute exactly per job.
+ATTRIBUTION_KEYS = ("engine_jobs", "cache_hits", "point_failures",
+                    "newton_iterations", "steps_accepted")
+
+
+def service_config(tmp_path, name, **overrides):
+    defaults = dict(data_dir=str(tmp_path / name),
+                    cache_dir=None,  # determinism: no cross-job reuse
+                    max_running_per_tenant=10)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _submit_mix(app):
+    records = []
+    for experiment, quick, params in JOB_MIX:
+        payload = {"experiment": experiment, "quick": quick}
+        if params:
+            payload["params"] = params
+        records.append(app.submit(payload))
+    return [record["id"] for record in records]
+
+
+def _wait_all(app, job_ids, timeout=300.0):
+    deadline = time.monotonic() + timeout
+    finals = {}
+    while time.monotonic() < deadline and len(finals) < len(job_ids):
+        for job_id in job_ids:
+            if job_id in finals:
+                continue
+            record = app.job(job_id)
+            if record["state"] in (SUCCEEDED, FAILED, "cancelled"):
+                finals[job_id] = record
+        time.sleep(0.05)
+    assert len(finals) == len(job_ids), "jobs did not finish in time"
+    return [finals[job_id] for job_id in job_ids]
+
+
+def _run_mix(tmp_path, name, workers):
+    app = ServiceApp(service_config(tmp_path, name, workers=workers))
+    app.start()
+    try:
+        job_ids = _submit_mix(app)
+        finals = _wait_all(app, job_ids)
+        results = [app.result(job_id) for job_id in job_ids]
+        stats = app.stats()
+    finally:
+        app.stop()
+    return finals, results, stats
+
+
+class TestMultiWorkerParity:
+    def test_workers4_bit_identical_to_workers1(self, tmp_path):
+        solo_finals, solo_results, _ = _run_mix(
+            tmp_path, "solo", workers=1)
+        quad_finals, quad_results, quad_stats = _run_mix(
+            tmp_path, "quad", workers=4)
+
+        assert quad_stats["service"]["workers_alive"] == 4
+        for solo, quad in zip(solo_finals, quad_finals):
+            assert solo["state"] == SUCCEEDED
+            assert quad["state"] == SUCCEEDED
+            # Exact per-job attribution: the concurrent run's summary
+            # must match the sequential run's, field for field.  A
+            # process-global observer list would have credited each
+            # job with its neighbours' solves too.
+            for key in ATTRIBUTION_KEYS:
+                assert quad["summary"][key] == solo["summary"][key], (
+                    f"{key} differs for {solo['spec']['experiment']}: "
+                    f"workers=4 {quad['summary'][key]} != "
+                    f"workers=1 {solo['summary'][key]}")
+        # Bit-identical rendered rows (float-exact).
+        for solo, quad in zip(solo_results, quad_results):
+            assert quad["rows"] == solo["rows"]
+            assert quad["columns"] == solo["columns"]
+
+
+class _FlakyStore:
+    """Delegating store whose first ``claim_next`` calls explode."""
+
+    def __init__(self, inner, failures):
+        self._inner = inner
+        self._failures = failures
+
+    def claim_next(self, *args, **kwargs):
+        if self._failures > 0:
+            self._failures -= 1
+            raise RuntimeError("transient store glitch")
+        return self._inner.claim_next(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestWorkerResilience:
+    def test_worker_survives_claim_next_crash(self, tmp_path):
+        config = service_config(tmp_path, "flaky", workers=1)
+        os.makedirs(config.data_dir, exist_ok=True)
+        store = _FlakyStore(SqliteJobStore(config.db_path), failures=2)
+        app = ServiceApp(config, store=store)
+        app.start()
+        try:
+            record = app.submit({"experiment": "fig01", "quick": True})
+            finals = _wait_all(app, [record["id"]], timeout=60.0)
+            assert finals[0]["state"] == SUCCEEDED
+            stats = app.stats()
+            # The crashes were absorbed, logged, and the pool is whole.
+            assert stats["service"]["worker_errors"] >= 1
+            assert stats["service"]["workers_alive"] == 1
+            kinds = [e["kind"] for e in app.service_events()]
+            assert "worker-error" in kinds
+        finally:
+            app.stop()
+
+    def test_service_events_tail_by_seq(self, tmp_path):
+        config = service_config(tmp_path, "events", workers=1)
+        app = ServiceApp(config)
+        app._service_event("worker-error", "first")
+        app._service_event("worker-error", "second")
+        events = app.service_events()
+        assert [e["detail"] for e in events] == ["first", "second"]
+        assert events[1]["seq"] > events[0]["seq"]
+        tail = app.service_events(after=events[0]["seq"])
+        assert [e["detail"] for e in tail] == ["second"]
+        app.store.close()
+
+
+class TestServiceEventsHTTP:
+    def test_endpoint_round_trip(self, tmp_path):
+        config = service_config(tmp_path, "http", workers=2)
+        with ServiceServer(config) as server:
+            client = ServiceClient(server.host, server.port)
+            server.app._service_event("worker-error", "seeded")
+            payload = client.service_events()
+            assert [e["detail"] for e in payload["events"]] == \
+                ["seeded"]
+            seq = payload["next_after"]
+            assert seq == payload["events"][0]["seq"]
+            assert client.service_events(after=seq) == {
+                "events": [], "next_after": seq}
+            assert client.stats()["service"]["workers_alive"] == 2
